@@ -1,0 +1,57 @@
+//! Ablations: component costs of the hierarchical algorithm (PST
+//! construction vs initial sets vs traversal) and the cost-model choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spillopt_bench::placement_inputs;
+use spillopt_core::{
+    hierarchical_placement, modified_shrink_wrap, modified_shrink_wrap_hoisted, CostModel,
+};
+use spillopt_pst::Pst;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let inputs = placement_inputs("gcc");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(15);
+
+    group.bench_function("pst_only", |b| {
+        b.iter(|| {
+            for i in &inputs {
+                black_box(Pst::compute(&i.cfg));
+            }
+        })
+    });
+    group.bench_function("initial_sets_only", |b| {
+        b.iter(|| {
+            for i in &inputs {
+                black_box(modified_shrink_wrap(&i.cfg, &i.usage));
+            }
+        })
+    });
+    group.bench_function("initial_sets_hoisted", |b| {
+        b.iter(|| {
+            for i in &inputs {
+                black_box(modified_shrink_wrap_hoisted(&i.cfg, &i.usage));
+            }
+        })
+    });
+    let psts: Vec<Pst> = inputs.iter().map(|i| Pst::compute(&i.cfg)).collect();
+    for (label, model) in [
+        ("traversal_exec_model", CostModel::ExecutionCount),
+        ("traversal_jump_model", CostModel::JumpEdge),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for (i, pst) in inputs.iter().zip(&psts) {
+                    black_box(hierarchical_placement(
+                        &i.cfg, pst, &i.usage, &i.profile, model,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 5 — the full placement computation (all techniques) over
+//! representative benchmarks, including physical insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spillopt_bench::placement_inputs;
+use spillopt_core::{hierarchical_placement, insert_placement, CostModel};
+use spillopt_pst::Pst;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(15);
+    for name in ["gzip", "gcc"] {
+        let inputs = placement_inputs(name);
+        group.bench_with_input(
+            BenchmarkId::new("place_and_insert", name),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    for i in inputs {
+                        let pst = Pst::compute(&i.cfg);
+                        let placement = hierarchical_placement(
+                            &i.cfg,
+                            &pst,
+                            &i.usage,
+                            &i.profile,
+                            CostModel::JumpEdge,
+                        )
+                        .placement;
+                        let mut func = i.func.clone();
+                        black_box(insert_placement(&mut func, &i.cfg, &placement));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! PST construction scaling — the Johnson-Pearson-Pingali linear-time
+//! claim the paper's complexity analysis relies on. Time per block should
+//! stay roughly flat as CFGs grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng as _;
+use spillopt_benchgen::{emit_function, gen_body, EmitConfig, ShapeConfig, Style};
+use spillopt_ir::{Cfg, Target};
+use spillopt_pst::Pst;
+use std::hint::black_box;
+
+fn cfg_of_size(budget: usize) -> Cfg {
+    let target = Target::default();
+    let shape = ShapeConfig {
+        budget,
+        loop_prob: 0.3,
+        else_prob: 0.5,
+        cold_if_prob: 0.25,
+        goto_prob: 0.08,
+        call_prob: 0.0,
+        loop_trip: (2, 6),
+        max_depth: 6,
+    };
+    let emit = EmitConfig {
+        shape: shape.clone(),
+        pressure: 4,
+        num_params: 2,
+        data_slots: 2,
+        style: Style::Register,
+        num_handlers: 2,
+        handler_goto_frac: 0.5,
+        hot_segment_calls: 0,
+        crossing_frac: 0.0,
+        cold_crossing: 0.0,
+        cold_sites: 0,
+    };
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(budget as u64);
+    let body = gen_body(&shape, &mut rng, 0);
+    let func = emit_function("scaling", &target, &emit, &body, 0, 42);
+    Cfg::compute(&func)
+}
+
+fn bench_pst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pst_scaling");
+    for budget in [32usize, 128, 512, 2048] {
+        let cfg = cfg_of_size(budget);
+        group.throughput(Throughput::Elements(cfg.num_blocks() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.num_blocks()),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(Pst::compute(cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pst);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The Chaitin/Briggs register allocator substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng as _;
+use spillopt_benchgen::{emit_function, gen_body, EmitConfig, ShapeConfig, Style};
+use spillopt_ir::Target;
+use spillopt_regalloc::allocate;
+use std::hint::black_box;
+
+fn bench_regalloc(c: &mut Criterion) {
+    let target = Target::default();
+    let mut group = c.benchmark_group("regalloc");
+    group.sample_size(20);
+    for (label, budget, pressure) in [("small", 16, 4), ("medium", 60, 8), ("large", 200, 10)] {
+        let shape = ShapeConfig {
+            budget,
+            loop_prob: 0.35,
+            else_prob: 0.5,
+            cold_if_prob: 0.25,
+            goto_prob: 0.06,
+            call_prob: 0.1,
+            loop_trip: (2, 8),
+            max_depth: 4,
+        };
+        let emit = EmitConfig {
+            shape: shape.clone(),
+            pressure,
+            num_params: 2,
+            data_slots: 4,
+            style: Style::Register,
+            num_handlers: 1,
+            handler_goto_frac: 0.5,
+            hot_segment_calls: 0,
+            crossing_frac: 0.0,
+            cold_crossing: 0.0,
+            cold_sites: 0,
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let body = gen_body(&shape, &mut rng, 0);
+        let func = emit_function(label, &target, &emit, &body, 0, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &func, |b, func| {
+            b.iter(|| {
+                let mut f = func.clone();
+                black_box(allocate(&mut f, &target, None));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regalloc);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 2 — incremental compile time of the placement passes.
+//!
+//! The paper times whole GCC compilations on an HP C3000 and reports the
+//! incremental seconds of shrink-wrapping and of the hierarchical
+//! algorithm over entry/exit placement, plus their ratio (average 5.44×).
+//! Here we time the passes themselves per benchmark; the comparable
+//! quantity is the optimized/shrink-wrap ratio printed by `repro table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spillopt_bench::placement_inputs;
+use spillopt_core::{chow_shrink_wrap, entry_exit_placement, hierarchical_placement, CostModel};
+use spillopt_pst::Pst;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    for name in ["gzip", "mcf", "crafty", "twolf"] {
+        let inputs = placement_inputs(name);
+        group.bench_with_input(BenchmarkId::new("entry_exit", name), &inputs, |b, inputs| {
+            b.iter(|| {
+                for i in inputs {
+                    black_box(entry_exit_placement(&i.cfg, &i.usage));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shrinkwrap", name), &inputs, |b, inputs| {
+            b.iter(|| {
+                for i in inputs {
+                    black_box(chow_shrink_wrap(&i.cfg, &i.usage));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", name), &inputs, |b, inputs| {
+            b.iter(|| {
+                for i in inputs {
+                    let pst = Pst::compute(&i.cfg);
+                    black_box(hierarchical_placement(
+                        &i.cfg,
+                        &pst,
+                        &i.usage,
+                        &i.profile,
+                        CostModel::JumpEdge,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! # spillopt-bench
+//!
+//! Shared fixtures for the Criterion benchmarks that regenerate the
+//! paper's performance measurements (Table 2's incremental compile times
+//! and the per-figure workloads). See the `benches/` directory:
+//!
+//! * `table2_compile_time` — placement-pass runtime per benchmark and
+//!   technique (the paper's Table 2);
+//! * `fig5_placements` — end-to-end placement work for the Figure 5
+//!   benchmarks;
+//! * `pst_scaling` — PST construction across CFG sizes (the linear-time
+//!   claim);
+//! * `regalloc` — the Chaitin/Briggs substrate;
+//! * `ablations` — component costs of the hierarchical algorithm.
+
+#![warn(missing_docs)]
+
+use spillopt_benchgen::{benchmark_by_name, build_bench};
+use spillopt_core::CalleeSavedUsage;
+use spillopt_ir::{Cfg, Target};
+use spillopt_profile::{EdgeProfile, Machine};
+use spillopt_regalloc::allocate;
+
+/// A ready-to-place function: allocated, profiled, with callee-saved
+/// usage.
+#[derive(Debug)]
+pub struct PlacementInput {
+    /// The allocated (physical) function.
+    pub func: spillopt_ir::Function,
+    /// CFG snapshot.
+    pub cfg: Cfg,
+    /// Train profile.
+    pub profile: EdgeProfile,
+    /// Callee-saved usage.
+    pub usage: CalleeSavedUsage,
+}
+
+/// Generates, profiles, and allocates every function of a named synthetic
+/// benchmark, returning the ones that use callee-saved registers.
+///
+/// # Panics
+///
+/// Panics on unknown names or pipeline failures (benchmarks are
+/// deterministic; this cannot happen once the suite is green).
+pub fn placement_inputs(name: &str) -> Vec<PlacementInput> {
+    let target = Target::default();
+    let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let bench = build_bench(&spec, &target);
+    let mut vm = Machine::new(&bench.module, &target);
+    vm.set_fuel(1 << 30);
+    for (f, args) in &bench.train_runs {
+        vm.call(*f, args).expect("train run");
+    }
+    let mut out = Vec::new();
+    for f in bench.module.func_ids() {
+        let profile = vm.edge_profile(f);
+        let mut func = bench.module.func(f).clone();
+        allocate(&mut func, &target, Some(&profile));
+        let cfg = Cfg::compute(&func);
+        let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+        if usage.is_empty() {
+            continue;
+        }
+        out.push(PlacementInput {
+            func,
+            cfg,
+            profile,
+            usage,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_nonempty_for_gzip() {
+        let inputs = placement_inputs("gzip");
+        assert!(!inputs.is_empty());
+        for i in &inputs {
+            assert!(!i.usage.is_empty());
+            assert_eq!(i.cfg.num_blocks(), i.func.num_blocks());
+        }
+    }
+}

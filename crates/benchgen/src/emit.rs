@@ -1,0 +1,717 @@
+//! Lowering statement skeletons to IR functions.
+//!
+//! The emitter controls the block layout explicitly so that every
+//! conditional's fall-through target is its layout successor, plain `if`s
+//! and `goto` escapes produce critical jump edges, and loop bodies fall
+//! through naturally — the exact edge-kind texture the paper's jump-edge
+//! cost model cares about.
+
+use crate::shape::{ShapeConfig, Stmt};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spillopt_ir::{
+    BinOp, BlockId, Callee, Cond, FuncId, Function, FunctionBuilder, InstKind, Reg, Target, VReg,
+};
+
+/// How a function homes its working state.
+///
+/// The distinction decides where callee-saved pressure comes from and is
+/// the main lever behind the per-benchmark result shapes:
+///
+/// * `Register` functions keep accumulators in registers for their whole
+///   body; any call makes them call-crossing, so the allocator parks them
+///   in callee-saved registers that are busy *everywhere* — entry/exit
+///   placement is already optimal for such functions;
+/// * `Memory` functions keep state in frame slots and materialize values
+///   in short-lived temporaries; only deliberate locals around call sites
+///   cross calls, so callee-saved busy regions are *localized* — cold
+///   ones reward the hierarchical algorithm, hot disjoint ones punish
+///   shrink-wrapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Style {
+    /// Register-homed accumulators.
+    Register,
+    /// Memory-homed state with short-lived temporaries.
+    Memory,
+}
+
+/// Parameters for emitting one function.
+#[derive(Clone, Debug)]
+pub struct EmitConfig {
+    /// Shape of the statement tree.
+    pub shape: ShapeConfig,
+    /// Number of long-lived accumulator values (register pressure).
+    pub pressure: usize,
+    /// Number of parameters (≤ the target's argument registers).
+    pub num_params: usize,
+    /// Data frame slots for program loads/stores.
+    pub data_slots: usize,
+    /// Value-homing style.
+    pub style: Style,
+    /// Cold shared handler blocks (targets of gotos; their call-crossing
+    /// locals become cold busy regions behind critical jump edges — the
+    /// gcc/crafty pattern).
+    pub num_handlers: usize,
+    /// Probability that a goto escapes to a handler rather than a loop
+    /// exit.
+    pub handler_goto_frac: f64,
+    /// Always-executed mainline call segments with call-crossing locals
+    /// in separate blocks (hot disjoint busy regions — the
+    /// gzip/bzip2/twolf pattern that makes shrink-wrapping lose to
+    /// entry/exit). Only meaningful for `Style::Memory`.
+    pub hot_segment_calls: usize,
+    /// Probability that an ordinary call in a memory-homed function keeps
+    /// a local live across it (creating a busy region wherever the call
+    /// sits). Hot-segment and handler calls always do.
+    pub crossing_frac: f64,
+    /// Crossing probability for calls inside *cold* arms (cold busy
+    /// regions are where the profile-guided placement wins).
+    pub cold_crossing: f64,
+    /// Guaranteed very-cold arms with a crossing call, appended to the
+    /// mainline. Their boundaries are clean (non-critical), so *both*
+    /// shrink-wrapping and the hierarchical algorithm place spill code
+    /// there — the pattern behind the paper's below-100% shrink-wrap
+    /// ratios.
+    pub cold_sites: usize,
+}
+
+struct Emitter {
+    fb: FunctionBuilder,
+    layout: Vec<BlockId>,
+    style: Style,
+    /// Register-homed accumulators (`Style::Register`).
+    accs: Vec<VReg>,
+    /// Memory-homed accumulators (`Style::Memory`).
+    acc_slots: Vec<spillopt_ir::FrameSlot>,
+    data_slots: Vec<spillopt_ir::FrameSlot>,
+    escapes: Vec<BlockId>,
+    handlers: Vec<BlockId>,
+    handler_goto_frac: f64,
+    crossing_frac: f64,
+    cold_crossing: f64,
+    cold_depth: usize,
+    epilogue: BlockId,
+    rng: SmallRng,
+    callee_base: usize,
+    num_accs: usize,
+}
+
+impl Emitter {
+    fn open(&mut self, b: BlockId) {
+        self.fb.switch_to(b);
+        self.layout.push(b);
+    }
+
+    fn acc(&mut self) -> usize {
+        self.rng.gen_range(0..self.num_accs)
+    }
+
+    /// Starts a fresh block reached by falling through from the current
+    /// one (splits busy clusters without adding edges of interest).
+    fn break_block(&mut self) {
+        let b = self.fb.create_block(None);
+        self.open(b);
+    }
+
+    /// Materializes accumulator `i` into a register (a load in memory
+    /// style; the long-lived register itself otherwise).
+    fn read_acc(&mut self, i: usize) -> VReg {
+        match self.style {
+            Style::Register => self.accs[i],
+            Style::Memory => {
+                let t = self.fb.new_vreg();
+                self.fb.emit(InstKind::Load {
+                    dst: Reg::Virt(t),
+                    slot: self.acc_slots[i],
+                    kind: spillopt_ir::MemKind::Data,
+                });
+                t
+            }
+        }
+    }
+
+    /// The register to compute accumulator `i`'s new value into.
+    fn acc_dst(&mut self, i: usize) -> VReg {
+        match self.style {
+            Style::Register => self.accs[i],
+            Style::Memory => self.fb.new_vreg(),
+        }
+    }
+
+    /// Completes an accumulator update (a store-back in memory style).
+    fn write_acc(&mut self, i: usize, v: VReg) {
+        if self.style == Style::Memory {
+            self.fb.emit(InstKind::Store {
+                src: Reg::Virt(v),
+                slot: self.acc_slots[i],
+                kind: spillopt_ir::MemKind::Data,
+            });
+        }
+        let _ = i;
+    }
+
+    /// One random arithmetic or data-memory operation over accumulators.
+    fn emit_op(&mut self) {
+        let i = self.acc();
+        let j = self.acc();
+        let a = self.read_acc(i);
+        let b = self.read_acc(j);
+        let d = self.acc_dst(i);
+        let dst = Reg::Virt(d);
+        let lhs_in = Reg::Virt(a);
+        let src = Reg::Virt(b);
+        match self.rng.gen_range(0..8) {
+            0 => self.fb.emit(InstKind::Bin {
+                op: BinOp::Add,
+                dst,
+                lhs: lhs_in,
+                rhs: src,
+            }),
+            1 => self.fb.emit(InstKind::Bin {
+                op: BinOp::Xor,
+                dst,
+                lhs: lhs_in,
+                rhs: src,
+            }),
+            2 => self.fb.emit(InstKind::Bin {
+                op: BinOp::Sub,
+                dst,
+                lhs: src,
+                rhs: lhs_in,
+            }),
+            3 => {
+                let k = self.rng.gen_range(1..64);
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Mul,
+                    dst,
+                    lhs: lhs_in,
+                    imm: 2 * k + 1,
+                });
+            }
+            4 => {
+                let k = self.rng.gen_range(1..30);
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Add,
+                    dst,
+                    lhs: lhs_in,
+                    imm: k,
+                });
+            }
+            5 => {
+                // LCG-style mix keeps branch conditions lively.
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Mul,
+                    dst,
+                    lhs: lhs_in,
+                    imm: 6364136223846793005u64 as i64,
+                });
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Add,
+                    dst,
+                    lhs: dst,
+                    imm: 1442695040888963407u64 as i64,
+                });
+                // Keep magnitudes useful for masking.
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Shr,
+                    dst,
+                    lhs: dst,
+                    imm: 11,
+                });
+            }
+            6 if !self.data_slots.is_empty() => {
+                let s = self.data_slots[self.rng.gen_range(0..self.data_slots.len())];
+                self.fb.emit(InstKind::Store {
+                    src: lhs_in,
+                    slot: s,
+                    kind: spillopt_ir::MemKind::Data,
+                });
+                // Keep the destination defined for the store-back.
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Add,
+                    dst,
+                    lhs: lhs_in,
+                    imm: 0,
+                });
+            }
+            _ if !self.data_slots.is_empty() => {
+                let s = self.data_slots[self.rng.gen_range(0..self.data_slots.len())];
+                let t = self.fb.new_vreg();
+                self.fb.emit(InstKind::Load {
+                    dst: Reg::Virt(t),
+                    slot: s,
+                    kind: spillopt_ir::MemKind::Data,
+                });
+                self.fb.emit(InstKind::Bin {
+                    op: BinOp::Xor,
+                    dst,
+                    lhs: lhs_in,
+                    rhs: Reg::Virt(t),
+                });
+            }
+            _ => self.fb.emit(InstKind::BinImm {
+                op: BinOp::Add,
+                dst,
+                lhs: lhs_in,
+                imm: 1,
+            }),
+        }
+        self.write_acc(i, d);
+    }
+
+    /// Computes a branch condition register: `t = acc[i] & mask`.
+    fn cond_temp(&mut self, mask: i64) -> VReg {
+        let i = self.acc();
+        let a = self.read_acc(i);
+        let t = self.fb.new_vreg();
+        self.fb.emit(InstKind::BinImm {
+            op: BinOp::And,
+            dst: Reg::Virt(t),
+            lhs: Reg::Virt(a),
+            imm: mask,
+        });
+        t
+    }
+
+    /// A call with a deliberately call-crossing local (memory style): the
+    /// local is loaded before the call and folded with the result after,
+    /// so exactly one value spans the call site — a *localized*
+    /// callee-saved busy region.
+    fn emit_mem_call(&mut self, target: Option<usize>, force_crossing: bool) {
+        debug_assert_eq!(self.style, Style::Memory);
+        let i = self.acc();
+        let j = self.acc();
+        let k = self.acc();
+        let a = self.read_acc(i);
+        let b = self.read_acc(j);
+        let p = if self.cold_depth > 0 {
+            self.cold_crossing
+        } else {
+            self.crossing_frac
+        };
+        let crossing = if force_crossing || self.rng.gen_bool(p) {
+            // Load *before* the call: exactly one value spans the call.
+            Some(self.read_acc(k))
+        } else {
+            None
+        };
+        let callee = match target {
+            Some(t) => Callee::Func(FuncId::from_index(self.callee_base + t)),
+            None => Callee::External(self.rng.gen_range(0..8)),
+        };
+        let r = self.fb.call(callee, &[Reg::Virt(a), Reg::Virt(b)]);
+        let d = self.acc_dst(k);
+        let other = match crossing {
+            Some(c) => c,
+            // Load *after* the call: nothing spans it.
+            None => self.read_acc(k),
+        };
+        self.fb.emit(InstKind::Bin {
+            op: BinOp::Xor,
+            dst: Reg::Virt(d),
+            lhs: Reg::Virt(other),
+            rhs: Reg::Virt(r),
+        });
+        self.write_acc(k, d);
+    }
+
+    fn emit_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.emit_stmt(s);
+        }
+    }
+
+    fn emit_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Ops { count } => {
+                for _ in 0..*count {
+                    self.emit_op();
+                }
+            }
+            Stmt::Call { target } => {
+                if self.style == Style::Memory {
+                    self.emit_mem_call(*target, false);
+                    return;
+                }
+                let a = self.acc();
+                let b = self.acc();
+                // Internal callees read *all* their declared parameter
+                // registers; passing fewer arguments would leave the
+                // callee reading stale register contents (well-defined in
+                // the interpreter but different before and after register
+                // allocation — an undefined-input program, not a valid
+                // test subject). Externals ignore their arguments.
+                let (callee, nargs) = match target {
+                    Some(t) => (Callee::Func(FuncId::from_index(self.callee_base + t)), 2),
+                    None => (
+                        Callee::External(self.rng.gen_range(0..8)),
+                        self.rng.gen_range(1..=2),
+                    ),
+                };
+                let args = [Reg::Virt(self.accs[a]), Reg::Virt(self.accs[b])];
+                let r = self.fb.call(callee, &args[..nargs]);
+                let k = self.acc();
+                self.fb.emit(InstKind::Bin {
+                    op: BinOp::Xor,
+                    dst: Reg::Virt(self.accs[k]),
+                    lhs: Reg::Virt(self.accs[k]),
+                    rhs: Reg::Virt(r),
+                });
+            }
+            Stmt::If {
+                hot,
+                then_body,
+                else_body,
+            } => {
+                use crate::shape::Hotness;
+                let (mask, thr) = hot.mask_threshold();
+                let cold_then = matches!(hot, Hotness::Cold | Hotness::VeryCold);
+                let t = self.cond_temp(mask);
+                let k = self.fb.li(thr);
+                let then_blk = self.fb.create_block(None);
+                match else_body {
+                    None => {
+                        let join = self.fb.create_block(None);
+                        // Taken edge (t >= thr) goes straight to the join:
+                        // a critical jump edge once the then side also
+                        // reaches it.
+                        self.fb
+                            .branch(Cond::Ge, Reg::Virt(t), Reg::Virt(k), join, then_blk);
+                        self.open(then_blk);
+                        self.cold_depth += usize::from(cold_then);
+                        self.emit_stmts(then_body);
+                        self.cold_depth -= usize::from(cold_then);
+                        // Fall through into the join.
+                        self.open(join);
+                    }
+                    Some(els) => {
+                        let else_blk = self.fb.create_block(None);
+                        let join = self.fb.create_block(None);
+                        self.fb
+                            .branch(Cond::Ge, Reg::Virt(t), Reg::Virt(k), else_blk, then_blk);
+                        self.open(then_blk);
+                        self.cold_depth += usize::from(cold_then);
+                        self.emit_stmts(then_body);
+                        self.cold_depth -= usize::from(cold_then);
+                        self.fb.jump(join);
+                        self.open(else_blk);
+                        self.emit_stmts(els);
+                        // Falls through into the join.
+                        self.open(join);
+                    }
+                }
+            }
+            Stmt::Loop { trip, body } => {
+                let counter = self.fb.li(0);
+                let limit = self.fb.li(*trip as i64);
+                let header = self.fb.create_block(None);
+                let body_blk = self.fb.create_block(None);
+                let exit = self.fb.create_block(None);
+                // Fall through into the header.
+                self.open(header);
+                self.fb
+                    .branch(Cond::Ge, Reg::Virt(counter), Reg::Virt(limit), exit, body_blk);
+                self.escapes.push(exit);
+                self.open(body_blk);
+                self.emit_stmts(body);
+                self.fb.emit(InstKind::BinImm {
+                    op: BinOp::Add,
+                    dst: Reg::Virt(counter),
+                    lhs: Reg::Virt(counter),
+                    imm: 1,
+                });
+                self.fb.jump(header);
+                self.escapes.pop();
+                self.open(exit);
+            }
+            Stmt::Goto { hot } => {
+                let use_handler =
+                    !self.handlers.is_empty() && self.rng.gen_bool(self.handler_goto_frac);
+                let target = if use_handler {
+                    self.handlers[self.rng.gen_range(0..self.handlers.len())]
+                } else {
+                    self.escapes.last().copied().unwrap_or(self.epilogue)
+                };
+                let (mask, thr) = hot.mask_threshold();
+                let t = self.cond_temp(mask);
+                let k = self.fb.li(thr);
+                let cont = self.fb.create_block(None);
+                // Escape when t < thr: the taken edge jumps forward to a
+                // join-like block (critical jump edge).
+                self.fb
+                    .branch(Cond::Lt, Reg::Virt(t), Reg::Virt(k), target, cont);
+                self.open(cont);
+            }
+        }
+    }
+}
+
+/// Emits one function from a skeleton. `callee_base` is the module index
+/// of the first possible callee (the function may call indices
+/// `callee_base..callee_base + num_callees` as drawn in the skeleton).
+pub fn emit_function(
+    name: &str,
+    target: &Target,
+    cfg: &EmitConfig,
+    body: &[Stmt],
+    callee_base: usize,
+    seed: u64,
+) -> Function {
+    let mut fb = FunctionBuilder::with_target(name, cfg.num_params, target.clone());
+    let entry = fb.create_block(Some("entry"));
+    let epilogue = fb.create_block(Some("epilogue"));
+    let handlers: Vec<BlockId> = (0..cfg.num_handlers)
+        .map(|h| fb.create_block(Some(&format!("handler{h}"))))
+        .collect();
+    fb.switch_to(entry);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_accs = cfg.pressure.max(1);
+
+    // Accumulators: parameters first, then seeded constants; memory-homed
+    // functions immediately spill them to dedicated slots.
+    let mut acc_regs = Vec::new();
+    for i in 0..cfg.num_params.min(num_accs) {
+        acc_regs.push(fb.param(i));
+    }
+    while acc_regs.len() < num_accs {
+        let v = fb.li(rng.gen_range(1..1 << 20));
+        acc_regs.push(v);
+    }
+    let mut acc_slots = Vec::new();
+    if cfg.style == Style::Memory {
+        for &v in &acc_regs {
+            let s = fb.new_slot();
+            fb.emit(InstKind::Store {
+                src: Reg::Virt(v),
+                slot: s,
+                kind: spillopt_ir::MemKind::Data,
+            });
+            acc_slots.push(s);
+        }
+    }
+    let data_slots: Vec<_> = (0..cfg.data_slots).map(|_| fb.new_slot()).collect();
+    for (i, &s) in data_slots.iter().enumerate() {
+        let src = Reg::Virt(acc_regs[i % acc_regs.len()]);
+        fb.emit(InstKind::Store {
+            src,
+            slot: s,
+            kind: spillopt_ir::MemKind::Data,
+        });
+    }
+
+    let mut em = Emitter {
+        fb,
+        layout: vec![entry],
+        style: cfg.style,
+        accs: acc_regs,
+        acc_slots,
+        data_slots,
+        escapes: Vec::new(),
+        handlers: handlers.clone(),
+        handler_goto_frac: cfg.handler_goto_frac,
+        crossing_frac: cfg.crossing_frac,
+        cold_crossing: cfg.cold_crossing,
+        cold_depth: 0,
+        epilogue,
+        rng,
+        callee_base,
+        num_accs,
+    };
+
+    // Warm-arm call segments (memory style): each crossing call sits in
+    // its own nearly-always-taken arm. Because a bypass path exists,
+    // Chow's all-paths hoisting cannot merge the clusters, so
+    // shrink-wrapping pays one save/restore pair per segment (≈ the arm
+    // frequency each) where entry/exit pays once — the paper's Figure 2
+    // situation, and the reason its gzip/bzip2/twolf shrink-wrap ratios
+    // exceed 100%.
+    if cfg.style == Style::Memory {
+        for _ in 0..cfg.hot_segment_calls {
+            em.break_block();
+            // if (hot ~15/16) { crossing call }
+            let t = em.cond_temp(15);
+            let k = em.fb.li(14);
+            let arm = em.fb.create_block(None);
+            let join = em.fb.create_block(None);
+            em.fb
+                .branch(Cond::Ge, Reg::Virt(t), Reg::Virt(k), join, arm);
+            em.open(arm);
+            em.emit_mem_call(None, true);
+            em.open(join);
+            em.emit_op();
+        }
+    }
+
+    em.emit_stmts(body);
+
+    // Clean cold sites: `if (very cold) { crossing call }`.
+    if cfg.style == Style::Memory {
+        for _ in 0..cfg.cold_sites {
+            em.break_block();
+            let t = em.cond_temp(63);
+            let k = em.fb.li(1);
+            let arm = em.fb.create_block(None);
+            let join = em.fb.create_block(None);
+            em.fb
+                .branch(Cond::Ge, Reg::Virt(t), Reg::Virt(k), join, arm);
+            em.open(arm);
+            em.emit_mem_call(None, true);
+            em.open(join);
+            em.emit_op();
+        }
+    }
+
+    // Guarantee every handler at least two predecessors (so its entering
+    // edges are critical jump edges). The goto *checks* sit inside
+    // balanced arms — warm, not hot — so that when Chow's artificial data
+    // flow absorbs the goto source, the resulting boundary costs about as
+    // much as entry/exit rather than a multiple of it (real cold handlers
+    // are reached from middling-frequency code, not from the hottest
+    // straight line).
+    for h in handlers.clone() {
+        for _ in 0..2 {
+            // if (balanced) { if (very cold) goto handler; }
+            let t = em.cond_temp(15);
+            let k = em.fb.li(8);
+            let arm = em.fb.create_block(None);
+            let cont = em.fb.create_block(None);
+            em.fb
+                .branch(Cond::Ge, Reg::Virt(t), Reg::Virt(k), cont, arm);
+            em.open(arm);
+            let t2 = em.cond_temp(127);
+            let k2 = em.fb.li(1);
+            let inner = em.fb.create_block(None);
+            em.fb
+                .branch(Cond::Lt, Reg::Virt(t2), Reg::Virt(k2), h, inner);
+            em.open(inner);
+            // falls through into cont
+            em.open(cont);
+        }
+    }
+    // Mainline falls through past the handlers into the epilogue.
+    {
+        let skip = em.fb.create_block(None);
+        em.fb.jump(skip); // jump over the handler bodies
+        // Handler bodies: a call with a crossing local, then on to the
+        // epilogue.
+        for (i, h) in handlers.iter().enumerate() {
+            em.open(*h);
+            if em.style == Style::Memory {
+                em.emit_mem_call(None, true);
+                em.emit_mem_call(None, true);
+                let _ = i;
+            } else {
+                for _ in 0..3 {
+                    em.emit_op();
+                }
+            }
+            em.fb.jump(em.epilogue);
+        }
+        em.open(skip);
+    }
+
+    // Fold the accumulators into the return value and close the function.
+    // The epilogue block is the goto target for top-level escapes.
+    em.open(epilogue);
+    let first = em.read_acc(0);
+    let mut ret = first;
+    for k in 1..em.num_accs {
+        let v = em.read_acc(k);
+        ret = em.fb.bin(BinOp::Xor, Reg::Virt(ret), Reg::Virt(v));
+    }
+    em.fb.ret(Some(Reg::Virt(ret)));
+
+    let mut func = em.fb.finish();
+    func.set_layout(em.layout);
+    func
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::gen_body;
+    use spillopt_ir::{verify_function, Cfg, EdgeKind, Module, RegDiscipline};
+    use spillopt_profile::Machine;
+
+    fn emit_cfg() -> EmitConfig {
+        EmitConfig {
+            shape: ShapeConfig {
+                budget: 40,
+                loop_prob: 0.35,
+                else_prob: 0.5,
+                cold_if_prob: 0.3,
+                goto_prob: 0.12,
+                call_prob: 0.0,
+                loop_trip: (2, 8),
+                max_depth: 4,
+            },
+            pressure: 6,
+            num_params: 2,
+            data_slots: 3,
+            style: Style::Register,
+            num_handlers: 1,
+            handler_goto_frac: 0.5,
+            hot_segment_calls: 0,
+            crossing_frac: 0.5,
+            cold_crossing: 0.7,
+            cold_sites: 1,
+        }
+    }
+
+    #[test]
+    fn emitted_functions_verify_and_run() {
+        for seed in 0..20u64 {
+            let cfg = emit_cfg();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let body = gen_body(&cfg.shape, &mut rng, 0);
+            let target = Target::default();
+            let f = emit_function("t", &target, &cfg, &body, 0, seed ^ 0xabc);
+            let errs = verify_function(&f, RegDiscipline::Virtual);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+
+            let mut module = Module::new("m");
+            let fid = module.add_func(f);
+            let mut m = Machine::new(&module, &target);
+            m.set_fuel(1 << 24);
+            let r1 = m.call(fid, &[3, 4]).expect("runs");
+            let mut m2 = Machine::new(&module, &target);
+            m2.set_fuel(1 << 24);
+            assert_eq!(m2.call(fid, &[3, 4]).unwrap(), r1, "deterministic");
+            // Different inputs usually differ (not guaranteed; just check
+            // it runs).
+            let _ = m2.call(fid, &[5, 6]).expect("runs with other inputs");
+        }
+    }
+
+    #[test]
+    fn produces_critical_jump_edges() {
+        // With gotos and plain ifs, critical jump edges should appear in
+        // most seeds.
+        let mut found = 0;
+        for seed in 0..10u64 {
+            let cfg = emit_cfg();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let body = gen_body(&cfg.shape, &mut rng, 0);
+            let target = Target::default();
+            let f = emit_function("t", &target, &cfg, &body, 0, seed);
+            let cfgs = Cfg::compute(&f);
+            if cfgs.edge_ids().any(|e| cfgs.needs_jump_block(e)) {
+                found += 1;
+            }
+        }
+        assert!(found >= 5, "critical jump edges too rare: {found}/10");
+    }
+
+    #[test]
+    fn loops_fall_through_and_terminate() {
+        let cfg = emit_cfg();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let body = gen_body(&cfg.shape, &mut rng, 0);
+        let target = Target::default();
+        let f = emit_function("t", &target, &cfg, &body, 0, 3);
+        let g = Cfg::compute(&f);
+        // Some fall-through edges must exist (loop entries, else arms).
+        assert!(g.edges().any(|(_, e)| e.kind == EdgeKind::Fall));
+    }
+}

@@ -1,0 +1,35 @@
+//! # spillopt-benchgen
+//!
+//! Synthetic SPEC CPU2000 integer benchmark stand-ins for the *spillopt*
+//! reproduction of Lupo & Wilken (CGO 2006).
+//!
+//! The paper evaluates on the eleven C programs of SPEC CPU2000 int;
+//! those sources and inputs are not available here, so [`spec`] defines a
+//! seeded generator per benchmark tuned to the structural features the
+//! paper says drive each program's result (goto density, procedure size,
+//! register pressure, loop structure, branch coldness). [`shape`] draws
+//! statement skeletons, [`emit`] lowers them to executable IR with the
+//! right fall-through/jump edge texture.
+//!
+//! # Examples
+//!
+//! ```
+//! use spillopt_benchgen::{benchmark_by_name, build_bench};
+//! use spillopt_ir::Target;
+//!
+//! let spec = benchmark_by_name("mcf").unwrap();
+//! let bench = build_bench(&spec, &Target::default());
+//! assert_eq!(bench.module.num_funcs(), spec.num_funcs);
+//! assert!(!bench.train_runs.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod emit;
+pub mod shape;
+pub mod spec;
+
+pub use emit::{emit_function, EmitConfig, Style};
+pub use shape::{gen_body, Hotness, ShapeConfig, Stmt};
+pub use spec::{all_benchmarks, benchmark_by_name, build_bench, BenchSpec, GeneratedBench};

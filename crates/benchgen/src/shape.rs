@@ -1,0 +1,284 @@
+//! Structured program skeletons (ASTs) for the synthetic benchmarks.
+//!
+//! The generator first draws a statement tree — straight-line arithmetic,
+//! calls, `if`/`if-else` with controlled branch probabilities, counted
+//! loops, and forward "goto" escapes — and a separate emitter lowers it to
+//! IR. The tree form makes every generated CFG reducible and terminating
+//! by construction while still producing the features the paper's
+//! evaluation turns on: cold regions behind critical jump edges
+//! (gcc/crafty's gotos), hot disjoint busy regions (gzip/bzip2/twolf), and
+//! call-crossing values that force callee-saved register use.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How often a conditional's *then* side executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Hotness {
+    /// ~15/16 of executions.
+    Hot,
+    /// ~1/2 of executions.
+    Balanced,
+    /// ~1/16 of executions.
+    Cold,
+    /// ~1/64 of executions.
+    VeryCold,
+}
+
+impl Hotness {
+    /// The `(mask, threshold)` pair realizing the probability: the branch
+    /// computes `t = acc & mask` and takes the *then* side when
+    /// `t < threshold`.
+    pub fn mask_threshold(self) -> (i64, i64) {
+        match self {
+            Hotness::Hot => (15, 14),
+            Hotness::Balanced => (15, 8),
+            Hotness::Cold => (15, 1),
+            Hotness::VeryCold => (63, 1),
+        }
+    }
+}
+
+/// One statement of the skeleton.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `count` arithmetic/memory operations over the accumulators.
+    Ops {
+        /// Number of operations.
+        count: usize,
+    },
+    /// A call; `target` is a lower-indexed module function, or `None` for
+    /// an opaque external call.
+    Call {
+        /// Callee (module function index), or external.
+        target: Option<usize>,
+    },
+    /// A conditional.
+    If {
+        /// Probability class of the *then* side.
+        hot: Hotness,
+        /// Then-side statements.
+        then_body: Vec<Stmt>,
+        /// Else-side statements (`None` = plain `if`, which lowers to a
+        /// critical jump edge into the join when taken).
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// A counted loop.
+    Loop {
+        /// Trip count.
+        trip: u64,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// A conditional forward escape (a `goto`) to the nearest enclosing
+    /// loop exit (or, at top level, the function epilogue); lowers to a
+    /// critical jump edge.
+    Goto {
+        /// Probability class of actually escaping.
+        hot: Hotness,
+    },
+}
+
+/// Structure-shape parameters for one function.
+#[derive(Clone, Debug)]
+pub struct ShapeConfig {
+    /// Statement budget (roughly proportional to block count).
+    pub budget: usize,
+    /// Probability that a compound statement is a loop.
+    pub loop_prob: f64,
+    /// Probability that an `if` has an else side.
+    pub else_prob: f64,
+    /// Probability that an `if` is cold (vs. balanced/hot).
+    pub cold_if_prob: f64,
+    /// Probability of a goto escape per statement slot.
+    pub goto_prob: f64,
+    /// Probability of a call per statement slot.
+    pub call_prob: f64,
+    /// Loop trip count range (inclusive).
+    pub loop_trip: (u64, u64),
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+}
+
+/// Draws a statement list consuming the configured budget.
+pub fn gen_body(cfg: &ShapeConfig, rng: &mut SmallRng, num_funcs_below: usize) -> Vec<Stmt> {
+    let mut budget = cfg.budget;
+    gen_stmts(cfg, rng, num_funcs_below, &mut budget, 0, true)
+}
+
+fn gen_stmts(
+    cfg: &ShapeConfig,
+    rng: &mut SmallRng,
+    callees: usize,
+    budget: &mut usize,
+    depth: usize,
+    allow_goto: bool,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    // Every body starts with a little straight-line work.
+    out.push(Stmt::Ops {
+        count: rng.gen_range(1..4),
+    });
+    while *budget > 0 {
+        *budget = budget.saturating_sub(1);
+        let r: f64 = rng.gen();
+        if r < cfg.call_prob && callees > 0 {
+            let internal = rng.gen_bool(0.6);
+            out.push(Stmt::Call {
+                target: if internal {
+                    Some(rng.gen_range(0..callees))
+                } else {
+                    None
+                },
+            });
+        } else if r < cfg.call_prob + cfg.goto_prob && allow_goto {
+            out.push(Stmt::Goto {
+                hot: if rng.gen_bool(0.5) {
+                    Hotness::Cold
+                } else {
+                    Hotness::VeryCold
+                },
+            });
+        } else if r < cfg.call_prob + cfg.goto_prob + 0.35 && depth < cfg.max_depth && *budget > 2 {
+            // Compound statement.
+            if rng.gen_bool(cfg.loop_prob) {
+                let mut trip = rng.gen_range(cfg.loop_trip.0..=cfg.loop_trip.1);
+                // Keep nested trip products bounded...
+                trip = (trip >> depth).max(2);
+                let mut inner = (*budget / 2).max(1);
+                *budget = budget.saturating_sub(inner);
+                let body = gen_stmts(cfg, rng, callees, &mut inner, depth + 1, true);
+                // ...and prevent multiplicative blow-up through call
+                // chains: a loop that calls other functions iterates
+                // only a few times.
+                if contains_call(&body) {
+                    trip = trip.min(3);
+                }
+                out.push(Stmt::Loop { trip, body });
+            } else {
+                let hot = if rng.gen_bool(cfg.cold_if_prob) {
+                    if rng.gen_bool(0.5) {
+                        Hotness::Cold
+                    } else {
+                        Hotness::VeryCold
+                    }
+                } else if rng.gen_bool(0.5) {
+                    Hotness::Balanced
+                } else {
+                    Hotness::Hot
+                };
+                let mut inner = (*budget / 2).max(1);
+                *budget = budget.saturating_sub(inner);
+                let then_body = gen_stmts(cfg, rng, callees, &mut inner, depth + 1, allow_goto);
+                let else_body = if rng.gen_bool(cfg.else_prob) && *budget > 1 {
+                    let mut einner = (*budget / 2).max(1);
+                    *budget = budget.saturating_sub(einner);
+                    Some(gen_stmts(cfg, rng, callees, &mut einner, depth + 1, allow_goto))
+                } else {
+                    None
+                };
+                out.push(Stmt::If {
+                    hot,
+                    then_body,
+                    else_body,
+                });
+            }
+        } else {
+            out.push(Stmt::Ops {
+                count: rng.gen_range(1..5),
+            });
+        }
+        // Occasionally stop early for size variety.
+        if rng.gen_bool(0.08) {
+            break;
+        }
+    }
+    out
+}
+
+/// Returns `true` if any statement (recursively) is a call.
+pub fn contains_call(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Call { .. } => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            contains_call(then_body)
+                || else_body.as_ref().is_some_and(|e| contains_call(e))
+        }
+        Stmt::Loop { body, .. } => contains_call(body),
+        _ => false,
+    })
+}
+
+/// Counts statements (for tests).
+pub fn stmt_count(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                1 + stmt_count(then_body)
+                    + else_body.as_ref().map_or(0, |e| stmt_count(e))
+            }
+            Stmt::Loop { body, .. } => 1 + stmt_count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn config() -> ShapeConfig {
+        ShapeConfig {
+            budget: 30,
+            loop_prob: 0.4,
+            else_prob: 0.5,
+            cold_if_prob: 0.3,
+            goto_prob: 0.1,
+            call_prob: 0.15,
+            loop_trip: (2, 10),
+            max_depth: 4,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_body(&config(), &mut SmallRng::seed_from_u64(7), 3);
+        let b = gen_body(&config(), &mut SmallRng::seed_from_u64(7), 3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = gen_body(&config(), &mut SmallRng::seed_from_u64(8), 3);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn respects_budget_roughly() {
+        let body = gen_body(&config(), &mut SmallRng::seed_from_u64(1), 3);
+        let n = stmt_count(&body);
+        assert!(n >= 2, "too small: {n}");
+        assert!(n <= 200, "too large: {n}");
+    }
+
+    #[test]
+    fn hotness_probabilities_make_sense() {
+        for h in [
+            Hotness::Hot,
+            Hotness::Balanced,
+            Hotness::Cold,
+            Hotness::VeryCold,
+        ] {
+            let (mask, thr) = h.mask_threshold();
+            assert!(thr <= mask + 1);
+            assert!(thr >= 1);
+            assert!(mask > 0 && (mask + 1) & mask == 0, "mask+1 must be a power of 2");
+        }
+    }
+}

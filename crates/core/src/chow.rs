@@ -1,0 +1,153 @@
+//! Chow's original shrink-wrapping technique (PLDI 1988), as the paper
+//! describes and compares against.
+//!
+//! Chow's data-flow formulation, expressed in the saved-region framework
+//! of [`crate::dataflow`]: the busy set is grown by (1) artificial data
+//! flow over loop bodies, (2) the all-paths anticipation/availability
+//! hoisting his save/restore equations perform, and (3) artificial data
+//! flow across any boundary edge that is a critical jump edge (Chow
+//! "specifically prohibits spill code instructions from being inserted
+//! onto jump edges"), iterated to a fixpoint. Saves are then placed on the
+//! region-entry edges and restores on the region-exit edges — none of
+//! which, by construction, require jump blocks.
+
+use crate::dataflow::{chow_grow, region_boundary};
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
+use spillopt_ir::Cfg;
+
+/// Computes Chow's shrink-wrapping placement for all used callee-saved
+/// registers.
+pub fn chow_shrink_wrap(cfg: &Cfg, usage: &CalleeSavedUsage) -> Placement {
+    let cyclic = sccs(cfg);
+    chow_shrink_wrap_with(cfg, &cyclic, usage)
+}
+
+/// As [`chow_shrink_wrap`], with precomputed cyclic regions (for callers
+/// that already ran SCC detection).
+pub fn chow_shrink_wrap_with(
+    cfg: &Cfg,
+    cyclic: &[CyclicRegion],
+    usage: &CalleeSavedUsage,
+) -> Placement {
+    let mut points = Vec::new();
+    for (reg, busy) in usage.regs() {
+        let w = chow_grow(cfg, cyclic, busy);
+        let b = region_boundary(cfg, &w);
+        if b.save_at_entry {
+            points.push(SpillPoint {
+                reg,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(cfg.entry()),
+            });
+        }
+        for e in b.save_edges {
+            debug_assert!(
+                !cfg.needs_jump_block(e),
+                "Chow placement reached a critical jump edge"
+            );
+            points.push(SpillPoint {
+                reg,
+                kind: SpillKind::Save,
+                loc: SpillLoc::OnEdge(e),
+            });
+        }
+        for e in b.restore_edges {
+            debug_assert!(
+                !cfg.needs_jump_block(e),
+                "Chow placement reached a critical jump edge"
+            );
+            points.push(SpillPoint {
+                reg,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::OnEdge(e),
+            });
+        }
+        for x in b.restore_at_exits {
+            points.push(SpillPoint {
+                reg,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(x),
+            });
+        }
+    }
+    Placement::from_points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Cond, FunctionBuilder, PReg, Reg};
+
+    #[test]
+    fn keeps_save_restore_out_of_loops() {
+        // entry -> header; header -> {body(busy), exit}; body -> header.
+        let mut fb = FunctionBuilder::new("l", 0);
+        let entry = fb.create_block(None);
+        let header = fb.create_block(None);
+        let body = fb.create_block(None);
+        let exit = fb.create_block(None);
+        fb.switch_to(entry);
+        let x = fb.li(0);
+        fb.jump(header);
+        fb.switch_to(header);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), exit, body);
+        fb.switch_to(body);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), body, 4);
+        let p = chow_shrink_wrap(&cfg, &usage);
+        // No point may sit inside the loop {header, body}.
+        for pt in p.points() {
+            let blocks: Vec<usize> = match pt.loc {
+                SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => vec![b.index()],
+                SpillLoc::OnEdge(e) => {
+                    let edge = cfg.edge(e);
+                    // An edge location is "inside" if both endpoints are.
+                    vec![edge.from.index(), edge.to.index()]
+                }
+            };
+            let inside = blocks
+                .iter()
+                .all(|&b| b == header.index() || b == body.index());
+            assert!(!inside, "spill point {pt} is inside the loop");
+        }
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn single_cold_block_stays_tight() {
+        // Diamond with one busy arm: Chow == modified here.
+        let mut fb = FunctionBuilder::new("d", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 4);
+        let p = chow_shrink_wrap(&cfg, &usage);
+        assert_eq!(p.static_count(), 2);
+        let ab = cfg.edge_between(a, b).unwrap();
+        let bd = cfg.edge_between(b, d).unwrap();
+        assert!(p.points().iter().any(|pt| pt.loc == SpillLoc::OnEdge(ab)
+            && pt.kind == SpillKind::Save));
+        assert!(p.points().iter().any(|pt| pt.loc == SpillLoc::OnEdge(bd)
+            && pt.kind == SpillKind::Restore));
+    }
+}

@@ -1,0 +1,196 @@
+//! Exact cost arithmetic and the paper's two cost models.
+//!
+//! Costs are execution counts scaled by `COST_SCALE` = lcm(1..=13) so that
+//! the jump-edge cost model's rule "the cost of a jump instruction is
+//! divided among all the callee-saved registers that have spill locations
+//! on the corresponding jump edge" (the target has 13 callee-saved
+//! registers, so at most 13 sharers) is computed *exactly*, and the
+//! algorithm's `boundary ≤ contained` tie rule is decided exactly — the
+//! paper's Figure 4(b) result hinges on a tie at cost 200.
+
+use crate::location::SpillLoc;
+use spillopt_ir::Cfg;
+use spillopt_profile::EdgeProfile;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Scale factor for exact fractional costs: lcm(1..=13) = 360360.
+pub const COST_SCALE: u64 = 360_360;
+
+/// An exact, scaled dynamic-execution-count cost.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// A whole execution count.
+    pub fn from_count(count: u64) -> Self {
+        Cost(count.saturating_mul(COST_SCALE))
+    }
+
+    /// An exact fraction `count / divisor` of an execution count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is 0 or does not divide `COST_SCALE` (every
+    /// divisor up to 13 — and many beyond — divides it).
+    pub fn from_fraction(count: u64, divisor: u64) -> Self {
+        assert!(divisor > 0, "zero divisor");
+        assert_eq!(
+            COST_SCALE % divisor,
+            0,
+            "divisor {divisor} does not divide COST_SCALE"
+        );
+        Cost(count.saturating_mul(COST_SCALE / divisor))
+    }
+
+    /// The raw scaled value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cost as a (possibly fractional) execution count.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / COST_SCALE as f64
+    }
+
+    /// The cost as a whole execution count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is fractional.
+    pub fn expect_count(self) -> u64 {
+        assert_eq!(self.0 % COST_SCALE, 0, "fractional cost {}", self.as_f64());
+        self.0 / COST_SCALE
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % COST_SCALE == 0 {
+            write!(f, "Cost({})", self.0 / COST_SCALE)
+        } else {
+            write!(f, "Cost({:.3})", self.as_f64())
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % COST_SCALE == 0 {
+            write!(f, "{}", self.0 / COST_SCALE)
+        } else {
+            write!(f, "{:.3}", self.as_f64())
+        }
+    }
+}
+
+/// The paper's two cost models.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CostModel {
+    /// Each inserted save/restore costs the execution count of its
+    /// location. Solves the placement problem optimally, but ignores the
+    /// jump instructions needed to realize code on jump edges.
+    ExecutionCount,
+    /// Like `ExecutionCount`, plus the cost of the jump instruction
+    /// required when a location sits on a *critical jump edge* (realized
+    /// as a jump block). For initial (shrink-wrapping) sets the jump cost
+    /// is split among all registers with locations on the edge; for sets
+    /// created at region boundaries each register bears the full cost.
+    JumpEdge,
+}
+
+/// The base (model-independent) cost of a location: the execution count of
+/// its block or edge.
+pub fn location_base_cost(profile: &EdgeProfile, loc: SpillLoc) -> Cost {
+    match loc {
+        SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => {
+            Cost::from_count(profile.block_count(b))
+        }
+        SpillLoc::OnEdge(e) => Cost::from_count(profile.edge_count(e)),
+    }
+}
+
+/// The cost of one save/restore instruction at `loc` under `model`.
+///
+/// `jump_share` is the number of callee-saved registers sharing a jump
+/// block on this edge (1 = full jump cost). It only matters for locations
+/// on critical jump edges under [`CostModel::JumpEdge`].
+pub fn location_cost(
+    model: CostModel,
+    cfg: &Cfg,
+    profile: &EdgeProfile,
+    loc: SpillLoc,
+    jump_share: u64,
+) -> Cost {
+    let base = location_base_cost(profile, loc);
+    match (model, loc) {
+        (CostModel::JumpEdge, SpillLoc::OnEdge(e)) if cfg.needs_jump_block(e) => {
+            base + Cost::from_fraction(profile.edge_count(e), jump_share)
+        }
+        _ => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fractions() {
+        for d in 1..=13u64 {
+            let c = Cost::from_fraction(100, d);
+            assert_eq!(c.raw(), 100 * COST_SCALE / d);
+        }
+        let third = Cost::from_fraction(1, 3);
+        let sum = third + third + third;
+        assert_eq!(sum, Cost::from_count(1));
+    }
+
+    #[test]
+    fn ordering_and_ties() {
+        assert!(Cost::from_count(199) < Cost::from_count(200));
+        assert!(Cost::from_count(200) <= Cost::from_count(200));
+        let x = Cost::from_count(140) + Cost::from_count(60);
+        assert_eq!(x, Cost::from_count(200));
+    }
+
+    #[test]
+    fn expect_count_rejects_fractions() {
+        assert_eq!(Cost::from_count(7).expect_count(), 7);
+        let f = Cost::from_fraction(1, 2);
+        let r = std::panic::catch_unwind(|| f.expect_count());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Cost = [1u64, 2, 3].into_iter().map(Cost::from_count).sum();
+        assert_eq!(total, Cost::from_count(6));
+        assert_eq!(format!("{total}"), "6");
+        assert_eq!(format!("{}", Cost::from_fraction(1, 2)), "0.500");
+    }
+}

@@ -1,0 +1,355 @@
+//! The save/restore region dataflow shared by Chow's shrink-wrapping and
+//! the paper's modified variant.
+//!
+//! Both techniques reduce to choosing, per callee-saved register, a
+//! *saved region* `W ⊇ busy blocks`, then placing a save on every edge
+//! entering `W` (plus the procedure entry if the entry block is in `W`)
+//! and a restore on every edge leaving `W` (plus before every return in
+//! `W`). Such a placement is valid for **any** `W ⊇ busy`: along every
+//! execution path, crossings of the region boundary alternate
+//! save/restore, every busy block is reached in saved state, and the
+//! original value is always restored before leaving.
+//!
+//! * The **modified** technique (the paper's initial save/restore sets)
+//!   uses `W = busy` exactly.
+//! * **Chow's original** technique grows `W` to a fixpoint of three rules:
+//!   cyclic regions (his artificial data flow over loop bodies),
+//!   all-paths anticipation/availability closure (his save hoisting), and
+//!   absorption across critical jump edges (his prohibition of spill code
+//!   on jump edges). See [`chow_grow`].
+
+use spillopt_ir::{BlockId, Cfg, DenseBitSet, EdgeId};
+
+/// The save/restore boundary of a saved region `W`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegionBoundaryPlacement {
+    /// Save at the top of the entry block (entry block ∈ W).
+    pub save_at_entry: bool,
+    /// Save on each of these edges (from outside W into W).
+    pub save_edges: Vec<EdgeId>,
+    /// Restore on each of these edges (from W to outside W).
+    pub restore_edges: Vec<EdgeId>,
+    /// Restore at the bottom of each of these return blocks (∈ W).
+    pub restore_at_exits: Vec<BlockId>,
+}
+
+/// Computes the boundary placement of saved region `w`.
+pub fn region_boundary(cfg: &Cfg, w: &DenseBitSet) -> RegionBoundaryPlacement {
+    let mut out = RegionBoundaryPlacement {
+        save_at_entry: w.contains(cfg.entry().index()),
+        ..Default::default()
+    };
+    for (id, e) in cfg.edges() {
+        let from_in = w.contains(e.from.index());
+        let to_in = w.contains(e.to.index());
+        if !from_in && to_in {
+            out.save_edges.push(id);
+        } else if from_in && !to_in {
+            out.restore_edges.push(id);
+        }
+    }
+    for &b in cfg.exit_blocks() {
+        if w.contains(b.index()) {
+            out.restore_at_exits.push(b);
+        }
+    }
+    out
+}
+
+/// All-paths anticipation: blocks from which *every* path to an exit
+/// (immediately) stays headed into `w`. `antic(b)` is true iff `b ∈ w` or
+/// all of `b`'s successors are anticipated (and `b` has successors).
+pub fn antic_closure(cfg: &Cfg, w: &DenseBitSet) -> DenseBitSet {
+    let n = cfg.num_blocks();
+    let mut antic = w.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            if antic.contains(bi) {
+                continue;
+            }
+            let b = BlockId::from_index(bi);
+            let mut succs = cfg.succ_blocks(b).peekable();
+            if succs.peek().is_none() {
+                continue;
+            }
+            if succs.all(|s| antic.contains(s.index())) {
+                antic.insert(bi);
+                changed = true;
+            }
+        }
+    }
+    antic
+}
+
+/// All-paths availability: blocks that every path from the entry reaches
+/// only after entering `w`. `avail(b)` is true iff `b ∈ w` or all of `b`'s
+/// predecessors are available (and `b` is not the entry).
+pub fn avail_closure(cfg: &Cfg, w: &DenseBitSet) -> DenseBitSet {
+    let n = cfg.num_blocks();
+    let mut avail = w.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..n {
+            if avail.contains(bi) {
+                continue;
+            }
+            let b = BlockId::from_index(bi);
+            if b == cfg.entry() {
+                continue;
+            }
+            let mut preds = cfg.pred_blocks(b).peekable();
+            if preds.peek().is_none() {
+                continue;
+            }
+            if preds.all(|p| avail.contains(p.index())) {
+                avail.insert(bi);
+                changed = true;
+            }
+        }
+    }
+    avail
+}
+
+/// Grows a busy set into Chow's saved region: the fixpoint of
+///
+/// 1. **loop rule** — absorb any cyclic region (SCC) intersecting `W`
+///    (Chow's artificial data flow over loop bodies, which keeps saves and
+///    restores out of loops);
+/// 2. **hoisting rule** — absorb the anticipation and availability
+///    closures (Chow's dataflow places the save where the register first
+///    becomes anticipated along all paths, and the restore where it stops
+///    being available);
+/// 3. **jump-edge rule** — if a boundary edge is a critical *jump* edge
+///    (spill code there would need a jump block, which Chow prohibits),
+///    absorb its outside endpoint (Chow's artificial data flow along the
+///    jump edge) and reiterate.
+pub fn chow_grow(
+    cfg: &Cfg,
+    cyclic_regions: &[spillopt_ir::analysis::loops::CyclicRegion],
+    busy: &DenseBitSet,
+) -> DenseBitSet {
+    let mut w = busy.clone();
+    loop {
+        let mut changed = false;
+
+        // 1. Loop rule.
+        for region in cyclic_regions {
+            if !w.is_disjoint(&region.blocks) && !region.blocks.is_subset(&w) {
+                w.union_with(&region.blocks);
+                changed = true;
+            }
+        }
+
+        // 2. Hoisting closures.
+        let antic = antic_closure(cfg, &w);
+        if antic != w {
+            w = antic;
+            changed = true;
+        }
+        let avail = avail_closure(cfg, &w);
+        if avail != w {
+            w = avail;
+            changed = true;
+        }
+
+        // 3. Jump-edge rule.
+        let boundary = region_boundary(cfg, &w);
+        for &e in boundary.save_edges.iter().chain(&boundary.restore_edges) {
+            if cfg.needs_jump_block(e) {
+                let edge = cfg.edge(e);
+                let outside = if w.contains(edge.from.index()) {
+                    edge.to
+                } else {
+                    edge.from
+                };
+                if w.insert(outside.index()) {
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            return w;
+        }
+    }
+}
+
+/// Connected components of a busy set under (undirected) CFG adjacency.
+/// Each component is an independent save/restore *web*: the initial
+/// save/restore sets of the paper.
+pub fn busy_clusters(cfg: &Cfg, busy: &DenseBitSet) -> Vec<DenseBitSet> {
+    let n = cfg.num_blocks();
+    let mut seen = DenseBitSet::new(n);
+    let mut out = Vec::new();
+    for start in busy.iter() {
+        if seen.contains(start) {
+            continue;
+        }
+        let mut comp = DenseBitSet::new(n);
+        let mut stack = vec![BlockId::from_index(start)];
+        comp.insert(start);
+        seen.insert(start);
+        while let Some(b) = stack.pop() {
+            for nb in cfg.succ_blocks(b).chain(cfg.pred_blocks(b)) {
+                if busy.contains(nb.index()) && !seen.contains(nb.index()) {
+                    seen.insert(nb.index());
+                    comp.insert(nb.index());
+                    stack.push(nb);
+                }
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::analysis::loops::sccs;
+    use spillopt_ir::{Cond, FunctionBuilder, Function, Reg};
+
+    /// A -> {B busy, C} -> D(ret). Busy = {B}.
+    fn diamond_busy() -> (Function, [BlockId; 4]) {
+        let mut fb = FunctionBuilder::new("d", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        (fb.finish(), [a, b, c, d])
+    }
+
+    #[test]
+    fn boundary_of_single_block_region() {
+        let (f, [a, b, _c, d]) = diamond_busy();
+        let cfg = Cfg::compute(&f);
+        let mut w = DenseBitSet::new(4);
+        w.insert(b.index());
+        let rb = region_boundary(&cfg, &w);
+        assert!(!rb.save_at_entry);
+        assert_eq!(rb.save_edges, vec![cfg.edge_between(a, b).unwrap()]);
+        assert_eq!(rb.restore_edges, vec![cfg.edge_between(b, d).unwrap()]);
+        assert!(rb.restore_at_exits.is_empty());
+    }
+
+    #[test]
+    fn whole_procedure_region_uses_entry_and_exits() {
+        let (f, [a, _b, _c, d]) = diamond_busy();
+        let cfg = Cfg::compute(&f);
+        let mut w = DenseBitSet::new(4);
+        for i in 0..4 {
+            w.insert(i);
+        }
+        let rb = region_boundary(&cfg, &w);
+        assert!(rb.save_at_entry);
+        assert!(rb.save_edges.is_empty());
+        assert!(rb.restore_edges.is_empty());
+        assert_eq!(rb.restore_at_exits, vec![d]);
+        let _ = a;
+    }
+
+    #[test]
+    fn antic_closure_stops_at_partial_paths() {
+        let (f, [a, b, _c, _d]) = diamond_busy();
+        let cfg = Cfg::compute(&f);
+        let mut w = DenseBitSet::new(4);
+        w.insert(b.index());
+        let antic = antic_closure(&cfg, &w);
+        // A has a successor (C) that is not anticipated: A stays out.
+        assert!(!antic.contains(a.index()));
+        assert_eq!(antic.count(), 1);
+    }
+
+    #[test]
+    fn antic_closure_absorbs_straightline_gap() {
+        // A -> B(busy) -> C -> D(busy) -> E(ret): C and gap blocks absorb.
+        let mut fb = FunctionBuilder::new("s", 0);
+        let blocks: Vec<BlockId> = (0..5).map(|_| fb.create_block(None)).collect();
+        for i in 0..4 {
+            fb.switch_to(blocks[i]);
+            fb.jump(blocks[i + 1]);
+        }
+        fb.switch_to(blocks[4]);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut w = DenseBitSet::new(5);
+        w.insert(1);
+        w.insert(3);
+        let antic = antic_closure(&cfg, &w);
+        assert!(antic.contains(2), "gap block absorbed");
+        assert!(antic.contains(0), "prefix absorbed (all paths lead to busy)");
+        assert!(!antic.contains(4));
+        let avail = avail_closure(&cfg, &w);
+        assert!(avail.contains(2));
+        assert!(avail.contains(4), "suffix absorbed");
+        assert!(!avail.contains(0));
+    }
+
+    #[test]
+    fn chow_grow_absorbs_loops() {
+        // entry -> header <-> body(busy); header -> exit(ret).
+        let mut fb = FunctionBuilder::new("l", 0);
+        let entry = fb.create_block(None);
+        let header = fb.create_block(None);
+        let body = fb.create_block(None);
+        let exit = fb.create_block(None);
+        fb.switch_to(entry);
+        let x = fb.li(0);
+        fb.jump(header);
+        fb.switch_to(header);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), exit, body);
+        fb.switch_to(body);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let cyclic = sccs(&cfg);
+        let mut busy = DenseBitSet::new(4);
+        busy.insert(body.index());
+        let w = chow_grow(&cfg, &cyclic, &busy);
+        assert!(w.contains(header.index()), "loop body absorbed");
+        // The hoisting closure may extend W to the entry (all paths lead
+        // into the loop) and to the exit; what matters is that no
+        // boundary location lands inside the loop.
+        let b = region_boundary(&cfg, &w);
+        for &e in b.save_edges.iter().chain(&b.restore_edges) {
+            let edge = cfg.edge(e);
+            let inside = [header, body].contains(&edge.from) && [header, body].contains(&edge.to);
+            assert!(!inside, "boundary edge inside the loop");
+        }
+        // Straight-line prefix means the save hoists to procedure entry.
+        assert!(b.save_at_entry);
+        assert_eq!(b.restore_at_exits, vec![exit]);
+    }
+
+    #[test]
+    fn clusters_are_connected_components() {
+        let (f, [_a, b, c, _d]) = diamond_busy();
+        let cfg = Cfg::compute(&f);
+        let mut busy = DenseBitSet::new(4);
+        busy.insert(b.index());
+        busy.insert(c.index());
+        let clusters = busy_clusters(&cfg, &busy);
+        // B and C are not adjacent: two clusters.
+        assert_eq!(clusters.len(), 2);
+        let mut busy2 = DenseBitSet::new(4);
+        busy2.insert(0);
+        busy2.insert(b.index());
+        let clusters2 = busy_clusters(&cfg, &busy2);
+        assert_eq!(clusters2.len(), 1, "A and B are adjacent");
+    }
+}

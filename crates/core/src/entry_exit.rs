@@ -1,0 +1,79 @@
+//! The baseline placement: save at procedure entry, restore at every exit.
+
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::Cfg;
+
+/// Places, for every used callee-saved register, one save at the top of
+/// the entry block and one restore at the bottom of every return block.
+///
+/// This is always valid, has the lowest static overhead, and is the
+/// baseline the paper's Table 1 normalizes against.
+pub fn entry_exit_placement(cfg: &Cfg, usage: &CalleeSavedUsage) -> Placement {
+    let mut points = Vec::new();
+    for (reg, _) in usage.regs() {
+        points.push(SpillPoint {
+            reg,
+            kind: SpillKind::Save,
+            loc: SpillLoc::BlockTop(cfg.entry()),
+        });
+        for &x in cfg.exit_blocks() {
+            points.push(SpillPoint {
+                reg,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(x),
+            });
+        }
+    }
+    Placement::from_points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{BlockId, Cond, FunctionBuilder, PReg, Reg};
+
+    #[test]
+    fn one_save_per_reg_one_restore_per_exit() {
+        // Two exits.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.ret(None);
+        fb.switch_to(c);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 3);
+        usage.set_busy(PReg::new(12), c, 3);
+        let p = entry_exit_placement(&cfg, &usage);
+        // 2 regs × (1 save + 2 restores).
+        assert_eq!(p.static_count(), 6);
+        for (reg, _) in usage.regs() {
+            let saves: Vec<_> = p
+                .points_for(reg)
+                .filter(|pt| pt.kind == SpillKind::Save)
+                .collect();
+            assert_eq!(saves.len(), 1);
+            assert_eq!(saves[0].loc, SpillLoc::BlockTop(BlockId::from_index(0)));
+        }
+    }
+
+    #[test]
+    fn empty_usage_places_nothing() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        fb.switch_to(a);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let p = entry_exit_placement(&cfg, &CalleeSavedUsage::new());
+        assert!(p.is_empty());
+    }
+}

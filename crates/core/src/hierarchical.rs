@@ -1,0 +1,394 @@
+//! The hierarchical spill code placement algorithm — the paper's core
+//! contribution (Section 4).
+//!
+//! ```text
+//! HIERARCHICAL-SPILL-CODE-PLACEMENT
+//! 1 compute PST
+//! 2 compute shrink-wrapping save/restore locations   (modified variant)
+//! 3 compute initial save/restore sets                (webs per cluster)
+//! 4 traverse PST regions in topological order        (children first)
+//! 5   for each callee-saved register allocated
+//! 6     if cost(region boundaries) ≤ cost(contained sets)
+//! 7       remove contained save/restore sets from region
+//! 8       create new save/restore set at region boundaries
+//! 9       propagate changes upward through hierarchy
+//! ```
+//!
+//! The upward propagation of line 9 is realized by folding: each region's
+//! surviving sets are handed to its parent, so by the time a region is
+//! processed all descendants' decisions are final — exactly the paper's
+//! topological-order guarantee. The final comparison at the PST root pits
+//! the surviving sets against the procedure entry/exit placement.
+
+use crate::cost::{Cost, CostModel};
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::modified::modified_shrink_wrap;
+use crate::sets::{EdgeShares, SaveRestoreSet};
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::{Cfg, DenseBitSet, PReg};
+use spillopt_profile::EdgeProfile;
+use spillopt_pst::{Pst, RegionBoundary, RegionId};
+use std::collections::HashMap;
+
+/// One decision made while traversing the PST (for tests, examples, and
+/// the harness's walkthrough output).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// The region being analyzed.
+    pub region: RegionId,
+    /// The callee-saved register being analyzed.
+    pub reg: PReg,
+    /// Number of save/restore sets contained in the region.
+    pub num_contained: usize,
+    /// Total cost of the contained sets under the active model.
+    pub contained_cost: Cost,
+    /// Cost of save/restore at the region boundaries under the active
+    /// model.
+    pub boundary_cost: Cost,
+    /// Whether the contained sets were replaced by a boundary set.
+    pub replaced: bool,
+}
+
+/// The result of the hierarchical placement.
+#[derive(Clone, Debug)]
+pub struct HierarchicalResult {
+    /// The final placement (union of the surviving sets).
+    pub placement: Placement,
+    /// The surviving save/restore sets.
+    pub final_sets: Vec<SaveRestoreSet>,
+    /// Every region/register decision, in traversal order.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Runs the hierarchical spill code placement algorithm.
+///
+/// `model` selects between the paper's two cost models; the execution
+/// count model is optimal in-model, the jump edge model additionally
+/// prices the jump blocks needed on critical jump edges.
+pub fn hierarchical_placement(
+    cfg: &Cfg,
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    model: CostModel,
+) -> HierarchicalResult {
+    // Lines 2-3: initial sets from the modified shrink-wrapping, with the
+    // jump-cost sharing the paper prescribes for them.
+    let initial = modified_shrink_wrap(cfg, usage);
+    let shares = EdgeShares::from_sets(&initial.sets);
+
+    // Assign each set to its home region: the innermost region containing
+    // the whole cluster and every location.
+    let mut home_sets: HashMap<RegionId, Vec<SaveRestoreSet>> = HashMap::new();
+    for set in initial.sets {
+        let home = home_region(cfg, pst, &set);
+        home_sets.entry(home).or_default().push(set);
+    }
+
+    let mut trace = Vec::new();
+    // Folded sets flowing up the tree, per region (keyed by region).
+    let mut folded: HashMap<RegionId, Vec<SaveRestoreSet>> = HashMap::new();
+
+    // Line 4: topological-order (children-first) traversal.
+    for &r in pst.postorder() {
+        let region = pst.region(r);
+        let mut live: Vec<SaveRestoreSet> = Vec::new();
+        for &c in &region.children {
+            live.extend(folded.remove(&c).unwrap_or_default());
+        }
+        live.extend(home_sets.remove(&r).unwrap_or_default());
+
+        // Line 5: per callee-saved register.
+        let mut regs: Vec<PReg> = live.iter().map(|s| s.reg).collect();
+        regs.sort();
+        regs.dedup();
+
+        let mut surviving: Vec<SaveRestoreSet> = Vec::new();
+        for reg in regs {
+            let (mine, rest): (Vec<_>, Vec<_>) = live.drain(..).partition(|s| s.reg == reg);
+            live = rest;
+
+            // Hoisting to this region's boundary is only valid if every
+            // busy block of `reg` inside the region belongs to the
+            // contained sets (otherwise another web of the same register
+            // crosses the boundary).
+            let busy = usage.busy(reg).expect("set exists for used register");
+            let mut busy_inside = busy.clone();
+            busy_inside.intersect_with(&region.blocks);
+            let contained_blocks: usize = mine.iter().map(|s| s.cluster.count()).sum();
+            let hoistable = contained_blocks == busy_inside.count();
+
+            let contained_cost: Cost = mine
+                .iter()
+                .map(|s| s.cost(model, cfg, profile, &shares))
+                .sum();
+            let boundary = boundary_set(cfg, pst, r, reg);
+            let boundary_cost = boundary.cost(model, cfg, profile, &shares);
+
+            // Line 6: the paper's "less than or equal" rule.
+            let replaced = hoistable && boundary_cost <= contained_cost;
+            trace.push(TraceEvent {
+                region: r,
+                reg,
+                num_contained: mine.len(),
+                contained_cost,
+                boundary_cost,
+                replaced,
+            });
+            if replaced {
+                // Lines 7-8.
+                let mut cluster = DenseBitSet::new(cfg.num_blocks());
+                for s in &mine {
+                    cluster.union_with(&s.cluster);
+                }
+                surviving.push(SaveRestoreSet {
+                    cluster,
+                    ..boundary
+                });
+            } else {
+                surviving.extend(mine);
+            }
+        }
+        folded.insert(r, surviving);
+    }
+
+    let final_sets = folded.remove(&pst.root()).unwrap_or_default();
+    let placement =
+        Placement::from_points(final_sets.iter().flat_map(|s| s.points.clone()).collect());
+    HierarchicalResult {
+        placement,
+        final_sets,
+        trace,
+    }
+}
+
+/// The innermost region containing every location and every cluster block
+/// of a set.
+fn home_region(cfg: &Cfg, pst: &Pst, set: &SaveRestoreSet) -> RegionId {
+    let mut home: Option<RegionId> = None;
+    let fold = |r: RegionId, home: &mut Option<RegionId>| {
+        *home = Some(match home {
+            None => r,
+            Some(h) => pst.lca(*h, r),
+        });
+    };
+    for b in set.cluster.iter() {
+        fold(
+            pst.innermost_region_of_block(spillopt_ir::BlockId::from_index(b)),
+            &mut home,
+        );
+    }
+    for p in &set.points {
+        let r = match p.loc {
+            SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => pst.innermost_region_of_block(b),
+            SpillLoc::OnEdge(e) => pst.innermost_region_of_edge(cfg, e),
+        };
+        fold(r, &mut home);
+    }
+    home.unwrap_or_else(|| pst.root())
+}
+
+/// Builds the save/restore set at a region's boundaries for one register
+/// (line 8). For the root region this is the procedure entry/exit
+/// placement.
+fn boundary_set(cfg: &Cfg, pst: &Pst, r: RegionId, reg: PReg) -> SaveRestoreSet {
+    let region = pst.region(r);
+    let mut points = Vec::new();
+    match region.entry {
+        RegionBoundary::ProcEntry => points.push(SpillPoint {
+            reg,
+            kind: SpillKind::Save,
+            loc: SpillLoc::BlockTop(cfg.entry()),
+        }),
+        RegionBoundary::CfgEdge(e) => points.push(SpillPoint {
+            reg,
+            kind: SpillKind::Save,
+            loc: SpillLoc::OnEdge(e),
+        }),
+        RegionBoundary::ReturnEdge(_) | RegionBoundary::ProcExits => {
+            unreachable!("region entry cannot be an exit boundary")
+        }
+    }
+    match region.exit {
+        RegionBoundary::ProcExits => {
+            for &x in cfg.exit_blocks() {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Restore,
+                    loc: SpillLoc::BlockBottom(x),
+                });
+            }
+        }
+        RegionBoundary::CfgEdge(e) => points.push(SpillPoint {
+            reg,
+            kind: SpillKind::Restore,
+            loc: SpillLoc::OnEdge(e),
+        }),
+        RegionBoundary::ReturnEdge(b) => points.push(SpillPoint {
+            reg,
+            kind: SpillKind::Restore,
+            loc: SpillLoc::BlockBottom(b),
+        }),
+        RegionBoundary::ProcEntry => unreachable!("region exit cannot be the entry boundary"),
+    }
+    SaveRestoreSet {
+        reg,
+        points,
+        cluster: DenseBitSet::new(cfg.num_blocks()),
+        initial: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::location_cost;
+    use crate::entry_exit::entry_exit_placement;
+    use crate::validate::check_placement;
+    use spillopt_ir::{BlockId, Cond, FunctionBuilder, Reg};
+    use spillopt_profile::random_walk_profile;
+
+    /// Busy block inside a loop: the hierarchical algorithm must hoist
+    /// save/restore out of the loop when profitable.
+    #[test]
+    fn hoists_out_of_hot_loop() {
+        // entry -> header; header -> {body(busy), exit}; body -> header.
+        let mut fb = FunctionBuilder::new("l", 0);
+        let entry = fb.create_block(None);
+        let header = fb.create_block(None);
+        let body = fb.create_block(None);
+        let exit = fb.create_block(None);
+        fb.switch_to(entry);
+        let x = fb.li(0);
+        fb.jump(header);
+        fb.switch_to(header);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), exit, body);
+        fb.switch_to(body);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+
+        // Hot loop: 100 entries, 1000 iterations.
+        let mut counts = vec![0u64; cfg.num_edges()];
+        counts[cfg.edge_between(entry, header).unwrap().index()] = 100;
+        counts[cfg.edge_between(header, body).unwrap().index()] = 1000;
+        counts[cfg.edge_between(body, header).unwrap().index()] = 1000;
+        counts[cfg.edge_between(header, exit).unwrap().index()] = 100;
+        let profile = spillopt_profile::EdgeProfile::new(&cfg, counts, 100);
+
+        let mut usage = CalleeSavedUsage::new();
+        let r = spillopt_ir::PReg::new(11);
+        usage.set_busy(r, body, 4);
+
+        let res = hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::ExecutionCount);
+        assert!(check_placement(&cfg, &usage, &res.placement).is_empty());
+        // The placement must not touch the loop body edges (cost 1000);
+        // its cost must equal the loop-boundary cost of 200.
+        let cost: Cost = res
+            .placement
+            .points()
+            .iter()
+            .map(|p| location_cost(CostModel::ExecutionCount, &cfg, &profile, p.loc, 1))
+            .sum();
+        assert_eq!(cost, Cost::from_count(200));
+    }
+
+    /// The guarantee of the paper: never worse than entry/exit and never
+    /// worse than the initial (modified shrink-wrap) sets, under the
+    /// execution count model.
+    #[test]
+    fn never_worse_than_baselines_on_random_profiles() {
+        for seed in 0..10u64 {
+            // Diamond with busy arm + loop after it.
+            let mut fb = FunctionBuilder::new("g", 0);
+            let a = fb.create_block(None);
+            let b = fb.create_block(None);
+            let c = fb.create_block(None);
+            let d = fb.create_block(None);
+            let e = fb.create_block(None);
+            fb.switch_to(a);
+            let x = fb.li(0);
+            fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+            fb.switch_to(b);
+            fb.jump(d);
+            fb.switch_to(c);
+            fb.jump(d);
+            fb.switch_to(d);
+            fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), a, e);
+            fb.switch_to(e);
+            fb.ret(None);
+            let f = fb.finish();
+            let cfg = Cfg::compute(&f);
+            let pst = Pst::compute(&cfg);
+            let profile = random_walk_profile(&cfg, 200, 64, seed);
+
+            let mut usage = CalleeSavedUsage::new();
+            let r = spillopt_ir::PReg::new(11);
+            usage.set_busy(r, b, 5);
+
+            let res =
+                hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::ExecutionCount);
+            assert!(check_placement(&cfg, &usage, &res.placement).is_empty());
+
+            let eval = |p: &Placement| -> Cost {
+                p.points()
+                    .iter()
+                    .map(|pt| location_cost(CostModel::ExecutionCount, &cfg, &profile, pt.loc, 1))
+                    .sum()
+            };
+            let hier = eval(&res.placement);
+            let baseline = eval(&entry_exit_placement(&cfg, &usage));
+            let initial = eval(&modified_shrink_wrap(&cfg, &usage).placement());
+            assert!(hier <= baseline, "seed {seed}: {hier:?} > baseline {baseline:?}");
+            assert!(hier <= initial, "seed {seed}: {hier:?} > initial {initial:?}");
+        }
+    }
+
+    /// With everything cold except the entry, the tight initial sets win
+    /// and survive.
+    #[test]
+    fn keeps_tight_sets_when_cold() {
+        let mut fb = FunctionBuilder::new("c", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        // b is cold: 1 of 100 executions.
+        let mut counts = vec![0u64; cfg.num_edges()];
+        counts[cfg.edge_between(a, b).unwrap().index()] = 1;
+        counts[cfg.edge_between(a, c).unwrap().index()] = 99;
+        counts[cfg.edge_between(b, d).unwrap().index()] = 1;
+        counts[cfg.edge_between(c, d).unwrap().index()] = 99;
+        let profile = spillopt_profile::EdgeProfile::new(&cfg, counts, 100);
+        let mut usage = CalleeSavedUsage::new();
+        let r = spillopt_ir::PReg::new(11);
+        usage.set_busy(r, b, 4);
+        let res = hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::ExecutionCount);
+        // Save on a->b, restore on b->d: cost 2, beats entry/exit's 200.
+        let cost: Cost = res
+            .placement
+            .points()
+            .iter()
+            .map(|p| location_cost(CostModel::ExecutionCount, &cfg, &profile, p.loc, 1))
+            .sum();
+        assert_eq!(cost, Cost::from_count(2));
+        assert_eq!(res.final_sets.len(), 1);
+        assert!(res.final_sets[0].initial);
+        let _ = BlockId::from_index(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Physical insertion of a placement into the IR.
+//!
+//! Each placed save becomes a `store.csave` of the register to a dedicated
+//! frame slot and each restore a `load.csave`, both tagged with
+//! [`Origin::CalleeSave`] so the interpreter attributes their dynamic cost
+//! exactly as the paper's Figure 5 does. Edge locations are realized by
+//! [`spillopt_ir::edit::place_on_edge`]; all registers placing code on the
+//! same edge share one block (and one jump instruction when the edge is a
+//! critical jump edge — the sharing the paper's jump-edge cost model can
+//! only approximate).
+
+use crate::location::{Placement, SpillKind, SpillLoc};
+use spillopt_ir::{
+    edit, Cfg, EdgeId, Function, Inst, InstKind, MemKind, Origin, PReg,
+};
+use std::collections::HashMap;
+
+/// What physical insertion did: realized locations and totals.
+#[derive(Clone, Debug, Default)]
+pub struct InsertionReport {
+    /// Frame slot assigned to each saved register.
+    pub slots: Vec<(PReg, spillopt_ir::FrameSlot)>,
+    /// Number of save/restore instructions inserted.
+    pub num_spill_insts: usize,
+    /// New blocks created on edges.
+    pub new_blocks: usize,
+    /// Jump instructions added (critical jump edges only).
+    pub added_jumps: usize,
+}
+
+/// Inserts `placement` into `func`. `cfg` must be the snapshot the
+/// placement's edge ids refer to; the function is edited in place (the
+/// snapshot is stale afterwards).
+pub fn insert_placement(func: &mut Function, cfg: &Cfg, placement: &Placement) -> InsertionReport {
+    let mut report = InsertionReport::default();
+
+    // One dedicated frame slot per register.
+    let mut slot_of = HashMap::new();
+    for reg in placement.regs() {
+        let slot = func.frame_mut().alloc_slot();
+        slot_of.insert(reg, slot);
+        report.slots.push((reg, slot));
+    }
+
+    let make_inst = |reg: PReg, kind: SpillKind, slot: spillopt_ir::FrameSlot| -> Inst {
+        let k = match kind {
+            SpillKind::Save => InstKind::Store {
+                src: spillopt_ir::Reg::Phys(reg),
+                slot,
+                kind: MemKind::CalleeSave,
+            },
+            SpillKind::Restore => InstKind::Load {
+                dst: spillopt_ir::Reg::Phys(reg),
+                slot,
+                kind: MemKind::CalleeSave,
+            },
+        };
+        Inst::with_origin(k, Origin::CalleeSave)
+    };
+
+    // Group instructions per location. Placement points are sorted with
+    // restores before saves per register, which `points()` preserves.
+    let mut at_top: HashMap<spillopt_ir::BlockId, Vec<Inst>> = HashMap::new();
+    let mut at_bottom: HashMap<spillopt_ir::BlockId, Vec<Inst>> = HashMap::new();
+    let mut on_edge: HashMap<EdgeId, Vec<Inst>> = HashMap::new();
+    for p in placement.points() {
+        let inst = make_inst(p.reg, p.kind, slot_of[&p.reg]);
+        report.num_spill_insts += 1;
+        match p.loc {
+            SpillLoc::BlockTop(b) => at_top.entry(b).or_default().push(inst),
+            SpillLoc::BlockBottom(b) => at_bottom.entry(b).or_default().push(inst),
+            SpillLoc::OnEdge(e) => on_edge.entry(e).or_default().push(inst),
+        }
+    }
+
+    // Block insertions first (they do not disturb the CFG structure)...
+    let mut tops: Vec<_> = at_top.into_iter().collect();
+    tops.sort_by_key(|(b, _)| *b);
+    for (b, insts) in tops {
+        edit::insert_at_top(func, b, insts);
+    }
+    let mut bottoms: Vec<_> = at_bottom.into_iter().collect();
+    bottoms.sort_by_key(|(b, _)| *b);
+    for (b, insts) in bottoms {
+        edit::insert_at_bottom(func, b, insts);
+    }
+    // ...then one realization per edge (shared across registers).
+    let mut edges: Vec<_> = on_edge.into_iter().collect();
+    edges.sort_by_key(|(e, _)| *e);
+    for (e, insts) in edges {
+        match edit::place_on_edge(func, cfg, e, insts) {
+            edit::EdgePlacement::NewBlock { added_jump, .. } => {
+                report.new_blocks += 1;
+                if added_jump {
+                    report.added_jumps += 1;
+                }
+            }
+            edit::EdgePlacement::TopOf(_) | edit::EdgePlacement::BottomOf(_) => {}
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::SpillPoint;
+    use spillopt_ir::{
+        verify_function, BlockId, Cond, FunctionBuilder, Reg, RegDiscipline,
+    };
+
+    /// Builds a CFG with a critical jump edge d->b and inserts save and
+    /// restore code of two registers on it: one new block, one new jump.
+    #[test]
+    fn shares_jump_block_between_registers() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        let e = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), b, e);
+        fb.switch_to(e);
+        fb.ret(None);
+        let mut f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let db = cfg.edge_between(d, b).unwrap();
+        assert!(cfg.needs_jump_block(db));
+
+        let r1 = PReg::new(11);
+        let r2 = PReg::new(12);
+        let placement = Placement::from_points(vec![
+            SpillPoint {
+                reg: r1,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::OnEdge(db),
+            },
+            SpillPoint {
+                reg: r2,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::OnEdge(db),
+            },
+            SpillPoint {
+                reg: r1,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+            SpillPoint {
+                reg: r2,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+        ]);
+        let report = insert_placement(&mut f, &cfg, &placement);
+        assert_eq!(report.num_spill_insts, 4);
+        assert_eq!(report.new_blocks, 1, "edge block shared");
+        assert_eq!(report.added_jumps, 1, "one jump for both registers");
+        assert_eq!(report.slots.len(), 2);
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+        // The entry block starts with the two saves.
+        let top = &f.block(a).insts[..2];
+        assert!(top
+            .iter()
+            .all(|i| matches!(i.kind, InstKind::Store { kind: MemKind::CalleeSave, .. })));
+    }
+
+    #[test]
+    fn bottom_insertion_lands_before_return() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let a = fb.create_block(None);
+        fb.switch_to(a);
+        let v = fb.li(1);
+        fb.ret(Some(Reg::Virt(v)));
+        let mut f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let r = PReg::new(11);
+        let placement = Placement::from_points(vec![
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(a),
+            },
+        ]);
+        insert_placement(&mut f, &cfg, &placement);
+        let insts = &f.block(BlockId::from_index(0)).insts;
+        assert!(matches!(insts[0].kind, InstKind::Store { .. }));
+        // Restore is the second-to-last instruction (before ret).
+        let n = insts.len();
+        assert!(matches!(insts[n - 2].kind, InstKind::Load { .. }));
+        assert!(insts[n - 1].is_terminator());
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+}

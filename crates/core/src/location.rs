@@ -1,0 +1,177 @@
+//! Spill code locations and placements.
+
+use spillopt_ir::{BlockId, EdgeId, PReg};
+use std::fmt;
+
+/// A logical location where a save or restore instruction is placed.
+///
+/// `OnEdge` is realized physically by the insertion pass (sunk into a
+/// block when the edge is non-critical, or into a new block — with a jump
+/// instruction exactly on critical *jump* edges).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum SpillLoc {
+    /// Before the first instruction of a block.
+    BlockTop(BlockId),
+    /// After the body of a block, before its terminator (if any).
+    BlockBottom(BlockId),
+    /// On a CFG edge.
+    OnEdge(EdgeId),
+}
+
+impl fmt::Display for SpillLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillLoc::BlockTop(b) => write!(f, "top({b})"),
+            SpillLoc::BlockBottom(b) => write!(f, "bottom({b})"),
+            SpillLoc::OnEdge(e) => write!(f, "edge({e})"),
+        }
+    }
+}
+
+/// Save (store to memory) or restore (load from memory).
+///
+/// `Restore` deliberately orders before `Save`: when a restore (ending one
+/// web) and a save (starting the next) land on the same location for the
+/// same register, the restore must execute first, and sorted placements
+/// preserve that.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum SpillKind {
+    /// Load the original value back into the register.
+    Restore,
+    /// Store the callee-saved register's original value to its slot.
+    Save,
+}
+
+/// One save or restore instruction of a placement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SpillPoint {
+    /// The callee-saved register being saved/restored.
+    pub reg: PReg,
+    /// Save or restore.
+    pub kind: SpillKind,
+    /// Where the instruction goes.
+    pub loc: SpillLoc,
+}
+
+impl fmt::Display for SpillPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            SpillKind::Save => "save",
+            SpillKind::Restore => "restore",
+        };
+        write!(f, "{k} {} @ {}", self.reg, self.loc)
+    }
+}
+
+/// A complete callee-saved save/restore placement for a procedure.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Placement {
+    points: Vec<SpillPoint>,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Creates a placement from points (deduplicated, deterministic
+    /// order).
+    pub fn from_points(mut points: Vec<SpillPoint>) -> Self {
+        points.sort();
+        points.dedup();
+        Placement { points }
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, p: SpillPoint) {
+        self.points.push(p);
+        self.points.sort();
+        self.points.dedup();
+    }
+
+    /// All points, sorted.
+    pub fn points(&self) -> &[SpillPoint] {
+        &self.points
+    }
+
+    /// Points for one register.
+    pub fn points_for(&self, reg: PReg) -> impl Iterator<Item = &SpillPoint> + '_ {
+        self.points.iter().filter(move |p| p.reg == reg)
+    }
+
+    /// The distinct registers with any point.
+    pub fn regs(&self) -> Vec<PReg> {
+        let mut v: Vec<PReg> = self.points.iter().map(|p| p.reg).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of placed instructions (the paper's *static* overhead).
+    pub fn static_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no save/restore code is placed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Merges another placement into this one.
+    pub fn extend(&mut self, other: &Placement) {
+        self.points.extend_from_slice(&other.points);
+        self.points.sort();
+        self.points.dedup();
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.points {
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(reg: u8, kind: SpillKind, b: usize) -> SpillPoint {
+        SpillPoint {
+            reg: PReg::new(reg),
+            kind,
+            loc: SpillLoc::BlockTop(BlockId::from_index(b)),
+        }
+    }
+
+    #[test]
+    fn dedup_and_order() {
+        let p = Placement::from_points(vec![
+            pt(12, SpillKind::Restore, 3),
+            pt(11, SpillKind::Save, 0),
+            pt(11, SpillKind::Save, 0),
+        ]);
+        assert_eq!(p.static_count(), 2);
+        assert_eq!(p.regs(), vec![PReg::new(11), PReg::new(12)]);
+        assert_eq!(p.points_for(PReg::new(11)).count(), 1);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Placement::from_points(vec![pt(11, SpillKind::Save, 0)]);
+        let b = Placement::from_points(vec![pt(11, SpillKind::Save, 0), pt(11, SpillKind::Restore, 1)]);
+        a.extend(&b);
+        assert_eq!(a.static_count(), 2);
+        assert!(!a.is_empty());
+        assert!(Placement::new().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = pt(11, SpillKind::Save, 0);
+        assert_eq!(format!("{p}"), "save r11 @ top(bb0)");
+    }
+}

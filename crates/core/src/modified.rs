@@ -1,0 +1,236 @@
+//! The paper's *modified shrink-wrapping*: the initial save/restore sets.
+//!
+//! Two modifications distinguish it from Chow's original technique
+//! (paper, Section 4): no artificial data flow is propagated over loop
+//! bodies, and spill code may be placed on jump edges. The result is the
+//! tightest valid placement — saves and restores immediately around each
+//! connected busy cluster — which seeds the hierarchical algorithm.
+
+use crate::dataflow::{busy_clusters, region_boundary};
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::sets::SaveRestoreSet;
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::{Cfg, DenseBitSet};
+
+/// The initial sets plus their union as a [`Placement`].
+#[derive(Clone, Debug)]
+pub struct InitialSets {
+    /// One set per (register, connected busy cluster).
+    pub sets: Vec<SaveRestoreSet>,
+}
+
+impl InitialSets {
+    /// The union of all sets as a placement.
+    pub fn placement(&self) -> Placement {
+        Placement::from_points(self.sets.iter().flat_map(|s| s.points.clone()).collect())
+    }
+}
+
+/// Computes the paper's initial save/restore sets: for each callee-saved
+/// register and each connected cluster of its busy blocks, a save on every
+/// edge entering the cluster (or at procedure entry) and a restore on
+/// every edge leaving it (or before contained returns).
+pub fn modified_shrink_wrap(cfg: &Cfg, usage: &CalleeSavedUsage) -> InitialSets {
+    let mut sets = Vec::new();
+    for (reg, busy) in usage.regs() {
+        for cluster in busy_clusters(cfg, busy) {
+            let b = region_boundary(cfg, &cluster);
+            let mut points = Vec::new();
+            if b.save_at_entry {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Save,
+                    loc: SpillLoc::BlockTop(cfg.entry()),
+                });
+            }
+            for e in b.save_edges {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Save,
+                    loc: SpillLoc::OnEdge(e),
+                });
+            }
+            for e in b.restore_edges {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Restore,
+                    loc: SpillLoc::OnEdge(e),
+                });
+            }
+            for x in b.restore_at_exits {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Restore,
+                    loc: SpillLoc::BlockBottom(x),
+                });
+            }
+            sets.push(SaveRestoreSet {
+                reg,
+                points,
+                cluster,
+                initial: true,
+            });
+        }
+    }
+    InitialSets { sets }
+}
+
+/// Variant used by the ablation study: initial sets grown by the
+/// anticipation/availability hoisting closure (as Chow's dataflow would
+/// hoist them) but still without loop or jump-edge artificial flow.
+pub fn modified_shrink_wrap_hoisted(cfg: &Cfg, usage: &CalleeSavedUsage) -> InitialSets {
+    let mut sets = Vec::new();
+    for (reg, busy) in usage.regs() {
+        let hoisted = crate::dataflow::avail_closure(
+            cfg,
+            &crate::dataflow::antic_closure(cfg, busy),
+        );
+        for cluster in busy_clusters(cfg, &hoisted) {
+            let b = region_boundary(cfg, &cluster);
+            let mut points = Vec::new();
+            if b.save_at_entry {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Save,
+                    loc: SpillLoc::BlockTop(cfg.entry()),
+                });
+            }
+            for e in b.save_edges {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Save,
+                    loc: SpillLoc::OnEdge(e),
+                });
+            }
+            for e in b.restore_edges {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Restore,
+                    loc: SpillLoc::OnEdge(e),
+                });
+            }
+            for x in b.restore_at_exits {
+                points.push(SpillPoint {
+                    reg,
+                    kind: SpillKind::Restore,
+                    loc: SpillLoc::BlockBottom(x),
+                });
+            }
+            let mut cluster_busy = DenseBitSet::new(cfg.num_blocks());
+            cluster_busy.union_with(&cluster);
+            cluster_busy.intersect_with(busy);
+            sets.push(SaveRestoreSet {
+                reg,
+                points,
+                cluster,
+                initial: true,
+            });
+            let _ = cluster_busy;
+        }
+    }
+    InitialSets { sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Cond, FunctionBuilder, PReg, Reg};
+
+    #[test]
+    fn wraps_single_busy_block() {
+        // A -> {B busy, C} -> D.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 4);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        assert_eq!(init.sets.len(), 1);
+        let set = &init.sets[0];
+        assert_eq!(set.saves().count(), 1);
+        assert_eq!(set.restores().count(), 1);
+        assert!(set.initial);
+        assert_eq!(
+            set.saves().next().unwrap().loc,
+            SpillLoc::OnEdge(cfg.edge_between(a, b).unwrap())
+        );
+        assert_eq!(
+            set.restores().next().unwrap().loc,
+            SpillLoc::OnEdge(cfg.edge_between(b, d).unwrap())
+        );
+    }
+
+    #[test]
+    fn disjoint_clusters_make_separate_sets() {
+        // A(busy) -> B -> C(busy) -> ret; one register, two clusters.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.jump(c);
+        fb.switch_to(c);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), a, 3);
+        usage.set_busy(PReg::new(11), c, 3);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        assert_eq!(init.sets.len(), 2);
+        // The A cluster saves at entry; the C cluster restores at exit.
+        let entry_cluster = init
+            .sets
+            .iter()
+            .find(|s| s.cluster.contains(a.index()))
+            .unwrap();
+        assert!(entry_cluster
+            .saves()
+            .any(|p| p.loc == SpillLoc::BlockTop(a)));
+        let exit_cluster = init
+            .sets
+            .iter()
+            .find(|s| s.cluster.contains(c.index()))
+            .unwrap();
+        assert!(exit_cluster
+            .restores()
+            .any(|p| p.loc == SpillLoc::BlockBottom(c)));
+    }
+
+    #[test]
+    fn hoisted_variant_merges_gap() {
+        // A -> B(busy) -> C -> D(busy) -> E.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let blocks: Vec<_> = (0..5).map(|_| fb.create_block(None)).collect();
+        for i in 0..4 {
+            fb.switch_to(blocks[i]);
+            fb.jump(blocks[i + 1]);
+        }
+        fb.switch_to(blocks[4]);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), blocks[1], 5);
+        usage.set_busy(PReg::new(11), blocks[3], 5);
+        let plain = modified_shrink_wrap(&cfg, &usage);
+        assert_eq!(plain.sets.len(), 2);
+        let hoisted = modified_shrink_wrap_hoisted(&cfg, &usage);
+        assert_eq!(hoisted.sets.len(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Reconstructions of the paper's illustrative figures.
+//!
+//! # Figure 2 (and 3, 4): the motivating example
+//!
+//! The paper's Figure 2 CFG is reconstructed from the textual constraints
+//! of Section 4 (every cost quoted in the paper's walkthrough is
+//! reproduced exactly; see the `worked_example` integration test):
+//!
+//! ```text
+//!   blocks A..P, entry A, exit P
+//!   A→B 100
+//!   B→H 70   B→I 30
+//!   H→C 50   H→J 20
+//!   C→D 40   C→F 10
+//!   D→E 10   D→F 30   (D→F is a critical jump edge)
+//!   E→F 10
+//!   F→J 50
+//!   J→G 25   J→M 45
+//!   G→M 25
+//!   M→P 70
+//!   I→K 25   I→L 5
+//!   K→L 25
+//!   L→N 25   L→O 5
+//!   N→O 25
+//!   O→P 30
+//! ```
+//!
+//! One callee-saved register is busy (shaded) in blocks D, E, G, K, N.
+//! The layout order is chosen so that every branch has its fall-through
+//! adjacent and `D→F` is the taken (jump) edge:
+//! `A B H C D E F J G M I K L N O P`.
+//!
+//! # Figure 1: shrink-wrapping vs. entry/exit crossover
+//!
+//! A diamond with both arms busy; whether shrink-wrapping beats the
+//! entry/exit placement depends purely on the profile, which
+//! [`fig1_example`] parameterizes.
+
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::{
+    BlockId, Cfg, Cond, Function, FunctionBuilder, PReg, Reg,
+};
+use spillopt_profile::EdgeProfile;
+
+/// The reconstructed Figure 2 example: function, CFG, profile, usage.
+#[derive(Debug)]
+pub struct PaperExample {
+    /// The function (blocks named `A`..`P`).
+    pub func: Function,
+    /// Block ids indexed by letter: `blocks[0]` = A, ..., `blocks[15]` = P.
+    pub blocks: [BlockId; 16],
+    /// CFG snapshot.
+    pub cfg: Cfg,
+    /// The profile with the paper's edge counts.
+    pub profile: EdgeProfile,
+    /// Usage: one callee-saved register busy in D, E, G, K, N.
+    pub usage: CalleeSavedUsage,
+    /// The callee-saved register of the example.
+    pub reg: PReg,
+}
+
+impl PaperExample {
+    /// Looks a block up by its letter (`'A'`..=`'P'`).
+    pub fn block(&self, letter: char) -> BlockId {
+        let idx = (letter as u8 - b'A') as usize;
+        self.blocks[idx]
+    }
+
+    /// The edge between two lettered blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such edge exists.
+    pub fn edge(&self, from: char, to: char) -> spillopt_ir::EdgeId {
+        self.cfg
+            .edge_between(self.block(from), self.block(to))
+            .unwrap_or_else(|| panic!("no edge {from}->{to}"))
+    }
+}
+
+/// Builds the paper's Figure 2 example (see module docs).
+pub fn paper_example() -> PaperExample {
+    let mut fb = FunctionBuilder::new("figure2", 0);
+    // Create blocks in letter order so ids follow letters...
+    let blocks: Vec<BlockId> = (b'A'..=b'P')
+        .map(|c| fb.create_block(Some(&(c as char).to_string())))
+        .collect();
+    let blk = |c: char| blocks[(c as u8 - b'A') as usize];
+
+    // ...then lay them out so every fall-through is adjacent.
+    let layout: Vec<BlockId> = "ABHCDEFJGMIKLNOP".chars().map(blk).collect();
+    fb.func_mut().set_layout(layout);
+
+    let x = {
+        fb.switch_to(blk('A'));
+        fb.li(0)
+    };
+    let c = Reg::Virt(x);
+
+    // A falls through to B.
+    fb.switch_to(blk('B'));
+    fb.branch(Cond::Lt, c, c, blk('I'), blk('H')); // taken I, fall H
+    fb.switch_to(blk('H'));
+    fb.branch(Cond::Lt, c, c, blk('J'), blk('C')); // taken J, fall C
+    fb.switch_to(blk('C'));
+    fb.branch(Cond::Lt, c, c, blk('F'), blk('D')); // taken F, fall D
+    fb.switch_to(blk('D'));
+    fb.branch(Cond::Lt, c, c, blk('F'), blk('E')); // taken F (jump), fall E
+    // E falls through to F.
+    fb.switch_to(blk('F'));
+    fb.jump(blk('J'));
+    fb.switch_to(blk('J'));
+    fb.branch(Cond::Lt, c, c, blk('M'), blk('G')); // taken M, fall G
+    // G falls through to M.
+    fb.switch_to(blk('M'));
+    fb.jump(blk('P'));
+    fb.switch_to(blk('I'));
+    fb.branch(Cond::Lt, c, c, blk('L'), blk('K')); // taken L, fall K
+    // K falls through to L.
+    fb.switch_to(blk('L'));
+    fb.branch(Cond::Lt, c, c, blk('O'), blk('N')); // taken O, fall N
+    // N falls through to O; O falls through to P.
+    fb.switch_to(blk('P'));
+    fb.ret(None);
+
+    let func = fb.finish();
+    let cfg = Cfg::compute(&func);
+
+    // The paper's edge counts.
+    let table: [(char, char, u64); 22] = [
+        ('A', 'B', 100),
+        ('B', 'H', 70),
+        ('B', 'I', 30),
+        ('H', 'C', 50),
+        ('H', 'J', 20),
+        ('C', 'D', 40),
+        ('C', 'F', 10),
+        ('D', 'E', 10),
+        ('D', 'F', 30),
+        ('E', 'F', 10),
+        ('F', 'J', 50),
+        ('J', 'G', 25),
+        ('J', 'M', 45),
+        ('G', 'M', 25),
+        ('M', 'P', 70),
+        ('I', 'K', 25),
+        ('I', 'L', 5),
+        ('K', 'L', 25),
+        ('L', 'N', 25),
+        ('L', 'O', 5),
+        ('N', 'O', 25),
+        ('O', 'P', 30),
+    ];
+    let mut counts = vec![0u64; cfg.num_edges()];
+    for (f, t, n) in table {
+        let e = cfg
+            .edge_between(blk(f), blk(t))
+            .unwrap_or_else(|| panic!("missing edge {f}->{t}"));
+        counts[e.index()] = n;
+    }
+    let profile = EdgeProfile::new(&cfg, counts, 100);
+    debug_assert!(profile.flow_violations(&cfg).is_empty());
+
+    // One callee-saved register busy in D, E, G, K, N.
+    let reg = PReg::new(11);
+    let mut usage = CalleeSavedUsage::new();
+    for letter in ['D', 'E', 'G', 'K', 'N'] {
+        usage.set_busy(reg, blk(letter), func.num_blocks());
+    }
+
+    let blocks: [BlockId; 16] = blocks.try_into().expect("16 blocks");
+    PaperExample {
+        func,
+        blocks,
+        cfg,
+        profile,
+        usage,
+        reg,
+    }
+}
+
+/// The Figure 1 example: a diamond whose two arms are both busy, with a
+/// parameterized profile.
+///
+/// `busy_count` executions take each shaded arm (`2 * busy_count ≤
+/// entry_count`); shrink-wrapping places save/restore around each arm
+/// (dynamic cost `4 * busy_count`), entry/exit costs `2 * entry_count`.
+/// Shrink-wrapping wins iff the average shaded-block count is below the
+/// entry count — exactly the paper's observation that only a profile can
+/// decide.
+#[derive(Debug)]
+pub struct Fig1Example {
+    /// The function.
+    pub func: Function,
+    /// CFG snapshot.
+    pub cfg: Cfg,
+    /// The parameterized profile.
+    pub profile: EdgeProfile,
+    /// Usage: one register busy in both arms.
+    pub usage: CalleeSavedUsage,
+    /// The callee-saved register.
+    pub reg: PReg,
+}
+
+/// Builds the Figure 1 example (see [`Fig1Example`]).
+///
+/// # Panics
+///
+/// Panics if `2 * busy_count > entry_count`.
+pub fn fig1_example(entry_count: u64, busy_count: u64) -> Fig1Example {
+    assert!(2 * busy_count <= entry_count, "arm counts exceed entry");
+    let mut fb = FunctionBuilder::new("figure1", 0);
+    let a = fb.create_block(Some("A"));
+    let b = fb.create_block(Some("B")); // shaded
+    let c = fb.create_block(Some("C"));
+    let d = fb.create_block(Some("D")); // shaded
+    let e = fb.create_block(Some("E"));
+    fb.switch_to(a);
+    let x = fb.li(0);
+    let cnd = Reg::Virt(x);
+    fb.branch(Cond::Lt, cnd, cnd, c, b); // taken C, fall B
+    fb.switch_to(b);
+    fb.jump(e);
+    fb.switch_to(c);
+    fb.branch(Cond::Lt, cnd, cnd, e, d); // taken E, fall D
+    fb.switch_to(d);
+    fb.jump(e);
+    fb.switch_to(e);
+    fb.ret(None);
+    let func = fb.finish();
+    let cfg = Cfg::compute(&func);
+
+    let mut counts = vec![0u64; cfg.num_edges()];
+    let mut set = |f: BlockId, t: BlockId, n: u64| {
+        counts[cfg.edge_between(f, t).unwrap().index()] = n;
+    };
+    set(a, b, busy_count);
+    set(a, c, entry_count - busy_count);
+    set(c, d, busy_count);
+    set(c, e, entry_count - 2 * busy_count);
+    set(b, e, busy_count);
+    set(d, e, busy_count);
+    let profile = EdgeProfile::new(&cfg, counts, entry_count);
+
+    let reg = PReg::new(11);
+    let mut usage = CalleeSavedUsage::new();
+    usage.set_busy(reg, b, 5);
+    usage.set_busy(reg, d, 5);
+
+    Fig1Example {
+        func,
+        cfg,
+        profile,
+        usage,
+        reg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{verify_function, EdgeKind, RegDiscipline};
+
+    #[test]
+    fn figure2_is_well_formed() {
+        let ex = paper_example();
+        assert!(verify_function(&ex.func, RegDiscipline::Virtual).is_empty());
+        assert!(ex.profile.flow_violations(&ex.cfg).is_empty());
+        assert_eq!(ex.profile.entry_count(), 100);
+        assert_eq!(ex.profile.block_count(ex.block('P')), 100);
+    }
+
+    #[test]
+    fn d_to_f_is_the_critical_jump_edge() {
+        let ex = paper_example();
+        let df = ex.edge('D', 'F');
+        assert_eq!(ex.cfg.edge(df).kind, EdgeKind::Jump);
+        assert!(ex.cfg.needs_jump_block(df));
+        // The other placement-relevant edges need no jump block.
+        for (f, t) in [
+            ('C', 'D'),
+            ('E', 'F'),
+            ('H', 'C'),
+            ('F', 'J'),
+            ('B', 'H'),
+            ('M', 'P'),
+            ('B', 'I'),
+            ('O', 'P'),
+            ('J', 'G'),
+            ('G', 'M'),
+            ('I', 'K'),
+            ('K', 'L'),
+            ('L', 'N'),
+            ('N', 'O'),
+        ] {
+            assert!(
+                !ex.cfg.needs_jump_block(ex.edge(f, t)),
+                "{f}->{t} unexpectedly needs a jump block"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_profiles_flow() {
+        for busy in [0, 10, 50] {
+            let ex = fig1_example(100, busy);
+            assert!(verify_function(&ex.func, RegDiscipline::Virtual).is_empty());
+            assert!(ex.profile.flow_violations(&ex.cfg).is_empty());
+        }
+    }
+}

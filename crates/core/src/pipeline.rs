@@ -1,0 +1,110 @@
+//! One-call driver: all placement techniques on one procedure.
+
+use crate::chow::chow_shrink_wrap;
+use crate::cost::{Cost, CostModel};
+use crate::entry_exit::entry_exit_placement;
+use crate::hierarchical::{hierarchical_placement, HierarchicalResult};
+use crate::location::Placement;
+use crate::overhead::placement_cost;
+use crate::usage::CalleeSavedUsage;
+use crate::validate::check_placement;
+use spillopt_ir::Cfg;
+use spillopt_profile::EdgeProfile;
+use spillopt_pst::Pst;
+
+/// All placements of one procedure, with their predicted costs under the
+/// jump-edge model (the physically accurate accounting).
+#[derive(Clone, Debug)]
+pub struct PlacementSuite {
+    /// Entry/exit baseline.
+    pub entry_exit: Placement,
+    /// Chow's original shrink-wrapping.
+    pub chow: Placement,
+    /// Hierarchical, execution count model.
+    pub hierarchical_exec: HierarchicalResult,
+    /// Hierarchical, jump edge model (the paper's evaluated variant).
+    pub hierarchical_jump: HierarchicalResult,
+    /// Predicted cost (jump-edge accounting) of each, in the same order:
+    /// (entry_exit, chow, hierarchical_exec, hierarchical_jump).
+    pub predicted: [Cost; 4],
+}
+
+/// Runs every technique on one procedure and verifies the results.
+///
+/// # Panics
+///
+/// Panics if any produced placement fails validity checking — that would
+/// be a bug in this crate, never a property of the input.
+pub fn run_suite(
+    cfg: &Cfg,
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+) -> PlacementSuite {
+    let entry_exit = entry_exit_placement(cfg, usage);
+    let chow = chow_shrink_wrap(cfg, usage);
+    let hierarchical_exec =
+        hierarchical_placement(cfg, pst, usage, profile, CostModel::ExecutionCount);
+    let hierarchical_jump = hierarchical_placement(cfg, pst, usage, profile, CostModel::JumpEdge);
+
+    for (name, p) in [
+        ("entry_exit", &entry_exit),
+        ("chow", &chow),
+        ("hierarchical_exec", &hierarchical_exec.placement),
+        ("hierarchical_jump", &hierarchical_jump.placement),
+    ] {
+        let errs = check_placement(cfg, usage, p);
+        assert!(errs.is_empty(), "{name} placement invalid: {errs:?}\n{p}");
+    }
+
+    let predicted = [
+        placement_cost(CostModel::JumpEdge, cfg, profile, &entry_exit),
+        placement_cost(CostModel::JumpEdge, cfg, profile, &chow),
+        placement_cost(CostModel::JumpEdge, cfg, profile, &hierarchical_exec.placement),
+        placement_cost(CostModel::JumpEdge, cfg, profile, &hierarchical_jump.placement),
+    ];
+
+    PlacementSuite {
+        entry_exit,
+        chow,
+        hierarchical_exec,
+        hierarchical_jump,
+        predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Cond, FunctionBuilder, PReg, Reg};
+    use spillopt_profile::random_walk_profile;
+
+    #[test]
+    fn suite_runs_and_orders_costs() {
+        let mut fb = FunctionBuilder::new("s", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let profile = random_walk_profile(&cfg, 100, 32, 1);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 4);
+        let suite = run_suite(&cfg, &pst, &usage, &profile);
+        // The paper's guarantee under the jump model: hierarchical(jump)
+        // ≤ entry/exit and ≤ chow.
+        assert!(suite.predicted[3] <= suite.predicted[0]);
+        assert!(suite.predicted[3] <= suite.predicted[1]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Save/restore sets: groups of mutually dependent save and restore
+//! locations (the paper's webs).
+
+use crate::cost::{location_cost, Cost, CostModel};
+use crate::location::{SpillKind, SpillLoc, SpillPoint};
+use spillopt_ir::{Cfg, DenseBitSet, EdgeId, PReg};
+use spillopt_profile::EdgeProfile;
+use std::collections::HashMap;
+
+/// A save/restore set: save and restore locations that depend on each
+/// other for validity and are independent of all other locations — the
+/// paper identifies them with live-range webs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SaveRestoreSet {
+    /// The callee-saved register this set protects.
+    pub reg: PReg,
+    /// The save/restore locations of the set.
+    pub points: Vec<SpillPoint>,
+    /// The busy blocks this set wraps (used to decide when a set may be
+    /// hoisted to a region boundary).
+    pub cluster: DenseBitSet,
+    /// Whether this is an initial (shrink-wrapping) set; initial sets
+    /// share jump-instruction cost on common jump edges.
+    pub initial: bool,
+}
+
+impl SaveRestoreSet {
+    /// Total cost of the set's locations under a cost model.
+    ///
+    /// `shares` gives, per edge, how many callee-saved registers have
+    /// initial spill locations there (the paper divides the jump
+    /// instruction's cost among them); non-initial sets always bear full
+    /// jump cost.
+    pub fn cost(
+        &self,
+        model: CostModel,
+        cfg: &Cfg,
+        profile: &EdgeProfile,
+        shares: &EdgeShares,
+    ) -> Cost {
+        self.points
+            .iter()
+            .map(|p| {
+                let share = if self.initial {
+                    shares.share(p.loc)
+                } else {
+                    1
+                };
+                location_cost(model, cfg, profile, p.loc, share)
+            })
+            .sum()
+    }
+
+    /// The save points of the set.
+    pub fn saves(&self) -> impl Iterator<Item = &SpillPoint> + '_ {
+        self.points.iter().filter(|p| p.kind == SpillKind::Save)
+    }
+
+    /// The restore points of the set.
+    pub fn restores(&self) -> impl Iterator<Item = &SpillPoint> + '_ {
+        self.points.iter().filter(|p| p.kind == SpillKind::Restore)
+    }
+}
+
+/// Per-edge sharing factors for jump-instruction cost among the *initial*
+/// sets (paper: "the cost of a jump instruction is divided among all the
+/// callee-saved registers that have spill locations on the corresponding
+/// jump edge").
+#[derive(Clone, Debug, Default)]
+pub struct EdgeShares {
+    counts: HashMap<EdgeId, u64>,
+}
+
+impl EdgeShares {
+    /// No sharing anywhere (every location bears full jump cost).
+    pub fn none() -> Self {
+        EdgeShares::default()
+    }
+
+    /// Computes shares from the initial sets: the number of distinct
+    /// registers with at least one location on each edge.
+    pub fn from_sets(sets: &[SaveRestoreSet]) -> Self {
+        let mut regs_per_edge: HashMap<EdgeId, Vec<PReg>> = HashMap::new();
+        for s in sets {
+            for p in &s.points {
+                if let SpillLoc::OnEdge(e) = p.loc {
+                    let v = regs_per_edge.entry(e).or_default();
+                    if !v.contains(&p.reg) {
+                        v.push(p.reg);
+                    }
+                }
+            }
+        }
+        EdgeShares {
+            counts: regs_per_edge
+                .into_iter()
+                .map(|(e, v)| (e, v.len() as u64))
+                .collect(),
+        }
+    }
+
+    /// The sharing factor for a location (1 if not on a shared edge).
+    pub fn share(&self, loc: SpillLoc) -> u64 {
+        match loc {
+            SpillLoc::OnEdge(e) => self.counts.get(&e).copied().unwrap_or(1).max(1),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{BlockId, Cond, FunctionBuilder, Reg};
+
+    #[test]
+    fn shares_count_distinct_registers() {
+        let e = EdgeId::from_index(3);
+        let mk = |reg: u8| SaveRestoreSet {
+            reg: PReg::new(reg),
+            points: vec![SpillPoint {
+                reg: PReg::new(reg),
+                kind: SpillKind::Restore,
+                loc: SpillLoc::OnEdge(e),
+            }],
+            cluster: DenseBitSet::new(4),
+            initial: true,
+        };
+        let sets = [mk(11), mk(12), mk(11)];
+        let shares = EdgeShares::from_sets(&sets);
+        assert_eq!(shares.share(SpillLoc::OnEdge(e)), 2);
+        assert_eq!(shares.share(SpillLoc::OnEdge(EdgeId::from_index(9))), 1);
+        assert_eq!(shares.share(SpillLoc::BlockTop(BlockId::from_index(0))), 1);
+    }
+
+    #[test]
+    fn jump_model_charges_critical_jump_edges() {
+        // A branches to C (taken) and B (fall); B jumps to D, C falls to D;
+        // D branches back taken to B making B's pred count 2 — build a
+        // critical jump edge D->B.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        let e = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), b, e);
+        fb.switch_to(e);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let db = cfg.edge_between(d, b).unwrap();
+        assert!(cfg.needs_jump_block(db));
+        let mut counts = vec![0u64; cfg.num_edges()];
+        counts[db.index()] = 10;
+        let profile = spillopt_profile::EdgeProfile::new(&cfg, counts, 0);
+
+        let set = SaveRestoreSet {
+            reg: PReg::new(11),
+            points: vec![SpillPoint {
+                reg: PReg::new(11),
+                kind: SpillKind::Save,
+                loc: SpillLoc::OnEdge(db),
+            }],
+            cluster: DenseBitSet::new(cfg.num_blocks()),
+            initial: true,
+        };
+        let shares = EdgeShares::from_sets(std::slice::from_ref(&set));
+        assert_eq!(
+            set.cost(CostModel::ExecutionCount, &cfg, &profile, &shares),
+            Cost::from_count(10)
+        );
+        // Full jump penalty (share = 1): 10 + 10.
+        assert_eq!(
+            set.cost(CostModel::JumpEdge, &cfg, &profile, &shares),
+            Cost::from_count(20)
+        );
+        // Shared between two registers: 10 + 5.
+        let set2 = SaveRestoreSet {
+            reg: PReg::new(12),
+            points: vec![SpillPoint {
+                reg: PReg::new(12),
+                kind: SpillKind::Save,
+                loc: SpillLoc::OnEdge(db),
+            }],
+            cluster: DenseBitSet::new(cfg.num_blocks()),
+            initial: true,
+        };
+        let shares2 = EdgeShares::from_sets(&[set.clone(), set2]);
+        assert_eq!(
+            set.cost(CostModel::JumpEdge, &cfg, &profile, &shares2),
+            Cost::from_count(10) + Cost::from_fraction(10, 2)
+        );
+    }
+}

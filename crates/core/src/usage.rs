@@ -1,0 +1,148 @@
+//! Callee-saved register usage: which registers the allocator used, and in
+//! which blocks each is *busy* (holds an allocated variable and must not be
+//! restored over).
+
+use spillopt_ir::{BlockId, Cfg, DenseBitSet, Function, Liveness, PReg, Reg, Target};
+
+/// For each callee-saved register the allocator used, the set of blocks
+/// where it is busy. This — together with the profile — is the entire
+/// input of the placement problem.
+#[derive(Clone, Debug, Default)]
+pub struct CalleeSavedUsage {
+    entries: Vec<(PReg, DenseBitSet)>,
+}
+
+impl CalleeSavedUsage {
+    /// Creates an empty usage map.
+    pub fn new() -> Self {
+        CalleeSavedUsage::default()
+    }
+
+    /// Marks `reg` busy in `block`. `num_blocks` sizes the bitset on first
+    /// use of a register.
+    pub fn set_busy(&mut self, reg: PReg, block: BlockId, num_blocks: usize) {
+        match self.entries.iter_mut().find(|(r, _)| *r == reg) {
+            Some((_, set)) => {
+                set.insert(block.index());
+            }
+            None => {
+                let mut set = DenseBitSet::new(num_blocks);
+                set.insert(block.index());
+                self.entries.push((reg, set));
+                self.entries.sort_by_key(|(r, _)| *r);
+            }
+        }
+    }
+
+    /// The used registers with their busy sets, in register order.
+    pub fn regs(&self) -> impl Iterator<Item = (PReg, &DenseBitSet)> + '_ {
+        self.entries.iter().map(|(r, s)| (*r, s))
+    }
+
+    /// The busy set of `reg`, if used.
+    pub fn busy(&self, reg: PReg) -> Option<&DenseBitSet> {
+        self.entries
+            .iter()
+            .find(|(r, _)| *r == reg)
+            .map(|(_, s)| s)
+    }
+
+    /// Number of callee-saved registers used.
+    pub fn num_regs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no callee-saved register is used (no save/restore
+    /// code needed at all).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Derives usage from a (post-register-allocation) function: a
+    /// callee-saved register is busy in every block where it is live-in,
+    /// live-out, defined, or used.
+    ///
+    /// This is what the paper's pass receives from the register allocator;
+    /// [`spillopt-regalloc`](https://docs.rs) exports it directly, but any
+    /// allocator's output can be analyzed with this function.
+    pub fn from_function(func: &Function, cfg: &Cfg, target: &Target) -> Self {
+        let liveness = Liveness::compute(func, cfg, target);
+        let mut usage = CalleeSavedUsage::new();
+        let n = func.num_blocks();
+        for b in func.block_ids() {
+            let mark = |r: Reg, usage: &mut CalleeSavedUsage| {
+                if let Reg::Phys(p) = r {
+                    if target.is_callee_saved(p) {
+                        usage.set_busy(p, b, n);
+                    }
+                }
+            };
+            for inst in &func.block(b).insts {
+                inst.for_each_use(|r| mark(r, &mut usage));
+                inst.for_each_def(|r| mark(r, &mut usage));
+            }
+            let universe = liveness.universe();
+            for &p in target.callee_saved() {
+                let idx = universe.index(Reg::Phys(p));
+                if liveness.live_in(b).contains(idx) || liveness.live_out(b).contains(idx) {
+                    usage.set_busy(p, b, n);
+                }
+            }
+        }
+        usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{FunctionBuilder, InstKind};
+
+    #[test]
+    fn set_and_query() {
+        let mut u = CalleeSavedUsage::new();
+        let r11 = PReg::new(11);
+        let r12 = PReg::new(12);
+        u.set_busy(r12, BlockId::from_index(2), 4);
+        u.set_busy(r11, BlockId::from_index(1), 4);
+        u.set_busy(r11, BlockId::from_index(2), 4);
+        assert_eq!(u.num_regs(), 2);
+        let regs: Vec<PReg> = u.regs().map(|(r, _)| r).collect();
+        assert_eq!(regs, vec![r11, r12]); // sorted
+        assert!(u.busy(r11).unwrap().contains(1));
+        assert!(u.busy(r11).unwrap().contains(2));
+        assert!(!u.busy(r12).unwrap().contains(1));
+        assert!(u.busy(PReg::new(13)).is_none());
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn from_function_finds_live_ranges() {
+        // r11 defined in block A, used in block C: busy in A, B (live
+        // through), C.
+        let target = Target::default();
+        let r11 = PReg::new(11);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        fb.emit(InstKind::LoadImm {
+            dst: Reg::Phys(r11),
+            imm: 3,
+        });
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.jump(c);
+        fb.switch_to(c);
+        fb.ret(Some(Reg::Phys(r11)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let u = CalleeSavedUsage::from_function(&f, &cfg, &target);
+        let busy = u.busy(r11).expect("r11 used");
+        assert!(busy.contains(a.index()));
+        assert!(busy.contains(b.index()));
+        assert!(busy.contains(c.index()));
+        assert_eq!(u.num_regs(), 1);
+    }
+}

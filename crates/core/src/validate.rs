@@ -1,0 +1,430 @@
+//! Static validity checking of save/restore placements.
+//!
+//! A placement is valid when, for every callee-saved register:
+//!
+//! * every *busy* block is executed in **saved** state (the original value
+//!   is in memory, the register is free for the allocator);
+//! * a save executes only in **original** state (saving twice would store
+//!   an allocated variable over the saved original value);
+//! * a restore executes only in saved state and never while the register
+//!   is still busy;
+//! * control-flow merges agree on the state;
+//! * the register is in original state at every return (the register-
+//!   usage convention).
+//!
+//! The checker is an abstract interpretation over block granularity with
+//! the same point structure the placements use: block top → busy body →
+//! block bottom → outgoing edge.
+
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::usage::CalleeSavedUsage;
+use spillopt_ir::{BlockId, Cfg, DenseBitSet, PReg};
+use std::fmt;
+
+/// A validity violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A save would execute in saved state (double save).
+    DoubleSave {
+        /// Offending point.
+        point: SpillPoint,
+    },
+    /// A restore would execute in original state (no matching save).
+    RestoreWithoutSave {
+        /// Offending point.
+        point: SpillPoint,
+    },
+    /// A busy block can execute with the register not saved.
+    BusyNotSaved {
+        /// The register.
+        reg: PReg,
+        /// The busy block reached in original state.
+        block: BlockId,
+    },
+    /// A merge point joins saved and original states.
+    InconsistentMerge {
+        /// The register.
+        reg: PReg,
+        /// The block whose entry state conflicts.
+        block: BlockId,
+    },
+    /// A return can execute in saved state (value never restored).
+    NotRestoredAtExit {
+        /// The register.
+        reg: PReg,
+        /// The return block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::DoubleSave { point } => write!(f, "double save at {point}"),
+            PlacementError::RestoreWithoutSave { point } => {
+                write!(f, "restore without save at {point}")
+            }
+            PlacementError::BusyNotSaved { reg, block } => {
+                write!(f, "{reg} busy in {block} but not saved")
+            }
+            PlacementError::InconsistentMerge { reg, block } => {
+                write!(f, "inconsistent save state for {reg} at {block}")
+            }
+            PlacementError::NotRestoredAtExit { reg, block } => {
+                write!(f, "{reg} not restored at exit {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Abstract save-state of one register at one program point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Unknown,
+    Original,
+    Saved,
+    Conflict,
+}
+
+impl State {
+    fn merge(self, other: State) -> State {
+        use State::*;
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (Conflict, _) | (_, Conflict) => Conflict,
+            (a, b) if a == b => a,
+            _ => Conflict,
+        }
+    }
+}
+
+/// Checks `placement` against `usage`. Returns all violations (empty =
+/// valid).
+pub fn check_placement(
+    cfg: &Cfg,
+    usage: &CalleeSavedUsage,
+    placement: &Placement,
+) -> Vec<PlacementError> {
+    let mut errors = Vec::new();
+    for (reg, busy) in usage.regs() {
+        check_one(cfg, reg, busy, placement, &mut errors);
+    }
+    // Registers with points but no usage entry still need consistency.
+    let empty = DenseBitSet::new(cfg.num_blocks());
+    for reg in placement.regs() {
+        if usage.busy(reg).is_none() {
+            check_one(cfg, reg, &empty, placement, &mut errors);
+        }
+    }
+    errors
+}
+
+fn check_one(
+    cfg: &Cfg,
+    reg: PReg,
+    busy: &DenseBitSet,
+    placement: &Placement,
+    errors: &mut Vec<PlacementError>,
+) {
+    let n = cfg.num_blocks();
+    // Collect the register's points per location.
+    let mut top: Vec<Vec<&SpillPoint>> = vec![Vec::new(); n];
+    let mut bottom: Vec<Vec<&SpillPoint>> = vec![Vec::new(); n];
+    let mut on_edge: Vec<Vec<&SpillPoint>> = vec![Vec::new(); cfg.num_edges()];
+    for p in placement.points_for(reg) {
+        match p.loc {
+            SpillLoc::BlockTop(b) => top[b.index()].push(p),
+            SpillLoc::BlockBottom(b) => bottom[b.index()].push(p),
+            SpillLoc::OnEdge(e) => on_edge[e.index()].push(p),
+        }
+    }
+
+    let apply = |mut state: State,
+                 points: &[&SpillPoint],
+                 errors: &mut Vec<PlacementError>| {
+        for p in points {
+            match p.kind {
+                SpillKind::Save => {
+                    if state == State::Saved {
+                        errors.push(PlacementError::DoubleSave { point: **p });
+                    }
+                    state = State::Saved;
+                }
+                SpillKind::Restore => {
+                    if state == State::Original || state == State::Unknown {
+                        errors.push(PlacementError::RestoreWithoutSave { point: **p });
+                    }
+                    // A restore at the bottom of a busy block is legal —
+                    // the busy body precedes it (the paper's "restore
+                    // after E"). A busy range *continuing* past a restore
+                    // surfaces as BusyNotSaved at the successor.
+                    state = State::Original;
+                }
+            }
+        }
+        state
+    };
+
+    // Iterate to fixpoint over block-entry states.
+    let mut state_in = vec![State::Unknown; n];
+    state_in[cfg.entry().index()] = State::Original;
+    let mut changed = true;
+    let mut reported_merge = DenseBitSet::new(n);
+    let mut iterations = 0usize;
+    while changed {
+        changed = false;
+        iterations += 1;
+        if iterations > 4 * n + 8 {
+            break; // conflicts oscillate at most once; safety net
+        }
+        for bi in 0..n {
+            let b = BlockId::from_index(bi);
+            let entry_state = state_in[bi];
+            if entry_state == State::Unknown {
+                continue;
+            }
+            let mut sink = Vec::new();
+            let mut s = apply(entry_state, &top[bi], &mut sink);
+            // Busy body: must be in saved state.
+            if busy.contains(bi) && s != State::Saved {
+                sink.push(PlacementError::BusyNotSaved { reg, block: b });
+            }
+            s = apply(s, &bottom[bi], &mut sink);
+            // Returns must be in original state.
+            if cfg.exit_blocks().contains(&b) && s == State::Saved {
+                sink.push(PlacementError::NotRestoredAtExit { reg, block: b });
+            }
+            // Record errors only once per fixpoint (first time states are
+            // final); easiest: collect on every pass into a set.
+            for e in sink {
+                if !errors.contains(&e) {
+                    errors.push(e);
+                }
+            }
+            for &eid in cfg.succ_edges(b) {
+                let mut sink = Vec::new();
+                let to = cfg.edge(eid).to;
+                let after = apply(s, &on_edge[eid.index()], &mut sink);
+                for e in sink {
+                    if !errors.contains(&e) {
+                        errors.push(e);
+                    }
+                }
+                let merged = state_in[to.index()].merge(after);
+                if merged != state_in[to.index()] {
+                    state_in[to.index()] = merged;
+                    changed = true;
+                }
+                if merged == State::Conflict && reported_merge.insert(to.index()) {
+                    errors.push(PlacementError::InconsistentMerge { reg, block: to });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry_exit::entry_exit_placement;
+    use crate::location::Placement;
+    use spillopt_ir::{Cond, FunctionBuilder, Reg};
+
+    fn diamond() -> (spillopt_ir::Function, [BlockId; 4]) {
+        let mut fb = FunctionBuilder::new("d", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        (fb.finish(), [a, b, c, d])
+    }
+
+    #[test]
+    fn entry_exit_is_always_valid() {
+        let (f, [_, b, ..]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 4);
+        let p = entry_exit_placement(&cfg, &usage);
+        assert_eq!(check_placement(&cfg, &usage, &p), vec![]);
+    }
+
+    #[test]
+    fn missing_save_is_caught() {
+        let (f, [_, b, _, d]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        // Restore without save.
+        let p = Placement::from_points(vec![SpillPoint {
+            reg: r,
+            kind: SpillKind::Restore,
+            loc: SpillLoc::BlockBottom(d),
+        }]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::RestoreWithoutSave { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::BusyNotSaved { .. })));
+    }
+
+    #[test]
+    fn asymmetric_diamond_merge_is_caught() {
+        let (f, [a, b, _, d]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        // Save only on the busy arm, restore at the merged exit: the
+        // merge at D sees saved/original conflict.
+        let p = Placement::from_points(vec![
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::OnEdge(cfg.edge_between(a, b).unwrap()),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(d),
+            },
+        ]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::InconsistentMerge { .. })));
+    }
+
+    #[test]
+    fn unrestored_exit_is_caught() {
+        let (f, [a, b, _, _]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        let p = Placement::from_points(vec![SpillPoint {
+            reg: r,
+            kind: SpillKind::Save,
+            loc: SpillLoc::BlockTop(a),
+        }]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::NotRestoredAtExit { .. })));
+    }
+
+    #[test]
+    fn double_save_is_caught() {
+        let (f, [a, b, _, d]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        let p = Placement::from_points(vec![
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::OnEdge(cfg.edge_between(a, b).unwrap()),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(d),
+            },
+        ]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::DoubleSave { .. })));
+    }
+
+    #[test]
+    fn busy_range_past_a_restore_is_caught() {
+        let (f, [a, b, _, d]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        usage.set_busy(r, d, 4);
+        // Restoring at the bottom of b while d (busy) follows leaves d
+        // executing in original state.
+        let p = Placement::from_points(vec![
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(b),
+            },
+        ]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlacementError::BusyNotSaved { block, .. } if *block == d)));
+    }
+
+    #[test]
+    fn restore_at_bottom_of_busy_block_is_legal() {
+        // The paper's own pattern: busy block with the restore as its last
+        // instruction.
+        let (f, [a, b, _, d]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        let r = PReg::new(11);
+        usage.set_busy(r, b, 4);
+        let p = Placement::from_points(vec![
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Save,
+                loc: SpillLoc::BlockTop(a),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::BlockBottom(b),
+            },
+            SpillPoint {
+                reg: r,
+                kind: SpillKind::Restore,
+                loc: SpillLoc::OnEdge(cfg.edge_between(a, spillopt_ir::BlockId::from_index(2)).unwrap()),
+            },
+        ]);
+        let errs = check_placement(&cfg, &usage, &p);
+        assert_eq!(errs, vec![]);
+        let _ = d;
+    }
+
+    #[test]
+    fn modified_shrink_wrap_is_valid_on_diamond() {
+        let (f, [_, b, ..]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), b, 4);
+        let p = crate::modified::modified_shrink_wrap(&cfg, &usage).placement();
+        assert_eq!(check_placement(&cfg, &usage, &p), vec![]);
+        let c = crate::chow::chow_shrink_wrap(&cfg, &usage);
+        assert_eq!(check_placement(&cfg, &usage, &c), vec![]);
+    }
+}

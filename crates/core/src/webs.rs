@@ -1,0 +1,205 @@
+//! Grouping save/restore locations into sets by data-flow webs.
+//!
+//! The paper identifies the initial save/restore sets "using standard
+//! compiler data flow techniques for computing variable live ranges or
+//! webs. Save instructions represent the beginning of a web [...] and
+//! restore instructions represent the termination of a web." This module
+//! implements that construction generically over any placement: a
+//! *reaching saves* analysis connects each restore to the saves that reach
+//! it, and the connected components are the sets.
+//!
+//! [`crate::modified`] builds its sets directly from busy clusters; tests
+//! assert both constructions agree, which is exactly the live-range/web
+//! equivalence the paper appeals to.
+
+use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use spillopt_ir::{Cfg, DenseBitSet, PReg, UnionFind};
+
+/// Groups the points of `placement` into save/restore sets (webs), per
+/// register. Each returned group is one web: saves and the restores they
+/// reach, transitively connected.
+pub fn group_into_webs(cfg: &Cfg, placement: &Placement) -> Vec<Vec<SpillPoint>> {
+    let mut out = Vec::new();
+    for reg in placement.regs() {
+        out.extend(webs_for_reg(cfg, placement, reg));
+    }
+    out
+}
+
+fn webs_for_reg(cfg: &Cfg, placement: &Placement, reg: PReg) -> Vec<Vec<SpillPoint>> {
+    let points: Vec<&SpillPoint> = placement.points_for(reg).collect();
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let num_points = points.len();
+    let point_index = |p: &SpillPoint| points.iter().position(|q| *q == p).expect("own point");
+
+    // Per-location point lists (restores sort before saves, preserving
+    // the same-location semantics).
+    let n = cfg.num_blocks();
+    let mut top: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bottom: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut on_edge: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_edges()];
+    for (i, p) in points.iter().enumerate() {
+        match p.loc {
+            SpillLoc::BlockTop(b) => top[b.index()].push(i),
+            SpillLoc::BlockBottom(b) => bottom[b.index()].push(i),
+            SpillLoc::OnEdge(e) => on_edge[e.index()].push(i),
+        }
+    }
+
+    // Reaching-saves fixpoint; at each restore, union it with every
+    // reaching save.
+    let mut uf = UnionFind::new(num_points);
+    let mut entry_state: Vec<DenseBitSet> = vec![DenseBitSet::new(num_points); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..n {
+            let mut active = entry_state[bi].clone();
+            let transfer = |ids: &[usize], active: &mut DenseBitSet, uf: &mut UnionFind| {
+                for &i in ids {
+                    match points[i].kind {
+                        SpillKind::Restore => {
+                            for s in active.iter() {
+                                uf.union(i, s);
+                            }
+                            active.clear();
+                        }
+                        SpillKind::Save => {
+                            active.insert(i);
+                        }
+                    }
+                }
+            };
+            transfer(&top[bi], &mut active, &mut uf);
+            transfer(&bottom[bi], &mut active, &mut uf);
+            for &e in cfg.succ_edges(spillopt_ir::BlockId::from_index(bi)) {
+                let mut after = active.clone();
+                transfer(&on_edge[e.index()], &mut after, &mut uf);
+                let to = cfg.edge(e).to.index();
+                if entry_state[to].union_with(&after) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Components.
+    let mut comp: std::collections::HashMap<usize, Vec<SpillPoint>> =
+        std::collections::HashMap::new();
+    for p in &points {
+        let root = uf.find(point_index(p));
+        comp.entry(root).or_default().push(**p);
+    }
+    let mut webs: Vec<Vec<SpillPoint>> = comp.into_values().collect();
+    for w in &mut webs {
+        w.sort();
+    }
+    webs.sort();
+    webs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modified::modified_shrink_wrap;
+    use crate::usage::CalleeSavedUsage;
+    use spillopt_ir::{Cond, FunctionBuilder, Reg};
+
+    #[test]
+    fn separate_clusters_yield_separate_webs() {
+        // A(busy r11) -> B -> C(busy r11) -> ret.
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.jump(c);
+        fb.switch_to(c);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let r = spillopt_ir::PReg::new(11);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(r, a, 3);
+        usage.set_busy(r, c, 3);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        let placement = init.placement();
+        let webs = group_into_webs(&cfg, &placement);
+        assert_eq!(webs.len(), 2, "two independent webs");
+        // Webs agree with the cluster-based sets.
+        let mut cluster_sets: Vec<Vec<SpillPoint>> = init
+            .sets
+            .iter()
+            .map(|s| {
+                let mut v = s.points.clone();
+                v.sort();
+                v
+            })
+            .collect();
+        cluster_sets.sort();
+        assert_eq!(webs, cluster_sets);
+    }
+
+    #[test]
+    fn branching_web_stays_connected() {
+        // Busy diamond: save above the branch, restores on both arms'
+        // exits — one web.
+        let mut fb = FunctionBuilder::new("g", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let r = spillopt_ir::PReg::new(11);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(r, b, 4);
+        usage.set_busy(r, c, 4);
+        // Busy on both arms: clusters {B} and {C} are disjoint in the
+        // graph, so two webs; but busy A too makes one.
+        usage.set_busy(r, a, 4);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        let webs = group_into_webs(&cfg, &init.placement());
+        assert_eq!(webs.len(), 1);
+        let w = &webs[0];
+        assert_eq!(
+            w.iter().filter(|p| p.kind == SpillKind::Save).count(),
+            1,
+            "single save at entry"
+        );
+        assert_eq!(
+            w.iter().filter(|p| p.kind == SpillKind::Restore).count(),
+            2,
+            "restore on each arm exit"
+        );
+    }
+
+    #[test]
+    fn different_registers_never_share_webs() {
+        let mut fb = FunctionBuilder::new("h", 0);
+        let a = fb.create_block(None);
+        fb.switch_to(a);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(spillopt_ir::PReg::new(11), a, 1);
+        usage.set_busy(spillopt_ir::PReg::new(12), a, 1);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        let webs = group_into_webs(&cfg, &init.placement());
+        assert_eq!(webs.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Multi-register behaviour of the hierarchical algorithm: registers are
+//! optimized independently ("for each callee-saved register allocated"),
+//! jump-block cost is shared among initial sets, and hoisting respects
+//! webs of the same register that cross a region boundary.
+
+use spillopt_core::{
+    check_placement, hierarchical_placement, modified_shrink_wrap, paper_example,
+    placement_model_cost, CalleeSavedUsage, Cost, CostModel, EdgeShares, SpillKind, SpillLoc,
+};
+use spillopt_ir::{Cfg, Cond, FunctionBuilder, PReg, Reg};
+use spillopt_profile::EdgeProfile;
+use spillopt_pst::Pst;
+
+/// Two registers with different busy regions get independent decisions.
+#[test]
+fn registers_are_placed_independently() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    // Second register busy only in K (cold); the first as in the paper.
+    let mut usage = CalleeSavedUsage::new();
+    for letter in ['D', 'E', 'G', 'K', 'N'] {
+        usage.set_busy(ex.reg, ex.block(letter), 16);
+    }
+    let r2 = PReg::new(12);
+    usage.set_busy(r2, ex.block('K'), 16);
+
+    let res = hierarchical_placement(
+        &ex.cfg,
+        &pst,
+        &usage,
+        &ex.profile,
+        CostModel::ExecutionCount,
+    );
+    assert!(check_placement(&ex.cfg, &usage, &res.placement).is_empty());
+
+    // r11's outcome is unchanged by r2's presence: total r11 cost 190.
+    let r11_cost: Cost = res
+        .placement
+        .points()
+        .iter()
+        .filter(|p| p.reg == ex.reg)
+        .map(|p| {
+            spillopt_core::location_cost(
+                CostModel::ExecutionCount,
+                &ex.cfg,
+                &ex.profile,
+                p.loc,
+                1,
+            )
+        })
+        .sum();
+    assert_eq!(r11_cost, Cost::from_count(190));
+
+    // r2 keeps its tight wrap around K (cost 50 < any boundary).
+    let r2_points: Vec<_> = res.placement.points_for(r2).collect();
+    assert_eq!(r2_points.len(), 2);
+    assert!(r2_points
+        .iter()
+        .any(|p| p.kind == SpillKind::Save && p.loc == SpillLoc::OnEdge(ex.edge('I', 'K'))));
+    assert!(r2_points
+        .iter()
+        .any(|p| p.kind == SpillKind::Restore && p.loc == SpillLoc::OnEdge(ex.edge('K', 'L'))));
+}
+
+/// Two registers busy in D/E share the D->F jump block: under the jump
+/// edge model each initial set pays half the jump instruction.
+#[test]
+fn initial_sets_share_jump_cost() {
+    let ex = paper_example();
+    let mut usage = CalleeSavedUsage::new();
+    let r2 = PReg::new(12);
+    for letter in ['D', 'E'] {
+        usage.set_busy(ex.reg, ex.block(letter), 16);
+        usage.set_busy(r2, ex.block(letter), 16);
+    }
+    let init = modified_shrink_wrap(&ex.cfg, &usage);
+    assert_eq!(init.sets.len(), 2);
+    let shares = EdgeShares::from_sets(&init.sets);
+    assert_eq!(shares.share(SpillLoc::OnEdge(ex.edge('D', 'F'))), 2);
+    for set in &init.sets {
+        // 40 + 10 + 30 + 30/2 = 95 (vs 110 unshared).
+        assert_eq!(
+            set.cost(CostModel::JumpEdge, &ex.cfg, &ex.profile, &shares),
+            Cost::from_count(80) + Cost::from_fraction(30, 2)
+        );
+    }
+}
+
+/// A region is not hoisted when another web of the same register crosses
+/// its boundary: the placement must stay valid.
+#[test]
+fn hoisting_guard_keeps_placements_valid() {
+    // A -> B(busy) -> C(busy) -> D(busy) -> ret, where B..D would form a
+    // hoistable chain, but the busy range extends past any single region.
+    // Plus a diamond around C so a region exists whose boundary splits the
+    // busy range.
+    let mut fb = FunctionBuilder::new("guard", 0);
+    let a = fb.create_block(None);
+    let b = fb.create_block(None);
+    let c1 = fb.create_block(None);
+    let c2 = fb.create_block(None);
+    let d = fb.create_block(None);
+    fb.switch_to(a);
+    let x = fb.li(0);
+    fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c1, b);
+    fb.switch_to(b);
+    fb.jump(c2);
+    fb.switch_to(c1);
+    fb.jump(c2);
+    fb.switch_to(c2);
+    fb.jump(d);
+    fb.switch_to(d);
+    fb.ret(None);
+    let f = fb.finish();
+    let cfg = Cfg::compute(&f);
+    let pst = Pst::compute(&cfg);
+    let profile = spillopt_profile::random_walk_profile(&cfg, 100, 32, 5);
+
+    // One register, two disjoint webs: {b} and {c2, d} — the second
+    // crosses several region boundaries.
+    let r = PReg::new(11);
+    let mut usage = CalleeSavedUsage::new();
+    usage.set_busy(r, b, 5);
+    usage.set_busy(r, c2, 5);
+    usage.set_busy(r, d, 5);
+
+    for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+        let res = hierarchical_placement(&cfg, &pst, &usage, &profile, model);
+        let errs = check_placement(&cfg, &usage, &res.placement);
+        assert!(errs.is_empty(), "{model:?}: {errs:?}");
+    }
+}
+
+/// All thirteen callee-saved registers at once: the full-convention stress
+/// case stays valid and never beats per-register lower bounds.
+#[test]
+fn thirteen_registers_stress() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let mut usage = CalleeSavedUsage::new();
+    let letters = ['D', 'E', 'G', 'K', 'N', 'C', 'F', 'J', 'M', 'I', 'L', 'O', 'B'];
+    for (i, &letter) in letters.iter().enumerate() {
+        let reg = PReg::new(11 + (i as u8 % 13).min(12));
+        usage.set_busy(reg, ex.block(letter), 16);
+    }
+    for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+        let res = hierarchical_placement(&ex.cfg, &pst, &usage, &ex.profile, model);
+        let errs = check_placement(&ex.cfg, &usage, &res.placement);
+        assert!(errs.is_empty(), "{model:?}: {errs:?}");
+        // Never worse than entry/exit in total.
+        let ee = spillopt_core::entry_exit_placement(&ex.cfg, &usage);
+        let cost = |p: &spillopt_core::Placement| {
+            placement_model_cost(model, &ex.cfg, &ex.profile, p, &EdgeShares::none())
+        };
+        assert!(cost(&res.placement) <= cost(&ee));
+    }
+}
+
+/// A profile of all zeroes (procedure never entered during training) must
+/// not break anything: ties go to replacement, everything stays valid.
+#[test]
+fn zero_profile_degenerates_gracefully() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let zero = EdgeProfile::zeroed(&ex.cfg);
+    for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+        let res = hierarchical_placement(&ex.cfg, &pst, &ex.usage, &zero, model);
+        assert!(check_placement(&ex.cfg, &ex.usage, &res.placement).is_empty());
+    }
+}

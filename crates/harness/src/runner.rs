@@ -1,0 +1,321 @@
+//! The full experimental pipeline for one benchmark: generate → profile
+//! (train) → allocate → place (each technique) → execute (ref) → measure.
+
+use spillopt_benchgen::{build_bench, BenchSpec, GeneratedBench};
+use spillopt_core::{
+    chow_shrink_wrap, entry_exit_placement, hierarchical_placement, insert_placement,
+    CalleeSavedUsage, CostModel, Placement,
+};
+use spillopt_ir::{Cfg, FuncId, Module, RegDiscipline, Target};
+use spillopt_profile::{EdgeProfile, ExecCounts, Machine};
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+use std::time::{Duration, Instant};
+
+/// The placement techniques compared by the paper's evaluation, plus the
+/// execution-count-model ablation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Technique {
+    /// Save at entry, restore at exits (the paper's *Baseline*).
+    Baseline,
+    /// Chow's shrink-wrapping (the paper's *Shrinkwrap*).
+    Shrinkwrap,
+    /// Hierarchical placement, jump-edge cost model (the paper's
+    /// *Optimized*).
+    Optimized,
+    /// Hierarchical placement, execution-count cost model (ablation; the
+    /// paper does not evaluate it because spill code on jump edges is not
+    /// executable without jump blocks — we insert the jump blocks and
+    /// measure what the model ignored).
+    OptimizedExecModel,
+}
+
+impl Technique {
+    /// All techniques, in reporting order.
+    pub fn all() -> [Technique; 4] {
+        [
+            Technique::Baseline,
+            Technique::Shrinkwrap,
+            Technique::Optimized,
+            Technique::OptimizedExecModel,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Baseline => "baseline",
+            Technique::Shrinkwrap => "shrinkwrap",
+            Technique::Optimized => "optimized",
+            Technique::OptimizedExecModel => "optimized-exec",
+        }
+    }
+}
+
+/// Measured outcome of one technique on one benchmark.
+#[derive(Clone, Debug, Default)]
+pub struct TechniqueResult {
+    /// Dynamic spill-code overhead (the paper's Figure 5 metric: executed
+    /// allocator spill loads/stores + callee-saved saves/restores).
+    pub dynamic_overhead: u64,
+    /// Executed callee-saved saves/restores only.
+    pub callee_saved_overhead: u64,
+    /// Executed jump-block jump instructions (not part of the Figure 5
+    /// metric; the jump-edge model's subject).
+    pub jump_overhead: u64,
+    /// Static save/restore instructions placed.
+    pub static_count: usize,
+    /// Placement pass time (placement computation only, summed over
+    /// functions).
+    pub pass_time: Duration,
+}
+
+/// Measured outcome of one benchmark across all techniques.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Results per technique (indexed via [`Technique::all`] order).
+    pub techniques: Vec<(Technique, TechniqueResult)>,
+    /// Functions that used at least one callee-saved register.
+    pub funcs_with_callee_saved: usize,
+    /// Total functions.
+    pub funcs: usize,
+    /// Static module size (instructions) after allocation, before
+    /// placement.
+    pub module_insts: usize,
+    /// Workload scale multiplier (applied to the reported overheads).
+    pub scale: u64,
+}
+
+impl BenchResult {
+    /// Result of one technique.
+    pub fn of(&self, t: Technique) -> &TechniqueResult {
+        &self
+            .techniques
+            .iter()
+            .find(|(x, _)| *x == t)
+            .expect("technique present")
+            .1
+    }
+
+    /// The paper's Table 1 ratio: technique overhead / baseline overhead
+    /// (1.0 when the baseline overhead is zero — no callee-saved use, as
+    /// in mcf).
+    pub fn ratio(&self, t: Technique) -> f64 {
+        let base = self.of(Technique::Baseline).dynamic_overhead;
+        if base == 0 {
+            1.0
+        } else {
+            self.of(t).dynamic_overhead as f64 / base as f64
+        }
+    }
+}
+
+/// Errors from the pipeline (all indicate bugs, not input conditions; the
+/// harness surfaces them instead of panicking so the repro binary can
+/// report which benchmark failed).
+#[derive(Debug)]
+pub struct PipelineError {
+    /// Benchmark name.
+    pub bench: String,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.bench, self.message)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Runs the full pipeline for one benchmark spec.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if any stage fails or any technique changes
+/// program behaviour.
+pub fn run_benchmark(spec: &BenchSpec, target: &Target) -> Result<BenchResult, PipelineError> {
+    let bench = build_bench(spec, target);
+    let fail = |message: String| PipelineError {
+        bench: bench.name.clone(),
+        message,
+    };
+
+    // --- Train run: profiles on the virtual module. ---
+    let mut vm = Machine::new(&bench.module, target);
+    vm.set_fuel(1 << 30);
+    for (f, args) in &bench.train_runs {
+        vm.call(*f, args).map_err(|e| fail(format!("train run failed: {e}")))?;
+    }
+    let train_profiles: Vec<EdgeProfile> = bench
+        .module
+        .func_ids()
+        .map(|f| vm.edge_profile(f))
+        .collect();
+
+    // --- Reference (ref) outputs on the virtual module. ---
+    let reference = execute(&bench.module, target, &bench.ref_runs)
+        .map_err(|e| fail(format!("ref run failed: {e}")))?;
+
+    // --- Register allocation (shared by all techniques). ---
+    let mut alloc_module = bench.module.clone();
+    for f in bench.module.func_ids() {
+        allocate(
+            alloc_module.func_mut(f),
+            target,
+            Some(&train_profiles[f.index()]),
+        );
+        let errs = spillopt_ir::verify_function(alloc_module.func(f), RegDiscipline::Physical);
+        if !errs.is_empty() {
+            return Err(fail(format!("post-RA verification failed: {errs:?}")));
+        }
+    }
+
+    // Per-function placement inputs.
+    let cfgs: Vec<Cfg> = alloc_module
+        .func_ids()
+        .map(|f| Cfg::compute(alloc_module.func(f)))
+        .collect();
+    let usages: Vec<CalleeSavedUsage> = alloc_module
+        .func_ids()
+        .map(|f| CalleeSavedUsage::from_function(alloc_module.func(f), &cfgs[f.index()], target))
+        .collect();
+    let funcs_with_callee_saved = usages.iter().filter(|u| !u.is_empty()).count();
+    let module_insts = alloc_module.num_insts();
+
+    let mut techniques = Vec::new();
+    for technique in Technique::all() {
+        let mut placed = alloc_module.clone();
+        let mut static_count = 0usize;
+        let mut pass_time = Duration::ZERO;
+        for f in bench.module.func_ids() {
+            let cfg = &cfgs[f.index()];
+            let usage = &usages[f.index()];
+            if usage.is_empty() {
+                continue;
+            }
+            let profile = &train_profiles[f.index()];
+            let (placement, elapsed) = time_placement(technique, cfg, usage, profile);
+            pass_time += elapsed;
+            let errs = spillopt_core::check_placement(cfg, usage, &placement);
+            if !errs.is_empty() {
+                return Err(fail(format!(
+                    "{}: invalid placement in {}: {errs:?}",
+                    technique.name(),
+                    placed.func(f).name()
+                )));
+            }
+            static_count += placement.static_count();
+            insert_placement(placed.func_mut(f), cfg, &placement);
+        }
+
+        let (outputs, counts) = execute_counted(&placed, target, &bench.ref_runs)
+            .map_err(|e| fail(format!("{}: execution failed: {e}", technique.name())))?;
+        if outputs != reference {
+            return Err(fail(format!(
+                "{}: program behaviour changed",
+                technique.name()
+            )));
+        }
+        techniques.push((
+            technique,
+            TechniqueResult {
+                dynamic_overhead: counts.spill_code_overhead() * bench.scale,
+                callee_saved_overhead: counts.callee_save_overhead() * bench.scale,
+                jump_overhead: counts.jump_block_jumps * bench.scale,
+                static_count,
+                pass_time,
+            },
+        ));
+    }
+
+    Ok(BenchResult {
+        name: bench.name.clone(),
+        techniques,
+        funcs_with_callee_saved,
+        funcs: bench.module.num_funcs(),
+        module_insts,
+        scale: bench.scale,
+    })
+}
+
+fn time_placement(
+    technique: Technique,
+    cfg: &Cfg,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+) -> (Placement, Duration) {
+    let start = Instant::now();
+    let placement = match technique {
+        Technique::Baseline => entry_exit_placement(cfg, usage),
+        Technique::Shrinkwrap => chow_shrink_wrap(cfg, usage),
+        Technique::Optimized => {
+            let pst = Pst::compute(cfg);
+            hierarchical_placement(cfg, &pst, usage, profile, CostModel::JumpEdge).placement
+        }
+        Technique::OptimizedExecModel => {
+            let pst = Pst::compute(cfg);
+            hierarchical_placement(cfg, &pst, usage, profile, CostModel::ExecutionCount).placement
+        }
+    };
+    (placement, start.elapsed())
+}
+
+/// Executes a workload and returns the outputs.
+pub fn execute(
+    module: &Module,
+    target: &Target,
+    runs: &[(FuncId, Vec<i64>)],
+) -> Result<Vec<i64>, spillopt_profile::ExecError> {
+    Ok(execute_counted(module, target, runs)?.0)
+}
+
+/// Executes a workload and returns outputs plus dynamic counters.
+pub fn execute_counted(
+    module: &Module,
+    target: &Target,
+    runs: &[(FuncId, Vec<i64>)],
+) -> Result<(Vec<i64>, ExecCounts), spillopt_profile::ExecError> {
+    let mut m = Machine::new(module, target);
+    m.set_fuel(1 << 30);
+    let mut out = Vec::with_capacity(runs.len());
+    for (f, args) in runs {
+        out.push(m.call(*f, args)?);
+    }
+    Ok((out, m.counts().clone()))
+}
+
+/// Profiles a workload per function (used by examples and benches).
+pub fn profile_workload(
+    module: &Module,
+    target: &Target,
+    runs: &[(FuncId, Vec<i64>)],
+) -> Result<Vec<EdgeProfile>, spillopt_profile::ExecError> {
+    let mut m = Machine::new(module, target);
+    m.set_fuel(1 << 30);
+    for (f, args) in runs {
+        m.call(*f, args)?;
+    }
+    Ok(module.func_ids().map(|f| m.edge_profile(f)).collect())
+}
+
+/// Convenience: generate and run one named benchmark.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names.
+pub fn run_named_benchmark(name: &str, target: &Target) -> Result<BenchResult, PipelineError> {
+    let spec = spillopt_benchgen::benchmark_by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    run_benchmark(&spec, target)
+}
+
+/// Returns a generated benchmark for external tooling (benches).
+pub fn generated(name: &str, target: &Target) -> GeneratedBench {
+    let spec = spillopt_benchgen::benchmark_by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    build_bench(&spec, target)
+}

@@ -1,0 +1,303 @@
+//! Natural loops, loop nesting depth, and strongly-connected components.
+//!
+//! Chow's shrink-wrapping avoids placing save/restore code inside loops by
+//! propagating artificial data flow over loop bodies; we provide both
+//! natural loops (reducible CFGs, with nesting depth for spill costs) and
+//! Tarjan SCCs (a total notion of "cyclic region" that the Chow
+//! implementation uses so that irreducible graphs are still handled).
+
+use crate::analysis::dom::BlockDoms;
+use crate::bitset::DenseBitSet;
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// A natural loop: a back edge's header plus the blocks that reach the
+/// latch without passing the header.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge, dominates the body).
+    pub header: BlockId,
+    /// All blocks in the loop (including the header).
+    pub body: DenseBitSet,
+}
+
+/// The set of natural loops of a function, with per-block nesting depth.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    loops: Vec<NaturalLoop>,
+    depth: Vec<u32>,
+    reducible: bool,
+}
+
+impl LoopInfo {
+    /// Computes natural loops from back edges (`u -> v` where `v`
+    /// dominates `u`). If other retreating edges exist the CFG is
+    /// irreducible; `is_reducible` reports this and the offending cycles
+    /// are simply not represented as natural loops (use [`sccs`] for a
+    /// total cyclic-region notion).
+    pub fn compute(cfg: &Cfg, doms: &BlockDoms) -> Self {
+        let n = cfg.num_blocks();
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+
+        // Find back edges.
+        for (_, e) in cfg.edges() {
+            if doms.dominates(e.to, e.from) {
+                // Natural loop of this back edge.
+                let header = e.to;
+                let mut body = DenseBitSet::new(n);
+                body.insert(header.index());
+                let mut stack = Vec::new();
+                if body.insert(e.from.index()) {
+                    stack.push(e.from);
+                }
+                while let Some(b) = stack.pop() {
+                    for p in cfg.pred_blocks(b) {
+                        if body.insert(p.index()) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                // Merge with an existing loop sharing the header (multiple
+                // latches).
+                if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                    l.body.union_with(&body);
+                } else {
+                    loops.push(NaturalLoop { header, body });
+                }
+            }
+        }
+
+        // Reducibility: every retreating edge (per DFS) must be a back
+        // edge. Equivalently: check that every cycle goes through some
+        // natural-loop header it is dominated by. We use the simpler
+        // standard test: run a DFS and classify.
+        let reducible = is_reducible(cfg, doms);
+
+        // Nesting depth: number of loops containing each block.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for b in l.body.iter() {
+                depth[b] += 1;
+            }
+        }
+
+        LoopInfo {
+            loops,
+            depth,
+            reducible,
+        }
+    }
+
+    /// Returns all natural loops (one per header).
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> usize {
+        self.depth[b.index()] as usize
+    }
+
+    /// Returns `true` if all cycles are natural loops.
+    pub fn is_reducible(&self) -> bool {
+        self.reducible
+    }
+}
+
+fn is_reducible(cfg: &Cfg, doms: &BlockDoms) -> bool {
+    // DFS with colors; a retreating edge to a non-dominating target makes
+    // the graph irreducible.
+    let n = cfg.num_blocks();
+    let mut state = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry(), 0)];
+    state[cfg.entry().index()] = 1;
+    while let Some(&mut (b, ref mut ci)) = stack.last_mut() {
+        let succs = cfg.succ_edges(b);
+        if *ci < succs.len() {
+            let t = cfg.edge(succs[*ci]).to;
+            *ci += 1;
+            match state[t.index()] {
+                0 => {
+                    state[t.index()] = 1;
+                    stack.push((t, 0));
+                }
+                1 => {
+                    // Retreating edge; must target a dominator.
+                    if !doms.dominates(t, b) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        } else {
+            state[b.index()] = 2;
+            stack.pop();
+        }
+    }
+    true
+}
+
+/// A cyclic strongly-connected component: more than one block, or a single
+/// block with a self edge.
+#[derive(Clone, Debug)]
+pub struct CyclicRegion {
+    /// The blocks of the component.
+    pub blocks: DenseBitSet,
+}
+
+/// Computes the *cyclic* SCCs of the CFG (Tarjan). Trivial single-block
+/// components without self edges are omitted.
+pub fn sccs(cfg: &Cfg) -> Vec<CyclicRegion> {
+    let n = cfg.num_blocks();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out = Vec::new();
+
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: usize,
+        child: usize,
+    }
+    for start in 0..n {
+        if index[start] != u32::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame {
+            node: start,
+            child: 0,
+        }];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call.last().copied() {
+            let u = frame.node;
+            let succs = cfg.succ_edges(BlockId::from_index(u));
+            if frame.child < succs.len() {
+                call.last_mut().unwrap().child += 1;
+                let v = cfg.edge(succs[frame.child]).to.index();
+                if index[v] == u32::MAX {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame { node: v, child: 0 });
+                } else if on_stack[v] {
+                    low[u] = low[u].min(index[v]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.node;
+                    low[p] = low[p].min(low[u]);
+                }
+                if low[u] == index[u] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1
+                        || cfg
+                            .succ_blocks(BlockId::from_index(u))
+                            .any(|s| s.index() == u);
+                    if cyclic {
+                        let mut blocks = DenseBitSet::new(n);
+                        blocks.extend(comp);
+                        out.push(CyclicRegion { blocks });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Function;
+    use crate::ids::Reg;
+    use crate::inst::Cond;
+
+    /// entry -> header; header -> {body (fall), exit (taken)};
+    /// body -> header (back edge); exit: ret.
+    fn loop_func() -> (Function, [BlockId; 4]) {
+        let mut fb = FunctionBuilder::new("loop", 0);
+        let entry = fb.create_block(Some("entry"));
+        let header = fb.create_block(Some("header"));
+        let body = fb.create_block(Some("body"));
+        let exit = fb.create_block(Some("exit"));
+        fb.switch_to(entry);
+        let i = fb.li(0);
+        let nv = fb.li(10);
+        fb.jump(header);
+        fb.switch_to(header);
+        fb.branch(Cond::Ge, Reg::Virt(i), Reg::Virt(nv), exit, body);
+        fb.switch_to(body);
+        fb.jump(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        (fb.finish(), [entry, header, body, exit])
+    }
+
+    #[test]
+    fn finds_natural_loop() {
+        let (f, [_, header, body, exit]) = loop_func();
+        let cfg = Cfg::compute(&f);
+        let doms = BlockDoms::compute(&cfg);
+        let li = LoopInfo::compute(&cfg, &doms);
+        assert!(li.is_reducible());
+        assert_eq!(li.loops().len(), 1);
+        let l = &li.loops()[0];
+        assert_eq!(l.header, header);
+        assert!(l.body.contains(header.index()));
+        assert!(l.body.contains(body.index()));
+        assert!(!l.body.contains(exit.index()));
+        assert_eq!(li.depth(body), 1);
+        assert_eq!(li.depth(exit), 0);
+    }
+
+    #[test]
+    fn sccs_find_the_cycle() {
+        let (f, [entry, header, body, exit]) = loop_func();
+        let cfg = Cfg::compute(&f);
+        let regions = sccs(&cfg);
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert!(r.blocks.contains(header.index()));
+        assert!(r.blocks.contains(body.index()));
+        assert!(!r.blocks.contains(entry.index()));
+        assert!(!r.blocks.contains(exit.index()));
+    }
+
+    #[test]
+    fn acyclic_has_no_loops() {
+        let mut fb = FunctionBuilder::new("acyclic", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        fb.switch_to(a);
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let doms = BlockDoms::compute(&cfg);
+        let li = LoopInfo::compute(&cfg, &doms);
+        assert!(li.loops().is_empty());
+        assert!(li.is_reducible());
+        assert!(sccs(&cfg).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! A dense fixed-capacity bit set used by the dataflow analyses.
+
+use std::fmt;
+
+/// A dense bit set over `0..len`.
+///
+/// This is the workhorse of liveness and other dataflow analyses; it stores
+/// one bit per entity in a `Vec<u64>`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set with capacity for `len` elements.
+    pub fn new(len: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Returns the capacity (number of addressable elements).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`, returning `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Returns `true` if `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Returns the number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Unions `other` into `self`, returning `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Intersects `other` into `self`, returning `true` if `self` changed.
+    pub fn intersect_with(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Removes all elements of `other` from `self`, returning `true` if
+    /// `self` changed.
+    pub fn subtract(&mut self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & !b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Returns `true` if `self` and `other` share no elements.
+    pub fn is_disjoint(&self, other: &DenseBitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &DenseBitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            word: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for DenseBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for DenseBitSet {
+    /// Collects indices into a set sized to fit the largest one.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = DenseBitSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+impl Extend<usize> for DenseBitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`DenseBitSet`], in ascending order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a DenseBitSet,
+    word_idx: usize,
+    word: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.word = self.set.words[self.word_idx];
+        }
+    }
+}
+
+/// A union-find (disjoint set) structure over dense indices.
+///
+/// Used for save/restore web grouping and coalescing.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`, returning `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DenseBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = DenseBitSet::new(200);
+        for i in [3, 199, 64, 65, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let mut a = DenseBitSet::new(100);
+        let mut b = DenseBitSet::new(100);
+        a.extend([1, 2, 3]);
+        b.extend([3, 4]);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(!u.union_with(&b));
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+
+        let mut d = a.clone();
+        assert!(d.subtract(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&i));
+    }
+
+    #[test]
+    fn disjoint() {
+        let mut a = DenseBitSet::new(10);
+        let mut b = DenseBitSet::new(10);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.is_disjoint(&b));
+        b.insert(1);
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: DenseBitSet = [5usize, 9, 2].into_iter().collect();
+        assert!(s.contains(5) && s.contains(9) && s.contains(2));
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = DenseBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(1, 2));
+        uf.union(1, 3);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(4, 5));
+        assert_eq!(uf.len(), 6);
+    }
+}

@@ -1,0 +1,313 @@
+//! A convenience builder for constructing functions programmatically.
+
+use crate::function::Function;
+use crate::ids::{BlockId, FrameSlot, Reg, VReg};
+use crate::inst::{BinOp, Callee, Cond, Inst, InstKind, MemKind, Origin};
+use crate::target::Target;
+
+/// Incrementally constructs a [`Function`].
+///
+/// Blocks are laid out in creation order by default (override with
+/// [`set_layout`](Function::set_layout) on the finished function). The
+/// builder keeps a *current block*; emission methods append to it.
+///
+/// # Examples
+///
+/// ```
+/// use spillopt_ir::{FunctionBuilder, Cond, Reg};
+///
+/// let mut fb = FunctionBuilder::new("max", 2);
+/// let entry = fb.create_block(Some("entry"));
+/// let then = fb.create_block(Some("then"));
+/// let done = fb.create_block(Some("done"));
+/// fb.switch_to(entry);
+/// let a = fb.param(0);
+/// let b = fb.param(1);
+/// fb.branch(Cond::Ge, Reg::Virt(a), Reg::Virt(b), done, then);
+/// fb.switch_to(then);
+/// fb.mov(Reg::Virt(a), Reg::Virt(b));
+/// fb.switch_to(done);
+/// fb.ret(Some(Reg::Virt(a)));
+/// let func = fb.finish();
+/// assert_eq!(func.num_blocks(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: Option<BlockId>,
+    target: Target,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `num_params` parameters, using the
+    /// default (PA-RISC-like) target convention for parameter plumbing.
+    pub fn new(name: impl Into<String>, num_params: usize) -> Self {
+        Self::with_target(name, num_params, Target::default())
+    }
+
+    /// Starts building a function against an explicit target convention.
+    pub fn with_target(name: impl Into<String>, num_params: usize, target: Target) -> Self {
+        let mut func = Function::new(name);
+        func.set_num_params(num_params);
+        FunctionBuilder {
+            func,
+            cur: None,
+            target,
+        }
+    }
+
+    /// Returns the target convention used by this builder.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Creates a new block (appended to the layout).
+    pub fn create_block(&mut self, name: Option<&str>) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Makes `b` the current block for subsequent emissions.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    /// Returns the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been selected.
+    pub fn current(&self) -> BlockId {
+        self.cur.expect("no current block; call switch_to first")
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    /// Allocates a fresh frame slot.
+    pub fn new_slot(&mut self) -> FrameSlot {
+        self.func.frame_mut().alloc_slot()
+    }
+
+    /// Emits a raw instruction into the current block.
+    pub fn emit(&mut self, kind: InstKind) {
+        self.emit_with_origin(kind, Origin::Source);
+    }
+
+    /// Emits a raw instruction with an explicit origin.
+    pub fn emit_with_origin(&mut self, kind: InstKind, origin: Origin) {
+        let b = self.current();
+        self.func.block_mut(b).insts.push(Inst::with_origin(kind, origin));
+    }
+
+    /// Emits `v = move argreg[i]`, materializing parameter `i` into a fresh
+    /// vreg. Must be called in the entry block before any call clobbers the
+    /// argument registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the target's argument registers or the declared
+    /// parameter count.
+    pub fn param(&mut self, i: usize) -> VReg {
+        assert!(i < self.func.num_params(), "parameter index out of range");
+        let arg = *self
+            .target
+            .arg_regs()
+            .get(i)
+            .expect("more parameters than argument registers");
+        let v = self.new_vreg();
+        self.emit(InstKind::Move {
+            dst: Reg::Virt(v),
+            src: Reg::Phys(arg),
+        });
+        v
+    }
+
+    /// Emits `v = imm` into a fresh vreg and returns it.
+    pub fn li(&mut self, imm: i64) -> VReg {
+        let v = self.new_vreg();
+        self.emit(InstKind::LoadImm {
+            dst: Reg::Virt(v),
+            imm,
+        });
+        v
+    }
+
+    /// Emits `v = lhs op rhs` into a fresh vreg and returns it.
+    pub fn bin(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> VReg {
+        let v = self.new_vreg();
+        self.emit(InstKind::Bin {
+            op,
+            dst: Reg::Virt(v),
+            lhs,
+            rhs,
+        });
+        v
+    }
+
+    /// Emits `v = lhs op imm` into a fresh vreg and returns it.
+    pub fn bin_imm(&mut self, op: BinOp, lhs: Reg, imm: i64) -> VReg {
+        let v = self.new_vreg();
+        self.emit(InstKind::BinImm {
+            op,
+            dst: Reg::Virt(v),
+            lhs,
+            imm,
+        });
+        v
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(InstKind::Move { dst, src });
+    }
+
+    /// Emits a program (`MemKind::Data`) load of `slot` into a fresh vreg.
+    pub fn load(&mut self, slot: FrameSlot) -> VReg {
+        let v = self.new_vreg();
+        self.emit(InstKind::Load {
+            dst: Reg::Virt(v),
+            slot,
+            kind: MemKind::Data,
+        });
+        v
+    }
+
+    /// Emits a program (`MemKind::Data`) store of `src` to `slot`.
+    pub fn store(&mut self, src: Reg, slot: FrameSlot) {
+        self.emit(InstKind::Store {
+            src,
+            slot,
+            kind: MemKind::Data,
+        });
+    }
+
+    /// Emits a full ABI call sequence: moves `args` into the argument
+    /// registers, calls, and moves the return value into a fresh vreg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more arguments are passed than the target has argument
+    /// registers.
+    pub fn call(&mut self, callee: Callee, args: &[Reg]) -> VReg {
+        assert!(
+            args.len() <= self.target.arg_regs().len(),
+            "too many call arguments"
+        );
+        let arg_regs: Vec<Reg> = self.target.arg_regs()[..args.len()]
+            .iter()
+            .map(|&p| Reg::Phys(p))
+            .collect();
+        for (dst, src) in arg_regs.iter().zip(args) {
+            self.mov(*dst, *src);
+        }
+        let ret = Reg::Phys(self.target.ret_reg());
+        self.emit(InstKind::Call {
+            callee,
+            args: arg_regs,
+            ret: Some(ret),
+        });
+        let v = self.new_vreg();
+        self.mov(Reg::Virt(v), ret);
+        v
+    }
+
+    /// Emits an unconditional jump terminator.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(InstKind::Jump { target });
+    }
+
+    /// Emits a conditional branch terminator. `fallthrough` must end up as
+    /// the next block in layout (checked by the verifier, not here).
+    pub fn branch(&mut self, cond: Cond, lhs: Reg, rhs: Reg, taken: BlockId, fallthrough: BlockId) {
+        self.emit(InstKind::Branch {
+            cond,
+            lhs,
+            rhs,
+            taken,
+            fallthrough,
+        });
+    }
+
+    /// Emits a return terminator. For a value-returning function, moves the
+    /// value into the return register first (ABI lowering).
+    pub fn ret(&mut self, value: Option<Reg>) {
+        match value {
+            Some(v) => {
+                let ret = Reg::Phys(self.target.ret_reg());
+                if v != ret {
+                    self.mov(ret, v);
+                }
+                self.emit(InstKind::Return { value: Some(ret) });
+            }
+            None => self.emit(InstKind::Return { value: None }),
+        }
+    }
+
+    /// Finishes and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Returns a reference to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Returns a mutable reference to the function under construction.
+    pub fn func_mut(&mut self) -> &mut Function {
+        &mut self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_function() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let e = fb.create_block(None);
+        fb.switch_to(e);
+        let p = fb.param(0);
+        let one = fb.li(1);
+        let s = fb.bin(BinOp::Add, Reg::Virt(p), Reg::Virt(one));
+        fb.ret(Some(Reg::Virt(s)));
+        let f = fb.finish();
+        assert_eq!(f.num_blocks(), 1);
+        // move-from-arg, li, add, move-to-ret, return
+        assert_eq!(f.block(e).insts.len(), 5);
+        assert_eq!(f.num_params(), 1);
+    }
+
+    #[test]
+    fn call_lowering_uses_abi_registers() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let e = fb.create_block(None);
+        fb.switch_to(e);
+        let a = fb.li(10);
+        let r = fb.call(Callee::External(7), &[Reg::Virt(a)]);
+        fb.ret(Some(Reg::Virt(r)));
+        let f = fb.finish();
+        let insts = &f.block(e).insts;
+        // li, mov arg, call, mov ret, mov r0, return
+        assert_eq!(insts.len(), 6);
+        let call = &insts[2];
+        match &call.kind {
+            InstKind::Call { args, ret, .. } => {
+                assert_eq!(args.len(), 1);
+                assert!(args[0].is_phys());
+                assert!(ret.unwrap().is_phys());
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no current block")]
+    fn emitting_without_block_panics() {
+        let mut fb = FunctionBuilder::new("h", 0);
+        fb.li(0);
+    }
+}

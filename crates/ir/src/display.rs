@@ -1,0 +1,173 @@
+//! Textual printing of the IR.
+//!
+//! The output is accepted back by [`crate::parse`], so `print -> parse`
+//! round-trips (up to cosmetic block names).
+
+use crate::function::Function;
+use crate::ids::BlockId;
+use crate::inst::{Callee, Inst, InstKind, Origin};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Returns the display name of a block (its cosmetic name, or `bbN`).
+pub fn block_name(func: &Function, b: BlockId) -> String {
+    match &func.block(b).name {
+        Some(n) => n.clone(),
+        None => format!("bb{}", b.index()),
+    }
+}
+
+fn origin_tag(origin: Origin) -> &'static str {
+    match origin {
+        Origin::Source => "",
+        Origin::Spill => "[spill] ",
+        Origin::CalleeSave => "[csave] ",
+        Origin::JumpBlock => "[jump] ",
+    }
+}
+
+/// Renders one instruction (without trailing newline).
+pub fn inst_to_string(func: &Function, inst: &Inst) -> String {
+    let mut s = String::new();
+    s.push_str(origin_tag(inst.origin));
+    match &inst.kind {
+        InstKind::LoadImm { dst, imm } => {
+            let _ = write!(s, "{dst} = li {imm}");
+        }
+        InstKind::Bin { op, dst, lhs, rhs } => {
+            let _ = write!(s, "{dst} = {op} {lhs}, {rhs}");
+        }
+        InstKind::BinImm { op, dst, lhs, imm } => {
+            let _ = write!(s, "{dst} = {op} {lhs}, {imm}");
+        }
+        InstKind::Move { dst, src } => {
+            let _ = write!(s, "{dst} = mov {src}");
+        }
+        InstKind::Load { dst, slot, kind } => {
+            let _ = write!(s, "{dst} = load.{} {slot}", kind.suffix());
+        }
+        InstKind::Store { src, slot, kind } => {
+            let _ = write!(s, "store.{} {src}, {slot}", kind.suffix());
+        }
+        InstKind::Call { callee, args, ret } => {
+            match ret {
+                Some(r) => {
+                    let _ = write!(s, "{r} = ");
+                }
+                None => {}
+            }
+            match callee {
+                Callee::Func(id) => {
+                    let _ = write!(s, "call @{}", id.index());
+                }
+                Callee::External(n) => {
+                    let _ = write!(s, "call ext:{n}");
+                }
+            }
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            s.push(')');
+        }
+        InstKind::Jump { target } => {
+            let _ = write!(s, "jmp {}", block_name(func, *target));
+        }
+        InstKind::Branch {
+            cond,
+            lhs,
+            rhs,
+            taken,
+            fallthrough,
+        } => {
+            let _ = write!(
+                s,
+                "br {cond} {lhs}, {rhs}, {}, {}",
+                block_name(func, *taken),
+                block_name(func, *fallthrough)
+            );
+        }
+        InstKind::Return { value } => match value {
+            Some(v) => {
+                let _ = write!(s, "ret {v}");
+            }
+            None => s.push_str("ret"),
+        },
+    }
+    s
+}
+
+/// Renders a whole function.
+pub fn function_to_string(func: &Function) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func @{}({}) {{", func.name(), func.num_params());
+    let _ = writeln!(s, "  frame {}", func.frame().num_slots());
+    let _ = writeln!(s, "  vregs {}", func.num_vregs());
+    for &b in func.layout() {
+        let _ = writeln!(s, "block {}:", block_name(func, b));
+        for inst in &func.block(b).insts {
+            let _ = writeln!(s, "  {}", inst_to_string(func, inst));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a whole module.
+pub fn module_to_string(module: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {}", module.name());
+    for (_, f) in module.funcs() {
+        s.push('\n');
+        s.push_str(&function_to_string(f));
+    }
+    s
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&function_to_string(self))
+    }
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&module_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::Reg;
+    use crate::inst::{BinOp, Cond, MemKind};
+
+    #[test]
+    fn prints_readable_function() {
+        let mut fb = FunctionBuilder::new("demo", 1);
+        let a = fb.create_block(Some("A"));
+        let b = fb.create_block(Some("B"));
+        fb.switch_to(a);
+        let p = fb.param(0);
+        let t = fb.bin_imm(BinOp::Add, Reg::Virt(p), 5);
+        let slot = fb.new_slot();
+        fb.store(Reg::Virt(t), slot);
+        fb.branch(Cond::Lt, Reg::Virt(p), Reg::Virt(t), a, b);
+        fb.switch_to(b);
+        let l = fb.load(slot);
+        fb.ret(Some(Reg::Virt(l)));
+        let f = fb.finish();
+        let s = function_to_string(&f);
+        assert!(s.contains("func @demo(1)"), "{s}");
+        assert!(s.contains("block A:"), "{s}");
+        assert!(s.contains("v1 = add v0, 5"), "{s}");
+        assert!(s.contains("store.data v1, slot0"), "{s}");
+        assert!(s.contains("br lt v0, v1, A, B"), "{s}");
+        assert!(s.contains("ret r0"), "{s}");
+        let _ = MemKind::Data.suffix();
+    }
+}

@@ -1,0 +1,281 @@
+//! CFG editing: inserting instructions at block boundaries and placing code
+//! on edges (splitting critical edges, creating jump blocks).
+//!
+//! These primitives implement the physical realization rules that the
+//! paper's jump-edge cost model prices:
+//!
+//! * non-critical edge → code sinks into the single-successor's bottom or
+//!   single-predecessor's top (no new block, no new jump);
+//! * critical fall-through edge → a new block inserted *in layout* between
+//!   source and target (new block, **no** new jump);
+//! * critical jump edge → a new *jump block*: the branch is retargeted to
+//!   the new block, which ends with a fresh jump to the original target
+//!   (new block **and** an extra executed jump instruction).
+
+use crate::cfg::{Cfg, SuccPos};
+use crate::function::Function;
+use crate::ids::{BlockId, EdgeId};
+use crate::inst::{Inst, InstKind, Origin};
+
+/// Inserts `insts` at the very top of block `b`.
+pub fn insert_at_top(func: &mut Function, b: BlockId, insts: Vec<Inst>) {
+    let block = func.block_mut(b);
+    block.insts.splice(0..0, insts);
+}
+
+/// Inserts `insts` at the bottom of block `b`, before its terminator if it
+/// has one.
+pub fn insert_at_bottom(func: &mut Function, b: BlockId, insts: Vec<Inst>) {
+    let block = func.block_mut(b);
+    let at = block.bottom_index();
+    block.insts.splice(at..at, insts);
+}
+
+/// Where code placed on an edge physically landed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgePlacement {
+    /// Sunk into the top of the edge's (single-predecessor) target.
+    TopOf(BlockId),
+    /// Sunk into the bottom of the edge's (single-successor) source.
+    BottomOf(BlockId),
+    /// A new block was created on the edge.
+    NewBlock {
+        /// The created block.
+        block: BlockId,
+        /// Whether an extra jump instruction was required (critical jump
+        /// edges only).
+        added_jump: bool,
+    },
+}
+
+/// Places `insts` on CFG edge `e`, choosing the cheapest physical
+/// realization (see module docs). Returns where the code landed.
+///
+/// `cfg` must be the snapshot that produced `e`. The snapshot may be
+/// *stale* with respect to earlier [`place_on_edge`] calls on **other**
+/// edges of the same function (the realization decisions remain valid
+/// because edge splits never change a block's successor count and never
+/// add predecessors to pre-existing blocks); it must not be used to place
+/// code on the same edge twice.
+pub fn place_on_edge(
+    func: &mut Function,
+    cfg: &Cfg,
+    e: EdgeId,
+    insts: Vec<Inst>,
+) -> EdgePlacement {
+    let edge = *cfg.edge(e);
+    if cfg.num_succs(edge.from) == 1 {
+        insert_at_bottom(func, edge.from, insts);
+        return EdgePlacement::BottomOf(edge.from);
+    }
+    if cfg.num_preds(edge.to) == 1 {
+        insert_at_top(func, edge.to, insts);
+        return EdgePlacement::TopOf(edge.to);
+    }
+    // Critical edge: split it.
+    match edge.pos {
+        SuccPos::NotTaken => {
+            // Critical fall-through edge: insert a block in layout between
+            // source and target; control still falls through, no jump.
+            let nb = func.add_block(None);
+            func.move_block_after(nb, edge.from);
+            func.block_mut(nb).insts = insts;
+            retarget_fallthrough(func, edge.from, edge.to, nb);
+            EdgePlacement::NewBlock {
+                block: nb,
+                added_jump: false,
+            }
+        }
+        SuccPos::Taken => {
+            // Critical jump edge: a jump block at the end of the layout,
+            // ending with an extra jump to the original target.
+            let nb = func.add_block(None);
+            let mut body = insts;
+            body.push(Inst::with_origin(
+                InstKind::Jump { target: edge.to },
+                Origin::JumpBlock,
+            ));
+            func.block_mut(nb).insts = body;
+            retarget_taken(func, edge.from, edge.to, nb);
+            EdgePlacement::NewBlock {
+                block: nb,
+                added_jump: true,
+            }
+        }
+        SuccPos::Only => {
+            unreachable!("an edge with a single successor cannot be critical")
+        }
+    }
+}
+
+fn retarget_taken(func: &mut Function, from: BlockId, old: BlockId, new: BlockId) {
+    let term = func
+        .block_mut(from)
+        .terminator_mut()
+        .expect("taken edge requires a branch terminator");
+    match &mut term.kind {
+        InstKind::Branch { taken, .. } => {
+            assert_eq!(*taken, old, "taken target changed since CFG snapshot");
+            *taken = new;
+        }
+        other => panic!("expected branch terminator, found {other:?}"),
+    }
+}
+
+fn retarget_fallthrough(func: &mut Function, from: BlockId, old: BlockId, new: BlockId) {
+    let term = func
+        .block_mut(from)
+        .terminator_mut()
+        .expect("critical fall-through edge requires a branch terminator");
+    match &mut term.kind {
+        InstKind::Branch { fallthrough, .. } => {
+            assert_eq!(
+                *fallthrough, old,
+                "fall-through target changed since CFG snapshot"
+            );
+            *fallthrough = new;
+        }
+        other => panic!("expected branch terminator, found {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::EdgeKind;
+    use crate::ids::Reg;
+    use crate::inst::Cond;
+    use crate::verify::{verify_function, RegDiscipline};
+
+    fn nop() -> Inst {
+        Inst::new(InstKind::LoadImm {
+            dst: Reg::Virt(crate::ids::VReg::from_index(9)),
+            imm: 0,
+        })
+    }
+
+    /// A -> {B (fall), C (taken)}; B -> D (jump); C -> D (fall);
+    /// D -> {E (fall), B (taken, critical jump: B now has preds A, D)}.
+    fn crit_func() -> (Function, [BlockId; 5]) {
+        let mut fb = FunctionBuilder::new("crit", 0);
+        let a = fb.create_block(Some("A"));
+        let b = fb.create_block(Some("B"));
+        let c = fb.create_block(Some("C"));
+        let d = fb.create_block(Some("D"));
+        let e = fb.create_block(Some("E"));
+        fb.switch_to(a);
+        let x = fb.li(0);
+        let y = fb.li(1);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(y), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        // falls through to D
+        let _ = fb.li(7);
+        fb.switch_to(d);
+        let z = fb.li(2);
+        fb.branch(Cond::Gt, Reg::Virt(z), Reg::Virt(z), b, e);
+        fb.switch_to(e);
+        fb.ret(None);
+        let mut f = fb.finish();
+        f.reserve_vregs(10);
+        (f, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn top_and_bottom_insertion() {
+        let (mut f, [_, b, ..]) = crit_func();
+        insert_at_top(&mut f, b, vec![nop()]);
+        insert_at_bottom(&mut f, b, vec![nop(), nop()]);
+        let insts = &f.block(b).insts;
+        assert_eq!(insts.len(), 4); // nop, nop, nop, jmp
+        assert!(insts[3].is_terminator());
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+
+    #[test]
+    fn sinks_into_single_succ_bottom() {
+        let (mut f, [_, b, _, d, _]) = crit_func();
+        let cfg = Cfg::compute(&f);
+        let e = cfg.edge_between(b, d).unwrap();
+        let placed = place_on_edge(&mut f, &cfg, e, vec![nop()]);
+        assert_eq!(placed, EdgePlacement::BottomOf(b));
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+
+    #[test]
+    fn sinks_into_single_pred_top() {
+        let (mut f, [a, _, c, _, _]) = crit_func();
+        let cfg = Cfg::compute(&f);
+        let e = cfg.edge_between(a, c).unwrap();
+        let placed = place_on_edge(&mut f, &cfg, e, vec![nop()]);
+        assert_eq!(placed, EdgePlacement::TopOf(c));
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+
+    #[test]
+    fn splits_critical_jump_edge_with_jump() {
+        let (mut f, [_, b, _, d, _]) = crit_func();
+        let cfg = Cfg::compute(&f);
+        let e = cfg.edge_between(d, b).unwrap();
+        assert!(cfg.needs_jump_block(e));
+        let placed = place_on_edge(&mut f, &cfg, e, vec![nop()]);
+        match placed {
+            EdgePlacement::NewBlock { block, added_jump } => {
+                assert!(added_jump);
+                let insts = &f.block(block).insts;
+                assert_eq!(insts.len(), 2);
+                assert_eq!(insts[1].origin, Origin::JumpBlock);
+                // D's taken target now points at the jump block.
+                let cfg2 = Cfg::compute(&f);
+                assert!(cfg2.edge_between(d, block).is_some());
+                assert!(cfg2.edge_between(block, b).is_some());
+                assert!(cfg2.edge_between(d, b).is_none());
+            }
+            other => panic!("expected new block, got {other:?}"),
+        }
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+
+    #[test]
+    fn splits_critical_fall_edge_without_jump() {
+        // Build: A branches {C taken, B fall}; B falls through to C;
+        // C returns. Make the A->B edge... we need a critical fall edge:
+        // A -> {B fall, C taken}, and B also entered from D.
+        let mut fb = FunctionBuilder::new("critfall", 0);
+        let a = fb.create_block(Some("A"));
+        let b = fb.create_block(Some("B"));
+        let c = fb.create_block(Some("C"));
+        let d = fb.create_block(Some("D"));
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), d, b);
+        fb.switch_to(b);
+        fb.jump(c);
+        fb.switch_to(c);
+        fb.ret(None);
+        fb.switch_to(d);
+        fb.jump(b);
+        let mut f = fb.finish();
+        f.reserve_vregs(10);
+        let cfg = Cfg::compute(&f);
+        let e = cfg.edge_between(a, b).unwrap();
+        assert!(cfg.is_critical(e));
+        assert_eq!(cfg.edge(e).kind, EdgeKind::Fall);
+        assert!(!cfg.needs_jump_block(e));
+        let placed = place_on_edge(&mut f, &cfg, e, vec![nop()]);
+        match placed {
+            EdgePlacement::NewBlock { block, added_jump } => {
+                assert!(!added_jump);
+                // The new block sits between A and B in layout and falls
+                // through.
+                assert_eq!(f.layout_next(a), Some(block));
+                assert_eq!(f.layout_next(block), Some(b));
+                assert!(f.block(block).falls_through());
+            }
+            other => panic!("expected new block, got {other:?}"),
+        }
+        assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Entity identifiers used throughout the IR.
+//!
+//! All identifiers are small, `Copy` newtypes over dense indices so that
+//! analyses can use plain vectors as entity maps.
+
+use std::fmt;
+
+/// Identifier of a basic block within a [`Function`](crate::Function).
+///
+/// Blocks are stored densely; `BlockId` is an index into the function's
+/// block table (which is distinct from the *layout* order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index overflow"))
+    }
+
+    /// Returns the dense index of this block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifier of a virtual (pre-register-allocation) register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(u32);
+
+impl VReg {
+    /// Creates a virtual register from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        VReg(u32::try_from(index).expect("vreg index overflow"))
+    }
+
+    /// Returns the dense index of this virtual register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a physical machine register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PReg(u8);
+
+impl PReg {
+    /// Creates a physical register from its hardware number.
+    pub fn new(num: u8) -> Self {
+        PReg(num)
+    }
+
+    /// Returns the hardware register number.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the register number as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register operand: either virtual (pre-allocation) or physical.
+///
+/// The IR is usable both before register allocation (mostly virtual
+/// registers, with physical registers appearing only at ABI boundaries such
+/// as calls and returns) and after (physical registers only).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// A virtual register.
+    Virt(VReg),
+    /// A physical register.
+    Phys(PReg),
+}
+
+impl Reg {
+    /// Returns the virtual register, if this is one.
+    pub fn as_virt(self) -> Option<VReg> {
+        match self {
+            Reg::Virt(v) => Some(v),
+            Reg::Phys(_) => None,
+        }
+    }
+
+    /// Returns the physical register, if this is one.
+    pub fn as_phys(self) -> Option<PReg> {
+        match self {
+            Reg::Phys(p) => Some(p),
+            Reg::Virt(_) => None,
+        }
+    }
+
+    /// Returns `true` if this is a virtual register.
+    pub fn is_virt(self) -> bool {
+        matches!(self, Reg::Virt(_))
+    }
+
+    /// Returns `true` if this is a physical register.
+    pub fn is_phys(self) -> bool {
+        matches!(self, Reg::Phys(_))
+    }
+}
+
+impl From<VReg> for Reg {
+    fn from(v: VReg) -> Self {
+        Reg::Virt(v)
+    }
+}
+
+impl From<PReg> for Reg {
+    fn from(p: PReg) -> Self {
+        Reg::Phys(p)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Virt(v) => write!(f, "{v}"),
+            Reg::Phys(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a stack frame slot (an abstract, word-sized local).
+///
+/// The interpreter gives every activation its own dense slot array, so frame
+/// slots are function-local and need no byte offsets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameSlot(u32);
+
+impl FrameSlot {
+    /// Creates a frame slot from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        FrameSlot(u32::try_from(index).expect("frame slot overflow"))
+    }
+
+    /// Returns the dense index of this slot.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FrameSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+impl fmt::Display for FrameSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// Identifier of a function within a [`Module`](crate::Module).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        FuncId(u32::try_from(index).expect("function index overflow"))
+    }
+
+    /// Returns the dense index of this function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifier of a CFG edge within a [`Cfg`](crate::cfg::Cfg) snapshot.
+///
+/// Edge ids are only meaningful relative to the `Cfg` that produced them;
+/// editing the function invalidates them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index overflow"))
+    }
+
+    /// Returns the dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_roundtrip() {
+        let b = BlockId::from_index(7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(format!("{b}"), "bb7");
+    }
+
+    #[test]
+    fn reg_conversions() {
+        let v: Reg = VReg::from_index(3).into();
+        let p: Reg = PReg::new(5).into();
+        assert!(v.is_virt());
+        assert!(p.is_phys());
+        assert_eq!(v.as_virt(), Some(VReg::from_index(3)));
+        assert_eq!(v.as_phys(), None);
+        assert_eq!(p.as_phys(), Some(PReg::new(5)));
+        assert_eq!(format!("{v}"), "v3");
+        assert_eq!(format!("{p}"), "r5");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(BlockId::from_index(1) < BlockId::from_index(2));
+        assert!(VReg::from_index(0) < VReg::from_index(10));
+    }
+}

@@ -1,0 +1,568 @@
+//! Instructions of the machine-level IR.
+//!
+//! The instruction set is a small RISC-like three-address code, rich enough
+//! to express the SPEC-like synthetic workloads and all spill code inserted
+//! by the register allocator and the callee-saved placement passes.
+
+use crate::ids::{BlockId, FrameSlot, FuncId, PReg, Reg};
+use crate::target::Target;
+use std::fmt;
+
+/// Binary arithmetic/logic operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (defined as 0 when the divisor is 0, like a trapping-free
+    /// machine idiom; keeps the interpreter total).
+    Div,
+    /// Remainder (defined as 0 when the divisor is 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by `rhs & 63`).
+    Shl,
+    /// Arithmetic shift right (by `rhs & 63`).
+    Shr,
+}
+
+impl BinOp {
+    /// Evaluates the operation on two values.
+    pub fn eval(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_div(rhs)
+                }
+            }
+            BinOp::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs.wrapping_rem(rhs)
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            BinOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        }
+    }
+
+    /// Returns the mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Signed comparison conditions for conditional branches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two values.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Le => lhs <= rhs,
+            Cond::Gt => lhs > rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Returns the mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Why a memory access exists. Used to attribute dynamic overhead exactly as
+/// the paper does (Figure 5 counts allocator spill code plus callee-saved
+/// save/restore code, and excludes program loads/stores).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemKind {
+    /// A load/store present in the source program.
+    Data,
+    /// Spill code inserted by the register allocator for an ordinary
+    /// variable that did not receive a register.
+    Spill,
+    /// A callee-saved register save (store) or restore (load).
+    CalleeSave,
+}
+
+impl MemKind {
+    /// Returns the suffix used by the printer/parser (`.data`, `.spill`,
+    /// `.csave`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            MemKind::Data => "data",
+            MemKind::Spill => "spill",
+            MemKind::CalleeSave => "csave",
+        }
+    }
+}
+
+/// Provenance of an instruction; used for dynamic overhead accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Origin {
+    /// Part of the original program.
+    #[default]
+    Source,
+    /// Inserted by the register allocator (spill loads/stores and their
+    /// address arithmetic).
+    Spill,
+    /// Inserted by a callee-saved save/restore placement pass.
+    CalleeSave,
+    /// A jump instruction inserted to realize spill code on a jump edge
+    /// (the "jump block" mechanism of the paper).
+    JumpBlock,
+}
+
+/// The target of a call instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Callee {
+    /// A function in the same module, executed by the interpreter.
+    Func(FuncId),
+    /// An opaque external function: returns a deterministic pseudo-random
+    /// value and clobbers all caller-saved registers.
+    External(u32),
+}
+
+/// The operation performed by an instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstKind {
+    /// `dst = imm`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = lhs op imm`.
+    BinImm {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `dst = src`.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = frame[slot]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Frame slot to read.
+        slot: FrameSlot,
+        /// Why this load exists.
+        kind: MemKind,
+    },
+    /// `frame[slot] = src`.
+    Store {
+        /// Register to store.
+        src: Reg,
+        /// Frame slot to write.
+        slot: FrameSlot,
+        /// Why this store exists.
+        kind: MemKind,
+    },
+    /// Call `callee(args...)`; the return value (if any) is written to
+    /// `ret`. Calls clobber all caller-saved registers of the target.
+    Call {
+        /// Called function.
+        callee: Callee,
+        /// Argument registers (at most [`Target::arg_regs`] many
+        /// post-lowering).
+        args: Vec<Reg>,
+        /// Register receiving the return value.
+        ret: Option<Reg>,
+    },
+    /// Unconditional jump. Terminator.
+    Jump {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Conditional branch. Terminator. `fallthrough` must be the next block
+    /// in layout order.
+    Branch {
+        /// Comparison condition.
+        cond: Cond,
+        /// Left comparison operand.
+        lhs: Reg,
+        /// Right comparison operand.
+        rhs: Reg,
+        /// Target when the condition holds (a jump edge).
+        taken: BlockId,
+        /// Target when the condition does not hold (the fall-through edge).
+        fallthrough: BlockId,
+    },
+    /// Return from the function. Terminator.
+    Return {
+        /// Returned value, if any.
+        value: Option<Reg>,
+    },
+}
+
+/// An instruction: an operation plus its provenance.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Inst {
+    /// The operation.
+    pub kind: InstKind,
+    /// Why the instruction exists (used for overhead accounting).
+    pub origin: Origin,
+}
+
+impl Inst {
+    /// Creates a source-program instruction.
+    pub fn new(kind: InstKind) -> Self {
+        Inst {
+            kind,
+            origin: Origin::Source,
+        }
+    }
+
+    /// Creates an instruction with an explicit provenance.
+    pub fn with_origin(kind: InstKind, origin: Origin) -> Self {
+        Inst { kind, origin }
+    }
+
+    /// Returns `true` if this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Return { .. }
+        )
+    }
+
+    /// Returns `true` for register-to-register moves.
+    pub fn is_move(&self) -> bool {
+        matches!(self.kind, InstKind::Move { .. })
+    }
+
+    /// Calls `f` for every register this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        match &self.kind {
+            InstKind::LoadImm { .. } | InstKind::Jump { .. } => {}
+            InstKind::Bin { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::BinImm { lhs, .. } => f(*lhs),
+            InstKind::Move { src, .. } => f(*src),
+            InstKind::Load { .. } => {}
+            InstKind::Store { src, .. } => f(*src),
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Branch { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Return { value } => {
+                if let Some(v) = value {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` for every register this instruction writes.
+    pub fn for_each_def(&self, mut f: impl FnMut(Reg)) {
+        match &self.kind {
+            InstKind::LoadImm { dst, .. }
+            | InstKind::Bin { dst, .. }
+            | InstKind::BinImm { dst, .. }
+            | InstKind::Move { dst, .. }
+            | InstKind::Load { dst, .. } => f(*dst),
+            InstKind::Call { ret, .. } => {
+                if let Some(r) = ret {
+                    f(*r);
+                }
+            }
+            InstKind::Store { .. }
+            | InstKind::Jump { .. }
+            | InstKind::Branch { .. }
+            | InstKind::Return { .. } => {}
+        }
+    }
+
+    /// Returns the registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Returns the registers written by this instruction.
+    pub fn defs(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.for_each_def(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` for every physical register implicitly clobbered by this
+    /// instruction (for calls: the target's caller-saved set).
+    pub fn for_each_clobber(&self, target: &Target, mut f: impl FnMut(PReg)) {
+        if let InstKind::Call { .. } = self.kind {
+            for &p in target.caller_saved() {
+                f(p);
+            }
+        }
+    }
+
+    /// Calls `f` with a mutable reference to every register operand (defs
+    /// and uses); used by the register-allocation rewrite.
+    pub fn for_each_reg_mut(&mut self, mut f: impl FnMut(&mut Reg)) {
+        match &mut self.kind {
+            InstKind::LoadImm { dst, .. } => f(dst),
+            InstKind::Bin { dst, lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+                f(dst);
+            }
+            InstKind::BinImm { dst, lhs, .. } => {
+                f(lhs);
+                f(dst);
+            }
+            InstKind::Move { dst, src } => {
+                f(src);
+                f(dst);
+            }
+            InstKind::Load { dst, .. } => f(dst),
+            InstKind::Store { src, .. } => f(src),
+            InstKind::Call { args, ret, .. } => {
+                for a in args {
+                    f(a);
+                }
+                if let Some(r) = ret {
+                    f(r);
+                }
+            }
+            InstKind::Jump { .. } => {}
+            InstKind::Branch { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Return { value } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Returns the successor blocks named by this terminator (empty for
+    /// non-terminators and returns).
+    pub fn terminator_targets(&self) -> Vec<BlockId> {
+        match &self.kind {
+            InstKind::Jump { target } => vec![*target],
+            InstKind::Branch {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Rewrites terminator targets equal to `from` into `to`.
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match &mut self.kind {
+            InstKind::Jump { target } => {
+                if *target == from {
+                    *target = to;
+                }
+            }
+            InstKind::Branch {
+                taken, fallthrough, ..
+            } => {
+                if *taken == from {
+                    *taken = to;
+                }
+                if *fallthrough == from {
+                    *fallthrough = to;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VReg;
+
+    fn v(i: usize) -> Reg {
+        Reg::Virt(VReg::from_index(i))
+    }
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(4, 3), 12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 4), 3);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2);
+        assert_eq!(BinOp::Shr.eval(-8, 1), -4);
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(1, 1));
+        assert!(Cond::Ne.eval(1, 2));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Le.eval(0, 0));
+        assert!(Cond::Gt.eval(3, 2));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(!Cond::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::new(InstKind::Bin {
+            op: BinOp::Add,
+            dst: v(0),
+            lhs: v(1),
+            rhs: v(2),
+        });
+        assert_eq!(i.defs(), vec![v(0)]);
+        assert_eq!(i.uses(), vec![v(1), v(2)]);
+
+        let c = Inst::new(InstKind::Call {
+            callee: Callee::External(0),
+            args: vec![v(3), v(4)],
+            ret: Some(v(5)),
+        });
+        assert_eq!(c.defs(), vec![v(5)]);
+        assert_eq!(c.uses(), vec![v(3), v(4)]);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        let j = Inst::new(InstKind::Jump {
+            target: BlockId::from_index(0),
+        });
+        let r = Inst::new(InstKind::Return { value: None });
+        let m = Inst::new(InstKind::Move { dst: v(0), src: v(1) });
+        assert!(j.is_terminator());
+        assert!(r.is_terminator());
+        assert!(!m.is_terminator());
+        assert!(m.is_move());
+    }
+
+    #[test]
+    fn retarget_branch() {
+        let a = BlockId::from_index(0);
+        let b = BlockId::from_index(1);
+        let c = BlockId::from_index(2);
+        let mut i = Inst::new(InstKind::Branch {
+            cond: Cond::Eq,
+            lhs: v(0),
+            rhs: v(1),
+            taken: a,
+            fallthrough: b,
+        });
+        i.retarget(a, c);
+        assert_eq!(i.terminator_targets(), vec![c, b]);
+    }
+
+    #[test]
+    fn clobbers_on_calls_only() {
+        let t = Target::pa_risc_like();
+        let c = Inst::new(InstKind::Call {
+            callee: Callee::External(1),
+            args: vec![],
+            ret: None,
+        });
+        let mut n = 0;
+        c.for_each_clobber(&t, |_| n += 1);
+        assert_eq!(n, t.caller_saved().len());
+        let m = Inst::new(InstKind::Move { dst: v(0), src: v(1) });
+        let mut n2 = 0;
+        m.for_each_clobber(&t, |_| n2 += 1);
+        assert_eq!(n2, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Modules: collections of functions that can call each other.
+
+use crate::function::Function;
+use crate::ids::FuncId;
+
+/// A module: a named collection of functions.
+///
+/// [`Callee::Func`](crate::inst::Callee::Func) operands refer to functions
+/// of the same module by [`FuncId`].
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    name: String,
+    funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Returns the module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_func(&mut self, func: Function) -> FuncId {
+        let id = FuncId::from_index(self.funcs.len());
+        self.funcs.push(func);
+        id
+    }
+
+    /// Returns the function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Returns the function with the given id, mutably.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Returns the number of functions.
+    pub fn num_funcs(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterates over all function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.funcs.len()).map(FuncId::from_index)
+    }
+
+    /// Iterates over (id, function) pairs.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> + '_ {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::from_index(i), f))
+    }
+
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name() == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Total static instruction count over all functions.
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_insts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new("m");
+        let a = m.add_func(Function::new("alpha"));
+        let b = m.add_func(Function::new("beta"));
+        assert_eq!(m.num_funcs(), 2);
+        assert_eq!(m.func(a).name(), "alpha");
+        assert_eq!(m.func_by_name("beta"), Some(b));
+        assert_eq!(m.func_by_name("gamma"), None);
+        assert_eq!(m.funcs().count(), 2);
+    }
+}

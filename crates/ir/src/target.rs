@@ -1,0 +1,184 @@
+//! Target machine description: register file and calling convention.
+
+use crate::ids::PReg;
+
+/// Description of the target machine's register file and register-usage
+/// convention.
+///
+/// The paper's experiments target PA-RISC with 24 general-purpose registers
+/// available for allocation, 13 of which are callee-saved;
+/// [`Target::pa_risc_like`] reproduces that convention.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Target {
+    name: String,
+    caller_saved: Vec<PReg>,
+    callee_saved: Vec<PReg>,
+    ret_reg: PReg,
+    arg_regs: Vec<PReg>,
+}
+
+impl Target {
+    /// Creates a target from an explicit convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller- and callee-saved sets overlap, or if the
+    /// return/argument registers are not caller-saved.
+    pub fn new(
+        name: impl Into<String>,
+        caller_saved: Vec<PReg>,
+        callee_saved: Vec<PReg>,
+        ret_reg: PReg,
+        arg_regs: Vec<PReg>,
+    ) -> Self {
+        for p in &caller_saved {
+            assert!(
+                !callee_saved.contains(p),
+                "register {p} is both caller- and callee-saved"
+            );
+        }
+        assert!(
+            caller_saved.contains(&ret_reg),
+            "return register must be caller-saved"
+        );
+        for a in &arg_regs {
+            assert!(
+                caller_saved.contains(a),
+                "argument register {a} must be caller-saved"
+            );
+        }
+        Target {
+            name: name.into(),
+            caller_saved,
+            callee_saved,
+            ret_reg,
+            arg_regs,
+        }
+    }
+
+    /// A PA-RISC-like convention matching the paper's experiments:
+    /// 24 allocatable general-purpose registers, `r0..r10` caller-saved
+    /// (11 registers, including the return register `r0` and argument
+    /// registers `r1..r4`), and `r11..r23` callee-saved (13 registers).
+    pub fn pa_risc_like() -> Self {
+        let caller: Vec<PReg> = (0..11).map(PReg::new).collect();
+        let callee: Vec<PReg> = (11..24).map(PReg::new).collect();
+        let args: Vec<PReg> = (1..5).map(PReg::new).collect();
+        Target::new("pa-risc-like", caller, callee, PReg::new(0), args)
+    }
+
+    /// A tiny target with 2 caller-saved and 2 callee-saved registers;
+    /// useful in tests to force spilling and callee-saved pressure.
+    pub fn tiny() -> Self {
+        Target::new(
+            "tiny",
+            vec![PReg::new(0), PReg::new(1)],
+            vec![PReg::new(2), PReg::new(3)],
+            PReg::new(0),
+            vec![PReg::new(1)],
+        )
+    }
+
+    /// Returns the target's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers NOT preserved across calls.
+    pub fn caller_saved(&self) -> &[PReg] {
+        &self.caller_saved
+    }
+
+    /// Registers preserved across calls; using one in a procedure requires
+    /// save/restore code, which is what the placement passes optimize.
+    pub fn callee_saved(&self) -> &[PReg] {
+        &self.callee_saved
+    }
+
+    /// The register holding a function's return value.
+    pub fn ret_reg(&self) -> PReg {
+        self.ret_reg
+    }
+
+    /// Registers carrying the first arguments of a call.
+    pub fn arg_regs(&self) -> &[PReg] {
+        &self.arg_regs
+    }
+
+    /// Total number of allocatable registers.
+    pub fn num_regs(&self) -> usize {
+        self.caller_saved.len() + self.callee_saved.len()
+    }
+
+    /// The smallest dense index strictly greater than every register
+    /// number (for building entity maps over physical registers).
+    pub fn reg_index_limit(&self) -> usize {
+        self.caller_saved
+            .iter()
+            .chain(&self.callee_saved)
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `p` is callee-saved under this convention.
+    pub fn is_callee_saved(&self, p: PReg) -> bool {
+        self.callee_saved.contains(&p)
+    }
+
+    /// Returns `true` if `p` is caller-saved under this convention.
+    pub fn is_caller_saved(&self, p: PReg) -> bool {
+        self.caller_saved.contains(&p)
+    }
+}
+
+impl Default for Target {
+    /// The default target is the paper's PA-RISC-like convention.
+    fn default() -> Self {
+        Target::pa_risc_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_risc_convention_matches_paper() {
+        let t = Target::pa_risc_like();
+        assert_eq!(t.num_regs(), 24);
+        assert_eq!(t.callee_saved().len(), 13);
+        assert_eq!(t.caller_saved().len(), 11);
+        assert!(t.is_caller_saved(t.ret_reg()));
+        for a in t.arg_regs() {
+            assert!(t.is_caller_saved(*a));
+        }
+        assert!(t.is_callee_saved(PReg::new(11)));
+        assert!(!t.is_callee_saved(PReg::new(10)));
+        assert_eq!(t.reg_index_limit(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "both caller- and callee-saved")]
+    fn overlapping_sets_rejected() {
+        Target::new(
+            "bad",
+            vec![PReg::new(0)],
+            vec![PReg::new(0)],
+            PReg::new(0),
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "return register must be caller-saved")]
+    fn callee_saved_ret_rejected() {
+        Target::new(
+            "bad",
+            vec![PReg::new(0)],
+            vec![PReg::new(1)],
+            PReg::new(1),
+            vec![],
+        );
+    }
+}

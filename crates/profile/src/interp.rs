@@ -1,0 +1,352 @@
+//! A deterministic interpreter for the IR.
+//!
+//! The interpreter serves three purposes in the reproduction:
+//!
+//! 1. **Profiling** — it counts every edge traversal, producing the exact
+//!    [`EdgeProfile`]s the placement passes consume (the paper profiles
+//!    SPEC programs to the same end);
+//! 2. **Measurement** — it counts executed instructions by provenance, so
+//!    that dynamic spill-code overhead is measured on the *actual*
+//!    transformed program (including jump blocks), not just predicted by a
+//!    cost model;
+//! 3. **Verification** — it dynamically checks the register-usage
+//!    convention: every in-module call records the callee-saved register
+//!    file on entry and fails if a callee returns with any callee-saved
+//!    register changed. After register allocation and save/restore
+//!    insertion, running a program must produce the same result as the
+//!    pre-allocation program.
+//!
+//! Calls clobber all caller-saved registers with deterministic
+//! pseudo-random junk drawn from a sequence shared across runs, so a
+//! pre-allocation (virtual-register) run and a post-allocation run observe
+//! identical values exactly when the allocation is correct.
+
+use crate::events::ExecCounts;
+use crate::profile::EdgeProfile;
+use spillopt_ir::{
+    BlockId, Callee, Cfg, EdgeId, FuncId, InstKind, Module, Reg, SuccPos, Target,
+};
+use std::error::Error;
+use std::fmt;
+
+/// An execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// Call nesting exceeded the configured limit.
+    CallDepthExceeded,
+    /// A callee returned with a callee-saved register modified — the
+    /// register-usage convention was violated (an incorrect save/restore
+    /// placement or register allocation).
+    CalleeSavedViolation {
+        /// Name of the offending callee.
+        func: String,
+        /// The violated register.
+        reg: spillopt_ir::PReg,
+    },
+    /// A function was entered with more arguments than argument registers.
+    TooManyArgs,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            ExecError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            ExecError::CalleeSavedViolation { func, reg } => {
+                write!(f, "callee-saved register {reg} clobbered by `{func}`")
+            }
+            ExecError::TooManyArgs => write!(f, "too many call arguments"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// SplitMix64: the deterministic junk sequence used for external call
+/// results and caller-saved clobbers.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic virtual machine over a [`Module`].
+///
+/// Counters and edge profiles accumulate across calls until
+/// [`reset_counters`](Machine::reset_counters).
+#[derive(Debug)]
+pub struct Machine<'m> {
+    module: &'m Module,
+    target: &'m Target,
+    cfgs: Vec<Cfg>,
+    edge_counts: Vec<Vec<u64>>,
+    entry_counts: Vec<u64>,
+    counts: ExecCounts,
+    pregs: Vec<i64>,
+    fuel: u64,
+    max_depth: usize,
+    junk_counter: u64,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine for `module`. The default fuel is 2^32
+    /// instructions and the default call depth limit 512.
+    pub fn new(module: &'m Module, target: &'m Target) -> Self {
+        let cfgs: Vec<Cfg> = module.func_ids().map(|f| Cfg::compute(module.func(f))).collect();
+        let edge_counts = cfgs.iter().map(|c| vec![0u64; c.num_edges()]).collect();
+        Machine {
+            module,
+            target,
+            cfgs,
+            edge_counts,
+            entry_counts: vec![0; module.num_funcs()],
+            counts: ExecCounts::new(),
+            pregs: vec![0; target.reg_index_limit()],
+            fuel: 1 << 32,
+            max_depth: 512,
+            junk_counter: 0,
+        }
+    }
+
+    /// Sets the instruction budget for subsequent calls.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Resets all counters, edge profiles, the junk sequence, and the
+    /// physical register file (so that repeated measurements are
+    /// independent and runs are comparable).
+    pub fn reset_counters(&mut self) {
+        for v in &mut self.edge_counts {
+            v.fill(0);
+        }
+        self.entry_counts.fill(0);
+        self.counts = ExecCounts::new();
+        self.junk_counter = 0;
+        self.pregs.fill(0);
+    }
+
+    /// Returns the accumulated instruction counters.
+    pub fn counts(&self) -> &ExecCounts {
+        &self.counts
+    }
+
+    /// Returns the CFG snapshot the machine profiles `f` against.
+    pub fn cfg(&self, f: FuncId) -> &Cfg {
+        &self.cfgs[f.index()]
+    }
+
+    /// Returns the accumulated edge profile of `f`.
+    pub fn edge_profile(&self, f: FuncId) -> EdgeProfile {
+        EdgeProfile::new(
+            &self.cfgs[f.index()],
+            self.edge_counts[f.index()].clone(),
+            self.entry_counts[f.index()],
+        )
+    }
+
+    /// Returns how many times `f` was entered.
+    pub fn entry_count(&self, f: FuncId) -> u64 {
+        self.entry_counts[f.index()]
+    }
+
+    /// Calls function `f` with the given arguments (placed in the target's
+    /// argument registers) and runs it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on fuel exhaustion, call-depth overflow, or a
+    /// callee-saved convention violation.
+    pub fn call(&mut self, f: FuncId, args: &[i64]) -> Result<i64, ExecError> {
+        if args.len() > self.target.arg_regs().len() {
+            return Err(ExecError::TooManyArgs);
+        }
+        let arg_regs: Vec<usize> = self.target.arg_regs().iter().map(|p| p.index()).collect();
+        for (i, &a) in args.iter().enumerate() {
+            self.pregs[arg_regs[i]] = a;
+        }
+        self.exec_function(f, 0)
+    }
+
+    fn junk(&mut self) -> i64 {
+        self.junk_counter += 1;
+        splitmix64(self.junk_counter) as i64
+    }
+
+    /// Clobbers all caller-saved registers with junk, then writes `ret`
+    /// into the return register. Mirrors what an arbitrary callee may do.
+    fn clobber_caller_saved(&mut self, ret: Option<i64>) {
+        for p in self.target.caller_saved().to_vec() {
+            let j = self.junk();
+            self.pregs[p.index()] = j;
+        }
+        if let Some(v) = ret {
+            self.pregs[self.target.ret_reg().index()] = v;
+        }
+    }
+
+    fn exec_function(&mut self, f: FuncId, depth: usize) -> Result<i64, ExecError> {
+        if depth > self.max_depth {
+            return Err(ExecError::CallDepthExceeded);
+        }
+        self.entry_counts[f.index()] += 1;
+        let func = self.module.func(f);
+        let mut vregs = vec![0i64; func.num_vregs()];
+        let mut frame = vec![0i64; func.frame().num_slots()];
+
+        let mut block = func.entry();
+        let ret_value;
+        'frame: loop {
+            let insts_len = func.block(block).insts.len();
+            let mut idx = 0;
+            loop {
+                if idx == insts_len {
+                    // Implicit fall-through.
+                    let e = self.succ_edge(f, block, SuccPos::Only);
+                    self.edge_counts[f.index()][e.index()] += 1;
+                    block = self.cfgs[f.index()].edge(e).to;
+                    continue 'frame;
+                }
+                if self.fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                let inst = &self.module.func(f).block(block).insts[idx];
+                self.counts.record(inst);
+                // Clone small pieces out of the instruction so that `self`
+                // can be re-borrowed mutably.
+                match inst.kind.clone() {
+                    InstKind::LoadImm { dst, imm } => {
+                        write(&mut self.pregs, &mut vregs, dst, imm);
+                    }
+                    InstKind::Bin { op, dst, lhs, rhs } => {
+                        let a = read(&self.pregs, &vregs, lhs);
+                        let b = read(&self.pregs, &vregs, rhs);
+                        write(&mut self.pregs, &mut vregs, dst, op.eval(a, b));
+                    }
+                    InstKind::BinImm { op, dst, lhs, imm } => {
+                        let a = read(&self.pregs, &vregs, lhs);
+                        write(&mut self.pregs, &mut vregs, dst, op.eval(a, imm));
+                    }
+                    InstKind::Move { dst, src } => {
+                        let v = read(&self.pregs, &vregs, src);
+                        write(&mut self.pregs, &mut vregs, dst, v);
+                    }
+                    InstKind::Load { dst, slot, .. } => {
+                        let v = frame[slot.index()];
+                        write(&mut self.pregs, &mut vregs, dst, v);
+                    }
+                    InstKind::Store { src, slot, .. } => {
+                        frame[slot.index()] = read(&self.pregs, &vregs, src);
+                    }
+                    InstKind::Call { callee, ret, .. } => {
+                        let result = match callee {
+                            Callee::External(_) => {
+                                let r = self.junk();
+                                self.clobber_caller_saved(Some(r));
+                                r
+                            }
+                            Callee::Func(g) => {
+                                // Record callee-saved registers; the callee
+                                // must preserve them.
+                                let snapshot: Vec<(usize, i64)> = self
+                                    .target
+                                    .callee_saved()
+                                    .iter()
+                                    .map(|p| (p.index(), self.pregs[p.index()]))
+                                    .collect();
+                                let r = self.exec_function(g, depth + 1)?;
+                                for &(pi, old) in &snapshot {
+                                    if self.pregs[pi] != old {
+                                        return Err(ExecError::CalleeSavedViolation {
+                                            func: self.module.func(g).name().to_string(),
+                                            reg: spillopt_ir::PReg::new(pi as u8),
+                                        });
+                                    }
+                                }
+                                self.clobber_caller_saved(Some(r));
+                                r
+                            }
+                        };
+                        if let Some(dst) = ret {
+                            write(&mut self.pregs, &mut vregs, dst, result);
+                        }
+                    }
+                    InstKind::Jump { target } => {
+                        let e = self.succ_edge(f, block, SuccPos::Only);
+                        self.edge_counts[f.index()][e.index()] += 1;
+                        block = target;
+                        continue 'frame;
+                    }
+                    InstKind::Branch {
+                        cond,
+                        lhs,
+                        rhs,
+                        taken,
+                        fallthrough,
+                    } => {
+                        let a = read(&self.pregs, &vregs, lhs);
+                        let b = read(&self.pregs, &vregs, rhs);
+                        let (pos, next) = if cond.eval(a, b) {
+                            (SuccPos::Taken, taken)
+                        } else {
+                            (SuccPos::NotTaken, fallthrough)
+                        };
+                        let e = self.succ_edge(f, block, pos);
+                        self.edge_counts[f.index()][e.index()] += 1;
+                        block = next;
+                        continue 'frame;
+                    }
+                    InstKind::Return { value } => {
+                        ret_value = match value {
+                            Some(r) => read(&self.pregs, &vregs, r),
+                            None => 0,
+                        };
+                        break 'frame;
+                    }
+                }
+                idx += 1;
+            }
+        }
+        Ok(ret_value)
+    }
+
+    fn succ_edge(&self, f: FuncId, b: BlockId, pos: SuccPos) -> EdgeId {
+        let cfg = &self.cfgs[f.index()];
+        for &e in cfg.succ_edges(b) {
+            if cfg.edge(e).pos == pos {
+                return e;
+            }
+        }
+        panic!("no successor edge with pos {pos:?} in block {b}");
+    }
+
+}
+
+fn read(pregs: &[i64], vregs: &[i64], r: Reg) -> i64 {
+    match r {
+        Reg::Virt(v) => vregs[v.index()],
+        Reg::Phys(p) => pregs[p.index()],
+    }
+}
+
+fn write(pregs: &mut [i64], vregs: &mut [i64], r: Reg, val: i64) {
+    match r {
+        Reg::Virt(v) => vregs[v.index()] = val,
+        Reg::Phys(p) => pregs[p.index()] = val,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

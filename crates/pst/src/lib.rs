@@ -1,0 +1,66 @@
+//! # spillopt-pst
+//!
+//! Program Structure Tree (PST) substrate for the *spillopt* reproduction
+//! of Lupo & Wilken (CGO 2006).
+//!
+//! The paper's hierarchical spill-code placement algorithm traverses the
+//! PST of a procedure: the tree of **maximal single-entry single-exit
+//! (SESE) regions** defined by Johnson, Pearson & Pingali (PLDI'94) over
+//! the cycle-equivalence classes of an augmented CFG. Region boundaries
+//! are exactly the program points "where dynamic execution count may
+//! change", which is why they suffice for a minimum-cost save/restore
+//! placement.
+//!
+//! * [`cycle_equiv`] — linear-time cycle equivalence via spanning-tree XOR
+//!   labelling of the cycle space (plus an exact oracle for tests);
+//! * [`augment`] — the virtual-END augmented graph and the mid-edge split
+//!   graph on which edge dominance is plain node dominance;
+//! * [`regions`] — dominance chains, canonical and **maximal** regions
+//!   (the paper uses maximal; canonical are kept for the ablation);
+//! * [`tree`] — the [`Pst`] itself with containment and traversal
+//!   queries; [`verify`] — invariant checking for tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use spillopt_ir::{Cfg, Cond, FunctionBuilder, Reg};
+//! use spillopt_pst::Pst;
+//!
+//! // A diamond: entry -> {left, right} -> join -> ret.
+//! let mut fb = FunctionBuilder::new("f", 0);
+//! let entry = fb.create_block(None);
+//! let left = fb.create_block(None);
+//! let right = fb.create_block(None);
+//! let join = fb.create_block(None);
+//! fb.switch_to(entry);
+//! let x = fb.li(1);
+//! fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), right, left);
+//! fb.switch_to(left);
+//! fb.jump(join);
+//! fb.switch_to(right);
+//! fb.jump(join);
+//! fb.switch_to(join);
+//! fb.ret(None);
+//! let func = fb.finish();
+//!
+//! let cfg = Cfg::compute(&func);
+//! let pst = Pst::compute(&cfg);
+//! assert!(pst.num_regions() >= 1);
+//! // The traversal the paper calls "topological order":
+//! assert_eq!(*pst.postorder().last().unwrap(), pst.root());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod augment;
+pub mod cycle_equiv;
+pub mod regions;
+pub mod tree;
+pub mod verify;
+
+pub use augment::{AugEdge, AugEdgeRef, AugGraph};
+pub use cycle_equiv::{cycle_equivalence_classes, cycle_equivalence_classes_oracle, edge_labels};
+pub use regions::{SeseChains, SesePair};
+pub use tree::{Pst, Region, RegionBoundary, RegionId};
+pub use verify::verify_pst;

@@ -1,0 +1,405 @@
+//! The Program Structure Tree over maximal SESE regions.
+
+use crate::augment::{AugEdgeRef, AugGraph};
+use crate::regions::SeseChains;
+use spillopt_ir::{BlockId, Cfg, DenseBitSet, EdgeId};
+
+/// Identifier of a PST region. The root region has id 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Creates a region id from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        RegionId(u32::try_from(i).expect("region index overflow"))
+    }
+
+    /// Returns the dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// One boundary (entry or exit) of a PST region, in terms a placement pass
+/// can realize physically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegionBoundary {
+    /// The procedure entry: realized at the top of the entry block.
+    /// (Root region entry only.)
+    ProcEntry,
+    /// The procedure exits: realized at the bottom of every return block.
+    /// (Root region exit only.)
+    ProcExits,
+    /// A real CFG edge.
+    CfgEdge(EdgeId),
+    /// The virtual edge from return block `b` to END: realized at the
+    /// bottom of `b`, before its return.
+    ReturnEdge(BlockId),
+}
+
+/// A node of the PST: a maximal SESE region (or the root = the whole
+/// procedure).
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// This region's id.
+    pub id: RegionId,
+    /// Parent region (`None` for the root).
+    pub parent: Option<RegionId>,
+    /// Child regions, ordered deterministically.
+    pub children: Vec<RegionId>,
+    /// Entry boundary.
+    pub entry: RegionBoundary,
+    /// Exit boundary.
+    pub exit: RegionBoundary,
+    /// The blocks strictly between the boundaries (for the root: all
+    /// blocks).
+    pub blocks: DenseBitSet,
+    /// Depth in the tree (root = 0).
+    pub depth: usize,
+}
+
+/// The Program Structure Tree of a function: the root region (whole
+/// procedure) plus every maximal SESE region, nested by containment.
+#[derive(Clone, Debug)]
+pub struct Pst {
+    regions: Vec<Region>,
+    block_region: Vec<RegionId>,
+    postorder: Vec<RegionId>,
+}
+
+impl Pst {
+    /// Computes the PST of a CFG.
+    ///
+    /// The construction is linear-time in the spirit of Johnson et al.
+    /// (cycle equivalence via spanning-tree XOR labelling) except for the
+    /// containment bookkeeping, which is O(regions × blocks) — negligible
+    /// at compiler scales and irrelevant to the paper's complexity claims
+    /// about the placement algorithm itself.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let aug = AugGraph::build(cfg);
+        let chains = SeseChains::compute(&aug);
+        let maximal = chains.maximal_regions();
+        let n = cfg.num_blocks();
+
+        let boundary_of = |edge_idx: usize| match aug.edges[edge_idx].what {
+            AugEdgeRef::Cfg(e) => RegionBoundary::CfgEdge(e),
+            AugEdgeRef::Ret(b) => RegionBoundary::ReturnEdge(b),
+            AugEdgeRef::Top => unreachable!("top edge is never a boundary"),
+        };
+
+        // Root region.
+        let mut all = DenseBitSet::new(n);
+        for b in 0..n {
+            all.insert(b);
+        }
+        let mut regions = vec![Region {
+            id: RegionId(0),
+            parent: None,
+            children: Vec::new(),
+            entry: RegionBoundary::ProcEntry,
+            exit: RegionBoundary::ProcExits,
+            blocks: all,
+            depth: 0,
+        }];
+
+        for pair in &maximal {
+            let mut blocks = DenseBitSet::new(n);
+            for b in 0..n {
+                if aug.edge_dominates_block(pair.entry, b)
+                    && aug.edge_postdominates_block(pair.exit, b)
+                {
+                    blocks.insert(b);
+                }
+            }
+            debug_assert!(!blocks.is_empty(), "maximal SESE region with no blocks");
+            let id = RegionId(regions.len() as u32);
+            regions.push(Region {
+                id,
+                parent: None,
+                children: Vec::new(),
+                entry: boundary_of(pair.entry),
+                exit: boundary_of(pair.exit),
+                blocks,
+                depth: 0,
+            });
+        }
+
+        // Parent = smallest strict superset.
+        let mut order: Vec<usize> = (1..regions.len()).collect();
+        order.sort_by_key(|&i| regions[i].blocks.count());
+        for &i in &order {
+            let mut best: usize = 0; // root
+            let mut best_count = usize::MAX;
+            for j in 0..regions.len() {
+                if j == i {
+                    continue;
+                }
+                let cj = regions[j].blocks.count();
+                let ci = regions[i].blocks.count();
+                if cj > ci && regions[i].blocks.is_subset(&regions[j].blocks) && cj < best_count {
+                    best = j;
+                    best_count = cj;
+                }
+            }
+            regions[i].parent = Some(RegionId(best as u32));
+        }
+        for i in 1..regions.len() {
+            let p = regions[i].parent.expect("non-root has parent").index();
+            let id = regions[i].id;
+            regions[p].children.push(id);
+        }
+        // Deterministic child order: by smallest contained block index.
+        let keys: Vec<usize> = regions
+            .iter()
+            .map(|r| r.blocks.iter().next().unwrap_or(usize::MAX))
+            .collect();
+        for r in &mut regions {
+            r.children.sort_by_key(|c| keys[c.index()]);
+        }
+
+        // Depths.
+        let mut stack = vec![RegionId(0)];
+        while let Some(r) = stack.pop() {
+            let d = regions[r.index()].depth;
+            let children = regions[r.index()].children.clone();
+            for c in children {
+                regions[c.index()].depth = d + 1;
+                stack.push(c);
+            }
+        }
+
+        // Innermost region per block: smallest containing region wins.
+        let mut block_region = vec![RegionId(0); n];
+        let mut assigned = vec![false; n];
+        let mut by_size: Vec<usize> = (0..regions.len()).collect();
+        by_size.sort_by_key(|&i| regions[i].blocks.count());
+        for &i in &by_size {
+            for b in regions[i].blocks.iter() {
+                if !assigned[b] {
+                    assigned[b] = true;
+                    block_region[b] = RegionId(i as u32);
+                }
+            }
+        }
+
+        // Postorder (children before parents).
+        let mut postorder = Vec::with_capacity(regions.len());
+        let mut stack: Vec<(RegionId, usize)> = vec![(RegionId(0), 0)];
+        while let Some(&mut (r, ref mut ci)) = stack.last_mut() {
+            let children = &regions[r.index()].children;
+            if *ci < children.len() {
+                let c = children[*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                postorder.push(r);
+                stack.pop();
+            }
+        }
+
+        Pst {
+            regions,
+            block_region,
+            postorder,
+        }
+    }
+
+    /// The root region (the whole procedure).
+    pub fn root(&self) -> RegionId {
+        RegionId(0)
+    }
+
+    /// Returns a region by id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Number of regions (including the root).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over all regions.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> + '_ {
+        self.regions.iter()
+    }
+
+    /// Regions in postorder: every region appears after all its children.
+    /// This is the paper's "topological-order traversal of the PST".
+    pub fn postorder(&self) -> &[RegionId] {
+        &self.postorder
+    }
+
+    /// The innermost region containing block `b`.
+    pub fn innermost_region_of_block(&self, b: BlockId) -> RegionId {
+        self.block_region[b.index()]
+    }
+
+    /// Returns `true` if region `r` contains block `b`.
+    pub fn contains_block(&self, r: RegionId, b: BlockId) -> bool {
+        self.regions[r.index()].blocks.contains(b.index())
+    }
+
+    /// Lowest common ancestor of two regions.
+    pub fn lca(&self, a: RegionId, b: RegionId) -> RegionId {
+        let (mut x, mut y) = (a, b);
+        while self.regions[x.index()].depth > self.regions[y.index()].depth {
+            x = self.regions[x.index()].parent.expect("depth > 0 has parent");
+        }
+        while self.regions[y.index()].depth > self.regions[x.index()].depth {
+            y = self.regions[y.index()].parent.expect("depth > 0 has parent");
+        }
+        while x != y {
+            x = self.regions[x.index()].parent.expect("non-root");
+            y = self.regions[y.index()].parent.expect("non-root");
+        }
+        x
+    }
+
+    /// The innermost region containing both endpoints of a CFG edge — the
+    /// region a save/restore location *on* that edge belongs to. For a
+    /// region's own entry/exit edge this is the region's parent (or an
+    /// ancestor), matching the paper's bookkeeping where a set created at
+    /// region boundaries is seen by the enclosing regions.
+    pub fn innermost_region_of_edge(&self, cfg: &Cfg, e: EdgeId) -> RegionId {
+        let edge = cfg.edge(e);
+        self.lca(
+            self.innermost_region_of_block(edge.from),
+            self.innermost_region_of_block(edge.to),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Cond, FunctionBuilder, Reg};
+
+    /// Nested diamonds: outer branch at A joining at F; inner diamond
+    /// B -> {C,D} -> E inside the left arm.
+    fn nested() -> (spillopt_ir::Function, Vec<BlockId>) {
+        let mut fb = FunctionBuilder::new("nested", 0);
+        let a = fb.create_block(Some("A"));
+        let b = fb.create_block(Some("B"));
+        let c = fb.create_block(Some("C"));
+        let d = fb.create_block(Some("D"));
+        let e = fb.create_block(Some("E"));
+        let g = fb.create_block(Some("G")); // right arm
+        let f_ = fb.create_block(Some("F"));
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), g, b);
+        fb.switch_to(b);
+        fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), d, c);
+        fb.switch_to(c);
+        fb.jump(e);
+        fb.switch_to(d);
+        fb.jump(e);
+        fb.switch_to(e);
+        fb.jump(f_);
+        fb.switch_to(g);
+        fb.jump(f_);
+        fb.switch_to(f_);
+        fb.ret(None);
+        (fb.finish(), vec![a, b, c, d, e, g, f_])
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let (f, blocks) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        for &b in &blocks {
+            assert!(pst.contains_block(pst.root(), b));
+        }
+        assert_eq!(pst.region(pst.root()).depth, 0);
+        assert!(pst.region(pst.root()).parent.is_none());
+    }
+
+    #[test]
+    fn finds_nested_left_arm_region() {
+        let (f, blocks) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let (b, c, d, e) = (blocks[1], blocks[2], blocks[3], blocks[4]);
+        // Some region should contain exactly the left arm {B,C,D,E}.
+        let left_arm = pst.regions().find(|r| {
+            r.blocks.contains(b.index())
+                && r.blocks.contains(e.index())
+                && !r.blocks.contains(blocks[5].index())
+                && !r.blocks.contains(blocks[0].index())
+                && !r.blocks.contains(blocks[6].index())
+        });
+        let left_arm = left_arm.expect("left-arm region missing");
+        assert!(left_arm.blocks.contains(c.index()));
+        assert!(left_arm.blocks.contains(d.index()));
+        assert_eq!(left_arm.blocks.count(), 4);
+        // Its parent chain reaches the root.
+        let mut r = left_arm.id;
+        let mut hops = 0;
+        while let Some(p) = pst.region(r).parent {
+            r = p;
+            hops += 1;
+            assert!(hops < 100);
+        }
+        assert_eq!(r, pst.root());
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let (f, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let pos: std::collections::HashMap<RegionId, usize> = pst
+            .postorder()
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+        for r in pst.regions() {
+            for &c in &r.children {
+                assert!(pos[&c] < pos[&r.id], "{c} must precede {}", r.id);
+            }
+        }
+        assert_eq!(*pst.postorder().last().unwrap(), pst.root());
+        assert_eq!(pst.postorder().len(), pst.num_regions());
+    }
+
+    #[test]
+    fn innermost_block_and_edge_queries() {
+        let (f, blocks) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let c = blocks[2];
+        let inner = pst.innermost_region_of_block(c);
+        assert!(pst.contains_block(inner, c));
+        // Edge A->B crosses into the left-arm region: its innermost region
+        // must contain both A and B.
+        let e = cfg.edge_between(blocks[0], blocks[1]).unwrap();
+        let r = pst.innermost_region_of_edge(&cfg, e);
+        assert!(pst.contains_block(r, blocks[0]));
+        assert!(pst.contains_block(r, blocks[1]));
+    }
+
+    #[test]
+    fn proper_nesting_no_partial_overlap() {
+        let (f, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let regions: Vec<_> = pst.regions().collect();
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                let (a, b) = (&regions[i].blocks, &regions[j].blocks);
+                let nested = a.is_subset(b) || b.is_subset(a);
+                let disjoint = a.is_disjoint(b);
+                assert!(nested || disjoint, "regions {i} and {j} partially overlap");
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Structural verification of a computed PST (used heavily by tests and
+//! property tests).
+
+use crate::augment::{AugEdgeRef, AugGraph};
+use crate::tree::{Pst, Region, RegionBoundary};
+use spillopt_ir::Cfg;
+
+/// Checks PST invariants against its CFG. Returns human-readable
+/// violation descriptions (empty = valid).
+///
+/// Checked invariants:
+///
+/// 1. the root covers all blocks and every non-root region's block set is
+///    a strict subset of its parent's;
+/// 2. any two regions are nested or disjoint (proper hierarchy);
+/// 3. every non-root region's boundaries satisfy the SESE conditions:
+///    entry dominates exit, exit post-dominates entry;
+/// 4. every block's innermost region contains it and no smaller region
+///    does;
+/// 5. postorder lists children before parents and covers every region
+///    exactly once.
+pub fn verify_pst(cfg: &Cfg, pst: &Pst) -> Vec<String> {
+    let mut errs = Vec::new();
+    let aug = AugGraph::build(cfg);
+
+    let aug_index = |b: RegionBoundary| -> Option<usize> {
+        match b {
+            RegionBoundary::CfgEdge(e) => aug
+                .edges
+                .iter()
+                .position(|x| x.what == AugEdgeRef::Cfg(e)),
+            RegionBoundary::ReturnEdge(blk) => aug
+                .edges
+                .iter()
+                .position(|x| x.what == AugEdgeRef::Ret(blk)),
+            _ => None,
+        }
+    };
+
+    // 1 & 3.
+    let root = pst.region(pst.root());
+    if root.blocks.count() != cfg.num_blocks() {
+        errs.push("root region does not cover all blocks".to_string());
+    }
+    for r in pst.regions() {
+        if r.id == pst.root() {
+            continue;
+        }
+        let parent = match r.parent {
+            Some(p) => pst.region(p),
+            None => {
+                errs.push(format!("{} has no parent", r.id));
+                continue;
+            }
+        };
+        if !r.blocks.is_subset(&parent.blocks) || r.blocks.count() >= parent.blocks.count() {
+            errs.push(format!("{} is not a strict subset of its parent", r.id));
+        }
+        match (aug_index(r.entry), aug_index(r.exit)) {
+            (Some(en), Some(ex)) => {
+                if !aug.edge_dominates(en, ex) {
+                    errs.push(format!("{}: entry does not dominate exit", r.id));
+                }
+                if !aug.edge_postdominates(ex, en) {
+                    errs.push(format!("{}: exit does not post-dominate entry", r.id));
+                }
+            }
+            _ => errs.push(format!("{}: non-root region with virtual boundary", r.id)),
+        }
+        if r.blocks.is_empty() {
+            errs.push(format!("{} is empty", r.id));
+        }
+    }
+
+    // 2.
+    let regions: Vec<&Region> = pst.regions().collect();
+    for i in 0..regions.len() {
+        for j in i + 1..regions.len() {
+            let (a, b) = (&regions[i].blocks, &regions[j].blocks);
+            if !(a.is_subset(b) || b.is_subset(a) || a.is_disjoint(b)) {
+                errs.push(format!(
+                    "{} and {} partially overlap",
+                    regions[i].id, regions[j].id
+                ));
+            }
+        }
+    }
+
+    // 4.
+    for bi in 0..cfg.num_blocks() {
+        let b = spillopt_ir::BlockId::from_index(bi);
+        let inner = pst.innermost_region_of_block(b);
+        if !pst.contains_block(inner, b) {
+            errs.push(format!("innermost region of {b} does not contain it"));
+        }
+        for r in pst.regions() {
+            if r.blocks.contains(bi) && r.blocks.count() < pst.region(inner).blocks.count() {
+                errs.push(format!("{} is smaller than innermost region of {b}", r.id));
+            }
+        }
+    }
+
+    // 5.
+    let post = pst.postorder();
+    if post.len() != pst.num_regions() {
+        errs.push("postorder length mismatch".to_string());
+    }
+    let pos: std::collections::HashMap<_, _> =
+        post.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    for r in pst.regions() {
+        for &c in &r.children {
+            if pos[&c] >= pos[&r.id] {
+                errs.push(format!("postorder: {c} not before parent {}", r.id));
+            }
+        }
+    }
+
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Cond, FunctionBuilder, Reg};
+
+    #[test]
+    fn valid_pst_passes() {
+        let mut fb = FunctionBuilder::new("v", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.jump(d);
+        fb.switch_to(c);
+        fb.jump(d);
+        fb.switch_to(d);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        let errs = verify_pst(&cfg, &pst);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+}

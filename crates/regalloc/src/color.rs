@@ -1,0 +1,303 @@
+//! Briggs-style optimistic graph coloring with conservative coalescing.
+
+use crate::interfere::InterferenceGraph;
+use spillopt_ir::{DenseBitSet, PReg, Target, UnionFind, VReg};
+
+/// Outcome of one coloring attempt.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// Color (physical register) per virtual register, for colored vregs.
+    pub assignment: Vec<Option<PReg>>,
+    /// Virtual registers that must be spilled.
+    pub spills: Vec<VReg>,
+    /// Number of vreg pairs coalesced.
+    pub coalesced: usize,
+    /// The coalescing map: representative vreg per vreg.
+    pub alias: Vec<u32>,
+}
+
+/// Attempts to color the graph with the target's registers.
+///
+/// `no_spill` marks vregs created by earlier spill rewriting (their live
+/// ranges are minimal and respilling them cannot help); they are chosen
+/// for spilling only if nothing else is available.
+pub fn color(
+    graph: &InterferenceGraph,
+    target: &Target,
+    no_spill: &DenseBitSet,
+) -> Coloring {
+    let nv = graph.num_vregs();
+    let k = target.num_regs();
+
+    // --- Conservative (Briggs) coalescing on virtual pairs. ---
+    let mut alias = UnionFind::new(nv);
+    // Effective adjacency after coalescing, as bitsets over all nodes.
+    let mut adj: Vec<DenseBitSet> = (0..nv)
+        .map(|i| {
+            let mut s = DenseBitSet::new(graph.num_nodes());
+            for &x in graph.neighbors(i) {
+                s.insert(x as usize);
+            }
+            s
+        })
+        .collect();
+    let mut coalesced = 0;
+    let disable_coalesce = std::env::var("SPILLOPT_NO_COALESCE").is_ok();
+    for &(a, b) in &graph.moves {
+        if disable_coalesce { break; }
+        let (ra, rb) = (alias.find(a as usize), alias.find(b as usize));
+        if ra == rb {
+            continue;
+        }
+        // Interference test under aliasing: a neighbor recorded before a
+        // later merge must be resolved through the alias map.
+        let interferes = |alias: &mut UnionFind, adj: &[DenseBitSet], x: usize, y: usize| {
+            adj[x].iter().any(|n| {
+                let n = if n < nv { alias.find(n) } else { n };
+                n == y
+            })
+        };
+        if interferes(&mut alias, &adj, ra, rb) || interferes(&mut alias, &adj, rb, ra) {
+            continue;
+        }
+        // Briggs test: the merged node must have < k neighbors of
+        // significant degree.
+        let mut merged = adj[ra].clone();
+        merged.union_with(&adj[rb]);
+        let significant = merged
+            .iter()
+            .filter(|&x| {
+                let d = if x < nv {
+                    adj[alias.find(x)].count()
+                } else {
+                    graph.degree(x)
+                };
+                d >= k
+            })
+            .count();
+        if significant < k {
+            alias.union(ra, rb);
+            let root = alias.find(ra);
+            let other = if root == ra { rb } else { ra };
+            let other_set = adj[other].clone();
+            adj[root].union_with(&other_set);
+            // Canonicalize so later tests and degree estimates see merged
+            // representatives.
+            let items: Vec<usize> = adj[root].iter().collect();
+            adj[root].clear();
+            for x in items {
+                let y = if x < nv { alias.find(x) } else { x };
+                if y != root {
+                    adj[root].insert(y);
+                }
+            }
+            coalesced += 1;
+        }
+    }
+
+    // Representative nodes after coalescing.
+    let reps: Vec<usize> = (0..nv).filter(|&i| alias.find(i) == i).collect();
+    // Re-point adjacency of representatives through aliases: a neighbor
+    // that was coalesced must be counted via its representative.
+    let resolve = |alias: &mut UnionFind, x: usize| -> usize {
+        if x < nv {
+            alias.find(x)
+        } else {
+            x
+        }
+    };
+    let mut rep_adj: Vec<DenseBitSet> = vec![DenseBitSet::new(graph.num_nodes()); nv];
+    for &r in &reps {
+        let items: Vec<usize> = adj[r].iter().collect();
+        for x in items {
+            let y = resolve(&mut alias, x);
+            if y != r {
+                rep_adj[r].insert(y);
+            }
+        }
+    }
+
+    // Spill metric: weight / degree, with no-spill nodes effectively
+    // infinite.
+    let metric = |alias: &mut UnionFind, rep_adj: &[DenseBitSet], i: usize| -> (u64, u64) {
+        let mut w = 0u64;
+        for v in 0..nv {
+            if alias.find(v) == i {
+                w = w.saturating_add(graph.weight[v]);
+            }
+        }
+        let d = rep_adj[i].count().max(1) as u64;
+        (w, d)
+    };
+
+    // --- Simplify. ---
+    let mut removed = DenseBitSet::new(nv);
+    let mut degree: Vec<usize> = (0..nv).map(|i| rep_adj[i].count()).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = reps.clone();
+    while !remaining.is_empty() {
+        // Pick a low-degree node if any.
+        let pos = remaining.iter().position(|&i| degree[i] < k);
+        let chosen = match pos {
+            Some(p) => remaining.swap_remove(p),
+            None => {
+                // Potential spill: lowest weight/degree, avoiding
+                // no-spill nodes.
+                let mut best: Option<(usize, usize, u128)> = None; // (idx in remaining, node, key)
+                for (ri, &i) in remaining.iter().enumerate() {
+                    let banned = no_spill.contains(i);
+                    let (w, d) = metric(&mut alias, &rep_adj, i);
+                    // key = w/d scaled; banned nodes sort last.
+                    let key = ((banned as u128) << 100) | ((w as u128) << 32) / d as u128;
+                    if best.is_none() || key < best.unwrap().2 {
+                        best = Some((ri, i, key));
+                    }
+                }
+                let (ri, node, _) = best.expect("non-empty remaining");
+                remaining.swap_remove(ri);
+                node
+            }
+        };
+        removed.insert(chosen);
+        for x in rep_adj[chosen].iter() {
+            if x < nv && !removed.contains(x) {
+                degree[x] = degree[x].saturating_sub(1);
+            }
+        }
+        stack.push(chosen);
+    }
+
+    // --- Select (optimistic). ---
+    // Preference: call-crossing nodes try callee-saved first; others try
+    // caller-saved first. Within each class, low index first so few
+    // distinct callee-saved registers get used.
+    let mut color_of: Vec<Option<PReg>> = vec![None; nv];
+    let mut spills = Vec::new();
+    while let Some(i) = stack.pop() {
+        let mut forbidden = DenseBitSet::new(target.reg_index_limit());
+        for x in rep_adj[i].iter() {
+            if x >= nv {
+                forbidden.insert(x - nv);
+            } else if let Some(p) = color_of[x] {
+                forbidden.insert(p.index());
+            }
+        }
+        let crosses = (0..nv).any(|v| alias.find(v) == i && graph.crosses_call.contains(v));
+        let order: Vec<PReg> = if crosses {
+            target
+                .callee_saved()
+                .iter()
+                .chain(target.caller_saved())
+                .copied()
+                .collect()
+        } else {
+            target
+                .caller_saved()
+                .iter()
+                .chain(target.callee_saved())
+                .copied()
+                .collect()
+        };
+        match order.iter().find(|p| !forbidden.contains(p.index())) {
+            Some(&p) => color_of[i] = Some(p),
+            None => spills.push(VReg::from_index(i)),
+        }
+    }
+
+    // Propagate representative colors to aliases.
+    let mut assignment = vec![None; nv];
+    for v in 0..nv {
+        assignment[v] = color_of[alias.find(v)];
+    }
+    let alias_vec: Vec<u32> = (0..nv).map(|v| alias.find(v) as u32).collect();
+
+    Coloring {
+        assignment,
+        spills,
+        coalesced,
+        alias: alias_vec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{BinOp, Callee, Cfg, FunctionBuilder, Liveness, Reg};
+
+    fn build_graph(f: &spillopt_ir::Function, t: &Target) -> InterferenceGraph {
+        let cfg = Cfg::compute(f);
+        let lv = Liveness::compute(f, &cfg, t);
+        InterferenceGraph::build(f, &cfg, t, &lv, &vec![1; f.num_blocks()])
+    }
+
+    #[test]
+    fn colors_small_function_without_spills() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let y = fb.li(2);
+        let z = fb.bin(BinOp::Add, Reg::Virt(x), Reg::Virt(y));
+        fb.ret(Some(Reg::Virt(z)));
+        let f = fb.finish();
+        let t = Target::default();
+        let g = build_graph(&f, &t);
+        let c = color(&g, &t, &DenseBitSet::new(g.num_vregs()));
+        assert!(c.spills.is_empty());
+        let px = c.assignment[x.index()].unwrap();
+        let py = c.assignment[y.index()].unwrap();
+        assert_ne!(px, py, "interfering vregs share a color");
+    }
+
+    #[test]
+    fn call_crossing_values_get_callee_saved() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let _ = fb.call(Callee::External(0), &[]);
+        fb.ret(Some(Reg::Virt(x)));
+        let f = fb.finish();
+        let t = Target::default();
+        let g = build_graph(&f, &t);
+        let c = color(&g, &t, &DenseBitSet::new(g.num_vregs()));
+        let px = c.assignment[x.index()].unwrap();
+        assert!(t.is_callee_saved(px), "{px} should be callee-saved");
+    }
+
+    #[test]
+    fn spills_under_tiny_target() {
+        // 5 mutually-live vregs on a 4-register target force a spill.
+        let t = Target::tiny();
+        let mut fb = FunctionBuilder::with_target("h", 0, t.clone());
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let vs: Vec<_> = (0..5).map(|i| fb.li(i)).collect();
+        let mut acc = vs[0];
+        for v in &vs[1..] {
+            acc = fb.bin(BinOp::Add, Reg::Virt(acc), Reg::Virt(*v));
+        }
+        fb.ret(Some(Reg::Virt(acc)));
+        let f = fb.finish();
+        let g = build_graph(&f, &t);
+        let c = color(&g, &t, &DenseBitSet::new(g.num_vregs()));
+        assert!(!c.spills.is_empty(), "expected at least one spill");
+    }
+
+    #[test]
+    fn coalesces_moves() {
+        let mut fb = FunctionBuilder::new("m", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let y = fb.new_vreg();
+        fb.mov(Reg::Virt(y), Reg::Virt(x));
+        fb.ret(Some(Reg::Virt(y)));
+        let f = fb.finish();
+        let t = Target::default();
+        let g = build_graph(&f, &t);
+        let c = color(&g, &t, &DenseBitSet::new(g.num_vregs()));
+        assert!(c.coalesced >= 1);
+        assert_eq!(c.assignment[x.index()], c.assignment[y.index()]);
+    }
+}

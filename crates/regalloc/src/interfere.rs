@@ -1,0 +1,246 @@
+//! Interference graph construction.
+
+use spillopt_ir::{Cfg, DenseBitSet, Function, InstKind, Liveness, Reg, Target};
+
+/// An interference graph over the register universe (virtual registers
+/// followed by physical registers; physical nodes are precolored).
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    n: usize,
+    num_vregs: usize,
+    matrix: Vec<DenseBitSet>,
+    neighbors: Vec<Vec<u32>>,
+    /// Move-related pairs (both virtual) for coalescing.
+    pub moves: Vec<(u32, u32)>,
+    /// Virtual registers live across at least one call site.
+    pub crosses_call: DenseBitSet,
+    /// Use/def frequency per node, weighted by block execution counts.
+    pub weight: Vec<u64>,
+}
+
+impl InterferenceGraph {
+    /// Builds the interference graph of `func` using `block_weight` as the
+    /// per-block frequency for spill costs.
+    pub fn build(
+        func: &Function,
+        _cfg: &Cfg,
+        target: &Target,
+        liveness: &Liveness,
+        block_weight: &[u64],
+    ) -> Self {
+        let universe = liveness.universe();
+        let n = universe.len();
+        let num_vregs = universe.num_vregs();
+        let mut g = InterferenceGraph {
+            n,
+            num_vregs,
+            matrix: vec![DenseBitSet::new(n); n],
+            neighbors: vec![Vec::new(); n],
+            moves: Vec::new(),
+            crosses_call: DenseBitSet::new(num_vregs),
+            weight: vec![0; n],
+        };
+
+        // All physical registers mutually interfere (they are distinct
+        // resources).
+        for a in num_vregs..n {
+            for b in num_vregs + 1 + (a - num_vregs)..n {
+                g.add_edge(a, b);
+            }
+        }
+
+        for b in func.block_ids() {
+            let w = block_weight[b.index()];
+            liveness.for_each_inst_backwards(func, target, b, |idx, live_after| {
+                let inst = &func.block(b).insts[idx];
+                // Spill-cost weights: every mention of a node costs.
+                inst.for_each_use(|r| {
+                    let i = universe.index(r);
+                    g.weight[i] = g.weight[i].saturating_add(w);
+                });
+                inst.for_each_def(|r| {
+                    let i = universe.index(r);
+                    g.weight[i] = g.weight[i].saturating_add(w);
+                });
+
+                // A def interferes with everything live after it, except
+                // that a move's destination does not interfere with its
+                // source (classic coalescing-friendly rule).
+                let move_src: Option<usize> = match &inst.kind {
+                    InstKind::Move { src, .. } => Some(universe.index(*src)),
+                    _ => None,
+                };
+                inst.for_each_def(|r| {
+                    let d = universe.index(r);
+                    for l in live_after.iter() {
+                        if l != d && Some(l) != move_src {
+                            g.add_edge(d, l);
+                        }
+                    }
+                });
+                inst.for_each_clobber(target, |p| {
+                    let d = universe.index(Reg::Phys(p));
+                    for l in live_after.iter() {
+                        if l != d {
+                            g.add_edge(d, l);
+                        }
+                    }
+                });
+                if matches!(inst.kind, InstKind::Call { .. }) {
+                    for l in live_after.iter() {
+                        if l < num_vregs {
+                            g.crosses_call.insert(l);
+                        }
+                    }
+                    // Exclude the call's own definition: it is written
+                    // after the call completes.
+                    inst.for_each_def(|r| {
+                        let d = universe.index(r);
+                        if d < num_vregs {
+                            g.crosses_call.remove(d);
+                        }
+                    });
+                }
+                // Record vreg-vreg moves for coalescing.
+                if let InstKind::Move { dst, src } = &inst.kind {
+                    if dst.is_virt() && src.is_virt() {
+                        g.moves
+                            .push((universe.index(*dst) as u32, universe.index(*src) as u32));
+                    }
+                }
+            });
+        }
+        g
+    }
+
+    /// Number of nodes (virtual + physical).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of virtual-register nodes.
+    pub fn num_vregs(&self) -> usize {
+        self.num_vregs
+    }
+
+    /// Returns `true` if node `i` is a precolored physical register.
+    pub fn is_precolored(&self, i: usize) -> bool {
+        i >= self.num_vregs
+    }
+
+    /// Adds an interference edge.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b || self.matrix[a].contains(b) {
+            return;
+        }
+        self.matrix[a].insert(b);
+        self.matrix[b].insert(a);
+        self.neighbors[a].push(b as u32);
+        self.neighbors[b].push(a as u32);
+    }
+
+    /// Returns `true` if `a` and `b` interfere.
+    pub fn interferes(&self, a: usize, b: usize) -> bool {
+        self.matrix[a].contains(b)
+    }
+
+    /// The neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbors[i]
+    }
+
+    /// The degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// The universe-relative index of a physical register node.
+    pub fn preg_node(&self, p: spillopt_ir::PReg) -> usize {
+        self.num_vregs + p.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{BinOp, Callee, FunctionBuilder, Liveness};
+
+    #[test]
+    fn simultaneously_live_vregs_interfere() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let y = fb.li(2);
+        let z = fb.bin(BinOp::Add, Reg::Virt(x), Reg::Virt(y));
+        fb.ret(Some(Reg::Virt(z)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let lv = Liveness::compute(&f, &cfg, &t);
+        let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
+        assert!(g.interferes(x.index(), y.index()));
+        // z defined from x,y: z does not interfere with x (x dead after).
+        assert!(!g.interferes(z.index(), x.index()));
+    }
+
+    #[test]
+    fn call_crossing_vreg_interferes_with_caller_saved() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let _r = fb.call(Callee::External(0), &[]);
+        fb.ret(Some(Reg::Virt(x)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let lv = Liveness::compute(&f, &cfg, &t);
+        let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
+        assert!(g.crosses_call.contains(x.index()));
+        for &p in t.caller_saved() {
+            assert!(
+                g.interferes(x.index(), g.preg_node(p)),
+                "x must interfere with caller-saved {p}"
+            );
+        }
+        for &p in t.callee_saved() {
+            assert!(!g.interferes(x.index(), g.preg_node(p)));
+        }
+    }
+
+    #[test]
+    fn call_result_does_not_cross_its_own_call() {
+        let mut fb = FunctionBuilder::new("h", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let r = fb.call(Callee::External(0), &[]);
+        fb.ret(Some(Reg::Virt(r)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let lv = Liveness::compute(&f, &cfg, &t);
+        let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
+        assert!(!g.crosses_call.contains(r.index()));
+    }
+
+    #[test]
+    fn move_operands_recorded_not_interfering() {
+        let mut fb = FunctionBuilder::new("m", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let y = fb.new_vreg();
+        fb.mov(Reg::Virt(y), Reg::Virt(x));
+        fb.ret(Some(Reg::Virt(y)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let lv = Liveness::compute(&f, &cfg, &t);
+        let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
+        assert!(!g.interferes(x.index(), y.index()));
+        assert!(g
+            .moves
+            .contains(&(y.index() as u32, x.index() as u32)));
+    }
+}

@@ -1,0 +1,181 @@
+//! # spillopt-regalloc
+//!
+//! A Chaitin/Briggs graph-coloring register allocator — the substrate the
+//! paper's experiments run on ("The register allocator of GCC was replaced
+//! with a Chaitin/Briggs style graph-coloring register allocator").
+//!
+//! Pipeline per function: liveness → interference graph (with call
+//! clobbers and physical precolored nodes) → conservative coalescing →
+//! Briggs optimistic coloring with a callee-saved preference for
+//! call-crossing values → spill code insertion and reiteration → physical
+//! rewrite.
+//!
+//! The allocator deliberately does **not** insert callee-saved
+//! save/restore code: exporting which callee-saved registers are busy in
+//! which blocks (via `spillopt_core::CalleeSavedUsage::from_function`) and
+//! leaving their placement to the post-allocation passes is precisely the
+//! problem setup of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use spillopt_ir::{Callee, FunctionBuilder, Module, Reg, Target, RegDiscipline};
+//! use spillopt_regalloc::allocate;
+//!
+//! // A value alive across a call needs a callee-saved register.
+//! let mut fb = FunctionBuilder::new("f", 0);
+//! let b = fb.create_block(None);
+//! fb.switch_to(b);
+//! let x = fb.li(7);
+//! let _ = fb.call(Callee::External(0), &[]);
+//! fb.ret(Some(Reg::Virt(x)));
+//! let mut func = fb.finish();
+//!
+//! let target = Target::default();
+//! let result = allocate(&mut func, &target, None);
+//! assert!(result.spilled_vregs == 0);
+//! assert!(!result.used_callee_saved.is_empty());
+//! assert!(spillopt_ir::verify_function(&func, RegDiscipline::Physical).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod color;
+pub mod interfere;
+pub mod rewrite;
+pub mod spill;
+
+use spillopt_ir::{Cfg, DenseBitSet, Function, Liveness, PReg, Reg, Target};
+use spillopt_profile::EdgeProfile;
+
+pub use color::{color, Coloring};
+pub use interfere::InterferenceGraph;
+pub use rewrite::apply_coloring;
+pub use spill::insert_spill_code;
+
+/// Summary of one allocation run.
+#[derive(Clone, Debug, Default)]
+pub struct RegAllocResult {
+    /// Virtual registers sent to memory.
+    pub spilled_vregs: usize,
+    /// Build/color/spill rounds needed.
+    pub iterations: usize,
+    /// Move instructions removed by coalescing.
+    pub coalesced_moves: usize,
+    /// The callee-saved registers the allocation uses (these need
+    /// save/restore code from a placement pass).
+    pub used_callee_saved: Vec<PReg>,
+}
+
+/// Allocates `func`'s virtual registers to physical registers, editing the
+/// function in place. `profile` (if given) weights spill costs by block
+/// execution counts; otherwise static weights are used.
+///
+/// On return the function is fully physical
+/// ([`RegDiscipline::Physical`](spillopt_ir::RegDiscipline) verifies) but
+/// **violates** the callee-saved convention until a placement pass inserts
+/// save/restore code.
+///
+/// # Panics
+///
+/// Panics if the function still needs spills after 16 rounds (cannot
+/// happen for well-formed inputs on targets with ≥ 4 registers).
+pub fn allocate(func: &mut Function, target: &Target, profile: Option<&EdgeProfile>) -> RegAllocResult {
+    let mut result = RegAllocResult::default();
+    let mut no_spill = DenseBitSet::new(func.num_vregs());
+
+    for round in 0..16 {
+        result.iterations = round + 1;
+        let cfg = Cfg::compute(func);
+        let weights: Vec<u64> = match profile {
+            Some(p) => func
+                .block_ids()
+                .map(|b| p.block_count(b).max(1))
+                .collect(),
+            None => {
+                // Static heuristic: deeper loops cost more.
+                let doms = spillopt_ir::BlockDoms::compute(&cfg);
+                let loops = spillopt_ir::LoopInfo::compute(&cfg, &doms);
+                func.block_ids()
+                    .map(|b| 10u64.saturating_pow(loops.depth(b).min(6) as u32))
+                    .collect()
+            }
+        };
+        let liveness = Liveness::compute(func, &cfg, target);
+        let graph = InterferenceGraph::build(func, &cfg, target, &liveness, &weights);
+        // Resize the no-spill set to the (possibly grown) vreg space.
+        let mut ns = DenseBitSet::new(func.num_vregs());
+        for i in no_spill.iter() {
+            ns.insert(i);
+        }
+        let coloring = color(&graph, target, &ns);
+        if coloring.spills.is_empty() {
+            assert_coloring_valid(&graph, &coloring, func);
+            result.coalesced_moves = apply_coloring(func, &coloring.assignment);
+            result.used_callee_saved = used_callee_saved(func, target);
+            return result;
+        }
+        result.spilled_vregs += coloring.spills.len();
+        let temps = insert_spill_code(func, &coloring.spills);
+        no_spill = {
+            let mut s = DenseBitSet::new(func.num_vregs());
+            for i in ns.iter().chain(temps.iter()) {
+                s.insert(i);
+            }
+            s
+        };
+    }
+    panic!(
+        "register allocation did not converge for `{}`",
+        func.name()
+    );
+}
+
+/// Hard safety net: every interference edge of the original graph must be
+/// honoured by the final assignment (coalescing or optimistic coloring
+/// bugs would surface here instead of as silent miscompiles).
+fn assert_coloring_valid(graph: &InterferenceGraph, coloring: &Coloring, func: &Function) {
+    let nv = graph.num_vregs();
+    for a in 0..nv {
+        let Some(pa) = coloring.assignment[a] else {
+            continue;
+        };
+        for &b in graph.neighbors(a) {
+            let b = b as usize;
+            if b < nv {
+                if coloring.assignment[b] == Some(pa) && coloring.alias[a] != coloring.alias[b] {
+                    panic!(
+                        "coloring bug in `{}`: interfering v{a} and v{b} both got {pa}",
+                        func.name()
+                    );
+                }
+            } else if b - nv == pa.index() {
+                panic!(
+                    "coloring bug in `{}`: v{a} assigned precolored neighbour {pa}",
+                    func.name()
+                );
+            }
+        }
+    }
+}
+
+/// The callee-saved registers mentioned by a (physical) function.
+fn used_callee_saved(func: &Function, target: &Target) -> Vec<PReg> {
+    let mut used = Vec::new();
+    for b in func.block_ids() {
+        for inst in &func.block(b).insts {
+            let mut mark = |r: Reg| {
+                if let Reg::Phys(p) = r {
+                    if target.is_callee_saved(p) && !used.contains(&p) {
+                        used.push(p);
+                    }
+                }
+            };
+            inst.for_each_use(&mut mark);
+            inst.for_each_def(&mut mark);
+        }
+    }
+    used.sort();
+    used
+}

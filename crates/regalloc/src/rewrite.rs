@@ -1,0 +1,61 @@
+//! Applying a coloring: rewriting virtual registers to physical ones.
+
+use spillopt_ir::{Function, InstKind, PReg, Reg};
+
+/// Replaces every virtual register with its assigned physical register and
+/// removes the identity moves that coalescing produced. Returns the number
+/// of removed moves.
+///
+/// # Panics
+///
+/// Panics if any virtual register lacks an assignment (the allocator only
+/// calls this after a spill-free coloring).
+pub fn apply_coloring(func: &mut Function, assignment: &[Option<PReg>]) -> usize {
+    let mut removed = 0;
+    for bi in 0..func.num_blocks() {
+        let b = spillopt_ir::BlockId::from_index(bi);
+        let old = std::mem::take(&mut func.block_mut(b).insts);
+        let mut out = Vec::with_capacity(old.len());
+        for mut inst in old {
+            inst.for_each_reg_mut(|r| {
+                if let Reg::Virt(v) = *r {
+                    let p = assignment[v.index()]
+                        .unwrap_or_else(|| panic!("vreg {v} has no assigned register"));
+                    *r = Reg::Phys(p);
+                }
+            });
+            if let InstKind::Move { dst, src } = &inst.kind {
+                if dst == src {
+                    removed += 1;
+                    continue;
+                }
+            }
+            out.push(inst);
+        }
+        func.block_mut(b).insts = out;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{verify_function, FunctionBuilder, RegDiscipline};
+
+    #[test]
+    fn rewrites_to_physical_and_drops_identity_moves() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(1);
+        let y = fb.new_vreg();
+        fb.mov(Reg::Virt(y), Reg::Virt(x));
+        fb.ret(Some(Reg::Virt(y)));
+        let mut f = fb.finish();
+        // Coalesced: both map to r5.
+        let assignment = vec![Some(PReg::new(5)); f.num_vregs()];
+        let removed = apply_coloring(&mut f, &assignment);
+        assert_eq!(removed, 1);
+        assert!(verify_function(&f, RegDiscipline::Physical).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end pipeline tests: allocate registers, place callee-saved
+//! save/restore code, execute, and require bit-identical results plus a
+//! clean register-usage convention.
+
+use spillopt_core::{
+    entry_exit_placement, hierarchical_placement, insert_placement, CalleeSavedUsage, CostModel,
+};
+use spillopt_ir::{
+    BinOp, Callee, Cfg, Cond, FuncId, FunctionBuilder, InstKind, Module, Reg, RegDiscipline,
+    Target,
+};
+use spillopt_profile::Machine;
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+
+/// Builds `caller(n)`: a loop that accumulates `helper(i) + ext(i)` while
+/// holding several values across calls — forcing callee-saved pressure.
+fn build_module() -> (Module, FuncId) {
+    let mut module = Module::new("e2e");
+
+    // helper(x) = x * 3 + 1
+    let mut hb = FunctionBuilder::new("helper", 1);
+    let b = hb.create_block(None);
+    hb.switch_to(b);
+    let x = hb.param(0);
+    let t = hb.bin_imm(BinOp::Mul, Reg::Virt(x), 3);
+    let u = hb.bin_imm(BinOp::Add, Reg::Virt(t), 1);
+    hb.ret(Some(Reg::Virt(u)));
+    let helper = hb.finish();
+
+    // caller(n): acc = 0; for i in 0..n { acc += helper(i) ^ (i << 1) }
+    let mut fb = FunctionBuilder::new("caller", 1);
+    let entry = fb.create_block(Some("entry"));
+    let header = fb.create_block(Some("header"));
+    let body = fb.create_block(Some("body"));
+    let exit = fb.create_block(Some("exit"));
+    fb.switch_to(entry);
+    let n = fb.param(0);
+    let i = fb.li(0);
+    let acc = fb.li(0);
+    fb.jump(header);
+    fb.switch_to(header);
+    fb.branch(Cond::Ge, Reg::Virt(i), Reg::Virt(n), exit, body);
+    fb.switch_to(body);
+    // These values must survive the call: i, n, acc.
+    let r = fb.call(Callee::Func(FuncId::from_index(1)), &[Reg::Virt(i)]);
+    let shifted = fb.bin_imm(BinOp::Shl, Reg::Virt(i), 1);
+    let mixed = fb.bin(BinOp::Xor, Reg::Virt(r), Reg::Virt(shifted));
+    fb.emit(InstKind::Bin {
+        op: BinOp::Add,
+        dst: Reg::Virt(acc),
+        lhs: Reg::Virt(acc),
+        rhs: Reg::Virt(mixed),
+    });
+    fb.emit(InstKind::BinImm {
+        op: BinOp::Add,
+        dst: Reg::Virt(i),
+        lhs: Reg::Virt(i),
+        imm: 1,
+    });
+    fb.jump(header);
+    fb.switch_to(exit);
+    fb.ret(Some(Reg::Virt(acc)));
+    let caller = fb.finish();
+
+    let caller_id = module.add_func(caller);
+    let _helper_id = module.add_func(helper);
+    (module, caller_id)
+}
+
+#[test]
+fn allocation_plus_placement_preserves_semantics() {
+    let (module, caller_id) = build_module();
+    let target = Target::default();
+
+    // Reference run on virtual registers; also collects profiles.
+    let mut vm = Machine::new(&module, &target);
+    let inputs: Vec<i64> = vec![0, 1, 5, 13];
+    let reference: Vec<i64> = inputs
+        .iter()
+        .map(|&n| vm.call(caller_id, &[n]).unwrap())
+        .collect();
+    let profiles: Vec<_> = module.func_ids().map(|f| vm.edge_profile(f)).collect();
+
+    // Allocate every function.
+    let mut alloc_module = module.clone();
+    for f in module.func_ids() {
+        let profile = &profiles[f.index()];
+        let func = alloc_module.func_mut(f);
+        let result = allocate(func, &target, Some(profile));
+        assert!(
+            spillopt_ir::verify_function(func, RegDiscipline::Physical).is_empty(),
+            "function {} not fully physical",
+            func.name()
+        );
+        if func.name() == "caller" {
+            assert!(
+                !result.used_callee_saved.is_empty(),
+                "caller must need callee-saved registers"
+            );
+        }
+    }
+
+    // Place callee-saved code with each technique and compare runs.
+    for technique in ["entry_exit", "hierarchical_exec", "hierarchical_jump"] {
+        let mut placed = alloc_module.clone();
+        for f in module.func_ids() {
+            let cfg = Cfg::compute(placed.func(f));
+            assert_eq!(
+                cfg.num_edges(),
+                Cfg::compute(module.func(f)).num_edges(),
+                "allocation must not change the CFG"
+            );
+            let usage = CalleeSavedUsage::from_function(placed.func(f), &cfg, &target);
+            if usage.is_empty() {
+                continue;
+            }
+            let placement = match technique {
+                "entry_exit" => entry_exit_placement(&cfg, &usage),
+                "hierarchical_exec" => {
+                    let pst = Pst::compute(&cfg);
+                    hierarchical_placement(
+                        &cfg,
+                        &pst,
+                        &usage,
+                        &profiles[f.index()],
+                        CostModel::ExecutionCount,
+                    )
+                    .placement
+                }
+                _ => {
+                    let pst = Pst::compute(&cfg);
+                    hierarchical_placement(
+                        &cfg,
+                        &pst,
+                        &usage,
+                        &profiles[f.index()],
+                        CostModel::JumpEdge,
+                    )
+                    .placement
+                }
+            };
+            assert!(
+                spillopt_core::check_placement(&cfg, &usage, &placement).is_empty(),
+                "{technique}: invalid placement for {}",
+                placed.func(f).name()
+            );
+            let func = placed.func_mut(f);
+            insert_placement(func, &cfg, &placement);
+            assert!(spillopt_ir::verify_function(func, RegDiscipline::Physical).is_empty());
+        }
+
+        let mut pm = Machine::new(&placed, &target);
+        for (k, &n) in inputs.iter().enumerate() {
+            let got = pm
+                .call(caller_id, &[n])
+                .unwrap_or_else(|e| panic!("{technique}: execution failed: {e}"));
+            assert_eq!(
+                got, reference[k],
+                "{technique}: result mismatch for input {n}"
+            );
+        }
+        // Callee-saved overhead was actually incurred and measured.
+        assert!(pm.counts().callee_save_overhead() > 0, "{technique}");
+    }
+}
+
+#[test]
+fn source_instruction_counts_are_preserved() {
+    // The allocator and placement add only overhead instructions; the
+    // dynamic count of source-origin instructions (minus coalesced moves)
+    // must not increase.
+    let (module, caller_id) = build_module();
+    let target = Target::default();
+    let mut vm = Machine::new(&module, &target);
+    vm.call(caller_id, &[9]).unwrap();
+    let source_before = vm.counts().origin(spillopt_ir::Origin::Source);
+
+    let mut alloc_module = module.clone();
+    let profiles: Vec<_> = module.func_ids().map(|f| vm.edge_profile(f)).collect();
+    for f in module.func_ids() {
+        allocate(alloc_module.func_mut(f), &target, Some(&profiles[f.index()]));
+    }
+    for f in module.func_ids() {
+        let cfg = Cfg::compute(alloc_module.func(f));
+        let usage = CalleeSavedUsage::from_function(alloc_module.func(f), &cfg, &target);
+        if !usage.is_empty() {
+            let placement = entry_exit_placement(&cfg, &usage);
+            insert_placement(alloc_module.func_mut(f), &cfg, &placement);
+        }
+    }
+    let mut pm = Machine::new(&alloc_module, &target);
+    pm.call(caller_id, &[9]).unwrap();
+    let source_after = pm.counts().origin(spillopt_ir::Origin::Source);
+    assert!(
+        source_after <= source_before,
+        "coalescing may only remove source moves: {source_after} > {source_before}"
+    );
+    assert!(pm.counts().spill_code_overhead() > 0);
+}
+
+#[test]
+fn spilling_under_register_pressure_still_correct() {
+    // Force spills with the tiny target: many simultaneously live values.
+    let target = Target::tiny();
+    let mut fb = FunctionBuilder::with_target("pressure", 1, target.clone());
+    let b = fb.create_block(None);
+    fb.switch_to(b);
+    let p = fb.param(0);
+    let vs: Vec<_> = (1..8).map(|k| fb.bin_imm(BinOp::Mul, Reg::Virt(p), k)).collect();
+    let mut acc = p;
+    for v in &vs {
+        acc = fb.bin(BinOp::Add, Reg::Virt(acc), Reg::Virt(*v));
+    }
+    fb.ret(Some(Reg::Virt(acc)));
+    let func = fb.finish();
+
+    let mut module = Module::new("m");
+    let fid = module.add_func(func);
+    let mut vm = Machine::new(&module, &target);
+    let reference = vm.call(fid, &[11]).unwrap();
+
+    let mut placed = module.clone();
+    let result = allocate(placed.func_mut(fid), &target, None);
+    assert!(result.spilled_vregs > 0, "tiny target must force spills");
+    let cfg = Cfg::compute(placed.func(fid));
+    let usage = CalleeSavedUsage::from_function(placed.func(fid), &cfg, &target);
+    if !usage.is_empty() {
+        let placement = entry_exit_placement(&cfg, &usage);
+        insert_placement(placed.func_mut(fid), &cfg, &placement);
+    }
+    let mut pm = Machine::new(&placed, &target);
+    assert_eq!(pm.call(fid, &[11]).unwrap(), reference);
+}

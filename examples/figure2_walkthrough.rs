@@ -1,0 +1,16 @@
+//! The paper's worked example (Figures 2-4), traced region by region.
+//!
+//! ```sh
+//! cargo run --example figure2_walkthrough
+//! ```
+//!
+//! Prints the reconstructed CFG, the costs of the entry/exit and
+//! shrink-wrapping placements (200 and 250), and the hierarchical
+//! algorithm's decisions under both cost models — reproducing every number
+//! from Section 4 of the paper.
+
+fn main() {
+    print!("{}", spillopt_harness::experiments::fig2_walkthrough());
+    println!();
+    print!("{}", spillopt_harness::experiments::fig1());
+}

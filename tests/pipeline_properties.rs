@@ -1,0 +1,198 @@
+//! Property-based tests over randomly generated programs: the paper's
+//! guarantees and the pipeline's invariants must hold for *every* input,
+//! not just the worked example.
+
+use proptest::prelude::*;
+use spillopt_benchgen::{emit_function, gen_body, EmitConfig, ShapeConfig, Style};
+use spillopt_core::{
+    check_placement, chow_shrink_wrap, entry_exit_placement, hierarchical_placement,
+    insert_placement, modified_shrink_wrap, placement_cost, CalleeSavedUsage, CostModel,
+};
+use spillopt_ir::{Cfg, Module, RegDiscipline, Target};
+use spillopt_profile::Machine;
+use spillopt_pst::{verify_pst, Pst};
+use spillopt_regalloc::allocate;
+
+/// A deterministic generated function + profile + usage, driven by a
+/// proptest seed.
+fn build_case(
+    seed: u64,
+    style: Style,
+    budget: usize,
+) -> Option<(
+    spillopt_ir::Function,
+    Cfg,
+    spillopt_profile::EdgeProfile,
+    CalleeSavedUsage,
+)> {
+    use rand::SeedableRng as _;
+    let target = Target::default();
+    let shape = ShapeConfig {
+        budget,
+        loop_prob: 0.35,
+        else_prob: 0.5,
+        cold_if_prob: 0.3,
+        goto_prob: 0.1,
+        call_prob: 0.15,
+        loop_trip: (2, 8),
+        max_depth: 3,
+    };
+    let cfg = EmitConfig {
+        shape: shape.clone(),
+        pressure: 6,
+        num_params: 2,
+        data_slots: 3,
+        style,
+        num_handlers: (seed % 3) as usize,
+        handler_goto_frac: 0.6,
+        hot_segment_calls: (seed % 2) as usize,
+        crossing_frac: 0.2,
+        cold_crossing: 0.7,
+        cold_sites: (seed % 2) as usize,
+    };
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let body = gen_body(&shape, &mut rng, 0);
+    let mut func = emit_function("case", &target, &cfg, &body, 0, seed ^ 0xf00d);
+    let mut module = Module::new("m");
+    let profile = {
+        let fid = module.add_func(func.clone());
+        let mut vm = Machine::new(&module, &target);
+        vm.set_fuel(1 << 24);
+        for k in 0..4 {
+            vm.call(fid, &[seed as i64 ^ k, k * 17 + 1]).ok()?;
+        }
+        vm.edge_profile(fid)
+    };
+    allocate(&mut func, &target, Some(&profile));
+    let cfg = Cfg::compute(&func);
+    let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+    if usage.is_empty() {
+        return None;
+    }
+    Some((func, cfg, profile, usage))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every technique produces a *valid* placement on every generated
+    /// program.
+    #[test]
+    fn all_placements_are_valid(seed in 0u64..10_000, mem in proptest::bool::ANY) {
+        let style = if mem { Style::Memory } else { Style::Register };
+        if let Some((_f, cfg, profile, usage)) = build_case(seed, style, 24) {
+            let pst = Pst::compute(&cfg);
+            let placements = [
+                entry_exit_placement(&cfg, &usage),
+                chow_shrink_wrap(&cfg, &usage),
+                modified_shrink_wrap(&cfg, &usage).placement(),
+                hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::ExecutionCount)
+                    .placement,
+                hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::JumpEdge)
+                    .placement,
+            ];
+            for p in &placements {
+                let errs = check_placement(&cfg, &usage, p);
+                prop_assert!(errs.is_empty(), "invalid placement: {errs:?}");
+            }
+        }
+    }
+
+    /// The paper's guarantee: the hierarchical placement never costs more
+    /// than entry/exit or shrink-wrapping, under the model it optimizes.
+    #[test]
+    fn hierarchical_never_worse(seed in 0u64..10_000, mem in proptest::bool::ANY) {
+        let style = if mem { Style::Memory } else { Style::Register };
+        if let Some((_f, cfg, profile, usage)) = build_case(seed, style, 24) {
+            let pst = Pst::compute(&cfg);
+            for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+                let hier = hierarchical_placement(&cfg, &pst, &usage, &profile, model).placement;
+                let eval = |p: &spillopt_core::Placement| placement_cost(model, &cfg, &profile, p);
+                let h = eval(&hier);
+                let ee = eval(&entry_exit_placement(&cfg, &usage));
+                let sw = eval(&chow_shrink_wrap(&cfg, &usage));
+                prop_assert!(h <= ee, "{model:?}: {h:?} > entry/exit {ee:?}");
+                prop_assert!(h <= sw, "{model:?}: {h:?} > shrink-wrap {sw:?}");
+            }
+        }
+    }
+
+    /// The PST of every generated CFG satisfies its structural invariants.
+    #[test]
+    fn pst_invariants_hold(seed in 0u64..10_000) {
+        if let Some((_f, cfg, _p, _u)) = build_case(seed, Style::Memory, 30) {
+            let pst = Pst::compute(&cfg);
+            let errs = verify_pst(&cfg, &pst);
+            prop_assert!(errs.is_empty(), "{errs:?}");
+        }
+    }
+
+    /// End to end: allocation plus hierarchical placement preserves
+    /// program behaviour exactly, and the convention check passes.
+    #[test]
+    fn behaviour_preserved_end_to_end(seed in 0u64..10_000) {
+        use rand::SeedableRng as _;
+        let target = Target::default();
+        let shape = ShapeConfig {
+            budget: 20,
+            loop_prob: 0.3,
+            else_prob: 0.5,
+            cold_if_prob: 0.3,
+            goto_prob: 0.08,
+            call_prob: 0.1,
+            loop_trip: (2, 6),
+            max_depth: 3,
+        };
+        let emit_cfg = EmitConfig {
+            shape: shape.clone(),
+            pressure: 7,
+            num_params: 2,
+            data_slots: 2,
+            style: Style::Memory,
+            num_handlers: 1,
+            handler_goto_frac: 0.5,
+            hot_segment_calls: 1,
+            crossing_frac: 0.3,
+            cold_crossing: 0.7,
+            cold_sites: 1,
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let body = gen_body(&shape, &mut rng, 0);
+        let func = emit_function("e2e", &target, &emit_cfg, &body, 0, seed);
+        let mut module = Module::new("m");
+        let fid = module.add_func(func);
+
+        let mut vm = Machine::new(&module, &target);
+        vm.set_fuel(1 << 24);
+        let inputs: Vec<[i64; 2]> = (0..3).map(|k| [seed as i64 + k, 31 * k + 5]).collect();
+        let mut reference = Vec::new();
+        for args in &inputs {
+            match vm.call(fid, args) {
+                Ok(v) => reference.push(v),
+                Err(_) => return Ok(()), // fuel-bound outlier; skip
+            }
+        }
+        let profile = vm.edge_profile(fid);
+
+        let mut placed = module.clone();
+        allocate(placed.func_mut(fid), &target, Some(&profile));
+        let cfg = Cfg::compute(placed.func(fid));
+        let usage = CalleeSavedUsage::from_function(placed.func(fid), &cfg, &target);
+        if !usage.is_empty() {
+            let pst = Pst::compute(&cfg);
+            let placement =
+                hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::JumpEdge)
+                    .placement;
+            insert_placement(placed.func_mut(fid), &cfg, &placement);
+        }
+        prop_assert!(
+            spillopt_ir::verify_function(placed.func(fid), RegDiscipline::Physical).is_empty()
+        );
+        let mut pm = Machine::new(&placed, &target);
+        pm.set_fuel(1 << 24);
+        for (k, args) in inputs.iter().enumerate() {
+            let got = pm.call(fid, args);
+            prop_assert_eq!(got.as_ref().ok(), Some(&reference[k]));
+        }
+    }
+}
