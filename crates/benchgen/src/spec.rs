@@ -377,7 +377,7 @@ pub fn all_benchmarks() -> Vec<BenchSpec> {
             hot_segments: (2, 2),
             crossing_frac: 0.0,
             cold_crossing: 0.8,
-            flavor_weights: (0.04, 0.12, 0.08, 0.76),
+            flavor_weights: (0.00, 0.36, 0.00, 0.64),
             ..base.clone()
         },
         BenchSpec {

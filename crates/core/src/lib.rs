@@ -97,7 +97,7 @@ pub use location::{Placement, SpillKind, SpillLoc, SpillPoint};
 pub use modified::{modified_shrink_wrap, modified_shrink_wrap_hoisted, InitialSets};
 pub use overhead::{placement_cost, placement_model_cost, static_overhead};
 pub use paper_example::{fig1_example, paper_example, Fig1Example, PaperExample};
-pub use pipeline::{run_suite, PlacementSuite};
+pub use pipeline::{run_suite, run_suite_with, PlacementSuite};
 pub use sets::{EdgeShares, SaveRestoreSet};
 pub use usage::CalleeSavedUsage;
 pub use validate::{check_placement, PlacementError};

@@ -1,6 +1,6 @@
 //! One-call driver: all placement techniques on one procedure.
 
-use crate::chow::chow_shrink_wrap;
+use crate::chow::chow_shrink_wrap_with;
 use crate::cost::{Cost, CostModel};
 use crate::entry_exit::entry_exit_placement;
 use crate::hierarchical::{hierarchical_placement, HierarchicalResult};
@@ -8,6 +8,7 @@ use crate::location::Placement;
 use crate::overhead::placement_cost;
 use crate::usage::CalleeSavedUsage;
 use crate::validate::check_placement;
+use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
 use spillopt_ir::Cfg;
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::Pst;
@@ -41,8 +42,23 @@ pub fn run_suite(
     usage: &CalleeSavedUsage,
     profile: &EdgeProfile,
 ) -> PlacementSuite {
+    let cyclic = sccs(cfg);
+    run_suite_with(cfg, &cyclic, pst, usage, profile)
+}
+
+/// As [`run_suite`], with every analysis borrowed from the caller: the
+/// module driver (`spillopt-driver`) computes each function's analyses
+/// once and runs all four techniques against them, so nothing here may
+/// recompute SCCs or the PST.
+pub fn run_suite_with(
+    cfg: &Cfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+) -> PlacementSuite {
     let entry_exit = entry_exit_placement(cfg, usage);
-    let chow = chow_shrink_wrap(cfg, usage);
+    let chow = chow_shrink_wrap_with(cfg, cyclic, usage);
     let hierarchical_exec =
         hierarchical_placement(cfg, pst, usage, profile, CostModel::ExecutionCount);
     let hierarchical_jump = hierarchical_placement(cfg, pst, usage, profile, CostModel::JumpEdge);

@@ -1,0 +1,142 @@
+//! Per-function analysis cache: every CFG-derived analysis the placement
+//! techniques (and their consumers) need, computed at most once.
+//!
+//! Running the four techniques naively costs four analysis recomputations
+//! per function — Chow re-runs SCC detection, each hierarchical variant
+//! re-builds the PST, and callers typically recompute the CFG around all
+//! of them. At module scale that waste dominates: the placements
+//! themselves are near-linear, and so is every analysis here. The cache
+//! makes the sharing explicit, and the `*_with` entry points in
+//! `spillopt-core` ([`spillopt_core::run_suite_with`],
+//! [`spillopt_core::chow_shrink_wrap_with`]) consume it without any
+//! recomputation.
+//!
+//! Only the CFG, the profile, and the callee-saved usage are computed
+//! eagerly — they decide whether a function needs placement at all.
+//! Everything else (SCCs, PST, dominators, post-dominators, loops,
+//! liveness) is built lazily on first access, so the many functions that
+//! use no callee-saved register ([`AnalysisCache::needs_placement`]
+//! returns `false`) pay for none of it.
+
+use spillopt_core::CalleeSavedUsage;
+use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
+use spillopt_ir::{BlockDoms, BlockPostDoms, Cfg, Function, Liveness, LoopInfo, Target};
+use spillopt_profile::EdgeProfile;
+use spillopt_pst::Pst;
+use std::sync::OnceLock;
+
+/// All shared analyses of one (physical, post-allocation) function.
+#[derive(Debug)]
+pub struct AnalysisCache<'a> {
+    func: &'a Function,
+    target: &'a Target,
+    /// CFG snapshot with fall-through/jump edge classification.
+    pub cfg: Cfg,
+    /// Edge profile pricing every candidate location.
+    pub profile: EdgeProfile,
+    /// Which callee-saved registers are busy in which blocks.
+    pub usage: CalleeSavedUsage,
+    cyclic: OnceLock<Vec<CyclicRegion>>,
+    pst: OnceLock<Pst>,
+    doms: OnceLock<BlockDoms>,
+    postdoms: OnceLock<BlockPostDoms>,
+    loops: OnceLock<LoopInfo>,
+    liveness: OnceLock<Liveness>,
+}
+
+impl<'a> AnalysisCache<'a> {
+    /// Builds the cache for `func` against `profile`, computing only the
+    /// CFG and callee-saved usage up front.
+    ///
+    /// The profile must refer to `func`'s current CFG (edge ids are
+    /// stable across register allocation, so a profile measured on the
+    /// virtual function is valid for the allocated one).
+    pub fn compute(func: &'a Function, target: &'a Target, profile: EdgeProfile) -> Self {
+        let cfg = Cfg::compute(func);
+        let usage = CalleeSavedUsage::from_function(func, &cfg, target);
+        AnalysisCache {
+            func,
+            target,
+            cfg,
+            profile,
+            usage,
+            cyclic: OnceLock::new(),
+            pst: OnceLock::new(),
+            doms: OnceLock::new(),
+            postdoms: OnceLock::new(),
+            loops: OnceLock::new(),
+            liveness: OnceLock::new(),
+        }
+    }
+
+    /// Whether any callee-saved register is used at all (functions where
+    /// none is need no placement pass — and, thanks to lazy analyses, no
+    /// analysis work either).
+    pub fn needs_placement(&self) -> bool {
+        !self.usage.is_empty()
+    }
+
+    /// Strongly connected components — Chow's artificial loop flow.
+    pub fn cyclic(&self) -> &[CyclicRegion] {
+        self.cyclic.get_or_init(|| sccs(&self.cfg))
+    }
+
+    /// Program Structure Tree — the hierarchical traversal.
+    pub fn pst(&self) -> &Pst {
+        self.pst.get_or_init(|| Pst::compute(&self.cfg))
+    }
+
+    /// Dominators.
+    pub fn doms(&self) -> &BlockDoms {
+        self.doms.get_or_init(|| BlockDoms::compute(&self.cfg))
+    }
+
+    /// Post-dominators.
+    pub fn postdoms(&self) -> &BlockPostDoms {
+        self.postdoms.get_or_init(|| BlockPostDoms::compute(&self.cfg))
+    }
+
+    /// Natural loops.
+    pub fn loops(&self) -> &LoopInfo {
+        self.loops.get_or_init(|| LoopInfo::compute(&self.cfg, self.doms()))
+    }
+
+    /// Live ranges.
+    pub fn liveness(&self) -> &Liveness {
+        self.liveness
+            .get_or_init(|| Liveness::compute(self.func, &self.cfg, self.target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_ir::{Callee, FunctionBuilder, Reg};
+    use spillopt_profile::random_walk_profile;
+    use spillopt_regalloc::allocate;
+
+    #[test]
+    fn cache_matches_fresh_analyses() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let x = fb.li(7);
+        let _ = fb.call(Callee::External(0), &[]);
+        fb.ret(Some(Reg::Virt(x)));
+        let mut func = fb.finish();
+        let target = Target::default();
+        allocate(&mut func, &target, None);
+
+        let cfg = Cfg::compute(&func);
+        let profile = random_walk_profile(&cfg, 10, 16, 3);
+        let cache = AnalysisCache::compute(&func, &target, profile);
+        assert!(cache.needs_placement());
+        assert_eq!(cache.cfg.num_blocks(), cfg.num_blocks());
+        assert_eq!(cache.pst().num_regions(), Pst::compute(&cfg).num_regions());
+        assert_eq!(cache.cyclic().len(), sccs(&cfg).len());
+        assert_eq!(cache.loops().loops().len(), 0);
+        assert!(cache.doms().dominates(cfg.entry(), cfg.entry()));
+        let _ = cache.postdoms();
+        let _ = cache.liveness();
+    }
+}

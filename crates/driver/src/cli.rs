@@ -1,0 +1,305 @@
+//! The `spillopt` command-line interface.
+//!
+//! ```text
+//! spillopt optimize (--bench NAME | --input FILE) [--threads N] [--strategy S] [--out FILE]
+//! spillopt compare  (--bench NAME | --input FILE) [--threads N] [--json]
+//! spillopt report   (--bench NAME | --input FILE) [--threads N] [--compact] [--out FILE]
+//! spillopt list-benches
+//! ```
+//!
+//! * `optimize` emits the optimized module as IR text: every function
+//!   register-allocated, save/restore code inserted under the chosen
+//!   strategy (default: the per-function best).
+//! * `compare` prints the four strategies side by side per function.
+//! * `report` emits the full deterministic JSON report.
+//!
+//! Inputs are either a generated SPEC stand-in (`--bench`, profiled on
+//! its training workload) or an IR text file (`--input`, profiled
+//! synthetically). Argument parsing is hand-rolled: the surface is four
+//! subcommands and six flags, not worth a dependency the offline build
+//! would have to shim.
+
+use crate::driver::{optimize_module, DriverConfig, ProfileSource, Strategy};
+use spillopt_ir::{display, parse_module, Module, Target};
+use std::io::Write;
+
+/// Entry point for the binary: parses `std::env::args`, runs, maps
+/// errors to stderr + exit code 1 (2 for usage errors).
+pub fn run_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match run(&args, &mut stdout) {
+        Ok(()) => 0,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}\n\n{USAGE}");
+            2
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("spillopt: {msg}");
+            1
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  spillopt optimize (--bench NAME | --input FILE) [--threads N] [--strategy S] [--out FILE]
+  spillopt compare  (--bench NAME | --input FILE) [--threads N] [--json]
+  spillopt report   (--bench NAME | --input FILE) [--threads N] [--compact] [--out FILE]
+  spillopt list-benches
+
+strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
+--threads 0 uses all cores (default); --threads 1 is the serial reference.";
+
+/// A CLI failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (exit code 2, usage printed).
+    Usage(String),
+    /// Pipeline failure (exit code 1).
+    Run(String),
+}
+
+/// Runs the CLI against `args`, writing primary output to `out`.
+/// Factored from [`run_main`] so tests can drive it in-process.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut args = args.iter().map(String::as_str);
+    let sub = args.next().ok_or_else(|| usage("missing subcommand"))?;
+    let rest: Vec<&str> = args.collect();
+    match sub {
+        "optimize" => optimize(&parse_opts("optimize", &rest)?, out),
+        "compare" => compare(&parse_opts("compare", &rest)?, out),
+        "report" => report(&parse_opts("report", &rest)?, out),
+        "list-benches" => {
+            for spec in spillopt_benchgen::all_benchmarks() {
+                writeln!(out, "{}", spec.name).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(usage(&format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn usage(msg: &str) -> CliError {
+    CliError::Usage(msg.to_string())
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::Run(format!("write failed: {e}"))
+}
+
+/// Parsed flags shared by the three module subcommands.
+struct Opts {
+    bench: Option<String>,
+    input: Option<String>,
+    threads: usize,
+    strategy: Option<Strategy>,
+    out: Option<String>,
+    json: bool,
+    compact: bool,
+}
+
+/// The flags each subcommand accepts; anything else is rejected rather
+/// than silently ignored.
+fn allowed_flags(sub: &str) -> &'static [&'static str] {
+    match sub {
+        "optimize" => &["--bench", "--input", "--threads", "--strategy", "--out"],
+        "compare" => &["--bench", "--input", "--threads", "--json"],
+        "report" => &["--bench", "--input", "--threads", "--compact", "--out"],
+        _ => &[],
+    }
+}
+
+fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
+    let mut opts = Opts {
+        bench: None,
+        input: None,
+        threads: 0,
+        strategy: None,
+        out: None,
+        json: false,
+        compact: false,
+    };
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        if !allowed_flags(sub).contains(&flag) {
+            return Err(usage(&format!(
+                "`{sub}` does not accept `{flag}` (accepted: {})",
+                allowed_flags(sub).join(", ")
+            )));
+        }
+        let mut value = || {
+            it.next()
+                .copied()
+                .ok_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--bench" => opts.bench = Some(value()?.to_string()),
+            "--input" => opts.input = Some(value()?.to_string()),
+            "--threads" => {
+                opts.threads = value()?
+                    .parse()
+                    .map_err(|_| usage("--threads needs a number"))?
+            }
+            "--strategy" => {
+                let v = value()?;
+                opts.strategy = match v {
+                    "best" => None,
+                    s => Some(
+                        Strategy::parse(s)
+                            .ok_or_else(|| usage(&format!("unknown strategy `{s}`")))?,
+                    ),
+                }
+            }
+            "--out" => opts.out = Some(value()?.to_string()),
+            "--json" => opts.json = true,
+            "--compact" => opts.compact = true,
+            other => return Err(usage(&format!("unknown flag `{other}`"))),
+        }
+    }
+    if opts.bench.is_some() == opts.input.is_some() {
+        return Err(usage("exactly one of --bench or --input is required"));
+    }
+    Ok(opts)
+}
+
+/// Loads the module and its profile source.
+fn load(opts: &Opts) -> Result<(Module, ProfileSource), CliError> {
+    if let Some(name) = &opts.bench {
+        let spec = spillopt_benchgen::benchmark_by_name(name)
+            .ok_or_else(|| CliError::Run(format!("unknown benchmark `{name}` (see list-benches)")))?;
+        let bench = spillopt_benchgen::build_bench(&spec, &Target::default());
+        Ok((bench.module, ProfileSource::Workload(bench.train_runs)))
+    } else {
+        let path = opts.input.as_deref().expect("validated by parse_opts");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
+        let module = parse_module(&text)
+            .map_err(|e| CliError::Run(format!("parse error in `{path}`: {e:?}")))?;
+        let errs = spillopt_ir::verify_module(&module, spillopt_ir::RegDiscipline::Virtual);
+        if !errs.is_empty() {
+            return Err(CliError::Run(format!(
+                "`{path}` does not verify (virtual register discipline): {errs:?}"
+            )));
+        }
+        Ok((module, ProfileSource::default()))
+    }
+}
+
+fn drive(opts: &Opts) -> Result<crate::driver::ModuleRun, CliError> {
+    let (module, profile) = load(opts)?;
+    let config = DriverConfig {
+        threads: opts.threads,
+        profile,
+    };
+    optimize_module(&module, &Target::default(), &config)
+        .map_err(|e| CliError::Run(e.to_string()))
+}
+
+/// Writes `text` to `--out` or the primary stream.
+fn emit(opts: &Opts, out: &mut dyn Write, text: &str) -> Result<(), CliError> {
+    match &opts.out {
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}"))),
+        None => out.write_all(text.as_bytes()).map_err(io_err),
+    }
+}
+
+fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
+    let run = drive(opts)?;
+    let optimized = run.apply(opts.strategy);
+    eprintln!(
+        "optimized {}: {} functions, {} placed, speedup {}",
+        run.report.module,
+        run.report.functions.len(),
+        run.report.placed_functions(),
+        run.report
+            .speedup()
+            .map_or("n/a".to_string(), |x| format!("{x:.2}x"))
+    );
+    emit(opts, out, &display::module_to_string(&optimized))
+}
+
+fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
+    let run = drive(opts)?;
+    if opts.json {
+        emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))
+    } else {
+        emit(opts, out, &run.report.render_human())
+    }
+}
+
+fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
+    let run = drive(opts)?;
+    let json = run.report.to_json();
+    let text = if opts.compact {
+        json.to_compact() + "\n"
+    } else {
+        json.to_pretty() + "\n"
+    };
+    emit(opts, out, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run_capture(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_capture(&["compare"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["compare", "--bench", "mcf", "--input", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["optimize", "--bench", "mcf", "--strategy", "bogus"]),
+            Err(CliError::Usage(_))
+        ));
+        // Flags that don't apply to the subcommand are rejected, not
+        // silently ignored.
+        assert!(matches!(
+            run_capture(&["report", "--bench", "mcf", "--strategy", "baseline"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["optimize", "--bench", "mcf", "--json"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn list_benches_names_the_eleven() {
+        let out = run_capture(&["list-benches"]).expect("list");
+        assert!(out.lines().count() >= 11);
+        assert!(out.contains("gzip") && out.contains("mcf"));
+    }
+
+    #[test]
+    fn compare_renders_a_table() {
+        let out = run_capture(&["compare", "--bench", "mcf", "--threads", "2"]).expect("compare");
+        assert!(out.contains("module mcf"));
+        assert!(out.contains("hier-jump"));
+    }
+
+    #[test]
+    fn report_is_json() {
+        let out = run_capture(&["report", "--bench", "mcf", "--compact"]).expect("report");
+        assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
+        assert!(out.contains(r#""module":"mcf""#));
+    }
+}

@@ -1,0 +1,314 @@
+//! The module-scale optimization driver.
+//!
+//! For each function of a module this runs the full per-procedure
+//! pipeline — profile, Chaitin/Briggs allocation, one shared
+//! [`AnalysisCache`], then **all four** placement techniques against the
+//! cached analyses via [`spillopt_core::run_suite_with`] — and folds the
+//! results into a deterministic [`ModuleReport`]. Functions are
+//! processed on the work-stealing pool ([`crate::pool`]); the report
+//! (including its JSON serialization) is bit-identical for every thread
+//! count.
+
+use crate::cache::AnalysisCache;
+use crate::pool::run_indexed;
+use crate::report::{FunctionReport, ModuleReport, StrategyReport};
+use spillopt_core::{insert_placement, run_suite_with, Placement};
+use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
+use spillopt_profile::{random_walk_profile, EdgeProfile, ExecError, Machine};
+use spillopt_regalloc::allocate;
+
+/// The placement strategies the driver compares, in reporting order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Save at entry, restore at exits (the paper's *Baseline*).
+    Baseline,
+    /// Chow's shrink-wrapping (the paper's *Shrinkwrap*).
+    Shrinkwrap,
+    /// Hierarchical placement under the execution-count model.
+    HierExec,
+    /// Hierarchical placement under the jump-edge model (the paper's
+    /// *Optimized* — never worse than Baseline or Shrinkwrap).
+    HierJump,
+}
+
+impl Strategy {
+    /// All strategies, in reporting order.
+    pub fn all() -> [Strategy; 4] {
+        [
+            Strategy::Baseline,
+            Strategy::Shrinkwrap,
+            Strategy::HierExec,
+            Strategy::HierJump,
+        ]
+    }
+
+    /// Stable identifier (used in JSON and on the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Baseline => "baseline",
+            Strategy::Shrinkwrap => "shrinkwrap",
+            Strategy::HierExec => "hier-exec",
+            Strategy::HierJump => "hier-jump",
+        }
+    }
+
+    /// Parses a CLI identifier.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        Strategy::all().into_iter().find(|t| t.name() == s)
+    }
+}
+
+/// Where each function's edge profile comes from.
+#[derive(Clone, Debug)]
+pub enum ProfileSource {
+    /// Execute a training workload on the interpreter and measure.
+    Workload(Vec<(FuncId, Vec<i64>)>),
+    /// Deterministic synthetic random-walk profiles (for bare modules
+    /// parsed from text, which carry no workload).
+    Synthetic {
+        /// Number of walks from the entry block.
+        walks: u64,
+        /// Step bound per walk.
+        max_steps: u64,
+        /// Base seed; function index is mixed in per function.
+        seed: u64,
+    },
+}
+
+impl Default for ProfileSource {
+    fn default() -> Self {
+        ProfileSource::Synthetic {
+            walks: 256,
+            max_steps: 512,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DriverConfig {
+    /// Worker threads; `0` = available parallelism, `1` = serial.
+    pub threads: usize,
+    /// Profile source.
+    pub profile: ProfileSource,
+}
+
+/// A driver failure (only the training workload can fail; placement
+/// validity violations are bugs and panic instead).
+#[derive(Debug)]
+pub enum DriverError {
+    /// The training workload crashed or ran out of fuel.
+    Workload(ExecError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Workload(e) => write!(f, "training workload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The driver's full output: the deterministic report plus the allocated
+/// functions and placements needed to materialize an optimized module.
+#[derive(Debug)]
+pub struct ModuleRun {
+    /// Deterministic module-level report.
+    pub report: ModuleReport,
+    /// Allocated (physical, pre-placement) functions, in [`FuncId`]
+    /// order, paired with each strategy's placement.
+    allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
+}
+
+impl ModuleRun {
+    /// Materializes the optimized module: inserts each function's
+    /// placement under `choice` (`None` = the per-function best) and
+    /// verifies the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an inserted function fails physical-discipline
+    /// verification — a pipeline bug, never an input condition.
+    pub fn apply(&self, choice: Option<Strategy>) -> Module {
+        let mut out = Module::new(self.report.module.clone());
+        for (i, (func, placements)) in self.allocated.iter().enumerate() {
+            let mut func = func.clone();
+            let strategy = choice.unwrap_or_else(|| {
+                self.report.functions[i].best.unwrap_or(Strategy::HierJump)
+            });
+            if let Some((_, placement)) = placements.iter().find(|(s, _)| *s == strategy) {
+                let cfg = Cfg::compute(&func);
+                insert_placement(&mut func, &cfg, placement);
+            }
+            let errs = spillopt_ir::verify_function(&func, RegDiscipline::Physical);
+            assert!(errs.is_empty(), "optimized `{}` invalid: {errs:?}", func.name());
+            out.add_func(func);
+        }
+        out
+    }
+}
+
+/// Runs the driver over `module`.
+///
+/// Profiling (when [`ProfileSource::Workload`]) executes serially — the
+/// interpreter observes whole-module state — then every function is
+/// allocated, analyzed once, and placed under all four strategies in
+/// parallel on the work-stealing pool.
+pub fn optimize_module(
+    module: &Module,
+    target: &Target,
+    config: &DriverConfig,
+) -> Result<ModuleRun, DriverError> {
+    // Stage 1 (serial): training profiles, if a workload is given.
+    let profiles: Vec<Option<EdgeProfile>> = match &config.profile {
+        ProfileSource::Workload(runs) => {
+            let mut vm = Machine::new(module, target);
+            vm.set_fuel(1 << 30);
+            for (f, args) in runs {
+                vm.call(*f, args).map_err(DriverError::Workload)?;
+            }
+            module.func_ids().map(|f| Some(vm.edge_profile(f))).collect()
+        }
+        ProfileSource::Synthetic { .. } => module.func_ids().map(|_| None).collect(),
+    };
+
+    // Stage 2 (parallel): per-function allocate → cache → all strategies.
+    let items: Vec<(FuncId, Option<EdgeProfile>)> =
+        module.func_ids().zip(profiles).collect();
+    let outcomes = run_indexed(items, config.threads, |index, (fid, profile)| {
+        let mut func = module.func(fid).clone();
+        let profile = profile.unwrap_or_else(|| {
+            let ProfileSource::Synthetic { walks, max_steps, seed } = &config.profile else {
+                unreachable!("workload profiles are precomputed")
+            };
+            let cfg = Cfg::compute(&func);
+            random_walk_profile(&cfg, *walks, *max_steps, seed ^ (index as u64).wrapping_mul(0x9e37_79b9))
+        });
+        let alloc = allocate(&mut func, target, Some(&profile));
+        let (report, placements) = per_function(fid, &func, target, profile, alloc.spilled_vregs);
+        (report, (func, placements))
+    });
+
+    let (reports, allocated): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    Ok(ModuleRun {
+        report: ModuleReport::new(module.name().to_string(), reports),
+        allocated,
+    })
+}
+
+/// Runs all four strategies for one allocated function against one
+/// shared [`AnalysisCache`] and summarizes them. Functions that use no
+/// callee-saved register return before any lazy analysis (SCCs, PST) is
+/// built.
+fn per_function(
+    fid: FuncId,
+    func: &Function,
+    target: &Target,
+    profile: EdgeProfile,
+    spilled_vregs: usize,
+) -> (FunctionReport, Vec<(Strategy, Placement)>) {
+    let cache = AnalysisCache::compute(func, target, profile);
+    let insts = func.block_ids().map(|b| func.block(b).insts.len()).sum();
+    let mut report = FunctionReport {
+        index: fid.index(),
+        name: func.name().to_string(),
+        blocks: func.num_blocks(),
+        insts,
+        spilled_vregs,
+        callee_saved: cache.usage.num_regs(),
+        strategies: Vec::new(),
+        best: None,
+    };
+    if !cache.needs_placement() {
+        return (report, Vec::new());
+    }
+
+    let suite = run_suite_with(
+        &cache.cfg,
+        cache.cyclic(),
+        cache.pst(),
+        &cache.usage,
+        &cache.profile,
+    );
+    let placements = [
+        (Strategy::Baseline, suite.entry_exit),
+        (Strategy::Shrinkwrap, suite.chow),
+        (Strategy::HierExec, suite.hierarchical_exec.placement),
+        (Strategy::HierJump, suite.hierarchical_jump.placement),
+    ];
+    for ((strategy, placement), cost) in placements.iter().zip(suite.predicted) {
+        report.strategies.push(StrategyReport {
+            strategy: *strategy,
+            cost,
+            static_count: placement.static_count(),
+            placement: placement.clone(),
+        });
+    }
+    report.best = Some(
+        report
+            .strategies
+            .iter()
+            .min_by_key(|s| s.cost)
+            .expect("four strategies")
+            .strategy,
+    );
+    (report, placements.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_benchgen::{benchmark_by_name, build_bench};
+
+    fn small_bench_module() -> (Module, Vec<(FuncId, Vec<i64>)>, Target) {
+        let target = Target::default();
+        let spec = benchmark_by_name("mcf").expect("known benchmark");
+        let bench = build_bench(&spec, &target);
+        (bench.module, bench.train_runs, target)
+    }
+
+    #[test]
+    fn workload_and_synthetic_profiles_both_run() {
+        let (module, runs, target) = small_bench_module();
+        let with_workload = optimize_module(
+            &module,
+            &target,
+            &DriverConfig {
+                threads: 1,
+                profile: ProfileSource::Workload(runs),
+            },
+        )
+        .expect("driver");
+        let synthetic = optimize_module(&module, &target, &DriverConfig::default())
+            .expect("driver");
+        assert_eq!(with_workload.report.functions.len(), module.num_funcs());
+        assert_eq!(synthetic.report.functions.len(), module.num_funcs());
+    }
+
+    #[test]
+    fn best_is_never_beaten_and_apply_verifies() {
+        let (module, runs, target) = small_bench_module();
+        let run = optimize_module(
+            &module,
+            &target,
+            &DriverConfig {
+                threads: 2,
+                profile: ProfileSource::Workload(runs),
+            },
+        )
+        .expect("driver");
+        for f in &run.report.functions {
+            if let Some(best) = f.best {
+                let best_cost = f.strategy(best).unwrap().cost;
+                for s in &f.strategies {
+                    assert!(best_cost <= s.cost, "{}: best beaten", f.name);
+                }
+            }
+        }
+        let optimized = run.apply(None);
+        assert_eq!(optimized.num_funcs(), module.num_funcs());
+    }
+}

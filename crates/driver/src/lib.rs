@@ -1,0 +1,67 @@
+//! # spillopt-driver
+//!
+//! Module-scale optimization driver for the *spillopt* reproduction of
+//! Lupo & Wilken, "Post Register Allocation Spill Code Optimization"
+//! (CGO 2006) — the layer that turns the per-procedure algorithms of
+//! `spillopt-core` into a whole-module pipeline:
+//!
+//! * [`AnalysisCache`] — every CFG-derived analysis a function's
+//!   placement needs (CFG, dominators, loops, liveness, SCCs, PST,
+//!   profile, callee-saved usage), computed **once** and shared by all
+//!   four techniques through the borrowed-analysis entry points
+//!   ([`spillopt_core::run_suite_with`]);
+//! * [`pool`] — a `std`-only work-stealing thread pool that fans
+//!   functions out across cores and returns results in deterministic
+//!   function order;
+//! * [`optimize_module`] — profile (training workload or synthetic
+//!   random walks) → Chaitin/Briggs allocation → cached analyses → all
+//!   four placements per function, folded into a [`ModuleReport`] whose
+//!   JSON bytes are identical for every thread count;
+//! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spillopt_driver::{optimize_module, DriverConfig, ProfileSource, Strategy};
+//! use spillopt_benchgen::{benchmark_by_name, build_bench};
+//! use spillopt_ir::Target;
+//!
+//! // Optimize a generated SPEC stand-in on 2 threads.
+//! let target = Target::default();
+//! let bench = build_bench(&benchmark_by_name("mcf").unwrap(), &target);
+//! let config = DriverConfig {
+//!     threads: 2,
+//!     profile: ProfileSource::Workload(bench.train_runs.clone()),
+//! };
+//! let run = optimize_module(&bench.module, &target, &config).unwrap();
+//!
+//! // The report is deterministic: a serial run produces the same bytes.
+//! let serial = optimize_module(&bench.module, &target, &DriverConfig {
+//!     threads: 1,
+//!     profile: ProfileSource::Workload(bench.train_runs),
+//! }).unwrap();
+//! assert_eq!(run.report.to_json().to_compact(),
+//!            serial.report.to_json().to_compact());
+//!
+//! // The paper's guarantee survives aggregation: hierarchical placement
+//! // under the jump-edge model never loses to the entry/exit baseline.
+//! assert!(run.report.total_cost(Strategy::HierJump)
+//!     <= run.report.total_cost(Strategy::Baseline));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod cli;
+pub mod driver;
+pub mod json;
+pub mod pool;
+pub mod report;
+
+pub use cache::AnalysisCache;
+pub use driver::{
+    optimize_module, DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy,
+};
+pub use json::Json;
+pub use report::{FunctionReport, ModuleReport, StrategyReport};

@@ -1,0 +1,179 @@
+//! A small work-stealing thread pool for per-function module work.
+//!
+//! The driver's unit of work is one function's full placement pipeline
+//! (allocate → analyses → four techniques), whose cost varies wildly
+//! across functions — SPEC-like modules mix two-block leaves with
+//! thousand-instruction bodies. A static partition would leave workers
+//! idle behind the largest function, so each worker owns a deque seeded
+//! round-robin and steals from the *front* of a victim's deque when its
+//! own runs dry (owner pops from the back: stealers and owner contend
+//! only when a deque is nearly empty).
+//!
+//! Determinism: results are returned in item order, independent of
+//! thread count and steal interleaving — [`run_indexed`] with 8 threads
+//! is bit-identical to a serial run. The pool uses only `std`; there is
+//! no global state and panics in workers propagate to the caller.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(i, item)` for every item, on `threads` workers, returning
+/// the results in item order regardless of scheduling.
+///
+/// `threads == 0` selects the available CPU parallelism; `threads == 1`
+/// runs inline with no thread machinery at all (the reference serial
+/// schedule the parallel runs must match).
+///
+/// # Panics
+///
+/// Re-raises the first panic of any worker.
+pub fn run_indexed<I, T, F>(items: Vec<I>, threads: usize, work: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| work(i, item))
+            .collect();
+    }
+
+    // Seed the deques round-robin so every worker starts with a share of
+    // the (typically size-correlated) item sequence.
+    let mut deques: Vec<Mutex<VecDeque<(usize, I)>>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        deques.push(Mutex::new(VecDeque::new()));
+    }
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % threads].get_mut().unwrap().push_back((i, item));
+    }
+    let remaining = AtomicUsize::new(deques.iter_mut().map(|d| d.get_mut().unwrap().len()).sum());
+
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(remaining.load(Ordering::Relaxed), || None);
+    let slots = Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for me in 0..threads {
+            let deques = &deques;
+            let remaining = &remaining;
+            let slots = &slots;
+            let work = &work;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                while remaining.load(Ordering::Acquire) > 0 {
+                    let next = pop_own(&deques[me]).or_else(|| steal(deques, me));
+                    match next {
+                        Some((i, item)) => {
+                            // Decrement on unwind too: a panicking item
+                            // must not leave the other workers spinning
+                            // on a count that can never reach zero.
+                            struct Done<'a>(&'a AtomicUsize);
+                            impl Drop for Done<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::AcqRel);
+                                }
+                            }
+                            let _done = Done(remaining);
+                            let out = work(i, item);
+                            local.push((i, out));
+                        }
+                        None => {
+                            // Deques are empty but another worker still
+                            // holds an in-flight item; a short sleep
+                            // bounds the CPU burned waiting for it.
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                }
+                // Publish results under one short lock per worker.
+                let mut slots = slots.lock().unwrap();
+                for (i, out) in local {
+                    slots[i] = Some(out);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every item completed"))
+        .collect()
+}
+
+/// The worker count actually used for `requested` over `n_items`.
+pub fn effective_threads(requested: usize, n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = if requested == 0 { hw } else { requested };
+    t.min(n_items.max(1))
+}
+
+fn pop_own<I>(deque: &Mutex<VecDeque<(usize, I)>>) -> Option<(usize, I)> {
+    deque.lock().unwrap().pop_back()
+}
+
+fn steal<I>(deques: &[Mutex<VecDeque<(usize, I)>>], me: usize) -> Option<(usize, I)> {
+    let n = deques.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        if let Some(stolen) = deques[victim].lock().unwrap().pop_front() {
+            return Some(stolen);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = run_indexed(items.clone(), 1, |i, x| (i as u64) * 1000 + x * x);
+        let parallel = run_indexed(items, 7, |i, x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One huge item up front; the rest tiny. All must complete.
+        let items: Vec<u64> = (0..64).map(|i| if i == 0 { 1 << 14 } else { 1 }).collect();
+        let out = run_indexed(items, 4, |_, n| (0..n).map(|x| x ^ (x >> 3)).sum::<u64>());
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let out = run_indexed(vec![1, 2, 3], 0, |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run_indexed(Vec::<i32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        run_indexed(vec![0usize; 16], 4, |i, _| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

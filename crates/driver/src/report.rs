@@ -1,0 +1,288 @@
+//! Deterministic module-level reports: per-function placements, costs,
+//! and speedups, with JSON and human-readable renderings.
+//!
+//! Everything in a report — including its serialized JSON bytes — is a
+//! pure function of the input module and driver configuration. Thread
+//! counts, wall-clock times, and machine details are deliberately
+//! excluded so that a parallel run can be byte-compared against a serial
+//! run (the driver's determinism test does exactly that).
+
+use crate::driver::Strategy;
+use crate::json::Json;
+use spillopt_core::{Cost, Placement, SpillKind, SpillLoc};
+use spillopt_ir::Cfg;
+use std::fmt::Write as _;
+
+/// One strategy's outcome on one function.
+#[derive(Clone, Debug)]
+pub struct StrategyReport {
+    /// Which strategy.
+    pub strategy: Strategy,
+    /// Predicted dynamic cost under the jump-edge model (scaled by
+    /// [`spillopt_core::COST_SCALE`]).
+    pub cost: Cost,
+    /// Number of save/restore instructions placed.
+    pub static_count: usize,
+    /// The placement itself.
+    pub placement: Placement,
+}
+
+/// One function's outcome across all strategies.
+#[derive(Clone, Debug)]
+pub struct FunctionReport {
+    /// Function index within the module.
+    pub index: usize,
+    /// Function name.
+    pub name: String,
+    /// Basic blocks.
+    pub blocks: usize,
+    /// Instructions after allocation, before placement.
+    pub insts: usize,
+    /// Virtual registers the allocator spilled to memory.
+    pub spilled_vregs: usize,
+    /// Callee-saved registers needing save/restore code.
+    pub callee_saved: usize,
+    /// Per-strategy outcomes (empty when no callee-saved register is
+    /// used — nothing to place).
+    pub strategies: Vec<StrategyReport>,
+    /// Cheapest strategy (ties broken in [`Strategy::all`] order);
+    /// `None` when nothing was placed.
+    pub best: Option<Strategy>,
+}
+
+impl FunctionReport {
+    /// This function's outcome under `strategy`.
+    pub fn strategy(&self, strategy: Strategy) -> Option<&StrategyReport> {
+        self.strategies.iter().find(|s| s.strategy == strategy)
+    }
+
+    /// Baseline cost / best cost; `None` when unplaced or unbounded.
+    pub fn speedup(&self) -> Option<f64> {
+        let base = self.strategy(Strategy::Baseline)?.cost;
+        let best = self.strategy(self.best?)?.cost;
+        if best == Cost::ZERO {
+            return (base == Cost::ZERO).then_some(1.0);
+        }
+        Some(base.as_f64() / best.as_f64())
+    }
+}
+
+/// The whole module's outcome.
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    /// Module name.
+    pub module: String,
+    /// Per-function reports in function-index order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl ModuleReport {
+    /// Builds a report (functions must already be in index order).
+    pub fn new(module: String, functions: Vec<FunctionReport>) -> Self {
+        ModuleReport { module, functions }
+    }
+
+    /// Functions that needed placement.
+    pub fn placed_functions(&self) -> usize {
+        self.functions.iter().filter(|f| !f.strategies.is_empty()).count()
+    }
+
+    /// Sum of one strategy's predicted costs over the module.
+    pub fn total_cost(&self, strategy: Strategy) -> Cost {
+        self.functions
+            .iter()
+            .filter_map(|f| f.strategy(strategy).map(|s| s.cost))
+            .sum()
+    }
+
+    /// Sum of the per-function best costs.
+    pub fn best_total(&self) -> Cost {
+        self.functions
+            .iter()
+            .filter_map(|f| f.best.and_then(|b| f.strategy(b)).map(|s| s.cost))
+            .sum()
+    }
+
+    /// Module-level speedup of the per-function best over the baseline.
+    pub fn speedup(&self) -> Option<f64> {
+        let base = self.total_cost(Strategy::Baseline);
+        let best = self.best_total();
+        if best == Cost::ZERO {
+            return (base == Cost::ZERO).then_some(1.0);
+        }
+        Some(base.as_f64() / best.as_f64())
+    }
+
+    /// The deterministic JSON rendering.
+    pub fn to_json(&self) -> Json {
+        let functions: Vec<Json> = self.functions.iter().map(function_json).collect();
+        let mut totals = Json::obj();
+        for s in Strategy::all() {
+            totals = totals.with(s.name(), self.total_cost(s).raw());
+        }
+        Json::obj()
+            .with("module", self.module.as_str())
+            .with("functions", functions)
+            .with("num_functions", self.functions.len())
+            .with("placed_functions", self.placed_functions())
+            .with("total_cost", totals)
+            .with("best_total_cost", self.best_total().raw())
+            .with("speedup", self.speedup().map_or(Json::Null, Json::Float))
+    }
+
+    /// The human-readable comparison table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "module {}: {} functions, {} with callee-saved placement",
+            self.module,
+            self.functions.len(),
+            self.placed_functions()
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  {}",
+            "function", "blocks", "regs", "baseline", "shrinkwrap", "hier-exec", "hier-jump", "best"
+        );
+        for f in &self.functions {
+            if f.strategies.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>7} {:>6} {:>12}",
+                    truncated(&f.name),
+                    f.blocks,
+                    0,
+                    "-"
+                );
+                continue;
+            }
+            let _ = write!(out, "{:<18} {:>7} {:>6}", truncated(&f.name), f.blocks, f.callee_saved);
+            for s in Strategy::all() {
+                match f.strategy(s) {
+                    Some(r) => {
+                        let _ = write!(out, " {:>12.1}", r.cost.as_f64());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            let best = f.best.map_or("-", Strategy::name);
+            match f.speedup() {
+                Some(x) => {
+                    let _ = writeln!(out, "  {best} ({x:.2}x)");
+                }
+                None => {
+                    let _ = writeln!(out, "  {best}");
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "module totals: baseline {:.1}, best {:.1}",
+            self.total_cost(Strategy::Baseline).as_f64(),
+            self.best_total().as_f64()
+        );
+        match self.speedup() {
+            Some(x) => {
+                let _ = writeln!(out, " ({x:.2}x speedup)");
+            }
+            None => {
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+}
+
+fn truncated(name: &str) -> String {
+    if name.chars().count() <= 18 {
+        name.to_string()
+    } else {
+        let head: String = name.chars().take(17).collect();
+        format!("{head}…")
+    }
+}
+
+fn function_json(f: &FunctionReport) -> Json {
+    let strategies: Vec<Json> = f
+        .strategies
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .with("strategy", s.strategy.name())
+                .with("cost", s.cost.raw())
+                .with("static_count", s.static_count)
+                .with("placement", placement_json(&s.placement))
+        })
+        .collect();
+    Json::obj()
+        .with("index", f.index)
+        .with("name", f.name.as_str())
+        .with("blocks", f.blocks)
+        .with("insts", f.insts)
+        .with("spilled_vregs", f.spilled_vregs)
+        .with("callee_saved", f.callee_saved)
+        .with("strategies", strategies)
+        .with("best", f.best.map_or(Json::Null, |b| Json::str(b.name())))
+        .with("speedup", f.speedup().map_or(Json::Null, Json::Float))
+}
+
+/// Renders a placement without CFG context (edge ids are stable and
+/// meaningful within the report).
+fn placement_json(p: &Placement) -> Json {
+    let points: Vec<Json> = p
+        .points()
+        .iter()
+        .map(|pt| {
+            Json::obj()
+                .with("reg", pt.reg.to_string())
+                .with(
+                    "kind",
+                    match pt.kind {
+                        SpillKind::Save => "save",
+                        SpillKind::Restore => "restore",
+                    },
+                )
+                .with("loc", pt.loc.to_string())
+        })
+        .collect();
+    Json::Array(points)
+}
+
+/// Renders a placement with `from -> to` edge endpoints resolved against
+/// a CFG (used by the CLI's verbose output).
+pub fn placement_text(p: &Placement, cfg: &Cfg) -> String {
+    let mut out = String::new();
+    for pt in p.points() {
+        let loc = match pt.loc {
+            SpillLoc::BlockTop(b) => format!("top of {b}"),
+            SpillLoc::BlockBottom(b) => format!("bottom of {b}"),
+            SpillLoc::OnEdge(e) => {
+                let edge = cfg.edge(e);
+                format!("edge {} -> {}", edge.from, edge.to)
+            }
+        };
+        let kind = match pt.kind {
+            SpillKind::Save => "save",
+            SpillKind::Restore => "restore",
+        };
+        let _ = writeln!(out, "  {kind} {} @ {loc}", pt.reg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_module_report_is_well_formed() {
+        let r = ModuleReport::new("empty".into(), Vec::new());
+        assert_eq!(r.speedup(), Some(1.0));
+        let json = r.to_json().to_compact();
+        assert!(json.contains(r#""module":"empty""#));
+        assert!(json.contains(r#""speedup":1"#));
+    }
+}

@@ -1,0 +1,6 @@
+//! The `spillopt` command-line tool: module-scale callee-saved spill
+//! code optimization (see `spillopt-driver` for the implementation).
+
+fn main() {
+    std::process::exit(spillopt_driver::cli::run_main());
+}
