@@ -1,0 +1,80 @@
+//! Cross-target placement throughput: the full per-function suite
+//! (entry/exit, Chow, both hierarchical variants) on each registered
+//! backend target.
+//!
+//! The interesting comparison is the pairing-aware hierarchical
+//! traversal (AArch64's group decision at region boundaries) against the
+//! paper's per-register rule — the group decision sorts candidates per
+//! region, so its cost is the thing to watch as register files grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng as _;
+use spillopt_benchgen::{emit_function, gen_body, EmitConfig, ShapeConfig, Style};
+use spillopt_core::{run_suite_priced, CalleeSavedUsage};
+use spillopt_ir::analysis::loops::sccs;
+use spillopt_ir::Cfg;
+use spillopt_profile::random_walk_profile;
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+use std::hint::black_box;
+
+fn bench_cross_target(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_target_suite");
+    group.sample_size(20);
+    for spec in spillopt_targets::registry() {
+        let target = spec.to_target();
+        let shape = ShapeConfig {
+            budget: 120,
+            loop_prob: 0.35,
+            else_prob: 0.5,
+            cold_if_prob: 0.25,
+            goto_prob: 0.06,
+            call_prob: 0.15,
+            loop_trip: (2, 8),
+            max_depth: 4,
+        };
+        let emit = EmitConfig {
+            shape: shape.clone(),
+            pressure: 10,
+            num_params: 2,
+            data_slots: 4,
+            style: Style::Register,
+            num_handlers: 1,
+            handler_goto_frac: 0.5,
+            hot_segment_calls: 2,
+            crossing_frac: 0.5,
+            cold_crossing: 0.25,
+            cold_sites: 1,
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let body = gen_body(&shape, &mut rng, 0);
+        let mut func = emit_function(spec.name, &target, &emit, &body, 0, 11);
+        allocate(&mut func, &target, None);
+
+        let cfg = Cfg::compute(&func);
+        let cyclic = sccs(&cfg);
+        let pst = Pst::compute(&cfg);
+        let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+        let profile = random_walk_profile(&cfg, 256, 512, 11);
+        if usage.is_empty() {
+            continue;
+        }
+
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, spec| {
+            b.iter(|| {
+                black_box(run_suite_priced(
+                    &cfg,
+                    &cyclic,
+                    &pst,
+                    &usage,
+                    &profile,
+                    &spec.costs,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_target);
+criterion_main!(benches);

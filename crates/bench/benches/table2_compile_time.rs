@@ -32,20 +32,28 @@ fn bench_table2(c: &mut Criterion) {
             .iter()
             .map(|i| (sccs(&i.cfg), Pst::compute(&i.cfg)))
             .collect();
-        group.bench_with_input(BenchmarkId::new("entry_exit", name), &inputs, |b, inputs| {
-            b.iter(|| {
-                for i in inputs {
-                    black_box(entry_exit_placement(&i.cfg, &i.usage));
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("shrinkwrap", name), &inputs, |b, inputs| {
-            b.iter(|| {
-                for (i, (cyclic, _)) in inputs.iter().zip(&analyses) {
-                    black_box(chow_shrink_wrap_with(&i.cfg, cyclic, &i.usage));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("entry_exit", name),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    for i in inputs {
+                        black_box(entry_exit_placement(&i.cfg, &i.usage));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shrinkwrap", name),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    for (i, (cyclic, _)) in inputs.iter().zip(&analyses) {
+                        black_box(chow_shrink_wrap_with(&i.cfg, cyclic, &i.usage));
+                    }
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("optimized", name), &inputs, |b, inputs| {
             b.iter(|| {
                 for (i, (_, pst)) in inputs.iter().zip(&analyses) {

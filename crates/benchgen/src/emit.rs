@@ -409,8 +409,13 @@ impl Emitter {
                 let exit = self.fb.create_block(None);
                 // Fall through into the header.
                 self.open(header);
-                self.fb
-                    .branch(Cond::Ge, Reg::Virt(counter), Reg::Virt(limit), exit, body_blk);
+                self.fb.branch(
+                    Cond::Ge,
+                    Reg::Virt(counter),
+                    Reg::Virt(limit),
+                    exit,
+                    body_blk,
+                );
                 self.escapes.push(exit);
                 self.open(body_blk);
                 self.emit_stmts(body);
@@ -593,8 +598,8 @@ pub fn emit_function(
     {
         let skip = em.fb.create_block(None);
         em.fb.jump(skip); // jump over the handler bodies
-        // Handler bodies: a call with a crossing local, then on to the
-        // epilogue.
+                          // Handler bodies: a call with a crossing local, then on to the
+                          // epilogue.
         for (i, h) in handlers.iter().enumerate() {
             em.open(*h);
             if em.style == Style::Memory {

@@ -32,4 +32,6 @@ pub mod spec;
 
 pub use emit::{emit_function, EmitConfig, Style};
 pub use shape::{gen_body, Hotness, ShapeConfig, Stmt};
-pub use spec::{all_benchmarks, benchmark_by_name, build_bench, BenchSpec, GeneratedBench};
+pub use spec::{
+    all_benchmarks, benchmark_by_name, build_bench, BenchSpec, GeneratedBench, BENCH_NUM_PARAMS,
+};

@@ -173,7 +173,14 @@ fn gen_stmts(
                 let else_body = if rng.gen_bool(cfg.else_prob) && *budget > 1 {
                     let mut einner = (*budget / 2).max(1);
                     *budget = budget.saturating_sub(einner);
-                    Some(gen_stmts(cfg, rng, callees, &mut einner, depth + 1, allow_goto))
+                    Some(gen_stmts(
+                        cfg,
+                        rng,
+                        callees,
+                        &mut einner,
+                        depth + 1,
+                        allow_goto,
+                    ))
                 } else {
                     None
                 };
@@ -204,10 +211,7 @@ pub fn contains_call(stmts: &[Stmt]) -> bool {
             then_body,
             else_body,
             ..
-        } => {
-            contains_call(then_body)
-                || else_body.as_ref().is_some_and(|e| contains_call(e))
-        }
+        } => contains_call(then_body) || else_body.as_ref().is_some_and(|e| contains_call(e)),
         Stmt::Loop { body, .. } => contains_call(body),
         _ => false,
     })
@@ -222,10 +226,7 @@ pub fn stmt_count(stmts: &[Stmt]) -> usize {
                 then_body,
                 else_body,
                 ..
-            } => {
-                1 + stmt_count(then_body)
-                    + else_body.as_ref().map_or(0, |e| stmt_count(e))
-            }
+            } => 1 + stmt_count(then_body) + else_body.as_ref().map_or(0, |e| stmt_count(e)),
             Stmt::Loop { body, .. } => 1 + stmt_count(body),
             _ => 1,
         })
@@ -278,7 +279,10 @@ mod tests {
             let (mask, thr) = h.mask_threshold();
             assert!(thr <= mask + 1);
             assert!(thr >= 1);
-            assert!(mask > 0 && (mask + 1) & mask == 0, "mask+1 must be a power of 2");
+            assert!(
+                mask > 0 && (mask + 1) & mask == 0,
+                "mask+1 must be a power of 2"
+            );
         }
     }
 }

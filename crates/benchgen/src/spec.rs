@@ -151,12 +151,18 @@ fn flavor_quota(weights: (f64, f64, f64, f64), n: usize) -> Vec<Flavor> {
     out
 }
 
+/// Parameters every generated benchmark function takes. Targets must
+/// provide at least this many argument registers to lower a benchmark
+/// ([`build_bench`] panics otherwise — callers with user-supplied
+/// targets should check first).
+pub const BENCH_NUM_PARAMS: usize = 2;
+
 /// Builds a benchmark module from its spec.
 pub fn build_bench(spec: &BenchSpec, target: &Target) -> GeneratedBench {
     let mut module = Module::new(spec.name);
     let flavors = flavor_quota(spec.flavor_weights, spec.num_funcs);
 
-    for i in 0..spec.num_funcs {
+    for (i, &flavor) in flavors.iter().enumerate().take(spec.num_funcs) {
         // Per-function generator state: changing one function's parameters
         // (e.g. its flavor) leaves all others bit-identical.
         let mut rng =
@@ -172,7 +178,6 @@ pub fn build_bench(spec: &BenchSpec, target: &Target) -> GeneratedBench {
             loop_trip: spec.loop_trip,
             max_depth: spec.max_depth,
         };
-        let flavor = flavors[i];
         let (style, num_handlers, hot_segment_calls, crossing_frac, cold_crossing, cold_sites) =
             match flavor {
                 Flavor::Register => (Style::Register, 0, 0, 0.0, 0.0, 0),
@@ -197,7 +202,7 @@ pub fn build_bench(spec: &BenchSpec, target: &Target) -> GeneratedBench {
         let emit_cfg = EmitConfig {
             shape: shape.clone(),
             pressure: rng.gen_range(spec.pressure.0..=spec.pressure.1),
-            num_params: 2,
+            num_params: BENCH_NUM_PARAMS,
             data_slots: spec.data_slots,
             style,
             num_handlers,
@@ -230,10 +235,7 @@ pub fn build_bench(spec: &BenchSpec, target: &Target) -> GeneratedBench {
             SmallRng::seed_from_u64(spec.seed ^ (i as u64).wrapping_mul(0x517c_c1b7) ^ 99);
         let f = FuncId::from_index(i);
         for k in 0..spec.inputs_per_entry {
-            let args = vec![
-                rng.gen_range(0..1i64 << 24),
-                rng.gen_range(0..1i64 << 24),
-            ];
+            let args = vec![rng.gen_range(0..1i64 << 24), rng.gen_range(0..1i64 << 24)];
             if k % 2 == 0 {
                 train_runs.push((f, args));
             } else {
@@ -506,8 +508,8 @@ mod tests {
         assert_eq!(all.len(), 11);
         let names: Vec<_> = all.iter().map(|b| b.name).collect();
         for n in [
-            "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex",
-            "bzip2", "twolf",
+            "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk", "gap", "vortex", "bzip2",
+            "twolf",
         ] {
             assert!(names.contains(&n), "missing {n}");
         }

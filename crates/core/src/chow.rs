@@ -145,9 +145,13 @@ mod tests {
         assert_eq!(p.static_count(), 2);
         let ab = cfg.edge_between(a, b).unwrap();
         let bd = cfg.edge_between(b, d).unwrap();
-        assert!(p.points().iter().any(|pt| pt.loc == SpillLoc::OnEdge(ab)
-            && pt.kind == SpillKind::Save));
-        assert!(p.points().iter().any(|pt| pt.loc == SpillLoc::OnEdge(bd)
-            && pt.kind == SpillKind::Restore));
+        assert!(p
+            .points()
+            .iter()
+            .any(|pt| pt.loc == SpillLoc::OnEdge(ab) && pt.kind == SpillKind::Save));
+        assert!(p
+            .points()
+            .iter()
+            .any(|pt| pt.loc == SpillLoc::OnEdge(bd) && pt.kind == SpillKind::Restore));
     }
 }

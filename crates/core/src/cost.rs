@@ -8,7 +8,7 @@
 //! algorithm's `boundary ≤ contained` tie rule is decided exactly — the
 //! paper's Figure 4(b) result hinges on a tie at cost 200.
 
-use crate::location::SpillLoc;
+use crate::location::{SpillKind, SpillLoc};
 use spillopt_ir::Cfg;
 use spillopt_profile::EdgeProfile;
 use std::fmt;
@@ -90,7 +90,7 @@ impl Sum for Cost {
 
 impl fmt::Debug for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % COST_SCALE == 0 {
+        if self.0.is_multiple_of(COST_SCALE) {
             write!(f, "Cost({})", self.0 / COST_SCALE)
         } else {
             write!(f, "Cost({:.3})", self.as_f64())
@@ -100,11 +100,118 @@ impl fmt::Debug for Cost {
 
 impl fmt::Display for Cost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % COST_SCALE == 0 {
+        if self.0.is_multiple_of(COST_SCALE) {
             write!(f, "{}", self.0 / COST_SCALE)
         } else {
             write!(f, "{:.3}", self.as_f64())
         }
+    }
+}
+
+/// The weight of one machine instruction as an exact fraction
+/// `num / den` of a baseline instruction.
+///
+/// Targets use fractions to express conventions the paper's uniform
+/// PA-RISC accounting cannot: x86-64's one-byte stack-engine `push`/`pop`
+/// prologue saves are cheaper than a `mov` to a frame slot, and an
+/// AArch64 `stp` amortizes one instruction over two registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct InsnCost {
+    num: u32,
+    den: u32,
+}
+
+impl InsnCost {
+    /// One full instruction per executed save/restore — the paper's
+    /// PA-RISC accounting.
+    pub const ONE: InsnCost = InsnCost { num: 1, den: 1 };
+
+    /// An exact fractional instruction weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or does not divide [`COST_SCALE`].
+    pub const fn new(num: u32, den: u32) -> InsnCost {
+        assert!(den > 0, "zero instruction-cost denominator");
+        assert!(
+            COST_SCALE.is_multiple_of(den as u64),
+            "instruction-cost denominator does not divide COST_SCALE"
+        );
+        InsnCost { num, den }
+    }
+
+    /// The cost of executing `count` instructions of this weight, with
+    /// the weight further divided by `share` (jump-cost sharing or
+    /// save-pairing; `share == 1` means no division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den * share` does not divide [`COST_SCALE`] (shares are
+    /// register counts, at most 13, so every product in use divides it).
+    pub fn of(self, count: u64, share: u64) -> Cost {
+        Cost::from_fraction(
+            count.saturating_mul(self.num as u64),
+            self.den as u64 * share,
+        )
+    }
+}
+
+/// Per-target costs of the three instruction kinds the placement passes
+/// insert, plus the target's save-pairing width.
+///
+/// [`SpillCostModel::UNIT`] — every instruction costs 1, no pairing — is
+/// the paper's PA-RISC accounting; every pre-existing entry point prices
+/// with it, so results on the default target are bit-identical to the
+/// unparameterized code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpillCostModel {
+    /// One save (store to the register's frame slot) anywhere but the
+    /// procedure entry.
+    pub save: InsnCost,
+    /// One restore (load from the frame slot) anywhere but a procedure
+    /// exit.
+    pub restore: InsnCost,
+    /// One save at the procedure entry (x86-64 prologues use `push`,
+    /// cheaper than `mov reg, [frame]`).
+    pub entry_save: InsnCost,
+    /// One restore at a procedure exit (`pop` on x86-64).
+    pub exit_restore: InsnCost,
+    /// The jump instruction of a jump block on a critical jump edge.
+    pub jump: InsnCost,
+    /// Registers one save/restore instruction can cover when they are
+    /// placed at the same location (2 for AArch64 `stp`/`ldp`, else 1).
+    pub pair_size: u8,
+}
+
+impl SpillCostModel {
+    /// The paper's accounting: every instruction costs one unit and each
+    /// register needs its own save/restore instruction.
+    pub const UNIT: SpillCostModel = SpillCostModel {
+        save: InsnCost::ONE,
+        restore: InsnCost::ONE,
+        entry_save: InsnCost::ONE,
+        exit_restore: InsnCost::ONE,
+        jump: InsnCost::ONE,
+        pair_size: 1,
+    };
+
+    /// The weight of one save/restore of `kind` at `loc`, resolving the
+    /// cheaper entry/exit variants against the CFG.
+    pub fn insn(&self, cfg: &Cfg, kind: SpillKind, loc: SpillLoc) -> InsnCost {
+        match (kind, loc) {
+            (SpillKind::Save, SpillLoc::BlockTop(b)) if b == cfg.entry() => self.entry_save,
+            (SpillKind::Restore, SpillLoc::BlockBottom(b)) if cfg.exit_blocks().contains(&b) => {
+                self.exit_restore
+            }
+            (SpillKind::Save, _) => self.save,
+            (SpillKind::Restore, _) => self.restore,
+        }
+    }
+}
+
+impl Default for SpillCostModel {
+    fn default() -> Self {
+        SpillCostModel::UNIT
     }
 }
 
@@ -155,6 +262,42 @@ pub fn location_cost(
     }
 }
 
+/// The cost of one save/restore of `kind` at `loc` under `model`, priced
+/// with a target's [`SpillCostModel`].
+///
+/// `jump_share` divides the jump-instruction cost on critical jump edges
+/// (the paper's rule for initial sets); `pair_share` divides the
+/// save/restore instruction cost among registers sharing one paired
+/// instruction at the same location (at most
+/// [`SpillCostModel::pair_size`]). Both are 1 for unshared locations, and
+/// with [`SpillCostModel::UNIT`] and `pair_share == 1` this equals
+/// [`location_cost`] exactly.
+// One parameter per pricing dimension; bundling them would just move the
+// argument list into a struct literal at every call site.
+#[allow(clippy::too_many_arguments)]
+pub fn spill_point_cost(
+    model: CostModel,
+    costs: &SpillCostModel,
+    cfg: &Cfg,
+    profile: &EdgeProfile,
+    kind: SpillKind,
+    loc: SpillLoc,
+    jump_share: u64,
+    pair_share: u64,
+) -> Cost {
+    let count = match loc {
+        SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => profile.block_count(b),
+        SpillLoc::OnEdge(e) => profile.edge_count(e),
+    };
+    let base = costs.insn(cfg, kind, loc).of(count, pair_share);
+    match (model, loc) {
+        (CostModel::JumpEdge, SpillLoc::OnEdge(e)) if cfg.needs_jump_block(e) => {
+            base + costs.jump.of(profile.edge_count(e), jump_share)
+        }
+        _ => base,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +335,68 @@ mod tests {
         assert_eq!(total, Cost::from_count(6));
         assert_eq!(format!("{total}"), "6");
         assert_eq!(format!("{}", Cost::from_fraction(1, 2)), "0.500");
+    }
+
+    #[test]
+    fn insn_cost_weights_and_shares() {
+        assert_eq!(InsnCost::ONE.of(100, 1), Cost::from_count(100));
+        assert_eq!(InsnCost::ONE.of(100, 2), Cost::from_fraction(100, 2));
+        // Half-weight push shared between two paired registers: 100/4.
+        assert_eq!(InsnCost::new(1, 2).of(100, 2), Cost::from_fraction(100, 4));
+        // A three-instruction-unit save.
+        assert_eq!(InsnCost::new(3, 1).of(10, 1), Cost::from_count(30));
+    }
+
+    #[test]
+    fn spill_cost_model_resolves_entry_and_exit_weights() {
+        use spillopt_ir::{Cond, FunctionBuilder, Reg};
+        let mut fb = FunctionBuilder::new("m", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+        fb.switch_to(b);
+        fb.ret(None);
+        fb.switch_to(c);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+
+        let x86ish = SpillCostModel {
+            entry_save: InsnCost::new(1, 2),
+            exit_restore: InsnCost::new(1, 2),
+            ..SpillCostModel::UNIT
+        };
+        // Entry save and exit restores get the cheap weight...
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Save, SpillLoc::BlockTop(a)),
+            InsnCost::new(1, 2)
+        );
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Restore, SpillLoc::BlockBottom(b)),
+            InsnCost::new(1, 2)
+        );
+        // ...everything else pays full price: a save at an exit's top,
+        // a restore at the entry's bottom, and anything on an edge.
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Save, SpillLoc::BlockTop(b)),
+            InsnCost::ONE
+        );
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Restore, SpillLoc::BlockBottom(a)),
+            InsnCost::ONE
+        );
+        let ab = cfg.edge_between(a, b).expect("a->b edge");
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Save, SpillLoc::OnEdge(ab)),
+            InsnCost::ONE
+        );
+        assert_eq!(
+            x86ish.insn(&cfg, SpillKind::Restore, SpillLoc::OnEdge(ab)),
+            InsnCost::ONE
+        );
+        assert_eq!(SpillCostModel::default(), SpillCostModel::UNIT);
     }
 }

@@ -210,7 +210,7 @@ pub fn busy_clusters(cfg: &Cfg, busy: &DenseBitSet) -> Vec<DenseBitSet> {
 mod tests {
     use super::*;
     use spillopt_ir::analysis::loops::sccs;
-    use spillopt_ir::{Cond, FunctionBuilder, Function, Reg};
+    use spillopt_ir::{Cond, Function, FunctionBuilder, Reg};
 
     /// A -> {B busy, C} -> D(ret). Busy = {B}.
     fn diamond_busy() -> (Function, [BlockId; 4]) {
@@ -290,7 +290,10 @@ mod tests {
         w.insert(3);
         let antic = antic_closure(&cfg, &w);
         assert!(antic.contains(2), "gap block absorbed");
-        assert!(antic.contains(0), "prefix absorbed (all paths lead to busy)");
+        assert!(
+            antic.contains(0),
+            "prefix absorbed (all paths lead to busy)"
+        );
         assert!(!antic.contains(4));
         let avail = avail_closure(&cfg, &w);
         assert!(avail.contains(2));

@@ -10,9 +10,7 @@
 //! only approximate).
 
 use crate::location::{Placement, SpillKind, SpillLoc};
-use spillopt_ir::{
-    edit, Cfg, EdgeId, Function, Inst, InstKind, MemKind, Origin, PReg,
-};
+use spillopt_ir::{edit, Cfg, EdgeId, Function, Inst, InstKind, MemKind, Origin, PReg};
 use std::collections::HashMap;
 
 /// What physical insertion did: realized locations and totals.
@@ -106,9 +104,7 @@ pub fn insert_placement(func: &mut Function, cfg: &Cfg, placement: &Placement) -
 mod tests {
     use super::*;
     use crate::location::SpillPoint;
-    use spillopt_ir::{
-        verify_function, BlockId, Cond, FunctionBuilder, Reg, RegDiscipline,
-    };
+    use spillopt_ir::{verify_function, BlockId, Cond, FunctionBuilder, Reg, RegDiscipline};
 
     /// Builds a CFG with a critical jump edge d->b and inserts save and
     /// restore code of two registers on it: one new block, one new jump.
@@ -168,9 +164,13 @@ mod tests {
         assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
         // The entry block starts with the two saves.
         let top = &f.block(a).insts[..2];
-        assert!(top
-            .iter()
-            .all(|i| matches!(i.kind, InstKind::Store { kind: MemKind::CalleeSave, .. })));
+        assert!(top.iter().all(|i| matches!(
+            i.kind,
+            InstKind::Store {
+                kind: MemKind::CalleeSave,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn extend_merges() {
         let mut a = Placement::from_points(vec![pt(11, SpillKind::Save, 0)]);
-        let b = Placement::from_points(vec![pt(11, SpillKind::Save, 0), pt(11, SpillKind::Restore, 1)]);
+        let b = Placement::from_points(vec![
+            pt(11, SpillKind::Save, 0),
+            pt(11, SpillKind::Restore, 1),
+        ]);
         a.extend(&b);
         assert_eq!(a.static_count(), 2);
         assert!(!a.is_empty());

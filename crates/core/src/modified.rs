@@ -81,10 +81,8 @@ pub fn modified_shrink_wrap(cfg: &Cfg, usage: &CalleeSavedUsage) -> InitialSets 
 pub fn modified_shrink_wrap_hoisted(cfg: &Cfg, usage: &CalleeSavedUsage) -> InitialSets {
     let mut sets = Vec::new();
     for (reg, busy) in usage.regs() {
-        let hoisted = crate::dataflow::avail_closure(
-            cfg,
-            &crate::dataflow::antic_closure(cfg, busy),
-        );
+        let hoisted =
+            crate::dataflow::avail_closure(cfg, &crate::dataflow::antic_closure(cfg, busy));
         for cluster in busy_clusters(cfg, &hoisted) {
             let b = region_boundary(cfg, &cluster);
             let mut points = Vec::new();

@@ -1,7 +1,7 @@
 //! Model-predicted overhead of placements.
 
-use crate::cost::{location_cost, Cost, CostModel};
-use crate::location::{Placement, SpillLoc};
+use crate::cost::{location_cost, Cost, CostModel, SpillCostModel};
+use crate::location::{Placement, SpillKind, SpillLoc};
 use crate::sets::EdgeShares;
 use spillopt_ir::{Cfg, EdgeId, PReg};
 use spillopt_profile::EdgeProfile;
@@ -39,6 +39,64 @@ pub fn placement_cost(
         edges.dedup();
         for e in edges {
             total += Cost::from_count(profile.edge_count(e));
+        }
+    }
+    total
+}
+
+/// As [`placement_cost`], priced with a target's [`SpillCostModel`] —
+/// the physically accurate accounting for that target.
+///
+/// Registers placing a save (or restore) at the same location share
+/// paired instructions: `n` registers need `ceil(n / pair_size)`
+/// instructions there ([`crate::insert`] realizes co-located code
+/// together, which a pairing backend would emit as `stp`/`ldp` runs).
+/// Entry saves and exit restores use their cheaper per-target weights,
+/// and one jump per distinct critical jump edge is charged under
+/// [`CostModel::JumpEdge`]. With [`SpillCostModel::UNIT`] this equals
+/// [`placement_cost`] exactly.
+pub fn placement_cost_with(
+    model: CostModel,
+    costs: &SpillCostModel,
+    cfg: &Cfg,
+    profile: &EdgeProfile,
+    placement: &Placement,
+) -> Cost {
+    let pair = costs.pair_size.max(1) as u64;
+    // Count registers per (location, kind); BTreeMap-free determinism by
+    // sorting the grouped keys below.
+    let mut groups: HashMap<(SpillLoc, SpillKind), u64> = HashMap::new();
+    for p in placement.points() {
+        *groups.entry((p.loc, p.kind)).or_insert(0) += 1;
+    }
+    let mut keys: Vec<(SpillLoc, SpillKind)> = groups.keys().copied().collect();
+    keys.sort();
+    let mut total = Cost::ZERO;
+    for key in keys {
+        let (loc, kind) = key;
+        let regs = groups[&key];
+        let insts = regs.div_ceil(pair);
+        let count = match loc {
+            SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => profile.block_count(b),
+            SpillLoc::OnEdge(e) => profile.edge_count(e),
+        };
+        total += costs
+            .insn(cfg, kind, loc)
+            .of(count.saturating_mul(insts), 1);
+    }
+    if model == CostModel::JumpEdge {
+        let mut edges: Vec<EdgeId> = placement
+            .points()
+            .iter()
+            .filter_map(|p| match p.loc {
+                SpillLoc::OnEdge(e) if cfg.needs_jump_block(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        edges.sort();
+        edges.dedup();
+        for e in edges {
+            total += costs.jump.of(profile.edge_count(e), 1);
         }
     }
     total

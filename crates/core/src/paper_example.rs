@@ -37,9 +37,7 @@
 //! [`fig1_example`] parameterizes.
 
 use crate::usage::CalleeSavedUsage;
-use spillopt_ir::{
-    BlockId, Cfg, Cond, Function, FunctionBuilder, PReg, Reg,
-};
+use spillopt_ir::{BlockId, Cfg, Cond, Function, FunctionBuilder, PReg, Reg};
 use spillopt_profile::EdgeProfile;
 
 /// The reconstructed Figure 2 example: function, CFG, profile, usage.
@@ -106,20 +104,20 @@ pub fn paper_example() -> PaperExample {
     fb.branch(Cond::Lt, c, c, blk('F'), blk('D')); // taken F, fall D
     fb.switch_to(blk('D'));
     fb.branch(Cond::Lt, c, c, blk('F'), blk('E')); // taken F (jump), fall E
-    // E falls through to F.
+                                                   // E falls through to F.
     fb.switch_to(blk('F'));
     fb.jump(blk('J'));
     fb.switch_to(blk('J'));
     fb.branch(Cond::Lt, c, c, blk('M'), blk('G')); // taken M, fall G
-    // G falls through to M.
+                                                   // G falls through to M.
     fb.switch_to(blk('M'));
     fb.jump(blk('P'));
     fb.switch_to(blk('I'));
     fb.branch(Cond::Lt, c, c, blk('L'), blk('K')); // taken L, fall K
-    // K falls through to L.
+                                                   // K falls through to L.
     fb.switch_to(blk('L'));
     fb.branch(Cond::Lt, c, c, blk('O'), blk('N')); // taken O, fall N
-    // N falls through to O; O falls through to P.
+                                                   // N falls through to O; O falls through to P.
     fb.switch_to(blk('P'));
     fb.ret(None);
 

@@ -1,11 +1,11 @@
 //! One-call driver: all placement techniques on one procedure.
 
 use crate::chow::chow_shrink_wrap_with;
-use crate::cost::{Cost, CostModel};
+use crate::cost::{Cost, CostModel, SpillCostModel};
 use crate::entry_exit::entry_exit_placement;
-use crate::hierarchical::{hierarchical_placement, HierarchicalResult};
+use crate::hierarchical::{hierarchical_placement_with, HierarchicalResult};
 use crate::location::Placement;
-use crate::overhead::placement_cost;
+use crate::overhead::placement_cost_with;
 use crate::usage::CalleeSavedUsage;
 use crate::validate::check_placement;
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
@@ -57,11 +57,29 @@ pub fn run_suite_with(
     usage: &CalleeSavedUsage,
     profile: &EdgeProfile,
 ) -> PlacementSuite {
+    run_suite_priced(cfg, cyclic, pst, usage, profile, &SpillCostModel::UNIT)
+}
+
+/// As [`run_suite_with`], priced with a target's [`SpillCostModel`]:
+/// both hierarchical variants make their replace-decisions under the
+/// target's instruction costs, and all four predicted costs use the
+/// target's physically accurate jump-edge accounting
+/// ([`placement_cost_with`]). With [`SpillCostModel::UNIT`] this is
+/// [`run_suite_with`] exactly.
+pub fn run_suite_priced(
+    cfg: &Cfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    costs: &SpillCostModel,
+) -> PlacementSuite {
     let entry_exit = entry_exit_placement(cfg, usage);
     let chow = chow_shrink_wrap_with(cfg, cyclic, usage);
     let hierarchical_exec =
-        hierarchical_placement(cfg, pst, usage, profile, CostModel::ExecutionCount);
-    let hierarchical_jump = hierarchical_placement(cfg, pst, usage, profile, CostModel::JumpEdge);
+        hierarchical_placement_with(cfg, pst, usage, profile, CostModel::ExecutionCount, costs);
+    let hierarchical_jump =
+        hierarchical_placement_with(cfg, pst, usage, profile, CostModel::JumpEdge, costs);
 
     for (name, p) in [
         ("entry_exit", &entry_exit),
@@ -74,10 +92,22 @@ pub fn run_suite_with(
     }
 
     let predicted = [
-        placement_cost(CostModel::JumpEdge, cfg, profile, &entry_exit),
-        placement_cost(CostModel::JumpEdge, cfg, profile, &chow),
-        placement_cost(CostModel::JumpEdge, cfg, profile, &hierarchical_exec.placement),
-        placement_cost(CostModel::JumpEdge, cfg, profile, &hierarchical_jump.placement),
+        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &entry_exit),
+        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &chow),
+        placement_cost_with(
+            CostModel::JumpEdge,
+            costs,
+            cfg,
+            profile,
+            &hierarchical_exec.placement,
+        ),
+        placement_cost_with(
+            CostModel::JumpEdge,
+            costs,
+            cfg,
+            profile,
+            &hierarchical_jump.placement,
+        ),
     ];
 
     PlacementSuite {

@@ -1,7 +1,7 @@
 //! Save/restore sets: groups of mutually dependent save and restore
 //! locations (the paper's webs).
 
-use crate::cost::{location_cost, Cost, CostModel};
+use crate::cost::{location_cost, spill_point_cost, Cost, CostModel, SpillCostModel};
 use crate::location::{SpillKind, SpillLoc, SpillPoint};
 use spillopt_ir::{Cfg, DenseBitSet, EdgeId, PReg};
 use spillopt_profile::EdgeProfile;
@@ -41,12 +41,44 @@ impl SaveRestoreSet {
         self.points
             .iter()
             .map(|p| {
-                let share = if self.initial {
-                    shares.share(p.loc)
-                } else {
-                    1
-                };
+                let share = if self.initial { shares.share(p.loc) } else { 1 };
                 location_cost(model, cfg, profile, p.loc, share)
+            })
+            .sum()
+    }
+
+    /// As [`SaveRestoreSet::cost`], priced with a target's
+    /// [`SpillCostModel`].
+    ///
+    /// Initial sets additionally share paired save/restore instructions:
+    /// when `costs.pair_size > 1` and several registers have initial
+    /// locations of the same kind at the same location, each pays
+    /// `1 / min(sharers, pair_size)` of the instruction (an `stp` covers
+    /// two of them). Non-initial sets bear full instruction and jump
+    /// costs — boundary pairing is the hierarchical pass's group
+    /// decision, not a property of a lone set.
+    pub fn cost_with(
+        &self,
+        model: CostModel,
+        costs: &SpillCostModel,
+        cfg: &Cfg,
+        profile: &EdgeProfile,
+        shares: &EdgeShares,
+    ) -> Cost {
+        self.points
+            .iter()
+            .map(|p| {
+                let (jump_share, pair_share) = if self.initial {
+                    (
+                        shares.share(p.loc),
+                        shares.pair_share(p.loc, p.kind, costs.pair_size),
+                    )
+                } else {
+                    (1, 1)
+                };
+                spill_point_cost(
+                    model, costs, cfg, profile, p.kind, p.loc, jump_share, pair_share,
+                )
             })
             .sum()
     }
@@ -69,6 +101,10 @@ impl SaveRestoreSet {
 #[derive(Clone, Debug, Default)]
 pub struct EdgeShares {
     counts: HashMap<EdgeId, u64>,
+    /// Distinct registers with an initial location of a given kind at a
+    /// given location — the candidates one paired save/restore
+    /// instruction could cover on pairing targets.
+    colocated: HashMap<(SpillLoc, SpillKind), u64>,
 }
 
 impl EdgeShares {
@@ -78,9 +114,12 @@ impl EdgeShares {
     }
 
     /// Computes shares from the initial sets: the number of distinct
-    /// registers with at least one location on each edge.
+    /// registers with at least one location on each edge (jump-cost
+    /// sharing), and per (location, kind) the number of distinct
+    /// registers placing there (pairing).
     pub fn from_sets(sets: &[SaveRestoreSet]) -> Self {
         let mut regs_per_edge: HashMap<EdgeId, Vec<PReg>> = HashMap::new();
+        let mut regs_per_loc: HashMap<(SpillLoc, SpillKind), Vec<PReg>> = HashMap::new();
         for s in sets {
             for p in &s.points {
                 if let SpillLoc::OnEdge(e) = p.loc {
@@ -89,12 +128,20 @@ impl EdgeShares {
                         v.push(p.reg);
                     }
                 }
+                let v = regs_per_loc.entry((p.loc, p.kind)).or_default();
+                if !v.contains(&p.reg) {
+                    v.push(p.reg);
+                }
             }
         }
         EdgeShares {
             counts: regs_per_edge
                 .into_iter()
                 .map(|(e, v)| (e, v.len() as u64))
+                .collect(),
+            colocated: regs_per_loc
+                .into_iter()
+                .map(|(k, v)| (k, v.len() as u64))
                 .collect(),
         }
     }
@@ -105,6 +152,20 @@ impl EdgeShares {
             SpillLoc::OnEdge(e) => self.counts.get(&e).copied().unwrap_or(1).max(1),
             _ => 1,
         }
+    }
+
+    /// The pairing divisor for one save/restore of `kind` at `loc`: how
+    /// many registers share one paired instruction there, capped by the
+    /// target's `pair_size` (1 when the target does not pair or the
+    /// register is alone).
+    pub fn pair_share(&self, loc: SpillLoc, kind: SpillKind, pair_size: u8) -> u64 {
+        let co = self
+            .colocated
+            .get(&(loc, kind))
+            .copied()
+            .unwrap_or(1)
+            .max(1);
+        co.min(pair_size.max(1) as u64)
     }
 }
 

@@ -41,10 +41,7 @@ impl CalleeSavedUsage {
 
     /// The busy set of `reg`, if used.
     pub fn busy(&self, reg: PReg) -> Option<&DenseBitSet> {
-        self.entries
-            .iter()
-            .find(|(r, _)| *r == reg)
-            .map(|(_, s)| s)
+        self.entries.iter().find(|(r, _)| *r == reg).map(|(_, s)| s)
     }
 
     /// Number of callee-saved registers used.

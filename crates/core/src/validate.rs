@@ -141,9 +141,7 @@ fn check_one(
         }
     }
 
-    let apply = |mut state: State,
-                 points: &[&SpillPoint],
-                 errors: &mut Vec<PlacementError>| {
+    let apply = |mut state: State, points: &[&SpillPoint], errors: &mut Vec<PlacementError>| {
         for p in points {
             match p.kind {
                 SpillKind::Save => {
@@ -408,7 +406,10 @@ mod tests {
             SpillPoint {
                 reg: r,
                 kind: SpillKind::Restore,
-                loc: SpillLoc::OnEdge(cfg.edge_between(a, spillopt_ir::BlockId::from_index(2)).unwrap()),
+                loc: SpillLoc::OnEdge(
+                    cfg.edge_between(a, spillopt_ir::BlockId::from_index(2))
+                        .unwrap(),
+                ),
             },
         ]);
         let errs = check_placement(&cfg, &usage, &p);

@@ -40,13 +40,7 @@ fn registers_are_placed_independently() {
         .iter()
         .filter(|p| p.reg == ex.reg)
         .map(|p| {
-            spillopt_core::location_cost(
-                CostModel::ExecutionCount,
-                &ex.cfg,
-                &ex.profile,
-                p.loc,
-                1,
-            )
+            spillopt_core::location_cost(CostModel::ExecutionCount, &ex.cfg, &ex.profile, p.loc, 1)
         })
         .sum();
     assert_eq!(r11_cost, Cost::from_count(190));
@@ -138,7 +132,9 @@ fn thirteen_registers_stress() {
     let ex = paper_example();
     let pst = Pst::compute(&ex.cfg);
     let mut usage = CalleeSavedUsage::new();
-    let letters = ['D', 'E', 'G', 'K', 'N', 'C', 'F', 'J', 'M', 'I', 'L', 'O', 'B'];
+    let letters = [
+        'D', 'E', 'G', 'K', 'N', 'C', 'F', 'J', 'M', 'I', 'L', 'O', 'B',
+    ];
     for (i, &letter) in letters.iter().enumerate() {
         let reg = PReg::new(11 + (i as u8 % 13).min(12));
         usage.set_busy(reg, ex.block(letter), 16);

@@ -15,8 +15,8 @@
 //!   to procedure entry/exit.
 
 use spillopt_core::{
-    chow_shrink_wrap, entry_exit_placement, hierarchical_placement, insert_placement,
-    modified_shrink_wrap, paper_example, placement_model_cost, check_placement, Cost, CostModel,
+    check_placement, chow_shrink_wrap, entry_exit_placement, hierarchical_placement,
+    insert_placement, modified_shrink_wrap, paper_example, placement_model_cost, Cost, CostModel,
     EdgeShares, SpillKind, SpillLoc,
 };
 use spillopt_pst::Pst;
@@ -90,7 +90,11 @@ fn chow_places_at_c_g_k_n_and_costs_250() {
         &p,
         &EdgeShares::none(),
     );
-    assert_eq!(cost, count(250), "shrink-wrapping is worse than entry/exit here");
+    assert_eq!(
+        cost,
+        count(250),
+        "shrink-wrapping is worse than entry/exit here"
+    );
 }
 
 #[test]
@@ -135,14 +139,12 @@ fn initial_sets_cost_80_50_50_50() {
 fn pst_finds_the_papers_regions() {
     let ex = paper_example();
     let pst = Pst::compute(&ex.cfg);
-    let blocks = |letters: &str| -> Vec<usize> {
-        letters.chars().map(|c| ex.block(c).index()).collect()
-    };
+    let blocks =
+        |letters: &str| -> Vec<usize> { letters.chars().map(|c| ex.block(c).index()).collect() };
     let find_region = |letters: &str| {
         let want = blocks(letters);
-        pst.regions().find(|r| {
-            r.blocks.count() == want.len() && want.iter().all(|&b| r.blocks.contains(b))
-        })
+        pst.regions()
+            .find(|r| r.blocks.count() == want.len() && want.iter().all(|&b| r.blocks.contains(b)))
     };
     let r1 = find_region("CDEF").expect("paper Region 1");
     let r2 = find_region("HCDEFJGM").expect("paper Region 2");

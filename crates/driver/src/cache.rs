@@ -93,12 +93,14 @@ impl<'a> AnalysisCache<'a> {
 
     /// Post-dominators.
     pub fn postdoms(&self) -> &BlockPostDoms {
-        self.postdoms.get_or_init(|| BlockPostDoms::compute(&self.cfg))
+        self.postdoms
+            .get_or_init(|| BlockPostDoms::compute(&self.cfg))
     }
 
     /// Natural loops.
     pub fn loops(&self) -> &LoopInfo {
-        self.loops.get_or_init(|| LoopInfo::compute(&self.cfg, self.doms()))
+        self.loops
+            .get_or_init(|| LoopInfo::compute(&self.cfg, self.doms()))
     }
 
     /// Live ranges.

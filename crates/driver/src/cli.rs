@@ -1,26 +1,33 @@
 //! The `spillopt` command-line interface.
 //!
 //! ```text
-//! spillopt optimize (--bench NAME | --input FILE) [--threads N] [--strategy S] [--out FILE]
-//! spillopt compare  (--bench NAME | --input FILE) [--threads N] [--json]
-//! spillopt report   (--bench NAME | --input FILE) [--threads N] [--compact] [--out FILE]
+//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
+//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
+//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
 //! spillopt list-benches
+//! spillopt list-targets
 //! ```
 //!
 //! * `optimize` emits the optimized module as IR text: every function
 //!   register-allocated, save/restore code inserted under the chosen
 //!   strategy (default: the per-function best).
-//! * `compare` prints the four strategies side by side per function.
-//! * `report` emits the full deterministic JSON report.
+//! * `compare` prints the four strategies side by side per function;
+//!   `--target all` compares every registered backend target instead.
+//! * `report` emits the full deterministic JSON report; `--target all`
+//!   adds the cross-target comparison section.
 //!
 //! Inputs are either a generated SPEC stand-in (`--bench`, profiled on
 //! its training workload) or an IR text file (`--input`, profiled
-//! synthetically). Argument parsing is hand-rolled: the surface is four
-//! subcommands and six flags, not worth a dependency the offline build
+//! synthetically). Argument parsing is hand-rolled: the surface is five
+//! subcommands and seven flags, not worth a dependency the offline build
 //! would have to shim.
 
-use crate::driver::{optimize_module, DriverConfig, ProfileSource, Strategy};
-use spillopt_ir::{display, parse_module, Module, Target};
+use crate::driver::{
+    cross_target_runs, optimize_module_for, DriverConfig, DriverError, ProfileSource, Strategy,
+};
+use crate::report::CrossTargetReport;
+use spillopt_ir::{display, parse_module, Module};
+use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::io::Write;
 
 /// Entry point for the binary: parses `std::env::args`, runs, maps
@@ -43,13 +50,19 @@ pub fn run_main() -> i32 {
 
 const USAGE: &str = "\
 usage:
-  spillopt optimize (--bench NAME | --input FILE) [--threads N] [--strategy S] [--out FILE]
-  spillopt compare  (--bench NAME | --input FILE) [--threads N] [--json]
-  spillopt report   (--bench NAME | --input FILE) [--threads N] [--compact] [--out FILE]
+  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
+  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
+  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
   spillopt list-benches
+  spillopt list-targets
 
 strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
+--target names a registered backend (see list-targets; default pa-risc-like);
+`--target all` fans compare/report out across every registered target.
 --threads 0 uses all cores (default); --threads 1 is the serial reference.";
+
+/// The accepted `--strategy` values, for error messages.
+const STRATEGIES: &str = "baseline, shrinkwrap, hier-exec, hier-jump, best";
 
 /// A CLI failure.
 #[derive(Debug)]
@@ -76,6 +89,22 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "list-targets" => {
+            for spec in registry() {
+                writeln!(
+                    out,
+                    "{:<18} {:>2} callee-saved / {:>2} regs, pair {}, align {:>2}  {}",
+                    spec.name,
+                    spec.callee_saved.len(),
+                    spec.callee_saved.len() + spec.caller_saved.len(),
+                    spec.costs.pair_size,
+                    spec.stack_align,
+                    spec.description
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -96,6 +125,7 @@ fn io_err(e: std::io::Error) -> CliError {
 struct Opts {
     bench: Option<String>,
     input: Option<String>,
+    target: TargetChoice,
     threads: usize,
     strategy: Option<Strategy>,
     out: Option<String>,
@@ -103,13 +133,33 @@ struct Opts {
     compact: bool,
 }
 
+/// The `--target` flag: one registered target or all of them.
+enum TargetChoice {
+    One(TargetSpec),
+    All,
+}
+
 /// The flags each subcommand accepts; anything else is rejected rather
 /// than silently ignored.
 fn allowed_flags(sub: &str) -> &'static [&'static str] {
     match sub {
-        "optimize" => &["--bench", "--input", "--threads", "--strategy", "--out"],
-        "compare" => &["--bench", "--input", "--threads", "--json"],
-        "report" => &["--bench", "--input", "--threads", "--compact", "--out"],
+        "optimize" => &[
+            "--bench",
+            "--input",
+            "--target",
+            "--threads",
+            "--strategy",
+            "--out",
+        ],
+        "compare" => &["--bench", "--input", "--target", "--threads", "--json"],
+        "report" => &[
+            "--bench",
+            "--input",
+            "--target",
+            "--threads",
+            "--compact",
+            "--out",
+        ],
         _ => &[],
     }
 }
@@ -118,6 +168,7 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
     let mut opts = Opts {
         bench: None,
         input: None,
+        target: TargetChoice::One(spillopt_targets::pa_risc_like()),
         threads: 0,
         strategy: None,
         out: None,
@@ -140,6 +191,28 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
         match flag {
             "--bench" => opts.bench = Some(value()?.to_string()),
             "--input" => opts.input = Some(value()?.to_string()),
+            "--target" => {
+                let v = value()?;
+                opts.target = match v {
+                    "all" if sub != "optimize" => TargetChoice::All,
+                    "all" => {
+                        return Err(usage(
+                            "`optimize` needs one concrete target (`--target all` only \
+                             applies to compare/report)",
+                        ))
+                    }
+                    name => TargetChoice::One(spec_by_name(name).ok_or_else(|| {
+                        usage(&format!(
+                            "unknown target `{name}` (registered: {})",
+                            registry()
+                                .iter()
+                                .map(|s| s.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?),
+                }
+            }
             "--threads" => {
                 opts.threads = value()?
                     .parse()
@@ -149,10 +222,9 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
                 let v = value()?;
                 opts.strategy = match v {
                     "best" => None,
-                    s => Some(
-                        Strategy::parse(s)
-                            .ok_or_else(|| usage(&format!("unknown strategy `{s}`")))?,
-                    ),
+                    s => Some(Strategy::parse(s).ok_or_else(|| {
+                        usage(&format!("unknown strategy `{s}` (accepted: {STRATEGIES})"))
+                    })?),
                 }
             }
             "--out" => opts.out = Some(value()?.to_string()),
@@ -167,12 +239,25 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
     Ok(opts)
 }
 
-/// Loads the module and its profile source.
-fn load(opts: &Opts) -> Result<(Module, ProfileSource), CliError> {
+/// Loads the module and its profile source for one target.
+fn load(opts: &Opts, spec: &TargetSpec) -> Result<(Module, ProfileSource), CliError> {
+    let target = spec
+        .try_to_target()
+        .map_err(|e| CliError::Run(format!("target `{}` is malformed: {e}", spec.name)))?;
     if let Some(name) = &opts.bench {
-        let spec = spillopt_benchgen::benchmark_by_name(name)
-            .ok_or_else(|| CliError::Run(format!("unknown benchmark `{name}` (see list-benches)")))?;
-        let bench = spillopt_benchgen::build_bench(&spec, &Target::default());
+        if target.arg_regs().len() < spillopt_benchgen::BENCH_NUM_PARAMS {
+            return Err(CliError::Run(format!(
+                "target `{}` has {} argument register(s) but generated benchmarks need {}; \
+                 use --input with a hand-written module instead",
+                spec.name,
+                target.arg_regs().len(),
+                spillopt_benchgen::BENCH_NUM_PARAMS
+            )));
+        }
+        let bench_spec = spillopt_benchgen::benchmark_by_name(name).ok_or_else(|| {
+            CliError::Run(format!("unknown benchmark `{name}` (see list-benches)"))
+        })?;
+        let bench = spillopt_benchgen::build_bench(&bench_spec, &target);
         Ok((bench.module, ProfileSource::Workload(bench.train_runs)))
     } else {
         let path = opts.input.as_deref().expect("validated by parse_opts");
@@ -190,14 +275,26 @@ fn load(opts: &Opts) -> Result<(Module, ProfileSource), CliError> {
     }
 }
 
-fn drive(opts: &Opts) -> Result<crate::driver::ModuleRun, CliError> {
-    let (module, profile) = load(opts)?;
+fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, CliError> {
+    let (module, profile) = load(opts, spec)?;
     let config = DriverConfig {
         threads: opts.threads,
         profile,
     };
-    optimize_module(&module, &Target::default(), &config)
-        .map_err(|e| CliError::Run(e.to_string()))
+    optimize_module_for(&module, spec, &config).map_err(|e| CliError::Run(e.to_string()))
+}
+
+/// Runs the pipeline on every registered target.
+fn drive_all(opts: &Opts) -> Result<CrossTargetReport, CliError> {
+    let specs = registry();
+    cross_target_runs(&specs, opts.threads, |spec| {
+        load(opts, spec).map_err(|e| match e {
+            CliError::Run(msg) | CliError::Usage(msg) => {
+                DriverError::Load(format!("target {}: {msg}", spec.name))
+            }
+        })
+    })
+    .map_err(|e| CliError::Run(e.to_string()))
 }
 
 /// Writes `text` to `--out` or the primary stream.
@@ -210,11 +307,15 @@ fn emit(opts: &Opts, out: &mut dyn Write, text: &str) -> Result<(), CliError> {
 }
 
 fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
-    let run = drive(opts)?;
+    let TargetChoice::One(spec) = &opts.target else {
+        unreachable!("rejected in parse_opts");
+    };
+    let run = drive(opts, spec)?;
     let optimized = run.apply(opts.strategy);
     eprintln!(
-        "optimized {}: {} functions, {} placed, speedup {}",
+        "optimized {} for {}: {} functions, {} placed, speedup {}",
         run.report.module,
+        run.report.target,
         run.report.functions.len(),
         run.report.placed_functions(),
         run.report
@@ -225,17 +326,31 @@ fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
-    let run = drive(opts)?;
-    if opts.json {
-        emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))
-    } else {
-        emit(opts, out, &run.report.render_human())
+    match &opts.target {
+        TargetChoice::One(spec) => {
+            let run = drive(opts, spec)?;
+            if opts.json {
+                emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))
+            } else {
+                emit(opts, out, &run.report.render_human())
+            }
+        }
+        TargetChoice::All => {
+            let cross = drive_all(opts)?;
+            if opts.json {
+                emit(opts, out, &(cross.to_json().to_pretty() + "\n"))
+            } else {
+                emit(opts, out, &cross.render_human())
+            }
+        }
     }
 }
 
 fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
-    let run = drive(opts)?;
-    let json = run.report.to_json();
+    let json = match &opts.target {
+        TargetChoice::One(spec) => drive(opts, spec)?.report.to_json(),
+        TargetChoice::All => drive_all(opts)?.to_json(),
+    };
     let text = if opts.compact {
         json.to_compact() + "\n"
     } else {
@@ -258,10 +373,7 @@ mod tests {
     #[test]
     fn usage_errors() {
         assert!(matches!(run_capture(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run_capture(&["compare"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_capture(&["compare"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run_capture(&["compare", "--bench", "mcf", "--input", "x"]),
             Err(CliError::Usage(_))
@@ -280,6 +392,53 @@ mod tests {
             run_capture(&["optimize", "--bench", "mcf", "--json"]),
             Err(CliError::Usage(_))
         ));
+        // `optimize` needs one concrete target.
+        assert!(matches!(
+            run_capture(&["optimize", "--bench", "mcf", "--target", "all"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn strategy_errors_list_the_accepted_values() {
+        let Err(CliError::Usage(msg)) =
+            run_capture(&["optimize", "--bench", "mcf", "--strategy", "bogus"])
+        else {
+            panic!("expected usage error");
+        };
+        for s in ["baseline", "shrinkwrap", "hier-exec", "hier-jump", "best"] {
+            assert!(msg.contains(s), "`{msg}` does not list `{s}`");
+        }
+    }
+
+    #[test]
+    fn target_errors_list_the_registry() {
+        let Err(CliError::Usage(msg)) =
+            run_capture(&["compare", "--bench", "mcf", "--target", "pdp11"])
+        else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("unknown target `pdp11`"));
+        for t in [
+            "pa-risc-like",
+            "x86-64-sysv",
+            "aarch64-aapcs64",
+            "riscv64-lp64",
+        ] {
+            assert!(msg.contains(t), "`{msg}` does not list `{t}`");
+        }
+    }
+
+    #[test]
+    fn tiny_target_with_bench_is_a_clean_error() {
+        // `tiny` has one argument register; generated benchmarks need
+        // two. This must surface as a CLI error, not a panic.
+        let Err(CliError::Run(msg)) =
+            run_capture(&["compare", "--bench", "mcf", "--target", "tiny"])
+        else {
+            panic!("expected run error");
+        };
+        assert!(msg.contains("argument register"), "unhelpful: {msg}");
     }
 
     #[test]
@@ -290,10 +449,40 @@ mod tests {
     }
 
     #[test]
+    fn list_targets_names_the_backends() {
+        let out = run_capture(&["list-targets"]).expect("list");
+        assert!(out.lines().count() >= 4);
+        for t in [
+            "pa-risc-like",
+            "x86-64-sysv",
+            "aarch64-aapcs64",
+            "riscv64-lp64",
+        ] {
+            assert!(out.contains(t), "missing target {t}");
+        }
+    }
+
+    #[test]
     fn compare_renders_a_table() {
         let out = run_capture(&["compare", "--bench", "mcf", "--threads", "2"]).expect("compare");
         assert!(out.contains("module mcf"));
+        assert!(out.contains("pa-risc-like"));
         assert!(out.contains("hier-jump"));
+    }
+
+    #[test]
+    fn compare_accepts_a_concrete_target() {
+        let out = run_capture(&[
+            "compare",
+            "--bench",
+            "mcf",
+            "--target",
+            "x86-64-sysv",
+            "--threads",
+            "2",
+        ])
+        .expect("compare");
+        assert!(out.contains("x86-64-sysv"));
     }
 
     #[test]
@@ -301,5 +490,24 @@ mod tests {
         let out = run_capture(&["report", "--bench", "mcf", "--compact"]).expect("report");
         assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
         assert!(out.contains(r#""module":"mcf""#));
+        assert!(out.contains(r#""target":"pa-risc-like""#));
+    }
+
+    #[test]
+    fn cross_target_report_has_comparison_section() {
+        let out = run_capture(&[
+            "report",
+            "--bench",
+            "mcf",
+            "--target",
+            "all",
+            "--compact",
+            "--threads",
+            "2",
+        ])
+        .expect("report");
+        assert!(out.contains(r#""cross_targets":"#));
+        assert!(out.contains(r#""target":"aarch64-aapcs64""#));
+        assert!(out.contains(r#""best_target":"#));
     }
 }

@@ -11,11 +11,12 @@
 
 use crate::cache::AnalysisCache;
 use crate::pool::run_indexed;
-use crate::report::{FunctionReport, ModuleReport, StrategyReport};
-use spillopt_core::{insert_placement, run_suite_with, Placement};
+use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
+use spillopt_core::{insert_placement, run_suite_priced, Placement, SpillCostModel};
 use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
 use spillopt_profile::{random_walk_profile, EdgeProfile, ExecError, Machine};
 use spillopt_regalloc::allocate;
+use spillopt_targets::TargetSpec;
 
 /// The placement strategies the driver compares, in reporting order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -100,12 +101,15 @@ pub struct DriverConfig {
 pub enum DriverError {
     /// The training workload crashed or ran out of fuel.
     Workload(ExecError),
+    /// A cross-target loader could not produce the module for a target.
+    Load(String),
 }
 
 impl std::fmt::Display for DriverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DriverError::Workload(e) => write!(f, "training workload failed: {e}"),
+            DriverError::Load(msg) => write!(f, "module load failed: {msg}"),
         }
     }
 }
@@ -136,15 +140,18 @@ impl ModuleRun {
         let mut out = Module::new(self.report.module.clone());
         for (i, (func, placements)) in self.allocated.iter().enumerate() {
             let mut func = func.clone();
-            let strategy = choice.unwrap_or_else(|| {
-                self.report.functions[i].best.unwrap_or(Strategy::HierJump)
-            });
+            let strategy = choice
+                .unwrap_or_else(|| self.report.functions[i].best.unwrap_or(Strategy::HierJump));
             if let Some((_, placement)) = placements.iter().find(|(s, _)| *s == strategy) {
                 let cfg = Cfg::compute(&func);
                 insert_placement(&mut func, &cfg, placement);
             }
             let errs = spillopt_ir::verify_function(&func, RegDiscipline::Physical);
-            assert!(errs.is_empty(), "optimized `{}` invalid: {errs:?}", func.name());
+            assert!(
+                errs.is_empty(),
+                "optimized `{}` invalid: {errs:?}",
+                func.name()
+            );
             out.add_func(func);
         }
         out
@@ -162,6 +169,26 @@ pub fn optimize_module(
     target: &Target,
     config: &DriverConfig,
 ) -> Result<ModuleRun, DriverError> {
+    optimize_module_priced(module, target, &SpillCostModel::UNIT, config)
+}
+
+/// As [`optimize_module`], for a registered backend target: the
+/// allocatable set comes from the spec's convention and every placement
+/// decision and predicted cost uses the spec's [`SpillCostModel`].
+pub fn optimize_module_for(
+    module: &Module,
+    spec: &TargetSpec,
+    config: &DriverConfig,
+) -> Result<ModuleRun, DriverError> {
+    optimize_module_priced(module, &spec.to_target(), &spec.costs, config)
+}
+
+fn optimize_module_priced(
+    module: &Module,
+    target: &Target,
+    costs: &SpillCostModel,
+    config: &DriverConfig,
+) -> Result<ModuleRun, DriverError> {
     // Stage 1 (serial): training profiles, if a workload is given.
     let profiles: Vec<Option<EdgeProfile>> = match &config.profile {
         ProfileSource::Workload(runs) => {
@@ -170,33 +197,83 @@ pub fn optimize_module(
             for (f, args) in runs {
                 vm.call(*f, args).map_err(DriverError::Workload)?;
             }
-            module.func_ids().map(|f| Some(vm.edge_profile(f))).collect()
+            module
+                .func_ids()
+                .map(|f| Some(vm.edge_profile(f)))
+                .collect()
         }
         ProfileSource::Synthetic { .. } => module.func_ids().map(|_| None).collect(),
     };
 
     // Stage 2 (parallel): per-function allocate → cache → all strategies.
-    let items: Vec<(FuncId, Option<EdgeProfile>)> =
-        module.func_ids().zip(profiles).collect();
+    let items: Vec<(FuncId, Option<EdgeProfile>)> = module.func_ids().zip(profiles).collect();
     let outcomes = run_indexed(items, config.threads, |index, (fid, profile)| {
         let mut func = module.func(fid).clone();
         let profile = profile.unwrap_or_else(|| {
-            let ProfileSource::Synthetic { walks, max_steps, seed } = &config.profile else {
+            let ProfileSource::Synthetic {
+                walks,
+                max_steps,
+                seed,
+            } = &config.profile
+            else {
                 unreachable!("workload profiles are precomputed")
             };
             let cfg = Cfg::compute(&func);
-            random_walk_profile(&cfg, *walks, *max_steps, seed ^ (index as u64).wrapping_mul(0x9e37_79b9))
+            random_walk_profile(
+                &cfg,
+                *walks,
+                *max_steps,
+                seed ^ (index as u64).wrapping_mul(0x9e37_79b9),
+            )
         });
         let alloc = allocate(&mut func, target, Some(&profile));
-        let (report, placements) = per_function(fid, &func, target, profile, alloc.spilled_vregs);
+        let (report, placements) =
+            per_function(fid, &func, target, costs, profile, alloc.spilled_vregs);
         (report, (func, placements))
     });
 
     let (reports, allocated): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
     Ok(ModuleRun {
-        report: ModuleReport::new(module.name().to_string(), reports),
+        report: ModuleReport::new(
+            module.name().to_string(),
+            target.name().to_string(),
+            reports,
+        ),
         allocated,
     })
+}
+
+/// Runs the whole pipeline across every given target and collects the
+/// per-target reports into one [`CrossTargetReport`].
+///
+/// `load` builds the module *and its profile source* for a target —
+/// generated benchmarks lower against the target's convention, so each
+/// target gets its own build (there is deliberately no module-wide
+/// profile parameter). Targets fan out on the work-stealing pool
+/// (`threads` workers); each target's module is then processed serially
+/// within its worker, which keeps the total parallelism bounded and the
+/// report a pure function of the inputs — byte-identical for every
+/// thread count.
+pub fn cross_target_runs(
+    specs: &[TargetSpec],
+    threads: usize,
+    load: impl Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync,
+) -> Result<CrossTargetReport, DriverError> {
+    let items: Vec<&TargetSpec> = specs.iter().collect();
+    let outcomes = run_indexed(items, threads, |_, spec| {
+        let (module, profile) = load(spec)?;
+        let config = DriverConfig {
+            threads: 1,
+            profile,
+        };
+        let run = optimize_module_for(&module, spec, &config)?;
+        Ok((spec.clone(), run.report))
+    });
+    let mut targets = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        targets.push(outcome?);
+    }
+    Ok(CrossTargetReport::new(targets))
 }
 
 /// Runs all four strategies for one allocated function against one
@@ -207,6 +284,7 @@ fn per_function(
     fid: FuncId,
     func: &Function,
     target: &Target,
+    costs: &SpillCostModel,
     profile: EdgeProfile,
     spilled_vregs: usize,
 ) -> (FunctionReport, Vec<(Strategy, Placement)>) {
@@ -226,12 +304,13 @@ fn per_function(
         return (report, Vec::new());
     }
 
-    let suite = run_suite_with(
+    let suite = run_suite_priced(
         &cache.cfg,
         cache.cyclic(),
         cache.pst(),
         &cache.usage,
         &cache.profile,
+        costs,
     );
     let placements = [
         (Strategy::Baseline, suite.entry_exit),
@@ -282,8 +361,8 @@ mod tests {
             },
         )
         .expect("driver");
-        let synthetic = optimize_module(&module, &target, &DriverConfig::default())
-            .expect("driver");
+        let synthetic =
+            optimize_module(&module, &target, &DriverConfig::default()).expect("driver");
         assert_eq!(with_workload.report.functions.len(), module.num_funcs());
         assert_eq!(synthetic.report.functions.len(), module.num_funcs());
     }

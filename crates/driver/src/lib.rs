@@ -17,7 +17,12 @@
 //!   random walks) → Chaitin/Briggs allocation → cached analyses → all
 //!   four placements per function, folded into a [`ModuleReport`] whose
 //!   JSON bytes are identical for every thread count;
-//! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`.
+//! * [`optimize_module_for`] / [`cross_target_runs`] — the same
+//!   pipeline against a registered backend target
+//!   ([`spillopt_targets::TargetSpec`]) or fanned out across all of
+//!   them, with every decision priced by the target's spill cost model;
+//! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`,
+//!   `list-targets`.
 //!
 //! # Examples
 //!
@@ -61,7 +66,8 @@ pub mod report;
 
 pub use cache::AnalysisCache;
 pub use driver::{
-    optimize_module, DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy,
+    cross_target_runs, optimize_module, optimize_module_for, DriverConfig, DriverError, ModuleRun,
+    ProfileSource, Strategy,
 };
 pub use json::Json;
-pub use report::{FunctionReport, ModuleReport, StrategyReport};
+pub use report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};

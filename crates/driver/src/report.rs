@@ -72,19 +72,28 @@ impl FunctionReport {
 pub struct ModuleReport {
     /// Module name.
     pub module: String,
+    /// Name of the backend target the module was optimized for.
+    pub target: String,
     /// Per-function reports in function-index order.
     pub functions: Vec<FunctionReport>,
 }
 
 impl ModuleReport {
     /// Builds a report (functions must already be in index order).
-    pub fn new(module: String, functions: Vec<FunctionReport>) -> Self {
-        ModuleReport { module, functions }
+    pub fn new(module: String, target: String, functions: Vec<FunctionReport>) -> Self {
+        ModuleReport {
+            module,
+            target,
+            functions,
+        }
     }
 
     /// Functions that needed placement.
     pub fn placed_functions(&self) -> usize {
-        self.functions.iter().filter(|f| !f.strategies.is_empty()).count()
+        self.functions
+            .iter()
+            .filter(|f| !f.strategies.is_empty())
+            .count()
     }
 
     /// Sum of one strategy's predicted costs over the module.
@@ -122,6 +131,7 @@ impl ModuleReport {
         }
         Json::obj()
             .with("module", self.module.as_str())
+            .with("target", self.target.as_str())
             .with("functions", functions)
             .with("num_functions", self.functions.len())
             .with("placed_functions", self.placed_functions())
@@ -135,15 +145,16 @@ impl ModuleReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "module {}: {} functions, {} with callee-saved placement",
+            "module {} on {}: {} functions, {} with callee-saved placement",
             self.module,
+            self.target,
             self.functions.len(),
             self.placed_functions()
         );
         let _ = writeln!(
             out,
-            "{:<18} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  {}",
-            "function", "blocks", "regs", "baseline", "shrinkwrap", "hier-exec", "hier-jump", "best"
+            "{:<18} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  best",
+            "function", "blocks", "regs", "baseline", "shrinkwrap", "hier-exec", "hier-jump"
         );
         for f in &self.functions {
             if f.strategies.is_empty() {
@@ -157,7 +168,13 @@ impl ModuleReport {
                 );
                 continue;
             }
-            let _ = write!(out, "{:<18} {:>7} {:>6}", truncated(&f.name), f.blocks, f.callee_saved);
+            let _ = write!(
+                out,
+                "{:<18} {:>7} {:>6}",
+                truncated(&f.name),
+                f.blocks,
+                f.callee_saved
+            );
             for s in Strategy::all() {
                 match f.strategy(s) {
                     Some(r) => {
@@ -251,6 +268,113 @@ fn placement_json(p: &Placement) -> Json {
     Json::Array(points)
 }
 
+/// One module optimized for every registered backend target: the
+/// cross-target comparison the paper could not run.
+///
+/// Like [`ModuleReport`], everything here — including the JSON bytes —
+/// is a pure function of the inputs, independent of thread count.
+#[derive(Clone, Debug)]
+pub struct CrossTargetReport {
+    /// Per-target spec and full module report, in registry order.
+    pub targets: Vec<(spillopt_targets::TargetSpec, ModuleReport)>,
+}
+
+impl CrossTargetReport {
+    /// Builds the report (targets must already be in registry order).
+    pub fn new(targets: Vec<(spillopt_targets::TargetSpec, ModuleReport)>) -> Self {
+        CrossTargetReport { targets }
+    }
+
+    /// The module name (same module on every target).
+    pub fn module(&self) -> &str {
+        self.targets.first().map_or("", |(_, r)| r.module.as_str())
+    }
+
+    /// The target whose per-function-best speedup over its own baseline
+    /// is largest — where hierarchical placement pays off most.
+    pub fn best_target(&self) -> Option<&str> {
+        self.targets
+            .iter()
+            .filter_map(|(s, r)| r.speedup().map(|x| (s.name, x)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(name, _)| name)
+    }
+
+    /// The deterministic JSON rendering: a `cross_targets` section of
+    /// per-target summaries plus each target's full module report.
+    pub fn to_json(&self) -> Json {
+        let summaries: Vec<Json> = self
+            .targets
+            .iter()
+            .map(|(spec, r)| {
+                let mut totals = Json::obj();
+                for s in Strategy::all() {
+                    totals = totals.with(s.name(), r.total_cost(s).raw());
+                }
+                Json::obj()
+                    .with("target", spec.name)
+                    .with("callee_saved", spec.callee_saved.len())
+                    .with("caller_saved", spec.caller_saved.len())
+                    .with("pair_size", spec.costs.pair_size as u64)
+                    .with("stack_align", spec.stack_align as u64)
+                    .with("placed_functions", r.placed_functions())
+                    .with("total_cost", totals)
+                    .with("best_total_cost", r.best_total().raw())
+                    .with("speedup", r.speedup().map_or(Json::Null, Json::Float))
+            })
+            .collect();
+        let reports: Vec<Json> = self.targets.iter().map(|(_, r)| r.to_json()).collect();
+        Json::obj()
+            .with("module", self.module())
+            .with("cross_targets", summaries)
+            .with(
+                "best_target",
+                self.best_target().map_or(Json::Null, Json::str),
+            )
+            .with("reports", reports)
+    }
+
+    /// The human-readable cross-target table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "module {} across {} targets",
+            self.module(),
+            self.targets.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>5} {:>14} {:>14} {:>14} {:>14}  speedup",
+            "target", "csave", "pair", "baseline", "shrinkwrap", "hier-exec", "hier-jump"
+        );
+        for (spec, r) in &self.targets {
+            let _ = write!(
+                out,
+                "{:<18} {:>6} {:>5}",
+                spec.name,
+                spec.callee_saved.len(),
+                spec.costs.pair_size
+            );
+            for s in Strategy::all() {
+                let _ = write!(out, " {:>14.1}", r.total_cost(s).as_f64());
+            }
+            match r.speedup() {
+                Some(x) => {
+                    let _ = writeln!(out, "  {x:.2}x");
+                }
+                None => {
+                    let _ = writeln!(out, "  -");
+                }
+            }
+        }
+        if let Some(best) = self.best_target() {
+            let _ = writeln!(out, "largest optimized win: {best}");
+        }
+        out
+    }
+}
+
 /// Renders a placement with `from -> to` edge endpoints resolved against
 /// a CFG (used by the CLI's verbose output).
 pub fn placement_text(p: &Placement, cfg: &Cfg) -> String {
@@ -279,10 +403,30 @@ mod tests {
 
     #[test]
     fn empty_module_report_is_well_formed() {
-        let r = ModuleReport::new("empty".into(), Vec::new());
+        let r = ModuleReport::new("empty".into(), "pa-risc-like".into(), Vec::new());
         assert_eq!(r.speedup(), Some(1.0));
         let json = r.to_json().to_compact();
         assert!(json.contains(r#""module":"empty""#));
+        assert!(json.contains(r#""target":"pa-risc-like""#));
         assert!(json.contains(r#""speedup":1"#));
+    }
+
+    #[test]
+    fn cross_target_report_renders() {
+        let specs = spillopt_targets::registry();
+        let targets: Vec<_> = specs
+            .into_iter()
+            .take(2)
+            .map(|s| {
+                let name = s.name.to_string();
+                (s, ModuleReport::new("m".into(), name, Vec::new()))
+            })
+            .collect();
+        let x = CrossTargetReport::new(targets);
+        assert_eq!(x.module(), "m");
+        let json = x.to_json().to_compact();
+        assert!(json.contains(r#""cross_targets":"#));
+        assert!(json.contains(r#""target":"pa-risc-like""#));
+        assert!(x.render_human().contains("across 2 targets"));
     }
 }

@@ -20,7 +20,11 @@ fn main() {
     for (f, args) in &bench.train_runs {
         vm.call(*f, args).unwrap();
     }
-    let profiles: Vec<_> = bench.module.func_ids().map(|f| vm.edge_profile(f)).collect();
+    let profiles: Vec<_> = bench
+        .module
+        .func_ids()
+        .map(|f| vm.edge_profile(f))
+        .collect();
 
     for f in bench.module.func_ids() {
         let mut func = bench.module.func(f).clone();
@@ -37,7 +41,13 @@ fn main() {
         let init = modified_shrink_wrap(&cfg, &usage);
         let hier = hierarchical_placement(&cfg, &pst, &usage, profile, CostModel::JumpEdge);
         let cost = |p: &spillopt_core::Placement| {
-            placement_model_cost(CostModel::ExecutionCount, &cfg, profile, p, &EdgeShares::none())
+            placement_model_cost(
+                CostModel::ExecutionCount,
+                &cfg,
+                profile,
+                p,
+                &EdgeShares::none(),
+            )
         };
         println!(
             "{} blocks={} entry_count={}: ee={} sw={} init={} opt={}",

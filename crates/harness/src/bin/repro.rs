@@ -6,8 +6,9 @@
 //! repro fig5        Figure 5 dynamic overhead per benchmark
 //! repro table1      Table 1 overhead ratios (vs paper values)
 //! repro table2      Table 2 incremental compile-time ratios
-//! repro all         everything (default)
-//! repro bench NAME  a single benchmark in detail
+//! repro all          everything (default)
+//! repro bench NAME   a single benchmark in detail
+//! repro targets NAME one benchmark across every registered backend target
 //! ```
 
 use spillopt_harness::experiments;
@@ -50,12 +51,25 @@ fn main() {
                 }
             }
         }
+        "targets" => {
+            let name = args.get(1).map(String::as_str).unwrap_or("crafty");
+            eprintln!("running {name} across all registered targets...");
+            match experiments::cross_target(name) {
+                Ok(t) => print!("{}", t.render()),
+                Err(e) => {
+                    eprintln!("pipeline failure: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "bench" => {
             let name = args.get(1).map(String::as_str).unwrap_or("gzip");
             match run_named_benchmark(name, &target) {
                 Ok(r) => {
-                    println!("benchmark {name}: {} functions ({} using callee-saved), {} insts",
-                        r.funcs, r.funcs_with_callee_saved, r.module_insts);
+                    println!(
+                        "benchmark {name}: {} functions ({} using callee-saved), {} insts",
+                        r.funcs, r.funcs_with_callee_saved, r.module_insts
+                    );
                     for t in Technique::all() {
                         let x = r.of(t);
                         println!(
@@ -81,7 +95,9 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown experiment `{other}`; try fig1|fig2|fig5|table1|table2|all|bench NAME");
+            eprintln!(
+                "unknown experiment `{other}`; try fig1|fig2|fig5|table1|table2|all|bench NAME|targets NAME"
+            );
             std::process::exit(2);
         }
     }

@@ -1,7 +1,7 @@
 //! The experiments: one per table and figure of the paper.
 
 use crate::report::{pct, Table};
-use crate::runner::{run_benchmark, BenchResult, PipelineError, Technique};
+use crate::runner::{run_benchmark, run_benchmark_priced, BenchResult, PipelineError, Technique};
 use spillopt_benchgen::all_benchmarks;
 use spillopt_core::{
     chow_shrink_wrap, entry_exit_placement, fig1_example, hierarchical_placement, paper_example,
@@ -53,6 +53,43 @@ pub fn run_all_benchmarks(target: &Target) -> Result<Vec<BenchResult>, PipelineE
         .iter()
         .map(|spec| run_benchmark(spec, target))
         .collect()
+}
+
+/// Runs one benchmark on every registered backend target and measures
+/// the paper's Table 1 ratios per target — the cross-target evaluation
+/// the paper's single-machine setup could not produce. Each target gets
+/// its own module build (the generated code lowers against the target's
+/// convention) and its own cost-model-driven placement decisions.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn cross_target(name: &str) -> Result<Table, PipelineError> {
+    let spec = spillopt_benchgen::benchmark_by_name(name).ok_or_else(|| PipelineError {
+        bench: name.to_string(),
+        message: "unknown benchmark".to_string(),
+    })?;
+    let mut t = Table::new(vec![
+        "target",
+        "callee-saved",
+        "pair",
+        "optimized/baseline",
+        "shrinkwrap/baseline",
+        "optimized overhead",
+    ]);
+    for tspec in spillopt_targets::registry() {
+        let target = tspec.to_target();
+        let r = run_benchmark_priced(&spec, &target, &tspec.costs)?;
+        t.row(vec![
+            tspec.name.to_string(),
+            tspec.callee_saved.len().to_string(),
+            tspec.costs.pair_size.to_string(),
+            pct(r.ratio(Technique::Optimized)),
+            pct(r.ratio(Technique::Shrinkwrap)),
+            r.of(Technique::Optimized).dynamic_overhead.to_string(),
+        ]);
+    }
+    Ok(t)
 }
 
 /// Figure 1: whether shrink-wrapping beats entry/exit depends purely on
@@ -151,7 +188,11 @@ pub fn fig2_walkthrough() -> String {
                 .blocks
                 .iter()
                 .map(|b| {
-                    ex.func.block(spillopt_ir::BlockId::from_index(b)).name.clone().unwrap_or_default()
+                    ex.func
+                        .block(spillopt_ir::BlockId::from_index(b))
+                        .name
+                        .clone()
+                        .unwrap_or_default()
                 })
                 .collect();
             t.row(vec![
@@ -163,7 +204,13 @@ pub fn fig2_walkthrough() -> String {
             ]);
         }
         out.push_str(&t.render());
-        let total = placement_model_cost(model, &ex.cfg, &ex.profile, &res.placement, &EdgeShares::none());
+        let total = placement_model_cost(
+            model,
+            &ex.cfg,
+            &ex.profile,
+            &res.placement,
+            &EdgeShares::none(),
+        );
         out.push_str(&format!("final cost {total}   (paper: {paper})\n\n"));
     }
     out
@@ -260,10 +307,7 @@ pub fn table2(results: &[BenchResult]) -> String {
     let mut counted = 0usize;
     for r in results {
         let base = r.of(Technique::Baseline).pass_time;
-        let sw = r
-            .of(Technique::Shrinkwrap)
-            .pass_time
-            .saturating_sub(base);
+        let sw = r.of(Technique::Shrinkwrap).pass_time.saturating_sub(base);
         let opt = r.of(Technique::Optimized).pass_time.saturating_sub(base);
         let ratio = if sw.as_nanos() > 0 {
             opt.as_secs_f64() / sw.as_secs_f64()

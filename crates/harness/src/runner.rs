@@ -3,8 +3,8 @@
 
 use spillopt_benchgen::{build_bench, BenchSpec, GeneratedBench};
 use spillopt_core::{
-    chow_shrink_wrap_with, entry_exit_placement, hierarchical_placement, insert_placement,
-    CalleeSavedUsage, CostModel, Placement,
+    chow_shrink_wrap_with, entry_exit_placement, hierarchical_placement_with, insert_placement,
+    CalleeSavedUsage, CostModel, Placement, SpillCostModel,
 };
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
 use spillopt_ir::{Cfg, FuncId, Module, RegDiscipline, Target};
@@ -139,6 +139,22 @@ impl std::error::Error for PipelineError {}
 /// Returns [`PipelineError`] if any stage fails or any technique changes
 /// program behaviour.
 pub fn run_benchmark(spec: &BenchSpec, target: &Target) -> Result<BenchResult, PipelineError> {
+    run_benchmark_priced(spec, target, &SpillCostModel::UNIT)
+}
+
+/// As [`run_benchmark`], with the hierarchical placement decisions
+/// priced by a target's [`SpillCostModel`] (the measured overheads stay
+/// what the interpreter counts — only the placement choices change).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if any stage fails or any technique changes
+/// program behaviour.
+pub fn run_benchmark_priced(
+    spec: &BenchSpec,
+    target: &Target,
+    costs: &SpillCostModel,
+) -> Result<BenchResult, PipelineError> {
     let bench = build_bench(spec, target);
     let fail = |message: String| PipelineError {
         bench: bench.name.clone(),
@@ -149,7 +165,8 @@ pub fn run_benchmark(spec: &BenchSpec, target: &Target) -> Result<BenchResult, P
     let mut vm = Machine::new(&bench.module, target);
     vm.set_fuel(1 << 30);
     for (f, args) in &bench.train_runs {
-        vm.call(*f, args).map_err(|e| fail(format!("train run failed: {e}")))?;
+        vm.call(*f, args)
+            .map_err(|e| fail(format!("train run failed: {e}")))?;
     }
     let train_profiles: Vec<EdgeProfile> = bench
         .module
@@ -214,8 +231,11 @@ pub fn run_benchmark(spec: &BenchSpec, target: &Target) -> Result<BenchResult, P
                 continue;
             }
             let profile = &train_profiles[f.index()];
-            let (cyclic, pst) = analyses[f.index()].as_ref().expect("analyses for used func");
-            let (placement, elapsed) = time_placement(technique, cfg, cyclic, pst, usage, profile);
+            let (cyclic, pst) = analyses[f.index()]
+                .as_ref()
+                .expect("analyses for used func");
+            let (placement, elapsed) =
+                time_placement(technique, cfg, cyclic, pst, usage, profile, costs);
             pass_time += elapsed;
             let errs = spillopt_core::check_placement(cfg, usage, &placement);
             if !errs.is_empty() {
@@ -270,16 +290,19 @@ fn time_placement(
     pst: &Pst,
     usage: &CalleeSavedUsage,
     profile: &EdgeProfile,
+    costs: &SpillCostModel,
 ) -> (Placement, Duration) {
     let start = Instant::now();
     let placement = match technique {
         Technique::Baseline => entry_exit_placement(cfg, usage),
         Technique::Shrinkwrap => chow_shrink_wrap_with(cfg, cyclic, usage),
         Technique::Optimized => {
-            hierarchical_placement(cfg, pst, usage, profile, CostModel::JumpEdge).placement
+            hierarchical_placement_with(cfg, pst, usage, profile, CostModel::JumpEdge, costs)
+                .placement
         }
         Technique::OptimizedExecModel => {
-            hierarchical_placement(cfg, pst, usage, profile, CostModel::ExecutionCount).placement
+            hierarchical_placement_with(cfg, pst, usage, profile, CostModel::ExecutionCount, costs)
+                .placement
         }
     };
     (placement, start.elapsed())

@@ -72,11 +72,12 @@ impl DomTree {
 
         // Euler numbering of the dominator tree.
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if v != root {
-                if let Some(p) = idom[v] {
-                    children[p as usize].push(v as u32);
-                }
+        for (v, p) in idom.iter().enumerate() {
+            if v == root {
+                continue;
+            }
+            if let Some(p) = p {
+                children[*p as usize].push(v as u32);
             }
         }
         let mut tin = vec![0u32; n];

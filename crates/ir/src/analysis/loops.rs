@@ -121,12 +121,11 @@ fn is_reducible(cfg: &Cfg, doms: &BlockDoms) -> bool {
                     state[t.index()] = 1;
                     stack.push((t, 0));
                 }
-                1 => {
+                1
                     // Retreating edge; must target a dominator.
-                    if !doms.dominates(t, b) {
+                    if !doms.dominates(t, b) => {
                         return false;
                     }
-                }
                 _ => {}
             }
         } else {

@@ -121,7 +121,10 @@ impl DenseBitSet {
     /// Returns `true` if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &DenseBitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in ascending order.

@@ -78,7 +78,10 @@ mod tests {
         let mut b = Block::with_name("A");
         assert!(b.falls_through());
         assert_eq!(b.body_len(), 0);
-        b.insts.push(Inst::new(InstKind::Move { dst: v(0), src: v(1) }));
+        b.insts.push(Inst::new(InstKind::Move {
+            dst: v(0),
+            src: v(1),
+        }));
         assert!(b.falls_through());
         assert_eq!(b.bottom_index(), 1);
         b.insts.push(Inst::new(InstKind::Jump {

@@ -98,7 +98,10 @@ impl FunctionBuilder {
     /// Emits a raw instruction with an explicit origin.
     pub fn emit_with_origin(&mut self, kind: InstKind, origin: Origin) {
         let b = self.current();
-        self.func.block_mut(b).insts.push(Inst::with_origin(kind, origin));
+        self.func
+            .block_mut(b)
+            .insts
+            .push(Inst::with_origin(kind, origin));
     }
 
     /// Emits `v = move argreg[i]`, materializing parameter `i` into a fresh

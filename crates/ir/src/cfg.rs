@@ -317,7 +317,10 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         let cfg = Cfg::compute(&f);
-        assert_eq!(cfg.edge(cfg.edge_between(a, b).unwrap()).kind, EdgeKind::Fall);
+        assert_eq!(
+            cfg.edge(cfg.edge_between(a, b).unwrap()).kind,
+            EdgeKind::Fall
+        );
     }
 
     #[test]

@@ -50,11 +50,8 @@ pub fn inst_to_string(func: &Function, inst: &Inst) -> String {
             let _ = write!(s, "store.{} {src}, {slot}", kind.suffix());
         }
         InstKind::Call { callee, args, ret } => {
-            match ret {
-                Some(r) => {
-                    let _ = write!(s, "{r} = ");
-                }
-                None => {}
+            if let Some(r) = ret {
+                let _ = write!(s, "{r} = ");
             }
             match callee {
                 Callee::Func(id) => {

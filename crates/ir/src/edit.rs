@@ -57,12 +57,7 @@ pub enum EdgePlacement {
 /// because edge splits never change a block's successor count and never
 /// add predecessors to pre-existing blocks); it must not be used to place
 /// code on the same edge twice.
-pub fn place_on_edge(
-    func: &mut Function,
-    cfg: &Cfg,
-    e: EdgeId,
-    insts: Vec<Inst>,
-) -> EdgePlacement {
+pub fn place_on_edge(func: &mut Function, cfg: &Cfg, e: EdgeId, insts: Vec<Inst>) -> EdgePlacement {
     let edge = *cfg.edge(e);
     if cfg.num_succs(edge.from) == 1 {
         insert_at_bottom(func, edge.from, insts);

@@ -281,7 +281,9 @@ mod tests {
         let mut f = Function::new("f");
         let a = f.add_block(None);
         let b = f.add_block(None);
-        f.block_mut(a).insts.push(Inst::new(InstKind::Jump { target: b }));
+        f.block_mut(a)
+            .insts
+            .push(Inst::new(InstKind::Jump { target: b }));
         f.block_mut(b)
             .insts
             .push(Inst::new(InstKind::Return { value: None }));

@@ -446,10 +446,8 @@ impl Inst {
     /// Rewrites terminator targets equal to `from` into `to`.
     pub fn retarget(&mut self, from: BlockId, to: BlockId) {
         match &mut self.kind {
-            InstKind::Jump { target } => {
-                if *target == from {
-                    *target = to;
-                }
+            InstKind::Jump { target } if *target == from => {
+                *target = to;
             }
             InstKind::Branch {
                 taken, fallthrough, ..
@@ -526,7 +524,10 @@ mod tests {
             target: BlockId::from_index(0),
         });
         let r = Inst::new(InstKind::Return { value: None });
-        let m = Inst::new(InstKind::Move { dst: v(0), src: v(1) });
+        let m = Inst::new(InstKind::Move {
+            dst: v(0),
+            src: v(1),
+        });
         assert!(j.is_terminator());
         assert!(r.is_terminator());
         assert!(!m.is_terminator());
@@ -560,7 +561,10 @@ mod tests {
         let mut n = 0;
         c.for_each_clobber(&t, |_| n += 1);
         assert_eq!(n, t.caller_saved().len());
-        let m = Inst::new(InstKind::Move { dst: v(0), src: v(1) });
+        let m = Inst::new(InstKind::Move {
+            dst: v(0),
+            src: v(1),
+        });
         let mut n2 = 0;
         m.for_each_clobber(&t, |_| n2 += 1);
         assert_eq!(n2, 0);

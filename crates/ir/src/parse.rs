@@ -90,7 +90,9 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         if line.starts_with("func @") {
             let f = parser.parse_function()?;
-            module.get_or_insert_with(|| Module::new(module_name.clone())).add_func(f);
+            module
+                .get_or_insert_with(|| Module::new(module_name.clone()))
+                .add_func(f);
             continue;
         }
         return err(lno, format!("unexpected line: `{line}`"));
@@ -155,24 +157,19 @@ impl<'a> Parser<'a> {
 
     fn parse_function(&mut self) -> Result<Function, ParseError> {
         let (lno, header) = self.next_line().expect("caller checked");
-        let rest = header
-            .strip_prefix("func @")
-            .ok_or_else(|| ParseError {
-                line: lno,
-                message: "expected `func @name(params) {`".into(),
-            })?;
+        let rest = header.strip_prefix("func @").ok_or_else(|| ParseError {
+            line: lno,
+            message: "expected `func @name(params) {`".into(),
+        })?;
         let open_paren = rest.find('(');
         let close = rest.find(')');
         let (name, nparams) = match (open_paren, close) {
             (Some(o), Some(c)) if c > o => {
                 let name = &rest[..o];
-                let n: usize = rest[o + 1..c]
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: lno,
-                        message: "bad parameter count".into(),
-                    })?;
+                let n: usize = rest[o + 1..c].trim().parse().map_err(|_| ParseError {
+                    line: lno,
+                    message: "bad parameter count".into(),
+                })?;
                 (name, n)
             }
             _ => return err(lno, "expected `func @name(params) {`"),
@@ -461,7 +458,7 @@ fn parse_slot(lno: usize, s: &str, func: &mut Function) -> Result<FrameSlot, Par
     Ok(FrameSlot::from_index(idx))
 }
 
-fn parse_memkind<'x>(lno: usize, s: &'x str) -> Result<(MemKind, &'x str), ParseError> {
+fn parse_memkind(lno: usize, s: &str) -> Result<(MemKind, &str), ParseError> {
     for (kind, name) in [
         (MemKind::Data, "data"),
         (MemKind::Spill, "spill"),
@@ -574,7 +571,15 @@ block entry:
         let has_call = main
             .block_ids()
             .flat_map(|b| main.block(b).insts.clone())
-            .any(|i| matches!(i.kind, InstKind::Call { callee: Callee::Func(_), .. }));
+            .any(|i| {
+                matches!(
+                    i.kind,
+                    InstKind::Call {
+                        callee: Callee::Func(_),
+                        ..
+                    }
+                )
+            });
         assert!(has_call);
     }
 

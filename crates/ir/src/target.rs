@@ -1,6 +1,46 @@
 //! Target machine description: register file and calling convention.
 
 use crate::ids::PReg;
+use std::fmt;
+
+/// A malformed register convention, reported by [`Target::try_new`].
+///
+/// User-supplied conventions (e.g. from the target registry) surface
+/// these as ordinary errors; the built-in presets use the infallible
+/// [`Target::new`], which panics on them instead — a preset that fails
+/// validation is a bug, not an input condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargetError {
+    /// A register appears in both the caller- and callee-saved sets.
+    Overlap(PReg),
+    /// A register appears twice within the caller- or callee-saved set.
+    Duplicate(PReg),
+    /// The return register is not caller-saved.
+    RetNotCallerSaved(PReg),
+    /// An argument register is not caller-saved.
+    ArgNotCallerSaved(PReg),
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::Overlap(p) => {
+                write!(f, "register {p} is both caller- and callee-saved")
+            }
+            TargetError::Duplicate(p) => {
+                write!(f, "register {p} is listed twice in the register file")
+            }
+            TargetError::RetNotCallerSaved(p) => {
+                write!(f, "return register {p} must be caller-saved")
+            }
+            TargetError::ArgNotCallerSaved(p) => {
+                write!(f, "argument register {p} must be caller-saved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
 
 /// Description of the target machine's register file and register-usage
 /// convention.
@@ -18,12 +58,57 @@ pub struct Target {
 }
 
 impl Target {
-    /// Creates a target from an explicit convention.
+    /// Creates a target from an explicit convention, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TargetError`] if the caller- and callee-saved sets
+    /// overlap, either set repeats a register, or the return/argument
+    /// registers are not caller-saved.
+    pub fn try_new(
+        name: impl Into<String>,
+        caller_saved: Vec<PReg>,
+        callee_saved: Vec<PReg>,
+        ret_reg: PReg,
+        arg_regs: Vec<PReg>,
+    ) -> Result<Self, TargetError> {
+        for (i, p) in caller_saved.iter().enumerate() {
+            if caller_saved[..i].contains(p) {
+                return Err(TargetError::Duplicate(*p));
+            }
+            if callee_saved.contains(p) {
+                return Err(TargetError::Overlap(*p));
+            }
+        }
+        for (i, p) in callee_saved.iter().enumerate() {
+            if callee_saved[..i].contains(p) {
+                return Err(TargetError::Duplicate(*p));
+            }
+        }
+        if !caller_saved.contains(&ret_reg) {
+            return Err(TargetError::RetNotCallerSaved(ret_reg));
+        }
+        for a in &arg_regs {
+            if !caller_saved.contains(a) {
+                return Err(TargetError::ArgNotCallerSaved(*a));
+            }
+        }
+        Ok(Target {
+            name: name.into(),
+            caller_saved,
+            callee_saved,
+            ret_reg,
+            arg_regs,
+        })
+    }
+
+    /// Creates a target from an explicit convention. Reserved for the
+    /// built-in presets and tests; user-supplied conventions should go
+    /// through [`Target::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if the caller- and callee-saved sets overlap, or if the
-    /// return/argument registers are not caller-saved.
+    /// Panics if the convention fails [`Target::try_new`] validation.
     pub fn new(
         name: impl Into<String>,
         caller_saved: Vec<PReg>,
@@ -31,29 +116,8 @@ impl Target {
         ret_reg: PReg,
         arg_regs: Vec<PReg>,
     ) -> Self {
-        for p in &caller_saved {
-            assert!(
-                !callee_saved.contains(p),
-                "register {p} is both caller- and callee-saved"
-            );
-        }
-        assert!(
-            caller_saved.contains(&ret_reg),
-            "return register must be caller-saved"
-        );
-        for a in &arg_regs {
-            assert!(
-                caller_saved.contains(a),
-                "argument register {a} must be caller-saved"
-            );
-        }
-        Target {
-            name: name.into(),
-            caller_saved,
-            callee_saved,
-            ret_reg,
-            arg_regs,
-        }
+        Target::try_new(name, caller_saved, callee_saved, ret_reg, arg_regs)
+            .unwrap_or_else(|e| panic!("invalid built-in target convention: {e}"))
     }
 
     /// A PA-RISC-like convention matching the paper's experiments:
@@ -105,6 +169,12 @@ impl Target {
         &self.arg_regs
     }
 
+    /// Every allocatable register, caller-saved first (the allocator's
+    /// preference order for values that do not cross calls).
+    pub fn allocatable(&self) -> impl Iterator<Item = PReg> + '_ {
+        self.caller_saved.iter().chain(&self.callee_saved).copied()
+    }
+
     /// Total number of allocatable registers.
     pub fn num_regs(&self) -> usize {
         self.caller_saved.len() + self.callee_saved.len()
@@ -113,12 +183,7 @@ impl Target {
     /// The smallest dense index strictly greater than every register
     /// number (for building entity maps over physical registers).
     pub fn reg_index_limit(&self) -> usize {
-        self.caller_saved
-            .iter()
-            .chain(&self.callee_saved)
-            .map(|p| p.index() + 1)
-            .max()
-            .unwrap_or(0)
+        self.allocatable().map(|p| p.index() + 1).max().unwrap_or(0)
     }
 
     /// Returns `true` if `p` is callee-saved under this convention.
@@ -156,28 +221,79 @@ mod tests {
         assert!(t.is_callee_saved(PReg::new(11)));
         assert!(!t.is_callee_saved(PReg::new(10)));
         assert_eq!(t.reg_index_limit(), 24);
+        assert_eq!(t.allocatable().count(), 24);
     }
 
     #[test]
-    #[should_panic(expected = "both caller- and callee-saved")]
     fn overlapping_sets_rejected() {
-        Target::new(
+        let err = Target::try_new(
             "bad",
             vec![PReg::new(0)],
             vec![PReg::new(0)],
             PReg::new(0),
             vec![],
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, TargetError::Overlap(PReg::new(0)));
+        assert!(err.to_string().contains("both caller- and callee-saved"));
     }
 
     #[test]
-    #[should_panic(expected = "return register must be caller-saved")]
+    fn duplicate_registers_rejected() {
+        let err = Target::try_new(
+            "bad",
+            vec![PReg::new(0), PReg::new(0)],
+            vec![],
+            PReg::new(0),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, TargetError::Duplicate(PReg::new(0)));
+        let err = Target::try_new(
+            "bad",
+            vec![PReg::new(0)],
+            vec![PReg::new(1), PReg::new(1)],
+            PReg::new(0),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, TargetError::Duplicate(PReg::new(1)));
+    }
+
+    #[test]
     fn callee_saved_ret_rejected() {
-        Target::new(
+        let err = Target::try_new(
             "bad",
             vec![PReg::new(0)],
             vec![PReg::new(1)],
             PReg::new(1),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, TargetError::RetNotCallerSaved(PReg::new(1)));
+    }
+
+    #[test]
+    fn callee_saved_arg_rejected() {
+        let err = Target::try_new(
+            "bad",
+            vec![PReg::new(0)],
+            vec![PReg::new(1)],
+            PReg::new(0),
+            vec![PReg::new(1)],
+        )
+        .unwrap_err();
+        assert_eq!(err, TargetError::ArgNotCallerSaved(PReg::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid built-in target convention")]
+    fn infallible_new_still_guards_presets() {
+        Target::new(
+            "bad",
+            vec![PReg::new(0)],
+            vec![PReg::new(0)],
+            PReg::new(0),
             vec![],
         );
     }

@@ -138,16 +138,32 @@ impl fmt::Display for VerifyError {
                 "{func}/{block}: branch fall-through {target} is not the layout successor {next:?}"
             ),
             VerifyError::ParallelEdges { func, block } => {
-                write!(f, "{func}/{block}: branch with identical taken/fall-through targets")
+                write!(
+                    f,
+                    "{func}/{block}: branch with identical taken/fall-through targets"
+                )
             }
-            VerifyError::BadTarget { func, block, target } => {
-                write!(f, "{func}/{block}: terminator targets unknown block {target}")
+            VerifyError::BadTarget {
+                func,
+                block,
+                target,
+            } => {
+                write!(
+                    f,
+                    "{func}/{block}: terminator targets unknown block {target}"
+                )
             }
             VerifyError::BadSlot { func, block, index } => {
-                write!(f, "{func}/{block}: instruction {index} references slot out of frame")
+                write!(
+                    f,
+                    "{func}/{block}: instruction {index} references slot out of frame"
+                )
             }
             VerifyError::BadVReg { func, block, index } => {
-                write!(f, "{func}/{block}: instruction {index} references unallocated vreg")
+                write!(
+                    f,
+                    "{func}/{block}: instruction {index} references unallocated vreg"
+                )
             }
             VerifyError::Unreachable { func, block } => {
                 write!(f, "{func}/{block}: unreachable from entry")
@@ -157,7 +173,10 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::NoReturn { func } => write!(f, "function {func} has no return"),
             VerifyError::VirtualAfterRegalloc { func, block, index } => {
-                write!(f, "{func}/{block}: instruction {index} uses a virtual register post-RA")
+                write!(
+                    f,
+                    "{func}/{block}: instruction {index} uses a virtual register post-RA"
+                )
             }
             VerifyError::BadCallee { func, block } => {
                 write!(f, "{func}/{block}: call references unknown function")
@@ -222,14 +241,14 @@ pub fn verify_function(func: &Function, discipline: RegDiscipline) -> Vec<Verify
             inst.for_each_use(|r| check_reg(r, &mut errors));
             inst.for_each_def(|r| check_reg(r, &mut errors));
             match &inst.kind {
-                InstKind::Load { slot, .. } | InstKind::Store { slot, .. } => {
-                    if slot.index() >= func.frame().num_slots() {
-                        errors.push(VerifyError::BadSlot {
-                            func: name.clone(),
-                            block: b,
-                            index: i,
-                        });
-                    }
+                InstKind::Load { slot, .. } | InstKind::Store { slot, .. }
+                    if slot.index() >= func.frame().num_slots() =>
+                {
+                    errors.push(VerifyError::BadSlot {
+                        func: name.clone(),
+                        block: b,
+                        index: i,
+                    });
                 }
                 InstKind::Return { .. } => has_return = true,
                 _ => {}
@@ -478,7 +497,9 @@ mod tests {
         fb.jump(b);
         let f = fb.finish();
         let errs = verify_function(&f, RegDiscipline::Virtual);
-        assert!(errs.iter().any(|e| matches!(e, VerifyError::NoReturn { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::NoReturn { .. })));
     }
 
     #[test]

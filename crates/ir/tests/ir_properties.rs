@@ -4,24 +4,22 @@
 
 use proptest::prelude::*;
 use spillopt_ir::analysis::dom::DomTree;
-use spillopt_ir::{parse_function, display, Graph};
+use spillopt_ir::{display, parse_function, Graph};
 
 /// Random DAG-ish directed graph rooted at 0 (plus some back edges).
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..14).prop_flat_map(|n| {
-        proptest::collection::vec((0usize..n, 0usize..n), n - 1..3 * n).prop_map(
-            move |pairs| {
-                let mut g = Graph::new(n);
-                // Spine so everything is reachable from 0.
-                for v in 1..n {
-                    g.add_edge(v - 1, v);
-                }
-                for (u, v) in pairs {
-                    g.add_edge(u, v);
-                }
-                g
-            },
-        )
+        proptest::collection::vec((0usize..n, 0usize..n), n - 1..3 * n).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            // Spine so everything is reachable from 0.
+            for v in 1..n {
+                g.add_edge(v - 1, v);
+            }
+            for (u, v) in pairs {
+                g.add_edge(u, v);
+            }
+            g
+        })
     })
 }
 

@@ -23,9 +23,7 @@
 
 use crate::events::ExecCounts;
 use crate::profile::EdgeProfile;
-use spillopt_ir::{
-    BlockId, Callee, Cfg, EdgeId, FuncId, InstKind, Module, Reg, SuccPos, Target,
-};
+use spillopt_ir::{BlockId, Callee, Cfg, EdgeId, FuncId, InstKind, Module, Reg, SuccPos, Target};
 use std::error::Error;
 use std::fmt;
 
@@ -95,7 +93,10 @@ impl<'m> Machine<'m> {
     /// Creates a machine for `module`. The default fuel is 2^32
     /// instructions and the default call depth limit 512.
     pub fn new(module: &'m Module, target: &'m Target) -> Self {
-        let cfgs: Vec<Cfg> = module.func_ids().map(|f| Cfg::compute(module.func(f))).collect();
+        let cfgs: Vec<Cfg> = module
+            .func_ids()
+            .map(|f| Cfg::compute(module.func(f)))
+            .collect();
         let edge_counts = cfgs.iter().map(|c| vec![0u64; c.num_edges()]).collect();
         Machine {
             module,
@@ -323,7 +324,6 @@ impl<'m> Machine<'m> {
         }
         panic!("no successor edge with pos {pos:?} in block {b}");
     }
-
 }
 
 fn read(pregs: &[i64], vregs: &[i64], r: Reg) -> i64 {

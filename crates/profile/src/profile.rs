@@ -102,11 +102,7 @@ impl EdgeProfile {
         for bi in 0..cfg.num_blocks() {
             let b = BlockId::from_index(bi);
             let inflow = self.block_count(b);
-            let out: u64 = cfg
-                .succ_edges(b)
-                .iter()
-                .map(|&e| self.edge_count(e))
-                .sum();
+            let out: u64 = cfg.succ_edges(b).iter().map(|&e| self.edge_count(e)).sum();
             let is_exit = cfg.exit_blocks().contains(&b);
             // Exit blocks discharge their inflow through returns.
             let expected_out = if is_exit { 0 } else { inflow };

@@ -53,7 +53,8 @@ pub fn random_walk_profile(cfg: &Cfg, walks: u64, max_steps: u64, seed: u64) -> 
 /// BFS distance from each block to the nearest exit block.
 fn distance_to_exit(cfg: &Cfg) -> Vec<u32> {
     let mut dist = vec![u32::MAX; cfg.num_blocks()];
-    let mut queue: std::collections::VecDeque<BlockId> = cfg.exit_blocks().iter().copied().collect();
+    let mut queue: std::collections::VecDeque<BlockId> =
+        cfg.exit_blocks().iter().copied().collect();
     for &b in cfg.exit_blocks() {
         dist[b.index()] = 0;
     }

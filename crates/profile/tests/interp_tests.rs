@@ -1,9 +1,7 @@
 //! Integration tests for the interpreter: semantics, profiling accuracy,
 //! and dynamic convention checking.
 
-use spillopt_ir::{
-    BinOp, Callee, Cond, FunctionBuilder, InstKind, Module, PReg, Reg, Target,
-};
+use spillopt_ir::{BinOp, Callee, Cond, FunctionBuilder, InstKind, Module, PReg, Reg, Target};
 use spillopt_profile::{ExecError, Machine};
 
 /// sum(n) = 0 + 1 + ... + (n-1) via a counted loop.
@@ -143,7 +141,10 @@ fn in_module_calls_preserve_results() {
     mb.switch_to(b);
     let a = mb.li(21);
     // Reserve the FuncId for helper: it will be id 1 (added second).
-    let r = mb.call(Callee::Func(spillopt_ir::FuncId::from_index(1)), &[Reg::Virt(a)]);
+    let r = mb.call(
+        Callee::Func(spillopt_ir::FuncId::from_index(1)),
+        &[Reg::Virt(a)],
+    );
     mb.ret(Some(Reg::Virt(r)));
     let main_func = mb.finish();
 

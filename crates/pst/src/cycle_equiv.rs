@@ -94,7 +94,7 @@ pub fn edge_labels(num_nodes: usize, edges: &[(usize, usize)]) -> Vec<u128> {
     );
 
     // Random labels for non-tree edges; XOR-accumulate onto endpoints.
-    let mut rng = SmallRng::seed_from_u64(0x5e5e_c7c1_e9u64);
+    let mut rng = SmallRng::seed_from_u64(0x005e_5ec7_c1e9_u64);
     let mut labels = vec![0u128; edges.len()];
     let mut acc = vec![0u128; num_nodes];
     for (i, &(u, v)) in edges.iter().enumerate() {

@@ -36,8 +36,7 @@ impl SeseChains {
     /// arithmetic this never happens on the augmented graph of a valid
     /// CFG, but splitting keeps the construction sound unconditionally.
     pub fn compute(aug: &AugGraph) -> Self {
-        let undirected: Vec<(usize, usize)> =
-            aug.edges.iter().map(|e| (e.from, e.to)).collect();
+        let undirected: Vec<(usize, usize)> = aug.edges.iter().map(|e| (e.from, e.to)).collect();
         let classes = cycle_equivalence_classes(aug.num_blocks + 1, &undirected);
 
         let num_classes = classes.iter().copied().max().map_or(0, |m| m as usize + 1);

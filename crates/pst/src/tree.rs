@@ -250,10 +250,14 @@ impl Pst {
     pub fn lca(&self, a: RegionId, b: RegionId) -> RegionId {
         let (mut x, mut y) = (a, b);
         while self.regions[x.index()].depth > self.regions[y.index()].depth {
-            x = self.regions[x.index()].parent.expect("depth > 0 has parent");
+            x = self.regions[x.index()]
+                .parent
+                .expect("depth > 0 has parent");
         }
         while self.regions[y.index()].depth > self.regions[x.index()].depth {
-            y = self.regions[y.index()].parent.expect("depth > 0 has parent");
+            y = self.regions[y.index()]
+                .parent
+                .expect("depth > 0 has parent");
         }
         while x != y {
             x = self.regions[x.index()].parent.expect("non-root");

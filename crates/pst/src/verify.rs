@@ -25,10 +25,9 @@ pub fn verify_pst(cfg: &Cfg, pst: &Pst) -> Vec<String> {
 
     let aug_index = |b: RegionBoundary| -> Option<usize> {
         match b {
-            RegionBoundary::CfgEdge(e) => aug
-                .edges
-                .iter()
-                .position(|x| x.what == AugEdgeRef::Cfg(e)),
+            RegionBoundary::CfgEdge(e) => {
+                aug.edges.iter().position(|x| x.what == AugEdgeRef::Cfg(e))
+            }
             RegionBoundary::ReturnEdge(blk) => aug
                 .edges
                 .iter()

@@ -4,9 +4,7 @@
 //! satisfy every structural invariant.
 
 use proptest::prelude::*;
-use spillopt_pst::{
-    cycle_equivalence_classes, cycle_equivalence_classes_oracle, verify_pst, Pst,
-};
+use spillopt_pst::{cycle_equivalence_classes, cycle_equivalence_classes_oracle, verify_pst, Pst};
 
 /// Random connected multigraph: a random spanning tree plus extra edges
 /// (parallel edges and self-loops allowed).
@@ -65,7 +63,7 @@ mod structured {
             pressure: 5,
             num_params: 2,
             data_slots: 2,
-            style: if seed % 2 == 0 {
+            style: if seed.is_multiple_of(2) {
                 Style::Memory
             } else {
                 Style::Register

@@ -21,11 +21,7 @@ pub struct Coloring {
 /// `no_spill` marks vregs created by earlier spill rewriting (their live
 /// ranges are minimal and respilling them cannot help); they are chosen
 /// for spilling only if nothing else is available.
-pub fn color(
-    graph: &InterferenceGraph,
-    target: &Target,
-    no_spill: &DenseBitSet,
-) -> Coloring {
+pub fn color(graph: &InterferenceGraph, target: &Target, no_spill: &DenseBitSet) -> Coloring {
     let nv = graph.num_vregs();
     let k = target.num_regs();
 
@@ -44,7 +40,9 @@ pub fn color(
     let mut coalesced = 0;
     let disable_coalesce = std::env::var("SPILLOPT_NO_COALESCE").is_ok();
     for &(a, b) in &graph.moves {
-        if disable_coalesce { break; }
+        if disable_coalesce {
+            break;
+        }
         let (ra, rb) = (alias.find(a as usize), alias.find(b as usize));
         if ra == rb {
             continue;
@@ -148,7 +146,7 @@ pub fn color(
                     let banned = no_spill.contains(i);
                     let (w, d) = metric(&mut alias, &rep_adj, i);
                     // key = w/d scaled; banned nodes sort last.
-                    let key = ((banned as u128) << 100) | ((w as u128) << 32) / d as u128;
+                    let key = ((banned as u128) << 100) | (((w as u128) << 32) / d as u128);
                     if best.is_none() || key < best.unwrap().2 {
                         best = Some((ri, i, key));
                     }
@@ -191,12 +189,9 @@ pub fn color(
                 .copied()
                 .collect()
         } else {
-            target
-                .caller_saved()
-                .iter()
-                .chain(target.callee_saved())
-                .copied()
-                .collect()
+            // The target's allocatable order is caller-saved first —
+            // exactly the preference for values that do not cross calls.
+            target.allocatable().collect()
         };
         match order.iter().find(|p| !forbidden.contains(p.index())) {
             Some(&p) => color_of[i] = Some(p),

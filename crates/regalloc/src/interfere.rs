@@ -239,8 +239,6 @@ mod tests {
         let lv = Liveness::compute(&f, &cfg, &t);
         let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
         assert!(!g.interferes(x.index(), y.index()));
-        assert!(g
-            .moves
-            .contains(&(y.index() as u32, x.index() as u32)));
+        assert!(g.moves.contains(&(y.index() as u32, x.index() as u32)));
     }
 }

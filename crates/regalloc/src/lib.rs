@@ -81,7 +81,11 @@ pub struct RegAllocResult {
 ///
 /// Panics if the function still needs spills after 16 rounds (cannot
 /// happen for well-formed inputs on targets with ≥ 4 registers).
-pub fn allocate(func: &mut Function, target: &Target, profile: Option<&EdgeProfile>) -> RegAllocResult {
+pub fn allocate(
+    func: &mut Function,
+    target: &Target,
+    profile: Option<&EdgeProfile>,
+) -> RegAllocResult {
     let mut result = RegAllocResult::default();
     let mut no_spill = DenseBitSet::new(func.num_vregs());
 
@@ -89,10 +93,7 @@ pub fn allocate(func: &mut Function, target: &Target, profile: Option<&EdgeProfi
         result.iterations = round + 1;
         let cfg = Cfg::compute(func);
         let weights: Vec<u64> = match profile {
-            Some(p) => func
-                .block_ids()
-                .map(|b| p.block_count(b).max(1))
-                .collect(),
+            Some(p) => func.block_ids().map(|b| p.block_count(b).max(1)).collect(),
             None => {
                 // Static heuristic: deeper loops cost more.
                 let doms = spillopt_ir::BlockDoms::compute(&cfg);
@@ -126,10 +127,7 @@ pub fn allocate(func: &mut Function, target: &Target, profile: Option<&EdgeProfi
             s
         };
     }
-    panic!(
-        "register allocation did not converge for `{}`",
-        func.name()
-    );
+    panic!("register allocation did not converge for `{}`", func.name());
 }
 
 /// Hard safety net: every interference edge of the original graph must be

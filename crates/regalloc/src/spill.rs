@@ -1,8 +1,6 @@
 //! Spill code insertion for uncolorable virtual registers.
 
-use spillopt_ir::{
-    DenseBitSet, FrameSlot, Function, Inst, InstKind, MemKind, Origin, Reg, VReg,
-};
+use spillopt_ir::{DenseBitSet, FrameSlot, Function, Inst, InstKind, MemKind, Origin, Reg, VReg};
 use std::collections::HashMap;
 
 /// Rewrites `func`, spilling the given virtual registers to fresh frame
@@ -147,8 +145,9 @@ mod tests {
         let mut spilled = f.clone();
         let temps = insert_spill_code(&mut spilled, &[p, s]);
         assert!(!temps.is_empty());
-        assert!(spillopt_ir::verify_function(&spilled, spillopt_ir::RegDiscipline::Virtual)
-            .is_empty());
+        assert!(
+            spillopt_ir::verify_function(&spilled, spillopt_ir::RegDiscipline::Virtual).is_empty()
+        );
         let mut module2 = Module::new("m2");
         let fid2 = module2.add_func(spilled.clone());
         let mut m2 = Machine::new(&module2, &target);

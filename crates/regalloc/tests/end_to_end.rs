@@ -6,8 +6,7 @@ use spillopt_core::{
     entry_exit_placement, hierarchical_placement, insert_placement, CalleeSavedUsage, CostModel,
 };
 use spillopt_ir::{
-    BinOp, Callee, Cfg, Cond, FuncId, FunctionBuilder, InstKind, Module, Reg, RegDiscipline,
-    Target,
+    BinOp, Callee, Cfg, Cond, FuncId, FunctionBuilder, InstKind, Module, Reg, RegDiscipline, Target,
 };
 use spillopt_profile::Machine;
 use spillopt_pst::Pst;
@@ -179,7 +178,11 @@ fn source_instruction_counts_are_preserved() {
     let mut alloc_module = module.clone();
     let profiles: Vec<_> = module.func_ids().map(|f| vm.edge_profile(f)).collect();
     for f in module.func_ids() {
-        allocate(alloc_module.func_mut(f), &target, Some(&profiles[f.index()]));
+        allocate(
+            alloc_module.func_mut(f),
+            &target,
+            Some(&profiles[f.index()]),
+        );
     }
     for f in module.func_ids() {
         let cfg = Cfg::compute(alloc_module.func(f));
@@ -207,7 +210,9 @@ fn spilling_under_register_pressure_still_correct() {
     let b = fb.create_block(None);
     fb.switch_to(b);
     let p = fb.param(0);
-    let vs: Vec<_> = (1..8).map(|k| fb.bin_imm(BinOp::Mul, Reg::Virt(p), k)).collect();
+    let vs: Vec<_> = (1..8)
+        .map(|k| fb.bin_imm(BinOp::Mul, Reg::Virt(p), k))
+        .collect();
     let mut acc = p;
     for v in &vs {
         acc = fb.bin(BinOp::Add, Reg::Virt(acc), Reg::Virt(*v));
@@ -231,4 +236,64 @@ fn spilling_under_register_pressure_still_correct() {
     }
     let mut pm = Machine::new(&placed, &target);
     assert_eq!(pm.call(fid, &[11]).unwrap(), reference);
+}
+
+/// Allocation honours every registered backend convention: values that
+/// cross calls land in that target's callee-saved set, the result
+/// verifies physically, and behaviour is unchanged after placement.
+#[test]
+fn allocation_respects_every_registered_convention() {
+    for spec in spillopt_targets::registry() {
+        let target = spec.to_target();
+
+        let mut module = Module::new("conv");
+        let mut hb = FunctionBuilder::with_target("helper", 1, target.clone());
+        let b = hb.create_block(None);
+        hb.switch_to(b);
+        let x = hb.param(0);
+        let t = hb.bin_imm(BinOp::Mul, Reg::Virt(x), 3);
+        hb.ret(Some(Reg::Virt(t)));
+        let helper = module.add_func(hb.finish());
+
+        // caller(n) holds a value across a call: callee-saved pressure.
+        let mut fb = FunctionBuilder::with_target("caller", 1, target.clone());
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let n = fb.param(0);
+        let kept = fb.bin_imm(BinOp::Add, Reg::Virt(n), 5);
+        let h = fb.call(Callee::Func(helper), &[Reg::Virt(n)]);
+        let sum = fb.bin(BinOp::Add, Reg::Virt(kept), Reg::Virt(h));
+        fb.ret(Some(Reg::Virt(sum)));
+        let caller = module.add_func(fb.finish());
+
+        let mut vm = Machine::new(&module, &target);
+        let reference = vm.call(caller, &[7]).unwrap();
+
+        let mut placed = module.clone();
+        for f in [helper, caller] {
+            let result = allocate(placed.func_mut(f), &target, None);
+            for r in &result.used_callee_saved {
+                assert!(
+                    target.is_callee_saved(*r),
+                    "{}: {r} reported callee-saved but is not",
+                    spec.name
+                );
+            }
+            let errs = spillopt_ir::verify_function(placed.func(f), RegDiscipline::Physical);
+            assert!(errs.is_empty(), "{}: {errs:?}", spec.name);
+            let cfg = Cfg::compute(placed.func(f));
+            let usage = CalleeSavedUsage::from_function(placed.func(f), &cfg, &target);
+            if !usage.is_empty() {
+                let placement = entry_exit_placement(&cfg, &usage);
+                insert_placement(placed.func_mut(f), &cfg, &placement);
+            }
+        }
+        let mut pm = Machine::new(&placed, &target);
+        assert_eq!(
+            pm.call(caller, &[7]).unwrap(),
+            reference,
+            "{}: behaviour changed",
+            spec.name
+        );
+    }
 }

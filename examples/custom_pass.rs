@@ -83,9 +83,7 @@ fn main() {
         "inserted {} save/restore instructions ({} new blocks, {} extra jumps)",
         report.num_spill_insts, report.new_blocks, report.added_jumps
     );
-    assert!(
-        spillopt_ir::verify_function(compiled.func(fid), RegDiscipline::Physical).is_empty()
-    );
+    assert!(spillopt_ir::verify_function(compiled.func(fid), RegDiscipline::Physical).is_empty());
     println!("\n--- compiled ---\n{}", compiled.func(fid));
 
     // Behaviour is unchanged.

@@ -243,7 +243,11 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
         // rand 0.8's Bernoulli: u64 threshold, no draw when p == 1.
         const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
-        let p_int = if p == 1.0 { u64::MAX } else { (p * SCALE) as u64 };
+        let p_int = if p == 1.0 {
+            u64::MAX
+        } else {
+            (p * SCALE) as u64
+        };
         if p_int == u64::MAX {
             return true;
         }

@@ -2,7 +2,9 @@
 //! parseable optimized module, and `spillopt report` → deterministic
 //! JSON, driving the real binary.
 
-use spillopt_ir::{display, parse_module, Callee, Cond, FunctionBuilder, Module, Reg, RegDiscipline};
+use spillopt_ir::{
+    display, parse_module, Callee, Cond, FunctionBuilder, Module, Reg, RegDiscipline,
+};
 use std::path::PathBuf;
 use std::process::Command;
 

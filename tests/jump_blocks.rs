@@ -1,0 +1,191 @@
+//! Jump-block insertion on critical edges, across targets.
+//!
+//! The paper's jump-edge cost model prices the jump instruction a
+//! critical jump edge needs; these tests pin the physical realization
+//! (`ir::edit::place_on_edge` + `core::insert_placement`) and the
+//! shared-jump-cost accounting (`core::EdgeShares`) under the `tiny`
+//! test target and the concrete x86-64 / AArch64 conventions.
+
+use spillopt_core::{
+    insert_placement, spill_point_cost, Cost, CostModel, EdgeShares, Placement, SaveRestoreSet,
+    SpillKind, SpillLoc, SpillPoint,
+};
+use spillopt_ir::{
+    edit, verify_function, Cfg, Cond, DenseBitSet, Function, FunctionBuilder, PReg, Reg,
+    RegDiscipline, Target,
+};
+use spillopt_targets::{aarch64_aapcs64, spec_by_name, x86_64_sysv};
+
+/// A -> {B fall, C taken}; B -> D (jump); C -> D (jump); D -> {B taken,
+/// E fall}. B has two predecessors and D two successors, so D->B is a
+/// critical jump edge needing a jump block.
+fn critical_edge_func(name: &str) -> (Function, spillopt_ir::BlockId, spillopt_ir::BlockId) {
+    let mut fb = FunctionBuilder::new(name, 0);
+    let a = fb.create_block(Some("A"));
+    let b = fb.create_block(Some("B"));
+    let c = fb.create_block(Some("C"));
+    let d = fb.create_block(Some("D"));
+    let e = fb.create_block(Some("E"));
+    fb.switch_to(a);
+    let x = fb.li(0);
+    fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), c, b);
+    fb.switch_to(b);
+    fb.jump(d);
+    fb.switch_to(c);
+    fb.jump(d);
+    fb.switch_to(d);
+    fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), b, e);
+    fb.switch_to(e);
+    fb.ret(None);
+    (fb.finish(), a, b)
+}
+
+/// Two callee-saved registers of `target` restored on the same critical
+/// jump edge share one jump block and one jump instruction.
+fn assert_shared_jump_block(target: &Target, regs: [PReg; 2]) {
+    let (mut f, a, b) = critical_edge_func("f");
+    let cfg = Cfg::compute(&f);
+    let d = spillopt_ir::BlockId::from_index(3);
+    let db = cfg.edge_between(d, b).expect("d->b edge");
+    assert!(
+        cfg.needs_jump_block(db),
+        "d->b must be a critical jump edge"
+    );
+    for r in regs {
+        assert!(
+            target.is_callee_saved(r),
+            "{r} not callee-saved on {}",
+            target.name()
+        );
+    }
+
+    let placement = Placement::from_points(vec![
+        SpillPoint {
+            reg: regs[0],
+            kind: SpillKind::Save,
+            loc: SpillLoc::BlockTop(a),
+        },
+        SpillPoint {
+            reg: regs[1],
+            kind: SpillKind::Save,
+            loc: SpillLoc::BlockTop(a),
+        },
+        SpillPoint {
+            reg: regs[0],
+            kind: SpillKind::Restore,
+            loc: SpillLoc::OnEdge(db),
+        },
+        SpillPoint {
+            reg: regs[1],
+            kind: SpillKind::Restore,
+            loc: SpillLoc::OnEdge(db),
+        },
+    ]);
+    let report = insert_placement(&mut f, &cfg, &placement);
+    assert_eq!(report.num_spill_insts, 4);
+    assert_eq!(report.new_blocks, 1, "both registers share one edge block");
+    assert_eq!(report.added_jumps, 1, "one jump serves both registers");
+    assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+}
+
+#[test]
+fn tiny_target_shares_the_jump_block() {
+    let target = Target::tiny();
+    assert_shared_jump_block(&target, [PReg::new(2), PReg::new(3)]);
+}
+
+#[test]
+fn x86_64_sysv_shares_the_jump_block() {
+    let spec = x86_64_sysv();
+    let target = spec.to_target();
+    // r9 = rbx, r10 = rbp under the spec's numbering.
+    assert_shared_jump_block(&target, [PReg::new(9), PReg::new(10)]);
+}
+
+#[test]
+fn place_on_edge_adds_the_jump_exactly_once() {
+    let (mut f, _, b) = critical_edge_func("g");
+    let cfg = Cfg::compute(&f);
+    let d = spillopt_ir::BlockId::from_index(3);
+    let db = cfg.edge_between(d, b).expect("d->b edge");
+    let nop = spillopt_ir::Inst::new(spillopt_ir::InstKind::LoadImm {
+        dst: Reg::Virt(spillopt_ir::VReg::from_index(1)),
+        imm: 0,
+    });
+    f.reserve_vregs(2);
+    match edit::place_on_edge(&mut f, &cfg, db, vec![nop.clone(), nop]) {
+        edit::EdgePlacement::NewBlock { block, added_jump } => {
+            assert!(added_jump);
+            // Two payload instructions plus exactly one terminating jump.
+            let insts = &f.block(block).insts;
+            assert_eq!(insts.len(), 3);
+            assert!(insts[2].is_terminator());
+        }
+        other => panic!("expected a jump block, got {other:?}"),
+    }
+    assert!(verify_function(&f, RegDiscipline::Virtual).is_empty());
+}
+
+/// The paper's rule: the jump instruction's cost on a shared edge is
+/// divided among all callee-saved registers with initial locations
+/// there. `EdgeShares` supplies the divisor; on pairing targets it also
+/// supplies the `stp`/`ldp` divisor for co-located saves.
+#[test]
+fn edge_shares_split_the_jump_cost() {
+    let (f, _, b) = critical_edge_func("h");
+    let cfg = Cfg::compute(&f);
+    let d = spillopt_ir::BlockId::from_index(3);
+    let db = cfg.edge_between(d, b).expect("d->b edge");
+    let mut counts = vec![0u64; cfg.num_edges()];
+    counts[db.index()] = 12;
+    let profile = spillopt_profile::EdgeProfile::new(&cfg, counts, 0);
+
+    let tiny = spec_by_name("tiny").expect("tiny is resolvable by name");
+    let mk = |reg: u8| SaveRestoreSet {
+        reg: PReg::new(reg),
+        points: vec![SpillPoint {
+            reg: PReg::new(reg),
+            kind: SpillKind::Restore,
+            loc: SpillLoc::OnEdge(db),
+        }],
+        cluster: DenseBitSet::new(cfg.num_blocks()),
+        initial: true,
+    };
+    let sets = [mk(2), mk(3)];
+    let shares = EdgeShares::from_sets(&sets);
+    assert_eq!(shares.share(SpillLoc::OnEdge(db)), 2);
+
+    // Tiny (unit costs, no pairing): each register pays its restore (12)
+    // plus half the jump (6).
+    let each = sets[0].cost_with(CostModel::JumpEdge, &tiny.costs, &cfg, &profile, &shares);
+    assert_eq!(each, Cost::from_count(12) + Cost::from_fraction(12, 2));
+    // Together the two registers pay the whole jump exactly once.
+    let both = each + sets[1].cost_with(CostModel::JumpEdge, &tiny.costs, &cfg, &profile, &shares);
+    assert_eq!(both, Cost::from_count(12 + 12 + 12));
+
+    // AArch64: the co-located restores additionally share one `ldp`, so
+    // each pays half the load and half the jump.
+    let a64 = aarch64_aapcs64();
+    assert_eq!(
+        shares.pair_share(SpillLoc::OnEdge(db), SpillKind::Restore, 2),
+        2
+    );
+    let paired = sets[0].cost_with(CostModel::JumpEdge, &a64.costs, &cfg, &profile, &shares);
+    assert_eq!(
+        paired,
+        Cost::from_fraction(12, 2) + Cost::from_fraction(12, 2)
+    );
+
+    // The same accounting through the point-level entry point.
+    let pt = spill_point_cost(
+        CostModel::JumpEdge,
+        &a64.costs,
+        &cfg,
+        &profile,
+        SpillKind::Restore,
+        SpillLoc::OnEdge(db),
+        2,
+        2,
+    );
+    assert_eq!(pt, paired);
+}

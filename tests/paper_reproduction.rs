@@ -21,8 +21,14 @@ fn figure2_headline_numbers() {
             &EdgeShares::none(),
         )
     };
-    assert_eq!(cost(&entry_exit_placement(&ex.cfg, &ex.usage)), Cost::from_count(200));
-    assert_eq!(cost(&chow_shrink_wrap(&ex.cfg, &ex.usage)), Cost::from_count(250));
+    assert_eq!(
+        cost(&entry_exit_placement(&ex.cfg, &ex.usage)),
+        Cost::from_count(200)
+    );
+    assert_eq!(
+        cost(&chow_shrink_wrap(&ex.cfg, &ex.usage)),
+        Cost::from_count(250)
+    );
     let exec = hierarchical_placement(
         &ex.cfg,
         &pst,
@@ -31,8 +37,7 @@ fn figure2_headline_numbers() {
         CostModel::ExecutionCount,
     );
     assert_eq!(cost(&exec.placement), Cost::from_count(190));
-    let jump =
-        hierarchical_placement(&ex.cfg, &pst, &ex.usage, &ex.profile, CostModel::JumpEdge);
+    let jump = hierarchical_placement(&ex.cfg, &pst, &ex.usage, &ex.profile, CostModel::JumpEdge);
     assert_eq!(jump.placement, entry_exit_placement(&ex.cfg, &ex.usage));
 }
 
