@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use spillopt_bench::placement_inputs;
 use spillopt_core::{
-    hierarchical_placement, modified_shrink_wrap, modified_shrink_wrap_hoisted, CostModel,
+    chow_shrink_wrap, hierarchical_placement_vs, modified_shrink_wrap,
+    modified_shrink_wrap_hoisted, CostModel, SpillCostModel,
 };
 use spillopt_pst::Pst;
 use std::hint::black_box;
@@ -36,15 +37,26 @@ fn bench_ablations(c: &mut Criterion) {
         })
     });
     let psts: Vec<Pst> = inputs.iter().map(|i| Pst::compute(&i.cfg)).collect();
+    // Shared precomputation for the traversal's never-worse baseline.
+    let chows: Vec<_> = inputs
+        .iter()
+        .map(|i| chow_shrink_wrap(&i.cfg, &i.usage))
+        .collect();
     for (label, model) in [
         ("traversal_exec_model", CostModel::ExecutionCount),
         ("traversal_jump_model", CostModel::JumpEdge),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                for (i, pst) in inputs.iter().zip(&psts) {
-                    black_box(hierarchical_placement(
-                        &i.cfg, pst, &i.usage, &i.profile, model,
+                for ((i, pst), chow) in inputs.iter().zip(&psts).zip(&chows) {
+                    black_box(hierarchical_placement_vs(
+                        &i.cfg,
+                        pst,
+                        &i.usage,
+                        &i.profile,
+                        model,
+                        &SpillCostModel::UNIT,
+                        chow,
                     ));
                 }
             })

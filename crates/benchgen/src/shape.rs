@@ -143,8 +143,10 @@ fn gen_stmts(
             // Compound statement.
             if rng.gen_bool(cfg.loop_prob) {
                 let mut trip = rng.gen_range(cfg.loop_trip.0..=cfg.loop_trip.1);
-                // Keep nested trip products bounded...
-                trip = (trip >> depth).max(2);
+                // Keep nested trip products bounded. The floor follows the
+                // configured lower bound, so configs with `loop_trip.0 == 0`
+                // (the stress generator) keep their zero-trip loops.
+                trip = (trip >> depth).max(cfg.loop_trip.0.min(2));
                 let mut inner = (*budget / 2).max(1);
                 *budget = budget.saturating_sub(inner);
                 let body = gen_stmts(cfg, rng, callees, &mut inner, depth + 1, true);

@@ -230,15 +230,24 @@ pub enum CostModel {
     JumpEdge,
 }
 
-/// The base (model-independent) cost of a location: the execution count of
-/// its block or edge.
-pub fn location_base_cost(profile: &EdgeProfile, loc: SpillLoc) -> Cost {
+/// The dynamic execution count of a location.
+///
+/// `BlockTop(entry)` means *at the procedure entry*, once per call: its
+/// physical realization lives above any loop back to the entry block
+/// (the insertion pass splits such an entry), so it is priced by the
+/// entry count, not the entry block's (possibly loop-inflated) count.
+pub fn location_exec_count(cfg: &Cfg, profile: &EdgeProfile, loc: SpillLoc) -> u64 {
     match loc {
-        SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => {
-            Cost::from_count(profile.block_count(b))
-        }
-        SpillLoc::OnEdge(e) => Cost::from_count(profile.edge_count(e)),
+        SpillLoc::BlockTop(b) if b == cfg.entry() => profile.entry_count(),
+        SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => profile.block_count(b),
+        SpillLoc::OnEdge(e) => profile.edge_count(e),
     }
+}
+
+/// The base (model-independent) cost of a location: the execution count of
+/// its block or edge (see [`location_exec_count`] for the entry-top rule).
+pub fn location_base_cost(cfg: &Cfg, profile: &EdgeProfile, loc: SpillLoc) -> Cost {
+    Cost::from_count(location_exec_count(cfg, profile, loc))
 }
 
 /// The cost of one save/restore instruction at `loc` under `model`.
@@ -253,7 +262,7 @@ pub fn location_cost(
     loc: SpillLoc,
     jump_share: u64,
 ) -> Cost {
-    let base = location_base_cost(profile, loc);
+    let base = location_base_cost(cfg, profile, loc);
     match (model, loc) {
         (CostModel::JumpEdge, SpillLoc::OnEdge(e)) if cfg.needs_jump_block(e) => {
             base + Cost::from_fraction(profile.edge_count(e), jump_share)
@@ -285,10 +294,7 @@ pub fn spill_point_cost(
     jump_share: u64,
     pair_share: u64,
 ) -> Cost {
-    let count = match loc {
-        SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => profile.block_count(b),
-        SpillLoc::OnEdge(e) => profile.edge_count(e),
-    };
+    let count = location_exec_count(cfg, profile, loc);
     let base = costs.insn(cfg, kind, loc).of(count, pair_share);
     match (model, loc) {
         (CostModel::JumpEdge, SpillLoc::OnEdge(e)) if cfg.needs_jump_block(e) => {

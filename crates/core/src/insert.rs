@@ -75,7 +75,22 @@ pub fn insert_placement(func: &mut Function, cfg: &Cfg, placement: &Placement) -
     let mut tops: Vec<_> = at_top.into_iter().collect();
     tops.sort_by_key(|(b, _)| *b);
     for (b, insts) in tops {
-        edit::insert_at_top(func, b, insts);
+        if b == cfg.entry() && cfg.num_preds(b) > 0 {
+            // `BlockTop(entry)` means *at the procedure entry*, once per
+            // call. When the entry block is also a loop target, realize
+            // the code in a fresh header block above it — placed first in
+            // layout (becoming the new entry) and falling through — so it
+            // cannot re-execute via the back edge.
+            let nb = func.add_block(None);
+            func.block_mut(nb).insts = insts;
+            let mut layout: Vec<spillopt_ir::BlockId> =
+                func.layout().iter().copied().filter(|&x| x != nb).collect();
+            layout.insert(0, nb);
+            func.set_layout(layout);
+            report.new_blocks += 1;
+        } else {
+            edit::insert_at_top(func, b, insts);
+        }
     }
     let mut bottoms: Vec<_> = at_bottom.into_iter().collect();
     bottoms.sort_by_key(|(b, _)| *b);

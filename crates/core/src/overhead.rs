@@ -4,7 +4,7 @@ use crate::cost::{location_cost, Cost, CostModel, SpillCostModel};
 use crate::location::{Placement, SpillKind, SpillLoc};
 use crate::sets::EdgeShares;
 use spillopt_ir::{Cfg, EdgeId, PReg};
-use spillopt_profile::EdgeProfile;
+use spillopt_profile::{EdgeProfile, SpillCounts};
 use std::collections::HashMap;
 
 /// The predicted dynamic cost of a whole placement under a model.
@@ -19,7 +19,7 @@ pub fn placement_cost(
     profile: &EdgeProfile,
     placement: &Placement,
 ) -> Cost {
-    // Base costs.
+    // Base costs (entry-top points priced once per procedure entry).
     let mut total: Cost = placement
         .points()
         .iter()
@@ -76,10 +76,7 @@ pub fn placement_cost_with(
         let (loc, kind) = key;
         let regs = groups[&key];
         let insts = regs.div_ceil(pair);
-        let count = match loc {
-            SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => profile.block_count(b),
-            SpillLoc::OnEdge(e) => profile.edge_count(e),
-        };
+        let count = crate::cost::location_exec_count(cfg, profile, loc);
         total += costs
             .insn(cfg, kind, loc)
             .of(count.saturating_mul(insts), 1);
@@ -118,6 +115,45 @@ pub fn placement_model_cost(
         .iter()
         .map(|p| location_cost(model, cfg, profile, p.loc, shares.share(p.loc)))
         .sum()
+}
+
+/// The exact dynamic instruction counts a placement will execute under
+/// `profile`'s workload, as an oracle for differential testing.
+///
+/// The prediction mirrors how [`crate::insert_placement`] realizes a
+/// placement: every placed save/restore executes exactly the execution
+/// count of its location (sinking an edge location into a block endpoint
+/// preserves that count — the endpoint then has no other in/out flow),
+/// and one jump-block jump executes per distinct *critical jump* edge
+/// carrying spill code. Running the transformed program on the same
+/// workload the profile was measured on must reproduce these counters
+/// exactly ([`spillopt_profile::ExecCounts::spill_counts`]); see
+/// [`spillopt_profile::SpillCounts::diff`].
+pub fn predicted_spill_counts(
+    cfg: &Cfg,
+    profile: &EdgeProfile,
+    placement: &Placement,
+) -> SpillCounts {
+    let mut out = SpillCounts::default();
+    let mut jump_edges: Vec<EdgeId> = Vec::new();
+    for p in placement.points() {
+        if let SpillLoc::OnEdge(e) = p.loc {
+            if cfg.needs_jump_block(e) {
+                jump_edges.push(e);
+            }
+        }
+        let count = crate::cost::location_exec_count(cfg, profile, p.loc);
+        match p.kind {
+            SpillKind::Save => out.saves += count,
+            SpillKind::Restore => out.restores += count,
+        }
+    }
+    jump_edges.sort();
+    jump_edges.dedup();
+    for e in jump_edges {
+        out.jump_jumps += profile.edge_count(e);
+    }
+    out
 }
 
 /// Per-register static counts (number of save/restore instructions), the

@@ -3,7 +3,7 @@
 use crate::chow::chow_shrink_wrap_with;
 use crate::cost::{Cost, CostModel, SpillCostModel};
 use crate::entry_exit::entry_exit_placement;
-use crate::hierarchical::{hierarchical_placement_with, HierarchicalResult};
+use crate::hierarchical::{hierarchical_placement_vs, HierarchicalResult};
 use crate::location::Placement;
 use crate::overhead::placement_cost_with;
 use crate::usage::CalleeSavedUsage;
@@ -76,10 +76,17 @@ pub fn run_suite_priced(
 ) -> PlacementSuite {
     let entry_exit = entry_exit_placement(cfg, usage);
     let chow = chow_shrink_wrap_with(cfg, cyclic, usage);
-    let hierarchical_exec =
-        hierarchical_placement_with(cfg, pst, usage, profile, CostModel::ExecutionCount, costs);
+    let hierarchical_exec = hierarchical_placement_vs(
+        cfg,
+        pst,
+        usage,
+        profile,
+        CostModel::ExecutionCount,
+        costs,
+        &chow,
+    );
     let hierarchical_jump =
-        hierarchical_placement_with(cfg, pst, usage, profile, CostModel::JumpEdge, costs);
+        hierarchical_placement_vs(cfg, pst, usage, profile, CostModel::JumpEdge, costs, &chow);
 
     for (name, p) in [
         ("entry_exit", &entry_exit),

@@ -14,7 +14,10 @@
 //!
 //! The checker is an abstract interpretation over block granularity with
 //! the same point structure the placements use: block top → busy body →
-//! block bottom → outgoing edge.
+//! block bottom → outgoing edge. Points at the *entry block's top* mean
+//! "at the procedure entry, once per call" (the insertion pass realizes
+//! them above any loop back to the entry block), so they execute on the
+//! entry transition only, not on back edges into the entry block.
 
 use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
 use crate::usage::CalleeSavedUsage;
@@ -166,8 +169,24 @@ fn check_one(
     };
 
     // Iterate to fixpoint over block-entry states.
+    //
+    // `BlockTop(entry)` points execute on the procedure-entry transition
+    // only — their physical realization lives above any loop back to the
+    // entry block — so they are applied once here, to seed the entry
+    // block's in-state, and skipped when the entry block is (re)processed
+    // below. Back edges into the entry block merge into the post-top
+    // state, exactly as they reach the split entry physically.
     let mut state_in = vec![State::Unknown; n];
-    state_in[cfg.entry().index()] = State::Original;
+    {
+        let mut sink = Vec::new();
+        let s0 = apply(State::Original, &top[cfg.entry().index()], &mut sink);
+        for e in sink {
+            if !errors.contains(&e) {
+                errors.push(e);
+            }
+        }
+        state_in[cfg.entry().index()] = s0;
+    }
     let mut changed = true;
     let mut reported_merge = DenseBitSet::new(n);
     let mut iterations = 0usize;
@@ -184,7 +203,8 @@ fn check_one(
                 continue;
             }
             let mut sink = Vec::new();
-            let mut s = apply(entry_state, &top[bi], &mut sink);
+            let tops: &[&SpillPoint] = if b == cfg.entry() { &[] } else { &top[bi] };
+            let mut s = apply(entry_state, tops, &mut sink);
             // Busy body: must be in saved state.
             if busy.contains(bi) && s != State::Saved {
                 sink.push(PlacementError::BusyNotSaved { reg, block: b });

@@ -1,0 +1,247 @@
+//! Minimized counterexamples found by the differential stress subsystem
+//! (`spillopt-stress`), checked in as regressions.
+//!
+//! Each case is a module the random-CFG generator produced (and the
+//! minimizer reduced) that exposed a bug in this crate; the fix is
+//! described at the test. Every case re-runs the full oracle battery —
+//! semantic equivalence under the interpreter, model fidelity
+//! (predicted save/restore/jump counts vs measured), and the never-worse
+//! guarantee — plus targeted assertions on the fixed behaviour.
+
+use spillopt_core::{
+    check_placement, entry_exit_placement, insert_placement, run_suite_priced, CalleeSavedUsage,
+};
+use spillopt_ir::analysis::loops::sccs;
+use spillopt_ir::{parse_module, Cfg, FuncId, Module, RegDiscipline};
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+use spillopt_stress::check_case;
+
+/// Stress seed 0 (pa-risc-like), minimized by hand to the trigger: a
+/// **back edge into the entry block**. Entry/exit placement puts every
+/// save at `top(entry)`; before the fix that save re-executed on each
+/// loop iteration, overwriting the caller's saved value with the
+/// function's working value — `check_placement` flagged it as an
+/// inconsistent merge and the whole suite panicked. The fix gives
+/// `BlockTop(entry)` once-per-call semantics: the validator models it as
+/// a virtual pre-entry transition, the insertion pass realizes it in a
+/// fresh header block above the loop, the cost models price it by the
+/// entry count, and edges into the entry block count the procedure
+/// entry as an implicit predecessor (they can never sink code into the
+/// entry's top).
+const ENTRY_LOOP: &str = "\
+module entry_loop
+func @f0(0) {
+  frame 1
+  vregs 4
+block entry:
+  v0 = li 7
+  v1 = load.data slot0
+  v1 = add v1, 1
+  store.data v1, slot0
+  v2 = li 4
+  r0 = call ext:1()
+  v3 = mov r0
+  v0 = xor v0, v3
+  br lt v1, v2, entry, exit
+block exit:
+  r0 = mov v0
+  ret r0
+}
+";
+
+/// Stress seed 394 (riscv64-lp64 and aarch64-aapcs64), minimized by the
+/// stress minimizer: the **modified** shrink-wrapping's initial sets
+/// (per-path restores behind a shared handler) cost more than Chow's
+/// original placement (one shared late restore), and the hierarchical
+/// traversal — which can only replace sets at region boundaries — could
+/// not recover, ending dynamically *worse than Chow* (28 vs 26 under
+/// unit pricing). Fixed by the final group-wise comparison in
+/// `hierarchical_placement_vs`: the traversal's result is compared
+/// against both entry/exit and Chow under the physically accurate
+/// accounting, on every cost model, and the cheapest wins.
+const MODIFIED_WORSE_THAN_CHOW: &str = "\
+module stress394
+func @f0(2) {
+  frame 0
+  vregs 33
+block entry:
+  v0 = mov r0
+  v1 = mov r1
+  v2 = li 118430
+  v1 = shr v1, 11
+  v3 = and v1, 15
+  v4 = li 14
+  br ge v3, v4, bb4, bb3
+block bb3:
+  v5 = and v0, 63
+  v6 = li 1
+  br lt v5, v6, handler0, bb6
+block bb6:
+  v7 = li 0
+  v8 = li 2
+block bb7:
+  br ge v7, v8, bb9, bb8
+block bb8:
+  v9 = and v1, 63
+  v10 = li 1
+  br lt v9, v10, bb9, bb10
+block bb10:
+  r0 = mov v1
+  r1 = mov v1
+  r0 = call ext:0(r0, r1)
+  v7 = add v7, 1
+  jmp bb7
+block bb9:
+  jmp bb5
+block bb4:
+  v12 = and v1, 15
+  v13 = li 1
+  br lt v12, v13, epilogue, bb11
+block bb11:
+  v15 = and v2, 15
+  v16 = li 1
+  br lt v15, v16, handler0, bb12
+block bb12:
+  v17 = and v1, 15
+  v18 = li 1
+  br lt v17, v18, epilogue, bb13
+block bb13:
+block bb5:
+  v19 = and v1, 15
+  v20 = li 14
+  br ge v19, v20, bb15, bb14
+block bb14:
+  jmp bb16
+block bb15:
+  v21 = and v0, 15
+  v22 = li 1
+  br lt v21, v22, handler0, bb17
+block bb17:
+block bb16:
+  v23 = and v0, 15
+  v24 = li 8
+  br ge v23, v24, bb19, bb18
+block bb18:
+  v25 = and v0, 127
+  v26 = li 1
+  br lt v25, v26, handler0, bb20
+block bb20:
+block bb19:
+  v27 = and v0, 15
+  v28 = li 8
+  br ge v27, v28, bb22, bb21
+block bb21:
+  v29 = and v0, 127
+  v30 = li 1
+  br lt v29, v30, handler0, bb23
+block bb23:
+block bb22:
+  jmp bb24
+block handler0:
+  jmp epilogue
+block bb24:
+block epilogue:
+  v31 = xor v0, v1
+  v32 = xor v31, v2
+  r0 = mov v32
+  ret r0
+}
+";
+
+fn parse(text: &str) -> Module {
+    let m = parse_module(text).expect("regression module parses");
+    let errs = spillopt_ir::verify_module(&m, RegDiscipline::Virtual);
+    assert!(errs.is_empty(), "regression module invalid: {errs:?}");
+    m
+}
+
+#[test]
+fn entry_loop_passes_all_oracles() {
+    let module = parse(ENTRY_LOOP);
+    let runs = vec![(FuncId::from_index(0), vec![])];
+    for spec in spillopt_targets::registry() {
+        check_case(&module, &runs, &spec)
+            .unwrap_or_else(|e| panic!("entry-loop oracles on {}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn entry_loop_placement_is_valid_and_realized_above_the_loop() {
+    let module = parse(ENTRY_LOOP);
+    let target = spillopt_ir::Target::default();
+    let mut func = module.func(FuncId::from_index(0)).clone();
+    allocate(&mut func, &target, None);
+    let cfg = Cfg::compute(&func);
+    let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+    assert!(!usage.is_empty(), "a value crosses the call");
+
+    // The back edge into the entry is critical even with one explicit
+    // predecessor: the procedure entry is an implicit second one.
+    let back = cfg
+        .edge_ids()
+        .find(|&e| cfg.edge(e).to == cfg.entry())
+        .expect("back edge to entry");
+    assert!(cfg.is_critical(back));
+
+    // Entry/exit placement validates (the original panic) ...
+    let placement = entry_exit_placement(&cfg, &usage);
+    assert_eq!(check_placement(&cfg, &usage, &placement), vec![]);
+
+    // ... and insertion realizes the entry saves in a fresh header block
+    // above the loop: the new layout head has no predecessors and falls
+    // through into the old entry.
+    let blocks_before = func.num_blocks();
+    let report = insert_placement(&mut func, &cfg, &placement);
+    assert!(report.new_blocks >= 1, "entry must be split");
+    assert!(func.num_blocks() > blocks_before);
+    let new_cfg = Cfg::compute(&func);
+    assert_eq!(new_cfg.num_preds(new_cfg.entry()), 0);
+    assert!(spillopt_ir::verify_function(&func, RegDiscipline::Physical).is_empty());
+}
+
+#[test]
+fn hierarchical_is_never_worse_than_chow_on_the_394_module() {
+    let module = parse(MODIFIED_WORSE_THAN_CHOW);
+    let runs = vec![
+        (FuncId::from_index(0), vec![-16439, 302436]),
+        (FuncId::from_index(0), vec![426964, -393359]),
+    ];
+    // The module reads r0/r1 as its two arguments, which only matches
+    // conventions whose first argument register is the return register
+    // (RISC-V a0, AArch64 x0) — the targets the fuzzer caught it on.
+    for name in ["riscv64-lp64", "aarch64-aapcs64"] {
+        let spec = spillopt_targets::spec_by_name(name).expect("registered");
+        let target = spec.try_to_target().expect("valid");
+
+        // Full oracle battery (includes the never-worse check).
+        check_case(&module, &runs, &spec).unwrap_or_else(|e| panic!("394 oracles on {name}: {e}"));
+
+        // Targeted: reproduce the suite and assert the ordering that
+        // used to fail: hier-jump <= chow and <= entry/exit.
+        let mut vm = spillopt_profile::Machine::new(&module, &target);
+        vm.set_fuel(1 << 28);
+        for (f, args) in &runs {
+            vm.call(*f, args).expect("reference run");
+        }
+        let profile = vm.edge_profile(FuncId::from_index(0));
+        drop(vm);
+        let mut func = module.func(FuncId::from_index(0)).clone();
+        allocate(&mut func, &target, Some(&profile));
+        let cfg = Cfg::compute(&func);
+        let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+        assert!(!usage.is_empty());
+        let cyclic = sccs(&cfg);
+        let pst = Pst::compute(&cfg);
+        let suite = run_suite_priced(&cfg, &cyclic, &pst, &usage, &profile, &spec.costs);
+        let [entry_exit, chow, _, hier_jump] = suite.predicted;
+        assert!(
+            hier_jump <= chow,
+            "{name}: hier-jump {hier_jump:?} worse than chow {chow:?}"
+        );
+        assert!(
+            hier_jump <= entry_exit,
+            "{name}: hier-jump {hier_jump:?} worse than entry/exit {entry_exit:?}"
+        );
+    }
+}

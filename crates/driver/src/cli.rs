@@ -4,6 +4,7 @@
 //! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
 //! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
 //! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
+//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
 //! spillopt list-benches
 //! spillopt list-targets
 //! ```
@@ -15,18 +16,23 @@
 //!   `--target all` compares every registered backend target instead.
 //! * `report` emits the full deterministic JSON report; `--target all`
 //!   adds the cross-target comparison section.
+//! * `stress` runs the differential stress subsystem: seeded random
+//!   modules through all four placements on the chosen target(s),
+//!   checked by the interpreter oracles, with minimized counterexample
+//!   reporting.
 //!
 //! Inputs are either a generated SPEC stand-in (`--bench`, profiled on
 //! its training workload) or an IR text file (`--input`, profiled
-//! synthetically). Argument parsing is hand-rolled: the surface is five
-//! subcommands and seven flags, not worth a dependency the offline build
-//! would have to shim.
+//! synthetically). Argument parsing is hand-rolled: the surface is six
+//! subcommands and a handful of flags, not worth a dependency the
+//! offline build would have to shim.
 
 use crate::driver::{
     cross_target_runs, optimize_module_for, DriverConfig, DriverError, ProfileSource, Strategy,
 };
 use crate::report::CrossTargetReport;
-use spillopt_ir::{display, parse_module, Module};
+use crate::stress::{run_stress, StressConfig};
+use spillopt_ir::{display, parse_module_traced, Module};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::io::Write;
 
@@ -53,13 +59,17 @@ usage:
   spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
   spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
   spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
+  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
   spillopt list-benches
   spillopt list-targets
 
 strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
 --target names a registered backend (see list-targets; default pa-risc-like);
 `--target all` fans compare/report out across every registered target.
---threads 0 uses all cores (default); --threads 1 is the serial reference.";
+--threads 0 uses all cores (default); --threads 1 is the serial reference.
+`stress` fuzzes seeded random modules through all four placements on the
+chosen target(s) (default all), checking the interpreter-backed oracles;
+failures are minimized and printed.";
 
 /// The accepted `--strategy` values, for error messages.
 const STRATEGIES: &str = "baseline, shrinkwrap, hier-exec, hier-jump, best";
@@ -83,6 +93,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "optimize" => optimize(&parse_opts("optimize", &rest)?, out),
         "compare" => compare(&parse_opts("compare", &rest)?, out),
         "report" => report(&parse_opts("report", &rest)?, out),
+        "stress" => stress(&rest, out),
         "list-benches" => {
             for spec in spillopt_benchgen::all_benchmarks() {
                 writeln!(out, "{}", spec.name).map_err(io_err)?;
@@ -115,6 +126,21 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn usage(msg: &str) -> CliError {
     CliError::Usage(msg.to_string())
+}
+
+/// Resolves a concrete `--target` value, listing the registry on error
+/// (shared by the module subcommands and `stress`).
+fn parse_target(name: &str) -> Result<TargetSpec, CliError> {
+    spec_by_name(name).ok_or_else(|| {
+        usage(&format!(
+            "unknown target `{name}` (registered: {})",
+            registry()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
 }
 
 fn io_err(e: std::io::Error) -> CliError {
@@ -201,16 +227,7 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
                              applies to compare/report)",
                         ))
                     }
-                    name => TargetChoice::One(spec_by_name(name).ok_or_else(|| {
-                        usage(&format!(
-                            "unknown target `{name}` (registered: {})",
-                            registry()
-                                .iter()
-                                .map(|s| s.name)
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        ))
-                    })?),
+                    name => TargetChoice::One(parse_target(name)?),
                 }
             }
             "--threads" => {
@@ -261,18 +278,36 @@ fn load(opts: &Opts, spec: &TargetSpec) -> Result<(Module, ProfileSource), CliEr
         Ok((bench.module, ProfileSource::Workload(bench.train_runs)))
     } else {
         let path = opts.input.as_deref().expect("validated by parse_opts");
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
-        let module = parse_module(&text)
-            .map_err(|e| CliError::Run(format!("parse error in `{path}`: {e:?}")))?;
-        let errs = spillopt_ir::verify_module(&module, spillopt_ir::RegDiscipline::Virtual);
-        if !errs.is_empty() {
-            return Err(CliError::Run(format!(
-                "`{path}` does not verify (virtual register discipline): {errs:?}"
-            )));
-        }
-        Ok((module, ProfileSource::default()))
+        load_input(path)
     }
+}
+
+/// Reads, parses, and verifies an `--input` IR file. Target-independent:
+/// `--target all` loads the file once and shares the module.
+///
+/// Parse errors surface with their source line; verifier errors are
+/// listed one per line, each mapped back to the closest source line the
+/// parser recorded.
+fn load_input(path: &str) -> Result<(Module, ProfileSource), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
+    let (module, smap) = parse_module_traced(&text)
+        .map_err(|e| CliError::Run(format!("parse error in `{path}`: {e}")))?;
+    let errs = spillopt_ir::verify_module(&module, spillopt_ir::RegDiscipline::Virtual);
+    if !errs.is_empty() {
+        let rendered: Vec<String> = errs
+            .iter()
+            .map(|e| match smap.line_of(e) {
+                Some(l) => format!("  line {l}: {e}"),
+                None => format!("  {e}"),
+            })
+            .collect();
+        return Err(CliError::Run(format!(
+            "`{path}` does not verify (virtual register discipline):\n{}",
+            rendered.join("\n")
+        )));
+    }
+    Ok((module, ProfileSource::default()))
 }
 
 fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, CliError> {
@@ -285,14 +320,24 @@ fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, Cli
 }
 
 /// Runs the pipeline on every registered target.
+///
+/// An `--input` module is target-independent: it is read, parsed, and
+/// verified **once** here and cloned per target, instead of re-doing the
+/// file I/O and parse for each of them. Generated benchmarks still build
+/// per target — they lower against each target's calling convention.
 fn drive_all(opts: &Opts) -> Result<CrossTargetReport, CliError> {
     let specs = registry();
-    cross_target_runs(&specs, opts.threads, |spec| {
-        load(opts, spec).map_err(|e| match e {
+    let shared: Option<(Module, ProfileSource)> = match opts.input.as_deref() {
+        Some(path) => Some(load_input(path)?),
+        None => None,
+    };
+    cross_target_runs(&specs, opts.threads, |spec| match &shared {
+        Some(pair) => Ok(pair.clone()),
+        None => load(opts, spec).map_err(|e| match e {
             CliError::Run(msg) | CliError::Usage(msg) => {
                 DriverError::Load(format!("target {}: {msg}", spec.name))
             }
-        })
+        }),
     })
     .map_err(|e| CliError::Run(e.to_string()))
 }
@@ -344,6 +389,92 @@ fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
+}
+
+/// The `stress` subcommand: differential fuzzing of all four placements
+/// against the interpreter oracles (semantic equivalence, model
+/// fidelity, never-worse). See `spillopt-stress` for the machinery.
+fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut seeds: Option<u64> = None;
+    let mut start: u64 = 0;
+    let mut threads: usize = 0;
+    let mut targets = registry();
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .copied()
+                .ok_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--seeds" => {
+                seeds = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| usage("--seeds needs a number"))?,
+                )
+            }
+            "--start" => {
+                start = value()?
+                    .parse()
+                    .map_err(|_| usage("--start needs a number"))?
+            }
+            "--threads" => {
+                threads = value()?
+                    .parse()
+                    .map_err(|_| usage("--threads needs a number"))?
+            }
+            "--target" => {
+                let v = value()?;
+                // Last flag wins in both directions: `all` restores the
+                // full registry after an earlier narrowing.
+                targets = if v == "all" {
+                    registry()
+                } else {
+                    vec![parse_target(v)?]
+                };
+            }
+            other => {
+                return Err(usage(&format!(
+                    "`stress` does not accept `{other}` (accepted: --seeds, --start, --target, \
+                     --threads)"
+                )))
+            }
+        }
+    }
+    let seeds = seeds.ok_or_else(|| usage("`stress` requires --seeds N"))?;
+
+    let summary = run_stress(&StressConfig {
+        start,
+        seeds,
+        targets: targets.clone(),
+        threads,
+    });
+    writeln!(
+        out,
+        "stress: {} cases (seeds {}..{} x {} target(s)): {} functions, {} placed, \
+         {} placements checked, {} failure(s)",
+        summary.cases,
+        start,
+        start.saturating_add(seeds),
+        targets.len(),
+        summary.functions,
+        summary.placed_functions,
+        summary.placements_checked,
+        summary.failures.len()
+    )
+    .map_err(io_err)?;
+    if summary.passed() {
+        return Ok(());
+    }
+    for f in &summary.failures {
+        writeln!(out, "\n=== counterexample ===\n{f}").map_err(io_err)?;
+    }
+    Err(CliError::Run(format!(
+        "{} of {} stress cases failed an oracle (minimized counterexamples above)",
+        summary.failures.len(),
+        summary.cases
+    )))
 }
 
 fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
@@ -491,6 +622,73 @@ mod tests {
         assert!(out.starts_with('{') && out.trim_end().ends_with('}'));
         assert!(out.contains(r#""module":"mcf""#));
         assert!(out.contains(r#""target":"pa-risc-like""#));
+    }
+
+    #[test]
+    fn stress_usage_errors() {
+        assert!(matches!(run_capture(&["stress"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "abc"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--bench", "mcf"]),
+            Err(CliError::Usage(_))
+        ));
+        let Err(CliError::Usage(msg)) =
+            run_capture(&["stress", "--seeds", "1", "--target", "pdp11"])
+        else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("unknown target `pdp11`"));
+    }
+
+    #[test]
+    fn stress_smoke_runs_and_summarizes() {
+        let out =
+            run_capture(&["stress", "--seeds", "2", "--target", "pa-risc-like"]).expect("stress");
+        assert!(out.contains("stress: 2 cases"), "{out}");
+        assert!(out.contains("0 failure(s)"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_are_readable_with_line_numbers() {
+        let dir = std::env::temp_dir().join("spillopt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-parse.ir");
+        std::fs::write(
+            &path,
+            "module m\nfunc @f(0) {\nblock A:\n  v0 = frob v1, v2\n}\n",
+        )
+        .unwrap();
+        let Err(CliError::Run(msg)) = run_capture(&["compare", "--input", path.to_str().unwrap()])
+        else {
+            panic!("expected run error");
+        };
+        // Display with the source line, not the Debug struct dump.
+        assert!(msg.contains("line 4: unknown operation `frob`"), "{msg}");
+        assert!(!msg.contains("ParseError"), "Debug-formatted: {msg}");
+    }
+
+    #[test]
+    fn verify_errors_are_readable_with_line_numbers() {
+        let dir = std::env::temp_dir().join("spillopt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-verify.ir");
+        // Parses fine, but block B is unreachable.
+        std::fs::write(
+            &path,
+            "module m\nfunc @f(0) {\nblock A:\n  ret\nblock B:\n  ret\n}\n",
+        )
+        .unwrap();
+        let Err(CliError::Run(msg)) = run_capture(&["compare", "--input", path.to_str().unwrap()])
+        else {
+            panic!("expected run error");
+        };
+        assert!(msg.contains("does not verify"), "{msg}");
+        assert!(msg.contains("line 5:"), "no line number: {msg}");
+        assert!(msg.contains("unreachable from entry"), "{msg}");
+        assert!(!msg.contains("Unreachable {"), "Debug-formatted: {msg}");
     }
 
     #[test]

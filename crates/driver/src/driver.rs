@@ -10,7 +10,7 @@
 //! count.
 
 use crate::cache::AnalysisCache;
-use crate::pool::run_indexed;
+use crate::pool::try_run_indexed;
 use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
 use spillopt_core::{insert_placement, run_suite_priced, Placement, SpillCostModel};
 use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
@@ -95,14 +95,24 @@ pub struct DriverConfig {
     pub profile: ProfileSource,
 }
 
-/// A driver failure (only the training workload can fail; placement
-/// validity violations are bugs and panic instead).
+/// A driver failure.
 #[derive(Debug)]
 pub enum DriverError {
     /// The training workload crashed or ran out of fuel.
     Workload(ExecError),
     /// A cross-target loader could not produce the module for a target.
     Load(String),
+    /// One function's optimization pipeline panicked. The pool catches
+    /// worker panics (they would otherwise poison its mutexes and
+    /// resurface on other threads as opaque `PoisonError` unwraps), and
+    /// the driver names the failing unit instead.
+    Panicked {
+        /// The function (or target, for cross-target fan-outs) whose
+        /// pipeline died.
+        unit: String,
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -110,6 +120,9 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::Workload(e) => write!(f, "training workload failed: {e}"),
             DriverError::Load(msg) => write!(f, "module load failed: {msg}"),
+            DriverError::Panicked { unit, message } => {
+                write!(f, "optimization pipeline panicked in `{unit}`: {message}")
+            }
         }
     }
 }
@@ -207,7 +220,7 @@ fn optimize_module_priced(
 
     // Stage 2 (parallel): per-function allocate → cache → all strategies.
     let items: Vec<(FuncId, Option<EdgeProfile>)> = module.func_ids().zip(profiles).collect();
-    let outcomes = run_indexed(items, config.threads, |index, (fid, profile)| {
+    let outcomes = try_run_indexed(items, config.threads, |index, (fid, profile)| {
         let mut func = module.func(fid).clone();
         let profile = profile.unwrap_or_else(|| {
             let ProfileSource::Synthetic {
@@ -230,7 +243,11 @@ fn optimize_module_priced(
         let (report, placements) =
             per_function(fid, &func, target, costs, profile, alloc.spilled_vregs);
         (report, (func, placements))
-    });
+    })
+    .map_err(|p| DriverError::Panicked {
+        unit: module.func(FuncId::from_index(p.index)).name().to_string(),
+        message: p.message(),
+    })?;
 
     let (reports, allocated): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
     Ok(ModuleRun {
@@ -260,7 +277,7 @@ pub fn cross_target_runs(
     load: impl Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync,
 ) -> Result<CrossTargetReport, DriverError> {
     let items: Vec<&TargetSpec> = specs.iter().collect();
-    let outcomes = run_indexed(items, threads, |_, spec| {
+    let outcomes = try_run_indexed(items, threads, |_, spec| {
         let (module, profile) = load(spec)?;
         let config = DriverConfig {
             threads: 1,
@@ -268,7 +285,11 @@ pub fn cross_target_runs(
         };
         let run = optimize_module_for(&module, spec, &config)?;
         Ok((spec.clone(), run.report))
-    });
+    })
+    .map_err(|p| DriverError::Panicked {
+        unit: specs[p.index].name.to_string(),
+        message: p.message(),
+    })?;
     let mut targets = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         targets.push(outcome?);

@@ -21,8 +21,11 @@
 //!   pipeline against a registered backend target
 //!   ([`spillopt_targets::TargetSpec`]) or fanned out across all of
 //!   them, with every decision priced by the target's spill cost model;
+//! * [`stress`] — fan-out of the differential stress subsystem
+//!   (`spillopt-stress`: random-CFG modules × interpreter oracles) over
+//!   `(target, seed)` pairs on the same pool;
 //! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`,
-//!   `list-targets`.
+//!   `stress`, `list-targets`.
 //!
 //! # Examples
 //!
@@ -63,6 +66,7 @@ pub mod driver;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod stress;
 
 pub use cache::AnalysisCache;
 pub use driver::{
@@ -71,3 +75,4 @@ pub use driver::{
 };
 pub use json::Json;
 pub use report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
+pub use stress::{run_stress, StressConfig, StressSummary};

@@ -11,12 +11,52 @@
 //!
 //! Determinism: results are returned in item order, independent of
 //! thread count and steal interleaving — [`run_indexed`] with 8 threads
-//! is bit-identical to a serial run. The pool uses only `std`; there is
-//! no global state and panics in workers propagate to the caller.
+//! is bit-identical to a serial run. The pool uses only `std` and has no
+//! global state. Worker panics are *caught* ([`try_run_indexed`]), so a
+//! panicking item can never poison the deque or result mutexes and
+//! resurface on another thread as an opaque `PoisonError`; callers
+//! receive the first panicking item's index and payload instead
+//! ([`run_indexed`] re-raises it on the calling thread).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A panic raised by one work item, caught by the pool.
+pub struct ItemPanic {
+    /// Index of the panicking item (the smallest observed; with aborts in
+    /// flight later items may not have run).
+    pub index: usize,
+    /// The original panic payload, re-raisable with
+    /// [`std::panic::resume_unwind`].
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl ItemPanic {
+    /// The panic message, when the payload is a string. (Deliberately a
+    /// local twin of `spillopt_stress::panic_message`: the pool is
+    /// self-contained `std`-only infrastructure and keeps no dependency
+    /// on the fuzzing crate.)
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+impl std::fmt::Debug for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ItemPanic")
+            .field("index", &self.index)
+            .field("message", &self.message())
+            .finish()
+    }
+}
 
 /// Runs `work(i, item)` for every item, on `threads` workers, returning
 /// the results in item order regardless of scheduling.
@@ -27,8 +67,30 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Re-raises the first panic of any worker.
+/// Re-raises the first caught item panic on the calling thread (see
+/// [`try_run_indexed`] for the non-panicking form).
 pub fn run_indexed<I, T, F>(items: Vec<I>, threads: usize, work: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    try_run_indexed(items, threads, work).unwrap_or_else(|p| resume_unwind(p.payload))
+}
+
+/// As [`run_indexed`], but a panicking item aborts the run and is
+/// returned as an [`ItemPanic`] instead of unwinding through the pool.
+///
+/// Catching inside the worker keeps the deque and result mutexes
+/// unpoisoned and lets the driver attach context (which function's
+/// pipeline died) before surfacing the failure. When items panic
+/// concurrently the smallest observed index is reported; remaining items
+/// may be skipped.
+///
+/// # Errors
+///
+/// Returns the first caught [`ItemPanic`].
+pub fn try_run_indexed<I, T, F>(items: Vec<I>, threads: usize, work: F) -> Result<Vec<T>, ItemPanic>
 where
     I: Send,
     T: Send,
@@ -36,11 +98,14 @@ where
 {
     let threads = effective_threads(threads, items.len());
     if threads <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| work(i, item))
-            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| work(i, item))) {
+                Ok(t) => out.push(t),
+                Err(payload) => return Err(ItemPanic { index: i, payload }),
+            }
+        }
+        return Ok(out);
     }
 
     // Seed the deques round-robin so every worker starts with a share of
@@ -53,6 +118,8 @@ where
         deques[i % threads].get_mut().unwrap().push_back((i, item));
     }
     let remaining = AtomicUsize::new(deques.iter_mut().map(|d| d.get_mut().unwrap().len()).sum());
+    let abort = AtomicBool::new(false);
+    let panicked: Mutex<Option<ItemPanic>> = Mutex::new(None);
 
     let mut results: Vec<Option<T>> = Vec::new();
     results.resize_with(remaining.load(Ordering::Relaxed), || None);
@@ -63,26 +130,30 @@ where
         for me in 0..threads {
             let deques = &deques;
             let remaining = &remaining;
+            let abort = &abort;
+            let panicked = &panicked;
             let slots = &slots;
             let work = &work;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, T)> = Vec::new();
-                while remaining.load(Ordering::Acquire) > 0 {
+                while remaining.load(Ordering::Acquire) > 0 && !abort.load(Ordering::Acquire) {
                     let next = pop_own(&deques[me]).or_else(|| steal(deques, me));
                     match next {
                         Some((i, item)) => {
-                            // Decrement on unwind too: a panicking item
-                            // must not leave the other workers spinning
-                            // on a count that can never reach zero.
-                            struct Done<'a>(&'a AtomicUsize);
-                            impl Drop for Done<'_> {
-                                fn drop(&mut self) {
-                                    self.0.fetch_sub(1, Ordering::AcqRel);
+                            match catch_unwind(AssertUnwindSafe(|| work(i, item))) {
+                                Ok(out) => local.push((i, out)),
+                                Err(payload) => {
+                                    // Keep the smallest panicking index
+                                    // (deterministic for the serial
+                                    // schedule, best-effort otherwise).
+                                    let mut slot = panicked.lock().unwrap();
+                                    if slot.as_ref().is_none_or(|p| i < p.index) {
+                                        *slot = Some(ItemPanic { index: i, payload });
+                                    }
+                                    abort.store(true, Ordering::Release);
                                 }
                             }
-                            let _done = Done(remaining);
-                            let out = work(i, item);
-                            local.push((i, out));
+                            remaining.fetch_sub(1, Ordering::AcqRel);
                         }
                         None => {
                             // Deques are empty but another worker still
@@ -100,16 +171,17 @@ where
             }));
         }
         for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
+            h.join().expect("pool workers never unwind");
         }
     });
 
-    results
+    if let Some(p) = panicked.into_inner().unwrap() {
+        return Err(p);
+    }
+    Ok(results
         .into_iter()
         .map(|r| r.expect("every item completed"))
-        .collect()
+        .collect())
 }
 
 /// The worker count actually used for `requested` over `n_items`.
@@ -175,5 +247,30 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn caught_panic_names_the_item_and_poisons_nothing() {
+        let items: Vec<usize> = (0..64).collect();
+        let err = try_run_indexed(items.clone(), 4, |i, x| {
+            if i == 13 {
+                panic!("boom at {i}");
+            }
+            x * 2
+        })
+        .expect_err("item 13 panics");
+        assert!(err.message().contains("boom"));
+        // Serial schedule reports the smallest panicking index exactly.
+        let serial = try_run_indexed(items.clone(), 1, |i, x| {
+            if i >= 13 {
+                panic!("boom at {i}");
+            }
+            x * 2
+        })
+        .expect_err("item 13 panics");
+        assert_eq!(serial.index, 13);
+        // The pool is reusable afterwards: nothing was poisoned.
+        let ok = try_run_indexed(items, 4, |_, x| x + 1).expect("no panics");
+        assert_eq!(ok.len(), 64);
     }
 }

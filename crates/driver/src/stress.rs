@@ -1,0 +1,146 @@
+//! Module-scale driver for the differential stress subsystem.
+//!
+//! `spillopt-stress` owns the generator, the three oracles, and the
+//! minimizer; this module fans `(target, seed)` cases out on the
+//! work-stealing pool and aggregates the outcome — the engine behind the
+//! `spillopt stress` CLI subcommand, the per-PR smoke slice, and the
+//! nightly CI job. It is a library API on purpose: integration tests
+//! drive the same entry point the CLI uses.
+
+use crate::pool::try_run_indexed;
+use spillopt_stress::{run_seed, CaseReport, FailureKind, OracleFailure, SeedFailure};
+use spillopt_targets::TargetSpec;
+
+/// Configuration of one stress run.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// First seed (inclusive).
+    pub start: u64,
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// Targets to check every seed on.
+    pub targets: Vec<TargetSpec>,
+    /// Worker threads; `0` = available parallelism, `1` = serial.
+    pub threads: usize,
+}
+
+/// Aggregated outcome of a stress run.
+#[derive(Debug, Default)]
+pub struct StressSummary {
+    /// `(target, seed)` cases checked (including failing ones).
+    pub cases: usize,
+    /// Functions generated and run through the pipeline.
+    pub functions: usize,
+    /// Functions that used callee-saved registers.
+    pub placed_functions: usize,
+    /// Technique × function placements checked against the oracles.
+    pub placements_checked: usize,
+    /// Minimized counterexamples, ordered by seed then registry order.
+    pub failures: Vec<SeedFailure>,
+}
+
+impl StressSummary {
+    /// `true` when every case passed all three oracles.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the oracles over `config.seeds` seeds × `config.targets` targets
+/// on the work-stealing pool. Deterministic: the summary (including
+/// failure order) is a pure function of the configuration.
+pub fn run_stress(config: &StressConfig) -> StressSummary {
+    let mut items: Vec<(TargetSpec, u64)> = Vec::new();
+    for seed in config.start..config.start.saturating_add(config.seeds) {
+        for spec in &config.targets {
+            items.push((spec.clone(), seed));
+        }
+    }
+    let cases = items.len();
+    let coords: Vec<(&'static str, u64)> = items.iter().map(|(s, seed)| (s.name, *seed)).collect();
+    // `run_seed` already catches pipeline panics; this extra net covers
+    // a panic in the generator or minimizer itself, converting it into a
+    // failure that names its (target, seed) instead of killing the sweep.
+    let outcomes: Vec<Result<CaseReport, Box<SeedFailure>>> =
+        match try_run_indexed(items, config.threads, |_, (spec, seed)| {
+            run_seed(&spec, seed)
+        }) {
+            Ok(outcomes) => outcomes,
+            Err(p) => {
+                let (target, seed) = coords[p.index];
+                return StressSummary {
+                    cases,
+                    failures: vec![SeedFailure {
+                        seed,
+                        target,
+                        failure: OracleFailure {
+                            kind: FailureKind::Panic,
+                            strategy: None,
+                            detail: format!("stress harness panicked: {}", p.message()),
+                        },
+                        minimized: String::new(),
+                        runs: Vec::new(),
+                    }],
+                    ..StressSummary::default()
+                };
+            }
+        };
+
+    let mut summary = StressSummary {
+        cases: outcomes.len(),
+        ..StressSummary::default()
+    };
+    for outcome in outcomes {
+        match outcome {
+            Ok(report) => {
+                summary.functions += report.functions;
+                summary.placed_functions += report.placed_functions;
+                summary.placements_checked += report.placements_checked;
+            }
+            Err(failure) => summary.failures.push(*failure),
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_slice_passes_on_every_registered_target() {
+        let summary = run_stress(&StressConfig {
+            start: 0,
+            seeds: 3,
+            targets: spillopt_targets::registry(),
+            threads: 0,
+        });
+        assert_eq!(summary.cases, 3 * spillopt_targets::registry().len());
+        assert!(
+            summary.passed(),
+            "stress failures:\n{}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(summary.functions > 0);
+    }
+
+    #[test]
+    fn summary_is_deterministic_across_thread_counts() {
+        let config = |threads| StressConfig {
+            start: 5,
+            seeds: 2,
+            targets: vec![spillopt_targets::pa_risc_like()],
+            threads,
+        };
+        let a = run_stress(&config(1));
+        let b = run_stress(&config(4));
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.functions, b.functions);
+        assert_eq!(a.placements_checked, b.placements_checked);
+    }
+}

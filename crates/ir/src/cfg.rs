@@ -212,9 +212,15 @@ impl Cfg {
     /// Returns `true` if the edge is critical: its source has multiple
     /// successors and its target multiple predecessors. Spill code cannot
     /// be sunk into either endpoint of a critical edge.
+    ///
+    /// The procedure entry counts as an implicit predecessor of the entry
+    /// block: an edge looping back to the entry block can never sink its
+    /// code into the entry's top (that code would also execute on the
+    /// initial entry), so such edges are critical even with a single
+    /// explicit predecessor.
     pub fn is_critical(&self, e: EdgeId) -> bool {
         let edge = self.edge(e);
-        self.num_succs(edge.from) > 1 && self.num_preds(edge.to) > 1
+        self.num_succs(edge.from) > 1 && (self.num_preds(edge.to) > 1 || edge.to == self.entry())
     }
 
     /// Returns `true` if placing code on this edge requires a new jump

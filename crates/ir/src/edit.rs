@@ -63,7 +63,11 @@ pub fn place_on_edge(func: &mut Function, cfg: &Cfg, e: EdgeId, insts: Vec<Inst>
         insert_at_bottom(func, edge.from, insts);
         return EdgePlacement::BottomOf(edge.from);
     }
-    if cfg.num_preds(edge.to) == 1 {
+    // The entry block's top also executes on the initial procedure entry,
+    // so an edge back to it cannot sink code there even as its only
+    // explicit predecessor (such edges are critical, see
+    // [`Cfg::is_critical`]).
+    if cfg.num_preds(edge.to) == 1 && edge.to != cfg.entry() {
         insert_at_top(func, edge.to, insts);
         return EdgePlacement::TopOf(edge.to);
     }

@@ -75,6 +75,6 @@ pub use function::{FrameInfo, Function};
 pub use ids::{BlockId, EdgeId, FrameSlot, FuncId, PReg, Reg, VReg};
 pub use inst::{BinOp, Callee, Cond, Inst, InstKind, MemKind, Origin};
 pub use module::Module;
-pub use parse::{parse_function, parse_module, ParseError};
+pub use parse::{parse_function, parse_module, parse_module_traced, ParseError, SourceMap};
 pub use target::{Target, TargetError};
 pub use verify::{assert_valid, verify_function, verify_module, RegDiscipline, VerifyError};

@@ -53,12 +53,73 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     })
 }
 
+/// Maps parsed IR entities back to 1-based source lines, for reporting
+/// post-parse diagnostics (verifier errors) against the input text.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    funcs: HashMap<String, FuncSourceMap>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FuncSourceMap {
+    /// Line of the `func @name(...) {` header.
+    header: usize,
+    /// Line of each `block NAME:` label, indexed by block id.
+    block_lines: Vec<usize>,
+    /// Line of each instruction, indexed by block id then position.
+    inst_lines: Vec<Vec<usize>>,
+}
+
+impl SourceMap {
+    /// The most precise line known for `(func, block, instruction)`:
+    /// the instruction's line, else the block label's, else the function
+    /// header's.
+    pub fn line(
+        &self,
+        func: &str,
+        block: Option<BlockId>,
+        inst_index: Option<usize>,
+    ) -> Option<usize> {
+        let f = self.funcs.get(func)?;
+        if let Some(b) = block {
+            if let (Some(i), Some(lines)) = (inst_index, f.inst_lines.get(b.index())) {
+                if let Some(&l) = lines.get(i) {
+                    return Some(l);
+                }
+            }
+            if let Some(&l) = f.block_lines.get(b.index()) {
+                if l != 0 {
+                    return Some(l);
+                }
+            }
+        }
+        Some(f.header)
+    }
+
+    /// The source line of a verifier error raised against the parsed
+    /// module.
+    pub fn line_of(&self, err: &crate::verify::VerifyError) -> Option<usize> {
+        self.line(err.func(), err.block(), err.inst_index())
+    }
+}
+
 /// Parses a whole module.
 ///
 /// # Errors
 ///
 /// Returns the first syntax error encountered, with its line number.
 pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    parse_module_traced(text).map(|(m, _)| m)
+}
+
+/// As [`parse_module`], also returning a [`SourceMap`] from parsed
+/// entities back to source lines (for post-parse diagnostics such as
+/// verifier errors).
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered, with its line number.
+pub fn parse_module_traced(text: &str) -> Result<(Module, SourceMap), ParseError> {
     // Pass 1: collect function names in order to resolve forward calls.
     let mut func_names = Vec::new();
     for line in text.lines() {
@@ -77,6 +138,7 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
 
     let mut module_name = String::from("unnamed");
     let mut module = None;
+    let mut map = SourceMap::default();
     let mut parser = Parser::new(text, name_map);
     while let Some((lno, line)) = parser.peek_line() {
         if line.is_empty() {
@@ -89,7 +151,8 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             continue;
         }
         if line.starts_with("func @") {
-            let f = parser.parse_function()?;
+            let (f, fmap) = parser.parse_function()?;
+            map.funcs.insert(f.name().to_string(), fmap);
             module
                 .get_or_insert_with(|| Module::new(module_name.clone()))
                 .add_func(f);
@@ -97,7 +160,7 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         return err(lno, format!("unexpected line: `{line}`"));
     }
-    Ok(module.unwrap_or_else(|| Module::new(module_name)))
+    Ok((module.unwrap_or_else(|| Module::new(module_name)), map))
 }
 
 /// Parses a single function. `call @name` operands are rejected (use
@@ -115,7 +178,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         }
         break;
     }
-    parser.parse_function()
+    parser.parse_function().map(|(f, _)| f)
 }
 
 struct Parser<'a> {
@@ -155,7 +218,7 @@ impl<'a> Parser<'a> {
         l
     }
 
-    fn parse_function(&mut self) -> Result<Function, ParseError> {
+    fn parse_function(&mut self) -> Result<(Function, FuncSourceMap), ParseError> {
         let (lno, header) = self.next_line().expect("caller checked");
         let rest = header.strip_prefix("func @").ok_or_else(|| ParseError {
             line: lno,
@@ -180,6 +243,10 @@ impl<'a> Parser<'a> {
 
         let mut func = Function::new(name);
         func.set_num_params(nparams);
+        let mut fmap = FuncSourceMap {
+            header: lno,
+            ..FuncSourceMap::default()
+        };
 
         // Pre-scan the body for block labels so forward branch targets
         // resolve; blocks get ids in order of their labels.
@@ -193,6 +260,8 @@ impl<'a> Parser<'a> {
                 let label = rest.trim_end_matches(':').trim();
                 let id = func.add_block(Some(label));
                 block_ids.insert(label.to_string(), id);
+                fmap.block_lines.resize(id.index() + 1, 0);
+                fmap.inst_lines.resize(id.index() + 1, Vec::new());
             }
             depth_pos += 1;
         }
@@ -226,16 +295,19 @@ impl<'a> Parser<'a> {
             }
             if let Some(rest) = line.strip_prefix("block ") {
                 let label = rest.trim_end_matches(':').trim();
-                cur = Some(block_ids[label]);
+                let id = block_ids[label];
+                fmap.block_lines[id.index()] = lno;
+                cur = Some(id);
                 continue;
             }
             let Some(block) = cur else {
                 return err(lno, "instruction outside any block");
             };
             let inst = self.parse_inst(lno, line, &block_ids, &mut func)?;
+            fmap.inst_lines[block.index()].push(lno);
             func.block_mut(block).insts.push(inst);
         }
-        Ok(func)
+        Ok((func, fmap))
     }
 
     fn parse_inst(
@@ -596,5 +668,84 @@ block entry:
         let text = "func @f(0) {\nblock A:\n  frobnicate\n}\n";
         let e = parse_function(text).unwrap_err();
         assert!(e.message.contains("unrecognized"));
+    }
+
+    /// One assertion per error branch: every rejection carries the right
+    /// line number and a message naming the offending text.
+    #[test]
+    fn every_error_branch_reports_line_and_context() {
+        let wrap = |inst: &str| format!("func @f(0) {{\nblock A:\n  {inst}\n  ret\n}}\n");
+        let cases: &[(&str, usize, &str)] = &[
+            // Header errors.
+            ("func @f 0) {\nblock A:\n  ret\n}\n", 1, "expected `func"),
+            ("func @f(x) {\nblock A:\n  ret\n}\n", 1, "parameter count"),
+            ("func @f(0)\nblock A:\n  ret\n}\n", 1, "expected `{`"),
+            // Body / structure errors.
+            ("func @f(0) {\n  frame x\nblock A:\n  ret\n}\n", 2, "frame"),
+            ("func @f(0) {\n  vregs x\nblock A:\n  ret\n}\n", 2, "vreg"),
+            ("func @f(0) {\n  v0 = li 1\n}\n", 2, "outside any block"),
+            ("func @f(0) {\nblock A:\n  ret\n", 0, "end of input"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_function(text).unwrap_err();
+            assert_eq!(e.line, *line, "line for {text:?} ({e})");
+            assert!(e.message.contains(needle), "{e} lacks {needle:?}");
+        }
+        let inst_cases: &[(&str, &str)] = &[
+            ("br lt v0, v1, B", "expected `br cond"),
+            ("br xx v0, v1, A, A", "unknown condition"),
+            ("store.data v0", "expected `store.kind"),
+            ("store.frob v0, slot0", "bad memory kind"),
+            ("v0 = load.data slotx", "bad slot `slotx`"),
+            ("v0 = li banana", "bad immediate `banana`"),
+            ("v0 = mov q3", "bad register `q3`"),
+            ("v0 = add v1", "expected two operands"),
+            ("v0 = frob v1, v2", "unknown operation `frob`"),
+            ("v0 = call nowhere(v1)", "bad call target"),
+            ("v0 = call @nope(v1)", "unknown function `@nope`"),
+            ("v0 = call ext:x(v1)", "bad external id"),
+            ("v0 = call @0 v1", "expected `(` in call"),
+            ("v0 = call @0(v1", "expected `)` in call"),
+            ("jmp NOWHERE", "unknown block `NOWHERE`"),
+        ];
+        for (inst, needle) in inst_cases {
+            let e = parse_function(&wrap(inst)).unwrap_err();
+            assert_eq!(e.line, 3, "line for {inst:?} ({e})");
+            assert!(e.message.contains(needle), "{e} lacks {needle:?}");
+        }
+        // Module-level: stray line outside any function.
+        let e = parse_module("module m\nwat\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unexpected line"));
+    }
+
+    #[test]
+    fn display_carries_line_numbers() {
+        let e = parse_function("func @f(0) {\nblock A:\n  jmp NOPE\n}\n").unwrap_err();
+        let shown = e.to_string();
+        assert!(shown.starts_with("line 3:"), "{shown}");
+    }
+
+    #[test]
+    fn source_map_resolves_instructions_blocks_and_headers() {
+        let text = "module m\n\nfunc @f(0) {\n  frame 1\nblock A:\n  v0 = li 1\n  \
+                    store.data v0, slot0\n  ret\n}\n";
+        let (m, map) = parse_module_traced(text).expect("parses");
+        assert_eq!(m.num_funcs(), 1);
+        let a = BlockId::from_index(0);
+        assert_eq!(map.line("f", Some(a), Some(0)), Some(6));
+        assert_eq!(map.line("f", Some(a), Some(2)), Some(8));
+        // Out-of-range instruction falls back to the block label line.
+        assert_eq!(map.line("f", Some(a), Some(99)), Some(5));
+        // No block falls back to the function header.
+        assert_eq!(map.line("f", None, None), Some(3));
+        assert_eq!(map.line("nope", None, None), None);
+        // line_of routes a verifier error through the same lookup.
+        let err = crate::verify::VerifyError::BadSlot {
+            func: "f".into(),
+            block: a,
+            index: 1,
+        };
+        assert_eq!(map.line_of(&err), Some(7));
     }
 }

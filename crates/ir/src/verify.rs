@@ -118,6 +118,57 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// Name of the function the error is in.
+    pub fn func(&self) -> &str {
+        match self {
+            VerifyError::Empty { func }
+            | VerifyError::TerminatorInBody { func, .. }
+            | VerifyError::FallthroughAtEnd { func, .. }
+            | VerifyError::BadFallthrough { func, .. }
+            | VerifyError::ParallelEdges { func, .. }
+            | VerifyError::BadTarget { func, .. }
+            | VerifyError::BadSlot { func, .. }
+            | VerifyError::BadVReg { func, .. }
+            | VerifyError::Unreachable { func, .. }
+            | VerifyError::NoExitPath { func, .. }
+            | VerifyError::NoReturn { func }
+            | VerifyError::VirtualAfterRegalloc { func, .. }
+            | VerifyError::BadCallee { func, .. } => func,
+        }
+    }
+
+    /// The offending block, when the error names one.
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            VerifyError::Empty { .. } | VerifyError::NoReturn { .. } => None,
+            VerifyError::TerminatorInBody { block, .. }
+            | VerifyError::FallthroughAtEnd { block, .. }
+            | VerifyError::BadFallthrough { block, .. }
+            | VerifyError::ParallelEdges { block, .. }
+            | VerifyError::BadTarget { block, .. }
+            | VerifyError::BadSlot { block, .. }
+            | VerifyError::BadVReg { block, .. }
+            | VerifyError::Unreachable { block, .. }
+            | VerifyError::NoExitPath { block, .. }
+            | VerifyError::VirtualAfterRegalloc { block, .. }
+            | VerifyError::BadCallee { block, .. } => Some(*block),
+        }
+    }
+
+    /// The offending instruction's index within its block, when the
+    /// error names one.
+    pub fn inst_index(&self) -> Option<usize> {
+        match self {
+            VerifyError::TerminatorInBody { index, .. }
+            | VerifyError::BadSlot { index, .. }
+            | VerifyError::BadVReg { index, .. }
+            | VerifyError::VirtualAfterRegalloc { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

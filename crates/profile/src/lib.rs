@@ -40,7 +40,7 @@ pub mod interp;
 pub mod profile;
 pub mod synth;
 
-pub use events::ExecCounts;
+pub use events::{ExecCounts, SpillCounts};
 pub use interp::{ExecError, Machine};
 pub use profile::EdgeProfile;
 pub use synth::random_walk_profile;

@@ -1,0 +1,204 @@
+//! Differential well-definedness ("closedness") of a virtual module.
+//!
+//! A module is a valid differential-test subject only if every value it
+//! reads is produced by the program itself: a read of a virtual register
+//! must be dominated by a write, and a read of a physical register must
+//! see a value written earlier in the same block (or an argument
+//! register's incoming value, before any call clobbers it). Programs
+//! that read stale state are *defined* under the interpreter (registers
+//! read as zero or junk) but are not preserved by register allocation —
+//! their pre- and post-allocation behaviours legitimately differ, so a
+//! divergence on them is not a counterexample.
+//!
+//! The generator produces closed modules by construction; this check
+//! exists for the *minimizer*, whose instruction deletions could
+//! otherwise turn a real counterexample into an undefined-input
+//! artifact.
+
+use spillopt_ir::{Callee, DenseBitSet, Function, InstKind, Module, Reg, Target};
+
+/// Returns `true` if every function of `module` is closed (see module
+/// docs) and every internal call satisfies its callee's arity.
+pub fn is_closed(module: &Module, target: &Target) -> bool {
+    call_arity_ok(module) && module.funcs().all(|(_, f)| function_is_closed(f, target))
+}
+
+fn function_is_closed(func: &Function, target: &Target) -> bool {
+    let nv = func.num_vregs();
+    let n = func.num_blocks();
+    if n == 0 {
+        return true;
+    }
+    let cfg = spillopt_ir::Cfg::compute(func);
+
+    // Must-assign dataflow over virtual registers: in[b] = ∩ out[preds],
+    // the entry's in-set is empty (parameters arrive in physical
+    // registers). Initialize non-entry blocks to "all assigned" (top).
+    let full = {
+        let mut s = DenseBitSet::new(nv);
+        for i in 0..nv {
+            s.insert(i);
+        }
+        s
+    };
+    let mut ins: Vec<DenseBitSet> = (0..n).map(|_| full.clone()).collect();
+    ins[cfg.entry().index()] = DenseBitSet::new(nv);
+    let mut outs: Vec<DenseBitSet> = (0..n).map(|_| full.clone()).collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in func.block_ids() {
+            let bi = b.index();
+            if b != cfg.entry() {
+                let mut merged = full.clone();
+                for p in cfg.pred_blocks(b) {
+                    merged.intersect_with(&outs[p.index()]);
+                }
+                if merged != ins[bi] {
+                    ins[bi] = merged;
+                    changed = true;
+                }
+            }
+            let mut cur = ins[bi].clone();
+            for inst in &func.block(b).insts {
+                inst.for_each_def(&mut |r| {
+                    if let Reg::Virt(v) = r {
+                        cur.insert(v.index());
+                    }
+                });
+            }
+            if cur != outs[bi] {
+                outs[bi] = cur;
+                changed = true;
+            }
+        }
+    }
+
+    // Checking pass: walk each block once with its fixpoint in-state,
+    // validating vreg uses against the must-assign set and phys-reg uses
+    // against block-local writes (argument registers count as written at
+    // the top of the entry block, until the first call clobbers them).
+    for b in func.block_ids() {
+        let bi = b.index();
+        let mut vregs = ins[bi].clone();
+        let mut phys: Vec<bool> = vec![false; target.reg_index_limit()];
+        if b == cfg.entry() {
+            for a in target.arg_regs() {
+                phys[a.index()] = true;
+            }
+        }
+        for inst in &func.block(b).insts {
+            let mut ok = true;
+            inst.for_each_use(&mut |r| match r {
+                Reg::Virt(v) => {
+                    if !vregs.contains(v.index()) {
+                        ok = false;
+                    }
+                }
+                Reg::Phys(p) => {
+                    if !phys.get(p.index()).copied().unwrap_or(false) {
+                        ok = false;
+                    }
+                }
+            });
+            if !ok {
+                return false;
+            }
+            if let InstKind::Call { callee, .. } = &inst.kind {
+                // Calls clobber every caller-saved register; only the
+                // return value (a def below) is live out of them. An
+                // internal callee must also exist and receive all its
+                // declared parameters — checked by the caller's arity.
+                let _ = callee;
+                for p in target.caller_saved() {
+                    phys[p.index()] = false;
+                }
+            }
+            inst.for_each_def(&mut |r| match r {
+                Reg::Virt(v) => {
+                    vregs.insert(v.index());
+                }
+                Reg::Phys(p) => {
+                    if p.index() < phys.len() {
+                        phys[p.index()] = true;
+                    }
+                }
+            });
+        }
+    }
+
+    true
+}
+
+/// Returns `true` if every internal call passes at least as many
+/// arguments as its callee declares parameters.
+pub fn call_arity_ok(module: &Module) -> bool {
+    for (_, func) in module.funcs() {
+        for b in func.block_ids() {
+            for inst in &func.block(b).insts {
+                if let InstKind::Call {
+                    callee: Callee::Func(g),
+                    args,
+                    ..
+                } = &inst.kind
+                {
+                    if g.index() >= module.num_funcs() || args.len() < module.func(*g).num_params()
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+    use spillopt_ir::{BinOp, FunctionBuilder};
+
+    #[test]
+    fn generated_cases_are_closed() {
+        let target = Target::default();
+        for seed in 0..25u64 {
+            let case = gen_case(&target, seed);
+            assert!(is_closed(&case.module, &target), "seed {seed} not closed");
+            assert!(call_arity_ok(&case.module), "seed {seed} bad arity");
+        }
+    }
+
+    #[test]
+    fn uninitialized_vreg_read_is_rejected() {
+        let mut fb = FunctionBuilder::new("u", 0);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let v = fb.new_vreg();
+        let w = fb.bin(BinOp::Add, Reg::Virt(v), Reg::Virt(v)); // v unwritten
+        fb.ret(Some(Reg::Virt(w)));
+        let mut m = Module::new("m");
+        m.add_func(fb.finish());
+        assert!(!is_closed(&m, &Target::default()));
+    }
+
+    #[test]
+    fn stale_phys_read_after_call_is_rejected() {
+        use spillopt_ir::{Callee, InstKind, PReg};
+        let mut fb = FunctionBuilder::new("s", 1);
+        let b = fb.create_block(None);
+        fb.switch_to(b);
+        let _ = fb.call(Callee::External(0), &[]);
+        // Reads the argument register after the call clobbered it.
+        let v = fb.new_vreg();
+        fb.emit(InstKind::Move {
+            dst: Reg::Virt(v),
+            src: Reg::Phys(PReg::new(1)),
+        });
+        fb.ret(Some(Reg::Virt(v)));
+        let mut m = Module::new("m");
+        m.add_func(fb.finish());
+        assert!(!is_closed(&m, &Target::default()));
+    }
+}

@@ -1,0 +1,349 @@
+//! The three differential oracles, applied to one case on one target.
+//!
+//! For every generated module the checker runs the full pipeline —
+//! reference interpretation on the virtual module, Chaitin/Briggs
+//! allocation, all four placement techniques priced by the target's
+//! [`spillopt_core::SpillCostModel`] — and then validates
+//! each transformed program against:
+//!
+//! 1. **Semantic equivalence** — interpreting the transformed module on
+//!    the generation workload must produce the reference outputs, with
+//!    the callee-saved convention *dynamically* verified by the
+//!    interpreter (any clobbered callee-saved register at a return is an
+//!    execution error, not a wrong value);
+//! 2. **Model fidelity** — the measured save/restore/jump counters
+//!    ([`spillopt_profile::ExecCounts::spill_counts`]) must *equal* the
+//!    execution-count prediction
+//!    ([`spillopt_core::predicted_spill_counts`]) and be bounded by the
+//!    jump-edge model's cost under unit pricing;
+//! 3. **Never-worse** — the hierarchical jump-edge placement's predicted
+//!    cost must not exceed entry/exit's or Chow's on any target,
+//!    including pairing targets (AArch64) where optimality no longer
+//!    composes per register.
+
+use spillopt_core::{
+    insert_placement, placement_cost_with, predicted_spill_counts, run_suite_priced,
+    CalleeSavedUsage, Cost, CostModel, Placement, SpillCostModel,
+};
+use spillopt_ir::analysis::loops::sccs;
+use spillopt_ir::{Cfg, FuncId, Module, RegDiscipline, Target};
+use spillopt_profile::{EdgeProfile, Machine, SpillCounts};
+use spillopt_pst::Pst;
+use spillopt_regalloc::allocate;
+use spillopt_targets::TargetSpec;
+use std::fmt;
+
+/// The four techniques, in reporting order (matching the driver's
+/// `Strategy` names).
+pub const STRATEGIES: [&str; 4] = ["baseline", "shrinkwrap", "hier-exec", "hier-jump"];
+
+/// Which oracle (or pipeline stage) a failure belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The case itself is unusable: the module does not verify, a target
+    /// is malformed, or the reference run fails.
+    Reference,
+    /// The transformed program produced different outputs, violated the
+    /// callee-saved convention dynamically, or failed to execute.
+    Semantic,
+    /// Measured spill counters disagree with the cost model's prediction.
+    Fidelity,
+    /// Hierarchical (jump model) predicted worse than entry/exit or Chow.
+    NeverWorse,
+    /// A pipeline stage panicked (allocator non-convergence, invalid
+    /// placement assertion, insertion bug, ...).
+    Panic,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::Reference => "reference",
+            FailureKind::Semantic => "semantic-equivalence",
+            FailureKind::Fidelity => "model-fidelity",
+            FailureKind::NeverWorse => "never-worse",
+            FailureKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug)]
+pub struct OracleFailure {
+    /// Which oracle fired.
+    pub kind: FailureKind,
+    /// The technique being checked, when the failure is per-technique.
+    pub strategy: Option<&'static str>,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.strategy {
+            Some(s) => write!(f, "[{}] {}: {}", self.kind, s, self.detail),
+            None => write!(f, "[{}] {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Statistics of one passing case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaseReport {
+    /// Functions in the module.
+    pub functions: usize,
+    /// Functions that used callee-saved registers (were placed).
+    pub placed_functions: usize,
+    /// Technique × function placements checked.
+    pub placements_checked: usize,
+}
+
+fn fail(kind: FailureKind, strategy: Option<&'static str>, detail: String) -> OracleFailure {
+    OracleFailure {
+        kind,
+        strategy,
+        detail,
+    }
+}
+
+/// Executes `runs` on `module`, returning per-run outputs and the
+/// accumulated counters/profiles.
+fn execute<'a>(
+    module: &'a Module,
+    target: &'a Target,
+    runs: &[(FuncId, Vec<i64>)],
+) -> Result<(Vec<i64>, Machine<'a>), spillopt_profile::ExecError> {
+    let mut vm = Machine::new(module, target);
+    // Far above any legitimate generated workload (≈5M instructions at
+    // the nesting/fuel extremes) but low enough that minimization
+    // probes hitting an accidental infinite loop fail fast.
+    vm.set_fuel(1 << 26);
+    let mut outputs = Vec::with_capacity(runs.len());
+    for (f, args) in runs {
+        outputs.push(vm.call(*f, args)?);
+    }
+    Ok((outputs, vm))
+}
+
+/// Runs all three oracles over one `(module, workload)` case on one
+/// target.
+///
+/// # Errors
+///
+/// Returns the first [`OracleFailure`] encountered; the caller is
+/// expected to minimize the module and report it.
+pub fn check_case(
+    module: &Module,
+    runs: &[(FuncId, Vec<i64>)],
+    spec: &TargetSpec,
+) -> Result<CaseReport, OracleFailure> {
+    let target = spec.try_to_target().map_err(|e| {
+        fail(
+            FailureKind::Reference,
+            None,
+            format!("target `{}` malformed: {e}", spec.name),
+        )
+    })?;
+    let errs = spillopt_ir::verify_module(module, RegDiscipline::Virtual);
+    if !errs.is_empty() {
+        return Err(fail(
+            FailureKind::Reference,
+            None,
+            format!("generated module does not verify: {}", render_errs(&errs)),
+        ));
+    }
+
+    // Reference run on the virtual module; doubles as the training
+    // profile (measured run and profile must share the workload for the
+    // fidelity oracle's equality to be exact).
+    let (reference, vm) = execute(module, &target, runs).map_err(|e| {
+        fail(
+            FailureKind::Reference,
+            None,
+            format!("reference run failed: {e}"),
+        )
+    })?;
+    let profiles: Vec<EdgeProfile> = module.func_ids().map(|f| vm.edge_profile(f)).collect();
+    drop(vm);
+
+    // Allocation (shared by all techniques).
+    let mut allocated = module.clone();
+    for f in module.func_ids() {
+        allocate(allocated.func_mut(f), &target, Some(&profiles[f.index()]));
+        let errs = spillopt_ir::verify_function(allocated.func(f), RegDiscipline::Physical);
+        if !errs.is_empty() {
+            return Err(fail(
+                FailureKind::Semantic,
+                None,
+                format!(
+                    "post-allocation verification failed in `{}`: {}",
+                    allocated.func(f).name(),
+                    render_errs(&errs)
+                ),
+            ));
+        }
+    }
+
+    // Placements: all four techniques per function that needs them.
+    let cfgs: Vec<Cfg> = allocated
+        .func_ids()
+        .map(|f| Cfg::compute(allocated.func(f)))
+        .collect();
+    let usages: Vec<CalleeSavedUsage> = allocated
+        .func_ids()
+        .map(|f| CalleeSavedUsage::from_function(allocated.func(f), &cfgs[f.index()], &target))
+        .collect();
+    // Per function: placements in STRATEGIES order, plus predicted costs.
+    let mut placements: Vec<Option<[Placement; 4]>> = Vec::new();
+    let mut report = CaseReport {
+        functions: module.num_funcs(),
+        ..CaseReport::default()
+    };
+    for f in allocated.func_ids() {
+        let i = f.index();
+        if usages[i].is_empty() {
+            placements.push(None);
+            continue;
+        }
+        report.placed_functions += 1;
+        let cyclic = sccs(&cfgs[i]);
+        let pst = Pst::compute(&cfgs[i]);
+        let suite = run_suite_priced(
+            &cfgs[i],
+            &cyclic,
+            &pst,
+            &usages[i],
+            &profiles[i],
+            &spec.costs,
+        );
+        // Oracle 3: the paper's guarantee, priced by the target's model.
+        let [entry_exit, chow, _, hier_jump] = suite.predicted;
+        if suite.predicted[3] > entry_exit || suite.predicted[3] > chow {
+            return Err(fail(
+                FailureKind::NeverWorse,
+                Some(STRATEGIES[3]),
+                format!(
+                    "`{}` on {}: hier-jump predicted {:?} vs entry/exit {:?}, chow {:?}",
+                    allocated.func(f).name(),
+                    spec.name,
+                    hier_jump,
+                    entry_exit,
+                    chow
+                ),
+            ));
+        }
+        placements.push(Some([
+            suite.entry_exit,
+            suite.chow,
+            suite.hierarchical_exec.placement,
+            suite.hierarchical_jump.placement,
+        ]));
+    }
+
+    // Per technique: insert, verify, execute, compare.
+    for (s, &name) in STRATEGIES.iter().enumerate() {
+        let mut placed = allocated.clone();
+        let mut predicted = SpillCounts::default();
+        let mut predicted_bound = Cost::ZERO;
+        for f in allocated.func_ids() {
+            let i = f.index();
+            let Some(ps) = &placements[i] else { continue };
+            report.placements_checked += 1;
+            predicted = predicted.add(&predicted_spill_counts(&cfgs[i], &profiles[i], &ps[s]));
+            predicted_bound += placement_cost_with(
+                CostModel::JumpEdge,
+                &SpillCostModel::UNIT,
+                &cfgs[i],
+                &profiles[i],
+                &ps[s],
+            );
+            insert_placement(placed.func_mut(f), &cfgs[i], &ps[s]);
+            let errs = spillopt_ir::verify_function(placed.func(f), RegDiscipline::Physical);
+            if !errs.is_empty() {
+                return Err(fail(
+                    FailureKind::Semantic,
+                    Some(name),
+                    format!(
+                        "inserted `{}` does not verify: {}",
+                        placed.func(f).name(),
+                        render_errs(&errs)
+                    ),
+                ));
+            }
+        }
+
+        let (outputs, vm) = execute(&placed, &target, runs).map_err(|e| {
+            fail(
+                FailureKind::Semantic,
+                Some(name),
+                format!("transformed run failed: {e}"),
+            )
+        })?;
+        // Oracle 1: semantic equivalence.
+        if outputs != reference {
+            return Err(fail(
+                FailureKind::Semantic,
+                Some(name),
+                format!("outputs changed: reference {reference:?}, transformed {outputs:?}"),
+            ));
+        }
+        // Oracle 2: model fidelity. The execution-count accounting must be
+        // exact; the jump-edge cost (unit pricing) bounds the total.
+        let measured = vm.counts().spill_counts();
+        let diff = predicted.diff(&measured);
+        if !diff.is_empty() {
+            let rendered: Vec<String> = diff
+                .iter()
+                .map(|(n, p, m)| format!("{n}: predicted {p}, measured {m}"))
+                .collect();
+            return Err(fail(FailureKind::Fidelity, Some(name), rendered.join("; ")));
+        }
+        if Cost::from_count(measured.total()) > predicted_bound {
+            return Err(fail(
+                FailureKind::Fidelity,
+                Some(name),
+                format!(
+                    "measured total {} exceeds jump-edge model bound {:?}",
+                    measured.total(),
+                    predicted_bound
+                ),
+            ));
+        }
+    }
+
+    Ok(report)
+}
+
+fn render_errs(errs: &[spillopt_ir::VerifyError]) -> String {
+    errs.iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn a_healthy_case_passes_all_oracles() {
+        let spec = spillopt_targets::pa_risc_like();
+        let target = spec.to_target();
+        let case = gen_case(&target, 1);
+        let report = check_case(&case.module, &case.runs, &spec).expect("oracles pass");
+        assert_eq!(report.functions, case.module.num_funcs());
+    }
+
+    #[test]
+    fn a_broken_module_is_a_reference_failure() {
+        let spec = spillopt_targets::pa_risc_like();
+        // An empty module trivially passes; a module with an un-verifiable
+        // function must be flagged as unusable, not crash.
+        let mut m = Module::new("bad");
+        let f = m.add_func(spillopt_ir::Function::new("empty"));
+        let err = check_case(&m, &[(f, vec![])], &spec).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Reference);
+    }
+}
