@@ -1,0 +1,75 @@
+//! Micro-benchmark: the bit-parallel saved-region solver versus the
+//! retired per-register growth, as a function of CFG size (edge count).
+//!
+//! This is the isolated form of the PR's headline rewrite: one
+//! membership word per block and word-op transfer functions against one
+//! anticipation/availability fixpoint per callee-saved register. The
+//! gap widens linearly with the number of busy registers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spillopt_core::{dataflow, solver, CalleeSavedUsage, RegWords};
+use spillopt_ir::analysis::loops::sccs;
+use spillopt_ir::{Cfg, DerivedCfg};
+use std::hint::black_box;
+
+/// An allocated stress function of roughly the requested scale, with
+/// its callee-saved usage.
+fn input_at_scale(scale: u32) -> (Cfg, DerivedCfg, CalleeSavedUsage) {
+    let spec = spillopt_targets::pa_risc_like();
+    let target = spec.to_target();
+    // Scan a few seeds for a function that actually uses callee-saved
+    // registers (deterministic).
+    for seed in 0..16 {
+        let case = spillopt_stress::gen_case_scaled(&target, seed, scale);
+        for f in case.module.func_ids() {
+            let mut func = case.module.func(f).clone();
+            let cfg = Cfg::compute(&func);
+            let profile = spillopt_profile::random_walk_profile(&cfg, 64, 128, seed);
+            spillopt_regalloc::allocate(&mut func, &target, Some(&profile));
+            let cfg = Cfg::compute(&func);
+            let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+            if usage.num_regs() >= 4 {
+                let derived = DerivedCfg::compute(&cfg);
+                return (cfg, derived, usage);
+            }
+        }
+    }
+    panic!("no callee-saved-using stress function found");
+}
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(20);
+    for scale in [1u32, 4, 16, 64] {
+        let (cfg, derived, usage) = input_at_scale(scale);
+        let cyclic = sccs(&cfg);
+        group.throughput(Throughput::Elements(cfg.num_edges() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bit_parallel", cfg.num_edges()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut words =
+                        RegWords::from_busy(cfg.num_blocks(), &usage).expect("<= 64 regs");
+                    solver::chow_grow_all(&derived, cfg.entry().index(), &cyclic, &mut words);
+                    black_box(&words);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_register", cfg.num_edges()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    for (_, busy) in usage.regs() {
+                        black_box(dataflow::chow_grow(cfg, &cyclic, busy));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_scaling);
+criterion_main!(benches);

@@ -11,11 +11,11 @@
 //! region-entry edges and restores on the region-exit edges — none of
 //! which, by construction, require jump blocks.
 
-use crate::dataflow::{chow_grow, region_boundary};
-use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
+use crate::location::Placement;
+use crate::solver::chow_points_all;
 use crate::usage::CalleeSavedUsage;
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
-use spillopt_ir::Cfg;
+use spillopt_ir::{Cfg, DerivedCfg};
 
 /// Computes Chow's shrink-wrapping placement for all used callee-saved
 /// registers.
@@ -26,58 +26,42 @@ pub fn chow_shrink_wrap(cfg: &Cfg, usage: &CalleeSavedUsage) -> Placement {
 
 /// As [`chow_shrink_wrap`], with precomputed cyclic regions (for callers
 /// that already ran SCC detection).
+///
+/// All registers grow at once through the bit-parallel solver
+/// ([`crate::solver::chow_grow_all`]) — one membership word per block,
+/// one fixpoint, one boundary sweep — instead of one saved-region
+/// fixpoint per register. The placement is identical to the retired
+/// per-register path ([`crate::reference::chow_shrink_wrap_reference`]),
+/// which also serves as the fallback for the impossible case of more
+/// than 64 callee-saved registers.
 pub fn chow_shrink_wrap_with(
     cfg: &Cfg,
     cyclic: &[CyclicRegion],
     usage: &CalleeSavedUsage,
 ) -> Placement {
-    let mut points = Vec::new();
-    for (reg, busy) in usage.regs() {
-        let w = chow_grow(cfg, cyclic, busy);
-        let b = region_boundary(cfg, &w);
-        if b.save_at_entry {
-            points.push(SpillPoint {
-                reg,
-                kind: SpillKind::Save,
-                loc: SpillLoc::BlockTop(cfg.entry()),
-            });
-        }
-        for e in b.save_edges {
-            debug_assert!(
-                !cfg.needs_jump_block(e),
-                "Chow placement reached a critical jump edge"
-            );
-            points.push(SpillPoint {
-                reg,
-                kind: SpillKind::Save,
-                loc: SpillLoc::OnEdge(e),
-            });
-        }
-        for e in b.restore_edges {
-            debug_assert!(
-                !cfg.needs_jump_block(e),
-                "Chow placement reached a critical jump edge"
-            );
-            points.push(SpillPoint {
-                reg,
-                kind: SpillKind::Restore,
-                loc: SpillLoc::OnEdge(e),
-            });
-        }
-        for x in b.restore_at_exits {
-            points.push(SpillPoint {
-                reg,
-                kind: SpillKind::Restore,
-                loc: SpillLoc::BlockBottom(x),
-            });
-        }
+    let derived = DerivedCfg::compute(cfg);
+    chow_shrink_wrap_derived(cfg, &derived, cyclic, usage)
+}
+
+/// As [`chow_shrink_wrap_with`], with the caller's cached [`DerivedCfg`]
+/// (the driver's analysis cache computes it once per function and every
+/// technique reuses it).
+pub fn chow_shrink_wrap_derived(
+    cfg: &Cfg,
+    derived: &DerivedCfg,
+    cyclic: &[CyclicRegion],
+    usage: &CalleeSavedUsage,
+) -> Placement {
+    match chow_points_all(cfg, derived, cyclic, usage) {
+        Some(points) => Placement::from_points(points),
+        None => crate::reference::chow_shrink_wrap_reference(cfg, cyclic, usage),
     }
-    Placement::from_points(points)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::location::{SpillKind, SpillLoc};
     use spillopt_ir::{Cond, FunctionBuilder, PReg, Reg};
 
     #[test]

@@ -23,14 +23,13 @@
 use crate::cost::{Cost, CostModel, SpillCostModel};
 use crate::entry_exit::entry_exit_placement;
 use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
-use crate::modified::modified_shrink_wrap;
+use crate::modified::{modified_shrink_wrap, InitialSets};
 use crate::overhead::placement_cost_with;
 use crate::sets::{EdgeShares, SaveRestoreSet};
 use crate::usage::CalleeSavedUsage;
 use spillopt_ir::{Cfg, DenseBitSet, PReg};
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::{Pst, RegionBoundary, RegionId};
-use std::collections::HashMap;
 
 /// One decision made while traversing the PST (for tests, examples, and
 /// the harness's walkthrough output).
@@ -84,11 +83,20 @@ pub fn hierarchical_placement(
     hierarchical_placement_with(cfg, pst, usage, profile, model, &SpillCostModel::UNIT)
 }
 
+/// A set in flight through the traversal, paired with its cost under the
+/// active model. The cost of a set never changes once created (shares
+/// are fixed by the initial solution), so it is computed exactly once
+/// instead of at every ancestor region the set bubbles through.
+struct LiveSet {
+    set: SaveRestoreSet,
+    cost: Cost,
+}
+
 /// One register's candidacy at a region: its contained sets and the cost
 /// of replacing them at the region boundary.
 struct Candidate {
     reg: PReg,
-    sets: Vec<SaveRestoreSet>,
+    sets: Vec<LiveSet>,
     contained_cost: Cost,
     hoistable: bool,
     boundary: SaveRestoreSet,
@@ -167,37 +175,67 @@ pub fn hierarchical_placement_vs(
     // Lines 2-3: initial sets from the modified shrink-wrapping, with the
     // jump-cost sharing the paper prescribes for them.
     let initial = modified_shrink_wrap(cfg, usage);
+    hierarchical_placement_seeded(cfg, pst, usage, profile, model, costs, shrink_wrap, initial)
+}
+
+/// As [`hierarchical_placement_vs`], with the initial sets supplied by
+/// the caller. The suite runs the traversal once per cost model against
+/// the *same* initial solution; computing it once and handing it to both
+/// runs halves the shrink-wrapping work without changing any decision.
+///
+/// The traversal's bookkeeping is dense: the PST's preorder arena
+/// numbering indexes per-region set lists directly (no hash-keyed
+/// folding), every set's cost under the active model is computed once
+/// when the set is created (shares are fixed by the initial solution, so
+/// set costs never change as sets bubble up the tree), and the busy
+/// intersection reuses one scratch bitset across all regions.
+// The paper's parameter list, plus the two baselines the final
+// comparison needs; a struct would only relocate the argument list.
+#[allow(clippy::too_many_arguments)]
+pub fn hierarchical_placement_seeded(
+    cfg: &Cfg,
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    model: CostModel,
+    costs: &SpillCostModel,
+    shrink_wrap: &Placement,
+    initial: InitialSets,
+) -> HierarchicalResult {
     let shares = EdgeShares::from_sets(&initial.sets);
 
     // Assign each set to its home region: the innermost region containing
-    // the whole cluster and every location.
-    let mut home_sets: HashMap<RegionId, Vec<SaveRestoreSet>> = HashMap::new();
+    // the whole cluster and every location. Dense, indexed by the PST's
+    // preorder region numbering.
+    let mut home_sets: Vec<Vec<LiveSet>> = (0..pst.num_regions()).map(|_| Vec::new()).collect();
     for set in initial.sets {
         let home = home_region(cfg, pst, &set);
-        home_sets.entry(home).or_default().push(set);
+        let cost = set.cost_with(model, costs, cfg, profile, &shares);
+        home_sets[home.index()].push(LiveSet { set, cost });
     }
 
     let mut trace = Vec::new();
-    // Folded sets flowing up the tree, per region (keyed by region).
-    let mut folded: HashMap<RegionId, Vec<SaveRestoreSet>> = HashMap::new();
+    // Folded sets flowing up the tree, indexed by region.
+    let mut folded: Vec<Vec<LiveSet>> = (0..pst.num_regions()).map(|_| Vec::new()).collect();
+    let mut busy_inside = DenseBitSet::new(cfg.num_blocks());
 
     // Line 4: topological-order (children-first) traversal.
     for &r in pst.postorder() {
         let region = pst.region(r);
-        let mut live: Vec<SaveRestoreSet> = Vec::new();
+        let mut live: Vec<LiveSet> = Vec::new();
         for &c in &region.children {
-            live.extend(folded.remove(&c).unwrap_or_default());
+            live.append(&mut folded[c.index()]);
         }
-        live.extend(home_sets.remove(&r).unwrap_or_default());
+        live.append(&mut home_sets[r.index()]);
 
         // Line 5: per callee-saved register.
-        let mut regs: Vec<PReg> = live.iter().map(|s| s.reg).collect();
+        let mut regs: Vec<PReg> = live.iter().map(|s| s.set.reg).collect();
         regs.sort();
         regs.dedup();
 
         let mut candidates: Vec<Candidate> = Vec::new();
         for reg in regs {
-            let (mine, rest): (Vec<_>, Vec<_>) = live.drain(..).partition(|s| s.reg == reg);
+            let (mine, rest): (Vec<_>, Vec<_>) = live.drain(..).partition(|s| s.set.reg == reg);
             live = rest;
 
             // Hoisting to this region's boundary is only valid if every
@@ -205,15 +243,11 @@ pub fn hierarchical_placement_vs(
             // contained sets (otherwise another web of the same register
             // crosses the boundary).
             let busy = usage.busy(reg).expect("set exists for used register");
-            let mut busy_inside = busy.clone();
-            busy_inside.intersect_with(&region.blocks);
-            let contained_blocks: usize = mine.iter().map(|s| s.cluster.count()).sum();
+            busy_inside.set_to_intersection(busy, &region.blocks);
+            let contained_blocks: usize = mine.iter().map(|s| s.set.cluster.count()).sum();
             let hoistable = contained_blocks == busy_inside.count();
 
-            let contained_cost: Cost = mine
-                .iter()
-                .map(|s| s.cost_with(model, costs, cfg, profile, &shares))
-                .sum();
+            let contained_cost: Cost = mine.iter().map(|s| s.cost).sum();
             let boundary = boundary_set(cfg, pst, r, reg);
             let boundary_cost = boundary.cost_with(model, costs, cfg, profile, &shares);
 
@@ -228,7 +262,7 @@ pub fn hierarchical_placement_vs(
         }
 
         let decisions = if costs.pair_size > 1 {
-            decide_paired(model, costs, cfg, profile, &mut candidates)
+            decide_paired(model, costs, cfg, profile, &candidates)
         } else {
             // Line 6: the paper's per-register "less than or equal" rule.
             candidates
@@ -242,7 +276,7 @@ pub fn hierarchical_placement_vs(
                 .collect()
         };
 
-        let mut surviving: Vec<SaveRestoreSet> = Vec::new();
+        let mut surviving: Vec<LiveSet> = Vec::new();
         for (c, (replaced, charged)) in candidates.into_iter().zip(decisions) {
             trace.push(TraceEvent {
                 region: r,
@@ -253,25 +287,37 @@ pub fn hierarchical_placement_vs(
                 replaced,
             });
             if replaced {
-                // Lines 7-8.
+                // Lines 7-8. The new set's cost is the full boundary
+                // cost (ancestors see the set, not the marginal the
+                // group decision charged it).
                 let mut cluster = DenseBitSet::new(cfg.num_blocks());
                 for s in &c.sets {
-                    cluster.union_with(&s.cluster);
+                    cluster.union_with(&s.set.cluster);
                 }
-                surviving.push(SaveRestoreSet {
-                    cluster,
-                    ..c.boundary
+                surviving.push(LiveSet {
+                    set: SaveRestoreSet {
+                        cluster,
+                        ..c.boundary
+                    },
+                    cost: c.boundary_cost,
                 });
             } else {
                 surviving.extend(c.sets);
             }
         }
-        folded.insert(r, surviving);
+        folded[r.index()] = surviving;
     }
 
-    let mut final_sets = folded.remove(&pst.root()).unwrap_or_default();
-    let mut placement =
-        Placement::from_points(final_sets.iter().flat_map(|s| s.points.clone()).collect());
+    let mut final_sets: Vec<SaveRestoreSet> = std::mem::take(&mut folded[pst.root().index()])
+        .into_iter()
+        .map(|l| l.set)
+        .collect();
+    let mut placement = Placement::from_points(
+        final_sets
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect(),
+    );
 
     // Final group-wise comparison against both baselines (see the doc
     // comment of [`hierarchical_placement_vs`]): shared-cost pricing of
@@ -338,7 +384,7 @@ fn decide_paired(
     costs: &SpillCostModel,
     cfg: &Cfg,
     profile: &EdgeProfile,
-    candidates: &mut [Candidate],
+    candidates: &[Candidate],
 ) -> Vec<(bool, Cost)> {
     let pair = costs.pair_size.max(1) as usize;
 
@@ -421,7 +467,7 @@ fn decide_paired(
 
 /// The innermost region containing every location and every cluster block
 /// of a set.
-fn home_region(cfg: &Cfg, pst: &Pst, set: &SaveRestoreSet) -> RegionId {
+pub(crate) fn home_region(cfg: &Cfg, pst: &Pst, set: &SaveRestoreSet) -> RegionId {
     let mut home: Option<RegionId> = None;
     let fold = |r: RegionId, home: &mut Option<RegionId>| {
         *home = Some(match home {
@@ -448,7 +494,7 @@ fn home_region(cfg: &Cfg, pst: &Pst, set: &SaveRestoreSet) -> RegionId {
 /// Builds the save/restore set at a region's boundaries for one register
 /// (line 8). For the root region this is the procedure entry/exit
 /// placement.
-fn boundary_set(cfg: &Cfg, pst: &Pst, r: RegionId, reg: PReg) -> SaveRestoreSet {
+pub(crate) fn boundary_set(cfg: &Cfg, pst: &Pst, r: RegionId, reg: PReg) -> SaveRestoreSet {
     let region = pst.region(r);
     let mut points = Vec::new();
     match region.entry {

@@ -83,30 +83,37 @@ pub mod modified;
 pub mod overhead;
 pub mod paper_example;
 pub mod pipeline;
+pub mod reference;
 pub mod sets;
+pub mod solver;
 pub mod usage;
 pub mod validate;
 pub mod webs;
 
-pub use chow::{chow_shrink_wrap, chow_shrink_wrap_with};
+pub use chow::{chow_shrink_wrap, chow_shrink_wrap_derived, chow_shrink_wrap_with};
 pub use cost::{
     location_base_cost, location_cost, location_exec_count, spill_point_cost, Cost, CostModel,
     InsnCost, SpillCostModel, COST_SCALE,
 };
 pub use entry_exit::entry_exit_placement;
 pub use hierarchical::{
-    hierarchical_placement, hierarchical_placement_vs, hierarchical_placement_with,
-    HierarchicalResult, TraceEvent,
+    hierarchical_placement, hierarchical_placement_seeded, hierarchical_placement_vs,
+    hierarchical_placement_with, HierarchicalResult, TraceEvent,
 };
 pub use insert::{insert_placement, InsertionReport};
 pub use location::{Placement, SpillKind, SpillLoc, SpillPoint};
-pub use modified::{modified_shrink_wrap, modified_shrink_wrap_hoisted, InitialSets};
+pub use modified::{
+    modified_shrink_wrap, modified_shrink_wrap_derived, modified_shrink_wrap_hoisted, InitialSets,
+};
 pub use overhead::{
     placement_cost, placement_cost_with, placement_model_cost, predicted_spill_counts,
     static_overhead,
 };
 pub use paper_example::{fig1_example, paper_example, Fig1Example, PaperExample};
-pub use pipeline::{run_suite, run_suite_priced, run_suite_with, PlacementSuite};
+pub use pipeline::{
+    run_suite, run_suite_analyzed, run_suite_priced, run_suite_with, PlacementSuite,
+};
 pub use sets::{EdgeShares, SaveRestoreSet};
+pub use solver::{chow_grow_all, chow_points_all, initial_sets_all, RegWords};
 pub use usage::CalleeSavedUsage;
 pub use validate::{check_placement, PlacementError};

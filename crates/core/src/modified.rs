@@ -10,7 +10,7 @@ use crate::dataflow::{busy_clusters, region_boundary};
 use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
 use crate::sets::SaveRestoreSet;
 use crate::usage::CalleeSavedUsage;
-use spillopt_ir::{Cfg, DenseBitSet};
+use spillopt_ir::{Cfg, DerivedCfg};
 
 /// The initial sets plus their union as a [`Placement`].
 #[derive(Clone, Debug)]
@@ -22,7 +22,12 @@ pub struct InitialSets {
 impl InitialSets {
     /// The union of all sets as a placement.
     pub fn placement(&self) -> Placement {
-        Placement::from_points(self.sets.iter().flat_map(|s| s.points.clone()).collect())
+        Placement::from_points(
+            self.sets
+                .iter()
+                .flat_map(|s| s.points.iter().copied())
+                .collect(),
+        )
     }
 }
 
@@ -30,49 +35,27 @@ impl InitialSets {
 /// register and each connected cluster of its busy blocks, a save on every
 /// edge entering the cluster (or at procedure entry) and a restore on
 /// every edge leaving it (or before contained returns).
+///
+/// All registers' clusters are wrapped in one edge sweep over busy
+/// membership words ([`crate::solver::initial_sets_all`]) instead of one
+/// boundary sweep per cluster; the sets are identical to the retired
+/// path ([`crate::reference::modified_shrink_wrap_reference`]), which
+/// also serves as the over-64-registers fallback.
 pub fn modified_shrink_wrap(cfg: &Cfg, usage: &CalleeSavedUsage) -> InitialSets {
-    let mut sets = Vec::new();
-    for (reg, busy) in usage.regs() {
-        for cluster in busy_clusters(cfg, busy) {
-            let b = region_boundary(cfg, &cluster);
-            let mut points = Vec::new();
-            if b.save_at_entry {
-                points.push(SpillPoint {
-                    reg,
-                    kind: SpillKind::Save,
-                    loc: SpillLoc::BlockTop(cfg.entry()),
-                });
-            }
-            for e in b.save_edges {
-                points.push(SpillPoint {
-                    reg,
-                    kind: SpillKind::Save,
-                    loc: SpillLoc::OnEdge(e),
-                });
-            }
-            for e in b.restore_edges {
-                points.push(SpillPoint {
-                    reg,
-                    kind: SpillKind::Restore,
-                    loc: SpillLoc::OnEdge(e),
-                });
-            }
-            for x in b.restore_at_exits {
-                points.push(SpillPoint {
-                    reg,
-                    kind: SpillKind::Restore,
-                    loc: SpillLoc::BlockBottom(x),
-                });
-            }
-            sets.push(SaveRestoreSet {
-                reg,
-                points,
-                cluster,
-                initial: true,
-            });
-        }
+    let derived = DerivedCfg::compute(cfg);
+    modified_shrink_wrap_derived(cfg, &derived, usage)
+}
+
+/// As [`modified_shrink_wrap`], with the caller's cached [`DerivedCfg`].
+pub fn modified_shrink_wrap_derived(
+    cfg: &Cfg,
+    derived: &DerivedCfg,
+    usage: &CalleeSavedUsage,
+) -> InitialSets {
+    match crate::solver::initial_sets_all(cfg, derived, usage) {
+        Some(sets) => InitialSets { sets },
+        None => crate::reference::modified_shrink_wrap_reference(cfg, usage),
     }
-    InitialSets { sets }
 }
 
 /// Variant used by the ablation study: initial sets grown by the
@@ -114,16 +97,12 @@ pub fn modified_shrink_wrap_hoisted(cfg: &Cfg, usage: &CalleeSavedUsage) -> Init
                     loc: SpillLoc::BlockBottom(x),
                 });
             }
-            let mut cluster_busy = DenseBitSet::new(cfg.num_blocks());
-            cluster_busy.union_with(&cluster);
-            cluster_busy.intersect_with(busy);
             sets.push(SaveRestoreSet {
                 reg,
                 points,
                 cluster,
                 initial: true,
             });
-            let _ = cluster_busy;
         }
     }
     InitialSets { sets }

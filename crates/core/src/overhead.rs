@@ -63,18 +63,50 @@ pub fn placement_cost_with(
     placement: &Placement,
 ) -> Cost {
     let pair = costs.pair_size.max(1) as u64;
-    // Count registers per (location, kind); BTreeMap-free determinism by
-    // sorting the grouped keys below.
-    let mut groups: HashMap<(SpillLoc, SpillKind), u64> = HashMap::new();
-    for p in placement.points() {
-        *groups.entry((p.loc, p.kind)).or_insert(0) += 1;
-    }
-    let mut keys: Vec<(SpillLoc, SpillKind)> = groups.keys().copied().collect();
-    keys.sort();
+    // Group registers per (location, kind) by sorting the points' dense
+    // keys — identical grouping and summation order to the retired
+    // hash-then-sort accounting ([`placement_cost_with_reference`]), with
+    // no hashing and one small scratch allocation.
+    let n = cfg.num_blocks();
+    let mut keys: Vec<u32> = placement
+        .points()
+        .iter()
+        .map(|p| {
+            let loc = match p.loc {
+                SpillLoc::BlockTop(b) => b.index(),
+                SpillLoc::BlockBottom(b) => n + b.index(),
+                SpillLoc::OnEdge(e) => 2 * n + e.index(),
+            };
+            (loc * 2 + p.kind as usize) as u32
+        })
+        .collect();
+    keys.sort_unstable();
+    let decode = |key: u32| -> (SpillLoc, SpillKind) {
+        let kind = if key.is_multiple_of(2) {
+            SpillKind::Restore
+        } else {
+            SpillKind::Save
+        };
+        let loc = (key / 2) as usize;
+        let loc = if loc < n {
+            SpillLoc::BlockTop(spillopt_ir::BlockId::from_index(loc))
+        } else if loc < 2 * n {
+            SpillLoc::BlockBottom(spillopt_ir::BlockId::from_index(loc - n))
+        } else {
+            SpillLoc::OnEdge(EdgeId::from_index(loc - 2 * n))
+        };
+        (loc, kind)
+    };
     let mut total = Cost::ZERO;
-    for key in keys {
-        let (loc, kind) = key;
-        let regs = groups[&key];
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i];
+        let mut regs = 0u64;
+        while i < keys.len() && keys[i] == key {
+            regs += 1;
+            i += 1;
+        }
+        let (loc, kind) = decode(key);
         let insts = regs.div_ceil(pair);
         let count = crate::cost::location_exec_count(cfg, profile, loc);
         total += costs

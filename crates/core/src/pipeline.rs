@@ -1,15 +1,14 @@
 //! One-call driver: all placement techniques on one procedure.
 
-use crate::chow::chow_shrink_wrap_with;
 use crate::cost::{Cost, CostModel, SpillCostModel};
 use crate::entry_exit::entry_exit_placement;
-use crate::hierarchical::{hierarchical_placement_vs, HierarchicalResult};
+use crate::hierarchical::{hierarchical_placement_seeded, HierarchicalResult};
 use crate::location::Placement;
 use crate::overhead::placement_cost_with;
 use crate::usage::CalleeSavedUsage;
 use crate::validate::check_placement;
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
-use spillopt_ir::Cfg;
+use spillopt_ir::{Cfg, DerivedCfg};
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::Pst;
 
@@ -74,9 +73,29 @@ pub fn run_suite_priced(
     profile: &EdgeProfile,
     costs: &SpillCostModel,
 ) -> PlacementSuite {
+    let derived = DerivedCfg::compute(cfg);
+    run_suite_analyzed(cfg, &derived, cyclic, pst, usage, profile, costs)
+}
+
+/// As [`run_suite_priced`], with the caller's cached [`DerivedCfg`] —
+/// the module driver's `AnalysisCache` computes every derived structure
+/// once per function and all four techniques consume it here.
+pub fn run_suite_analyzed(
+    cfg: &Cfg,
+    derived: &DerivedCfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    costs: &SpillCostModel,
+) -> PlacementSuite {
     let entry_exit = entry_exit_placement(cfg, usage);
-    let chow = chow_shrink_wrap_with(cfg, cyclic, usage);
-    let hierarchical_exec = hierarchical_placement_vs(
+    let chow = crate::chow::chow_shrink_wrap_derived(cfg, derived, cyclic, usage);
+    // Both hierarchical runs start from the same initial solution;
+    // compute it once and seed both (identical decisions — the initial
+    // sets do not depend on the cost model).
+    let initial = crate::modified::modified_shrink_wrap_derived(cfg, derived, usage);
+    let hierarchical_exec = hierarchical_placement_seeded(
         cfg,
         pst,
         usage,
@@ -84,9 +103,18 @@ pub fn run_suite_priced(
         CostModel::ExecutionCount,
         costs,
         &chow,
+        initial.clone(),
     );
-    let hierarchical_jump =
-        hierarchical_placement_vs(cfg, pst, usage, profile, CostModel::JumpEdge, costs, &chow);
+    let hierarchical_jump = hierarchical_placement_seeded(
+        cfg,
+        pst,
+        usage,
+        profile,
+        CostModel::JumpEdge,
+        costs,
+        &chow,
+        initial,
+    );
 
     for (name, p) in [
         ("entry_exit", &entry_exit),

@@ -3,9 +3,8 @@
 
 use crate::cost::{location_cost, spill_point_cost, Cost, CostModel, SpillCostModel};
 use crate::location::{SpillKind, SpillLoc, SpillPoint};
-use spillopt_ir::{Cfg, DenseBitSet, EdgeId, PReg};
+use spillopt_ir::{Cfg, DenseBitSet, PReg};
 use spillopt_profile::EdgeProfile;
-use std::collections::HashMap;
 
 /// A save/restore set: save and restore locations that depend on each
 /// other for validity and are independent of all other locations — the
@@ -98,13 +97,23 @@ impl SaveRestoreSet {
 /// sets (paper: "the cost of a jump instruction is divided among all the
 /// callee-saved registers that have spill locations on the corresponding
 /// jump edge").
+///
+/// Stored as dense `Vec`s — edge-indexed jump-share counts and a
+/// location×kind-indexed pairing table — instead of the retired
+/// `HashMap` accounting ([`crate::reference::EdgeSharesReference`]);
+/// every query is an array load. Sized by the largest index mentioned in
+/// the sets, with out-of-range queries answering the unshared default.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeShares {
-    counts: HashMap<EdgeId, u64>,
+    /// Distinct registers with a location on edge `e`, indexed by edge.
+    counts: Vec<u32>,
     /// Distinct registers with an initial location of a given kind at a
     /// given location — the candidates one paired save/restore
-    /// instruction could cover on pairing targets.
-    colocated: HashMap<(SpillLoc, SpillKind), u64>,
+    /// instruction could cover on pairing targets. Indexed by
+    /// [`EdgeShares::loc_kind_index`].
+    colocated: Vec<u32>,
+    /// Block-index space of `colocated` (locations above it are edges).
+    num_blocks: usize,
 }
 
 impl EdgeShares {
@@ -113,43 +122,76 @@ impl EdgeShares {
         EdgeShares::default()
     }
 
+    /// Dense index of a location: block tops, block bottoms, then edges.
+    fn loc_index(num_blocks: usize, loc: SpillLoc) -> usize {
+        match loc {
+            SpillLoc::BlockTop(b) => b.index(),
+            SpillLoc::BlockBottom(b) => num_blocks + b.index(),
+            SpillLoc::OnEdge(e) => 2 * num_blocks + e.index(),
+        }
+    }
+
+    /// Dense index of a (location, kind) pair.
+    fn loc_kind_index(num_blocks: usize, loc: SpillLoc, kind: SpillKind) -> usize {
+        Self::loc_index(num_blocks, loc) * 2 + kind as usize
+    }
+
     /// Computes shares from the initial sets: the number of distinct
     /// registers with at least one location on each edge (jump-cost
     /// sharing), and per (location, kind) the number of distinct
-    /// registers placing there (pairing).
+    /// registers placing there (pairing). Distinctness is resolved by a
+    /// sort+dedup over the mentioned points — no hashing.
     pub fn from_sets(sets: &[SaveRestoreSet]) -> Self {
-        let mut regs_per_edge: HashMap<EdgeId, Vec<PReg>> = HashMap::new();
-        let mut regs_per_loc: HashMap<(SpillLoc, SpillKind), Vec<PReg>> = HashMap::new();
+        let mut num_blocks = 0usize;
+        let mut num_edges = 0usize;
         for s in sets {
             for p in &s.points {
-                if let SpillLoc::OnEdge(e) = p.loc {
-                    let v = regs_per_edge.entry(e).or_default();
-                    if !v.contains(&p.reg) {
-                        v.push(p.reg);
+                match p.loc {
+                    SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => {
+                        num_blocks = num_blocks.max(b.index() + 1)
                     }
-                }
-                let v = regs_per_loc.entry((p.loc, p.kind)).or_default();
-                if !v.contains(&p.reg) {
-                    v.push(p.reg);
+                    SpillLoc::OnEdge(e) => num_edges = num_edges.max(e.index() + 1),
                 }
             }
         }
+        // (dense key, reg) tuples; sort+dedup yields distinct registers
+        // per key.
+        let mut per_edge: Vec<(u32, PReg)> = Vec::new();
+        let mut per_loc: Vec<(u32, PReg)> = Vec::new();
+        for s in sets {
+            for p in &s.points {
+                if let SpillLoc::OnEdge(e) = p.loc {
+                    per_edge.push((e.index() as u32, p.reg));
+                }
+                per_loc.push((
+                    Self::loc_kind_index(num_blocks, p.loc, p.kind) as u32,
+                    p.reg,
+                ));
+            }
+        }
+        per_edge.sort_unstable();
+        per_edge.dedup();
+        per_loc.sort_unstable();
+        per_loc.dedup();
+        let mut counts = vec![0u32; num_edges];
+        for (e, _) in per_edge {
+            counts[e as usize] += 1;
+        }
+        let mut colocated = vec![0u32; (2 * num_blocks + num_edges) * 2];
+        for (k, _) in per_loc {
+            colocated[k as usize] += 1;
+        }
         EdgeShares {
-            counts: regs_per_edge
-                .into_iter()
-                .map(|(e, v)| (e, v.len() as u64))
-                .collect(),
-            colocated: regs_per_loc
-                .into_iter()
-                .map(|(k, v)| (k, v.len() as u64))
-                .collect(),
+            counts,
+            colocated,
+            num_blocks,
         }
     }
 
     /// The sharing factor for a location (1 if not on a shared edge).
     pub fn share(&self, loc: SpillLoc) -> u64 {
         match loc {
-            SpillLoc::OnEdge(e) => self.counts.get(&e).copied().unwrap_or(1).max(1),
+            SpillLoc::OnEdge(e) => self.counts.get(e.index()).copied().unwrap_or(1).max(1) as u64,
             _ => 1,
         }
     }
@@ -159,12 +201,22 @@ impl EdgeShares {
     /// target's `pair_size` (1 when the target does not pair or the
     /// register is alone).
     pub fn pair_share(&self, loc: SpillLoc, kind: SpillKind, pair_size: u8) -> u64 {
-        let co = self
-            .colocated
-            .get(&(loc, kind))
-            .copied()
-            .unwrap_or(1)
-            .max(1);
+        // A block index at or beyond the table's block space would alias
+        // into the edge range; such locations were never mentioned, so
+        // they answer the unshared default.
+        let in_range = match loc {
+            SpillLoc::BlockTop(b) | SpillLoc::BlockBottom(b) => b.index() < self.num_blocks,
+            SpillLoc::OnEdge(_) => true,
+        };
+        let co = if in_range {
+            self.colocated
+                .get(Self::loc_kind_index(self.num_blocks, loc, kind))
+                .copied()
+                .unwrap_or(1)
+                .max(1) as u64
+        } else {
+            1
+        };
         co.min(pair_size.max(1) as u64)
     }
 }
@@ -172,7 +224,7 @@ impl EdgeShares {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spillopt_ir::{BlockId, Cond, FunctionBuilder, Reg};
+    use spillopt_ir::{BlockId, Cond, EdgeId, FunctionBuilder, Reg};
 
     #[test]
     fn shares_count_distinct_registers() {

@@ -64,6 +64,14 @@ impl CalleeSavedUsage {
     /// allocator's output can be analyzed with this function.
     pub fn from_function(func: &Function, cfg: &Cfg, target: &Target) -> Self {
         let liveness = Liveness::compute(func, cfg, target);
+        Self::from_liveness(func, target, &liveness)
+    }
+
+    /// As [`CalleeSavedUsage::from_function`], with liveness supplied by
+    /// the caller — the driver's analysis cache computes liveness once
+    /// per function and shares it between this derivation and any later
+    /// consumer.
+    pub fn from_liveness(func: &Function, target: &Target, liveness: &Liveness) -> Self {
         let mut usage = CalleeSavedUsage::new();
         let n = func.num_blocks();
         for b in func.block_ids() {

@@ -21,7 +21,7 @@
 
 use crate::location::{Placement, SpillKind, SpillLoc, SpillPoint};
 use crate::usage::CalleeSavedUsage;
-use spillopt_ir::{BlockId, Cfg, DenseBitSet, PReg};
+use spillopt_ir::{BlockId, Cfg, PReg};
 use std::fmt;
 
 /// A validity violation.
@@ -82,113 +82,168 @@ impl fmt::Display for PlacementError {
 
 impl std::error::Error for PlacementError {}
 
-/// Abstract save-state of one register at one program point.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum State {
-    Unknown,
-    Original,
-    Saved,
-    Conflict,
-}
-
-impl State {
-    fn merge(self, other: State) -> State {
-        use State::*;
-        match (self, other) {
-            (Unknown, x) | (x, Unknown) => x,
-            (Conflict, _) | (_, Conflict) => Conflict,
-            (a, b) if a == b => a,
-            _ => Conflict,
-        }
-    }
-}
-
 /// Checks `placement` against `usage`. Returns all violations (empty =
 /// valid).
+///
+/// The checker runs the abstract interpretation for **all** registers at
+/// once: each block's state is three machine words (known/saved/conflict
+/// bit planes, one bit per register) and every transition — applying a
+/// location's saves and restores, the busy-body and exit checks, the
+/// merge at control-flow joins — is a handful of word ops. Per register
+/// this follows exactly the retired per-register schedule
+/// ([`crate::reference::check_placement_reference`]), so the reported
+/// violation *set* is the same (the list order interleaves registers
+/// instead of grouping them). More than 64 registers falls back to the
+/// reference.
 pub fn check_placement(
     cfg: &Cfg,
     usage: &CalleeSavedUsage,
     placement: &Placement,
 ) -> Vec<PlacementError> {
-    let mut errors = Vec::new();
-    for (reg, busy) in usage.regs() {
-        check_one(cfg, reg, busy, placement, &mut errors);
-    }
-    // Registers with points but no usage entry still need consistency.
-    let empty = DenseBitSet::new(cfg.num_blocks());
-    for reg in placement.regs() {
-        if usage.busy(reg).is_none() {
-            check_one(cfg, reg, &empty, placement, &mut errors);
+    // Bit order: usage registers (already sorted), then placement-only
+    // registers.
+    let mut regs: Vec<PReg> = usage.regs().map(|(r, _)| r).collect();
+    for r in placement.regs() {
+        if usage.busy(r).is_none() {
+            regs.push(r);
         }
     }
-    errors
-}
-
-fn check_one(
-    cfg: &Cfg,
-    reg: PReg,
-    busy: &DenseBitSet,
-    placement: &Placement,
-    errors: &mut Vec<PlacementError>,
-) {
-    let n = cfg.num_blocks();
-    // Collect the register's points per location.
-    let mut top: Vec<Vec<&SpillPoint>> = vec![Vec::new(); n];
-    let mut bottom: Vec<Vec<&SpillPoint>> = vec![Vec::new(); n];
-    let mut on_edge: Vec<Vec<&SpillPoint>> = vec![Vec::new(); cfg.num_edges()];
-    for p in placement.points_for(reg) {
-        match p.loc {
-            SpillLoc::BlockTop(b) => top[b.index()].push(p),
-            SpillLoc::BlockBottom(b) => bottom[b.index()].push(p),
-            SpillLoc::OnEdge(e) => on_edge[e.index()].push(p),
-        }
+    if regs.len() > 64 {
+        return crate::reference::check_placement_reference(cfg, usage, placement);
     }
-
-    let apply = |mut state: State, points: &[&SpillPoint], errors: &mut Vec<PlacementError>| {
-        for p in points {
-            match p.kind {
-                SpillKind::Save => {
-                    if state == State::Saved {
-                        errors.push(PlacementError::DoubleSave { point: **p });
-                    }
-                    state = State::Saved;
-                }
-                SpillKind::Restore => {
-                    if state == State::Original || state == State::Unknown {
-                        errors.push(PlacementError::RestoreWithoutSave { point: **p });
-                    }
-                    // A restore at the bottom of a busy block is legal —
-                    // the busy body precedes it (the paper's "restore
-                    // after E"). A busy range *continuing* past a restore
-                    // surfaces as BusyNotSaved at the successor.
-                    state = State::Original;
-                }
-            }
-        }
-        state
+    let bit_of = |reg: PReg| -> u64 {
+        1 << regs
+            .iter()
+            .position(|&r| r == reg)
+            .expect("placed register in bit map")
     };
 
-    // Iterate to fixpoint over block-entry states.
-    //
-    // `BlockTop(entry)` points execute on the procedure-entry transition
-    // only — their physical realization lives above any loop back to the
-    // entry block — so they are applied once here, to seed the entry
-    // block's in-state, and skipped when the entry block is (re)processed
-    // below. Back edges into the entry block merge into the post-top
-    // state, exactly as they reach the split entry physically.
-    let mut state_in = vec![State::Unknown; n];
-    {
-        let mut sink = Vec::new();
-        let s0 = apply(State::Original, &top[cfg.entry().index()], &mut sink);
-        for e in sink {
-            if !errors.contains(&e) {
-                errors.push(e);
-            }
+    let n = cfg.num_blocks();
+    let m = cfg.num_edges();
+    // Per-location save/restore words.
+    let mut top_save = vec![0u64; n];
+    let mut top_restore = vec![0u64; n];
+    let mut bottom_save = vec![0u64; n];
+    let mut bottom_restore = vec![0u64; n];
+    let mut edge_save = vec![0u64; m];
+    let mut edge_restore = vec![0u64; m];
+    for p in placement.points() {
+        let bit = bit_of(p.reg);
+        match (p.loc, p.kind) {
+            (SpillLoc::BlockTop(b), SpillKind::Save) => top_save[b.index()] |= bit,
+            (SpillLoc::BlockTop(b), SpillKind::Restore) => top_restore[b.index()] |= bit,
+            (SpillLoc::BlockBottom(b), SpillKind::Save) => bottom_save[b.index()] |= bit,
+            (SpillLoc::BlockBottom(b), SpillKind::Restore) => bottom_restore[b.index()] |= bit,
+            (SpillLoc::OnEdge(e), SpillKind::Save) => edge_save[e.index()] |= bit,
+            (SpillLoc::OnEdge(e), SpillKind::Restore) => edge_restore[e.index()] |= bit,
         }
-        state_in[cfg.entry().index()] = s0;
     }
+    // Per-block busy words.
+    let mut busy = vec![0u64; n];
+    for (bit, (_, set)) in usage.regs().enumerate() {
+        for b in set.iter_ones() {
+            busy[b] |= 1 << bit;
+        }
+    }
+    let mut is_exit = vec![false; n];
+    for &b in cfg.exit_blocks() {
+        is_exit[b.index()] = true;
+    }
+
+    let mut errors: Vec<PlacementError> = Vec::new();
+    fn push_unique(errors: &mut Vec<PlacementError>, e: PlacementError) {
+        if !errors.contains(&e) {
+            errors.push(e);
+        }
+    }
+    // Applies the restores then the saves of one location to the masked
+    // state planes, reporting per-bit violations.
+    let apply = |restores: u64,
+                 saves: u64,
+                 mask: u64,
+                 saved: &mut u64,
+                 conflict: &mut u64,
+                 loc: SpillLoc,
+                 errors: &mut Vec<PlacementError>| {
+        let r = restores & mask;
+        if r != 0 {
+            // Restore in Original (or never-reached) state: no save to
+            // undo. Conflict-state restores are legal and re-anchor the
+            // state to Original.
+            let mut bad = r & !*saved & !*conflict;
+            while bad != 0 {
+                let bit = bad.trailing_zeros() as usize;
+                bad &= bad - 1;
+                push_unique(
+                    errors,
+                    PlacementError::RestoreWithoutSave {
+                        point: SpillPoint {
+                            reg: regs[bit],
+                            kind: SpillKind::Restore,
+                            loc,
+                        },
+                    },
+                );
+            }
+            *saved &= !r;
+            *conflict &= !r;
+        }
+        let s = saves & mask;
+        if s != 0 {
+            let mut bad = s & *saved & !*conflict;
+            while bad != 0 {
+                let bit = bad.trailing_zeros() as usize;
+                bad &= bad - 1;
+                push_unique(
+                    errors,
+                    PlacementError::DoubleSave {
+                        point: SpillPoint {
+                            reg: regs[bit],
+                            kind: SpillKind::Save,
+                            loc,
+                        },
+                    },
+                );
+            }
+            *saved |= s;
+            *conflict &= !s;
+        }
+    };
+
+    // Block-entry state planes. `BlockTop(entry)` points execute on the
+    // procedure-entry transition only — their physical realization lives
+    // above any loop back to the entry block — so they are applied once
+    // here, to seed the entry block's in-state, and skipped when the
+    // entry block is (re)processed below. Back edges into the entry
+    // block merge into the post-top state, exactly as they reach the
+    // split entry physically.
+    let all = if regs.is_empty() {
+        0
+    } else {
+        u64::MAX >> (64 - regs.len())
+    };
+    let mut known_in = vec![0u64; n];
+    let mut saved_in = vec![0u64; n];
+    let mut conflict_in = vec![0u64; n];
+    let entry = cfg.entry().index();
+    {
+        let (mut s0, mut c0) = (0u64, 0u64);
+        apply(
+            top_restore[entry],
+            top_save[entry],
+            all,
+            &mut s0,
+            &mut c0,
+            SpillLoc::BlockTop(cfg.entry()),
+            &mut errors,
+        );
+        known_in[entry] = all;
+        saved_in[entry] = s0;
+        conflict_in[entry] = c0;
+    }
+
+    let mut reported_merge = vec![0u64; n];
     let mut changed = true;
-    let mut reported_merge = DenseBitSet::new(n);
     let mut iterations = 0usize;
     while changed {
         changed = false;
@@ -198,49 +253,99 @@ fn check_one(
         }
         for bi in 0..n {
             let b = BlockId::from_index(bi);
-            let entry_state = state_in[bi];
-            if entry_state == State::Unknown {
+            let mask = known_in[bi];
+            if mask == 0 {
                 continue;
             }
-            let mut sink = Vec::new();
-            let tops: &[&SpillPoint] = if b == cfg.entry() { &[] } else { &top[bi] };
-            let mut s = apply(entry_state, tops, &mut sink);
+            let mut saved = saved_in[bi];
+            let mut conflict = conflict_in[bi];
+            if bi != entry {
+                apply(
+                    top_restore[bi],
+                    top_save[bi],
+                    mask,
+                    &mut saved,
+                    &mut conflict,
+                    SpillLoc::BlockTop(b),
+                    &mut errors,
+                );
+            }
             // Busy body: must be in saved state.
-            if busy.contains(bi) && s != State::Saved {
-                sink.push(PlacementError::BusyNotSaved { reg, block: b });
+            let mut bad = busy[bi] & mask & (!saved | conflict);
+            while bad != 0 {
+                let bit = bad.trailing_zeros() as usize;
+                bad &= bad - 1;
+                push_unique(
+                    &mut errors,
+                    PlacementError::BusyNotSaved {
+                        reg: regs[bit],
+                        block: b,
+                    },
+                );
             }
-            s = apply(s, &bottom[bi], &mut sink);
+            apply(
+                bottom_restore[bi],
+                bottom_save[bi],
+                mask,
+                &mut saved,
+                &mut conflict,
+                SpillLoc::BlockBottom(b),
+                &mut errors,
+            );
             // Returns must be in original state.
-            if cfg.exit_blocks().contains(&b) && s == State::Saved {
-                sink.push(PlacementError::NotRestoredAtExit { reg, block: b });
-            }
-            // Record errors only once per fixpoint (first time states are
-            // final); easiest: collect on every pass into a set.
-            for e in sink {
-                if !errors.contains(&e) {
-                    errors.push(e);
+            if is_exit[bi] {
+                let mut bad = mask & saved & !conflict;
+                while bad != 0 {
+                    let bit = bad.trailing_zeros() as usize;
+                    bad &= bad - 1;
+                    push_unique(
+                        &mut errors,
+                        PlacementError::NotRestoredAtExit {
+                            reg: regs[bit],
+                            block: b,
+                        },
+                    );
                 }
             }
             for &eid in cfg.succ_edges(b) {
-                let mut sink = Vec::new();
-                let to = cfg.edge(eid).to;
-                let after = apply(s, &on_edge[eid.index()], &mut sink);
-                for e in sink {
-                    if !errors.contains(&e) {
-                        errors.push(e);
-                    }
-                }
-                let merged = state_in[to.index()].merge(after);
-                if merged != state_in[to.index()] {
-                    state_in[to.index()] = merged;
+                let to = cfg.edge(eid).to.index();
+                let (mut s_e, mut c_e) = (saved, conflict);
+                apply(
+                    edge_restore[eid.index()],
+                    edge_save[eid.index()],
+                    mask,
+                    &mut s_e,
+                    &mut c_e,
+                    SpillLoc::OnEdge(eid),
+                    &mut errors,
+                );
+                // Merge into the target's entry state: newly known bits
+                // copy the incoming state; doubly known bits that
+                // disagree (or are already conflicted) conflict.
+                let (k_t, s_t, c_t) = (known_in[to], saved_in[to], conflict_in[to]);
+                let new_conflict = c_t | (mask & c_e) | (k_t & mask & (s_t ^ s_e));
+                let new_known = k_t | mask;
+                let new_saved = ((s_t & k_t) | (s_e & mask & !k_t)) & !new_conflict;
+                if (new_known, new_saved, new_conflict) != (k_t, s_t, c_t) {
+                    known_in[to] = new_known;
+                    saved_in[to] = new_saved;
+                    conflict_in[to] = new_conflict;
                     changed = true;
                 }
-                if merged == State::Conflict && reported_merge.insert(to.index()) {
-                    errors.push(PlacementError::InconsistentMerge { reg, block: to });
+                let mut newly = new_conflict & !reported_merge[to];
+                reported_merge[to] |= newly;
+                while newly != 0 {
+                    let bit = newly.trailing_zeros() as usize;
+                    newly &= newly - 1;
+                    errors.push(PlacementError::InconsistentMerge {
+                        reg: regs[bit],
+                        block: BlockId::from_index(to),
+                    });
                 }
             }
         }
     }
+    errors
 }
 
 #[cfg(test)]

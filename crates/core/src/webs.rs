@@ -52,11 +52,15 @@ fn webs_for_reg(cfg: &Cfg, placement: &Placement, reg: PReg) -> Vec<Vec<SpillPoi
     // reaching save.
     let mut uf = UnionFind::new(num_points);
     let mut entry_state: Vec<DenseBitSet> = vec![DenseBitSet::new(num_points); n];
+    // Scratch buffers reused across the whole fixpoint (no per-block or
+    // per-edge allocation).
+    let mut active = DenseBitSet::new(num_points);
+    let mut after = DenseBitSet::new(num_points);
     let mut changed = true;
     while changed {
         changed = false;
         for bi in 0..n {
-            let mut active = entry_state[bi].clone();
+            active.copy_from(&entry_state[bi]);
             let transfer = |ids: &[usize], active: &mut DenseBitSet, uf: &mut UnionFind| {
                 for &i in ids {
                     match points[i].kind {
@@ -75,7 +79,7 @@ fn webs_for_reg(cfg: &Cfg, placement: &Placement, reg: PReg) -> Vec<Vec<SpillPoi
             transfer(&top[bi], &mut active, &mut uf);
             transfer(&bottom[bi], &mut active, &mut uf);
             for &e in cfg.succ_edges(spillopt_ir::BlockId::from_index(bi)) {
-                let mut after = active.clone();
+                after.copy_from(&active);
                 transfer(&on_edge[e.index()], &mut after, &mut uf);
                 let to = cfg.edge(e).to.index();
                 if entry_state[to].union_with(&after) {

@@ -11,61 +11,66 @@
 //! [`spillopt_core::chow_shrink_wrap_with`]) consume it without any
 //! recomputation.
 //!
-//! Only the CFG, the profile, and the callee-saved usage are computed
-//! eagerly — they decide whether a function needs placement at all.
-//! Everything else (SCCs, PST, dominators, post-dominators, loops,
-//! liveness) is built lazily on first access, so the many functions that
-//! use no callee-saved register ([`AnalysisCache::needs_placement`]
-//! returns `false`) pay for none of it.
+//! Only the CFG, the profile, liveness, and the callee-saved usage are
+//! computed eagerly — they decide whether a function needs placement at
+//! all (and usage is derived from the liveness, which is computed once
+//! and shared). Everything else (SCCs, PST, the dense [`DerivedCfg`]
+//! tables, dominators, post-dominators, loops) is built lazily on first
+//! access, so the many functions that use no callee-saved register
+//! ([`AnalysisCache::needs_placement`] returns `false`) pay for none of
+//! it.
 
 use spillopt_core::CalleeSavedUsage;
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
-use spillopt_ir::{BlockDoms, BlockPostDoms, Cfg, Function, Liveness, LoopInfo, Target};
+use spillopt_ir::{
+    BlockDoms, BlockPostDoms, Cfg, DerivedCfg, Function, Liveness, LoopInfo, Target,
+};
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::Pst;
 use std::sync::OnceLock;
 
 /// All shared analyses of one (physical, post-allocation) function.
 #[derive(Debug)]
-pub struct AnalysisCache<'a> {
-    func: &'a Function,
-    target: &'a Target,
+pub struct AnalysisCache {
     /// CFG snapshot with fall-through/jump edge classification.
     pub cfg: Cfg,
     /// Edge profile pricing every candidate location.
     pub profile: EdgeProfile,
     /// Which callee-saved registers are busy in which blocks.
     pub usage: CalleeSavedUsage,
+    /// Liveness, computed once and shared (usage derivation consumes it
+    /// eagerly; later consumers reuse the same result).
+    liveness: Liveness,
     cyclic: OnceLock<Vec<CyclicRegion>>,
     pst: OnceLock<Pst>,
+    derived: OnceLock<DerivedCfg>,
     doms: OnceLock<BlockDoms>,
     postdoms: OnceLock<BlockPostDoms>,
     loops: OnceLock<LoopInfo>,
-    liveness: OnceLock<Liveness>,
 }
 
-impl<'a> AnalysisCache<'a> {
+impl AnalysisCache {
     /// Builds the cache for `func` against `profile`, computing only the
-    /// CFG and callee-saved usage up front.
+    /// CFG, liveness, and callee-saved usage up front.
     ///
     /// The profile must refer to `func`'s current CFG (edge ids are
     /// stable across register allocation, so a profile measured on the
     /// virtual function is valid for the allocated one).
-    pub fn compute(func: &'a Function, target: &'a Target, profile: EdgeProfile) -> Self {
+    pub fn compute(func: &Function, target: &Target, profile: EdgeProfile) -> Self {
         let cfg = Cfg::compute(func);
-        let usage = CalleeSavedUsage::from_function(func, &cfg, target);
+        let liveness = Liveness::compute(func, &cfg, target);
+        let usage = CalleeSavedUsage::from_liveness(func, target, &liveness);
         AnalysisCache {
-            func,
-            target,
             cfg,
             profile,
             usage,
+            liveness,
             cyclic: OnceLock::new(),
             pst: OnceLock::new(),
+            derived: OnceLock::new(),
             doms: OnceLock::new(),
             postdoms: OnceLock::new(),
             loops: OnceLock::new(),
-            liveness: OnceLock::new(),
         }
     }
 
@@ -86,6 +91,13 @@ impl<'a> AnalysisCache<'a> {
         self.pst.get_or_init(|| Pst::compute(&self.cfg))
     }
 
+    /// Dense derived CFG tables (reverse postorder, pred/succ CSRs,
+    /// edge-indexed classification bits) — computed once, reused by the
+    /// bit-parallel solver and every sweep in the placement suite.
+    pub fn derived(&self) -> &DerivedCfg {
+        self.derived.get_or_init(|| DerivedCfg::compute(&self.cfg))
+    }
+
     /// Dominators.
     pub fn doms(&self) -> &BlockDoms {
         self.doms.get_or_init(|| BlockDoms::compute(&self.cfg))
@@ -103,10 +115,9 @@ impl<'a> AnalysisCache<'a> {
             .get_or_init(|| LoopInfo::compute(&self.cfg, self.doms()))
     }
 
-    /// Live ranges.
+    /// Live ranges (shared with the eager usage derivation).
     pub fn liveness(&self) -> &Liveness {
-        self.liveness
-            .get_or_init(|| Liveness::compute(self.func, &self.cfg, self.target))
+        &self.liveness
     }
 }
 

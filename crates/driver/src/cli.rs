@@ -5,6 +5,7 @@
 //! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
 //! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
 //! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
+//! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
 //! spillopt list-benches
 //! spillopt list-targets
 //! ```
@@ -20,6 +21,10 @@
 //!   modules through all four placements on the chosen target(s),
 //!   checked by the interpreter oracles, with minimized counterexample
 //!   reporting.
+//! * `bench` times module-scale `optimize` — current versus the frozen
+//!   pre-rewrite reference pipeline — over a seeded stress corpus on
+//!   every registered target, asserts the reports are byte-identical,
+//!   and emits the perf-trajectory JSON record (`BENCH_*.json`).
 //!
 //! Inputs are either a generated SPEC stand-in (`--bench`, profiled on
 //! its training workload) or an IR text file (`--input`, profiled
@@ -27,6 +32,7 @@
 //! subcommands and a handful of flags, not worth a dependency the
 //! offline build would have to shim.
 
+use crate::bench::{run_bench, BenchConfig};
 use crate::driver::{
     cross_target_runs, optimize_module_for, DriverConfig, DriverError, ProfileSource, Strategy,
 };
@@ -60,6 +66,7 @@ usage:
   spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
   spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
   spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
+  spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
   spillopt list-benches
   spillopt list-targets
 
@@ -69,7 +76,10 @@ strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
 --threads 0 uses all cores (default); --threads 1 is the serial reference.
 `stress` fuzzes seeded random modules through all four placements on the
 chosen target(s) (default all), checking the interpreter-backed oracles;
-failures are minimized and printed.";
+failures are minimized and printed.
+`bench` measures the perf trajectory: wall-clock of module optimize,
+current vs the frozen pre-rewrite reference, byte-identical reports
+required; --smoke runs the small CI slice.";
 
 /// The accepted `--strategy` values, for error messages.
 const STRATEGIES: &str = "baseline, shrinkwrap, hier-exec, hier-jump, best";
@@ -94,6 +104,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "compare" => compare(&parse_opts("compare", &rest)?, out),
         "report" => report(&parse_opts("report", &rest)?, out),
         "stress" => stress(&rest, out),
+        "bench" => bench(&rest, out),
         "list-benches" => {
             for spec in spillopt_benchgen::all_benchmarks() {
                 writeln!(out, "{}", spec.name).map_err(io_err)?;
@@ -475,6 +486,105 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         summary.failures.len(),
         summary.cases
     )))
+}
+
+/// The `bench` subcommand: the reproducible perf-trajectory harness.
+/// See [`crate::bench`].
+fn bench(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    // `--smoke` selects the base configuration; explicit flags override
+    // it regardless of their position relative to `--smoke`.
+    let mut config = if rest.contains(&"--smoke") {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::default()
+    };
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .copied()
+                .ok_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--json" => json = true,
+            "--smoke" => {}
+            "--functions" => {
+                config.functions = value()?
+                    .parse()
+                    .map_err(|_| usage("--functions needs a number"))?
+            }
+            "--scale" => {
+                config.scale = value()?
+                    .parse()
+                    .map_err(|_| usage("--scale needs a number"))?
+            }
+            "--reps" => {
+                config.reps = value()?
+                    .parse()
+                    .map_err(|_| usage("--reps needs a number"))?
+            }
+            "--seed-start" => {
+                config.seed_start = value()?
+                    .parse()
+                    .map_err(|_| usage("--seed-start needs a number"))?
+            }
+            "--threads" => {
+                config.threads = value()?
+                    .parse()
+                    .map_err(|_| usage("--threads needs a number"))?
+            }
+            "--out" => out_path = Some(value()?.to_string()),
+            other => {
+                return Err(usage(&format!(
+                    "`bench` does not accept `{other}` (accepted: --json, --out, --smoke, \
+                     --functions, --scale, --reps, --seed-start, --threads)"
+                )))
+            }
+        }
+    }
+
+    let outcome = run_bench(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    eprintln!(
+        "bench: {} functions x {} targets, {} rep(s): optimize {:.1}ms vs reference {:.1}ms          -> {:.2}x speedup, reports identical: {}",
+        outcome.functions,
+        outcome.targets.len(),
+        config.reps,
+        outcome.total_current_ns() as f64 / 1e6,
+        outcome.total_reference_ns() as f64 / 1e6,
+        outcome.speedup(),
+        outcome.reports_identical()
+    );
+    if !outcome.reports_identical() {
+        return Err(CliError::Run(
+            "current and reference pipelines produced different ModuleReports".to_string(),
+        ));
+    }
+    let text = if json {
+        outcome.to_json().to_pretty() + "\n"
+    } else {
+        let mut t = format!(
+            "{:<18} {:>12} {:>14} {:>9}\n",
+            "target", "optimize(ms)", "reference(ms)", "speedup"
+        );
+        for tb in &outcome.targets {
+            t.push_str(&format!(
+                "{:<18} {:>12.2} {:>14.2} {:>8.2}x\n",
+                tb.target,
+                tb.current_ns as f64 / 1e6,
+                tb.reference_ns as f64 / 1e6,
+                tb.reference_ns as f64 / tb.current_ns.max(1) as f64
+            ));
+        }
+        t.push_str(&format!("overall speedup: {:.2}x\n", outcome.speedup()));
+        t
+    };
+    match out_path {
+        Some(path) => std::fs::write(&path, text)
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}"))),
+        None => out.write_all(text.as_bytes()).map_err(io_err),
+    }
 }
 
 fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {

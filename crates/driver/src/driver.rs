@@ -12,7 +12,7 @@
 use crate::cache::AnalysisCache;
 use crate::pool::try_run_indexed;
 use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
-use spillopt_core::{insert_placement, run_suite_priced, Placement, SpillCostModel};
+use spillopt_core::{insert_placement, run_suite_analyzed, Placement, SpillCostModel};
 use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
 use spillopt_profile::{random_walk_profile, EdgeProfile, ExecError, Machine};
 use spillopt_regalloc::allocate;
@@ -141,6 +141,15 @@ pub struct ModuleRun {
 }
 
 impl ModuleRun {
+    /// Assembles a run from its parts (the reference pipeline in
+    /// [`crate::refimpl`] builds the same structure).
+    pub(crate) fn from_parts(
+        report: ModuleReport,
+        allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
+    ) -> Self {
+        ModuleRun { report, allocated }
+    }
+
     /// Materializes the optimized module: inserts each function's
     /// placement under `choice` (`None` = the per-function best) and
     /// verifies the result.
@@ -325,8 +334,9 @@ fn per_function(
         return (report, Vec::new());
     }
 
-    let suite = run_suite_priced(
+    let suite = run_suite_analyzed(
         &cache.cfg,
+        cache.derived(),
         cache.cyclic(),
         cache.pst(),
         &cache.usage,

@@ -21,6 +21,10 @@
 //!   pipeline against a registered backend target
 //!   ([`spillopt_targets::TargetSpec`]) or fanned out across all of
 //!   them, with every decision priced by the target's spill cost model;
+//! * [`bench`] / [`refimpl`] — the perf-trajectory harness: the frozen
+//!   pre-rewrite pipeline kept executable, timed against the current
+//!   one over a seeded stress corpus with byte-identical reports
+//!   required (`spillopt bench --json`, `BENCH_*.json` records);
 //! * [`stress`] — fan-out of the differential stress subsystem
 //!   (`spillopt-stress`: random-CFG modules × interpreter oracles) over
 //!   `(target, seed)` pairs on the same pool;
@@ -60,14 +64,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench;
 pub mod cache;
 pub mod cli;
 pub mod driver;
 pub mod json;
 pub mod pool;
+pub mod refimpl;
 pub mod report;
 pub mod stress;
 
+pub use bench::{run_bench, BenchConfig, BenchOutcome};
 pub use cache::AnalysisCache;
 pub use driver::{
     cross_target_runs, optimize_module, optimize_module_for, DriverConfig, DriverError, ModuleRun,

@@ -21,6 +21,206 @@ impl DomTree {
     /// Computes the dominator tree of `graph` rooted at `root`.
     /// Nodes unreachable from `root` have no immediate dominator.
     pub fn compute(graph: &Graph, root: usize) -> Self {
+        Self::compute_dir(graph, root, false)
+    }
+
+    /// Computes the dominator tree of the *reversed* graph rooted at
+    /// `root` — post-dominators of the forward graph — without
+    /// materializing a reversed copy (the graph already stores both
+    /// adjacency directions).
+    pub fn compute_reversed(graph: &Graph, root: usize) -> Self {
+        Self::compute_dir(graph, root, true)
+    }
+
+    /// The shared implementation: `rev` swaps the roles of the
+    /// successor and predecessor lists.
+    fn compute_dir(graph: &Graph, root: usize, rev: bool) -> Self {
+        let n = graph.num_nodes();
+        let succs = |u: usize| -> &[u32] {
+            if rev {
+                graph.preds(u)
+            } else {
+                graph.succs(u)
+            }
+        };
+        let preds = |u: usize| -> &[u32] {
+            if rev {
+                graph.succs(u)
+            } else {
+                graph.preds(u)
+            }
+        };
+        // Reverse postorder over the chosen direction.
+        let rpo = {
+            let mut seen = vec![false; n];
+            let mut order = Vec::with_capacity(n);
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            seen[root] = true;
+            while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+                let row = succs(u);
+                if *ci < row.len() {
+                    let v = row[*ci] as usize;
+                    *ci += 1;
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push((v, 0));
+                    }
+                } else {
+                    order.push(u);
+                    stack.pop();
+                }
+            }
+            order.reverse();
+            order
+        };
+        let mut rpo_num = vec![u32::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_num[b] = i as u32;
+        }
+
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        idom[root] = Some(root as u32);
+
+        let intersect = |idom: &[Option<u32>], rpo_num: &[u32], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a].expect("processed node") as usize;
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b].expect("processed node") as usize;
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == root {
+                    continue;
+                }
+                let mut new_idom: Option<usize> = None;
+                for &p in preds(b) {
+                    let p = p as usize;
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni as u32) {
+                        idom[b] = Some(ni as u32);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Euler numbering of the dominator tree. Children in flat CSR
+        // form (counting sort by parent) — no per-node Vec churn.
+        let mut child_off = vec![0u32; n + 2];
+        for (v, p) in idom.iter().enumerate() {
+            if v == root {
+                continue;
+            }
+            if let Some(p) = p {
+                child_off[*p as usize + 2] += 1;
+            }
+        }
+        for i in 2..child_off.len() {
+            child_off[i] += child_off[i - 1];
+        }
+        let mut child_items = vec![0u32; child_off[n + 1] as usize];
+        for (v, p) in idom.iter().enumerate() {
+            if v == root {
+                continue;
+            }
+            if let Some(p) = p {
+                let slot = &mut child_off[*p as usize + 1];
+                child_items[*slot as usize] = v as u32;
+                *slot += 1;
+            }
+        }
+        let row =
+            |u: usize| -> &[u32] { &child_items[child_off[u] as usize..child_off[u + 1] as usize] };
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut depth = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        tin[root] = {
+            clock += 1;
+            clock
+        };
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            let kids = row(u);
+            if *ci < kids.len() {
+                let v = kids[*ci] as usize;
+                *ci += 1;
+                depth[v] = depth[u] + 1;
+                clock += 1;
+                tin[v] = clock;
+                stack.push((v, 0));
+            } else {
+                clock += 1;
+                tout[u] = clock;
+                stack.pop();
+            }
+        }
+
+        DomTree {
+            root,
+            idom,
+            tin,
+            tout,
+            depth,
+        }
+    }
+
+    /// Returns the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Returns the immediate dominator of `v` (the root is its own idom);
+    /// `None` for unreachable nodes.
+    pub fn idom(&self, v: usize) -> Option<usize> {
+        self.idom[v].map(|x| x as usize)
+    }
+
+    /// Returns `true` if `v` is reachable from the root.
+    pub fn is_reachable(&self, v: usize) -> bool {
+        self.idom[v].is_some()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    ///
+    /// Unreachable nodes dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom[a].is_none() || self.idom[b].is_none() {
+            return false;
+        }
+        self.tin[a] <= self.tin[b] && self.tout[b] <= self.tout[a]
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: usize, b: usize) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Depth of `v` in the dominator tree (root = 0).
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v] as usize
+    }
+
+    /// The retired implementation (per-node child vectors, forward
+    /// direction only), kept verbatim for the perf-trajectory bench's
+    /// frozen pipeline. Same tree as [`DomTree::compute`].
+    pub fn compute_reference(graph: &Graph, root: usize) -> Self {
         let n = graph.num_nodes();
         let rpo = graph.reverse_postorder(root);
         let mut rpo_num = vec![u32::MAX; n];
@@ -112,42 +312,6 @@ impl DomTree {
             depth,
         }
     }
-
-    /// Returns the root node.
-    pub fn root(&self) -> usize {
-        self.root
-    }
-
-    /// Returns the immediate dominator of `v` (the root is its own idom);
-    /// `None` for unreachable nodes.
-    pub fn idom(&self, v: usize) -> Option<usize> {
-        self.idom[v].map(|x| x as usize)
-    }
-
-    /// Returns `true` if `v` is reachable from the root.
-    pub fn is_reachable(&self, v: usize) -> bool {
-        self.idom[v].is_some()
-    }
-
-    /// Returns `true` if `a` dominates `b` (reflexively).
-    ///
-    /// Unreachable nodes dominate nothing and are dominated by nothing.
-    pub fn dominates(&self, a: usize, b: usize) -> bool {
-        if self.idom[a].is_none() || self.idom[b].is_none() {
-            return false;
-        }
-        self.tin[a] <= self.tin[b] && self.tout[b] <= self.tout[a]
-    }
-
-    /// Returns `true` if `a` strictly dominates `b`.
-    pub fn strictly_dominates(&self, a: usize, b: usize) -> bool {
-        a != b && self.dominates(a, b)
-    }
-
-    /// Depth of `v` in the dominator tree (root = 0).
-    pub fn depth(&self, v: usize) -> usize {
-        self.depth[v] as usize
-    }
 }
 
 /// Dominator tree over a function's blocks.
@@ -197,9 +361,8 @@ impl BlockPostDoms {
     /// Computes post-dominators of a CFG.
     pub fn compute(cfg: &Cfg) -> Self {
         let (graph, vexit) = Graph::from_cfg_with_virtual_exit(cfg);
-        let reversed = graph.reversed();
         BlockPostDoms {
-            tree: DomTree::compute(&reversed, vexit),
+            tree: DomTree::compute_reversed(&graph, vexit),
             virtual_exit: vexit,
         }
     }

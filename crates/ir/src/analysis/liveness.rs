@@ -75,7 +75,84 @@ impl Liveness {
     ///
     /// Calls implicitly define (clobber) all caller-saved physical
     /// registers of `target`.
+    ///
+    /// The iteration exploits monotonicity: may-liveness sets only grow,
+    /// so each visit unions `live_in` of the successors into `live_out`
+    /// and applies the transfer function `in |= out \ kill` as fused
+    /// word loops in place — no per-visit allocation or set comparison.
+    /// The fixpoint is unique, so the result is identical to the
+    /// reference implementation ([`Liveness::compute_reference`]).
     pub fn compute(func: &Function, cfg: &Cfg, target: &Target) -> Self {
+        let universe = RegUniverse::new(func, target);
+        let n = func.num_blocks();
+        let mut gen = vec![DenseBitSet::new(universe.len()); n]; // upward-exposed uses
+        let mut kill = vec![DenseBitSet::new(universe.len()); n]; // defs
+
+        for b in func.block_ids() {
+            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+            for inst in &func.block(b).insts {
+                inst.for_each_use(|r| {
+                    let i = universe.index(r);
+                    if !k.contains(i) {
+                        g.insert(i);
+                    }
+                });
+                inst.for_each_def(|r| {
+                    k.insert(universe.index(r));
+                });
+                inst.for_each_clobber(target, |p| {
+                    k.insert(universe.index(Reg::Phys(p)));
+                });
+            }
+        }
+
+        // Seed live_in of every reachable block with gen (gen is always
+        // in the fixpoint; unreachable blocks keep empty sets, matching
+        // the reference), then iterate in postorder (successors first)
+        // until stable.
+        let order = reachable_postorder(cfg);
+        let mut live_in = gen;
+        {
+            let mut reachable = vec![false; n];
+            for &bi in &order {
+                reachable[bi] = true;
+            }
+            for (bi, set) in live_in.iter_mut().enumerate() {
+                if !reachable[bi] {
+                    set.clear();
+                }
+            }
+        }
+        let mut live_out = vec![DenseBitSet::new(universe.len()); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bi in &order {
+                let b = BlockId::from_index(bi);
+                let mut out_changed = false;
+                for s in cfg.succ_blocks(b) {
+                    out_changed |= live_out[bi].union_with(&live_in[s.index()]);
+                }
+                if out_changed {
+                    changed = true;
+                    let inn = &mut live_in[bi];
+                    changed |= inn.union_with_subtracted(&live_out[bi], &kill[bi]);
+                }
+            }
+        }
+
+        Liveness {
+            universe,
+            live_in,
+            live_out,
+        }
+    }
+
+    /// The retired per-visit-allocating implementation, kept verbatim as
+    /// the reference for differential tests and the perf-trajectory
+    /// bench (`spillopt bench`). Same unique fixpoint as
+    /// [`Liveness::compute`].
+    pub fn compute_reference(func: &Function, cfg: &Cfg, target: &Target) -> Self {
         let universe = RegUniverse::new(func, target);
         let n = func.num_blocks();
         let mut gen = vec![DenseBitSet::new(universe.len()); n]; // upward-exposed uses
@@ -179,11 +256,73 @@ impl Liveness {
     }
 }
 
+/// Postorder over the blocks reachable from the entry, as indices
+/// (allocation-lean local DFS; no intermediate `Graph`).
+fn reachable_postorder(cfg: &Cfg) -> Vec<usize> {
+    let n = cfg.num_blocks();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = vec![(cfg.entry().index(), 0)];
+    seen[cfg.entry().index()] = true;
+    while let Some(&mut (b, ref mut ci)) = stack.last_mut() {
+        let succs = cfg.succ_edges(BlockId::from_index(b));
+        if *ci < succs.len() {
+            let t = cfg.edge(succs[*ci]).to.index();
+            *ci += 1;
+            if !seen[t] {
+                seen[t] = true;
+                stack.push((t, 0));
+            }
+        } else {
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
     use crate::inst::{BinOp, Callee, Cond};
+
+    /// The rewritten fixpoint must agree exactly with the reference on
+    /// every block of a branchy, loopy function.
+    #[test]
+    fn fast_matches_reference() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.create_block(None);
+        let h = fb.create_block(None);
+        let body = fb.create_block(None);
+        let e = fb.create_block(None);
+        fb.switch_to(a);
+        let i = fb.li(0);
+        let n = fb.li(10);
+        fb.jump(h);
+        fb.switch_to(h);
+        fb.branch(Cond::Ge, Reg::Virt(i), Reg::Virt(n), e, body);
+        fb.switch_to(body);
+        let _ = fb.call(Callee::External(0), &[]);
+        fb.emit(crate::inst::InstKind::BinImm {
+            op: BinOp::Add,
+            dst: Reg::Virt(i),
+            lhs: Reg::Virt(i),
+            imm: 1,
+        });
+        fb.jump(h);
+        fb.switch_to(e);
+        fb.ret(Some(Reg::Virt(i)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let fast = Liveness::compute(&f, &cfg, &t);
+        let slow = Liveness::compute_reference(&f, &cfg, &t);
+        for b in f.block_ids() {
+            assert_eq!(fast.live_in(b), slow.live_in(b), "live_in {b}");
+            assert_eq!(fast.live_out(b), slow.live_out(b), "live_out {b}");
+        }
+    }
 
     #[test]
     fn liveness_across_branches() {

@@ -135,6 +135,64 @@ impl DenseBitSet {
             word: self.words.first().copied().unwrap_or(0),
         }
     }
+
+    /// Word-scanning iterator over the set bits, in ascending order.
+    ///
+    /// Identical to [`DenseBitSet::iter`]; the name makes call sites on
+    /// hot paths self-documenting (the iterator skips zero words a word
+    /// at a time instead of probing bit by bit).
+    pub fn iter_ones(&self) -> Iter<'_> {
+        self.iter()
+    }
+
+    /// The backing words, least-significant bit first. Bits at and above
+    /// `capacity()` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites `self` with the contents of `other` without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &DenseBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Unions `a \ b` into `self` in one fused pass, returning `true` if
+    /// `self` changed. This is the transfer function of backward liveness
+    /// (`in |= out \ kill`) as a single word loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity differs.
+    pub fn union_with_subtracted(&mut self, a: &DenseBitSet, b: &DenseBitSet) -> bool {
+        assert_eq!(self.len, a.len, "bitset capacity mismatch");
+        assert_eq!(self.len, b.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for ((dst, x), y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            let next = *dst | (x & !y);
+            changed |= next != *dst;
+            *dst = next;
+        }
+        changed
+    }
+
+    /// Sets `self` to `a ∩ b` in one pass, without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity differs.
+    pub fn set_to_intersection(&mut self, a: &DenseBitSet, b: &DenseBitSet) {
+        assert_eq!(self.len, a.len, "bitset capacity mismatch");
+        assert_eq!(self.len, b.len, "bitset capacity mismatch");
+        for ((dst, x), y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *dst = x & y;
+        }
+    }
 }
 
 impl fmt::Debug for DenseBitSet {
@@ -187,6 +245,175 @@ impl Iterator for Iter<'_> {
                 return None;
             }
             self.word = self.set.words[self.word_idx];
+        }
+    }
+}
+
+/// A dense 2-D bit matrix: `rows` rows of `cols` bits each, stored in one
+/// contiguous word array (one allocation, row-major).
+///
+/// The interference graph and the coloring pass index it as adjacency;
+/// row operations are word-parallel.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    words_per_row: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            words: vec![0; rows * words_per_row],
+            words_per_row,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets bit `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / 64] |= 1 << (c % 64);
+    }
+
+    /// Clears bit `(r, c)`.
+    pub fn unset(&mut self, r: usize, c: usize) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / 64] &= !(1 << (c % 64));
+    }
+
+    /// Returns bit `(r, c)`.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.words[r * self.words_per_row + c / 64] & (1 << (c % 64)) != 0
+    }
+
+    /// The words of row `r`.
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// ORs `src`'s words into row `r` (lengths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has a different word count than a row.
+    pub fn row_union_words(&mut self, r: usize, src: &[u64]) {
+        let row = &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
+        assert_eq!(row.len(), src.len(), "row width mismatch");
+        for (a, b) in row.iter_mut().zip(src) {
+            *a |= b;
+        }
+    }
+
+    /// ORs row `src` of `other` into row `r` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row widths differ.
+    pub fn row_union_row(&mut self, r: usize, other: &BitMatrix, src: usize) {
+        assert_eq!(
+            self.words_per_row, other.words_per_row,
+            "row width mismatch"
+        );
+        let s = &other.words[src * other.words_per_row..(src + 1) * other.words_per_row];
+        let d = &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row];
+        for (a, b) in d.iter_mut().zip(s) {
+            *a |= b;
+        }
+    }
+
+    /// ORs row `src` into row `dst` of the same matrix (no-op when they
+    /// are the same row).
+    pub fn row_union_row_within(&mut self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        let wpr = self.words_per_row;
+        let (d0, s0) = (dst * wpr, src * wpr);
+        if d0 < s0 {
+            let (a, b) = self.words.split_at_mut(s0);
+            for (x, y) in a[d0..d0 + wpr].iter_mut().zip(&b[..wpr]) {
+                *x |= *y;
+            }
+        } else {
+            let (a, b) = self.words.split_at_mut(d0);
+            for (x, y) in b[..wpr].iter_mut().zip(&a[s0..s0 + wpr]) {
+                *x |= *y;
+            }
+        }
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn row_count(&self, r: usize) -> usize {
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the set columns of row `r` in ascending order.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        RowIter {
+            words: self.row_words(r),
+            word_idx: 0,
+            word: self.row_words(r).first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clears row `r`.
+    pub fn row_clear(&mut self, r: usize) {
+        self.words[r * self.words_per_row..(r + 1) * self.words_per_row].fill(0);
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for r in 0..self.rows {
+            d.entry(&r, &self.row_iter(r).collect::<Vec<_>>());
+        }
+        d.finish()
+    }
+}
+
+/// Iterator over the set columns of one [`BitMatrix`] row.
+#[derive(Debug)]
+struct RowIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    word: u64,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.word = self.words[self.word_idx];
         }
     }
 }
@@ -333,6 +560,47 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
         assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn word_ops() {
+        let mut a = DenseBitSet::new(130);
+        a.extend([0, 64, 129]);
+        assert_eq!(a.words().len(), 3);
+        assert_eq!(a.words()[0], 1);
+        assert_eq!(a.words()[1], 1);
+        let ones: Vec<usize> = a.iter_ones().collect();
+        assert_eq!(ones, vec![0, 64, 129]);
+
+        let mut b = DenseBitSet::new(130);
+        b.extend([64, 65]);
+        let mut dst = DenseBitSet::new(130);
+        dst.set_to_intersection(&a, &b);
+        assert_eq!(dst.iter().collect::<Vec<_>>(), vec![64]);
+        dst.copy_from(&a);
+        assert_eq!(dst, a);
+    }
+
+    #[test]
+    fn bit_matrix_rows() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(1, 64);
+        assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(1, 64));
+        assert!(!m.contains(2, 0));
+        assert_eq!(m.row_count(0), 2);
+        assert_eq!(m.row_iter(0).collect::<Vec<_>>(), vec![0, 129]);
+        m.row_union_row(2, &m.clone(), 0);
+        assert_eq!(m.row_iter(2).collect::<Vec<_>>(), vec![0, 129]);
+        let words: Vec<u64> = m.row_words(1).to_vec();
+        m.row_union_words(2, &words);
+        assert_eq!(m.row_iter(2).collect::<Vec<_>>(), vec![0, 64, 129]);
+        m.unset(2, 64);
+        assert!(!m.contains(2, 64));
+        m.row_clear(2);
+        assert_eq!(m.row_count(2), 0);
+        assert_eq!((m.num_rows(), m.num_cols()), (3, 130));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod bitset;
 pub mod block;
 pub mod builder;
 pub mod cfg;
+pub mod derived;
 pub mod display;
 pub mod edit;
 pub mod function;
@@ -66,10 +67,11 @@ pub mod target;
 pub mod verify;
 
 pub use analysis::{BlockDoms, BlockPostDoms, Graph, Liveness, LoopInfo, RegUniverse};
-pub use bitset::{DenseBitSet, UnionFind};
+pub use bitset::{BitMatrix, DenseBitSet, UnionFind};
 pub use block::Block;
 pub use builder::FunctionBuilder;
 pub use cfg::{Cfg, CfgEdge, EdgeKind, SuccPos};
+pub use derived::{Csr, DerivedCfg};
 pub use edit::{insert_at_bottom, insert_at_top, place_on_edge, EdgePlacement};
 pub use function::{FrameInfo, Function};
 pub use ids::{BlockId, EdgeId, FrameSlot, FuncId, PReg, Reg, VReg};

@@ -43,4 +43,4 @@ pub mod synth;
 pub use events::{ExecCounts, SpillCounts};
 pub use interp::{ExecError, Machine};
 pub use profile::EdgeProfile;
-pub use synth::random_walk_profile;
+pub use synth::{random_walk_profile, random_walk_profile_reference};

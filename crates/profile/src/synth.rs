@@ -17,11 +17,83 @@ use spillopt_ir::{BlockId, Cfg};
 /// `max_steps` steps it greedily follows the successor closest to an exit,
 /// so every walk terminates and Kirchhoff flow conservation holds exactly.
 ///
+/// The walk consumes the same RNG stream as
+/// [`random_walk_profile_reference`] and produces the identical profile;
+/// the per-step work runs on dense tables (a per-block exit flag, a flat
+/// edge-target array, and a precomputed drain edge per block) instead of
+/// scanning the exit-block list and re-deriving the drain choice every
+/// step.
+///
 /// # Panics
 ///
 /// Panics if the CFG has blocks that cannot reach an exit (the IR verifier
 /// rejects such functions).
 pub fn random_walk_profile(cfg: &Cfg, walks: u64, max_steps: u64, seed: u64) -> EdgeProfile {
+    let n = cfg.num_blocks();
+    let mut is_exit = vec![false; n];
+    for &b in cfg.exit_blocks() {
+        is_exit[b.index()] = true;
+    }
+    let edge_to: Vec<u32> = cfg.edges().map(|(_, e)| e.to.index() as u32).collect();
+    // Per block: its successor edge ids, and the drain edge (successor
+    // closest to an exit, first wins ties — exactly the reference's
+    // `min_by_key`).
+    let dist = distance_to_exit(cfg);
+    let mut drain = vec![u32::MAX; n];
+    for (bi, slot) in drain.iter_mut().enumerate() {
+        let succs = cfg.succ_edges(BlockId::from_index(bi));
+        if let Some(&e) = succs
+            .iter()
+            .min_by_key(|&&e| dist[edge_to[e.index()] as usize])
+        {
+            *slot = e.index() as u32;
+        }
+    }
+
+    // Successor edge ids flattened to CSR: one contiguous array, no
+    // per-block Vec indirection on the hot stepping loop.
+    let mut succ_off = Vec::with_capacity(n + 1);
+    let mut succ_items: Vec<u32> = Vec::with_capacity(cfg.num_edges());
+    succ_off.push(0u32);
+    for bi in 0..n {
+        for &e in cfg.succ_edges(BlockId::from_index(bi)) {
+            succ_items.push(e.index() as u32);
+        }
+        succ_off.push(succ_items.len() as u32);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; cfg.num_edges()];
+    for _ in 0..walks {
+        let mut b = cfg.entry().index();
+        let mut steps = 0u64;
+        while !is_exit[b] {
+            let succs = &succ_items[succ_off[b] as usize..succ_off[b + 1] as usize];
+            assert!(!succs.is_empty(), "non-exit block without successors");
+            let e = if steps < max_steps {
+                succs[rng.gen_range(0..succs.len())] as usize
+            } else {
+                // Drain to the nearest exit.
+                drain[b] as usize
+            };
+            counts[e] += 1;
+            b = edge_to[e] as usize;
+            steps += 1;
+        }
+    }
+
+    EdgeProfile::new(cfg, counts, walks)
+}
+
+/// The retired walk implementation, kept verbatim as the reference for
+/// the perf-trajectory bench (`spillopt bench`). Bit-identical output to
+/// [`random_walk_profile`].
+pub fn random_walk_profile_reference(
+    cfg: &Cfg,
+    walks: u64,
+    max_steps: u64,
+    seed: u64,
+) -> EdgeProfile {
     let dist = distance_to_exit(cfg);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut counts = vec![0u64; cfg.num_edges()];
@@ -111,6 +183,17 @@ mod tests {
         assert_eq!(a, b);
         let c = random_walk_profile(&cfg, 100, 32, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fast_walk_is_bit_identical_to_reference() {
+        let f = loopy();
+        let cfg = Cfg::compute(&f);
+        for seed in 0..5u64 {
+            let fast = random_walk_profile(&cfg, 200, 16, seed);
+            let slow = random_walk_profile_reference(&cfg, 200, 16, seed);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
     }
 
     #[test]

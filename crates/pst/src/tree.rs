@@ -66,6 +66,12 @@ pub struct Region {
 
 /// The Program Structure Tree of a function: the root region (whole
 /// procedure) plus every maximal SESE region, nested by containment.
+///
+/// Regions live in a flat arena numbered in **preorder**: the root is
+/// `RegionId(0)` and every child's id is greater than its parent's.
+/// Iterating ids in reverse ([`Pst::bottom_up`]) is therefore a
+/// children-first traversal over contiguous memory, and dense per-region
+/// side tables can be indexed by `RegionId` without hashing.
 #[derive(Clone, Debug)]
 pub struct Pst {
     regions: Vec<Region>,
@@ -83,6 +89,183 @@ impl Pst {
     /// about the placement algorithm itself.
     pub fn compute(cfg: &Cfg) -> Self {
         let aug = AugGraph::build(cfg);
+        let chains = SeseChains::compute(&aug);
+        let maximal = chains.maximal_regions();
+        let n = cfg.num_blocks();
+
+        let boundary_of = |edge_idx: usize| match aug.edges[edge_idx].what {
+            AugEdgeRef::Cfg(e) => RegionBoundary::CfgEdge(e),
+            AugEdgeRef::Ret(b) => RegionBoundary::ReturnEdge(b),
+            AugEdgeRef::Top => unreachable!("top edge is never a boundary"),
+        };
+
+        // Root region.
+        let mut all = DenseBitSet::new(n);
+        for b in 0..n {
+            all.insert(b);
+        }
+        let mut regions = vec![Region {
+            id: RegionId(0),
+            parent: None,
+            children: Vec::new(),
+            entry: RegionBoundary::ProcEntry,
+            exit: RegionBoundary::ProcExits,
+            blocks: all,
+            depth: 0,
+        }];
+
+        for pair in &maximal {
+            let mut blocks = DenseBitSet::new(n);
+            for b in 0..n {
+                if aug.edge_dominates_block(pair.entry, b)
+                    && aug.edge_postdominates_block(pair.exit, b)
+                {
+                    blocks.insert(b);
+                }
+            }
+            debug_assert!(!blocks.is_empty(), "maximal SESE region with no blocks");
+            let id = RegionId(regions.len() as u32);
+            regions.push(Region {
+                id,
+                parent: None,
+                children: Vec::new(),
+                entry: boundary_of(pair.entry),
+                exit: boundary_of(pair.exit),
+                blocks,
+                depth: 0,
+            });
+        }
+
+        // Parent = smallest strict superset.
+        let mut order: Vec<usize> = (1..regions.len()).collect();
+        order.sort_by_key(|&i| regions[i].blocks.count());
+        for &i in &order {
+            let mut best: usize = 0; // root
+            let mut best_count = usize::MAX;
+            for j in 0..regions.len() {
+                if j == i {
+                    continue;
+                }
+                let cj = regions[j].blocks.count();
+                let ci = regions[i].blocks.count();
+                if cj > ci && regions[i].blocks.is_subset(&regions[j].blocks) && cj < best_count {
+                    best = j;
+                    best_count = cj;
+                }
+            }
+            regions[i].parent = Some(RegionId(best as u32));
+        }
+        for i in 1..regions.len() {
+            let p = regions[i].parent.expect("non-root has parent").index();
+            let id = regions[i].id;
+            regions[p].children.push(id);
+        }
+        // Deterministic child order: by smallest contained block index.
+        let keys: Vec<usize> = regions
+            .iter()
+            .map(|r| r.blocks.iter().next().unwrap_or(usize::MAX))
+            .collect();
+        for r in &mut regions {
+            r.children.sort_by_key(|c| keys[c.index()]);
+        }
+
+        // Depths.
+        let mut stack = vec![RegionId(0)];
+        while let Some(r) = stack.pop() {
+            let d = regions[r.index()].depth;
+            let children = regions[r.index()].children.clone();
+            for c in children {
+                regions[c.index()].depth = d + 1;
+                stack.push(c);
+            }
+        }
+
+        // Innermost region per block: smallest containing region wins.
+        let mut block_region = vec![RegionId(0); n];
+        let mut assigned = vec![false; n];
+        let mut by_size: Vec<usize> = (0..regions.len()).collect();
+        by_size.sort_by_key(|&i| regions[i].blocks.count());
+        for &i in &by_size {
+            for b in regions[i].blocks.iter() {
+                if !assigned[b] {
+                    assigned[b] = true;
+                    block_region[b] = RegionId(i as u32);
+                }
+            }
+        }
+
+        // Flatten the tree into a preorder arena: renumber regions so
+        // that `RegionId(i)` *is* preorder position `i` (root = 0, every
+        // child id greater than its parent's). Bottom-up passes then walk
+        // the region array back to front — contiguous memory, no
+        // hash-keyed bookkeeping — and dense per-region side tables can
+        // be indexed by `RegionId` directly.
+        let mut preorder = Vec::with_capacity(regions.len());
+        {
+            let mut stack: Vec<(RegionId, usize)> = vec![(RegionId(0), 0)];
+            preorder.push(RegionId(0));
+            while let Some(&mut (r, ref mut ci)) = stack.last_mut() {
+                let children = &regions[r.index()].children;
+                if *ci < children.len() {
+                    let c = children[*ci];
+                    *ci += 1;
+                    preorder.push(c);
+                    stack.push((c, 0));
+                } else {
+                    stack.pop();
+                }
+            }
+        }
+        let mut new_id = vec![0u32; regions.len()];
+        for (new, old) in preorder.iter().enumerate() {
+            new_id[old.index()] = new as u32;
+        }
+        let mut arena: Vec<Region> = Vec::with_capacity(regions.len());
+        for &old in &preorder {
+            let mut r = regions[old.index()].clone();
+            r.id = RegionId(new_id[old.index()]);
+            r.parent = r.parent.map(|p| RegionId(new_id[p.index()]));
+            for c in &mut r.children {
+                *c = RegionId(new_id[c.index()]);
+            }
+            arena.push(r);
+        }
+        let regions = arena;
+        for br in &mut block_region {
+            *br = RegionId(new_id[br.index()]);
+        }
+
+        // Postorder (children before parents).
+        let mut postorder = Vec::with_capacity(regions.len());
+        let mut stack: Vec<(RegionId, usize)> = vec![(RegionId(0), 0)];
+        while let Some(&mut (r, ref mut ci)) = stack.last_mut() {
+            let children = &regions[r.index()].children;
+            if *ci < children.len() {
+                let c = children[*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                postorder.push(r);
+                stack.pop();
+            }
+        }
+
+        Pst {
+            regions,
+            block_region,
+            postorder,
+        }
+    }
+
+    /// The retired construction, kept verbatim for the perf-trajectory
+    /// bench's frozen pipeline: reference dominator machinery, no
+    /// preorder arena (regions keep discovery numbering). Semantically
+    /// interchangeable with [`Pst::compute`] — every containment, LCA,
+    /// and boundary query answers the same — but region *ids* differ, so
+    /// only numbering-independent consumers (all placement passes) may
+    /// mix the two.
+    pub fn compute_reference(cfg: &Cfg) -> Self {
+        let aug = AugGraph::build_reference(cfg);
         let chains = SeseChains::compute(&aug);
         let maximal = chains.maximal_regions();
         let n = cfg.num_blocks();
@@ -234,6 +417,15 @@ impl Pst {
     /// This is the paper's "topological-order traversal of the PST".
     pub fn postorder(&self) -> &[RegionId] {
         &self.postorder
+    }
+
+    /// Region ids in reverse preorder — also children-first (the arena is
+    /// preorder-numbered, so every child id is greater than its
+    /// parent's). Bottom-up passes use this to walk the region array back
+    /// to front and index dense side tables by `RegionId` directly,
+    /// instead of chasing the postorder indirection.
+    pub fn bottom_up(&self) -> impl DoubleEndedIterator<Item = RegionId> {
+        (0..self.regions.len()).rev().map(RegionId::from_index)
     }
 
     /// The innermost region containing block `b`.
@@ -389,6 +581,32 @@ mod tests {
         let r = pst.innermost_region_of_edge(&cfg, e);
         assert!(pst.contains_block(r, blocks[0]));
         assert!(pst.contains_block(r, blocks[1]));
+    }
+
+    #[test]
+    fn arena_is_preorder_numbered() {
+        let (f, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        assert_eq!(pst.root(), RegionId::from_index(0));
+        for r in pst.regions() {
+            for &c in &r.children {
+                assert!(c > r.id, "child {c} must be numbered after parent {}", r.id);
+            }
+            if let Some(p) = r.parent {
+                assert!(p < r.id);
+            }
+        }
+        // bottom_up is children-first and covers every region.
+        let order: Vec<RegionId> = pst.bottom_up().collect();
+        assert_eq!(order.len(), pst.num_regions());
+        let pos: std::collections::HashMap<RegionId, usize> =
+            order.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        for r in pst.regions() {
+            for &c in &r.children {
+                assert!(pos[&c] < pos[&r.id]);
+            }
+        }
     }
 
     #[test]

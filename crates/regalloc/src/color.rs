@@ -1,7 +1,7 @@
 //! Briggs-style optimistic graph coloring with conservative coalescing.
 
 use crate::interfere::InterferenceGraph;
-use spillopt_ir::{DenseBitSet, PReg, Target, UnionFind, VReg};
+use spillopt_ir::{BitMatrix, DenseBitSet, PReg, Target, UnionFind, VReg};
 
 /// Outcome of one coloring attempt.
 #[derive(Clone, Debug)]
@@ -21,7 +21,213 @@ pub struct Coloring {
 /// `no_spill` marks vregs created by earlier spill rewriting (their live
 /// ranges are minimal and respilling them cannot help); they are chosen
 /// for spilling only if nothing else is available.
+///
+/// Decision-for-decision identical to [`color_reference`] (same
+/// coalesces, same simplify order, same spill choices, same colors); the
+/// rewrite replaces the per-node adjacency bitsets with one flat
+/// [`BitMatrix`], precomputes the per-representative spill weights and
+/// call-crossing flags that the reference rescanned per query, and
+/// reuses scratch buffers instead of allocating in the select loop.
 pub fn color(graph: &InterferenceGraph, target: &Target, no_spill: &DenseBitSet) -> Coloring {
+    let nv = graph.num_vregs();
+    let nn = graph.num_nodes();
+    let k = target.num_regs();
+
+    // --- Conservative (Briggs) coalescing on virtual pairs. ---
+    let mut alias = UnionFind::new(nv);
+    // Effective adjacency after coalescing, one flat matrix over all
+    // nodes (rows only for vregs).
+    let mut adj = BitMatrix::new(nv, nn);
+    for i in 0..nv {
+        adj.row_union_words(i, graph.adjacency_words(i));
+    }
+    let mut coalesced = 0;
+    let disable_coalesce = std::env::var("SPILLOPT_NO_COALESCE").is_ok();
+    let mut scratch_words: Vec<u64> = Vec::new();
+    let mut scratch_items: Vec<usize> = Vec::new();
+    for &(a, b) in &graph.moves {
+        if disable_coalesce {
+            break;
+        }
+        let (ra, rb) = (alias.find(a as usize), alias.find(b as usize));
+        if ra == rb {
+            continue;
+        }
+        // Interference test under aliasing: a neighbor recorded before a
+        // later merge must be resolved through the alias map.
+        let interferes = |alias: &mut UnionFind, adj: &BitMatrix, x: usize, y: usize| {
+            adj.row_iter(x).any(|n| {
+                let n = if n < nv { alias.find(n) } else { n };
+                n == y
+            })
+        };
+        if interferes(&mut alias, &adj, ra, rb) || interferes(&mut alias, &adj, rb, ra) {
+            continue;
+        }
+        // Briggs test: the merged node must have < k neighbors of
+        // significant degree.
+        scratch_words.clear();
+        scratch_words.extend_from_slice(adj.row_words(ra));
+        for (w, o) in scratch_words.iter_mut().zip(adj.row_words(rb)) {
+            *w |= o;
+        }
+        let mut significant = 0usize;
+        for (wi, &word) in scratch_words.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let x = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let d = if x < nv {
+                    adj.row_count(alias.find(x))
+                } else {
+                    graph.degree(x)
+                };
+                if d >= k {
+                    significant += 1;
+                }
+            }
+        }
+        if significant < k {
+            alias.union(ra, rb);
+            let root = alias.find(ra);
+            let other = if root == ra { rb } else { ra };
+            adj.row_union_row_within(root, other);
+            // Canonicalize so later tests and degree estimates see merged
+            // representatives.
+            scratch_items.clear();
+            scratch_items.extend(adj.row_iter(root));
+            adj.row_clear(root);
+            for &x in &scratch_items {
+                let y = if x < nv { alias.find(x) } else { x };
+                if y != root {
+                    adj.set(root, y);
+                }
+            }
+            coalesced += 1;
+        }
+    }
+
+    // Representative nodes after coalescing.
+    let reps: Vec<usize> = (0..nv).filter(|&i| alias.find(i) == i).collect();
+    // Re-point adjacency of representatives through aliases: a neighbor
+    // that was coalesced must be counted via its representative. Also
+    // fold the per-node weights and call-crossing flags onto their
+    // representatives once, instead of rescanning all vregs per query.
+    let mut rep_adj = BitMatrix::new(nv, nn);
+    for &r in &reps {
+        for x in adj.row_iter(r) {
+            let y = if x < nv { alias.find(x) } else { x };
+            if y != r {
+                rep_adj.set(r, y);
+            }
+        }
+    }
+    let mut rep_weight = vec![0u64; nv];
+    let mut rep_crosses = vec![false; nv];
+    for v in 0..nv {
+        let r = alias.find(v);
+        rep_weight[r] = rep_weight[r].saturating_add(graph.weight[v]);
+        if graph.crosses_call.contains(v) {
+            rep_crosses[r] = true;
+        }
+    }
+
+    // --- Simplify. ---
+    let mut removed = DenseBitSet::new(nv);
+    let mut degree: Vec<usize> = (0..nv).map(|i| rep_adj.row_count(i)).collect();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = reps.clone();
+    while !remaining.is_empty() {
+        // Pick a low-degree node if any.
+        let pos = remaining.iter().position(|&i| degree[i] < k);
+        let chosen = match pos {
+            Some(p) => remaining.swap_remove(p),
+            None => {
+                // Potential spill: lowest weight/degree, avoiding
+                // no-spill nodes.
+                let mut best: Option<(usize, usize, u128)> = None; // (idx in remaining, node, key)
+                for (ri, &i) in remaining.iter().enumerate() {
+                    let banned = no_spill.contains(i);
+                    let (w, d) = (rep_weight[i], rep_adj.row_count(i).max(1) as u64);
+                    // key = w/d scaled; banned nodes sort last.
+                    let key = ((banned as u128) << 100) | (((w as u128) << 32) / d as u128);
+                    if best.is_none() || key < best.unwrap().2 {
+                        best = Some((ri, i, key));
+                    }
+                }
+                let (ri, node, _) = best.expect("non-empty remaining");
+                remaining.swap_remove(ri);
+                node
+            }
+        };
+        removed.insert(chosen);
+        for x in rep_adj.row_iter(chosen) {
+            if x < nv && !removed.contains(x) {
+                degree[x] = degree[x].saturating_sub(1);
+            }
+        }
+        stack.push(chosen);
+    }
+
+    // --- Select (optimistic). ---
+    // Preference: call-crossing nodes try callee-saved first; others try
+    // caller-saved first. Within each class, low index first so few
+    // distinct callee-saved registers get used.
+    let mut color_of: Vec<Option<PReg>> = vec![None; nv];
+    let mut spills = Vec::new();
+    let mut forbidden = DenseBitSet::new(target.reg_index_limit());
+    while let Some(i) = stack.pop() {
+        forbidden.clear();
+        for x in rep_adj.row_iter(i) {
+            if x >= nv {
+                forbidden.insert(x - nv);
+            } else if let Some(p) = color_of[x] {
+                forbidden.insert(p.index());
+            }
+        }
+        let pick = if rep_crosses[i] {
+            target
+                .callee_saved()
+                .iter()
+                .chain(target.caller_saved())
+                .copied()
+                .find(|p| !forbidden.contains(p.index()))
+        } else {
+            // The target's allocatable order is caller-saved first —
+            // exactly the preference for values that do not cross calls.
+            target
+                .allocatable()
+                .find(|p| !forbidden.contains(p.index()))
+        };
+        match pick {
+            Some(p) => color_of[i] = Some(p),
+            None => spills.push(VReg::from_index(i)),
+        }
+    }
+
+    // Propagate representative colors to aliases.
+    let mut assignment = vec![None; nv];
+    for v in 0..nv {
+        assignment[v] = color_of[alias.find(v)];
+    }
+    let alias_vec: Vec<u32> = (0..nv).map(|v| alias.find(v) as u32).collect();
+
+    Coloring {
+        assignment,
+        spills,
+        coalesced,
+        alias: alias_vec,
+    }
+}
+
+/// The retired coloring implementation, kept verbatim as the reference
+/// for differential tests and the perf-trajectory bench. Same output as
+/// [`color`].
+pub fn color_reference(
+    graph: &InterferenceGraph,
+    target: &Target,
+    no_spill: &DenseBitSet,
+) -> Coloring {
     let nv = graph.num_vregs();
     let k = target.num_regs();
 
@@ -294,5 +500,39 @@ mod tests {
         let c = color(&g, &t, &DenseBitSet::new(g.num_vregs()));
         assert!(c.coalesced >= 1);
         assert_eq!(c.assignment[x.index()], c.assignment[y.index()]);
+    }
+
+    /// The fast and reference colorings must agree decision for decision
+    /// on a function with moves, calls, branches, and pressure.
+    #[test]
+    fn fast_matches_reference() {
+        let t = Target::default();
+        let mut fb = FunctionBuilder::new("p", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        let vs: Vec<_> = (0..20).map(|i| fb.li(i)).collect();
+        let m = fb.new_vreg();
+        fb.mov(Reg::Virt(m), Reg::Virt(vs[0]));
+        fb.branch(spillopt_ir::Cond::Lt, Reg::Virt(m), Reg::Virt(vs[1]), c, b);
+        fb.switch_to(b);
+        let _ = fb.call(Callee::External(0), &[]);
+        let mut acc = m;
+        for v in &vs {
+            acc = fb.bin(BinOp::Add, Reg::Virt(acc), Reg::Virt(*v));
+        }
+        fb.ret(Some(Reg::Virt(acc)));
+        fb.switch_to(c);
+        fb.ret(Some(Reg::Virt(vs[2])));
+        let f = fb.finish();
+        let g = build_graph(&f, &t);
+        let ns = DenseBitSet::new(g.num_vregs());
+        let fast = color(&g, &t, &ns);
+        let slow = color_reference(&g, &t, &ns);
+        assert_eq!(fast.assignment, slow.assignment);
+        assert_eq!(fast.spills, slow.spills);
+        assert_eq!(fast.coalesced, slow.coalesced);
+        assert_eq!(fast.alias, slow.alias);
     }
 }

@@ -1,6 +1,6 @@
 //! Interference graph construction.
 
-use spillopt_ir::{Cfg, DenseBitSet, Function, InstKind, Liveness, Reg, Target};
+use spillopt_ir::{BitMatrix, Cfg, DenseBitSet, Function, InstKind, Liveness, Reg, Target};
 
 /// An interference graph over the register universe (virtual registers
 /// followed by physical registers; physical nodes are precolored).
@@ -8,7 +8,7 @@ use spillopt_ir::{Cfg, DenseBitSet, Function, InstKind, Liveness, Reg, Target};
 pub struct InterferenceGraph {
     n: usize,
     num_vregs: usize,
-    matrix: Vec<DenseBitSet>,
+    matrix: BitMatrix,
     neighbors: Vec<Vec<u32>>,
     /// Move-related pairs (both virtual) for coalescing.
     pub moves: Vec<(u32, u32)>,
@@ -21,6 +21,12 @@ pub struct InterferenceGraph {
 impl InterferenceGraph {
     /// Builds the interference graph of `func` using `block_weight` as the
     /// per-block frequency for spill costs.
+    ///
+    /// The adjacency accumulates word-parallel: a def's row ORs in the
+    /// whole live-after set at once, and symmetry plus the neighbor lists
+    /// are restored in one pass at the end. The resulting edge *set* is
+    /// identical to [`InterferenceGraph::build_reference`] (neighbor list
+    /// order differs; nothing consumes the order).
     pub fn build(
         func: &Function,
         _cfg: &Cfg,
@@ -34,7 +40,119 @@ impl InterferenceGraph {
         let mut g = InterferenceGraph {
             n,
             num_vregs,
-            matrix: vec![DenseBitSet::new(n); n],
+            matrix: BitMatrix::new(n, n),
+            neighbors: vec![Vec::new(); n],
+            moves: Vec::new(),
+            crosses_call: DenseBitSet::new(num_vregs),
+            weight: vec![0; n],
+        };
+
+        // All physical registers mutually interfere (they are distinct
+        // resources).
+        for a in num_vregs..n {
+            for b in num_vregs..n {
+                if a != b {
+                    g.matrix.set(a, b);
+                }
+            }
+        }
+
+        for b in func.block_ids() {
+            let w = block_weight[b.index()];
+            liveness.for_each_inst_backwards(func, target, b, |idx, live_after| {
+                let inst = &func.block(b).insts[idx];
+                // Spill-cost weights: every mention of a node costs.
+                inst.for_each_use(|r| {
+                    let i = universe.index(r);
+                    g.weight[i] = g.weight[i].saturating_add(w);
+                });
+                inst.for_each_def(|r| {
+                    let i = universe.index(r);
+                    g.weight[i] = g.weight[i].saturating_add(w);
+                });
+
+                // A def interferes with everything live after it, except
+                // that a move's destination does not interfere with its
+                // source (classic coalescing-friendly rule).
+                let move_src: Option<usize> = match &inst.kind {
+                    InstKind::Move { src, .. } => Some(universe.index(*src)),
+                    _ => None,
+                };
+                inst.for_each_def(|r| {
+                    let d = universe.index(r);
+                    // The move-source exemption only skips *adding* the
+                    // edge here; an edge recorded into this row by some
+                    // other instruction must survive the union+unset.
+                    let src_had = move_src.map(|s| g.matrix.contains(d, s));
+                    g.matrix.row_union_words(d, live_after.words());
+                    g.matrix.unset(d, d);
+                    if let (Some(s), Some(false)) = (move_src, src_had) {
+                        g.matrix.unset(d, s);
+                    }
+                });
+                inst.for_each_clobber(target, |p| {
+                    let d = universe.index(Reg::Phys(p));
+                    g.matrix.row_union_words(d, live_after.words());
+                    g.matrix.unset(d, d);
+                });
+                if matches!(inst.kind, InstKind::Call { .. }) {
+                    for l in live_after.iter() {
+                        if l < num_vregs {
+                            g.crosses_call.insert(l);
+                        }
+                    }
+                    // Exclude the call's own definition: it is written
+                    // after the call completes.
+                    inst.for_each_def(|r| {
+                        let d = universe.index(r);
+                        if d < num_vregs {
+                            g.crosses_call.remove(d);
+                        }
+                    });
+                }
+                // Record vreg-vreg moves for coalescing.
+                if let InstKind::Move { dst, src } = &inst.kind {
+                    if dst.is_virt() && src.is_virt() {
+                        g.moves
+                            .push((universe.index(*dst) as u32, universe.index(*src) as u32));
+                    }
+                }
+            });
+        }
+
+        // Symmetrize (rows accumulated def-side only) and derive the
+        // neighbor lists from the closed matrix.
+        let mut scratch: Vec<usize> = Vec::new();
+        for r in 0..n {
+            scratch.clear();
+            scratch.extend(g.matrix.row_iter(r));
+            for &c in &scratch {
+                g.matrix.set(c, r);
+            }
+        }
+        for r in 0..n {
+            g.neighbors[r] = g.matrix.row_iter(r).map(|c| c as u32).collect();
+        }
+        g
+    }
+
+    /// The retired push-per-edge construction, kept verbatim as the
+    /// reference for differential tests and the perf-trajectory bench.
+    /// Same interference relation as [`InterferenceGraph::build`].
+    pub fn build_reference(
+        func: &Function,
+        _cfg: &Cfg,
+        target: &Target,
+        liveness: &Liveness,
+        block_weight: &[u64],
+    ) -> Self {
+        let universe = liveness.universe();
+        let n = universe.len();
+        let num_vregs = universe.num_vregs();
+        let mut g = InterferenceGraph {
+            n,
+            num_vregs,
+            matrix: BitMatrix::new(n, n),
             neighbors: vec![Vec::new(); n],
             moves: Vec::new(),
             crosses_call: DenseBitSet::new(num_vregs),
@@ -130,18 +248,23 @@ impl InterferenceGraph {
 
     /// Adds an interference edge.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        if a == b || self.matrix[a].contains(b) {
+        if a == b || self.matrix.contains(a, b) {
             return;
         }
-        self.matrix[a].insert(b);
-        self.matrix[b].insert(a);
+        self.matrix.set(a, b);
+        self.matrix.set(b, a);
         self.neighbors[a].push(b as u32);
         self.neighbors[b].push(a as u32);
     }
 
     /// Returns `true` if `a` and `b` interfere.
     pub fn interferes(&self, a: usize, b: usize) -> bool {
-        self.matrix[a].contains(b)
+        self.matrix.contains(a, b)
+    }
+
+    /// The words of node `i`'s adjacency row (over all nodes).
+    pub fn adjacency_words(&self, i: usize) -> &[u64] {
+        self.matrix.row_words(i)
     }
 
     /// The neighbors of node `i`.
@@ -240,5 +363,53 @@ mod tests {
         let g = InterferenceGraph::build(&f, &cfg, &t, &lv, &vec![1; f.num_blocks()]);
         assert!(!g.interferes(x.index(), y.index()));
         assert!(g.moves.contains(&(y.index() as u32, x.index() as u32)));
+    }
+
+    /// The word-parallel build and the reference build must agree on the
+    /// whole interference relation, weights, moves, and call-crossing
+    /// sets (neighbor list *order* may differ).
+    #[test]
+    fn fast_build_matches_reference() {
+        let mut fb = FunctionBuilder::new("d", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(1);
+        let y = fb.li(2);
+        let m = fb.new_vreg();
+        fb.mov(Reg::Virt(m), Reg::Virt(x));
+        fb.branch(spillopt_ir::Cond::Lt, Reg::Virt(m), Reg::Virt(y), c, b);
+        fb.switch_to(b);
+        let _r = fb.call(Callee::External(0), &[]);
+        let z = fb.bin(BinOp::Add, Reg::Virt(m), Reg::Virt(y));
+        fb.ret(Some(Reg::Virt(z)));
+        fb.switch_to(c);
+        fb.ret(Some(Reg::Virt(y)));
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let t = Target::default();
+        let lv = Liveness::compute(&f, &cfg, &t);
+        let w = vec![3; f.num_blocks()];
+        let fast = InterferenceGraph::build(&f, &cfg, &t, &lv, &w);
+        let slow = InterferenceGraph::build_reference(&f, &cfg, &t, &lv, &w);
+        assert_eq!(fast.num_nodes(), slow.num_nodes());
+        for i in 0..fast.num_nodes() {
+            for j in 0..fast.num_nodes() {
+                assert_eq!(
+                    fast.interferes(i, j),
+                    slow.interferes(i, j),
+                    "edge ({i},{j})"
+                );
+            }
+            let mut a: Vec<u32> = fast.neighbors(i).to_vec();
+            let mut b: Vec<u32> = slow.neighbors(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighbors of {i}");
+        }
+        assert_eq!(fast.weight, slow.weight);
+        assert_eq!(fast.moves, slow.moves);
+        assert_eq!(fast.crosses_call, slow.crosses_call);
     }
 }

@@ -49,7 +49,7 @@ pub mod spill;
 use spillopt_ir::{Cfg, DenseBitSet, Function, Liveness, PReg, Reg, Target};
 use spillopt_profile::EdgeProfile;
 
-pub use color::{color, Coloring};
+pub use color::{color, color_reference, Coloring};
 pub use interfere::InterferenceGraph;
 pub use rewrite::apply_coloring;
 pub use spill::insert_spill_code;
@@ -89,6 +89,66 @@ pub fn allocate(
     let mut result = RegAllocResult::default();
     let mut no_spill = DenseBitSet::new(func.num_vregs());
 
+    // Spill rewriting only edits instruction lists — the block structure
+    // (and with it the CFG snapshot and per-block weights) is invariant
+    // across rounds, so both are computed once. (The reference
+    // implementation recomputes them per round; the results are
+    // identical.)
+    let cfg = Cfg::compute(func);
+    let weights: Vec<u64> = match profile {
+        Some(p) => func.block_ids().map(|b| p.block_count(b).max(1)).collect(),
+        None => {
+            // Static heuristic: deeper loops cost more.
+            let doms = spillopt_ir::BlockDoms::compute(&cfg);
+            let loops = spillopt_ir::LoopInfo::compute(&cfg, &doms);
+            func.block_ids()
+                .map(|b| 10u64.saturating_pow(loops.depth(b).min(6) as u32))
+                .collect()
+        }
+    };
+
+    for round in 0..16 {
+        result.iterations = round + 1;
+        let liveness = Liveness::compute(func, &cfg, target);
+        let graph = InterferenceGraph::build(func, &cfg, target, &liveness, &weights);
+        // Resize the no-spill set to the (possibly grown) vreg space.
+        let mut ns = DenseBitSet::new(func.num_vregs());
+        for i in no_spill.iter() {
+            ns.insert(i);
+        }
+        let coloring = color(&graph, target, &ns);
+        if coloring.spills.is_empty() {
+            assert_coloring_valid(&graph, &coloring, func);
+            result.coalesced_moves = apply_coloring(func, &coloring.assignment);
+            result.used_callee_saved = used_callee_saved(func, target);
+            return result;
+        }
+        result.spilled_vregs += coloring.spills.len();
+        let temps = insert_spill_code(func, &coloring.spills);
+        no_spill = {
+            let mut s = DenseBitSet::new(func.num_vregs());
+            for i in ns.iter().chain(temps.iter()) {
+                s.insert(i);
+            }
+            s
+        };
+    }
+    panic!("register allocation did not converge for `{}`", func.name());
+}
+
+/// As [`allocate`], running the retired reference implementations of
+/// liveness, interference-graph construction, and coloring. Kept for the
+/// perf-trajectory bench (`spillopt bench`) and differential tests; the
+/// produced function, result summary, and every intermediate decision
+/// are identical to [`allocate`].
+pub fn allocate_reference(
+    func: &mut Function,
+    target: &Target,
+    profile: Option<&EdgeProfile>,
+) -> RegAllocResult {
+    let mut result = RegAllocResult::default();
+    let mut no_spill = DenseBitSet::new(func.num_vregs());
+
     for round in 0..16 {
         result.iterations = round + 1;
         let cfg = Cfg::compute(func);
@@ -103,14 +163,14 @@ pub fn allocate(
                     .collect()
             }
         };
-        let liveness = Liveness::compute(func, &cfg, target);
-        let graph = InterferenceGraph::build(func, &cfg, target, &liveness, &weights);
+        let liveness = Liveness::compute_reference(func, &cfg, target);
+        let graph = InterferenceGraph::build_reference(func, &cfg, target, &liveness, &weights);
         // Resize the no-spill set to the (possibly grown) vreg space.
         let mut ns = DenseBitSet::new(func.num_vregs());
         for i in no_spill.iter() {
             ns.insert(i);
         }
-        let coloring = color(&graph, target, &ns);
+        let coloring = color_reference(&graph, target, &ns);
         if coloring.spills.is_empty() {
             assert_coloring_valid(&graph, &coloring, func);
             result.coalesced_moves = apply_coloring(func, &coloring.assignment);
@@ -161,11 +221,13 @@ fn assert_coloring_valid(graph: &InterferenceGraph, coloring: &Coloring, func: &
 /// The callee-saved registers mentioned by a (physical) function.
 fn used_callee_saved(func: &Function, target: &Target) -> Vec<PReg> {
     let mut used = Vec::new();
+    let mut seen = [false; 256];
     for b in func.block_ids() {
         for inst in &func.block(b).insts {
             let mut mark = |r: Reg| {
                 if let Reg::Phys(p) = r {
-                    if target.is_callee_saved(p) && !used.contains(&p) {
+                    if !seen[p.index()] && target.is_callee_saved(p) {
+                        seen[p.index()] = true;
                         used.push(p);
                     }
                 }

@@ -48,6 +48,21 @@ pub struct StressCase {
 /// Deterministic: the same `(target, seed)` pair always yields the same
 /// module and workload.
 pub fn gen_case(target: &Target, seed: u64) -> StressCase {
+    gen_case_scaled(target, seed, 1)
+}
+
+/// As [`gen_case`], with every drawn function size multiplied by
+/// `scale`: structured bodies get `scale`× the shape budget and raw
+/// CFGs `scale`× the block count. The RNG stream is identical to
+/// [`gen_case`] (`scale` only multiplies drawn sizes), so `scale == 1`
+/// reproduces it bit for bit.
+///
+/// The perf-trajectory bench uses scaled cases as its module-scale
+/// corpus: the adversarial *shapes* of the differential stress
+/// subsystem at the function sizes where optimizer wall-clock actually
+/// matters.
+pub fn gen_case_scaled(target: &Target, seed: u64, scale: u32) -> StressCase {
+    let scale = scale.max(1) as usize;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5712_E55C_A5E5_0000);
     let num_funcs = rng.gen_range(1..=4usize);
     let max_params = 2.min(target.arg_regs().len());
@@ -59,9 +74,9 @@ pub fn gen_case(target: &Target, seed: u64) -> StressCase {
     for i in 0..num_funcs {
         let structured = max_params >= 2 && rng.gen_bool(0.3);
         let func = if structured {
-            gen_structured_function(i, &nparams, num_funcs, target, &mut rng)
+            gen_structured_function(i, &nparams, num_funcs, target, scale, &mut rng)
         } else {
-            gen_raw_function(i, &nparams, target, &mut rng)
+            gen_raw_function(i, &nparams, target, scale, &mut rng)
         };
         module.add_func(func);
     }
@@ -93,11 +108,12 @@ fn gen_structured_function(
     nparams: &[usize],
     num_funcs: usize,
     target: &Target,
+    scale: usize,
     rng: &mut SmallRng,
 ) -> Function {
     let callees = num_funcs - index - 1;
     let shape = ShapeConfig {
-        budget: rng.gen_range(10..=35),
+        budget: rng.gen_range(10..=35) * scale,
         loop_prob: 0.35,
         else_prob: 0.5,
         cold_if_prob: 0.35,
@@ -151,10 +167,11 @@ fn gen_raw_function(
     index: usize,
     nparams: &[usize],
     target: &Target,
+    scale: usize,
     rng: &mut SmallRng,
 ) -> Function {
     for _attempt in 0..64 {
-        let func = draw_raw_function(index, nparams, target, rng);
+        let func = draw_raw_function(index, nparams, target, scale, rng);
         if spillopt_ir::verify_function(&func, RegDiscipline::Virtual).is_empty() {
             return func;
         }
@@ -373,11 +390,12 @@ fn draw_raw_function(
     index: usize,
     nparams: &[usize],
     target: &Target,
+    scale: usize,
     rng: &mut SmallRng,
 ) -> Function {
     let num_params = nparams[index];
     let mut fb = FunctionBuilder::with_target(format!("f{index}"), num_params, target.clone());
-    let num_blocks = rng.gen_range(4..=14usize);
+    let num_blocks = rng.gen_range(4..=14usize) * scale;
     let blocks: Vec<BlockId> = (0..num_blocks)
         .map(|i| fb.create_block(if i == 0 { Some("entry") } else { None }))
         .collect();

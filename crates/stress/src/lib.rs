@@ -35,7 +35,7 @@ pub mod minimize;
 pub mod oracle;
 
 pub use closed::is_closed;
-pub use gen::{gen_case, StressCase};
+pub use gen::{gen_case, gen_case_scaled, StressCase};
 pub use minimize::minimize;
 pub use oracle::{check_case, CaseReport, FailureKind, OracleFailure, STRATEGIES};
 
