@@ -10,9 +10,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng as _;
 use spillopt_benchgen::{emit_function, gen_body, EmitConfig, ShapeConfig, Style};
-use spillopt_core::{run_suite_priced, CalleeSavedUsage};
+use spillopt_core::{run_suite, CalleeSavedUsage, SuiteInputs, SuiteOptions};
 use spillopt_ir::analysis::loops::sccs;
-use spillopt_ir::Cfg;
+use spillopt_ir::{Cfg, DerivedCfg};
 use spillopt_profile::random_walk_profile;
 use spillopt_pst::Pst;
 use spillopt_regalloc::allocate;
@@ -54,23 +54,17 @@ fn bench_cross_target(c: &mut Criterion) {
         let cfg = Cfg::compute(&func);
         let cyclic = sccs(&cfg);
         let pst = Pst::compute(&cfg);
+        let derived = DerivedCfg::compute(&cfg);
         let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
         let profile = random_walk_profile(&cfg, 256, 512, 11);
         if usage.is_empty() {
             continue;
         }
+        let inputs = SuiteInputs::analyzed(&usage, &profile, &cyclic, &pst, &derived);
 
         group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, spec| {
-            b.iter(|| {
-                black_box(run_suite_priced(
-                    &cfg,
-                    &cyclic,
-                    &pst,
-                    &usage,
-                    &profile,
-                    &spec.costs,
-                ))
-            })
+            let options = SuiteOptions::priced(spec.costs);
+            b.iter(|| black_box(run_suite(&cfg, &inputs, &options).expect("valid placements")))
         });
     }
     group.finish();

@@ -7,8 +7,9 @@
 //! under criterion's timing loop for local comparisons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spillopt_driver::driver::{optimize_module_for, DriverConfig, ProfileSource};
+use spillopt_driver::driver::{DriverConfig, ProfileSource};
 use spillopt_driver::refimpl::optimize_module_reference;
+use spillopt_driver::OptimizerBuilder;
 use spillopt_ir::Module;
 use spillopt_targets::TargetSpec;
 use std::hint::black_box;
@@ -40,13 +41,22 @@ fn bench_module_optimize(c: &mut Criterion) {
         spillopt_targets::aarch64_aapcs64(),
     ] {
         let modules = corpus(&spec, 8, 40);
+        // Analysis reuse OFF: this bench times the cold pipeline (the
+        // session arena would otherwise serve every iteration but the
+        // first from cache).
+        let session = OptimizerBuilder::new()
+            .target_spec(spec.clone())
+            .threads(1)
+            .reuse_analyses(false)
+            .build()
+            .expect("valid session");
         group.bench_with_input(
             BenchmarkId::new("current", spec.name),
             &modules,
             |b, modules| {
                 b.iter(|| {
                     for m in modules {
-                        black_box(optimize_module_for(m, &spec, &config).expect("optimize"));
+                        black_box(session.optimize(m).expect("optimize"));
                     }
                 })
             },

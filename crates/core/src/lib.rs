@@ -110,9 +110,9 @@ pub use overhead::{
     static_overhead,
 };
 pub use paper_example::{fig1_example, paper_example, Fig1Example, PaperExample};
-pub use pipeline::{
-    run_suite, run_suite_analyzed, run_suite_priced, run_suite_with, PlacementSuite,
-};
+pub use pipeline::{run_suite, PlacementSuite, SuiteError, SuiteInputs, SuiteOptions};
+#[allow(deprecated)]
+pub use pipeline::{run_suite_analyzed, run_suite_priced, run_suite_with};
 pub use sets::{EdgeShares, SaveRestoreSet};
 pub use solver::{chow_grow_all, chow_points_all, initial_sets_all, RegWords};
 pub use usage::CalleeSavedUsage;

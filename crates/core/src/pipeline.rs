@@ -1,4 +1,19 @@
 //! One-call driver: all placement techniques on one procedure.
+//!
+//! The one supported entry point is [`run_suite`]: the procedure's
+//! analyses travel in a [`SuiteInputs`] — each analysis either **owned**
+//! (computed here, the one-call path) or **borrowed** (the module
+//! driver's cached path), behind one signature — the knobs travel in a
+//! [`SuiteOptions`], and an invalid placement surfaces as a structured
+//! [`SuiteError`] instead of a panic unwinding through whoever scheduled
+//! the function.
+//!
+//! The historical entry-point ladder that grew one variant per
+//! capability (`run_suite_with` for borrowed analyses, `run_suite_priced`
+//! for target pricing, `run_suite_analyzed` for the cached `DerivedCfg`)
+//! is kept as thin `#[deprecated]` shims for one release; every new knob
+//! lands as a field of [`SuiteOptions`] or [`SuiteInputs`] instead of a
+//! fifth free function.
 
 use crate::cost::{Cost, CostModel, SpillCostModel};
 use crate::entry_exit::entry_exit_placement;
@@ -6,11 +21,12 @@ use crate::hierarchical::{hierarchical_placement_seeded, HierarchicalResult};
 use crate::location::Placement;
 use crate::overhead::placement_cost_with;
 use crate::usage::CalleeSavedUsage;
-use crate::validate::check_placement;
+use crate::validate::{check_placement, PlacementError};
 use spillopt_ir::analysis::loops::{sccs, CyclicRegion};
 use spillopt_ir::{Cfg, DerivedCfg};
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::Pst;
+use std::fmt;
 
 /// All placements of one procedure, with their predicted costs under the
 /// jump-edge model (the physically accurate accounting).
@@ -29,75 +45,200 @@ pub struct PlacementSuite {
     pub predicted: [Cost; 4],
 }
 
-/// Runs every technique on one procedure and verifies the results.
+/// An analysis that is either computed here or borrowed from a caller's
+/// cache (`Cow` without the `ToOwned` bound — `Pst` and `DerivedCfg`
+/// need no `Clone`).
+#[derive(Debug)]
+enum Val<'a, T> {
+    Owned(T),
+    Borrowed(&'a T),
+}
+
+impl<T> Val<'_, T> {
+    fn get(&self) -> &T {
+        match self {
+            Val::Owned(t) => t,
+            Val::Borrowed(t) => t,
+        }
+    }
+}
+
+/// As [`Val`], for slice-shaped analyses.
+#[derive(Debug)]
+enum Slice<'a, T> {
+    Owned(Vec<T>),
+    Borrowed(&'a [T]),
+}
+
+impl<T> Slice<'_, T> {
+    fn get(&self) -> &[T] {
+        match self {
+            Slice::Owned(v) => v,
+            Slice::Borrowed(s) => s,
+        }
+    }
+}
+
+/// Everything [`run_suite`] consumes about one procedure: the callee-saved
+/// usage, the edge profile, and the three CFG-derived analyses every
+/// technique shares (SCCs, the PST, the dense [`DerivedCfg`] tables).
 ///
-/// # Panics
+/// Each analysis is owned-or-borrowed, so the one-call path
+/// ([`SuiteInputs::compute`]) and the cached module-driver path
+/// ([`SuiteInputs::analyzed`]) share one [`run_suite`] signature — adding
+/// a fifth analysis adds a field here, not a fifth entry point.
+#[derive(Debug)]
+pub struct SuiteInputs<'a> {
+    usage: &'a CalleeSavedUsage,
+    profile: &'a EdgeProfile,
+    cyclic: Slice<'a, CyclicRegion>,
+    pst: Val<'a, Pst>,
+    derived: Val<'a, DerivedCfg>,
+}
+
+impl<'a> SuiteInputs<'a> {
+    /// The one-call path: computes every shared analysis (SCCs, PST,
+    /// dense CFG tables) from `cfg`.
+    pub fn compute(cfg: &Cfg, usage: &'a CalleeSavedUsage, profile: &'a EdgeProfile) -> Self {
+        SuiteInputs {
+            usage,
+            profile,
+            cyclic: Slice::Owned(sccs(cfg)),
+            pst: Val::Owned(Pst::compute(cfg)),
+            derived: Val::Owned(DerivedCfg::compute(cfg)),
+        }
+    }
+
+    /// The cached path: every analysis borrowed from the caller (the
+    /// module driver's `AnalysisCache`); nothing is recomputed here.
+    pub fn analyzed(
+        usage: &'a CalleeSavedUsage,
+        profile: &'a EdgeProfile,
+        cyclic: &'a [CyclicRegion],
+        pst: &'a Pst,
+        derived: &'a DerivedCfg,
+    ) -> Self {
+        SuiteInputs {
+            usage,
+            profile,
+            cyclic: Slice::Borrowed(cyclic),
+            pst: Val::Borrowed(pst),
+            derived: Val::Borrowed(derived),
+        }
+    }
+
+    /// The callee-saved usage.
+    pub fn usage(&self) -> &CalleeSavedUsage {
+        self.usage
+    }
+
+    /// The edge profile.
+    pub fn profile(&self) -> &EdgeProfile {
+        self.profile
+    }
+
+    /// Strongly connected components (Chow's artificial loop flow).
+    pub fn cyclic(&self) -> &[CyclicRegion] {
+        self.cyclic.get()
+    }
+
+    /// The Program Structure Tree.
+    pub fn pst(&self) -> &Pst {
+        self.pst.get()
+    }
+
+    /// The dense derived CFG tables.
+    pub fn derived(&self) -> &DerivedCfg {
+        self.derived.get()
+    }
+}
+
+/// Knobs of one suite run. `#[non_exhaustive]`: future capabilities (a
+/// new cost knob, a validation mode) land here as fields with defaults,
+/// not as new entry-point variants. Construct via [`SuiteOptions::default`]
+/// or [`SuiteOptions::priced`] and mutate fields as needed.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct SuiteOptions {
+    /// The target's spill-cost model: both hierarchical variants make
+    /// their replace-decisions under these instruction costs, and all
+    /// four predicted costs use the target's physically accurate
+    /// jump-edge accounting. [`SpillCostModel::UNIT`] reproduces the
+    /// paper's PA-RISC accounting exactly.
+    pub costs: SpillCostModel,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            costs: SpillCostModel::UNIT,
+        }
+    }
+}
+
+impl SuiteOptions {
+    /// Options priced by a target's cost model.
+    pub fn priced(costs: SpillCostModel) -> Self {
+        SuiteOptions { costs }
+    }
+}
+
+/// A produced placement failed validity checking — always a bug in this
+/// crate, never a property of the input, but surfaced structurally so a
+/// module-scale caller can name the failing function instead of catching
+/// a panic off a worker thread.
+#[derive(Clone, Debug)]
+pub struct SuiteError {
+    /// Which technique produced the invalid placement (`"entry_exit"`,
+    /// `"chow"`, `"hierarchical_exec"`, or `"hierarchical_jump"`).
+    pub technique: &'static str,
+    /// The validity violations.
+    pub errors: Vec<PlacementError>,
+    /// The offending placement.
+    pub placement: Placement,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} placement invalid: ", self.technique)?;
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "\n{}", self.placement)
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Runs every technique on one procedure and verifies the results — the
+/// single supported entry point for the four-technique comparison.
 ///
-/// Panics if any produced placement fails validity checking — that would
-/// be a bug in this crate, never a property of the input.
+/// # Errors
+///
+/// Returns a [`SuiteError`] if any produced placement fails validity
+/// checking; that is a bug in this crate, never a property of the input.
 pub fn run_suite(
     cfg: &Cfg,
-    pst: &Pst,
-    usage: &CalleeSavedUsage,
-    profile: &EdgeProfile,
-) -> PlacementSuite {
-    let cyclic = sccs(cfg);
-    run_suite_with(cfg, &cyclic, pst, usage, profile)
-}
+    inputs: &SuiteInputs<'_>,
+    options: &SuiteOptions,
+) -> Result<PlacementSuite, SuiteError> {
+    let usage = inputs.usage;
+    let profile = inputs.profile;
+    let derived = inputs.derived();
+    let costs = &options.costs;
 
-/// As [`run_suite`], with every analysis borrowed from the caller: the
-/// module driver (`spillopt-driver`) computes each function's analyses
-/// once and runs all four techniques against them, so nothing here may
-/// recompute SCCs or the PST.
-pub fn run_suite_with(
-    cfg: &Cfg,
-    cyclic: &[CyclicRegion],
-    pst: &Pst,
-    usage: &CalleeSavedUsage,
-    profile: &EdgeProfile,
-) -> PlacementSuite {
-    run_suite_priced(cfg, cyclic, pst, usage, profile, &SpillCostModel::UNIT)
-}
-
-/// As [`run_suite_with`], priced with a target's [`SpillCostModel`]:
-/// both hierarchical variants make their replace-decisions under the
-/// target's instruction costs, and all four predicted costs use the
-/// target's physically accurate jump-edge accounting
-/// ([`placement_cost_with`]). With [`SpillCostModel::UNIT`] this is
-/// [`run_suite_with`] exactly.
-pub fn run_suite_priced(
-    cfg: &Cfg,
-    cyclic: &[CyclicRegion],
-    pst: &Pst,
-    usage: &CalleeSavedUsage,
-    profile: &EdgeProfile,
-    costs: &SpillCostModel,
-) -> PlacementSuite {
-    let derived = DerivedCfg::compute(cfg);
-    run_suite_analyzed(cfg, &derived, cyclic, pst, usage, profile, costs)
-}
-
-/// As [`run_suite_priced`], with the caller's cached [`DerivedCfg`] —
-/// the module driver's `AnalysisCache` computes every derived structure
-/// once per function and all four techniques consume it here.
-pub fn run_suite_analyzed(
-    cfg: &Cfg,
-    derived: &DerivedCfg,
-    cyclic: &[CyclicRegion],
-    pst: &Pst,
-    usage: &CalleeSavedUsage,
-    profile: &EdgeProfile,
-    costs: &SpillCostModel,
-) -> PlacementSuite {
     let entry_exit = entry_exit_placement(cfg, usage);
-    let chow = crate::chow::chow_shrink_wrap_derived(cfg, derived, cyclic, usage);
+    let chow = crate::chow::chow_shrink_wrap_derived(cfg, derived, inputs.cyclic(), usage);
     // Both hierarchical runs start from the same initial solution;
     // compute it once and seed both (identical decisions — the initial
     // sets do not depend on the cost model).
     let initial = crate::modified::modified_shrink_wrap_derived(cfg, derived, usage);
     let hierarchical_exec = hierarchical_placement_seeded(
         cfg,
-        pst,
+        inputs.pst(),
         usage,
         profile,
         CostModel::ExecutionCount,
@@ -107,7 +248,7 @@ pub fn run_suite_analyzed(
     );
     let hierarchical_jump = hierarchical_placement_seeded(
         cfg,
-        pst,
+        inputs.pst(),
         usage,
         profile,
         CostModel::JumpEdge,
@@ -116,14 +257,20 @@ pub fn run_suite_analyzed(
         initial,
     );
 
-    for (name, p) in [
+    for (technique, p) in [
         ("entry_exit", &entry_exit),
         ("chow", &chow),
         ("hierarchical_exec", &hierarchical_exec.placement),
         ("hierarchical_jump", &hierarchical_jump.placement),
     ] {
-        let errs = check_placement(cfg, usage, p);
-        assert!(errs.is_empty(), "{name} placement invalid: {errs:?}\n{p}");
+        let errors = check_placement(cfg, usage, p);
+        if !errors.is_empty() {
+            return Err(SuiteError {
+                technique,
+                errors,
+                placement: p.clone(),
+            });
+        }
     }
 
     let predicted = [
@@ -145,13 +292,97 @@ pub fn run_suite_analyzed(
         ),
     ];
 
-    PlacementSuite {
+    Ok(PlacementSuite {
         entry_exit,
         chow,
         hierarchical_exec,
         hierarchical_jump,
         predicted,
-    }
+    })
+}
+
+/// The shim bodies: reproduce the historical panic-on-invalid behaviour
+/// exactly (the deprecated entry points documented a panic, and their
+/// remaining callers rely on it).
+fn run_or_panic(cfg: &Cfg, inputs: &SuiteInputs<'_>, options: &SuiteOptions) -> PlacementSuite {
+    run_suite(cfg, inputs, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`run_suite`], with SCCs and the PST borrowed from the caller.
+///
+/// # Panics
+///
+/// Panics if any produced placement fails validity checking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_suite` with `SuiteInputs::analyzed` (or `SuiteInputs::compute`)"
+)]
+pub fn run_suite_with(
+    cfg: &Cfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+) -> PlacementSuite {
+    let inputs = SuiteInputs {
+        usage,
+        profile,
+        cyclic: Slice::Borrowed(cyclic),
+        pst: Val::Borrowed(pst),
+        derived: Val::Owned(DerivedCfg::compute(cfg)),
+    };
+    run_or_panic(cfg, &inputs, &SuiteOptions::default())
+}
+
+/// As [`run_suite`], with borrowed SCCs/PST and a target cost model.
+///
+/// # Panics
+///
+/// Panics if any produced placement fails validity checking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_suite` with `SuiteInputs` and `SuiteOptions::priced`"
+)]
+pub fn run_suite_priced(
+    cfg: &Cfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    costs: &SpillCostModel,
+) -> PlacementSuite {
+    let inputs = SuiteInputs {
+        usage,
+        profile,
+        cyclic: Slice::Borrowed(cyclic),
+        pst: Val::Borrowed(pst),
+        derived: Val::Owned(DerivedCfg::compute(cfg)),
+    };
+    run_or_panic(cfg, &inputs, &SuiteOptions::priced(*costs))
+}
+
+/// As [`run_suite`], with every analysis (including the dense
+/// [`DerivedCfg`]) borrowed from the caller.
+///
+/// # Panics
+///
+/// Panics if any produced placement fails validity checking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_suite` with `SuiteInputs::analyzed` and `SuiteOptions::priced`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_suite_analyzed(
+    cfg: &Cfg,
+    derived: &DerivedCfg,
+    cyclic: &[CyclicRegion],
+    pst: &Pst,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    costs: &SpillCostModel,
+) -> PlacementSuite {
+    let inputs = SuiteInputs::analyzed(usage, profile, cyclic, pst, derived);
+    run_or_panic(cfg, &inputs, &SuiteOptions::priced(*costs))
 }
 
 #[cfg(test)]
@@ -160,8 +391,7 @@ mod tests {
     use spillopt_ir::{Cond, FunctionBuilder, PReg, Reg};
     use spillopt_profile::random_walk_profile;
 
-    #[test]
-    fn suite_runs_and_orders_costs() {
+    fn diamond() -> (Cfg, CalleeSavedUsage, EdgeProfile) {
         let mut fb = FunctionBuilder::new("s", 0);
         let a = fb.create_block(None);
         let b = fb.create_block(None);
@@ -178,14 +408,87 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         let cfg = Cfg::compute(&f);
-        let pst = Pst::compute(&cfg);
         let profile = random_walk_profile(&cfg, 100, 32, 1);
         let mut usage = CalleeSavedUsage::new();
         usage.set_busy(PReg::new(11), b, 4);
-        let suite = run_suite(&cfg, &pst, &usage, &profile);
+        (cfg, usage, profile)
+    }
+
+    #[test]
+    fn suite_runs_and_orders_costs() {
+        let (cfg, usage, profile) = diamond();
+        let inputs = SuiteInputs::compute(&cfg, &usage, &profile);
+        let suite = run_suite(&cfg, &inputs, &SuiteOptions::default()).expect("valid placements");
         // The paper's guarantee under the jump model: hierarchical(jump)
         // ≤ entry/exit and ≤ chow.
         assert!(suite.predicted[3] <= suite.predicted[0]);
         assert!(suite.predicted[3] <= suite.predicted[1]);
+    }
+
+    #[test]
+    fn owned_and_borrowed_inputs_agree() {
+        let (cfg, usage, profile) = diamond();
+        let cyclic = sccs(&cfg);
+        let pst = Pst::compute(&cfg);
+        let derived = DerivedCfg::compute(&cfg);
+        let owned = SuiteInputs::compute(&cfg, &usage, &profile);
+        let borrowed = SuiteInputs::analyzed(&usage, &profile, &cyclic, &pst, &derived);
+        let opts = SuiteOptions::default();
+        let a = run_suite(&cfg, &owned, &opts).expect("valid");
+        let b = run_suite(&cfg, &borrowed, &opts).expect("valid");
+        assert_eq!(a.entry_exit, b.entry_exit);
+        assert_eq!(a.chow, b.chow);
+        assert_eq!(a.hierarchical_jump.placement, b.hierarchical_jump.placement);
+        assert_eq!(a.predicted, b.predicted);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_new_entry_point() {
+        let (cfg, usage, profile) = diamond();
+        let cyclic = sccs(&cfg);
+        let pst = Pst::compute(&cfg);
+        let derived = DerivedCfg::compute(&cfg);
+        let inputs = SuiteInputs::analyzed(&usage, &profile, &cyclic, &pst, &derived);
+        let new = run_suite(&cfg, &inputs, &SuiteOptions::default()).expect("valid");
+        let shim = run_suite_with(&cfg, &cyclic, &pst, &usage, &profile);
+        assert_eq!(new.entry_exit, shim.entry_exit);
+        assert_eq!(new.chow, shim.chow);
+        assert_eq!(new.predicted, shim.predicted);
+        let priced = run_suite_priced(&cfg, &cyclic, &pst, &usage, &profile, &SpillCostModel::UNIT);
+        assert_eq!(new.predicted, priced.predicted);
+        let analyzed = run_suite_analyzed(
+            &cfg,
+            &derived,
+            &cyclic,
+            &pst,
+            &usage,
+            &profile,
+            &SpillCostModel::UNIT,
+        );
+        assert_eq!(new.predicted, analyzed.predicted);
+    }
+
+    #[test]
+    fn suite_error_renders_technique_and_violations() {
+        use crate::location::{SpillKind, SpillLoc, SpillPoint};
+        let (cfg, usage, profile) = diamond();
+        let _ = (&cfg, &profile);
+        let mut placement = Placement::new();
+        let point = SpillPoint {
+            reg: PReg::new(11),
+            kind: SpillKind::Restore,
+            loc: SpillLoc::BlockTop(cfg.entry()),
+        };
+        placement.push(point);
+        let err = SuiteError {
+            technique: "chow",
+            errors: vec![PlacementError::RestoreWithoutSave { point }],
+            placement,
+        };
+        let rendered = err.to_string();
+        assert!(rendered.contains("chow placement invalid"), "{rendered}");
+        assert!(rendered.contains("restore without save"), "{rendered}");
+        let _ = usage;
     }
 }

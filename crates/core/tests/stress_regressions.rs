@@ -9,11 +9,10 @@
 //! guarantee — plus targeted assertions on the fixed behaviour.
 
 use spillopt_core::{
-    check_placement, entry_exit_placement, insert_placement, run_suite_priced, CalleeSavedUsage,
+    check_placement, entry_exit_placement, insert_placement, run_suite, CalleeSavedUsage,
+    SuiteInputs, SuiteOptions,
 };
-use spillopt_ir::analysis::loops::sccs;
 use spillopt_ir::{parse_module, Cfg, FuncId, Module, RegDiscipline};
-use spillopt_pst::Pst;
 use spillopt_regalloc::allocate;
 use spillopt_stress::check_case;
 
@@ -231,9 +230,9 @@ fn hierarchical_is_never_worse_than_chow_on_the_394_module() {
         let cfg = Cfg::compute(&func);
         let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
         assert!(!usage.is_empty());
-        let cyclic = sccs(&cfg);
-        let pst = Pst::compute(&cfg);
-        let suite = run_suite_priced(&cfg, &cyclic, &pst, &usage, &profile, &spec.costs);
+        let inputs = SuiteInputs::compute(&cfg, &usage, &profile);
+        let suite = run_suite(&cfg, &inputs, &SuiteOptions::priced(spec.costs))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let [entry_exit, chow, _, hier_jump] = suite.predicted;
         assert!(
             hier_jump <= chow,

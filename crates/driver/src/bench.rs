@@ -14,10 +14,16 @@
 //! (default 1, the deterministic serial schedule). The byte-equality
 //! check runs once per target before any timing, so a report-shape
 //! regression fails the bench regardless of speed.
+//!
+//! The current arm runs through the [`crate::Session`] facade — the
+//! same path every consumer uses — with analysis reuse disabled
+//! ([`crate::OptimizerBuilder::reuse_analyses`]`(false)`): the bench
+//! times the cold pipeline, never arena lookups.
 
-use crate::driver::{optimize_module_for, DriverConfig, DriverError, ProfileSource};
+use crate::driver::{DriverConfig, DriverError, ProfileSource};
 use crate::json::Json;
 use crate::refimpl::optimize_module_reference;
+use crate::session::OptimizerBuilder;
 use spillopt_ir::Module;
 use spillopt_targets::{registry, TargetSpec};
 use std::time::Instant;
@@ -191,11 +197,20 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
         corpus_cases = corpus.len();
         corpus_functions = corpus.iter().map(|m| m.num_funcs()).sum();
 
+        // The current arm runs through the session facade — the same
+        // path every consumer uses — with analysis reuse OFF: the bench
+        // times the cold pipeline, not arena lookups.
+        let session = OptimizerBuilder::new()
+            .target_spec(spec.clone())
+            .threads(config.threads)
+            .reuse_analyses(false)
+            .build()?;
+
         // Equality gate: the rewrite must not have changed a single
         // byte of any report.
         let mut reports_identical = true;
         for module in &corpus {
-            let current = optimize_module_for(module, spec, &driver_config)?;
+            let current = session.optimize(module)?;
             let reference = optimize_module_reference(module, spec, &driver_config)?;
             if current.report.to_json().to_compact() != reference.report.to_json().to_compact() {
                 reports_identical = false;
@@ -207,12 +222,15 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
             for _ in 0..config.reps.max(1) {
                 let t = Instant::now();
                 for module in &corpus {
-                    let run = if reference {
-                        optimize_module_reference(module, spec, &driver_config)?
+                    if reference {
+                        std::hint::black_box(&optimize_module_reference(
+                            module,
+                            spec,
+                            &driver_config,
+                        )?);
                     } else {
-                        optimize_module_for(module, spec, &driver_config)?
+                        std::hint::black_box(&session.optimize(module)?);
                     };
-                    std::hint::black_box(&run);
                 }
                 let ns = t.elapsed().as_nanos();
                 best = Some(best.map_or(ns, |b| b.min(ns)));

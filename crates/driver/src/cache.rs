@@ -6,10 +6,9 @@
 //! re-builds the PST, and callers typically recompute the CFG around all
 //! of them. At module scale that waste dominates: the placements
 //! themselves are near-linear, and so is every analysis here. The cache
-//! makes the sharing explicit, and the `*_with` entry points in
-//! `spillopt-core` ([`spillopt_core::run_suite_with`],
-//! [`spillopt_core::chow_shrink_wrap_with`]) consume it without any
-//! recomputation.
+//! makes the sharing explicit, and [`spillopt_core::run_suite`] consumes
+//! it without any recomputation through its borrowed-analysis inputs
+//! ([`spillopt_core::SuiteInputs::analyzed`]).
 //!
 //! Only the CFG, the profile, liveness, and the callee-saved usage are
 //! computed eagerly — they decide whether a function needs placement at

@@ -1,9 +1,9 @@
 //! The `spillopt` command-line interface.
 //!
 //! ```text
-//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
-//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
-//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
+//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
+//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
+//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
 //! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
 //! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
 //! spillopt list-benches
@@ -33,10 +33,9 @@
 //! offline build would have to shim.
 
 use crate::bench::{run_bench, BenchConfig};
-use crate::driver::{
-    cross_target_runs, optimize_module_for, DriverConfig, DriverError, ProfileSource, Strategy,
-};
-use crate::report::CrossTargetReport;
+use crate::driver::{DriverError, ProfileSource, Strategy};
+use crate::report::{CrossTargetReport, FunctionReport};
+use crate::session::{OptimizerBuilder, TechniqueSet};
 use crate::stress::{run_stress, StressConfig};
 use spillopt_ir::{display, parse_module_traced, Module};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
@@ -62,15 +61,20 @@ pub fn run_main() -> i32 {
 
 const USAGE: &str = "\
 usage:
-  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--out FILE]
-  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--json]
-  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--compact] [--out FILE]
+  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
+  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
+  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
   spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
   spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
   spillopt list-benches
   spillopt list-targets
 
 strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
+--techniques selects which placement techniques the session reports
+(and `optimize` may apply): `all` (default) or a comma-separated list
+of strategy names.
+--progress streams one stderr line per function as it retires from the
+worker pool.
 --target names a registered backend (see list-targets; default pa-risc-like);
 `--target all` fans compare/report out across every registered target.
 --threads 0 uses all cores (default); --threads 1 is the serial reference.
@@ -165,6 +169,8 @@ struct Opts {
     target: TargetChoice,
     threads: usize,
     strategy: Option<Strategy>,
+    techniques: TechniqueSet,
+    progress: bool,
     out: Option<String>,
     json: bool,
     compact: bool,
@@ -186,14 +192,26 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--target",
             "--threads",
             "--strategy",
+            "--techniques",
+            "--progress",
             "--out",
         ],
-        "compare" => &["--bench", "--input", "--target", "--threads", "--json"],
+        "compare" => &[
+            "--bench",
+            "--input",
+            "--target",
+            "--threads",
+            "--techniques",
+            "--progress",
+            "--json",
+        ],
         "report" => &[
             "--bench",
             "--input",
             "--target",
             "--threads",
+            "--techniques",
+            "--progress",
             "--compact",
             "--out",
         ],
@@ -208,6 +226,8 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
         target: TargetChoice::One(spillopt_targets::pa_risc_like()),
         threads: 0,
         strategy: None,
+        techniques: TechniqueSet::ALL,
+        progress: false,
         out: None,
         json: false,
         compact: false,
@@ -255,6 +275,10 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
                     })?),
                 }
             }
+            "--techniques" => {
+                opts.techniques = TechniqueSet::parse(value()?).map_err(|e| usage(&e))?;
+            }
+            "--progress" => opts.progress = true,
             "--out" => opts.out = Some(value()?.to_string()),
             "--json" => opts.json = true,
             "--compact" => opts.compact = true,
@@ -263,6 +287,15 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
     }
     if opts.bench.is_some() == opts.input.is_some() {
         return Err(usage("exactly one of --bench or --input is required"));
+    }
+    if let Some(strategy) = opts.strategy {
+        if !opts.techniques.contains(strategy) {
+            return Err(usage(&format!(
+                "--strategy {} is not in --techniques {}",
+                strategy.name(),
+                opts.techniques.names()
+            )));
+        }
     }
     Ok(opts)
 }
@@ -321,13 +354,33 @@ fn load_input(path: &str) -> Result<(Module, ProfileSource), CliError> {
     Ok((module, ProfileSource::default()))
 }
 
+/// The `--progress` observer: one stderr line per retiring function,
+/// streamed from the session as the pool finishes each one. The target
+/// name disambiguates the interleaved `--target all` fan-out.
+fn progress_observer() -> impl Fn(&str, &str, &FunctionReport) + Sync {
+    |target: &str, module: &str, report: &FunctionReport| {
+        let best = report.best.map_or("(no callee-saved use)", |b| b.name());
+        eprintln!("  [{target}] {module}::{} placed: {best}", report.name);
+    }
+}
+
 fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, CliError> {
     let (module, profile) = load(opts, spec)?;
-    let config = DriverConfig {
-        threads: opts.threads,
-        profile,
+    let session = OptimizerBuilder::new()
+        .target_spec(spec.clone())
+        .profile(profile)
+        .threads(opts.threads)
+        .techniques(opts.techniques)
+        // One-shot process: an arena would cache results nothing reads.
+        .reuse_analyses(false)
+        .build()
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let run = if opts.progress {
+        session.optimize_observed(&module, &progress_observer())
+    } else {
+        session.optimize(&module)
     };
-    optimize_module_for(&module, spec, &config).map_err(|e| CliError::Run(e.to_string()))
+    run.map_err(|e| CliError::Run(e.to_string()))
 }
 
 /// Runs the pipeline on every registered target.
@@ -337,20 +390,32 @@ fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, Cli
 /// file I/O and parse for each of them. Generated benchmarks still build
 /// per target — they lower against each target's calling convention.
 fn drive_all(opts: &Opts) -> Result<CrossTargetReport, CliError> {
-    let specs = registry();
     let shared: Option<(Module, ProfileSource)> = match opts.input.as_deref() {
         Some(path) => Some(load_input(path)?),
         None => None,
     };
-    cross_target_runs(&specs, opts.threads, |spec| match &shared {
+    let session = OptimizerBuilder::new()
+        .all_targets()
+        .threads(opts.threads)
+        .techniques(opts.techniques)
+        // One-shot process: an arena would cache results nothing reads.
+        .reuse_analyses(false)
+        .build()
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let load_for = |spec: &TargetSpec| match &shared {
         Some(pair) => Ok(pair.clone()),
         None => load(opts, spec).map_err(|e| match e {
             CliError::Run(msg) | CliError::Usage(msg) => {
                 DriverError::Load(format!("target {}: {msg}", spec.name))
             }
         }),
-    })
-    .map_err(|e| CliError::Run(e.to_string()))
+    };
+    let report = if opts.progress {
+        session.cross_target_observed(load_for, &progress_observer())
+    } else {
+        session.cross_target(load_for)
+    };
+    report.map_err(|e| CliError::Run(e.to_string()))
 }
 
 /// Writes `text` to `--out` or the primary stream.
@@ -650,6 +715,47 @@ mod tests {
         for s in ["baseline", "shrinkwrap", "hier-exec", "hier-jump", "best"] {
             assert!(msg.contains(s), "`{msg}` does not list `{s}`");
         }
+    }
+
+    #[test]
+    fn techniques_flag_is_typed_and_lists_accepted_values() {
+        let Err(CliError::Usage(msg)) =
+            run_capture(&["compare", "--bench", "mcf", "--techniques", "bogus"])
+        else {
+            panic!("expected usage error");
+        };
+        for s in ["baseline", "shrinkwrap", "hier-exec", "hier-jump"] {
+            assert!(msg.contains(s), "`{msg}` does not list `{s}`");
+        }
+        // A strategy outside the selected set is rejected up front.
+        assert!(matches!(
+            run_capture(&[
+                "optimize",
+                "--bench",
+                "mcf",
+                "--techniques",
+                "baseline",
+                "--strategy",
+                "hier-jump",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn compare_with_a_technique_subset_runs() {
+        let out = run_capture(&[
+            "compare",
+            "--bench",
+            "mcf",
+            "--techniques",
+            "baseline,hier-jump",
+            "--threads",
+            "1",
+        ])
+        .expect("compare");
+        assert!(out.contains("module mcf"), "{out}");
+        assert!(out.contains("hier-jump"), "{out}");
     }
 
     #[test]

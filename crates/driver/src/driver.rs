@@ -1,21 +1,21 @@
-//! The module-scale optimization driver.
+//! The module-scale driver's shared types — and the deprecated
+//! free-function entry points the [`crate::session`] facade replaces.
 //!
-//! For each function of a module this runs the full per-procedure
-//! pipeline — profile, Chaitin/Briggs allocation, one shared
-//! [`AnalysisCache`], then **all four** placement techniques against the
-//! cached analyses via [`spillopt_core::run_suite_with`] — and folds the
-//! results into a deterministic [`ModuleReport`]. Functions are
-//! processed on the work-stealing pool ([`crate::pool`]); the report
-//! (including its JSON serialization) is bit-identical for every thread
-//! count.
+//! The pipeline itself (profile → Chaitin/Briggs allocation → one shared
+//! [`crate::cache::AnalysisCache`] → every selected placement technique
+//! via [`spillopt_core::run_suite`]) lives in `crate::session`; build an
+//! [`crate::OptimizerBuilder`] and call [`crate::Session::optimize`].
+//! The free functions kept here (`optimize_module`,
+//! `optimize_module_for`, `cross_target_runs`) are thin `#[deprecated]`
+//! shims over the same engine — byte-identical output, one release of
+//! grace.
 
-use crate::cache::AnalysisCache;
 use crate::pool::try_run_indexed;
-use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
-use spillopt_core::{insert_placement, run_suite_analyzed, Placement, SpillCostModel};
+use crate::report::{CrossTargetReport, ModuleReport};
+use crate::session::{run_module, Engine, Exec, TechniqueSet};
+use spillopt_core::{insert_placement, Placement, SpillCostModel};
 use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
-use spillopt_profile::{random_walk_profile, EdgeProfile, ExecError, Machine};
-use spillopt_regalloc::allocate;
+use spillopt_profile::ExecError;
 use spillopt_targets::TargetSpec;
 
 /// The placement strategies the driver compares, in reporting order.
@@ -53,7 +53,7 @@ impl Strategy {
         }
     }
 
-    /// Parses a CLI identifier.
+    /// Parses a stable identifier.
     pub fn parse(s: &str) -> Option<Strategy> {
         Strategy::all().into_iter().find(|t| t.name() == s)
     }
@@ -62,7 +62,11 @@ impl Strategy {
 /// Where each function's edge profile comes from.
 #[derive(Clone, Debug)]
 pub enum ProfileSource {
-    /// Execute a training workload on the interpreter and measure.
+    /// Execute a training workload on the interpreter and measure. The
+    /// `FuncId`s name functions of **one specific module** — a session
+    /// carrying a workload must only optimize that module (runs naming
+    /// out-of-range functions are rejected; `optimize_many` over more
+    /// than one module rejects workload sessions outright).
     Workload(Vec<(FuncId, Vec<i64>)>),
     /// Deterministic synthetic random-walk profiles (for bare modules
     /// parsed from text, which carry no workload).
@@ -86,7 +90,10 @@ impl Default for ProfileSource {
     }
 }
 
-/// Driver configuration.
+/// Configuration of the deprecated free-function entry points (the
+/// session facade carries the same knobs on [`crate::OptimizerBuilder`];
+/// the frozen reference pipeline in [`crate::refimpl`] still reads
+/// this).
 #[derive(Clone, Debug, Default)]
 pub struct DriverConfig {
     /// Worker threads; `0` = available parallelism, `1` = serial.
@@ -102,6 +109,23 @@ pub enum DriverError {
     Workload(ExecError),
     /// A cross-target loader could not produce the module for a target.
     Load(String),
+    /// The builder rejected its configuration (unknown target name,
+    /// malformed convention, empty technique set, or a method that needs
+    /// a different target shape).
+    Config(String),
+    /// A technique produced a placement that failed validity checking —
+    /// a bug in the placement passes, surfaced structurally (naming the
+    /// function and technique) instead of as a panic unwinding through
+    /// the pool's panic catcher.
+    InvalidPlacement {
+        /// The function whose placement is invalid.
+        function: String,
+        /// The reporting name of the technique (`baseline`,
+        /// `shrinkwrap`, `hier-exec`, `hier-jump`).
+        technique: &'static str,
+        /// The validity violations, rendered.
+        detail: String,
+    },
     /// One function's optimization pipeline panicked. The pool catches
     /// worker panics (they would otherwise poison its mutexes and
     /// resurface on other threads as opaque `PoisonError` unwraps), and
@@ -120,6 +144,15 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::Workload(e) => write!(f, "training workload failed: {e}"),
             DriverError::Load(msg) => write!(f, "module load failed: {msg}"),
+            DriverError::Config(msg) => write!(f, "invalid optimizer configuration: {msg}"),
+            DriverError::InvalidPlacement {
+                function,
+                technique,
+                detail,
+            } => write!(
+                f,
+                "`{technique}` produced an invalid placement in `{function}`: {detail}"
+            ),
             DriverError::Panicked { unit, message } => {
                 write!(f, "optimization pipeline panicked in `{unit}`: {message}")
             }
@@ -136,13 +169,14 @@ pub struct ModuleRun {
     /// Deterministic module-level report.
     pub report: ModuleReport,
     /// Allocated (physical, pre-placement) functions, in [`FuncId`]
-    /// order, paired with each strategy's placement.
+    /// order, paired with each selected strategy's placement.
     allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
 }
 
 impl ModuleRun {
-    /// Assembles a run from its parts (the reference pipeline in
-    /// [`crate::refimpl`] builds the same structure).
+    /// Assembles a run from its parts (the session engine and the
+    /// reference pipeline in [`crate::refimpl`] build the same
+    /// structure).
     pub(crate) fn from_parts(
         report: ModuleReport,
         allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
@@ -156,8 +190,12 @@ impl ModuleRun {
     ///
     /// # Panics
     ///
-    /// Panics if an inserted function fails physical-discipline
-    /// verification — a pipeline bug, never an input condition.
+    /// Panics if `choice` names a strategy this run did not compute
+    /// (it was outside the session's `TechniqueSet`) — silently
+    /// emitting the function without save/restore code would violate
+    /// the calling convention — or if an inserted function fails
+    /// physical-discipline verification (a pipeline bug, never an
+    /// input condition).
     pub fn apply(&self, choice: Option<Strategy>) -> Module {
         let mut out = Module::new(self.report.module.clone());
         for (i, (func, placements)) in self.allocated.iter().enumerate() {
@@ -167,6 +205,19 @@ impl ModuleRun {
             if let Some((_, placement)) = placements.iter().find(|(s, _)| *s == strategy) {
                 let cfg = Cfg::compute(&func);
                 insert_placement(&mut func, &cfg, placement);
+            } else if !placements.is_empty() {
+                // The function needed placement but this strategy was
+                // not computed (not in the session's technique set).
+                panic!(
+                    "strategy `{}` was not computed for `{}` in this run (computed: {})",
+                    strategy.name(),
+                    func.name(),
+                    placements
+                        .iter()
+                        .map(|(s, _)| s.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
             }
             let errs = spillopt_ir::verify_function(&func, RegDiscipline::Physical);
             assert!(
@@ -180,106 +231,71 @@ impl ModuleRun {
     }
 }
 
-/// Runs the driver over `module`.
+/// Runs the driver over `module` under the paper's unit cost model.
 ///
-/// Profiling (when [`ProfileSource::Workload`]) executes serially — the
-/// interpreter observes whole-module state — then every function is
-/// allocated, analyzed once, and placed under all four strategies in
-/// parallel on the work-stealing pool.
+/// # Errors
+///
+/// Returns the first driver failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `OptimizerBuilder` and call `Session::optimize`"
+)]
 pub fn optimize_module(
     module: &Module,
     target: &Target,
     config: &DriverConfig,
 ) -> Result<ModuleRun, DriverError> {
-    optimize_module_priced(module, target, &SpillCostModel::UNIT, config)
+    let engine = Engine {
+        target,
+        costs: &SpillCostModel::UNIT,
+        profile_source: &config.profile,
+        techniques: TechniqueSet::ALL,
+        exec: Exec::Transient(config.threads),
+        arena: None,
+        observer: None,
+    };
+    run_module(module, &engine)
 }
 
 /// As [`optimize_module`], for a registered backend target: the
 /// allocatable set comes from the spec's convention and every placement
 /// decision and predicted cost uses the spec's [`SpillCostModel`].
+///
+/// # Errors
+///
+/// Returns the first driver failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `OptimizerBuilder` with `target_spec` and call `Session::optimize`"
+)]
 pub fn optimize_module_for(
     module: &Module,
     spec: &TargetSpec,
     config: &DriverConfig,
 ) -> Result<ModuleRun, DriverError> {
-    optimize_module_priced(module, &spec.to_target(), &spec.costs, config)
-}
-
-fn optimize_module_priced(
-    module: &Module,
-    target: &Target,
-    costs: &SpillCostModel,
-    config: &DriverConfig,
-) -> Result<ModuleRun, DriverError> {
-    // Stage 1 (serial): training profiles, if a workload is given.
-    let profiles: Vec<Option<EdgeProfile>> = match &config.profile {
-        ProfileSource::Workload(runs) => {
-            let mut vm = Machine::new(module, target);
-            vm.set_fuel(1 << 30);
-            for (f, args) in runs {
-                vm.call(*f, args).map_err(DriverError::Workload)?;
-            }
-            module
-                .func_ids()
-                .map(|f| Some(vm.edge_profile(f)))
-                .collect()
-        }
-        ProfileSource::Synthetic { .. } => module.func_ids().map(|_| None).collect(),
+    let target = spec.to_target();
+    let engine = Engine {
+        target: &target,
+        costs: &spec.costs,
+        profile_source: &config.profile,
+        techniques: TechniqueSet::ALL,
+        exec: Exec::Transient(config.threads),
+        arena: None,
+        observer: None,
     };
-
-    // Stage 2 (parallel): per-function allocate → cache → all strategies.
-    let items: Vec<(FuncId, Option<EdgeProfile>)> = module.func_ids().zip(profiles).collect();
-    let outcomes = try_run_indexed(items, config.threads, |index, (fid, profile)| {
-        let mut func = module.func(fid).clone();
-        let profile = profile.unwrap_or_else(|| {
-            let ProfileSource::Synthetic {
-                walks,
-                max_steps,
-                seed,
-            } = &config.profile
-            else {
-                unreachable!("workload profiles are precomputed")
-            };
-            let cfg = Cfg::compute(&func);
-            random_walk_profile(
-                &cfg,
-                *walks,
-                *max_steps,
-                seed ^ (index as u64).wrapping_mul(0x9e37_79b9),
-            )
-        });
-        let alloc = allocate(&mut func, target, Some(&profile));
-        let (report, placements) =
-            per_function(fid, &func, target, costs, profile, alloc.spilled_vregs);
-        (report, (func, placements))
-    })
-    .map_err(|p| DriverError::Panicked {
-        unit: module.func(FuncId::from_index(p.index)).name().to_string(),
-        message: p.message(),
-    })?;
-
-    let (reports, allocated): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
-    Ok(ModuleRun {
-        report: ModuleReport::new(
-            module.name().to_string(),
-            target.name().to_string(),
-            reports,
-        ),
-        allocated,
-    })
+    run_module(module, &engine)
 }
 
 /// Runs the whole pipeline across every given target and collects the
 /// per-target reports into one [`CrossTargetReport`].
 ///
-/// `load` builds the module *and its profile source* for a target —
-/// generated benchmarks lower against the target's convention, so each
-/// target gets its own build (there is deliberately no module-wide
-/// profile parameter). Targets fan out on the work-stealing pool
-/// (`threads` workers); each target's module is then processed serially
-/// within its worker, which keeps the total parallelism bounded and the
-/// report a pure function of the inputs — byte-identical for every
-/// thread count.
+/// # Errors
+///
+/// Returns the first per-target driver failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `OptimizerBuilder` with `all_targets` and call `Session::cross_target`"
+)]
 pub fn cross_target_runs(
     specs: &[TargetSpec],
     threads: usize,
@@ -288,12 +304,17 @@ pub fn cross_target_runs(
     let items: Vec<&TargetSpec> = specs.iter().collect();
     let outcomes = try_run_indexed(items, threads, |_, spec| {
         let (module, profile) = load(spec)?;
-        let config = DriverConfig {
-            threads: 1,
-            profile,
+        let target = spec.to_target();
+        let engine = Engine {
+            target: &target,
+            costs: &spec.costs,
+            profile_source: &profile,
+            techniques: TechniqueSet::ALL,
+            exec: Exec::Transient(1),
+            arena: None,
+            observer: None,
         };
-        let run = optimize_module_for(&module, spec, &config)?;
-        Ok((spec.clone(), run.report))
+        run_module(&module, &engine).map(|run| (spec.clone(), run.report))
     })
     .map_err(|p| DriverError::Panicked {
         unit: specs[p.index].name.to_string(),
@@ -306,71 +327,10 @@ pub fn cross_target_runs(
     Ok(CrossTargetReport::new(targets))
 }
 
-/// Runs all four strategies for one allocated function against one
-/// shared [`AnalysisCache`] and summarizes them. Functions that use no
-/// callee-saved register return before any lazy analysis (SCCs, PST) is
-/// built.
-fn per_function(
-    fid: FuncId,
-    func: &Function,
-    target: &Target,
-    costs: &SpillCostModel,
-    profile: EdgeProfile,
-    spilled_vregs: usize,
-) -> (FunctionReport, Vec<(Strategy, Placement)>) {
-    let cache = AnalysisCache::compute(func, target, profile);
-    let insts = func.block_ids().map(|b| func.block(b).insts.len()).sum();
-    let mut report = FunctionReport {
-        index: fid.index(),
-        name: func.name().to_string(),
-        blocks: func.num_blocks(),
-        insts,
-        spilled_vregs,
-        callee_saved: cache.usage.num_regs(),
-        strategies: Vec::new(),
-        best: None,
-    };
-    if !cache.needs_placement() {
-        return (report, Vec::new());
-    }
-
-    let suite = run_suite_analyzed(
-        &cache.cfg,
-        cache.derived(),
-        cache.cyclic(),
-        cache.pst(),
-        &cache.usage,
-        &cache.profile,
-        costs,
-    );
-    let placements = [
-        (Strategy::Baseline, suite.entry_exit),
-        (Strategy::Shrinkwrap, suite.chow),
-        (Strategy::HierExec, suite.hierarchical_exec.placement),
-        (Strategy::HierJump, suite.hierarchical_jump.placement),
-    ];
-    for ((strategy, placement), cost) in placements.iter().zip(suite.predicted) {
-        report.strategies.push(StrategyReport {
-            strategy: *strategy,
-            cost,
-            static_count: placement.static_count(),
-            placement: placement.clone(),
-        });
-    }
-    report.best = Some(
-        report
-            .strategies
-            .iter()
-            .min_by_key(|s| s.cost)
-            .expect("four strategies")
-            .strategy,
-    );
-    (report, placements.to_vec())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::OptimizerBuilder;
     use spillopt_benchgen::{benchmark_by_name, build_bench};
 
     fn small_bench_module() -> (Module, Vec<(FuncId, Vec<i64>)>, Target) {
@@ -383,17 +343,21 @@ mod tests {
     #[test]
     fn workload_and_synthetic_profiles_both_run() {
         let (module, runs, target) = small_bench_module();
-        let with_workload = optimize_module(
-            &module,
-            &target,
-            &DriverConfig {
-                threads: 1,
-                profile: ProfileSource::Workload(runs),
-            },
-        )
-        .expect("driver");
-        let synthetic =
-            optimize_module(&module, &target, &DriverConfig::default()).expect("driver");
+        let with_workload = OptimizerBuilder::new()
+            .target(target.clone())
+            .threads(1)
+            .profile(ProfileSource::Workload(runs))
+            .build()
+            .expect("valid")
+            .optimize(&module)
+            .expect("driver");
+        let synthetic = OptimizerBuilder::new()
+            .target(target)
+            .threads(1)
+            .build()
+            .expect("valid")
+            .optimize(&module)
+            .expect("driver");
         assert_eq!(with_workload.report.functions.len(), module.num_funcs());
         assert_eq!(synthetic.report.functions.len(), module.num_funcs());
     }
@@ -401,15 +365,14 @@ mod tests {
     #[test]
     fn best_is_never_beaten_and_apply_verifies() {
         let (module, runs, target) = small_bench_module();
-        let run = optimize_module(
-            &module,
-            &target,
-            &DriverConfig {
-                threads: 2,
-                profile: ProfileSource::Workload(runs),
-            },
-        )
-        .expect("driver");
+        let run = OptimizerBuilder::new()
+            .target(target)
+            .threads(2)
+            .profile(ProfileSource::Workload(runs))
+            .build()
+            .expect("valid")
+            .optimize(&module)
+            .expect("driver");
         for f in &run.report.functions {
             if let Some(best) = f.best {
                 let best_cost = f.strategy(best).unwrap().cost;
@@ -420,5 +383,18 @@ mod tests {
         }
         let optimized = run.apply(None);
         assert_eq!(optimized.num_funcs(), module.num_funcs());
+    }
+
+    #[test]
+    fn invalid_placement_error_is_structured() {
+        let err = DriverError::InvalidPlacement {
+            function: "f".to_string(),
+            technique: Strategy::HierJump.name(),
+            detail: "r11 busy in b2 but not saved".to_string(),
+        };
+        let rendered = err.to_string();
+        assert!(rendered.contains("hier-jump"), "{rendered}");
+        assert!(rendered.contains("`f`"), "{rendered}");
+        assert!(rendered.contains("busy in b2"), "{rendered}");
     }
 }

@@ -3,57 +3,78 @@
 //! Module-scale optimization driver for the *spillopt* reproduction of
 //! Lupo & Wilken, "Post Register Allocation Spill Code Optimization"
 //! (CGO 2006) — the layer that turns the per-procedure algorithms of
-//! `spillopt-core` into a whole-module pipeline:
+//! `spillopt-core` into a whole-module pipeline behind **one**
+//! session-based API:
 //!
+//! * [`OptimizerBuilder`] / [`Session`] — the only supported entry
+//!   point: configure target (preset [`spillopt_ir::Target`], registered
+//!   [`spillopt_targets::TargetSpec`] name, or all of them), cost-model
+//!   override, [`ProfileSource`], thread count, and a typed
+//!   [`TechniqueSet`]; `build()` validates once and returns a warm
+//!   session that owns the persistent work pool and a per-session
+//!   analysis arena. [`Session::optimize`], [`Session::optimize_many`],
+//!   and [`Session::cross_target`] all return [`ModuleRun`]s and accept
+//!   an optional streaming [`Observer`];
 //! * [`AnalysisCache`] — every CFG-derived analysis a function's
 //!   placement needs (CFG, dominators, loops, liveness, SCCs, PST,
-//!   profile, callee-saved usage), computed **once** and shared by all
-//!   four techniques through the borrowed-analysis entry points
-//!   ([`spillopt_core::run_suite_with`]);
-//! * [`pool`] — a `std`-only work-stealing thread pool that fans
-//!   functions out across cores and returns results in deterministic
-//!   function order;
-//! * [`optimize_module`] — profile (training workload or synthetic
-//!   random walks) → Chaitin/Briggs allocation → cached analyses → all
-//!   four placements per function, folded into a [`ModuleReport`] whose
-//!   JSON bytes are identical for every thread count;
-//! * [`optimize_module_for`] / [`cross_target_runs`] — the same
-//!   pipeline against a registered backend target
-//!   ([`spillopt_targets::TargetSpec`]) or fanned out across all of
-//!   them, with every decision priced by the target's spill cost model;
-//! * [`bench`] / [`refimpl`] — the perf-trajectory harness: the frozen
+//!   profile, callee-saved usage), computed **once** per function and
+//!   shared by all selected techniques through
+//!   [`spillopt_core::run_suite`]'s borrowed-analysis inputs;
+//! * [`pool`] — the `std`-only work pool: persistent workers for
+//!   sessions ([`pool::Pool`]), scoped per-call scheduling for the
+//!   deprecated free functions, deterministic item-order results either
+//!   way;
+//! * [`mod@bench`] / [`refimpl`] — the perf-trajectory harness: the frozen
 //!   pre-rewrite pipeline kept executable, timed against the current
 //!   one over a seeded stress corpus with byte-identical reports
 //!   required (`spillopt bench --json`, `BENCH_*.json` records);
 //! * [`stress`] — fan-out of the differential stress subsystem
 //!   (`spillopt-stress`: random-CFG modules × interpreter oracles) over
-//!   `(target, seed)` pairs on the same pool;
+//!   `(target, seed)` pairs;
 //! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`,
-//!   `stress`, `list-targets`.
+//!   `stress`, `bench`, `list-benches`, `list-targets`.
+//!
+//! The pre-session free functions (`optimize_module`,
+//! `optimize_module_for`, `cross_target_runs`) are kept as
+//! `#[deprecated]` shims over the same engine for one release.
 //!
 //! # Examples
 //!
 //! ```
-//! use spillopt_driver::{optimize_module, DriverConfig, ProfileSource, Strategy};
+//! use spillopt_driver::{OptimizerBuilder, ProfileSource, Strategy};
 //! use spillopt_benchgen::{benchmark_by_name, build_bench};
 //! use spillopt_ir::Target;
 //!
-//! // Optimize a generated SPEC stand-in on 2 threads.
+//! // One warm session, built once, reused for every module.
 //! let target = Target::default();
 //! let bench = build_bench(&benchmark_by_name("mcf").unwrap(), &target);
-//! let config = DriverConfig {
-//!     threads: 2,
-//!     profile: ProfileSource::Workload(bench.train_runs.clone()),
-//! };
-//! let run = optimize_module(&bench.module, &target, &config).unwrap();
+//! let session = OptimizerBuilder::new()
+//!     .target(target)
+//!     .profile(ProfileSource::Workload(bench.train_runs.clone()))
+//!     .threads(2)
+//!     .build()
+//!     .unwrap();
+//! let run = session.optimize(&bench.module).unwrap();
 //!
-//! // The report is deterministic: a serial run produces the same bytes.
-//! let serial = optimize_module(&bench.module, &target, &DriverConfig {
-//!     threads: 1,
-//!     profile: ProfileSource::Workload(bench.train_runs),
-//! }).unwrap();
+//! // The report is deterministic: a serial session produces the same
+//! // bytes.
+//! let serial = OptimizerBuilder::new()
+//!     .target(Target::default())
+//!     .profile(ProfileSource::Workload(bench.train_runs))
+//!     .threads(1)
+//!     .build()
+//!     .unwrap()
+//!     .optimize(&bench.module)
+//!     .unwrap();
 //! assert_eq!(run.report.to_json().to_compact(),
 //!            serial.report.to_json().to_compact());
+//!
+//! // Warm reuse: the second optimize of the same module is served from
+//! // the session's analysis arena — and is still byte-identical.
+//! let again = session.optimize(&bench.module).unwrap();
+//! assert!(session.arena_stats().hits > 0);
+//! assert_eq!(run.report.to_json().to_compact(),
+//!            again.report.to_json().to_compact());
 //!
 //! // The paper's guarantee survives aggregation: hierarchical placement
 //! // under the jump-edge model never loses to the entry/exit baseline.
@@ -72,14 +93,17 @@ pub mod json;
 pub mod pool;
 pub mod refimpl;
 pub mod report;
+pub mod session;
 pub mod stress;
 
 pub use bench::{run_bench, BenchConfig, BenchOutcome};
 pub use cache::AnalysisCache;
-pub use driver::{
-    cross_target_runs, optimize_module, optimize_module_for, DriverConfig, DriverError, ModuleRun,
-    ProfileSource, Strategy,
-};
+#[allow(deprecated)]
+pub use driver::{cross_target_runs, optimize_module, optimize_module_for};
+pub use driver::{DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy};
 pub use json::Json;
-pub use report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
+pub use report::{
+    CrossTargetReport, FunctionReport, ModuleReport, StrategyReport, REPORT_SCHEMA_VERSION,
+};
+pub use session::{ArenaStats, Observer, OptimizerBuilder, Session, TechniqueSet};
 pub use stress::{run_stress, StressConfig, StressSummary};

@@ -21,7 +21,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A panic raised by one work item, caught by the pool.
 pub struct ItemPanic {
@@ -98,14 +98,7 @@ where
 {
     let threads = effective_threads(threads, items.len());
     if threads <= 1 {
-        let mut out = Vec::with_capacity(items.len());
-        for (i, item) in items.into_iter().enumerate() {
-            match catch_unwind(AssertUnwindSafe(|| work(i, item))) {
-                Ok(t) => out.push(t),
-                Err(payload) => return Err(ItemPanic { index: i, payload }),
-            }
-        }
-        return Ok(out);
+        return serial_run(items, &work);
     }
 
     // Seed the deques round-robin so every worker starts with a share of
@@ -184,6 +177,249 @@ where
         .collect())
 }
 
+/// A **persistent** work pool: workers are spawned once (when a
+/// [`crate::Session`] is built) and reused by every batch, so the
+/// warm-server shape — many `optimize` calls against one configured
+/// session — pays thread spin-up once instead of per module.
+///
+/// Batches keep the free functions' contract: results in item order,
+/// panics caught per item and reported as [`ItemPanic`] (mutexes never
+/// poisoned), and output that is a pure function of the items — the
+/// worker count only changes wall-clock, never bytes.
+pub struct Pool {
+    /// `None` when the pool is serial (1 effective worker): batches run
+    /// inline on the calling thread with no thread machinery at all.
+    shared: Option<Arc<Shared>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("persistent", &self.shared.is_some())
+            .finish()
+    }
+}
+
+/// The queue the persistent workers serve. Jobs are lifetime-erased
+/// closures; the submitting batch blocks until every one of its jobs has
+/// retired, which is what makes the erasure sound (see `run_batch`).
+struct Shared {
+    state: Mutex<Queue>,
+    work_ready: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+    shutdown: bool,
+}
+
+/// One in-flight batch: result slots, completion accounting, and the
+/// first caught panic. Lives on the submitting thread's stack; jobs hold
+/// (erased) references into it.
+struct Batch<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    abort: AtomicBool,
+    panicked: Mutex<Option<ItemPanic>>,
+}
+
+impl<T> Batch<T> {
+    fn execute<I, F>(&self, work: &F, i: usize, item: I)
+    where
+        F: Fn(usize, I) -> T,
+    {
+        if !self.abort.load(Ordering::Acquire) {
+            match catch_unwind(AssertUnwindSafe(|| work(i, item))) {
+                Ok(out) => self.slots.lock().unwrap()[i] = Some(out),
+                Err(payload) => {
+                    let mut slot = self.panicked.lock().unwrap();
+                    if slot.as_ref().is_none_or(|p| i < p.index) {
+                        *slot = Some(ItemPanic { index: i, payload });
+                    }
+                    self.abort.store(true, Ordering::Release);
+                }
+            }
+        }
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    /// Spawns a pool of `threads` persistent workers (`0` = available
+    /// parallelism). One effective worker means a serial pool: no
+    /// threads at all, batches run inline — the deterministic reference
+    /// schedule.
+    pub fn new(threads: usize) -> Pool {
+        let threads = effective_threads(threads, usize::MAX);
+        if threads <= 1 {
+            return Pool {
+                shared: None,
+                workers: Vec::new(),
+                threads: 1,
+            };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared: Some(shared),
+            workers,
+            threads,
+        }
+    }
+
+    /// The worker count the pool was built with (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `work(i, item)` for every item on the persistent workers,
+    /// returning results in item order. Semantics match
+    /// [`try_run_indexed`]: a panicking item aborts the batch and is
+    /// returned as an [`ItemPanic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first caught [`ItemPanic`].
+    pub fn run_batch<I, T, F>(&self, items: Vec<I>, work: F) -> Result<Vec<T>, ItemPanic>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let Some(shared) = &self.shared else {
+            return serial_run(items, &work);
+        };
+        if items.len() <= 1 {
+            return serial_run(items, &work);
+        }
+
+        let n = items.len();
+        let batch: Batch<T> = Batch {
+            slots: Mutex::new(Vec::new()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            abort: AtomicBool::new(false),
+            panicked: Mutex::new(None),
+        };
+        batch.slots.lock().unwrap().resize_with(n, || None);
+
+        // SAFETY: each job borrows `batch` and `work` from this stack
+        // frame through a lifetime-erased `Box<dyn FnOnce>`. The erasure
+        // is sound because this function does not return (and the frame
+        // does not unwind) until `batch.remaining` hits zero — every job
+        // has run (or been skipped via `abort`) and dropped its borrows.
+        // Between enqueue and the wait below there is no panicking
+        // operation on this thread: the queue mutex cannot be poisoned
+        // (workers never run user code while holding it).
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let batch = &batch;
+                let work = &work;
+                let job: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || batch.execute(work, i, item));
+                unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                        job,
+                    )
+                }
+            })
+            .collect();
+        {
+            let mut state = shared.state.lock().unwrap();
+            state.jobs.extend(jobs);
+        }
+        shared.work_ready.notify_all();
+
+        let mut remaining = batch.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+
+        if let Some(p) = batch.panicked.into_inner().unwrap() {
+            return Err(p);
+        }
+        Ok(batch
+            .slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every item completed"))
+            .collect())
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.lock().unwrap().shutdown = true;
+            shared.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        match job {
+            // Jobs never unwind: `Batch::execute` catches item panics.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// The inline (no-thread) schedule shared by serial pools and
+/// single-item batches.
+fn serial_run<I, T, F>(items: Vec<I>, work: &F) -> Result<Vec<T>, ItemPanic>
+where
+    F: Fn(usize, I) -> T,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.into_iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| work(i, item))) {
+            Ok(t) => out.push(t),
+            Err(payload) => return Err(ItemPanic { index: i, payload }),
+        }
+    }
+    Ok(out)
+}
+
 /// The worker count actually used for `requested` over `n_items`.
 pub fn effective_threads(requested: usize, n_items: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -247,6 +483,47 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn persistent_pool_matches_serial_across_batches() {
+        let pool = Pool::new(4);
+        assert!(pool.threads() >= 1);
+        let items: Vec<u64> = (0..257).collect();
+        let serial = run_indexed(items.clone(), 1, |i, x| (i as u64) * 1000 + x * x);
+        // The same pool serves several batches (the warm-session shape).
+        for _ in 0..3 {
+            let batch = pool
+                .run_batch(items.clone(), |i, x| (i as u64) * 1000 + x * x)
+                .expect("no panics");
+            assert_eq!(serial, batch);
+        }
+    }
+
+    #[test]
+    fn persistent_pool_catches_panics_and_stays_usable() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let err = pool
+            .run_batch(items.clone(), |i, x| {
+                if i == 13 {
+                    panic!("boom at {i}");
+                }
+                x * 2
+            })
+            .expect_err("item 13 panics");
+        assert!(err.message().contains("boom"));
+        // Nothing was poisoned; the same workers serve the next batch.
+        let ok = pool.run_batch(items, |_, x| x + 1).expect("no panics");
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run_batch(vec![1, 2, 3], |_, x| x * 2).expect("serial");
+        assert_eq!(out, vec![2, 4, 6]);
     }
 
     #[test]

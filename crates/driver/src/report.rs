@@ -13,6 +13,13 @@ use spillopt_core::{Cost, Placement, SpillKind, SpillLoc};
 use spillopt_ir::Cfg;
 use std::fmt::Write as _;
 
+/// Schema version stamped into [`ModuleReport`] and
+/// [`CrossTargetReport`] JSON. Version history: the pre-session report
+/// shape carried no version field at all; `2` is the session-API era
+/// (`OptimizerBuilder`/`Session`), so downstream consumers can detect it
+/// by the field's presence and pin exact shapes by its value.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
 /// One strategy's outcome on one function.
 #[derive(Clone, Debug)]
 pub struct StrategyReport {
@@ -112,8 +119,19 @@ impl ModuleReport {
             .sum()
     }
 
-    /// Module-level speedup of the per-function best over the baseline.
+    /// Module-level speedup of the per-function best over the baseline;
+    /// `None` when the baseline was never computed (a technique subset
+    /// that excludes it) — a zero-total for an uncomputed strategy is
+    /// not a ratio.
     pub fn speedup(&self) -> Option<f64> {
+        let placed = self.functions.iter().any(|f| !f.strategies.is_empty());
+        let baseline_present = self
+            .functions
+            .iter()
+            .any(|f| f.strategy(Strategy::Baseline).is_some());
+        if placed && !baseline_present {
+            return None;
+        }
         let base = self.total_cost(Strategy::Baseline);
         let best = self.best_total();
         if best == Cost::ZERO {
@@ -122,14 +140,31 @@ impl ModuleReport {
         Some(base.as_f64() / best.as_f64())
     }
 
+    /// The strategies this report actually computed: all of them when
+    /// nothing was placed (zero totals are then accurate), otherwise
+    /// exactly those appearing in some function report — so a
+    /// technique-subset run never serializes an uncomputed strategy as
+    /// a zero cost.
+    pub fn computed_strategies(&self) -> Vec<Strategy> {
+        let placed = self.functions.iter().any(|f| !f.strategies.is_empty());
+        if !placed {
+            return Strategy::all().to_vec();
+        }
+        Strategy::all()
+            .into_iter()
+            .filter(|s| self.functions.iter().any(|f| f.strategy(*s).is_some()))
+            .collect()
+    }
+
     /// The deterministic JSON rendering.
     pub fn to_json(&self) -> Json {
         let functions: Vec<Json> = self.functions.iter().map(function_json).collect();
         let mut totals = Json::obj();
-        for s in Strategy::all() {
+        for s in self.computed_strategies() {
             totals = totals.with(s.name(), self.total_cost(s).raw());
         }
         Json::obj()
+            .with("schema_version", REPORT_SCHEMA_VERSION)
             .with("module", self.module.as_str())
             .with("target", self.target.as_str())
             .with("functions", functions)
@@ -308,7 +343,7 @@ impl CrossTargetReport {
             .iter()
             .map(|(spec, r)| {
                 let mut totals = Json::obj();
-                for s in Strategy::all() {
+                for s in r.computed_strategies() {
                     totals = totals.with(s.name(), r.total_cost(s).raw());
                 }
                 Json::obj()
@@ -325,6 +360,7 @@ impl CrossTargetReport {
             .collect();
         let reports: Vec<Json> = self.targets.iter().map(|(_, r)| r.to_json()).collect();
         Json::obj()
+            .with("schema_version", REPORT_SCHEMA_VERSION)
             .with("module", self.module())
             .with("cross_targets", summaries)
             .with(
@@ -409,6 +445,57 @@ mod tests {
         assert!(json.contains(r#""module":"empty""#));
         assert!(json.contains(r#""target":"pa-risc-like""#));
         assert!(json.contains(r#""speedup":1"#));
+    }
+
+    /// A technique subset that excludes the baseline must not report a
+    /// bogus 0.00x speedup (`total_cost` of an uncomputed strategy is
+    /// zero, which is not a ratio).
+    #[test]
+    fn speedup_is_none_when_baseline_was_not_computed() {
+        let f = FunctionReport {
+            index: 0,
+            name: "f".into(),
+            blocks: 1,
+            insts: 1,
+            spilled_vregs: 0,
+            callee_saved: 1,
+            strategies: vec![StrategyReport {
+                strategy: Strategy::HierJump,
+                cost: Cost::from_count(5),
+                static_count: 2,
+                placement: Placement::new(),
+            }],
+            best: Some(Strategy::HierJump),
+        };
+        assert_eq!(f.speedup(), None);
+        let r = ModuleReport::new("m".into(), "pa-risc-like".into(), vec![f]);
+        assert_eq!(r.speedup(), None);
+        let json = r.to_json().to_compact();
+        assert!(json.contains(r#""speedup":null"#));
+        // Uncomputed strategies must not serialize as zero totals.
+        assert!(!json.contains(r#""baseline":0"#), "{json}");
+        assert!(json.contains(r#""hier-jump":"#), "{json}");
+    }
+
+    /// Downstream consumers detect the session-API era by this field:
+    /// both report kinds must carry `schema_version`.
+    #[test]
+    fn reports_carry_the_schema_version() {
+        let r = ModuleReport::new("m".into(), "pa-risc-like".into(), Vec::new());
+        let expected = format!(r#""schema_version":{REPORT_SCHEMA_VERSION}"#);
+        assert!(
+            r.to_json()
+                .to_compact()
+                .starts_with(&format!("{{{expected}")),
+            "ModuleReport JSON missing schema_version: {}",
+            r.to_json().to_compact()
+        );
+        let x = CrossTargetReport::new(vec![(spillopt_targets::pa_risc_like(), r)]);
+        let json = x.to_json().to_compact();
+        assert!(
+            json.starts_with(&format!("{{{expected}")),
+            "CrossTargetReport JSON missing schema_version: {json}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1208 @@
+//! The session-based optimizer facade: [`OptimizerBuilder`] → [`Session`].
+//!
+//! Four PRs of growth left the public surface as a ladder of free
+//! functions — `optimize_module` / `optimize_module_for` /
+//! `cross_target_runs` here, `run_suite` × four variants in
+//! `spillopt-core` — where every new capability forced another variant
+//! and a sweep of call sites. This module collapses the ladder into the
+//! one shape every future subsystem (serving, sharding, incremental
+//! reoptimization) plugs into:
+//!
+//! * [`OptimizerBuilder`] — declare *what* to optimize for: a target (a
+//!   preset [`Target`], a registered [`TargetSpec`] name, or all of
+//!   them), a [`SpillCostModel`] override, a [`ProfileSource`], a thread
+//!   count, and a typed [`TechniqueSet`]. `build()` validates the whole
+//!   configuration **once**.
+//! * [`Session`] — the warm, reusable pipeline object. It owns the
+//!   persistent work pool ([`crate::pool::Pool`]) and a per-session
+//!   analysis arena, so repeated [`Session::optimize`] calls amortize
+//!   thread spin-up and per-function analysis work across modules — the
+//!   warm-server shape. [`Session::optimize_many`] fans whole batches of
+//!   modules out on the same pool; [`Session::cross_target`] fans the
+//!   registry out the way `spillopt compare --target all` needs.
+//! * [`Observer`] — an optional streaming callback: per-function
+//!   [`FunctionReport`]s are delivered **as functions retire** from the
+//!   pool (progress for the CLI today, the backpressure hook for a
+//!   future server).
+//!
+//! Reports stay deterministic: everything in a [`ModuleRun`] — including
+//! its JSON bytes — is a pure function of the inputs and the session's
+//! configuration, independent of thread count, arena warmth, and
+//! observer presence (observers see completion order, which is *not*
+//! deterministic; the returned reports are).
+
+use crate::cache::AnalysisCache;
+use crate::driver::{DriverError, ModuleRun, ProfileSource, Strategy};
+use crate::pool::{try_run_indexed, ItemPanic, Pool};
+use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
+use spillopt_core::{run_suite, Placement, SpillCostModel, SuiteInputs, SuiteOptions};
+use spillopt_ir::{FuncId, Function, Module, Target};
+use spillopt_profile::{random_walk_profile, EdgeProfile, Machine};
+use spillopt_regalloc::allocate;
+use spillopt_targets::{registry, spec_by_name, TargetSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A typed set of placement techniques — the facade's replacement for
+/// stringly-typed strategy selection. Defaults to [`TechniqueSet::ALL`]
+/// (the paper's four-technique comparison).
+///
+/// The set selects which techniques are **reported and applicable**
+/// ([`crate::ModuleRun::apply`]); internally the suite still computes
+/// all four — the hierarchical variants' never-worse guarantee is
+/// closed against the entry/exit and Chow baselines, so those are
+/// needed regardless, and the placements are near-linear next to the
+/// shared analyses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TechniqueSet(u8);
+
+impl TechniqueSet {
+    /// No techniques (rejected by [`OptimizerBuilder::build`]).
+    pub const EMPTY: TechniqueSet = TechniqueSet(0);
+    /// Entry/exit baseline only.
+    pub const BASELINE: TechniqueSet = TechniqueSet(1 << 0);
+    /// Chow's shrink-wrapping only.
+    pub const SHRINKWRAP: TechniqueSet = TechniqueSet(1 << 1);
+    /// Hierarchical placement, execution-count model, only.
+    pub const HIER_EXEC: TechniqueSet = TechniqueSet(1 << 2);
+    /// Hierarchical placement, jump-edge model, only.
+    pub const HIER_JUMP: TechniqueSet = TechniqueSet(1 << 3);
+    /// All four techniques — the paper's comparison and the default.
+    pub const ALL: TechniqueSet = TechniqueSet(0b1111);
+
+    fn bit(strategy: Strategy) -> u8 {
+        match strategy {
+            Strategy::Baseline => 1 << 0,
+            Strategy::Shrinkwrap => 1 << 1,
+            Strategy::HierExec => 1 << 2,
+            Strategy::HierJump => 1 << 3,
+        }
+    }
+
+    /// The set containing exactly `strategies`.
+    pub fn of(strategies: &[Strategy]) -> TechniqueSet {
+        strategies
+            .iter()
+            .fold(TechniqueSet::EMPTY, |set, s| set.with(*s))
+    }
+
+    /// This set plus `strategy`.
+    #[must_use]
+    pub fn with(self, strategy: Strategy) -> TechniqueSet {
+        TechniqueSet(self.0 | TechniqueSet::bit(strategy))
+    }
+
+    /// Whether `strategy` is selected.
+    pub fn contains(self, strategy: Strategy) -> bool {
+        self.0 & TechniqueSet::bit(strategy) != 0
+    }
+
+    /// Number of selected techniques.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no technique is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Selected strategies, in reporting order.
+    pub fn iter(self) -> impl Iterator<Item = Strategy> {
+        Strategy::all()
+            .into_iter()
+            .filter(move |s| self.contains(*s))
+    }
+
+    /// Parses `"all"` or a comma-separated list of strategy names
+    /// (`baseline`, `shrinkwrap`, `hier-exec`, `hier-jump`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<TechniqueSet, String> {
+        if s == "all" {
+            return Ok(TechniqueSet::ALL);
+        }
+        let mut set = TechniqueSet::EMPTY;
+        for name in s.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            let strategy = Strategy::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown technique `{name}` (accepted: all, or a comma-separated list of {})",
+                    Strategy::all().map(Strategy::name).join(", ")
+                )
+            })?;
+            set = set.with(strategy);
+        }
+        if set.is_empty() {
+            return Err("technique set is empty".to_string());
+        }
+        Ok(set)
+    }
+
+    /// The selected strategy names, comma-separated (parseable by
+    /// [`TechniqueSet::parse`]).
+    pub fn names(self) -> String {
+        self.iter()
+            .map(Strategy::name)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl Default for TechniqueSet {
+    fn default() -> Self {
+        TechniqueSet::ALL
+    }
+}
+
+/// Streaming callback for session runs: called from worker threads as
+/// each function's pipeline retires (completion order — *not* function
+/// order). The session's returned reports stay deterministic regardless.
+pub trait Observer: Sync {
+    /// One function's pipeline finished (all selected techniques run,
+    /// placements validated). `target` names the backend — a
+    /// [`Session::cross_target`] run shares one observer across every
+    /// target's concurrent fan-out, so the lines are only attributable
+    /// with it.
+    fn function_retired(&self, target: &str, module: &str, report: &FunctionReport);
+
+    /// One module's full report was assembled (the report itself names
+    /// its target).
+    fn module_done(&self, report: &ModuleReport) {
+        let _ = report;
+    }
+}
+
+/// Any `Fn(&target_name, &module_name, &report)` closure is an
+/// observer.
+impl<F: Fn(&str, &str, &FunctionReport) + Sync> Observer for F {
+    fn function_retired(&self, target: &str, module: &str, report: &FunctionReport) {
+        self(target, module, report)
+    }
+}
+
+/// Arena statistics (see [`Session::arena_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Cached per-function pipeline products.
+    pub entries: usize,
+    /// Lookups served from the arena.
+    pub hits: u64,
+    /// Lookups that had to run the pipeline.
+    pub misses: u64,
+}
+
+/// The per-session analysis arena: retired per-function pipeline
+/// products (the allocated function, its placements, and the report
+/// distilled from its [`AnalysisCache`]), keyed by the *exact* inputs
+/// that produced them — the pre-allocation function text and the full
+/// edge profile. Repeated [`Session::optimize`] calls over the same (or
+/// overlapping) modules skip allocation, analyses, and all placement
+/// work for every hit; the target, cost model, and technique set are
+/// fixed per session, so they never enter the key.
+///
+/// The arena only grows (entries are exact, never invalidated); a
+/// session's memory use is bounded by the distinct functions it has
+/// optimized. Build with [`OptimizerBuilder::reuse_analyses`]`(false)`
+/// for one-shot or benchmarking sessions that must re-run the pipeline
+/// every time.
+pub(crate) struct AnalysisArena {
+    /// Entries behind `Arc` so lookups clone a pointer under the lock
+    /// and do the (large) deep copy outside the critical section —
+    /// warm batches stay parallel instead of serializing on the map.
+    entries: Mutex<HashMap<ArenaKey, Arc<ArenaEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// An allocated (physical, pre-placement) function paired with its
+/// selected placements.
+type AllocatedFunction = (Function, Vec<(Strategy, Placement)>);
+
+/// One function's pipeline product.
+type FunctionOutcome = (FunctionReport, AllocatedFunction);
+
+/// A cross-target module loader.
+type Loader<'l> = dyn Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync + 'l;
+
+#[derive(PartialEq, Eq, Hash)]
+struct ArenaKey {
+    /// Pre-allocation function text (exact, collision-free).
+    func: String,
+    /// The profile that drove allocation and placement.
+    entry_count: u64,
+    edge_counts: Vec<u64>,
+}
+
+struct ArenaEntry {
+    report: FunctionReport,
+    func: Function,
+    placements: Vec<(Strategy, Placement)>,
+}
+
+impl AnalysisArena {
+    fn new() -> Self {
+        AnalysisArena {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn key(func: &Function, profile: &EdgeProfile) -> ArenaKey {
+        ArenaKey {
+            func: func.to_string(),
+            entry_count: profile.entry_count(),
+            edge_counts: profile.edge_counts().to_vec(),
+        }
+    }
+
+    /// A cached pipeline product, re-indexed for the requesting module.
+    fn lookup(&self, key: &ArenaKey, index: usize) -> Option<FunctionOutcome> {
+        let entry = self.entries.lock().unwrap().get(key).cloned();
+        match entry {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Deep copy outside the lock.
+                let mut report = e.report.clone();
+                report.index = index;
+                Some((report, (e.func.clone(), e.placements.clone())))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(
+        &self,
+        key: ArenaKey,
+        report: &FunctionReport,
+        func: &Function,
+        placements: &[(Strategy, Placement)],
+    ) {
+        // Deep copy outside the lock; the map only stores the Arc.
+        let entry = Arc::new(ArenaEntry {
+            report: report.clone(),
+            func: func.clone(),
+            placements: placements.to_vec(),
+        });
+        self.entries.lock().unwrap().insert(key, entry);
+    }
+
+    fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            entries: self.entries.lock().unwrap().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnalysisArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisArena")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One resolved target of a session.
+#[derive(Clone, Debug)]
+struct SessionTarget {
+    /// The registered spec, when the target came from the registry
+    /// (needed for cross-target reports).
+    spec: Option<TargetSpec>,
+    target: Target,
+    costs: SpillCostModel,
+}
+
+/// The builder's target choice.
+#[derive(Clone, Debug)]
+enum BuildTarget {
+    /// A preset [`Target`] convention (priced [`SpillCostModel::UNIT`]
+    /// unless overridden).
+    Preset(Target),
+    /// A registered spec.
+    Spec(TargetSpec),
+    /// A registry name, resolved (and validated) at `build()`.
+    Named(String),
+    /// Every registered target (for [`Session::cross_target`]).
+    All,
+}
+
+/// Configures and validates a [`Session`] — the only supported way to
+/// run the module-scale optimizer.
+///
+/// ```
+/// use spillopt_driver::{OptimizerBuilder, Strategy};
+/// use spillopt_benchgen::{benchmark_by_name, build_bench};
+/// use spillopt_ir::Target;
+///
+/// let target = Target::default();
+/// let bench = build_bench(&benchmark_by_name("mcf").unwrap(), &target);
+/// let session = OptimizerBuilder::new()
+///     .target(target)
+///     .threads(2)
+///     .build()
+///     .unwrap();
+/// let run = session.optimize(&bench.module).unwrap();
+/// assert!(run.report.total_cost(Strategy::HierJump)
+///     <= run.report.total_cost(Strategy::Baseline));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OptimizerBuilder {
+    target: BuildTarget,
+    costs: Option<SpillCostModel>,
+    profile: ProfileSource,
+    threads: usize,
+    techniques: TechniqueSet,
+    reuse_analyses: bool,
+}
+
+impl Default for OptimizerBuilder {
+    fn default() -> Self {
+        OptimizerBuilder::new()
+    }
+}
+
+impl OptimizerBuilder {
+    /// A builder with the defaults: the paper's PA-RISC-like target,
+    /// synthetic profiles, all cores, all four techniques, analysis
+    /// reuse on.
+    pub fn new() -> Self {
+        OptimizerBuilder {
+            target: BuildTarget::Spec(spillopt_targets::pa_risc_like()),
+            costs: None,
+            profile: ProfileSource::default(),
+            threads: 0,
+            techniques: TechniqueSet::ALL,
+            reuse_analyses: true,
+        }
+    }
+
+    /// Optimize for a preset [`Target`] convention (priced
+    /// [`SpillCostModel::UNIT`] unless [`OptimizerBuilder::cost_model`]
+    /// overrides it).
+    #[must_use]
+    pub fn target(mut self, target: Target) -> Self {
+        self.target = BuildTarget::Preset(target);
+        self
+    }
+
+    /// Optimize for a registered backend spec.
+    #[must_use]
+    pub fn target_spec(mut self, spec: TargetSpec) -> Self {
+        self.target = BuildTarget::Spec(spec);
+        self
+    }
+
+    /// Optimize for a registry name (`spillopt list-targets`); resolved
+    /// and validated by [`OptimizerBuilder::build`].
+    #[must_use]
+    pub fn target_named(mut self, name: impl Into<String>) -> Self {
+        self.target = BuildTarget::Named(name.into());
+        self
+    }
+
+    /// Optimize across **every** registered target
+    /// ([`Session::cross_target`]).
+    #[must_use]
+    pub fn all_targets(mut self) -> Self {
+        self.target = BuildTarget::All;
+        self
+    }
+
+    /// Overrides the spill-cost model (otherwise the spec's own model,
+    /// or [`SpillCostModel::UNIT`] for preset targets).
+    #[must_use]
+    pub fn cost_model(mut self, costs: SpillCostModel) -> Self {
+        self.costs = Some(costs);
+        self
+    }
+
+    /// Where per-function edge profiles come from (default: synthetic
+    /// random walks).
+    #[must_use]
+    pub fn profile(mut self, profile: ProfileSource) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Worker threads; `0` = available parallelism, `1` = the serial
+    /// reference schedule. The pool is spawned once, at `build()`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Which techniques to report and make applicable (default:
+    /// [`TechniqueSet::ALL`]; see [`TechniqueSet`] for what is still
+    /// computed internally).
+    #[must_use]
+    pub fn techniques(mut self, techniques: TechniqueSet) -> Self {
+        self.techniques = techniques;
+        self
+    }
+
+    /// Whether the session keeps its analysis arena (default `true`).
+    /// Disable for benchmarking sessions that must re-run the full
+    /// pipeline on every call.
+    #[must_use]
+    pub fn reuse_analyses(mut self, reuse: bool) -> Self {
+        self.reuse_analyses = reuse;
+        self
+    }
+
+    /// Validates the configuration and builds the [`Session`] (spawning
+    /// its worker pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Config`] for an unknown target name, a
+    /// malformed target convention, or an empty technique set.
+    pub fn build(self) -> Result<Session, DriverError> {
+        if self.techniques.is_empty() {
+            return Err(DriverError::Config(
+                "technique set is empty; select at least one technique".to_string(),
+            ));
+        }
+        let resolve = |spec: TargetSpec| -> Result<SessionTarget, DriverError> {
+            let target = spec.try_to_target().map_err(|e| {
+                DriverError::Config(format!("target `{}` is malformed: {e}", spec.name))
+            })?;
+            Ok(SessionTarget {
+                costs: self.costs.unwrap_or(spec.costs),
+                spec: Some(spec),
+                target,
+            })
+        };
+        let targets = match self.target {
+            BuildTarget::Preset(target) => vec![SessionTarget {
+                spec: None,
+                target,
+                costs: self.costs.unwrap_or(SpillCostModel::UNIT),
+            }],
+            BuildTarget::Spec(spec) => vec![resolve(spec)?],
+            BuildTarget::Named(name) => {
+                let spec = spec_by_name(&name).ok_or_else(|| {
+                    DriverError::Config(format!(
+                        "unknown target `{name}` (registered: {})",
+                        registry()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+                vec![resolve(spec)?]
+            }
+            BuildTarget::All => registry()
+                .into_iter()
+                .map(resolve)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Session {
+            targets,
+            profile: self.profile,
+            techniques: self.techniques,
+            pool: Pool::new(self.threads),
+            arena: self.reuse_analyses.then(AnalysisArena::new),
+        })
+    }
+}
+
+/// A configured, warm, reusable optimizer: the validated targets, the
+/// persistent worker pool, and the per-session analysis arena. Built by
+/// [`OptimizerBuilder::build`]; every module-scale entry point of this
+/// workspace goes through one of its methods.
+#[derive(Debug)]
+pub struct Session {
+    targets: Vec<SessionTarget>,
+    profile: ProfileSource,
+    techniques: TechniqueSet,
+    pool: Pool,
+    arena: Option<AnalysisArena>,
+}
+
+impl Session {
+    /// The names of the session's resolved targets, in registry order.
+    pub fn targets(&self) -> Vec<&str> {
+        self.targets.iter().map(|t| t.target.name()).collect()
+    }
+
+    /// The selected techniques.
+    pub fn techniques(&self) -> TechniqueSet {
+        self.techniques
+    }
+
+    /// The pool's worker count (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Arena statistics; all-zero for sessions built with
+    /// [`OptimizerBuilder::reuse_analyses`]`(false)`.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena
+            .as_ref()
+            .map_or(ArenaStats::default(), AnalysisArena::stats)
+    }
+
+    fn single_target(&self) -> Result<&SessionTarget, DriverError> {
+        match self.targets.as_slice() {
+            [one] => Ok(one),
+            many => Err(DriverError::Config(format!(
+                "this session optimizes across {} targets; use `cross_target` \
+                 (or build the session with one target)",
+                many.len()
+            ))),
+        }
+    }
+
+    fn engine<'e>(
+        &'e self,
+        st: &'e SessionTarget,
+        observer: Option<&'e dyn Observer>,
+    ) -> Engine<'e> {
+        Engine {
+            target: &st.target,
+            costs: &st.costs,
+            profile_source: &self.profile,
+            techniques: self.techniques,
+            exec: Exec::Pool(&self.pool),
+            arena: self.arena.as_ref(),
+            observer,
+        }
+    }
+
+    /// Optimizes one module on the session pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first driver failure: a failing training workload, an
+    /// invalid placement ([`DriverError::InvalidPlacement`]), or a
+    /// panicking pipeline.
+    pub fn optimize(&self, module: &Module) -> Result<ModuleRun, DriverError> {
+        self.optimize_inner(module, None)
+    }
+
+    /// As [`Session::optimize`], streaming per-function reports to
+    /// `observer` as they retire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::optimize`].
+    pub fn optimize_observed(
+        &self,
+        module: &Module,
+        observer: &dyn Observer,
+    ) -> Result<ModuleRun, DriverError> {
+        self.optimize_inner(module, Some(observer))
+    }
+
+    fn optimize_inner(
+        &self,
+        module: &Module,
+        observer: Option<&dyn Observer>,
+    ) -> Result<ModuleRun, DriverError> {
+        let st = self.single_target()?;
+        run_module(module, &self.engine(st, observer))
+    }
+
+    /// Optimizes a batch of modules, fanning **all** their functions out
+    /// on the session pool at once (a small module no longer serializes
+    /// behind a big one). Results are in input order and byte-identical
+    /// to independent [`Session::optimize`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first driver failure across the batch.
+    pub fn optimize_many(&self, modules: &[Module]) -> Result<Vec<ModuleRun>, DriverError> {
+        self.optimize_many_inner(modules, None)
+    }
+
+    /// As [`Session::optimize_many`], streaming per-function reports.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::optimize_many`].
+    pub fn optimize_many_observed(
+        &self,
+        modules: &[Module],
+        observer: &dyn Observer,
+    ) -> Result<Vec<ModuleRun>, DriverError> {
+        self.optimize_many_inner(modules, Some(observer))
+    }
+
+    fn optimize_many_inner(
+        &self,
+        modules: &[Module],
+        observer: Option<&dyn Observer>,
+    ) -> Result<Vec<ModuleRun>, DriverError> {
+        let st = self.single_target()?;
+        if modules.len() > 1 && matches!(self.profile, ProfileSource::Workload(_)) {
+            return Err(DriverError::Config(
+                "a training workload names one specific module's functions and cannot drive a \
+                 multi-module batch; use synthetic profiles, or one `optimize` call per module \
+                 with its own workload session"
+                    .to_string(),
+            ));
+        }
+        let engine = self.engine(st, observer);
+
+        // Stage 1 (serial): per-module training profiles.
+        let mut items: Vec<(usize, FuncId, Option<EdgeProfile>)> = Vec::new();
+        for (mi, module) in modules.iter().enumerate() {
+            let profiles = module_profiles(module, engine.target, engine.profile_source)?;
+            items.extend(module.func_ids().zip(profiles).map(|(fid, p)| (mi, fid, p)));
+        }
+        let coords: Vec<(usize, FuncId)> = items.iter().map(|(mi, fid, _)| (*mi, *fid)).collect();
+
+        // Stage 2 (parallel): every function of every module, one batch.
+        let outcomes = engine
+            .exec
+            .run(items, |_, (mi, fid, profile)| {
+                run_function(&modules[mi], fid, profile, &engine)
+            })
+            .map_err(|p| {
+                let (mi, fid) = coords[p.index];
+                DriverError::Panicked {
+                    unit: format!("{}::{}", modules[mi].name(), modules[mi].func(fid).name()),
+                    message: p.message(),
+                }
+            })?;
+
+        // Regroup per module, in input order.
+        let mut per_module: Vec<(Vec<FunctionReport>, Vec<AllocatedFunction>)> = (0..modules.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for ((mi, _), outcome) in coords.into_iter().zip(outcomes) {
+            let (report, allocated) = outcome?;
+            per_module[mi].0.push(report);
+            per_module[mi].1.push(allocated);
+        }
+        let mut runs = Vec::with_capacity(modules.len());
+        for (module, (reports, allocated)) in modules.iter().zip(per_module) {
+            let run = ModuleRun::from_parts(
+                ModuleReport::new(
+                    module.name().to_string(),
+                    engine.target.name().to_string(),
+                    reports,
+                ),
+                allocated,
+            );
+            if let Some(obs) = engine.observer {
+                obs.module_done(&run.report);
+            }
+            runs.push(run);
+        }
+        Ok(runs)
+    }
+
+    /// Runs the whole pipeline across every session target and collects
+    /// the per-target reports into one [`CrossTargetReport`].
+    ///
+    /// `load` builds the module *and its profile source* for a target —
+    /// generated benchmarks lower against the target's convention, so
+    /// each target gets its own build. Targets fan out on the session
+    /// pool; each target's module is then processed serially within its
+    /// worker, which keeps total parallelism bounded and the report a
+    /// pure function of the inputs — byte-identical for every thread
+    /// count. The analysis arena is bypassed here (its keys assume the
+    /// session's single target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Config`] if any session target is a preset
+    /// [`Target`] (cross-target reports need registered specs), or the
+    /// first per-target driver failure.
+    pub fn cross_target(
+        &self,
+        load: impl Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync,
+    ) -> Result<CrossTargetReport, DriverError> {
+        self.cross_target_inner(&load, None)
+    }
+
+    /// As [`Session::cross_target`], streaming per-function reports.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::cross_target`].
+    pub fn cross_target_observed(
+        &self,
+        load: impl Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync,
+        observer: &dyn Observer,
+    ) -> Result<CrossTargetReport, DriverError> {
+        self.cross_target_inner(&load, Some(observer))
+    }
+
+    fn cross_target_inner(
+        &self,
+        load: &Loader<'_>,
+        observer: Option<&dyn Observer>,
+    ) -> Result<CrossTargetReport, DriverError> {
+        for st in &self.targets {
+            if st.spec.is_none() {
+                return Err(DriverError::Config(format!(
+                    "cross-target runs need registered targets; `{}` is a preset convention",
+                    st.target.name()
+                )));
+            }
+        }
+        let items: Vec<&SessionTarget> = self.targets.iter().collect();
+        let outcomes = self
+            .pool
+            .run_batch(items, |_, st| {
+                let spec = st.spec.as_ref().expect("checked above");
+                let (module, profile) = load(spec)?;
+                let engine = Engine {
+                    target: &st.target,
+                    costs: &st.costs,
+                    profile_source: &profile,
+                    techniques: self.techniques,
+                    // Serial within the worker: the target fan-out is
+                    // the parallelism.
+                    exec: Exec::Transient(1),
+                    arena: None,
+                    observer,
+                };
+                run_module(&module, &engine).map(|run| (spec.clone(), run.report))
+            })
+            .map_err(|p| DriverError::Panicked {
+                unit: self.targets[p.index].target.name().to_string(),
+                message: p.message(),
+            })?;
+        let mut targets = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            targets.push(outcome?);
+        }
+        Ok(CrossTargetReport::new(targets))
+    }
+}
+
+/// How a module run schedules its per-function work.
+pub(crate) enum Exec<'e> {
+    /// Scoped threads spawned for this call (`0` = auto, `1` = inline) —
+    /// the deprecated free functions' schedule.
+    Transient(usize),
+    /// The session's persistent pool.
+    Pool(&'e Pool),
+}
+
+impl Exec<'_> {
+    fn run<I, T, F>(&self, items: Vec<I>, work: F) -> Result<Vec<T>, ItemPanic>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        match self {
+            Exec::Transient(threads) => try_run_indexed(items, *threads, work),
+            Exec::Pool(pool) => pool.run_batch(items, work),
+        }
+    }
+}
+
+/// One module run's full configuration — the session's and the
+/// deprecated free functions' shared engine. Everything downstream of
+/// this struct is identical on both paths, which is what keeps the
+/// facade byte-compatible with the entry points it replaces.
+pub(crate) struct Engine<'e> {
+    pub target: &'e Target,
+    pub costs: &'e SpillCostModel,
+    pub profile_source: &'e ProfileSource,
+    pub techniques: TechniqueSet,
+    pub exec: Exec<'e>,
+    pub arena: Option<&'e AnalysisArena>,
+    pub observer: Option<&'e dyn Observer>,
+}
+
+/// Stage 1 (serial): training profiles, if a workload is given.
+fn module_profiles(
+    module: &Module,
+    target: &Target,
+    source: &ProfileSource,
+) -> Result<Vec<Option<EdgeProfile>>, DriverError> {
+    match source {
+        ProfileSource::Workload(runs) => {
+            // A workload's `FuncId`s name one specific module's
+            // functions; a session-level workload replayed against a
+            // different module would train on the wrong code. Out-of-
+            // range ids are certainly that mistake — reject them
+            // up front (same-arity mismatches are undetectable here).
+            if let Some((fid, _)) = runs.iter().find(|(f, _)| f.index() >= module.num_funcs()) {
+                return Err(DriverError::Config(format!(
+                    "training workload names function #{} but module `{}` has {} function(s); \
+                     workload profiles are per-module — build the session's ProfileSource for \
+                     the module being optimized",
+                    fid.index(),
+                    module.name(),
+                    module.num_funcs()
+                )));
+            }
+            let mut vm = Machine::new(module, target);
+            vm.set_fuel(1 << 30);
+            for (f, args) in runs {
+                vm.call(*f, args).map_err(DriverError::Workload)?;
+            }
+            Ok(module
+                .func_ids()
+                .map(|f| Some(vm.edge_profile(f)))
+                .collect())
+        }
+        ProfileSource::Synthetic { .. } => Ok(module.func_ids().map(|_| None).collect()),
+    }
+}
+
+/// Runs one module through the engine: profile → allocate → analyses →
+/// selected techniques, per function on the engine's executor.
+pub(crate) fn run_module(module: &Module, engine: &Engine<'_>) -> Result<ModuleRun, DriverError> {
+    let profiles = module_profiles(module, engine.target, engine.profile_source)?;
+    let items: Vec<(FuncId, Option<EdgeProfile>)> = module.func_ids().zip(profiles).collect();
+    let outcomes = engine
+        .exec
+        .run(items, |_, (fid, profile)| {
+            run_function(module, fid, profile, engine)
+        })
+        .map_err(|p| DriverError::Panicked {
+            unit: module.func(FuncId::from_index(p.index)).name().to_string(),
+            message: p.message(),
+        })?;
+
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut allocated = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (report, alloc) = outcome?;
+        reports.push(report);
+        allocated.push(alloc);
+    }
+    let run = ModuleRun::from_parts(
+        ModuleReport::new(
+            module.name().to_string(),
+            engine.target.name().to_string(),
+            reports,
+        ),
+        allocated,
+    );
+    if let Some(obs) = engine.observer {
+        obs.module_done(&run.report);
+    }
+    Ok(run)
+}
+
+/// One function's pipeline: synthesize the profile if needed, consult
+/// the arena, otherwise allocate and place under every selected
+/// technique.
+fn run_function(
+    module: &Module,
+    fid: FuncId,
+    profile: Option<EdgeProfile>,
+    engine: &Engine<'_>,
+) -> Result<FunctionOutcome, DriverError> {
+    let mut func = module.func(fid).clone();
+    let profile = profile.unwrap_or_else(|| {
+        let ProfileSource::Synthetic {
+            walks,
+            max_steps,
+            seed,
+        } = engine.profile_source
+        else {
+            unreachable!("workload profiles are precomputed")
+        };
+        let cfg = spillopt_ir::Cfg::compute(&func);
+        random_walk_profile(
+            &cfg,
+            *walks,
+            *max_steps,
+            seed ^ (fid.index() as u64).wrapping_mul(0x9e37_79b9),
+        )
+    });
+
+    let key = engine.arena.map(|_| AnalysisArena::key(&func, &profile));
+    if let (Some(arena), Some(key)) = (engine.arena, &key) {
+        if let Some(hit) = arena.lookup(key, fid.index()) {
+            if let Some(obs) = engine.observer {
+                obs.function_retired(engine.target.name(), module.name(), &hit.0);
+            }
+            return Ok(hit);
+        }
+    }
+
+    let alloc = allocate(&mut func, engine.target, Some(&profile));
+    let (report, placements) = per_function(fid, &func, engine, profile, alloc.spilled_vregs)?;
+    if let (Some(arena), Some(key)) = (engine.arena, key) {
+        arena.insert(key, &report, &func, &placements);
+    }
+    if let Some(obs) = engine.observer {
+        obs.function_retired(engine.target.name(), module.name(), &report);
+    }
+    Ok((report, (func, placements)))
+}
+
+/// Maps a core suite technique label to the reporting strategy name.
+fn technique_name(label: &'static str) -> &'static str {
+    match label {
+        "entry_exit" => Strategy::Baseline.name(),
+        "chow" => Strategy::Shrinkwrap.name(),
+        "hierarchical_exec" => Strategy::HierExec.name(),
+        "hierarchical_jump" => Strategy::HierJump.name(),
+        other => other,
+    }
+}
+
+/// Runs the selected strategies for one allocated function against one
+/// shared [`AnalysisCache`] and summarizes them. Functions that use no
+/// callee-saved register return before any lazy analysis (SCCs, PST) is
+/// built.
+fn per_function(
+    fid: FuncId,
+    func: &Function,
+    engine: &Engine<'_>,
+    profile: EdgeProfile,
+    spilled_vregs: usize,
+) -> Result<(FunctionReport, Vec<(Strategy, Placement)>), DriverError> {
+    let cache = AnalysisCache::compute(func, engine.target, profile);
+    let insts = func.block_ids().map(|b| func.block(b).insts.len()).sum();
+    let mut report = FunctionReport {
+        index: fid.index(),
+        name: func.name().to_string(),
+        blocks: func.num_blocks(),
+        insts,
+        spilled_vregs,
+        callee_saved: cache.usage.num_regs(),
+        strategies: Vec::new(),
+        best: None,
+    };
+    if !cache.needs_placement() {
+        return Ok((report, Vec::new()));
+    }
+
+    let inputs = SuiteInputs::analyzed(
+        &cache.usage,
+        &cache.profile,
+        cache.cyclic(),
+        cache.pst(),
+        cache.derived(),
+    );
+    let suite =
+        run_suite(&cache.cfg, &inputs, &SuiteOptions::priced(*engine.costs)).map_err(|e| {
+            DriverError::InvalidPlacement {
+                function: func.name().to_string(),
+                technique: technique_name(e.technique),
+                detail: e
+                    .errors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            }
+        })?;
+
+    let entries = [
+        (Strategy::Baseline, suite.entry_exit),
+        (Strategy::Shrinkwrap, suite.chow),
+        (Strategy::HierExec, suite.hierarchical_exec.placement),
+        (Strategy::HierJump, suite.hierarchical_jump.placement),
+    ];
+    let mut placements = Vec::new();
+    for ((strategy, placement), cost) in entries.into_iter().zip(suite.predicted) {
+        if !engine.techniques.contains(strategy) {
+            continue;
+        }
+        report.strategies.push(StrategyReport {
+            strategy,
+            cost,
+            static_count: placement.static_count(),
+            placement: placement.clone(),
+        });
+        placements.push((strategy, placement));
+    }
+    report.best = report
+        .strategies
+        .iter()
+        .min_by_key(|s| s.cost)
+        .map(|s| s.strategy);
+    Ok((report, placements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spillopt_benchgen::{benchmark_by_name, build_bench};
+    use std::sync::atomic::AtomicUsize;
+
+    fn mcf() -> (Module, Vec<(FuncId, Vec<i64>)>, Target) {
+        let target = Target::default();
+        let spec = benchmark_by_name("mcf").expect("known benchmark");
+        let bench = build_bench(&spec, &target);
+        (bench.module, bench.train_runs, target)
+    }
+
+    #[test]
+    fn builder_validates_once() {
+        assert!(matches!(
+            OptimizerBuilder::new().target_named("pdp11").build(),
+            Err(DriverError::Config(_))
+        ));
+        assert!(matches!(
+            OptimizerBuilder::new()
+                .techniques(TechniqueSet::EMPTY)
+                .build(),
+            Err(DriverError::Config(_))
+        ));
+        let session = OptimizerBuilder::new()
+            .target_named("aarch64-aapcs64")
+            .threads(1)
+            .build()
+            .expect("valid");
+        assert_eq!(session.targets(), vec!["aarch64-aapcs64"]);
+        assert_eq!(session.threads(), 1);
+    }
+
+    #[test]
+    fn all_targets_session_rejects_single_module_optimize() {
+        let (module, _, _) = mcf();
+        let session = OptimizerBuilder::new()
+            .all_targets()
+            .threads(1)
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            session.optimize(&module),
+            Err(DriverError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn warm_session_reuses_the_arena_and_keeps_bytes_identical() {
+        let (module, runs, target) = mcf();
+        let session = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(runs))
+            .threads(2)
+            .build()
+            .expect("valid");
+        let cold = session.optimize(&module).expect("first run");
+        assert_eq!(session.arena_stats().hits, 0);
+        let warm = session.optimize(&module).expect("second run");
+        let stats = session.arena_stats();
+        assert!(stats.hits > 0, "second run never hit the arena: {stats:?}");
+        assert_eq!(
+            cold.report.to_json().to_compact(),
+            warm.report.to_json().to_compact(),
+            "warm run changed report bytes"
+        );
+    }
+
+    #[test]
+    fn technique_subset_reports_only_selected_strategies() {
+        let (module, runs, target) = mcf();
+        let session = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(runs))
+            .techniques(TechniqueSet::BASELINE.with(Strategy::HierJump))
+            .threads(1)
+            .build()
+            .expect("valid");
+        let run = session.optimize(&module).expect("optimize");
+        let mut placed = 0;
+        for f in &run.report.functions {
+            for s in &f.strategies {
+                assert!(
+                    matches!(s.strategy, Strategy::Baseline | Strategy::HierJump),
+                    "unselected strategy {} reported",
+                    s.strategy.name()
+                );
+            }
+            placed += f.strategies.len();
+        }
+        assert!(placed > 0, "no strategies reported at all");
+    }
+
+    #[test]
+    fn observer_streams_every_placed_function() {
+        let (module, runs, target) = mcf();
+        let session = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(runs))
+            .threads(2)
+            .build()
+            .expect("valid");
+        let seen = AtomicUsize::new(0);
+        let observer = |_t: &str, _m: &str, _r: &FunctionReport| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        };
+        let run = session.optimize_observed(&module, &observer).expect("run");
+        assert_eq!(seen.load(Ordering::Relaxed), run.report.functions.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not computed")]
+    fn apply_rejects_a_strategy_outside_the_technique_set() {
+        let (module, runs, target) = mcf();
+        let run = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(runs))
+            .techniques(TechniqueSet::BASELINE)
+            .threads(1)
+            .build()
+            .expect("valid")
+            .optimize(&module)
+            .expect("optimize");
+        // hier-jump was never computed; silently emitting the module
+        // without saves would violate the calling convention.
+        let _ = run.apply(Some(Strategy::HierJump));
+    }
+
+    #[test]
+    fn workload_naming_missing_functions_is_rejected() {
+        let (module, _, target) = mcf();
+        let bogus = vec![(FuncId::from_index(module.num_funcs() + 3), vec![1])];
+        let err = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(bogus))
+            .threads(1)
+            .build()
+            .expect("valid")
+            .optimize(&module)
+            .expect_err("workload names a function the module lacks");
+        assert!(matches!(err, DriverError::Config(_)), "{err}");
+        assert!(err.to_string().contains("per-module"), "{err}");
+    }
+
+    #[test]
+    fn optimize_many_rejects_workload_sessions_for_batches() {
+        let (module, runs, target) = mcf();
+        let session = OptimizerBuilder::new()
+            .target(target)
+            .profile(ProfileSource::Workload(runs))
+            .threads(1)
+            .build()
+            .expect("valid");
+        let batch = vec![module.clone(), module];
+        let err = session
+            .optimize_many(&batch)
+            .expect_err("one workload cannot train two modules");
+        assert!(matches!(err, DriverError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn technique_set_parses_and_renders() {
+        assert_eq!(TechniqueSet::parse("all").unwrap(), TechniqueSet::ALL);
+        let set = TechniqueSet::parse("baseline, hier-jump").unwrap();
+        assert!(set.contains(Strategy::Baseline));
+        assert!(set.contains(Strategy::HierJump));
+        assert!(!set.contains(Strategy::Shrinkwrap));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.names(), "baseline,hier-jump");
+        assert_eq!(TechniqueSet::parse(&set.names()).unwrap(), set);
+        let err = TechniqueSet::parse("bogus").unwrap_err();
+        assert!(err.contains("hier-jump"), "{err}");
+        assert!(TechniqueSet::parse("").is_err());
+    }
+}

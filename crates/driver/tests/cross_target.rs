@@ -6,19 +6,22 @@
 //! paper's headline benchmark.
 
 use spillopt_benchgen::{benchmark_by_name, build_bench};
-use spillopt_driver::{
-    cross_target_runs, optimize_module_for, DriverConfig, ProfileSource, Strategy,
-};
+use spillopt_driver::{OptimizerBuilder, ProfileSource, Strategy};
 use spillopt_targets::{registry, TargetSpec};
 
 fn cross_report_json(bench: &str, threads: usize) -> String {
-    let specs = registry();
-    let report = cross_target_runs(&specs, threads, |spec| {
-        let bench_spec = benchmark_by_name(bench).expect("known benchmark");
-        let built = build_bench(&bench_spec, &spec.to_target());
-        Ok((built.module, ProfileSource::Workload(built.train_runs)))
-    })
-    .expect("cross-target run");
+    let session = OptimizerBuilder::new()
+        .all_targets()
+        .threads(threads)
+        .build()
+        .expect("valid session");
+    let report = session
+        .cross_target(|spec| {
+            let bench_spec = benchmark_by_name(bench).expect("known benchmark");
+            let built = build_bench(&bench_spec, &spec.to_target());
+            Ok((built.module, ProfileSource::Workload(built.train_runs)))
+        })
+        .expect("cross-target run");
     report.to_json().to_compact()
 }
 
@@ -48,11 +51,13 @@ fn cross_target_report_is_bit_identical_across_thread_counts() {
 fn run_bench_on(spec: &TargetSpec, bench: &str) -> spillopt_driver::ModuleReport {
     let bench_spec = benchmark_by_name(bench).expect("known benchmark");
     let built = build_bench(&bench_spec, &spec.to_target());
-    let config = DriverConfig {
-        threads: 0,
-        profile: ProfileSource::Workload(built.train_runs),
-    };
-    optimize_module_for(&built.module, spec, &config)
+    OptimizerBuilder::new()
+        .target_spec(spec.clone())
+        .threads(0)
+        .profile(ProfileSource::Workload(built.train_runs))
+        .build()
+        .expect("valid session")
+        .optimize(&built.module)
         .expect("driver")
         .report
 }
@@ -137,12 +142,18 @@ fn compare_crafty_runs_on_every_registered_target() {
 #[test]
 fn targets_actually_differ() {
     let specs = registry();
-    let report = cross_target_runs(&specs, 0, |spec| {
-        let bench_spec = benchmark_by_name("gzip").expect("known benchmark");
-        let built = build_bench(&bench_spec, &spec.to_target());
-        Ok((built.module, ProfileSource::Workload(built.train_runs)))
-    })
-    .expect("cross-target run");
+    let session = OptimizerBuilder::new()
+        .all_targets()
+        .threads(0)
+        .build()
+        .expect("valid session");
+    let report = session
+        .cross_target(|spec| {
+            let bench_spec = benchmark_by_name("gzip").expect("known benchmark");
+            let built = build_bench(&bench_spec, &spec.to_target());
+            Ok((built.module, ProfileSource::Workload(built.train_runs)))
+        })
+        .expect("cross-target run");
 
     assert_eq!(report.targets.len(), specs.len());
     assert!(report.best_target().is_some());

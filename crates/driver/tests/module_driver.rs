@@ -3,7 +3,7 @@
 //! program behaviour on the reference workload.
 
 use spillopt_benchgen::{benchmark_by_name, build_bench};
-use spillopt_driver::{optimize_module, DriverConfig, ProfileSource, Strategy};
+use spillopt_driver::{OptimizerBuilder, ProfileSource, Strategy};
 use spillopt_ir::Target;
 use spillopt_profile::Machine;
 
@@ -11,11 +11,13 @@ fn run_bench(name: &str, threads: usize) -> (spillopt_driver::ModuleRun, spillop
     let target = Target::default();
     let spec = benchmark_by_name(name).expect("known benchmark");
     let bench = build_bench(&spec, &target);
-    let config = DriverConfig {
-        threads,
-        profile: ProfileSource::Workload(bench.train_runs.clone()),
-    };
-    let run = optimize_module(&bench.module, &target, &config).expect("driver");
+    let session = OptimizerBuilder::new()
+        .target(target)
+        .threads(threads)
+        .profile(ProfileSource::Workload(bench.train_runs.clone()))
+        .build()
+        .expect("valid session");
+    let run = session.optimize(&bench.module).expect("driver");
     (run, bench.module)
 }
 
@@ -44,18 +46,16 @@ fn synthetic_profiles_are_deterministic_across_threads() {
     let target = Target::default();
     let bench = build_bench(&benchmark_by_name("parser").unwrap(), &target);
     let report_with = |threads| {
-        optimize_module(
-            &bench.module,
-            &target,
-            &DriverConfig {
-                threads,
-                profile: ProfileSource::default(),
-            },
-        )
-        .expect("driver")
-        .report
-        .to_json()
-        .to_compact()
+        OptimizerBuilder::new()
+            .target(target.clone())
+            .threads(threads)
+            .build()
+            .expect("valid session")
+            .optimize(&bench.module)
+            .expect("driver")
+            .report
+            .to_json()
+            .to_compact()
     };
     assert_eq!(report_with(1), report_with(4));
 }
@@ -100,15 +100,14 @@ fn optimized_module_preserves_behaviour() {
             .collect()
     };
 
-    let run = optimize_module(
-        &bench.module,
-        &target,
-        &DriverConfig {
-            threads: 0,
-            profile: ProfileSource::Workload(bench.train_runs.clone()),
-        },
-    )
-    .expect("driver");
+    let run = OptimizerBuilder::new()
+        .target(target.clone())
+        .threads(0)
+        .profile(ProfileSource::Workload(bench.train_runs.clone()))
+        .build()
+        .expect("valid session")
+        .optimize(&bench.module)
+        .expect("driver");
 
     // Both the per-function best and the paper's technique must leave
     // behaviour untouched.

@@ -1,8 +1,9 @@
 //! The experiments: one per table and figure of the paper.
 
 use crate::report::{pct, Table};
-use crate::runner::{run_benchmark, run_benchmark_priced, BenchResult, PipelineError, Technique};
+use crate::runner::{run_benchmark, BenchResult, PipelineError, Technique};
 use spillopt_benchgen::all_benchmarks;
+use spillopt_core::SpillCostModel;
 use spillopt_core::{
     chow_shrink_wrap, entry_exit_placement, fig1_example, hierarchical_placement, paper_example,
     placement_model_cost, CostModel, EdgeShares,
@@ -51,7 +52,7 @@ pub const PAPER_TABLE2: [(&str, f64, f64, f64); 11] = [
 pub fn run_all_benchmarks(target: &Target) -> Result<Vec<BenchResult>, PipelineError> {
     all_benchmarks()
         .iter()
-        .map(|spec| run_benchmark(spec, target))
+        .map(|spec| run_benchmark(spec, target, &SpillCostModel::UNIT))
         .collect()
 }
 
@@ -79,7 +80,7 @@ pub fn cross_target(name: &str) -> Result<Table, PipelineError> {
     ]);
     for tspec in spillopt_targets::registry() {
         let target = tspec.to_target();
-        let r = run_benchmark_priced(&spec, &target, &tspec.costs)?;
+        let r = run_benchmark(&spec, &target, &tspec.costs)?;
         t.row(vec![
             tspec.name.to_string(),
             tspec.callee_saved.len().to_string(),

@@ -132,25 +132,21 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-/// Runs the full pipeline for one benchmark spec.
+/// Runs the full measured pipeline for one benchmark spec, with the
+/// hierarchical placement decisions priced by `costs` (the measured
+/// overheads stay what the interpreter counts — only the placement
+/// choices change; [`SpillCostModel::UNIT`] reproduces the paper's
+/// PA-RISC accounting).
+///
+/// This is the harness's one entry point — the measured counterpart of
+/// the driver's `Session` facade (which predicts costs; this executes
+/// the placed module on the interpreter and counts).
 ///
 /// # Errors
 ///
 /// Returns [`PipelineError`] if any stage fails or any technique changes
 /// program behaviour.
-pub fn run_benchmark(spec: &BenchSpec, target: &Target) -> Result<BenchResult, PipelineError> {
-    run_benchmark_priced(spec, target, &SpillCostModel::UNIT)
-}
-
-/// As [`run_benchmark`], with the hierarchical placement decisions
-/// priced by a target's [`SpillCostModel`] (the measured overheads stay
-/// what the interpreter counts — only the placement choices change).
-///
-/// # Errors
-///
-/// Returns [`PipelineError`] if any stage fails or any technique changes
-/// program behaviour.
-pub fn run_benchmark_priced(
+pub fn run_benchmark(
     spec: &BenchSpec,
     target: &Target,
     costs: &SpillCostModel,
@@ -372,7 +368,27 @@ pub fn profile_workload(
     Ok(module.func_ids().map(|f| m.edge_profile(f)).collect())
 }
 
-/// Convenience: generate and run one named benchmark.
+/// The historical priced variant; [`run_benchmark`] now takes the cost
+/// model directly.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if any stage fails or any technique changes
+/// program behaviour.
+#[deprecated(
+    since = "0.2.0",
+    note = "`run_benchmark` now takes the cost model directly"
+)]
+pub fn run_benchmark_priced(
+    spec: &BenchSpec,
+    target: &Target,
+    costs: &SpillCostModel,
+) -> Result<BenchResult, PipelineError> {
+    run_benchmark(spec, target, costs)
+}
+
+/// Convenience: generate and run one named benchmark under the paper's
+/// unit cost model.
 ///
 /// # Panics
 ///
@@ -380,7 +396,7 @@ pub fn profile_workload(
 pub fn run_named_benchmark(name: &str, target: &Target) -> Result<BenchResult, PipelineError> {
     let spec = spillopt_benchgen::benchmark_by_name(name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    run_benchmark(&spec, target)
+    run_benchmark(&spec, target, &SpillCostModel::UNIT)
 }
 
 /// Returns a generated benchmark for external tooling (benches).

@@ -58,6 +58,12 @@ impl EdgeProfile {
         self.edge_counts[e.index()]
     }
 
+    /// All per-edge counts, indexed by [`EdgeId`] (the driver's session
+    /// arena keys cached analyses on the exact profile contents).
+    pub fn edge_counts(&self) -> &[u64] {
+        &self.edge_counts
+    }
+
     /// The execution count of a block (sum of incoming edges; the entry
     /// block includes the entry count).
     pub fn block_count(&self, b: BlockId) -> u64 {

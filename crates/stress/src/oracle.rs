@@ -22,13 +22,11 @@
 //!    composes per register.
 
 use spillopt_core::{
-    insert_placement, placement_cost_with, predicted_spill_counts, run_suite_priced,
-    CalleeSavedUsage, Cost, CostModel, Placement, SpillCostModel,
+    insert_placement, placement_cost_with, predicted_spill_counts, run_suite, CalleeSavedUsage,
+    Cost, CostModel, Placement, SpillCostModel, SuiteInputs, SuiteOptions,
 };
-use spillopt_ir::analysis::loops::sccs;
 use spillopt_ir::{Cfg, FuncId, Module, RegDiscipline, Target};
 use spillopt_profile::{EdgeProfile, Machine, SpillCounts};
-use spillopt_pst::Pst;
 use spillopt_regalloc::allocate;
 use spillopt_targets::TargetSpec;
 use std::fmt;
@@ -50,8 +48,11 @@ pub enum FailureKind {
     Fidelity,
     /// Hierarchical (jump model) predicted worse than entry/exit or Chow.
     NeverWorse,
-    /// A pipeline stage panicked (allocator non-convergence, invalid
-    /// placement assertion, insertion bug, ...).
+    /// A technique produced a placement that failed static validity
+    /// checking (surfaced structurally by `spillopt_core::run_suite`).
+    InvalidPlacement,
+    /// A pipeline stage panicked (allocator non-convergence, insertion
+    /// bug, ...).
     Panic,
 }
 
@@ -62,6 +63,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Semantic => "semantic-equivalence",
             FailureKind::Fidelity => "model-fidelity",
             FailureKind::NeverWorse => "never-worse",
+            FailureKind::InvalidPlacement => "invalid-placement",
             FailureKind::Panic => "panic",
         };
         f.write_str(s)
@@ -207,16 +209,25 @@ pub fn check_case(
             continue;
         }
         report.placed_functions += 1;
-        let cyclic = sccs(&cfgs[i]);
-        let pst = Pst::compute(&cfgs[i]);
-        let suite = run_suite_priced(
-            &cfgs[i],
-            &cyclic,
-            &pst,
-            &usages[i],
-            &profiles[i],
-            &spec.costs,
-        );
+        let inputs = SuiteInputs::compute(&cfgs[i], &usages[i], &profiles[i]);
+        let suite =
+            run_suite(&cfgs[i], &inputs, &SuiteOptions::priced(spec.costs)).map_err(|e| {
+                let strategy = STRATEGIES
+                    .iter()
+                    .zip([
+                        "entry_exit",
+                        "chow",
+                        "hierarchical_exec",
+                        "hierarchical_jump",
+                    ])
+                    .find(|(_, label)| *label == e.technique)
+                    .map(|(s, _)| *s);
+                fail(
+                    FailureKind::InvalidPlacement,
+                    strategy,
+                    format!("`{}` on {}: {e}", allocated.func(f).name(), spec.name),
+                )
+            })?;
         // Oracle 3: the paper's guarantee, priced by the target's model.
         let [entry_exit, chow, _, hier_jump] = suite.predicted;
         if suite.predicted[3] > entry_exit || suite.predicted[3] > chow {

@@ -1,25 +1,17 @@
-//! Quickstart: optimize callee-saved save/restore placement for one
-//! procedure.
+//! Quickstart: the session-based optimizer API on a small module.
 //!
-//! Builds a small function with a cold region, profiles it, runs all
-//! placement techniques, and prints what each would insert.
+//! Builds a function with a cold call-bearing region, configures one
+//! [`spillopt::Session`], optimizes the module while streaming
+//! per-function progress, and prints what each technique would insert.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use spillopt_core::{
-    chow_shrink_wrap, entry_exit_placement, hierarchical_placement, placement_cost,
-    CalleeSavedUsage, CostModel,
-};
-use spillopt_ir::{BinOp, Callee, Cfg, Cond, FuncId, FunctionBuilder, Module, Reg, Target};
-use spillopt_profile::Machine;
-use spillopt_pst::Pst;
-use spillopt_regalloc::allocate;
+use spillopt::{FunctionReport, OptimizerBuilder, ProfileSource, Strategy};
+use spillopt_ir::{BinOp, Callee, Cond, FuncId, FunctionBuilder, Module, Reg};
 
 fn main() {
-    let target = Target::default(); // PA-RISC-like: 24 GPRs, 13 callee-saved
-
     // A procedure where the expensive work (a call with a live value
     // across it) happens only on a rare path.
     let mut fb = FunctionBuilder::new("quickstart", 1);
@@ -40,41 +32,58 @@ fn main() {
     fb.store(Reg::Virt(mixed), slot);
     fb.switch_to(join);
     fb.ret(Some(Reg::Virt(x)));
-    let func = fb.finish();
 
-    // Profile it on a few inputs.
     let mut module = Module::new("demo");
-    let fid: FuncId = module.add_func(func);
-    let mut machine = Machine::new(&module, &target);
-    for input in 0..200 {
-        machine.call(fid, &[input]).expect("runs");
-    }
-    let profile = machine.edge_profile(fid);
+    let fid: FuncId = module.add_func(fb.finish());
 
-    // Allocate registers; the call-crossing value lands in a callee-saved
-    // register.
-    let mut allocated = module.func(fid).clone();
-    allocate(&mut allocated, &target, Some(&profile));
-    let cfg = Cfg::compute(&allocated);
-    let usage = CalleeSavedUsage::from_function(&allocated, &cfg, &target);
-    println!("callee-saved registers used: {}", usage.num_regs());
+    // One session: target + profile source + thread count, validated
+    // once. The profile executes the function on a training workload.
+    let session = OptimizerBuilder::new()
+        .target_named("pa-risc-like")
+        .profile(ProfileSource::Workload(
+            (0..200).map(|input| (fid, vec![input])).collect(),
+        ))
+        .threads(1)
+        .build()
+        .expect("valid configuration");
 
-    // Compare placements.
-    let pst = Pst::compute(&cfg);
-    let baseline = entry_exit_placement(&cfg, &usage);
-    let shrinkwrap = chow_shrink_wrap(&cfg, &usage);
-    let optimized =
-        hierarchical_placement(&cfg, &pst, &usage, &profile, CostModel::JumpEdge).placement;
+    // Optimize, streaming per-function reports as they retire.
+    let observer = |target: &str, module: &str, report: &FunctionReport| {
+        println!(
+            "retired {module}::{} on {target} ({} blocks, {} callee-saved regs)",
+            report.name, report.blocks, report.callee_saved
+        );
+    };
+    let run = session
+        .optimize_observed(&module, &observer)
+        .expect("pipeline runs");
 
-    for (name, p) in [
-        ("entry/exit ", &baseline),
-        ("shrink-wrap", &shrinkwrap),
-        ("hierarchical", &optimized),
-    ] {
-        let cost = placement_cost(CostModel::JumpEdge, &cfg, &profile, p);
-        println!("\n{name}: predicted dynamic cost {cost}");
-        for pt in p.points() {
-            println!("  {pt}");
+    // Compare what each technique would insert.
+    for f in &run.report.functions {
+        for s in &f.strategies {
+            println!(
+                "\n{}: predicted dynamic cost {}, {} save/restore instruction(s)",
+                s.strategy.name(),
+                s.cost,
+                s.static_count
+            );
+            for pt in s.placement.points() {
+                println!("  {pt}");
+            }
+        }
+        if let Some(best) = f.best {
+            println!("\nbest for {}: {}", f.name, best.name());
         }
     }
+
+    // Materialize the winner (hier-jump here) and show the module-level
+    // summary the CLI prints.
+    let optimized = run.apply(Some(Strategy::HierJump));
+    println!(
+        "\noptimized module has {} function(s); speedup over entry/exit: {}",
+        optimized.num_funcs(),
+        run.report
+            .speedup()
+            .map_or("n/a".to_string(), |x| format!("{x:.2}x"))
+    );
 }

@@ -18,6 +18,12 @@
 //!
 //! The same equality gate runs at module scale inside `spillopt bench`
 //! on every CI run; these tests keep the per-layer diagnosis sharp.
+//!
+//! This file (with `tests/session_facade.rs`) is the sanctioned caller
+//! of the deprecated pre-session entry points: the shims must stay
+//! byte-identical to the paths that replaced them until they are
+//! removed.
+#![allow(deprecated)]
 
 use spillopt_core::{CalleeSavedUsage, RegWords};
 use spillopt_driver::driver::{optimize_module_for, DriverConfig, ProfileSource};
