@@ -2,19 +2,22 @@
 //! (`spillopt-stress`), checked in as regressions.
 //!
 //! Each case is a module the random-CFG generator produced (and the
-//! minimizer reduced) that exposed a bug in this crate; the fix is
-//! described at the test. Every case re-runs the full oracle battery —
-//! semantic equivalence under the interpreter, model fidelity
-//! (predicted save/restore/jump counts vs measured), and the never-worse
-//! guarantee — plus targeted assertions on the fixed behaviour.
+//! minimizer reduced) that exposed a bug — or, for the optimality-gap
+//! case at the bottom, a measured limitation — in this crate; the fix
+//! (or the open gap) is described at the test. Every case re-runs the
+//! full oracle battery — semantic equivalence under the interpreter,
+//! model fidelity (predicted save/restore/jump counts vs measured), the
+//! never-worse guarantee, and the exact-optimum gap check — plus
+//! targeted assertions on the behaviour in question.
 
 use spillopt_core::{
     check_placement, entry_exit_placement, insert_placement, run_suite, CalleeSavedUsage,
-    SuiteInputs, SuiteOptions,
+    CostModel, Placement, SuiteInputs, SuiteOptions,
 };
+use spillopt_exact::{solve_exact, ExactLimits};
 use spillopt_ir::{parse_module, Cfg, FuncId, Module, RegDiscipline};
 use spillopt_regalloc::allocate;
-use spillopt_stress::check_case;
+use spillopt_stress::{check_case, check_case_with, ExactOptions};
 
 /// Stress seed 0 (pa-risc-like), minimized by hand to the trigger: a
 /// **back edge into the entry block**. Entry/exit placement puts every
@@ -243,4 +246,232 @@ fn hierarchical_is_never_worse_than_chow_on_the_394_module() {
             "{name}: hier-jump {hier_jump:?} worse than entry/exit {entry_exit:?}"
         );
     }
+}
+
+/// Stress seed 92 (every registered target; this is the pa-risc-like
+/// minimization), found by the **exact-optimum oracle**: the
+/// hierarchical jump-model placement prices at 3 jump-model transitions
+/// while the branch-and-bound certificate proves the minimum is 2 — a
+/// 50% relative gap on a 1-transition absolute overshoot, the worst
+/// case in the 500-seed corpus (everything else measures <= 10%). The
+/// module is a chain of cold guard diamonds sharing one `handler0`
+/// side exit plus a counted loop; the hierarchical traversal, which
+/// only exchanges save/restore sets at region boundaries, keeps one
+/// transition the global min cut avoids. `DEFAULT_GAP_PERCENT` (50) in
+/// `spillopt-stress` is derived from exactly this case.
+const SUBOPTIMAL_HIER_JUMP: &str = "\
+module stress92\n\
+\n\
+func @f0(2) {\n\
+  frame 7\n\
+  vregs 181\n\
+block entry:\n\
+  v1 = mov r2\n\
+  v3 = li 301783\n\
+  store.data v3, slot3\n\
+  store.data v1, slot6\n\
+  v8 = load.data slot4\n\
+  v11 = load.data slot6\n\
+  v10 = xor v8, v11\n\
+  store.data v10, slot4\n\
+  v19 = load.data slot3\n\
+  v20 = and v19, 15\n\
+  v21 = li 1\n\
+  br lt v20, v21, handler0, bb3\n\
+block bb3:\n\
+  v28 = load.data slot4\n\
+  v29 = and v28, 15\n\
+  v30 = li 8\n\
+  br ge v29, v30, bb5, bb4\n\
+block bb4:\n\
+  v47 = load.data slot3\n\
+  v48 = and v47, 15\n\
+  v49 = li 1\n\
+  br lt v48, v49, handler0, bb7\n\
+block bb7:\n\
+  v50 = load.data slot2\n\
+  v51 = and v50, 63\n\
+  v52 = li 1\n\
+  br lt v51, v52, handler0, bb8\n\
+block bb8:\n\
+  v53 = load.data slot0\n\
+  v54 = and v53, 63\n\
+  v55 = li 1\n\
+  br ge v54, v55, bb10, bb9\n\
+block bb9:\n\
+  jmp bb11\n\
+block bb10:\n\
+  v71 = load.data slot2\n\
+  v72 = and v71, 15\n\
+  v73 = li 1\n\
+  br lt v72, v73, handler0, bb12\n\
+block bb12:\n\
+block bb11:\n\
+  v74 = load.data slot1\n\
+  v75 = and v74, 63\n\
+  v76 = li 1\n\
+  br lt v75, v76, handler0, bb13\n\
+block bb13:\n\
+  jmp bb6\n\
+block bb5:\n\
+  v83 = load.data slot0\n\
+  v84 = and v83, 63\n\
+  v85 = li 1\n\
+  br ge v84, v85, bb15, bb14\n\
+block bb14:\n\
+block bb15:\n\
+  v96 = load.data slot1\n\
+  v97 = and v96, 15\n\
+  v98 = li 1\n\
+  br lt v97, v98, epilogue, bb16\n\
+block bb16:\n\
+block bb6:\n\
+  v111 = li 0\n\
+  v112 = li 3\n\
+block bb17:\n\
+  br ge v111, v112, bb19, bb18\n\
+block bb18:\n\
+  jmp bb17\n\
+block bb19:\n\
+  v150 = load.data slot1\n\
+  v151 = and v150, 15\n\
+  v152 = li 8\n\
+  br ge v151, v152, bb21, bb20\n\
+block bb20:\n\
+  v153 = load.data slot2\n\
+  v154 = and v153, 127\n\
+  v155 = li 1\n\
+  br lt v154, v155, handler0, bb22\n\
+block bb22:\n\
+block bb21:\n\
+  v156 = load.data slot2\n\
+  v157 = and v156, 15\n\
+  v158 = li 8\n\
+  br ge v157, v158, bb24, bb23\n\
+block bb23:\n\
+  v159 = load.data slot3\n\
+  v160 = and v159, 127\n\
+  v161 = li 1\n\
+  br lt v160, v161, handler0, bb25\n\
+block bb25:\n\
+block bb24:\n\
+  jmp bb26\n\
+block handler0:\n\
+  v162 = load.data slot3\n\
+  v163 = load.data slot3\n\
+  v164 = load.data slot0\n\
+  r1 = mov v162\n\
+  r2 = mov v163\n\
+  r0 = call ext:0(r1, r2)\n\
+  v165 = mov r0\n\
+  v166 = xor v164, v165\n\
+  jmp epilogue\n\
+block bb26:\n\
+block epilogue:\n\
+  v172 = load.data slot0\n\
+  v173 = load.data slot1\n\
+  v174 = xor v172, v173\n\
+  v175 = load.data slot2\n\
+  v176 = xor v174, v175\n\
+  v177 = load.data slot3\n\
+  v178 = xor v176, v177\n\
+  v179 = load.data slot4\n\
+  v180 = xor v178, v179\n\
+  r0 = mov v180\n\
+  ret r0\n\
+}\n";
+
+/// Seed 92's workload on pa-risc-like (the profile the placements were
+/// trained on).
+fn seed_92_runs() -> Vec<(FuncId, Vec<i64>)> {
+    vec![
+        (FuncId::from_index(0), vec![520920, -444280]),
+        (FuncId::from_index(0), vec![756635, -521788]),
+    ]
+}
+
+/// Reproduces seed 92's suite and exact certificate on pa-risc-like:
+/// `(hier-jump predicted, certified optimum)` in raw jump-model units.
+fn seed_92_hier_jump_vs_optimum() -> (u64, u64) {
+    let module = parse(SUBOPTIMAL_HIER_JUMP);
+    let runs = seed_92_runs();
+    let spec = spillopt_targets::spec_by_name("pa-risc-like").expect("registered");
+    let target = spec.try_to_target().expect("valid");
+
+    let mut vm = spillopt_profile::Machine::new(&module, &target);
+    vm.set_fuel(1 << 28);
+    for (f, args) in &runs {
+        vm.call(*f, args).expect("reference run");
+    }
+    let profile = vm.edge_profile(FuncId::from_index(0));
+    drop(vm);
+
+    let mut func = module.func(FuncId::from_index(0)).clone();
+    allocate(&mut func, &target, Some(&profile));
+    let cfg = Cfg::compute(&func);
+    let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+    assert!(!usage.is_empty(), "a callee-saved register is in play");
+    let inputs = SuiteInputs::compute(&cfg, &usage, &profile);
+    let suite = run_suite(&cfg, &inputs, &SuiteOptions::priced(spec.costs))
+        .unwrap_or_else(|e| panic!("seed-92 suite: {e}"));
+    let seeds: [&Placement; 4] = [
+        &suite.entry_exit,
+        &suite.chow,
+        &suite.hierarchical_exec.placement,
+        &suite.hierarchical_jump.placement,
+    ];
+    let outcome = solve_exact(
+        &cfg,
+        &usage,
+        &profile,
+        CostModel::JumpEdge,
+        &spec.costs,
+        &seeds,
+        &ExactLimits::default(),
+    );
+    let sol = outcome
+        .solved()
+        .expect("within the default solver envelope");
+    (suite.predicted[3].raw(), sol.optimum.raw())
+}
+
+#[test]
+fn seed_92_gap_is_reproducible_and_bounds_the_default() {
+    // Full oracle battery at the shipped defaults: the case must pass,
+    // because this is the corpus worst case that *sets* the default gap.
+    let module = parse(SUBOPTIMAL_HIER_JUMP);
+    let spec = spillopt_targets::spec_by_name("pa-risc-like").expect("registered");
+    check_case_with(
+        &module,
+        &seed_92_runs(),
+        &spec,
+        Some(&ExactOptions::default()),
+    )
+    .unwrap_or_else(|e| panic!("seed-92 oracles on pa-risc-like: {e}"));
+
+    // Targeted: the measured gap is exactly 3 vs 2 (50%). If the first
+    // assertion starts failing the gap has closed — un-ignore
+    // `seed_92_hier_jump_reaches_the_certified_optimum` and tighten
+    // `DEFAULT_GAP_PERCENT` to the next corpus worst case (10%).
+    let (hier, optimum) = seed_92_hier_jump_vs_optimum();
+    assert!(
+        optimum < hier,
+        "gap closed (both {optimum}): tighten DEFAULT_GAP_PERCENT"
+    );
+    assert_eq!(hier * 2, optimum * 3, "gap moved: was 3 vs 2 exactly");
+}
+
+/// The aspirational form: hier-jump lands on the certified optimum.
+/// Ignored while the gap is open — the hierarchical traversal's
+/// region-boundary set exchanges cannot reach the min-cut placement on
+/// this module. Un-ignore after improving the traversal (and re-derive
+/// `DEFAULT_GAP_PERCENT` from the then-worst corpus case).
+#[test]
+#[ignore = "known 50% hier-jump optimality gap (3 vs certified 2); see seed_92_gap_is_reproducible_and_bounds_the_default"]
+fn seed_92_hier_jump_reaches_the_certified_optimum() {
+    let (hier, optimum) = seed_92_hier_jump_vs_optimum();
+    assert_eq!(
+        hier, optimum,
+        "hier-jump must price at the certified optimum"
+    );
 }

@@ -92,6 +92,10 @@ pub struct TargetBench {
 pub struct BenchOutcome {
     /// Configuration the bench ran with.
     pub config: BenchConfig,
+    /// Worker threads both arms actually ran with: the session's
+    /// resolved pool size, not the raw configuration value (which may
+    /// be the `0` = "available parallelism" default).
+    pub threads: usize,
     /// Corpus shape: number of generated modules (cases).
     pub cases: usize,
     /// Corpus shape: number of functions across all cases.
@@ -151,7 +155,7 @@ impl BenchOutcome {
                     .with("functions", Json::UInt(self.functions as u64)),
             )
             .with("reps", Json::UInt(self.config.reps as u64))
-            .with("threads", Json::UInt(self.config.threads as u64))
+            .with("threads", Json::UInt(self.threads as u64))
             .with("targets", Json::Array(targets))
             .with("total_optimize_ms", ms(self.total_current_ns()))
             .with("total_reference_ms", ms(self.total_reference_ns()))
@@ -192,6 +196,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
     let mut targets = Vec::new();
     let mut corpus_cases = 0;
     let mut corpus_functions = 0;
+    let mut effective_threads = config.threads;
     for spec in &specs {
         let corpus = corpus_for(spec, config);
         corpus_cases = corpus.len();
@@ -205,6 +210,10 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
             .threads(config.threads)
             .reuse_analyses(false)
             .build()?;
+        // The session resolves `0` to the actual pool size; report that
+        // (it is part of the record's provenance — wall-clock numbers
+        // are meaningless without it).
+        effective_threads = session.threads();
 
         // Equality gate: the rewrite must not have changed a single
         // byte of any report.
@@ -249,6 +258,7 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
     }
     Ok(BenchOutcome {
         config: config.clone(),
+        threads: effective_threads,
         cases: corpus_cases,
         functions: corpus_functions,
         targets,
@@ -279,9 +289,35 @@ mod tests {
             r#""schema_version":1"#,
             r#""corpus""#,
             r#""speedup""#,
+            r#""threads":1"#,
             r#""reports_identical":true"#,
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    /// With the `0` = "available parallelism" default, the record must
+    /// carry the session's *resolved* pool size — a `"threads":0` entry
+    /// would make the wall-clock numbers unreproducible.
+    #[test]
+    fn json_reports_effective_thread_count() {
+        let outcome = run_bench(&BenchConfig {
+            functions: 2,
+            scale: 1,
+            reps: 1,
+            threads: 0,
+            ..BenchConfig::smoke()
+        })
+        .expect("bench runs");
+        assert!(outcome.threads >= 1, "unresolved thread count");
+        let json = outcome.to_json().to_compact();
+        assert!(
+            !json.contains(r#""threads":0"#),
+            "effective thread count not serialized: {json}"
+        );
+        assert!(
+            json.contains(&format!(r#""threads":{}"#, outcome.threads)),
+            "threads field mismatch: {json}"
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
 //! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
 //! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
-//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
+//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT]
+//! spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
 //! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
 //! spillopt list-benches
 //! spillopt list-targets
@@ -20,7 +21,12 @@
 //! * `stress` runs the differential stress subsystem: seeded random
 //!   modules through all four placements on the chosen target(s),
 //!   checked by the interpreter oracles, with minimized counterexample
-//!   reporting.
+//!   reporting. `--exact` adds the fourth (optimality-gap) oracle: a
+//!   branch-and-bound solver certifies each function's minimum
+//!   placement cost and hier-jump must land within `--gap` percent.
+//! * `gap` measures the optimality gap across the stress corpus and
+//!   emits the per-target gap histogram (`--json` for the machine
+//!   record the nightly CI job archives).
 //! * `bench` times module-scale `optimize` — current versus the frozen
 //!   pre-rewrite reference pipeline — over a seeded stress corpus on
 //!   every registered target, asserts the reports are byte-identical,
@@ -34,6 +40,7 @@
 
 use crate::bench::{run_bench, BenchConfig};
 use crate::driver::{DriverError, ProfileSource, Strategy};
+use crate::json::Json;
 use crate::report::{CrossTargetReport, FunctionReport};
 use crate::session::{OptimizerBuilder, TechniqueSet};
 use crate::stress::{run_stress, StressConfig};
@@ -64,7 +71,8 @@ usage:
   spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
   spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
   spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
-  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N]
+  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT]
+  spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
   spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
   spillopt list-benches
   spillopt list-targets
@@ -80,7 +88,12 @@ worker pool.
 --threads 0 uses all cores (default); --threads 1 is the serial reference.
 `stress` fuzzes seeded random modules through all four placements on the
 chosen target(s) (default all), checking the interpreter-backed oracles;
-failures are minimized and printed.
+failures are minimized and printed. --exact adds the optimality-gap
+oracle (certified-minimum placement cost per function; hier-jump must
+land within --gap percent of it, default 50 — the measured corpus
+worst case).
+`gap` runs the stress corpus under the exact oracle and reports the
+per-target optimality-gap histogram.
 `bench` measures the perf trajectory: wall-clock of module optimize,
 current vs the frozen pre-rewrite reference, byte-identical reports
 required; --smoke runs the small CI slice.";
@@ -108,6 +121,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "compare" => compare(&parse_opts("compare", &rest)?, out),
         "report" => report(&parse_opts("report", &rest)?, out),
         "stress" => stress(&rest, out),
+        "gap" => gap(&rest, out),
         "bench" => bench(&rest, out),
         "list-benches" => {
             for spec in spillopt_benchgen::all_benchmarks() {
@@ -467,14 +481,34 @@ fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
     }
 }
 
-/// The `stress` subcommand: differential fuzzing of all four placements
-/// against the interpreter oracles (semantic equivalence, model
-/// fidelity, never-worse). See `spillopt-stress` for the machinery.
-fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+/// Flags shared by `stress` and `gap`: the corpus and the exact-oracle
+/// configuration.
+struct StressFlags {
+    seeds: u64,
+    start: u64,
+    threads: usize,
+    targets: Vec<TargetSpec>,
+    exact: bool,
+    gap_percent: u64,
+    json: bool,
+    out: Option<String>,
+}
+
+/// Parses the `stress` / `gap` flag surface. `sub` selects which extras
+/// are accepted (`--exact` only on stress, `--json`/`--out` only on
+/// gap).
+fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError> {
+    let mut flags = StressFlags {
+        seeds: 0,
+        start: 0,
+        threads: 0,
+        targets: registry(),
+        exact: sub == "gap",
+        gap_percent: spillopt_stress::DEFAULT_GAP_PERCENT,
+        json: false,
+        out: None,
+    };
     let mut seeds: Option<u64> = None;
-    let mut start: u64 = 0;
-    let mut threads: usize = 0;
-    let mut targets = registry();
     let mut it = rest.iter();
     while let Some(&flag) = it.next() {
         let mut value = || {
@@ -491,12 +525,12 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
                 )
             }
             "--start" => {
-                start = value()?
+                flags.start = value()?
                     .parse()
                     .map_err(|_| usage("--start needs a number"))?
             }
             "--threads" => {
-                threads = value()?
+                flags.threads = value()?
                     .parse()
                     .map_err(|_| usage("--threads needs a number"))?
             }
@@ -504,42 +538,59 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
                 let v = value()?;
                 // Last flag wins in both directions: `all` restores the
                 // full registry after an earlier narrowing.
-                targets = if v == "all" {
+                flags.targets = if v == "all" {
                     registry()
                 } else {
                     vec![parse_target(v)?]
                 };
             }
+            "--exact" if sub == "stress" => flags.exact = true,
+            "--gap" => {
+                flags.gap_percent = value()?
+                    .parse()
+                    .map_err(|_| usage("--gap needs a percentage"))?
+            }
+            "--json" if sub == "gap" => flags.json = true,
+            "--out" if sub == "gap" => flags.out = Some(value()?.to_string()),
             other => {
+                let accepted = if sub == "stress" {
+                    "--seeds, --start, --target, --threads, --exact, --gap"
+                } else {
+                    "--seeds, --start, --target, --threads, --gap, --json, --out"
+                };
                 return Err(usage(&format!(
-                    "`stress` does not accept `{other}` (accepted: --seeds, --start, --target, \
-                     --threads)"
-                )))
+                    "`{sub}` does not accept `{other}` (accepted: {accepted})"
+                )));
             }
         }
     }
-    let seeds = seeds.ok_or_else(|| usage("`stress` requires --seeds N"))?;
+    flags.seeds = seeds.ok_or_else(|| usage(&format!("`{sub}` requires --seeds N")))?;
+    if !flags.exact && flags.gap_percent != spillopt_stress::DEFAULT_GAP_PERCENT {
+        return Err(usage("--gap only applies with --exact"));
+    }
+    Ok(flags)
+}
 
-    let summary = run_stress(&StressConfig {
-        start,
-        seeds,
-        targets: targets.clone(),
-        threads,
-    });
-    writeln!(
-        out,
-        "stress: {} cases (seeds {}..{} x {} target(s)): {} functions, {} placed, \
-         {} placements checked, {} failure(s)",
-        summary.cases,
-        start,
-        start.saturating_add(seeds),
-        targets.len(),
-        summary.functions,
-        summary.placed_functions,
-        summary.placements_checked,
-        summary.failures.len()
-    )
-    .map_err(io_err)?;
+/// Builds the driver configuration for a parsed `stress` / `gap` run.
+fn stress_config(flags: &StressFlags) -> StressConfig {
+    StressConfig {
+        start: flags.start,
+        seeds: flags.seeds,
+        targets: flags.targets.clone(),
+        threads: flags.threads,
+        exact: flags.exact.then(|| spillopt_stress::ExactOptions {
+            gap_percent: flags.gap_percent,
+            ..spillopt_stress::ExactOptions::default()
+        }),
+    }
+}
+
+/// Writes the counterexamples and converts a failed run into the
+/// subcommand's error.
+fn stress_failures(
+    summary: &crate::stress::StressSummary,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     if summary.passed() {
         return Ok(());
     }
@@ -551,6 +602,88 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         summary.failures.len(),
         summary.cases
     )))
+}
+
+/// The `stress` subcommand: differential fuzzing of all four placements
+/// against the interpreter oracles (semantic equivalence, model
+/// fidelity, never-worse — and, with `--exact`, the optimality gap).
+/// See `spillopt-stress` for the machinery.
+fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_stress_flags("stress", rest)?;
+    let summary = run_stress(&stress_config(&flags));
+    writeln!(
+        out,
+        "stress: {} cases (seeds {}..{} x {} target(s)): {} functions, {} placed, \
+         {} placements checked, {} failure(s)",
+        summary.cases,
+        flags.start,
+        flags.start.saturating_add(flags.seeds),
+        flags.targets.len(),
+        summary.functions,
+        summary.placed_functions,
+        summary.placements_checked,
+        summary.failures.len()
+    )
+    .map_err(io_err)?;
+    for t in &summary.exact {
+        let j = &t.stats.jump;
+        writeln!(
+            out,
+            "  exact [{}]: {} certified, {} budget-bounded, {} skipped, \
+             max hier-jump gap {:.1}%",
+            t.target,
+            j.solved,
+            j.bounded,
+            j.skipped,
+            j.hist.max_permille as f64 / 10.0
+        )
+        .map_err(io_err)?;
+    }
+    stress_failures(&summary, out)
+}
+
+/// The `gap` subcommand: the stress corpus under the exact oracle,
+/// reported as a per-target optimality-gap histogram.
+fn gap(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_stress_flags("gap", rest)?;
+    let summary = run_stress(&stress_config(&flags));
+    let json = Json::obj()
+        .with("report", Json::str("optimality_gap"))
+        .with("schema_version", Json::UInt(1))
+        .with("start", Json::UInt(flags.start))
+        .with("seeds", Json::UInt(flags.seeds))
+        .with("gap_percent", Json::UInt(flags.gap_percent))
+        .with("cases", Json::UInt(summary.cases as u64))
+        .with("functions", Json::UInt(summary.functions as u64))
+        .with("failures", Json::UInt(summary.failures.len() as u64))
+        .with("targets", summary.gap_report_json());
+    let text = if flags.json {
+        json.to_pretty() + "\n"
+    } else {
+        let mut t = format!(
+            "{:<18} {:>9} {:>8} {:>8} {:>9} {:>11}\n",
+            "target", "certified", "bounded", "skipped", "zero-gap", "max-gap"
+        );
+        for target in &summary.exact {
+            let j = &target.stats.jump;
+            t.push_str(&format!(
+                "{:<18} {:>9} {:>8} {:>8} {:>9} {:>10.1}%\n",
+                target.target,
+                j.solved,
+                j.bounded,
+                j.skipped,
+                j.hist.zero,
+                j.hist.max_permille as f64 / 10.0
+            ));
+        }
+        t
+    };
+    match &flags.out {
+        Some(path) => std::fs::write(path, &text)
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?,
+        None => out.write_all(text.as_bytes()).map_err(io_err)?,
+    }
+    stress_failures(&summary, out)
 }
 
 /// The `bench` subcommand: the reproducible perf-trajectory harness.
@@ -743,6 +876,21 @@ mod tests {
     }
 
     #[test]
+    fn techniques_rejects_empty_lists() {
+        // An empty technique set cannot run anything — reject it at the
+        // flag, in every spelling (bare, separators-only, whitespace).
+        for bad in ["", ",", " ", " , "] {
+            assert!(
+                matches!(
+                    run_capture(&["compare", "--bench", "mcf", "--techniques", bad]),
+                    Err(CliError::Usage(_))
+                ),
+                "`--techniques {bad:?}` was accepted"
+            );
+        }
+    }
+
+    #[test]
     fn compare_with_a_technique_subset_runs() {
         let out = run_capture(&[
             "compare",
@@ -865,6 +1013,61 @@ mod tests {
             run_capture(&["stress", "--seeds", "2", "--target", "pa-risc-like"]).expect("stress");
         assert!(out.contains("stress: 2 cases"), "{out}");
         assert!(out.contains("0 failure(s)"), "{out}");
+        // Without --exact there is no gap line.
+        assert!(!out.contains("exact ["), "{out}");
+    }
+
+    #[test]
+    fn stress_exact_smoke_passes_the_gap_oracle() {
+        let out = run_capture(&[
+            "stress",
+            "--seeds",
+            "2",
+            "--target",
+            "pa-risc-like",
+            "--exact",
+        ])
+        .expect("stress --exact");
+        assert!(out.contains("0 failure(s)"), "{out}");
+        assert!(out.contains("exact [pa-risc-like]"), "{out}");
+        assert!(out.contains("certified"), "{out}");
+    }
+
+    #[test]
+    fn gap_flag_requires_exact_mode() {
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--gap", "10"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn gap_subcommand_usage_errors() {
+        assert!(matches!(run_capture(&["gap"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_capture(&["gap", "--seeds", "1", "--exact"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn gap_subcommand_emits_the_per_target_report() {
+        let out = run_capture(&["gap", "--seeds", "2", "--target", "pa-risc-like", "--json"])
+            .expect("gap --json");
+        for field in [
+            "optimality_gap",
+            "\"schema_version\"",
+            "\"gap_percent\"",
+            "pa-risc-like",
+            "hier_jump_vs_jump_optimum",
+            "max_gap_permille",
+        ] {
+            assert!(out.contains(field), "missing {field} in {out}");
+        }
+        // The human rendering is a table headed by the target column.
+        let human = run_capture(&["gap", "--seeds", "1", "--target", "pa-risc-like"]).expect("gap");
+        assert!(human.contains("certified"), "{human}");
+        assert!(human.contains("pa-risc-like"), "{human}");
     }
 
     #[test]

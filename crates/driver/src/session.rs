@@ -157,6 +157,15 @@ impl Default for TechniqueSet {
     }
 }
 
+/// Displays as the comma-separated strategy names — the exact syntax
+/// [`TechniqueSet::parse`] accepts, so `parse(set.to_string())`
+/// round-trips for every non-empty set.
+impl std::fmt::Display for TechniqueSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.names())
+    }
+}
+
 /// Streaming callback for session runs: called from worker threads as
 /// each function's pipeline retires (completion order — *not* function
 /// order). The session's returned reports stay deterministic regardless.
@@ -1204,5 +1213,45 @@ mod tests {
         let err = TechniqueSet::parse("bogus").unwrap_err();
         assert!(err.contains("hier-jump"), "{err}");
         assert!(TechniqueSet::parse("").is_err());
+    }
+
+    /// Display ↔ parse round-trip, exhaustively over the whole (16-set)
+    /// space: every non-empty subset renders to a string `parse`
+    /// reproduces bit-for-bit, and the empty set both renders empty and
+    /// is rejected on the way back in.
+    #[test]
+    fn technique_set_display_parse_round_trips_exhaustively() {
+        let all = Strategy::all();
+        for mask in 0u32..(1 << all.len()) {
+            let members: Vec<Strategy> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, s)| *s)
+                .collect();
+            let set = TechniqueSet::of(&members);
+            let rendered = set.to_string();
+            assert_eq!(rendered, set.names(), "Display must match names()");
+            if members.is_empty() {
+                assert_eq!(rendered, "");
+                let err = TechniqueSet::parse(&rendered).unwrap_err();
+                assert!(err.contains("empty"), "{err}");
+            } else {
+                assert_eq!(
+                    TechniqueSet::parse(&rendered).unwrap(),
+                    set,
+                    "`{rendered}` did not round-trip"
+                );
+            }
+        }
+        // Whitespace and separators do not defeat the empty-set check.
+        for s in [" ", ",", " , "] {
+            assert!(TechniqueSet::parse(s).is_err(), "`{s}` accepted");
+        }
+        // A duplicate name is idempotent, not an error.
+        assert_eq!(
+            TechniqueSet::parse("baseline,baseline").unwrap(),
+            TechniqueSet::BASELINE
+        );
     }
 }

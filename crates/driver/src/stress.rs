@@ -1,18 +1,22 @@
 //! Module-scale driver for the differential stress subsystem.
 //!
-//! `spillopt-stress` owns the generator, the three oracles, and the
+//! `spillopt-stress` owns the generator, the four oracles, and the
 //! minimizer; this module fans `(target, seed)` cases out on the
 //! work-stealing pool and aggregates the outcome — the engine behind the
-//! `spillopt stress` CLI subcommand, the per-PR smoke slice, and the
-//! nightly CI job. It is a library API on purpose: integration tests
-//! drive the same entry point the CLI uses.
+//! `spillopt stress` / `spillopt gap` CLI subcommands, the per-PR smoke
+//! slice, and the nightly CI job. It is a library API on purpose:
+//! integration tests drive the same entry point the CLI uses.
 
+use crate::json::Json;
 use crate::pool::try_run_indexed;
-use spillopt_stress::{run_seed, CaseReport, FailureKind, OracleFailure, SeedFailure};
+use spillopt_stress::{
+    run_seed_with, CaseReport, ExactOptions, ExactStats, FailureKind, GapHist, ModelGapStats,
+    OracleFailure, SeedFailure,
+};
 use spillopt_targets::TargetSpec;
 
 /// Configuration of one stress run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct StressConfig {
     /// First seed (inclusive).
     pub start: u64,
@@ -22,6 +26,47 @@ pub struct StressConfig {
     pub targets: Vec<TargetSpec>,
     /// Worker threads; `0` = available parallelism, `1` = serial.
     pub threads: usize,
+    /// When set, the exact-optimum (optimality-gap) oracle also runs on
+    /// every case: a hier-jump placement beyond the allowed gap over the
+    /// certified optimum fails the case, and per-target gap statistics
+    /// are accumulated into [`StressSummary::exact`].
+    pub exact: Option<ExactOptions>,
+}
+
+/// One target's accumulated exact-oracle coverage and gap histograms.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetGapStats {
+    /// Registry name.
+    pub target: &'static str,
+    /// Solver coverage and measured gaps, summed over this target's
+    /// passing cases.
+    pub stats: ExactStats,
+}
+
+impl TargetGapStats {
+    /// The per-target entry of the `spillopt gap --json` report.
+    pub fn to_json(&self) -> Json {
+        let hist = |h: &GapHist| {
+            Json::obj()
+                .with("zero", Json::UInt(h.zero as u64))
+                .with("le1_pct", Json::UInt(h.le1 as u64))
+                .with("le5_pct", Json::UInt(h.le5 as u64))
+                .with("le10_pct", Json::UInt(h.le10 as u64))
+                .with("gt10_pct", Json::UInt(h.gt10 as u64))
+                .with("max_gap_permille", Json::UInt(h.max_permille))
+        };
+        let model = |m: &ModelGapStats| {
+            Json::obj()
+                .with("solved", Json::UInt(m.solved as u64))
+                .with("bounded", Json::UInt(m.bounded as u64))
+                .with("skipped", Json::UInt(m.skipped as u64))
+                .with("gaps", hist(&m.hist))
+        };
+        Json::obj()
+            .with("target", Json::str(self.target))
+            .with("hier_jump_vs_jump_optimum", model(&self.stats.jump))
+            .with("hier_exec_vs_exec_optimum", model(&self.stats.exec))
+    }
 }
 
 /// Aggregated outcome of a stress run.
@@ -35,14 +80,23 @@ pub struct StressSummary {
     pub placed_functions: usize,
     /// Technique × function placements checked against the oracles.
     pub placements_checked: usize,
+    /// Per-target exact-oracle statistics, in configuration target
+    /// order. Empty unless [`StressConfig::exact`] was set.
+    pub exact: Vec<TargetGapStats>,
     /// Minimized counterexamples, ordered by seed then registry order.
     pub failures: Vec<SeedFailure>,
 }
 
 impl StressSummary {
-    /// `true` when every case passed all three oracles.
+    /// `true` when every case passed every oracle.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// The `spillopt gap --json` report body (the caller wraps it with
+    /// run provenance).
+    pub fn gap_report_json(&self) -> Json {
+        Json::Array(self.exact.iter().map(TargetGapStats::to_json).collect())
     }
 }
 
@@ -61,9 +115,10 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
     // `run_seed` already catches pipeline panics; this extra net covers
     // a panic in the generator or minimizer itself, converting it into a
     // failure that names its (target, seed) instead of killing the sweep.
+    let exact = config.exact;
     let outcomes: Vec<Result<CaseReport, Box<SeedFailure>>> =
-        match try_run_indexed(items, config.threads, |_, (spec, seed)| {
-            run_seed(&spec, seed)
+        match try_run_indexed(items, config.threads, move |_, (spec, seed)| {
+            run_seed_with(&spec, seed, exact.as_ref())
         }) {
             Ok(outcomes) => outcomes,
             Err(p) => {
@@ -90,12 +145,27 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
         cases: outcomes.len(),
         ..StressSummary::default()
     };
-    for outcome in outcomes {
+    if config.exact.is_some() {
+        summary.exact = config
+            .targets
+            .iter()
+            .map(|spec| TargetGapStats {
+                target: spec.name,
+                stats: ExactStats::default(),
+            })
+            .collect();
+    }
+    // Items were pushed seed-major, so case `i` ran on target
+    // `i % targets.len()`.
+    for (i, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             Ok(report) => {
                 summary.functions += report.functions;
                 summary.placed_functions += report.placed_functions;
                 summary.placements_checked += report.placements_checked;
+                if let Some(t) = summary.exact.get_mut(i % config.targets.len()) {
+                    t.stats.accumulate(&report.exact);
+                }
             }
             Err(failure) => summary.failures.push(*failure),
         }
@@ -114,6 +184,7 @@ mod tests {
             seeds: 3,
             targets: spillopt_targets::registry(),
             threads: 0,
+            exact: None,
         });
         assert_eq!(summary.cases, 3 * spillopt_targets::registry().len());
         assert!(
@@ -136,11 +207,59 @@ mod tests {
             seeds: 2,
             targets: vec![spillopt_targets::pa_risc_like()],
             threads,
+            exact: None,
         };
         let a = run_stress(&config(1));
         let b = run_stress(&config(4));
         assert_eq!(a.cases, b.cases);
         assert_eq!(a.functions, b.functions);
         assert_eq!(a.placements_checked, b.placements_checked);
+    }
+
+    #[test]
+    fn exact_mode_aggregates_per_target_gap_stats() {
+        let summary = run_stress(&StressConfig {
+            start: 0,
+            seeds: 2,
+            targets: spillopt_targets::registry(),
+            threads: 0,
+            exact: Some(ExactOptions::default()),
+        });
+        assert!(
+            summary.passed(),
+            "exact-oracle failures:\n{}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(summary.exact.len(), spillopt_targets::registry().len());
+        // Every generated function is accounted for under both models.
+        for t in &summary.exact {
+            for m in [&t.stats.jump, &t.stats.exec] {
+                assert!(
+                    m.solved + m.bounded + m.skipped > 0,
+                    "{}: no coverage",
+                    t.target
+                );
+            }
+        }
+        // The oracle runs once per placed function (functions with no
+        // callee-saved use have a trivially empty optimal placement).
+        let accounted: usize = summary
+            .exact
+            .iter()
+            .map(|t| t.stats.jump.solved + t.stats.jump.bounded + t.stats.jump.skipped)
+            .sum();
+        assert_eq!(accounted, summary.placed_functions);
+        let solved: usize = summary.exact.iter().map(|t| t.stats.jump.solved).sum();
+        assert!(solved > 0, "exact oracle certified nothing");
+        // The JSON report names every target.
+        let json = summary.gap_report_json().to_compact();
+        for spec in spillopt_targets::registry() {
+            assert!(json.contains(spec.name), "missing {} in {json}", spec.name);
+        }
     }
 }

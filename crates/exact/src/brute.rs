@@ -1,0 +1,71 @@
+//! Exhaustive enumeration over the decision variables: the oracle the
+//! branch-and-bound solver is differentially tested against.
+//!
+//! This deliberately shares nothing with the solver beyond the
+//! position/transition representation itself: no pooling, no
+//! relaxation, no search — every register's every free position is
+//! enumerated independently, and every candidate is priced with the
+//! authoritative [`spillopt_core::placement_cost_with`].
+
+use spillopt_core::{CalleeSavedUsage, Cost, CostModel, Placement, SpillCostModel};
+use spillopt_ir::Cfg;
+use spillopt_profile::EdgeProfile;
+
+use crate::model::{Fix, Model};
+
+/// Enumerates all valid placements (as per-register state assignments)
+/// and returns the cheapest, or `None` when the state space exceeds
+/// `max_states`. Only viable for tiny functions: the state count is
+/// `2^(free positions × registers)`.
+pub fn brute_force_optimum(
+    cfg: &Cfg,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    cost_model: CostModel,
+    costs: &SpillCostModel,
+    max_states: u64,
+) -> Option<(Cost, Placement)> {
+    let model = Model::build(cfg, profile, cost_model, costs);
+    // Per register: the pinned baseline assignment and its free slots.
+    let mut base: Vec<Vec<bool>> = Vec::new();
+    let mut free: Vec<(usize, usize)> = Vec::new(); // (register, position)
+    let regs: Vec<_> = usage.regs().map(|(r, _)| r).collect();
+    for (ri, (_, busy)) in usage.regs().enumerate() {
+        let fixes = model.fixes_for(busy.iter_ones());
+        let mut x = vec![false; model.positions];
+        for (p, f) in fixes.iter().enumerate() {
+            match f {
+                Fix::One => x[p] = true,
+                Fix::Zero => {}
+                Fix::Free => free.push((ri, p)),
+            }
+        }
+        base.push(x);
+    }
+    if free.len() >= 63 || 1u64 << free.len() > max_states {
+        return None;
+    }
+
+    let mut best: Option<(Cost, Placement)> = None;
+    let mut xs = base.clone();
+    for mask in 0u64..(1u64 << free.len()) {
+        for (x, b) in xs.iter_mut().zip(&base) {
+            x.copy_from_slice(b);
+        }
+        for (bit, &(ri, p)) in free.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                xs[ri][p] = true;
+            }
+        }
+        let mut points = Vec::new();
+        for (ri, &r) in regs.iter().enumerate() {
+            model.materialize_into(r, &xs[ri], &mut points);
+        }
+        let placement = Placement::from_points(points);
+        let cost = model.true_cost(&placement);
+        if best.as_ref().is_none_or(|(b, _)| cost.raw() < b.raw()) {
+            best = Some((cost, placement));
+        }
+    }
+    best
+}

@@ -1,0 +1,214 @@
+//! Directed s–t min cut over the position graph: the per-register
+//! relaxation (and, in the pooled regimes, the exact solution).
+
+use crate::model::{Fix, Model};
+
+/// Effectively-infinite capacity for pinned variables (far above any
+/// sum of real costs, far below overflow under addition).
+const INF: u128 = u128::MAX >> 3;
+
+/// How one register's (or one pooled class's) arcs are priced in the
+/// relaxation: instruction weights scaled by `mult / div`, the jump
+/// share by `jump_num / jump_den`. Floor division only ever *lowers*
+/// the relaxation, so the bound stays sound.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RelaxWeights {
+    pub mult: u64,
+    pub div: u64,
+    pub jump_num: u64,
+    pub jump_den: u64,
+}
+
+impl RelaxWeights {
+    /// Exact single-register pricing: full weights, full jump.
+    pub fn full() -> Self {
+        RelaxWeights {
+            mult: 1,
+            div: 1,
+            jump_num: 1,
+            jump_den: 1,
+        }
+    }
+}
+
+/// A tiny Edmonds–Karp max-flow. The graphs here have `3·blocks + 2`
+/// nodes and a handful of arcs per block/edge, so asymptotics are
+/// irrelevant; exact `u128` capacities are what matters.
+struct Flow {
+    adj: Vec<Vec<u32>>,
+    to: Vec<u32>,
+    cap: Vec<u128>,
+}
+
+impl Flow {
+    fn new(n: usize) -> Self {
+        Flow {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, u: usize, v: usize, c: u128) {
+        if c == 0 {
+            return;
+        }
+        let i = self.to.len() as u32;
+        self.adj[u].push(i);
+        self.to.push(v as u32);
+        self.cap.push(c);
+        self.adj[v].push(i + 1);
+        self.to.push(u as u32);
+        self.cap.push(0);
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> u128 {
+        let n = self.adj.len();
+        let mut total: u128 = 0;
+        let mut pred = vec![u32::MAX; n];
+        loop {
+            for p in pred.iter_mut() {
+                *p = u32::MAX;
+            }
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s as u32);
+            pred[s] = u32::MAX - 1;
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &a in &self.adj[u as usize] {
+                    let v = self.to[a as usize];
+                    if self.cap[a as usize] > 0 && pred[v as usize] == u32::MAX {
+                        pred[v as usize] = a;
+                        if v as usize == t {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if pred[t] == u32::MAX {
+                return total;
+            }
+            // Bottleneck along the predecessor chain, then augment.
+            let mut bottleneck = u128::MAX;
+            let mut v = t;
+            while v != s {
+                let a = pred[v] as usize;
+                bottleneck = bottleneck.min(self.cap[a]);
+                v = self.to[a ^ 1] as usize;
+            }
+            let mut v = t;
+            while v != s {
+                let a = pred[v] as usize;
+                self.cap[a] -= bottleneck;
+                self.cap[a ^ 1] += bottleneck;
+                v = self.to[a ^ 1] as usize;
+            }
+            total += bottleneck;
+        }
+    }
+
+    /// The source side of the min cut: nodes reachable from `s` in the
+    /// residual graph.
+    fn source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for &a in &self.adj[u] {
+                let v = self.to[a as usize] as usize;
+                if self.cap[a as usize] > 0 && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Branch-and-bound state of one critical jump edge's jump block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum EdgeDecision {
+    /// Not yet branched on: relaxed to the per-class share.
+    Undecided,
+    /// Jump block charged once (sunk by the search node); classes cross
+    /// at zero marginal jump cost.
+    Used,
+    /// No jump block: no register may place spill code on this edge.
+    Forbidden,
+}
+
+/// Solves one register's (or pooled class's) relaxed placement problem
+/// under `fixes`: returns the minimum relaxed cost and an achieving
+/// state assignment (`true` = saved).
+///
+/// Convention: source side = saved. A save weight is charged when a
+/// transition's `to` is saved while `from` is original (arc `to →
+/// from`), a restore when `from` is saved while `to` is original (arc
+/// `from → to`); pinned-saved positions hang off the source, pinned-
+/// original positions off the sink, both at infinite capacity.
+///
+/// `decisions` is indexed parallel to the model's transitions (empty =
+/// all undecided) and governs only jump-bearing transitions: an
+/// `Undecided` edge adds the `jump_num/jump_den` share to both
+/// directions, a `Used` edge adds nothing (its full price was sunk by
+/// the caller), and a `Forbidden` edge pins its endpoints to the same
+/// state.
+pub(crate) fn solve_cut(
+    model: &Model<'_>,
+    fixes: &[Fix],
+    w: &RelaxWeights,
+    decisions: &[EdgeDecision],
+) -> (u128, Vec<bool>) {
+    let p = model.positions;
+    let (s, t) = (p, p + 1);
+    let mut g = Flow::new(p + 2);
+    let scale = |raw: u64| -> u128 { (raw as u128 * w.mult as u128) / w.div as u128 };
+    let jump = |raw: u64| -> u128 { (raw as u128 * w.jump_num as u128) / w.jump_den as u128 };
+    for (ti, tr) in model.transitions.iter().enumerate() {
+        let decision = if tr.jump_raw > 0 {
+            decisions
+                .get(ti)
+                .copied()
+                .unwrap_or(EdgeDecision::Undecided)
+        } else {
+            EdgeDecision::Undecided
+        };
+        if tr.jump_raw > 0 && decision == EdgeDecision::Forbidden {
+            // No spill code may cross: force both endpoints equal.
+            if let Some(u) = tr.from {
+                g.add(u as usize, tr.to as usize, INF);
+                g.add(tr.to as usize, u as usize, INF);
+            }
+            continue;
+        }
+        let jump_extra = if tr.jump_raw > 0 && decision == EdgeDecision::Undecided {
+            jump(tr.jump_raw)
+        } else {
+            0
+        };
+        let save_cap = scale(tr.save_raw) + jump_extra;
+        let restore_cap = scale(tr.restore_raw) + jump_extra;
+        match tr.from {
+            // Constant-original endpoint (procedure entry): a save is a
+            // unary charge on the target being saved; a restore out of
+            // the constant is impossible.
+            None => g.add(tr.to as usize, t, save_cap),
+            Some(u) => {
+                g.add(u as usize, tr.to as usize, restore_cap);
+                g.add(tr.to as usize, u as usize, save_cap);
+            }
+        }
+    }
+    for (i, f) in fixes.iter().enumerate() {
+        match f {
+            Fix::Free => {}
+            Fix::One => g.add(s, i, INF),
+            Fix::Zero => g.add(i, t, INF),
+        }
+    }
+    let cost = g.max_flow(s, t);
+    let mut side = g.source_side(s);
+    side.truncate(p);
+    (cost, side)
+}

@@ -1,0 +1,61 @@
+//! # spillopt-exact
+//!
+//! Certified-optimal callee-saved save/restore placement: a
+//! branch-and-bound / implicit-ILP solver over per-location decision
+//! variables, used as the stress subsystem's fourth oracle (the
+//! *optimality-gap* oracle).
+//!
+//! ## The model
+//!
+//! A placement is valid exactly when, for every callee-saved register,
+//! there is a consistent assignment of a binary *state* (original /
+//! saved) to three positions per block — before the block-top location,
+//! the busy body, and after the block-bottom location — such that busy
+//! bodies are saved, returns are original, the procedure entry starts
+//! original, and every control-flow edge delivers the state its target
+//! expects ([`spillopt_core::check_placement`]'s abstract
+//! interpretation, including the entry-top *once per call* rule). Save
+//! and restore points are then forced at every state transition, so
+//! minimizing placement cost is an optimization over one boolean per
+//! register per position: the availability constraint "busy bodies
+//! execute saved" pins variables to 1, the anticipability constraint
+//! "returns execute original" pins variables to 0, and everything else
+//! is free.
+//!
+//! ## The solver
+//!
+//! Per register the problem is a directed s–t min cut (save and restore
+//! weights are the asymmetric arc capacities). Registers couple only
+//! through [`spillopt_core::placement_cost_with`]'s shared accounting:
+//! one jump block per distinct critical jump edge, and `ceil(n /
+//! pair_size)` paired instructions per co-located group. Two regimes
+//! are solved exactly without search: when every busy register fits one
+//! paired instruction (`n ≤ pair_size`) the joint optimum is a single
+//! pooled cut over the union of busy sets, and when `pair_size == 1`
+//! registers with identical busy sets provably share one optimal
+//! assignment, so they collapse into multiplicity classes. The
+//! remaining coupling is closed by branch and bound over the *shared
+//! resources themselves*. The primary branching dimension is the
+//! fixed-charge jump block: each critical jump edge is `Undecided`
+//! (its charge relaxed to a per-class share — a true lower bound),
+//! `Used` (charged once as a sunk cost, after which any class crosses
+//! it for free), or `Forbidden` (no spill code may cross, encoded as
+//! infinite-capacity equality arcs). At jump-decided nodes the
+//! `pair_size == 1` problem decouples into exact per-class cuts, so
+//! the per-class argmins priced with the real shared accounting close
+//! the node; only instruction pairing (`ceil(n / pair_size)` with
+//! `pair_size ≥ 2`) can keep a gap open, and that residual dimension
+//! branches on individual position variables. A completed search
+//! certifies the optimum; an exhausted node budget degrades to an
+//! uncertified upper bound the oracle skips.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod brute;
+mod cut;
+mod model;
+mod solve;
+
+pub use brute::brute_force_optimum;
+pub use solve::{solve_exact, ExactLimits, ExactOutcome, ExactSolution, SkipReason};

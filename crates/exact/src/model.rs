@@ -1,0 +1,195 @@
+//! The position/transition model: valid placements as binary state
+//! assignments, with target-priced transition weights.
+
+use spillopt_core::{
+    location_exec_count, CostModel, Placement, SpillCostModel, SpillKind, SpillLoc, SpillPoint,
+};
+use spillopt_ir::{BlockId, Cfg, PReg};
+use spillopt_profile::EdgeProfile;
+
+/// Fixed/free status of one (register, position) decision variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Fix {
+    /// Unconstrained.
+    Free,
+    /// Pinned to original state.
+    Zero,
+    /// Pinned to saved state.
+    One,
+}
+
+/// One state transition location: spill code at `loc` flips the state
+/// between positions `from` and `to`. `from == None` is the constant
+/// original state at the procedure entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Transition {
+    pub from: Option<u32>,
+    pub to: u32,
+    pub loc: SpillLoc,
+    /// Scaled cost of one save instruction stream here
+    /// (`weight × exec count`, in [`spillopt_core::Cost`] raw units).
+    pub save_raw: u64,
+    /// Scaled cost of one restore instruction stream here.
+    pub restore_raw: u64,
+    /// Scaled cost of the jump block this location requires (nonzero
+    /// only on critical jump edges under [`CostModel::JumpEdge`]),
+    /// charged once per edge no matter how many registers place here.
+    pub jump_raw: u64,
+}
+
+/// The whole per-function model: positions, priced transitions, and the
+/// fixes shared by every register (entry/exit conventions).
+#[derive(Debug)]
+pub(crate) struct Model<'a> {
+    pub cfg: &'a Cfg,
+    pub profile: &'a EdgeProfile,
+    pub costs: SpillCostModel,
+    pub cost_model: CostModel,
+    /// `3 × num_blocks`: body, out, and in positions per block.
+    pub positions: usize,
+    pub transitions: Vec<Transition>,
+    /// Fixes every register shares: exits pinned original, plus the
+    /// entry's unused `in` slot (the entry starts from the constant).
+    pub base_fix: Vec<Fix>,
+}
+
+impl<'a> Model<'a> {
+    /// State position of block `b`'s body (between top and bottom).
+    pub fn body(&self, b: usize) -> usize {
+        b
+    }
+
+    /// State position after block `b`'s bottom location.
+    pub fn out(&self, b: usize) -> usize {
+        self.cfg.num_blocks() + b
+    }
+
+    /// State position before block `b`'s top location (merge state).
+    pub fn inp(&self, b: usize) -> usize {
+        2 * self.cfg.num_blocks() + b
+    }
+
+    /// Builds the model for one function under one target pricing.
+    pub fn build(
+        cfg: &'a Cfg,
+        profile: &'a EdgeProfile,
+        cost_model: CostModel,
+        costs: &SpillCostModel,
+    ) -> Self {
+        let n = cfg.num_blocks();
+        let entry = cfg.entry().index();
+        let mut m = Model {
+            cfg,
+            profile,
+            costs: *costs,
+            cost_model,
+            positions: 3 * n,
+            transitions: Vec::with_capacity(2 * n + cfg.num_edges()),
+            base_fix: vec![Fix::Free; 3 * n],
+        };
+        // The entry has no merge position: back edges into the entry
+        // deliver the post-top state directly. Pin the unused slot so
+        // no search ever branches on it.
+        let entry_inp = m.inp(entry);
+        m.base_fix[entry_inp] = Fix::Zero;
+        for &b in cfg.exit_blocks() {
+            let out = m.out(b.index());
+            m.base_fix[out] = Fix::Zero;
+        }
+
+        let priced = |kind: SpillKind, loc: SpillLoc| -> u64 {
+            let count = location_exec_count(cfg, profile, loc);
+            costs.insn(cfg, kind, loc).of(count, 1).raw()
+        };
+        for b in 0..n {
+            let top = SpillLoc::BlockTop(BlockId::from_index(b));
+            let from = if b == entry {
+                None
+            } else {
+                Some(m.inp(b) as u32)
+            };
+            m.transitions.push(Transition {
+                from,
+                to: m.body(b) as u32,
+                loc: top,
+                save_raw: priced(SpillKind::Save, top),
+                restore_raw: priced(SpillKind::Restore, top),
+                jump_raw: 0,
+            });
+            let bottom = SpillLoc::BlockBottom(BlockId::from_index(b));
+            m.transitions.push(Transition {
+                from: Some(m.body(b) as u32),
+                to: m.out(b) as u32,
+                loc: bottom,
+                save_raw: priced(SpillKind::Save, bottom),
+                restore_raw: priced(SpillKind::Restore, bottom),
+                jump_raw: 0,
+            });
+        }
+        for (eid, edge) in cfg.edges() {
+            let loc = SpillLoc::OnEdge(eid);
+            let to = if edge.to.index() == entry {
+                m.body(entry)
+            } else {
+                m.inp(edge.to.index())
+            };
+            let jump_raw = if cost_model == CostModel::JumpEdge && cfg.needs_jump_block(eid) {
+                costs.jump.of(profile.edge_count(eid), 1).raw()
+            } else {
+                0
+            };
+            m.transitions.push(Transition {
+                from: Some(m.out(edge.from.index()) as u32),
+                to: to as u32,
+                loc,
+                save_raw: priced(SpillKind::Save, loc),
+                restore_raw: priced(SpillKind::Restore, loc),
+                jump_raw,
+            });
+        }
+        m
+    }
+
+    /// The base fixes plus `busy` bodies pinned saved, for one register
+    /// (or one pooled class) with the given busy block set.
+    pub fn fixes_for(&self, busy: impl Iterator<Item = usize>) -> Vec<Fix> {
+        let mut fixes = self.base_fix.clone();
+        for b in busy {
+            fixes[self.body(b)] = Fix::One;
+        }
+        fixes
+    }
+
+    /// Emits the spill points register `reg` needs under state
+    /// assignment `x` (one bool per position) into `points`.
+    pub fn materialize_into(&self, reg: PReg, x: &[bool], points: &mut Vec<SpillPoint>) {
+        for t in &self.transitions {
+            let from = t.from.map(|p| x[p as usize]).unwrap_or(false);
+            let to = x[t.to as usize];
+            if from != to {
+                let kind = if to {
+                    SpillKind::Save
+                } else {
+                    SpillKind::Restore
+                };
+                points.push(SpillPoint {
+                    reg,
+                    kind,
+                    loc: t.loc,
+                });
+            }
+        }
+    }
+
+    /// The authoritative price of a placement: the same shared-jump,
+    /// paired-instruction accounting the rest of the system uses.
+    pub fn true_cost(&self, placement: &Placement) -> spillopt_core::Cost {
+        spillopt_core::placement_cost_with(
+            self.cost_model,
+            &self.costs,
+            self.cfg,
+            self.profile,
+            placement,
+        )
+    }
+}

@@ -1,0 +1,480 @@
+//! The exact solver: pooled-cut fast paths plus branch and bound over
+//! the jump-sharing / instruction-pairing coupling.
+
+use std::fmt;
+
+use spillopt_core::{
+    check_placement, placement_cost_with, CalleeSavedUsage, Cost, CostModel, Placement,
+    SpillCostModel, SpillPoint,
+};
+use spillopt_ir::{Cfg, PReg};
+use spillopt_profile::EdgeProfile;
+
+use crate::cut::{solve_cut, EdgeDecision, RelaxWeights};
+use crate::model::{Fix, Model};
+
+/// Size and effort limits for [`solve_exact`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactLimits {
+    /// Functions with more blocks than this are skipped.
+    pub max_blocks: usize,
+    /// Functions with more live callee-saved registers than this are
+    /// skipped.
+    pub max_regs: usize,
+    /// Branch-and-bound node budget; exhausting it degrades the result
+    /// from a certified optimum to an uncertified upper bound.
+    pub node_budget: u64,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits {
+            max_blocks: 48,
+            max_regs: 13,
+            node_budget: 2_000,
+        }
+    }
+}
+
+/// Why [`solve_exact`] declined to solve a function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SkipReason {
+    /// The CFG exceeds [`ExactLimits::max_blocks`].
+    TooManyBlocks {
+        /// Blocks in the function.
+        blocks: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The function keeps more registers live than
+    /// [`ExactLimits::max_regs`].
+    TooManyRegs {
+        /// Live callee-saved registers in the function.
+        regs: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::TooManyBlocks { blocks, limit } => {
+                write!(f, "{blocks} blocks exceeds the exact-solver limit {limit}")
+            }
+            SkipReason::TooManyRegs { regs, limit } => {
+                write!(f, "{regs} registers exceeds the exact-solver limit {limit}")
+            }
+        }
+    }
+}
+
+/// A placement together with its price and the search effort spent.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// The placement's cost under the requested model (certified
+    /// minimal only in [`ExactOutcome::Solved`]).
+    pub optimum: Cost,
+    /// A placement achieving [`ExactSolution::optimum`]; always passes
+    /// [`spillopt_core::check_placement`].
+    pub placement: Placement,
+    /// Branch-and-bound nodes evaluated (0 when a fast path applied).
+    pub nodes: u64,
+}
+
+/// Result of an exact-solve attempt.
+#[derive(Clone, Debug)]
+pub enum ExactOutcome {
+    /// The search completed: the cost is the certified minimum.
+    Solved(ExactSolution),
+    /// The node budget ran out: the cost is only an upper bound.
+    Bounded(ExactSolution),
+    /// The function was out of the configured size envelope.
+    Skipped(SkipReason),
+}
+
+impl ExactOutcome {
+    /// The certified solution, if the search completed.
+    pub fn solved(&self) -> Option<&ExactSolution> {
+        match self {
+            ExactOutcome::Solved(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One branch-and-bound decision unit: registers proven to share an
+/// optimal state assignment, with the relaxation pricing for the group.
+struct Class {
+    regs: Vec<PReg>,
+    fixes: Vec<Fix>,
+    weights: RelaxWeights,
+}
+
+struct Search<'m, 'a> {
+    model: &'m Model<'a>,
+    usage: &'m CalleeSavedUsage,
+    /// Indices of transitions carrying a jump-block charge (critical
+    /// jump edges under the jump-edge model) — the first branching
+    /// dimension.
+    jump_transitions: Vec<usize>,
+    /// Positions touched by at least one transition with nonzero save,
+    /// restore, or jump weight — the only variables worth branching on.
+    weighted: Vec<bool>,
+    /// Sum of weights incident to each position (branching tiebreak).
+    incident: Vec<u128>,
+    /// Whether pairing couples registers (`pair_size ≥ 2`): adds the
+    /// union-cut lower bound and the replicated-union upper bound, and
+    /// enables the position-variable branching dimension.
+    use_union: bool,
+    best: Option<(Cost, Placement)>,
+    nodes: u64,
+    budget: u64,
+    exhausted: bool,
+}
+
+impl<'m, 'a> Search<'m, 'a> {
+    /// Records `placement` if it beats the incumbent; returns its cost.
+    fn offer(&mut self, placement: Placement) -> Cost {
+        let cost = self.model.true_cost(&placement);
+        if self.best.as_ref().is_none_or(|(b, _)| cost.raw() < b.raw()) {
+            self.best = Some((cost, placement));
+        }
+        cost
+    }
+
+    /// Offers a technique placement as the incumbent, but only when it
+    /// actually validates — certifying against an invalid cheap seed
+    /// would corrupt the optimum.
+    fn offer_seed(&mut self, seed: &Placement) {
+        if check_placement(self.model.cfg, self.usage, seed).is_empty() {
+            self.offer(seed.clone());
+        }
+    }
+
+    fn materialize(&self, classes: &[Class], xs: &[Vec<bool>]) -> Placement {
+        let mut points: Vec<SpillPoint> = Vec::new();
+        for (c, x) in classes.iter().zip(xs) {
+            for &r in &c.regs {
+                self.model.materialize_into(r, x, &mut points);
+            }
+        }
+        Placement::from_points(points)
+    }
+
+    /// Union-of-classes fixes: saved where any class is pinned saved,
+    /// original only where every class is pinned original.
+    fn union_fixes(&self, classes: &[Class]) -> Vec<Fix> {
+        let p = self.model.positions;
+        let mut fixes = vec![Fix::Zero; p];
+        for (i, fix) in fixes.iter_mut().enumerate() {
+            if classes.iter().any(|c| c.fixes[i] == Fix::One) {
+                *fix = Fix::One;
+            } else if classes.iter().any(|c| c.fixes[i] == Fix::Free) {
+                *fix = Fix::Free;
+            }
+        }
+        fixes
+    }
+
+    /// Whether class assignment `x` places spill code on transition
+    /// `ti` (its endpoint states differ).
+    fn crosses(&self, x: &[bool], ti: usize) -> bool {
+        let t = &self.model.transitions[ti];
+        let from = t.from.map(|p| x[p as usize]).unwrap_or(false);
+        from != x[t.to as usize]
+    }
+
+    fn node(&mut self, classes: &[Class], decisions: &[EdgeDecision]) {
+        if self.exhausted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            self.exhausted = true;
+            return;
+        }
+
+        // Jump blocks already committed on this path are a sunk cost.
+        let sunk: u128 = self
+            .jump_transitions
+            .iter()
+            .filter(|&&ti| decisions[ti] == EdgeDecision::Used)
+            .map(|&ti| self.model.transitions[ti].jump_raw as u128)
+            .sum();
+
+        // Relaxation: independent per-class cuts under shared-resource
+        // discounts, so `sunk + sum` never exceeds the true cost of any
+        // placement consistent with this node's edge decisions.
+        let mut lb: u128 = sunk;
+        let mut args: Vec<Vec<bool>> = Vec::with_capacity(classes.len());
+        for c in classes {
+            let (v, x) = solve_cut(self.model, &c.fixes, &c.weights, decisions);
+            lb += v;
+            args.push(x);
+        }
+        if self.use_union {
+            // Second bound: any joint assignment dominates its OR under
+            // full (undiscounted) pricing, and the OR replicated to all
+            // registers is itself feasible — bound and candidate in one.
+            let (uv, ux) = solve_cut(
+                self.model,
+                &self.union_fixes(classes),
+                &RelaxWeights::full(),
+                decisions,
+            );
+            lb = lb.max(sunk + uv);
+            let replicated: Vec<Vec<bool>> = classes.iter().map(|_| ux.clone()).collect();
+            let replicated = self.materialize(classes, &replicated);
+            self.offer(replicated);
+        }
+        if let Some((b, _)) = &self.best {
+            if lb >= b.raw() as u128 {
+                return;
+            }
+        }
+
+        // Candidate: the per-class argmins priced with the real shared
+        // accounting. If that meets the bound the subtree is closed.
+        let joint = self.materialize(classes, &args);
+        let joint_cost = self.offer(joint);
+        if (joint_cost.raw() as u128) <= lb {
+            return;
+        }
+
+        // First branch dimension: an undecided jump edge some argmin
+        // actually crosses (the only way a jump share can undercharge).
+        // Partitioning into "jump block paid, crossings free" vs "no
+        // jump block, no crossings" is exhaustive, and at jump-decided
+        // leaves the pair-free problem decouples into exact class cuts.
+        let mut pick_edge: Option<(usize, u64)> = None;
+        for &ti in &self.jump_transitions {
+            if decisions[ti] != EdgeDecision::Undecided {
+                continue;
+            }
+            if !args.iter().any(|x| self.crosses(x, ti)) {
+                continue;
+            }
+            let w = self.model.transitions[ti].jump_raw;
+            if pick_edge.is_none_or(|(_, best_w)| w > best_w) {
+                pick_edge = Some((ti, w));
+            }
+        }
+        if let Some((ti, _)) = pick_edge {
+            let mut child = decisions.to_vec();
+            child[ti] = EdgeDecision::Used;
+            self.node(classes, &child);
+            child[ti] = EdgeDecision::Forbidden;
+            self.node(classes, &child);
+            return;
+        }
+
+        // No undercharged jump edge remains. Without pairing the class
+        // cuts are now exact, so `joint_cost <= lb` must already have
+        // closed the node; reaching here means pairing (`ceil(n/pair)`)
+        // is what the relaxation undercharges. Branch on a free
+        // position variable: prefer positions where class argmins
+        // disagree (pairing tension), break ties by incident weight.
+        let mut pick: Option<(usize, usize, bool, u128, bool)> = None;
+        for (ci, c) in classes.iter().enumerate() {
+            for p in 0..self.model.positions {
+                if c.fixes[p] != Fix::Free || !self.weighted[p] {
+                    continue;
+                }
+                let disagree = args.iter().any(|x| x[p] != args[ci][p]);
+                let better = match &pick {
+                    None => true,
+                    Some((_, _, _, w, d)) => (disagree, self.incident[p]) > (*d, *w),
+                };
+                if better {
+                    pick = Some((ci, p, args[ci][p], self.incident[p], disagree));
+                }
+            }
+        }
+        let Some((ci, p, first, _, _)) = pick else {
+            // Every weight-bearing variable is pinned: the joint
+            // candidate above is this subtree's exact value.
+            return;
+        };
+        for value in [first, !first] {
+            let mut child: Vec<Class> = classes
+                .iter()
+                .map(|c| Class {
+                    regs: c.regs.clone(),
+                    fixes: c.fixes.clone(),
+                    weights: c.weights,
+                })
+                .collect();
+            child[ci].fixes[p] = if value { Fix::One } else { Fix::Zero };
+            self.node(&child, decisions);
+        }
+    }
+}
+
+/// Computes a certified-minimum save/restore placement for one
+/// function: the cheapest placement passing
+/// [`spillopt_core::check_placement`] under
+/// [`spillopt_core::placement_cost_with`]'s accounting for
+/// `(cost_model, costs)`.
+///
+/// `seeds` are known-good placements (typically the four technique
+/// outputs) used to prime the incumbent; invalid seeds are ignored.
+pub fn solve_exact(
+    cfg: &Cfg,
+    usage: &CalleeSavedUsage,
+    profile: &EdgeProfile,
+    cost_model: CostModel,
+    costs: &SpillCostModel,
+    seeds: &[&Placement],
+    limits: &ExactLimits,
+) -> ExactOutcome {
+    if usage.is_empty() {
+        let placement = Placement::new();
+        let optimum = placement_cost_with(cost_model, costs, cfg, profile, &placement);
+        return ExactOutcome::Solved(ExactSolution {
+            optimum,
+            placement,
+            nodes: 0,
+        });
+    }
+    if cfg.num_blocks() > limits.max_blocks {
+        return ExactOutcome::Skipped(SkipReason::TooManyBlocks {
+            blocks: cfg.num_blocks(),
+            limit: limits.max_blocks,
+        });
+    }
+    if usage.num_regs() > limits.max_regs {
+        return ExactOutcome::Skipped(SkipReason::TooManyRegs {
+            regs: usage.num_regs(),
+            limit: limits.max_regs,
+        });
+    }
+
+    let model = Model::build(cfg, profile, cost_model, costs);
+    let regs: Vec<(PReg, Vec<usize>)> = usage
+        .regs()
+        .map(|(r, s)| (r, s.iter_ones().collect()))
+        .collect();
+    let r_total = regs.len();
+    let pair = (costs.pair_size.max(1)) as usize;
+
+    // Fast path: every register fits one paired instruction, so an
+    // optimal placement treats them as one unit — a single pooled cut
+    // over the union of busy sets is exact.
+    if r_total <= pair {
+        let mut union: Vec<usize> = regs.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        union.sort_unstable();
+        union.dedup();
+        let fixes = model.fixes_for(union.into_iter());
+        let (cut, x) = solve_cut(&model, &fixes, &RelaxWeights::full(), &[]);
+        let mut points = Vec::new();
+        for (r, _) in &regs {
+            model.materialize_into(*r, &x, &mut points);
+        }
+        let placement = Placement::from_points(points);
+        let optimum = model.true_cost(&placement);
+        debug_assert_eq!(optimum.raw() as u128, cut);
+        return ExactOutcome::Solved(ExactSolution {
+            optimum,
+            placement,
+            nodes: 0,
+        });
+    }
+
+    // Decision units. Without pairing, registers with identical busy
+    // sets provably share an optimal assignment (the objective is
+    // linear per register plus a concave once-per-edge jump term), so
+    // they collapse into one multiplicity-weighted class. With pairing,
+    // `ceil(n / pair)` is not concave and every register stays its own
+    // unit.
+    let classes: Vec<Class> = if pair == 1 {
+        let mut grouped: Vec<(Vec<usize>, Vec<PReg>)> = Vec::new();
+        for (r, busy) in &regs {
+            match grouped.iter_mut().find(|(b, _)| b == busy) {
+                Some((_, members)) => members.push(*r),
+                None => grouped.push((busy.clone(), vec![*r])),
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|(busy, members)| {
+                let m = members.len() as u64;
+                Class {
+                    regs: members,
+                    fixes: model.fixes_for(busy.into_iter()),
+                    weights: RelaxWeights {
+                        mult: m,
+                        div: 1,
+                        jump_num: m,
+                        jump_den: r_total as u64,
+                    },
+                }
+            })
+            .collect()
+    } else {
+        regs.iter()
+            .map(|(r, busy)| Class {
+                regs: vec![*r],
+                fixes: model.fixes_for(busy.iter().copied()),
+                weights: RelaxWeights {
+                    mult: 1,
+                    div: pair as u64,
+                    jump_num: 1,
+                    jump_den: r_total as u64,
+                },
+            })
+            .collect()
+    };
+
+    let mut weighted = vec![false; model.positions];
+    let mut incident = vec![0u128; model.positions];
+    for t in &model.transitions {
+        let w = t.save_raw as u128 + t.restore_raw as u128 + t.jump_raw as u128;
+        if w != 0 {
+            if let Some(from) = t.from {
+                weighted[from as usize] = true;
+                incident[from as usize] += w;
+            }
+            weighted[t.to as usize] = true;
+            incident[t.to as usize] += w;
+        }
+    }
+    let jump_transitions: Vec<usize> = model
+        .transitions
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.jump_raw > 0)
+        .map(|(ti, _)| ti)
+        .collect();
+    let mut search = Search {
+        model: &model,
+        usage,
+        jump_transitions,
+        weighted,
+        incident,
+        use_union: pair > 1,
+        best: None,
+        nodes: 0,
+        budget: limits.node_budget.max(1),
+        exhausted: false,
+    };
+    for seed in seeds {
+        search.offer_seed(seed);
+    }
+    let decisions = vec![EdgeDecision::Undecided; model.transitions.len()];
+    search.node(&classes, &decisions);
+
+    let (optimum, placement) = search
+        .best
+        .expect("root node always materializes a feasible candidate");
+    let solution = ExactSolution {
+        optimum,
+        placement,
+        nodes: search.nodes,
+    };
+    if search.exhausted {
+        ExactOutcome::Bounded(solution)
+    } else {
+        ExactOutcome::Solved(solution)
+    }
+}

@@ -1,0 +1,205 @@
+//! Differential test: on tiny random CFGs the branch-and-bound solver
+//! must agree exactly with brute-force enumeration of every decision
+//! variable, on every registered target (plus the unregistered "tiny"
+//! one) and under both cost models.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use spillopt_core::{
+    check_placement, placement_cost_with, CalleeSavedUsage, CostModel, SpillCostModel,
+};
+use spillopt_exact::{brute_force_optimum, solve_exact, ExactLimits, ExactOutcome};
+use spillopt_ir::{Cfg, Cond, Function, FunctionBuilder, PReg, Reg};
+use spillopt_targets::{registry, spec_by_name};
+
+fn random_function_attempt(rng: &mut SmallRng, num_blocks: usize) -> Function {
+    let mut fb = FunctionBuilder::new("tiny", 0);
+    let blocks: Vec<_> = (0..num_blocks).map(|_| fb.create_block(None)).collect();
+    for (i, &b) in blocks.iter().enumerate() {
+        fb.switch_to(b);
+        let x = fb.li(i as i64);
+        // The last block always returns so an exit exists; others pick a
+        // random terminator (possibly forming loops or critical edges).
+        let choice = if i + 1 == num_blocks {
+            0
+        } else {
+            rng.gen_range(0..4)
+        };
+        match choice {
+            0 => fb.ret(None),
+            1 => fb.jump(blocks[rng.gen_range(0..num_blocks)]),
+            _ => {
+                let taken = rng.gen_range(0..num_blocks);
+                let fallthrough = rng.gen_range(0..num_blocks);
+                if taken == fallthrough {
+                    fb.jump(blocks[taken]);
+                } else {
+                    fb.branch(
+                        Cond::Lt,
+                        Reg::Virt(x),
+                        Reg::Virt(x),
+                        blocks[taken],
+                        blocks[fallthrough],
+                    );
+                }
+            }
+        }
+    }
+    fb.finish()
+}
+
+/// Whether every block is reachable from entry and reaches an exit —
+/// the invariant the IR verifier enforces on real input (and that the
+/// random-walk profiler's termination depends on).
+fn cfg_is_valid(cfg: &Cfg) -> bool {
+    let n = cfg.num_blocks();
+    let mut from_entry = vec![false; n];
+    let mut stack = vec![cfg.entry()];
+    from_entry[cfg.entry().index()] = true;
+    while let Some(b) = stack.pop() {
+        for &e in cfg.succ_edges(b) {
+            let to = cfg.edge(e).to;
+            if !from_entry[to.index()] {
+                from_entry[to.index()] = true;
+                stack.push(to);
+            }
+        }
+    }
+    let mut to_exit = vec![false; n];
+    let mut stack: Vec<_> = cfg.exit_blocks().to_vec();
+    for &b in cfg.exit_blocks() {
+        to_exit[b.index()] = true;
+    }
+    while let Some(b) = stack.pop() {
+        for p in cfg.pred_blocks(b) {
+            if !to_exit[p.index()] {
+                to_exit[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    (0..n).all(|b| from_entry[b] && to_exit[b])
+}
+
+/// Draws random functions until one satisfies the verifier's
+/// reachability invariant (rejection sampling keeps the shapes as
+/// adversarial as the unconstrained generator allows).
+fn random_function(rng: &mut SmallRng, num_blocks: usize) -> Function {
+    for _ in 0..200 {
+        let func = random_function_attempt(rng, num_blocks);
+        if cfg_is_valid(&Cfg::compute(&func)) {
+            return func;
+        }
+    }
+    panic!("no valid {num_blocks}-block CFG in 200 draws");
+}
+
+fn random_usage(rng: &mut SmallRng, num_blocks: usize, num_regs: usize) -> CalleeSavedUsage {
+    let mut usage = CalleeSavedUsage::new();
+    for r in 0..num_regs {
+        let reg = PReg::new(11 + r as u8);
+        for b in 0..num_blocks {
+            if rng.gen_bool(0.4) {
+                usage.set_busy(reg, spillopt_ir::BlockId::from_index(b), num_blocks);
+            }
+        }
+    }
+    usage
+}
+
+fn specs() -> Vec<(String, SpillCostModel)> {
+    let mut specs: Vec<(String, SpillCostModel)> = registry()
+        .into_iter()
+        .map(|s| (s.name.to_string(), s.costs))
+        .collect();
+    if let Some(tiny) = spec_by_name("tiny") {
+        specs.push((tiny.name.to_string(), tiny.costs));
+    }
+    specs
+}
+
+/// Runs the differential comparison for one generated case; returns how
+/// many (target, model) combinations were actually brute-forced.
+fn compare_case(seed: u64, num_blocks: usize, num_regs: usize, max_states: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let func = random_function(&mut rng, num_blocks);
+    let cfg = Cfg::compute(&func);
+    let usage = random_usage(&mut rng, num_blocks, num_regs);
+    let walks = rng.gen_range(0..60);
+    let profile = spillopt_profile::random_walk_profile(&cfg, walks, 24, seed ^ 0x5eed);
+
+    let limits = ExactLimits {
+        node_budget: 500_000,
+        ..ExactLimits::default()
+    };
+    let mut compared = 0;
+    for (name, costs) in specs() {
+        for model in [CostModel::ExecutionCount, CostModel::JumpEdge] {
+            let Some((brute_cost, _)) =
+                brute_force_optimum(&cfg, &usage, &profile, model, &costs, max_states)
+            else {
+                continue;
+            };
+            let outcome = solve_exact(&cfg, &usage, &profile, model, &costs, &[], &limits);
+            let sol = match outcome {
+                ExactOutcome::Solved(s) => s,
+                other => panic!(
+                    "seed {seed} target {name} model {model:?}: \
+                     tiny case not solved exactly: {other:?}"
+                ),
+            };
+            assert_eq!(
+                sol.optimum.raw(),
+                brute_cost.raw(),
+                "seed {seed} target {name} model {model:?}: solver found {} \
+                 but exhaustive enumeration found {} (after {} nodes)",
+                sol.optimum,
+                brute_cost,
+                sol.nodes,
+            );
+            assert!(
+                check_placement(&cfg, &usage, &sol.placement).is_empty(),
+                "seed {seed} target {name} model {model:?}: optimal placement invalid"
+            );
+            assert_eq!(
+                placement_cost_with(model, &costs, &cfg, &profile, &sol.placement).raw(),
+                sol.optimum.raw(),
+                "seed {seed} target {name} model {model:?}: claimed optimum does not \
+                 price back to the placement's cost"
+            );
+            compared += 1;
+        }
+    }
+    compared
+}
+
+#[test]
+fn one_register_up_to_six_blocks() {
+    let mut compared = 0;
+    for seed in 0..40 {
+        let num_blocks = 2 + (seed as usize % 5);
+        compared += compare_case(1000 + seed, num_blocks, 1, 1 << 18);
+    }
+    assert!(compared > 200, "only {compared} comparisons ran");
+}
+
+#[test]
+fn two_registers_up_to_four_blocks() {
+    let mut compared = 0;
+    for seed in 0..24 {
+        let num_blocks = 2 + (seed as usize % 3);
+        compared += compare_case(2000 + seed, num_blocks, 2, 1 << 19);
+    }
+    assert!(compared > 100, "only {compared} comparisons ran");
+}
+
+/// Three registers on two-block CFGs: with AArch64's `pair_size == 2`
+/// this exercises the pairing branch-and-bound (`R > pair_size`), where
+/// `ceil(n / 2)` couples registers non-linearly.
+#[test]
+fn three_registers_two_blocks() {
+    let mut compared = 0;
+    for seed in 0..30 {
+        compared += compare_case(3000 + seed, 2, 3, 1 << 19);
+    }
+    assert!(compared > 150, "only {compared} comparisons ran");
+}

@@ -1,8 +1,9 @@
 //! # spillopt-stress
 //!
 //! Differential stress subsystem for the *spillopt* reproduction of Lupo
-//! & Wilken (CGO 2006): a seeded random CFG/module generator plus three
-//! interpreter-backed oracles, run across all four placement techniques
+//! & Wilken (CGO 2006): a seeded random CFG/module generator plus four
+//! oracles (three interpreter-backed, one backed by the exact
+//! branch-and-bound solver), run across all four placement techniques
 //! and every registered backend target.
 //!
 //! The paper's correctness claims — placements preserve the calling
@@ -37,7 +38,10 @@ pub mod oracle;
 pub use closed::is_closed;
 pub use gen::{gen_case, gen_case_scaled, StressCase};
 pub use minimize::minimize;
-pub use oracle::{check_case, CaseReport, FailureKind, OracleFailure, STRATEGIES};
+pub use oracle::{
+    check_case, check_case_with, CaseReport, ExactOptions, ExactStats, FailureKind, GapHist,
+    ModelGapStats, OracleFailure, DEFAULT_GAP_PERCENT, STRATEGIES,
+};
 
 use spillopt_ir::display;
 use spillopt_targets::TargetSpec;
@@ -129,20 +133,67 @@ pub fn check_case_caught(
     runs: &[(spillopt_ir::FuncId, Vec<i64>)],
     spec: &TargetSpec,
 ) -> Result<CaseReport, OracleFailure> {
+    check_case_caught_with(module, runs, spec, None)
+}
+
+/// As [`check_case_with`], but converting pipeline panics into
+/// [`FailureKind::Panic`] failures instead of unwinding.
+pub fn check_case_caught_with(
+    module: &spillopt_ir::Module,
+    runs: &[(spillopt_ir::FuncId, Vec<i64>)],
+    spec: &TargetSpec,
+    exact: Option<&ExactOptions>,
+) -> Result<CaseReport, OracleFailure> {
     with_quiet_panics(|| {
-        panic::catch_unwind(AssertUnwindSafe(|| check_case(module, runs, spec))).unwrap_or_else(
-            |payload| {
-                Err(OracleFailure {
-                    kind: FailureKind::Panic,
-                    strategy: None,
-                    detail: panic_message(payload.as_ref()),
-                })
-            },
-        )
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            check_case_with(module, runs, spec, exact)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(OracleFailure {
+                kind: FailureKind::Panic,
+                strategy: None,
+                detail: panic_message(payload.as_ref()),
+            })
+        })
     })
 }
 
-/// Generates the case for `(spec, seed)`, runs all three oracles on it,
+/// Accepts a minimized case only when it still fails with the original
+/// failure's kind *and* strategy; otherwise falls back to the original
+/// case.
+///
+/// Every reduction [`minimize()`] keeps was individually re-checked, but
+/// flaky pipelines (fuel-dependent panics, allocator non-convergence)
+/// can still re-classify between the last probe and the final report.
+/// Reporting the *minimized module* with the *original failure* — what
+/// `run_seed` used to do — produced counterexamples that do not
+/// reproduce their own headline; the fallback keeps module and failure
+/// consistent by construction.
+pub fn confirm_minimized(
+    original: (spillopt_ir::Module, Vec<(spillopt_ir::FuncId, Vec<i64>)>),
+    original_failure: OracleFailure,
+    minimized: (spillopt_ir::Module, Vec<(spillopt_ir::FuncId, Vec<i64>)>),
+    recheck: Result<CaseReport, OracleFailure>,
+) -> (
+    spillopt_ir::Module,
+    Vec<(spillopt_ir::FuncId, Vec<i64>)>,
+    OracleFailure,
+) {
+    let (kind, strategy) = (original_failure.kind, original_failure.strategy);
+    let confirmed = match recheck {
+        Err(g) if g.kind == kind && g.strategy == strategy => {
+            // Adopt the re-derived detail: it describes the module that
+            // will actually be printed.
+            (minimized.0, minimized.1, g)
+        }
+        _ => (original.0, original.1, original_failure),
+    };
+    debug_assert_eq!(confirmed.2.kind, kind);
+    debug_assert_eq!(confirmed.2.strategy, strategy);
+    confirmed
+}
+
+/// Generates the case for `(spec, seed)`, runs the oracle battery on it,
 /// and — on failure — minimizes the counterexample before reporting.
 ///
 /// This is the unit of work the driver's `spillopt stress` subcommand
@@ -152,6 +203,19 @@ pub fn check_case_caught(
 ///
 /// Returns the minimized [`SeedFailure`] if any oracle fires.
 pub fn run_seed(spec: &TargetSpec, seed: u64) -> Result<CaseReport, Box<SeedFailure>> {
+    run_seed_with(spec, seed, None)
+}
+
+/// As [`run_seed`], optionally enabling the optimality-gap oracle.
+///
+/// # Errors
+///
+/// Returns the minimized [`SeedFailure`] if any oracle fires.
+pub fn run_seed_with(
+    spec: &TargetSpec,
+    seed: u64,
+    exact: Option<&ExactOptions>,
+) -> Result<CaseReport, Box<SeedFailure>> {
     let make_failure = |failure: OracleFailure,
                         module: &spillopt_ir::Module,
                         runs: &[(spillopt_ir::FuncId, Vec<i64>)]| {
@@ -181,7 +245,7 @@ pub fn run_seed(spec: &TargetSpec, seed: u64) -> Result<CaseReport, Box<SeedFail
         }
     };
     let case = gen_case(&target, seed);
-    match check_case_caught(&case.module, &case.runs, spec) {
+    match check_case_caught_with(&case.module, &case.runs, spec, exact) {
         Ok(report) => Ok(report),
         Err(failure) => {
             // Shrink while the case stays a well-defined differential
@@ -191,19 +255,16 @@ pub fn run_seed(spec: &TargetSpec, seed: u64) -> Result<CaseReport, Box<SeedFail
             let (module, runs) = minimize(&case.module, &case.runs, |m, r| {
                 closed::is_closed(m, &target)
                     && matches!(
-                        check_case_caught(m, r, spec),
+                        check_case_caught_with(m, r, spec, exact),
                         Err(g) if g.kind == failure.kind && g.strategy == failure.strategy
                     )
             });
-            // Re-check the minimized case so the reported detail (costs,
-            // function names) describes the module actually printed, not
-            // the pre-minimization one. Every kept reduction preserved
-            // the failure, so the fallback only fires when no reduction
-            // was kept at all.
-            let failure = match check_case_caught(&module, &runs, spec) {
-                Err(g) if g.kind == failure.kind => g,
-                _ => failure,
-            };
+            // Re-check so the reported detail (costs, function names)
+            // describes the module actually printed; fall back to the
+            // unminimized case if the failure's identity drifted.
+            let recheck = check_case_caught_with(&module, &runs, spec, exact);
+            let (module, runs, failure) =
+                confirm_minimized((case.module, case.runs), failure, (module, runs), recheck);
             Err(make_failure(failure, &module, &runs))
         }
     }
@@ -212,6 +273,7 @@ pub fn run_seed(spec: &TargetSpec, seed: u64) -> Result<CaseReport, Box<SeedFail
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spillopt_ir::Module;
 
     #[test]
     fn run_seed_passes_on_the_default_target() {
@@ -230,5 +292,68 @@ mod tests {
         let r = with_quiet_panics(|| std::panic::catch_unwind(|| panic!("expected")).is_err());
         assert!(r);
         assert!(!QUIET.with(Cell::get));
+    }
+
+    fn fake_failure(kind: FailureKind, strategy: Option<&'static str>) -> OracleFailure {
+        OracleFailure {
+            kind,
+            strategy,
+            detail: "synthetic".to_string(),
+        }
+    }
+
+    /// The reported module must reproduce the reported failure: a
+    /// minimization whose final re-check drifts to a different kind (or
+    /// stops failing entirely — e.g. fuel-dependent flakiness) must fall
+    /// back to the original case instead of pairing the minimized
+    /// module with the stale original failure.
+    #[test]
+    fn confirm_minimized_falls_back_when_the_failure_kind_drifts() {
+        let original = Module::new("original");
+        let minimized = Module::new("minimized");
+        let orig_fail = fake_failure(FailureKind::NeverWorse, Some(STRATEGIES[3]));
+
+        // Drifted kind: keep the original module and failure.
+        let (m, _, f) = confirm_minimized(
+            (original.clone(), vec![]),
+            orig_fail.clone(),
+            (minimized.clone(), vec![]),
+            Err(fake_failure(FailureKind::Semantic, Some(STRATEGIES[3]))),
+        );
+        assert_eq!(m.name(), "original");
+        assert_eq!(f.kind, FailureKind::NeverWorse);
+
+        // Same kind, drifted strategy: also a different failure.
+        let (m, _, f) = confirm_minimized(
+            (original.clone(), vec![]),
+            orig_fail.clone(),
+            (minimized.clone(), vec![]),
+            Err(fake_failure(FailureKind::NeverWorse, Some(STRATEGIES[0]))),
+        );
+        assert_eq!(m.name(), "original");
+        assert_eq!(f.strategy, Some(STRATEGIES[3]));
+
+        // No longer failing at all: fall back.
+        let (m, _, f) = confirm_minimized(
+            (original.clone(), vec![]),
+            orig_fail.clone(),
+            (minimized.clone(), vec![]),
+            Ok(CaseReport::default()),
+        );
+        assert_eq!(m.name(), "original");
+        assert_eq!(f.detail, "synthetic");
+
+        // Preserved identity: keep the minimized module and adopt the
+        // re-derived detail.
+        let mut fresh = fake_failure(FailureKind::NeverWorse, Some(STRATEGIES[3]));
+        fresh.detail = "re-derived".to_string();
+        let (m, _, f) = confirm_minimized(
+            (original, vec![]),
+            orig_fail,
+            (minimized, vec![]),
+            Err(fresh),
+        );
+        assert_eq!(m.name(), "minimized");
+        assert_eq!(f.detail, "re-derived");
     }
 }
