@@ -100,12 +100,24 @@ impl<'a> SuiteInputs<'a> {
     /// The one-call path: computes every shared analysis (SCCs, PST,
     /// dense CFG tables) from `cfg`.
     pub fn compute(cfg: &Cfg, usage: &'a CalleeSavedUsage, profile: &'a EdgeProfile) -> Self {
+        let cyclic = {
+            let _s = spillopt_obs::span("sccs");
+            Slice::Owned(sccs(cfg))
+        };
+        let pst = {
+            let _s = spillopt_obs::span("pst");
+            Val::Owned(Pst::compute(cfg))
+        };
+        let derived = {
+            let _s = spillopt_obs::span("derived_cfg");
+            Val::Owned(DerivedCfg::compute(cfg))
+        };
         SuiteInputs {
             usage,
             profile,
-            cyclic: Slice::Owned(sccs(cfg)),
-            pst: Val::Owned(Pst::compute(cfg)),
-            derived: Val::Owned(DerivedCfg::compute(cfg)),
+            cyclic,
+            pst,
+            derived,
         }
     }
 
@@ -230,67 +242,88 @@ pub fn run_suite(
     let derived = inputs.derived();
     let costs = &options.costs;
 
-    let entry_exit = entry_exit_placement(cfg, usage);
-    let chow = crate::chow::chow_shrink_wrap_derived(cfg, derived, inputs.cyclic(), usage);
+    let entry_exit = {
+        let _s = spillopt_obs::span("place_entry_exit");
+        entry_exit_placement(cfg, usage)
+    };
+    let chow = {
+        let _s = spillopt_obs::span("place_chow");
+        crate::chow::chow_shrink_wrap_derived(cfg, derived, inputs.cyclic(), usage)
+    };
     // Both hierarchical runs start from the same initial solution;
     // compute it once and seed both (identical decisions — the initial
     // sets do not depend on the cost model).
-    let initial = crate::modified::modified_shrink_wrap_derived(cfg, derived, usage);
-    let hierarchical_exec = hierarchical_placement_seeded(
-        cfg,
-        inputs.pst(),
-        usage,
-        profile,
-        CostModel::ExecutionCount,
-        costs,
-        &chow,
-        initial.clone(),
-    );
-    let hierarchical_jump = hierarchical_placement_seeded(
-        cfg,
-        inputs.pst(),
-        usage,
-        profile,
-        CostModel::JumpEdge,
-        costs,
-        &chow,
-        initial,
-    );
+    let initial = {
+        let _s = spillopt_obs::span("place_hier_seed");
+        crate::modified::modified_shrink_wrap_derived(cfg, derived, usage)
+    };
+    let hierarchical_exec = {
+        let _s = spillopt_obs::span("place_hier_exec");
+        hierarchical_placement_seeded(
+            cfg,
+            inputs.pst(),
+            usage,
+            profile,
+            CostModel::ExecutionCount,
+            costs,
+            &chow,
+            initial.clone(),
+        )
+    };
+    let hierarchical_jump = {
+        let _s = spillopt_obs::span("place_hier_jump");
+        hierarchical_placement_seeded(
+            cfg,
+            inputs.pst(),
+            usage,
+            profile,
+            CostModel::JumpEdge,
+            costs,
+            &chow,
+            initial,
+        )
+    };
 
-    for (technique, p) in [
-        ("entry_exit", &entry_exit),
-        ("chow", &chow),
-        ("hierarchical_exec", &hierarchical_exec.placement),
-        ("hierarchical_jump", &hierarchical_jump.placement),
-    ] {
-        let errors = check_placement(cfg, usage, p);
-        if !errors.is_empty() {
-            return Err(SuiteError {
-                technique,
-                errors,
-                placement: p.clone(),
-            });
+    {
+        let _s = spillopt_obs::span("validate");
+        for (technique, p) in [
+            ("entry_exit", &entry_exit),
+            ("chow", &chow),
+            ("hierarchical_exec", &hierarchical_exec.placement),
+            ("hierarchical_jump", &hierarchical_jump.placement),
+        ] {
+            let errors = check_placement(cfg, usage, p);
+            if !errors.is_empty() {
+                return Err(SuiteError {
+                    technique,
+                    errors,
+                    placement: p.clone(),
+                });
+            }
         }
     }
 
-    let predicted = [
-        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &entry_exit),
-        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &chow),
-        placement_cost_with(
-            CostModel::JumpEdge,
-            costs,
-            cfg,
-            profile,
-            &hierarchical_exec.placement,
-        ),
-        placement_cost_with(
-            CostModel::JumpEdge,
-            costs,
-            cfg,
-            profile,
-            &hierarchical_jump.placement,
-        ),
-    ];
+    let predicted = {
+        let _s = spillopt_obs::span("price");
+        [
+            placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &entry_exit),
+            placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &chow),
+            placement_cost_with(
+                CostModel::JumpEdge,
+                costs,
+                cfg,
+                profile,
+                &hierarchical_exec.placement,
+            ),
+            placement_cost_with(
+                CostModel::JumpEdge,
+                costs,
+                cfg,
+                profile,
+                &hierarchical_jump.placement,
+            ),
+        ]
+    };
 
     Ok(PlacementSuite {
         entry_exit,

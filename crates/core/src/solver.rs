@@ -94,6 +94,7 @@ pub fn chow_grow_all(
     cyclic: &[CyclicRegion],
     w: &mut RegWords,
 ) {
+    let _s = spillopt_obs::span("solver_fixpoint");
     let n = derived.num_blocks();
     // The critical jump edges, from the derived edge tables.
     let mut jump_edges: Vec<(u32, u32)> = Vec::new();
@@ -101,8 +102,10 @@ pub fn chow_grow_all(
         jump_edges.push((derived.edge_from[e], derived.edge_to[e]));
     }
 
+    let mut iterations: u64 = 0;
     loop {
         let mut changed = false;
+        iterations += 1;
 
         // 1. Loop rule.
         for region in cyclic {
@@ -179,6 +182,7 @@ pub fn chow_grow_all(
         }
 
         if !changed {
+            spillopt_obs::count("solver_fixpoint_iters", iterations);
             return;
         }
     }

@@ -19,6 +19,15 @@
 //! same path every consumer uses — with analysis reuse disabled
 //! ([`crate::OptimizerBuilder::reuse_analyses`]`(false)`): the bench
 //! times the cold pipeline, never arena lookups.
+//!
+//! After the timed arms, a separate **non-timed instrumented profiling
+//! pass** re-runs the corpus under an active [`spillopt_obs`] recording
+//! — once cold and once warm through an arena-enabled session, so the
+//! trace carries both `arena_miss` and `arena_hit` counters. The timed
+//! arms themselves always run with the recorder disabled (one relaxed
+//! atomic load per probe); the pass feeds the `phases`/`counters`
+//! sections of the JSON record and, via `spillopt bench --trace FILE`,
+//! a Chrome Trace Event file.
 
 use crate::driver::{DriverConfig, DriverError, ProfileSource};
 use crate::json::Json;
@@ -102,6 +111,11 @@ pub struct BenchOutcome {
     pub functions: usize,
     /// Per-target measurements, in registry order.
     pub targets: Vec<TargetBench>,
+    /// Trace collected by the non-timed instrumented profiling pass
+    /// (cold + warm arena runs over the same corpus). Feeds the
+    /// `phases`/`counters` JSON sections and `--trace` output; never
+    /// part of the timed arms.
+    pub trace: spillopt_obs::Trace,
 }
 
 impl BenchOutcome {
@@ -125,9 +139,27 @@ impl BenchOutcome {
         self.targets.iter().all(|t| t.reports_identical)
     }
 
-    /// The JSON record (`BENCH_*.json` schema, version 1).
+    /// The JSON record (`BENCH_*.json` schema, version 2; version 2
+    /// added the `phases`/`counters` profiling sections).
     pub fn to_json(&self) -> Json {
         let ms = |ns: u128| Json::Float(ns as f64 / 1e6);
+        let metrics = self.trace.metrics();
+        let mut phases = Vec::new();
+        for p in &metrics.phases {
+            phases.push(
+                Json::obj()
+                    .with("phase", Json::str(p.name))
+                    .with("count", Json::UInt(p.count))
+                    .with("total_ms", ms(p.total_ns as u128))
+                    .with("p50_ms", ms(p.p50_ns as u128))
+                    .with("p95_ms", ms(p.p95_ns as u128))
+                    .with("max_ms", ms(p.max_ns as u128)),
+            );
+        }
+        let mut counters = Json::obj();
+        for (name, total) in &metrics.counters {
+            counters = counters.with(name, Json::UInt(*total));
+        }
         let mut targets = Vec::new();
         for t in &self.targets {
             targets.push(
@@ -144,7 +176,7 @@ impl BenchOutcome {
         }
         Json::obj()
             .with("bench", Json::str("module_optimize"))
-            .with("schema_version", Json::UInt(1))
+            .with("schema_version", Json::UInt(2))
             .with(
                 "corpus",
                 Json::obj()
@@ -161,6 +193,8 @@ impl BenchOutcome {
             .with("total_reference_ms", ms(self.total_reference_ns()))
             .with("speedup", Json::Float(self.speedup()))
             .with("reports_identical", Json::Bool(self.reports_identical()))
+            .with("phases", Json::Array(phases))
+            .with("counters", counters)
     }
 }
 
@@ -256,12 +290,36 @@ pub fn run_bench(config: &BenchConfig) -> Result<BenchOutcome, DriverError> {
             reports_identical,
         });
     }
+
+    // Non-timed instrumented profiling pass: the same corpus through an
+    // arena-*enabled* session, cold then warm, under an active
+    // recording. Cold runs populate the trace with `arena_miss` and
+    // every core-phase span; warm runs add `arena_hit` lookups. This
+    // pass is deliberately outside the timed region — its wall-clock
+    // never touches the speedup numbers.
+    let recording = spillopt_obs::Recording::start();
+    for spec in &specs {
+        let corpus = corpus_for(spec, config);
+        let session = OptimizerBuilder::new()
+            .target_spec(spec.clone())
+            .threads(config.threads)
+            .reuse_analyses(true)
+            .build()?;
+        for _ in 0..2 {
+            for module in &corpus {
+                std::hint::black_box(&session.optimize(module)?);
+            }
+        }
+    }
+    let trace = recording.finish();
+
     Ok(BenchOutcome {
         config: config.clone(),
         threads: effective_threads,
         cases: corpus_cases,
         functions: corpus_functions,
         targets,
+        trace,
     })
 }
 
@@ -286,13 +344,35 @@ mod tests {
         let json = outcome.to_json().to_compact();
         for field in [
             r#""bench":"module_optimize""#,
-            r#""schema_version":1"#,
+            r#""schema_version":2"#,
             r#""corpus""#,
             r#""speedup""#,
             r#""threads":1"#,
             r#""reports_identical":true"#,
+            r#""phases":["#,
+            r#""counters":{"#,
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // The profiling pass ran cold+warm with the arena on, so both
+        // lookup outcomes and the core phases must appear. (Presence
+        // checks only: the recorder is process-global, so a concurrent
+        // test in this binary may add events — never remove them.)
+        for counter in ["arena_hit", "arena_miss", "solver_fixpoint_iters"] {
+            assert!(
+                outcome
+                    .trace
+                    .counters
+                    .iter()
+                    .any(|(n, v)| *n == counter && *v > 0),
+                "profiling pass missing counter {counter}"
+            );
+        }
+        for phase in ["cfg", "liveness", "solver_fixpoint", "validate", "function"] {
+            assert!(
+                outcome.trace.spans.iter().any(|s| s.name == phase),
+                "profiling pass missing phase span {phase}"
+            );
         }
     }
 

@@ -56,9 +56,18 @@ impl AnalysisCache {
     /// stable across register allocation, so a profile measured on the
     /// virtual function is valid for the allocated one).
     pub fn compute(func: &Function, target: &Target, profile: EdgeProfile) -> Self {
-        let cfg = Cfg::compute(func);
-        let liveness = Liveness::compute(func, &cfg, target);
-        let usage = CalleeSavedUsage::from_liveness(func, target, &liveness);
+        let cfg = {
+            let _s = spillopt_obs::span("cfg");
+            Cfg::compute(func)
+        };
+        let liveness = {
+            let _s = spillopt_obs::span("liveness");
+            Liveness::compute(func, &cfg, target)
+        };
+        let usage = {
+            let _s = spillopt_obs::span("callee_saved_usage");
+            CalleeSavedUsage::from_liveness(func, target, &liveness)
+        };
         AnalysisCache {
             cfg,
             profile,
@@ -82,19 +91,28 @@ impl AnalysisCache {
 
     /// Strongly connected components — Chow's artificial loop flow.
     pub fn cyclic(&self) -> &[CyclicRegion] {
-        self.cyclic.get_or_init(|| sccs(&self.cfg))
+        self.cyclic.get_or_init(|| {
+            let _s = spillopt_obs::span("sccs");
+            sccs(&self.cfg)
+        })
     }
 
     /// Program Structure Tree — the hierarchical traversal.
     pub fn pst(&self) -> &Pst {
-        self.pst.get_or_init(|| Pst::compute(&self.cfg))
+        self.pst.get_or_init(|| {
+            let _s = spillopt_obs::span("pst");
+            Pst::compute(&self.cfg)
+        })
     }
 
     /// Dense derived CFG tables (reverse postorder, pred/succ CSRs,
     /// edge-indexed classification bits) — computed once, reused by the
     /// bit-parallel solver and every sweep in the placement suite.
     pub fn derived(&self) -> &DerivedCfg {
-        self.derived.get_or_init(|| DerivedCfg::compute(&self.cfg))
+        self.derived.get_or_init(|| {
+            let _s = spillopt_obs::span("derived_cfg");
+            DerivedCfg::compute(&self.cfg)
+        })
     }
 
     /// Dominators.

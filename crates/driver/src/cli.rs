@@ -1,12 +1,13 @@
 //! The `spillopt` command-line interface.
 //!
 //! ```text
-//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
-//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
-//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
-//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT]
+//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--trace FILE] [--out FILE]
+//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--json]
+//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--compact] [--out FILE]
+//! spillopt stats    (--bench NAME | --input FILE) [--target T] [--threads N] [--techniques LIST] [--trace FILE] [--json] [--out FILE]
+//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--trace FILE]
 //! spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
-//! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
+//! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N] [--trace FILE]
 //! spillopt list-benches
 //! spillopt list-targets
 //! ```
@@ -18,6 +19,11 @@
 //!   `--target all` compares every registered backend target instead.
 //! * `report` emits the full deterministic JSON report; `--target all`
 //!   adds the cross-target comparison section.
+//! * `stats` runs the pipeline under the [`spillopt_obs`] recorder
+//!   (twice — cold and warm through the analysis arena) and prints the
+//!   aggregated per-phase timing table (count / total / p50 / p95 /
+//!   max), the counter totals, and the session's arena and pool-worker
+//!   statistics; `--json` emits the machine-readable form.
 //! * `stress` runs the differential stress subsystem: seeded random
 //!   modules through all four placements on the chosen target(s),
 //!   checked by the interpreter oracles, with minimized counterexample
@@ -32,11 +38,17 @@
 //!   every registered target, asserts the reports are byte-identical,
 //!   and emits the perf-trajectory JSON record (`BENCH_*.json`).
 //!
+//! Every pipeline subcommand accepts `--trace FILE`: the run executes
+//! under an active [`spillopt_obs`] recording and the collected trace
+//! is written as Chrome Trace Event JSON, loadable directly in Perfetto
+//! or `chrome://tracing`. (`bench` writes the trace of its dedicated
+//! profiling pass, never of the timed arms.)
+//!
 //! Inputs are either a generated SPEC stand-in (`--bench`, profiled on
 //! its training workload) or an IR text file (`--input`, profiled
-//! synthetically). Argument parsing is hand-rolled: the surface is six
-//! subcommands and a handful of flags, not worth a dependency the
-//! offline build would have to shim.
+//! synthetically). Argument parsing is hand-rolled: the surface is a
+//! handful of subcommands and flags, not worth a dependency the offline
+//! build would have to shim.
 
 use crate::bench::{run_bench, BenchConfig};
 use crate::driver::{DriverError, ProfileSource, Strategy};
@@ -47,6 +59,7 @@ use crate::stress::{run_stress, StressConfig};
 use spillopt_ir::{display, parse_module_traced, Module};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::io::Write;
+use std::time::Instant;
 
 /// Entry point for the binary: parses `std::env::args`, runs, maps
 /// errors to stderr + exit code 1 (2 for usage errors).
@@ -68,12 +81,13 @@ pub fn run_main() -> i32 {
 
 const USAGE: &str = "\
 usage:
-  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--out FILE]
-  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--json]
-  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--compact] [--out FILE]
-  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT]
+  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--trace FILE] [--out FILE]
+  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--json]
+  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--compact] [--out FILE]
+  spillopt stats    (--bench NAME | --input FILE) [--target T] [--threads N] [--techniques LIST] [--trace FILE] [--json] [--out FILE]
+  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--trace FILE]
   spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
-  spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N]
+  spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N] [--trace FILE]
   spillopt list-benches
   spillopt list-targets
 
@@ -82,10 +96,18 @@ strategies: baseline | shrinkwrap | hier-exec | hier-jump | best (default)
 (and `optimize` may apply): `all` (default) or a comma-separated list
 of strategy names.
 --progress streams one stderr line per function as it retires from the
-worker pool.
+worker pool, plus a final summary line (functions retired, warm arena
+hits, elapsed wall-clock) once the module is done.
+--trace FILE records the run with the spillopt-obs recorder and writes
+a Chrome Trace Event JSON file (open in Perfetto or chrome://tracing);
+`bench` traces its dedicated profiling pass, never the timed arms.
 --target names a registered backend (see list-targets; default pa-risc-like);
 `--target all` fans compare/report out across every registered target.
 --threads 0 uses all cores (default); --threads 1 is the serial reference.
+`stats` runs the pipeline twice (cold, then warm through the analysis
+arena) under the recorder and prints the per-phase timing table
+(count/total/p50/p95/max), counter totals, and arena/pool statistics;
+--json emits the machine-readable form.
 `stress` fuzzes seeded random modules through all four placements on the
 chosen target(s) (default all), checking the interpreter-backed oracles;
 failures are minimized and printed. --exact adds the optimality-gap
@@ -120,6 +142,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "optimize" => optimize(&parse_opts("optimize", &rest)?, out),
         "compare" => compare(&parse_opts("compare", &rest)?, out),
         "report" => report(&parse_opts("report", &rest)?, out),
+        "stats" => stats(&parse_opts("stats", &rest)?, out),
         "stress" => stress(&rest, out),
         "gap" => gap(&rest, out),
         "bench" => bench(&rest, out),
@@ -185,6 +208,7 @@ struct Opts {
     strategy: Option<Strategy>,
     techniques: TechniqueSet,
     progress: bool,
+    trace: Option<String>,
     out: Option<String>,
     json: bool,
     compact: bool,
@@ -208,6 +232,7 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--strategy",
             "--techniques",
             "--progress",
+            "--trace",
             "--out",
         ],
         "compare" => &[
@@ -217,6 +242,7 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--threads",
             "--techniques",
             "--progress",
+            "--trace",
             "--json",
         ],
         "report" => &[
@@ -226,7 +252,18 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--threads",
             "--techniques",
             "--progress",
+            "--trace",
             "--compact",
+            "--out",
+        ],
+        "stats" => &[
+            "--bench",
+            "--input",
+            "--target",
+            "--threads",
+            "--techniques",
+            "--trace",
+            "--json",
             "--out",
         ],
         _ => &[],
@@ -242,6 +279,7 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
         strategy: None,
         techniques: TechniqueSet::ALL,
         progress: false,
+        trace: None,
         out: None,
         json: false,
         compact: false,
@@ -265,13 +303,13 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
             "--target" => {
                 let v = value()?;
                 opts.target = match v {
-                    "all" if sub != "optimize" => TargetChoice::All,
-                    "all" => {
-                        return Err(usage(
-                            "`optimize` needs one concrete target (`--target all` only \
+                    "all" if sub == "optimize" || sub == "stats" => {
+                        return Err(usage(&format!(
+                            "`{sub}` needs one concrete target (`--target all` only \
                              applies to compare/report)",
-                        ))
+                        )))
                     }
+                    "all" => TargetChoice::All,
                     name => TargetChoice::One(parse_target(name)?),
                 }
             }
@@ -293,6 +331,7 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
                 opts.techniques = TechniqueSet::parse(value()?).map_err(|e| usage(&e))?;
             }
             "--progress" => opts.progress = true,
+            "--trace" => opts.trace = Some(value()?.to_string()),
             "--out" => opts.out = Some(value()?.to_string()),
             "--json" => opts.json = true,
             "--compact" => opts.compact = true,
@@ -378,6 +417,47 @@ fn progress_observer() -> impl Fn(&str, &str, &FunctionReport) + Sync {
     }
 }
 
+/// The `--progress` final summary: one stderr line once the module (or
+/// the whole cross-target fan-out) is done — it follows every streamed
+/// `function_retired` line because the session only returns after its
+/// `module_done` notification.
+fn progress_summary(
+    label: &str,
+    functions: usize,
+    stats: &crate::session::SessionStats,
+    started: Instant,
+) {
+    eprintln!(
+        "  [{label}] done: {functions} function(s) retired, {} warm arena hit(s), {:.1}ms",
+        stats.arena.hits,
+        started.elapsed().as_secs_f64() * 1e3
+    );
+}
+
+/// Runs `f` under an active [`spillopt_obs`] recording when `path` is
+/// set, writing the collected trace as Chrome Trace Event JSON. The
+/// trace is only written when the run succeeds; the recording itself is
+/// torn down either way.
+fn with_trace<T>(
+    path: Option<&str>,
+    f: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    let Some(path) = path else { return f() };
+    let recording = spillopt_obs::Recording::start();
+    let result = f();
+    let trace = recording.finish();
+    if result.is_ok() {
+        std::fs::write(path, trace.chrome_json())
+            .map_err(|e| CliError::Run(format!("cannot write trace `{path}`: {e}")))?;
+        eprintln!(
+            "trace: {} span(s), {} counter(s) -> {path}",
+            trace.spans.len(),
+            trace.counters.len()
+        );
+    }
+    result
+}
+
 fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, CliError> {
     let (module, profile) = load(opts, spec)?;
     let session = OptimizerBuilder::new()
@@ -389,12 +469,22 @@ fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, Cli
         .reuse_analyses(false)
         .build()
         .map_err(|e| CliError::Run(e.to_string()))?;
+    let started = Instant::now();
     let run = if opts.progress {
         session.optimize_observed(&module, &progress_observer())
     } else {
         session.optimize(&module)
     };
-    run.map_err(|e| CliError::Run(e.to_string()))
+    let run = run.map_err(|e| CliError::Run(e.to_string()))?;
+    if opts.progress {
+        progress_summary(
+            spec.name,
+            run.report.functions.len(),
+            &session.stats(),
+            started,
+        );
+    }
+    Ok(run)
 }
 
 /// Runs the pipeline on every registered target.
@@ -424,12 +514,18 @@ fn drive_all(opts: &Opts) -> Result<CrossTargetReport, CliError> {
             }
         }),
     };
+    let started = Instant::now();
     let report = if opts.progress {
         session.cross_target_observed(load_for, &progress_observer())
     } else {
         session.cross_target(load_for)
     };
-    report.map_err(|e| CliError::Run(e.to_string()))
+    let report = report.map_err(|e| CliError::Run(e.to_string()))?;
+    if opts.progress {
+        let functions: usize = report.targets.iter().map(|(_, r)| r.functions.len()).sum();
+        progress_summary("all", functions, &session.stats(), started);
+    }
+    Ok(report)
 }
 
 /// Writes `text` to `--out` or the primary stream.
@@ -445,7 +541,7 @@ fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
     let TargetChoice::One(spec) = &opts.target else {
         unreachable!("rejected in parse_opts");
     };
-    let run = drive(opts, spec)?;
+    let run = with_trace(opts.trace.as_deref(), || drive(opts, spec))?;
     let optimized = run.apply(opts.strategy);
     eprintln!(
         "optimized {} for {}: {} functions, {} placed, speedup {}",
@@ -463,7 +559,7 @@ fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
 fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
     match &opts.target {
         TargetChoice::One(spec) => {
-            let run = drive(opts, spec)?;
+            let run = with_trace(opts.trace.as_deref(), || drive(opts, spec))?;
             if opts.json {
                 emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))
             } else {
@@ -471,7 +567,7 @@ fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
         TargetChoice::All => {
-            let cross = drive_all(opts)?;
+            let cross = with_trace(opts.trace.as_deref(), || drive_all(opts))?;
             if opts.json {
                 emit(opts, out, &(cross.to_json().to_pretty() + "\n"))
             } else {
@@ -491,6 +587,7 @@ struct StressFlags {
     exact: bool,
     gap_percent: u64,
     json: bool,
+    trace: Option<String>,
     out: Option<String>,
 }
 
@@ -506,6 +603,7 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
         exact: sub == "gap",
         gap_percent: spillopt_stress::DEFAULT_GAP_PERCENT,
         json: false,
+        trace: None,
         out: None,
     };
     let mut seeds: Option<u64> = None;
@@ -551,10 +649,11 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
                     .map_err(|_| usage("--gap needs a percentage"))?
             }
             "--json" if sub == "gap" => flags.json = true,
+            "--trace" if sub == "stress" => flags.trace = Some(value()?.to_string()),
             "--out" if sub == "gap" => flags.out = Some(value()?.to_string()),
             other => {
                 let accepted = if sub == "stress" {
-                    "--seeds, --start, --target, --threads, --exact, --gap"
+                    "--seeds, --start, --target, --threads, --exact, --gap, --trace"
                 } else {
                     "--seeds, --start, --target, --threads, --gap, --json, --out"
                 };
@@ -610,7 +709,9 @@ fn stress_failures(
 /// See `spillopt-stress` for the machinery.
 fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_stress_flags("stress", rest)?;
-    let summary = run_stress(&stress_config(&flags));
+    let summary = with_trace(flags.trace.as_deref(), || {
+        Ok(run_stress(&stress_config(&flags)))
+    })?;
     writeln!(
         out,
         "stress: {} cases (seeds {}..{} x {} target(s)): {} functions, {} placed, \
@@ -698,6 +799,7 @@ fn bench(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let mut json = false;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(&flag) = it.next() {
         let mut value = || {
@@ -734,16 +836,24 @@ fn bench(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
                     .map_err(|_| usage("--threads needs a number"))?
             }
             "--out" => out_path = Some(value()?.to_string()),
+            "--trace" => trace_path = Some(value()?.to_string()),
             other => {
                 return Err(usage(&format!(
                     "`bench` does not accept `{other}` (accepted: --json, --out, --smoke, \
-                     --functions, --scale, --reps, --seed-start, --threads)"
+                     --functions, --scale, --reps, --seed-start, --threads, --trace)"
                 )))
             }
         }
     }
 
     let outcome = run_bench(&config).map_err(|e| CliError::Run(e.to_string()))?;
+    // The bench's trace comes from its dedicated instrumented profiling
+    // pass (see [`crate::bench`]) — the timed arms always run with the
+    // recorder disabled, so `--trace` can never perturb the numbers.
+    if let Some(path) = &trace_path {
+        std::fs::write(path, outcome.trace.chrome_json())
+            .map_err(|e| CliError::Run(format!("cannot write trace `{path}`: {e}")))?;
+    }
     eprintln!(
         "bench: {} functions x {} targets, {} rep(s): optimize {:.1}ms vs reference {:.1}ms          -> {:.2}x speedup, reports identical: {}",
         outcome.functions,
@@ -786,14 +896,146 @@ fn bench(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
-    let json = match &opts.target {
-        TargetChoice::One(spec) => drive(opts, spec)?.report.to_json(),
-        TargetChoice::All => drive_all(opts)?.to_json(),
-    };
+    let json = with_trace(opts.trace.as_deref(), || match &opts.target {
+        TargetChoice::One(spec) => Ok(drive(opts, spec)?.report.to_json()),
+        TargetChoice::All => Ok(drive_all(opts)?.to_json()),
+    })?;
     let text = if opts.compact {
         json.to_compact() + "\n"
     } else {
         json.to_pretty() + "\n"
+    };
+    emit(opts, out, &text)
+}
+
+/// The `stats` subcommand: the pipeline under the recorder, reported as
+/// an aggregated metrics snapshot instead of a timeline. The module
+/// runs twice through an arena-*enabled* session — cold, then warm — so
+/// the arena counters show both lookup outcomes and the phase table
+/// covers the cached path too.
+fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
+    let TargetChoice::One(spec) = &opts.target else {
+        unreachable!("rejected in parse_opts");
+    };
+    let (module, profile) = load(opts, spec)?;
+    let session = OptimizerBuilder::new()
+        .target_spec(spec.clone())
+        .profile(profile)
+        .threads(opts.threads)
+        .techniques(opts.techniques)
+        .reuse_analyses(true)
+        .build()
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let recording = spillopt_obs::Recording::start();
+    let started = Instant::now();
+    let mut functions = 0;
+    for _ in 0..2 {
+        let run = session
+            .optimize(&module)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+        functions = run.report.functions.len();
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let trace = recording.finish();
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, trace.chrome_json())
+            .map_err(|e| CliError::Run(format!("cannot write trace `{path}`: {e}")))?;
+    }
+    let metrics = trace.metrics();
+    let session_stats = session.stats();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let text = if opts.json {
+        let mut phases = Vec::new();
+        for p in &metrics.phases {
+            phases.push(
+                Json::obj()
+                    .with("phase", Json::str(p.name))
+                    .with("count", Json::UInt(p.count))
+                    .with("total_ms", Json::Float(ms(p.total_ns)))
+                    .with("p50_ms", Json::Float(ms(p.p50_ns)))
+                    .with("p95_ms", Json::Float(ms(p.p95_ns)))
+                    .with("max_ms", Json::Float(ms(p.max_ns))),
+            );
+        }
+        let mut counters = Json::obj();
+        for (name, total) in &metrics.counters {
+            counters = counters.with(name, Json::UInt(*total));
+        }
+        let mut workers = Vec::new();
+        for w in &session_stats.pool_workers {
+            workers.push(
+                Json::obj()
+                    .with("items", Json::UInt(w.items))
+                    .with("busy_ms", Json::Float(ms(w.busy_ns)))
+                    .with("idle_ms", Json::Float(ms(w.idle_ns))),
+            );
+        }
+        Json::obj()
+            .with("report", Json::str("stats"))
+            .with("schema_version", Json::UInt(1))
+            .with("module", Json::str(module.name()))
+            .with("target", Json::str(spec.name))
+            .with("runs", Json::UInt(2))
+            .with("functions", Json::UInt(functions as u64))
+            .with("elapsed_ms", Json::Float(elapsed_ms))
+            .with("phases", Json::Array(phases))
+            .with("counters", counters)
+            .with(
+                "arena",
+                Json::obj()
+                    .with("hits", Json::UInt(session_stats.arena.hits))
+                    .with("misses", Json::UInt(session_stats.arena.misses)),
+            )
+            .with("pool_workers", Json::Array(workers))
+            .to_pretty()
+            + "\n"
+    } else {
+        let mut t = format!(
+            "stats: {} on {} — 2 runs (cold + warm), {} function(s), {:.1}ms\n\
+             {:<22} {:>7} {:>11} {:>10} {:>10} {:>10}\n",
+            module.name(),
+            spec.name,
+            functions,
+            elapsed_ms,
+            "phase",
+            "count",
+            "total(ms)",
+            "p50(ms)",
+            "p95(ms)",
+            "max(ms)"
+        );
+        for p in &metrics.phases {
+            t.push_str(&format!(
+                "{:<22} {:>7} {:>11.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                p.name,
+                p.count,
+                ms(p.total_ns),
+                ms(p.p50_ns),
+                ms(p.p95_ns),
+                ms(p.max_ns)
+            ));
+        }
+        t.push_str("counters:\n");
+        for (name, total) in &metrics.counters {
+            t.push_str(&format!("  {name:<28} {total}\n"));
+        }
+        t.push_str(&format!(
+            "arena: {} hit(s) / {} miss(es)\n",
+            session_stats.arena.hits, session_stats.arena.misses
+        ));
+        if session_stats.pool_workers.is_empty() {
+            t.push_str("pool: serial (no persistent workers)\n");
+        } else {
+            for (i, w) in session_stats.pool_workers.iter().enumerate() {
+                t.push_str(&format!(
+                    "pool: worker {i}: {} item(s), busy {:.1}ms, idle {:.1}ms\n",
+                    w.items,
+                    ms(w.busy_ns),
+                    ms(w.idle_ns)
+                ));
+            }
+        }
+        t
     };
     emit(opts, out, &text)
 }
@@ -1108,6 +1350,55 @@ mod tests {
         assert!(msg.contains("line 5:"), "no line number: {msg}");
         assert!(msg.contains("unreachable from entry"), "{msg}");
         assert!(!msg.contains("Unreachable {"), "Debug-formatted: {msg}");
+    }
+
+    #[test]
+    fn stats_renders_the_phase_table() {
+        let out = run_capture(&["stats", "--bench", "mcf", "--threads", "1"]).expect("stats runs");
+        assert!(out.contains("stats: mcf on pa-risc-like"), "{out}");
+        for col in [
+            "phase",
+            "count",
+            "total(ms)",
+            "p50(ms)",
+            "p95(ms)",
+            "max(ms)",
+        ] {
+            assert!(out.contains(col), "missing column {col}: {out}");
+        }
+        assert!(out.contains("counters:"), "{out}");
+        // The warm second run must have hit the session arena.
+        assert!(!out.contains("arena: 0 hit(s)"), "no warm hits: {out}");
+        assert!(
+            out.contains("pool: serial (no persistent workers)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn stats_usage_errors() {
+        // One concrete target only, and no report-only flags.
+        assert!(matches!(
+            run_capture(&["stats", "--bench", "mcf", "--target", "all"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["stats", "--bench", "mcf", "--strategy", "baseline"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["stats", "--bench", "mcf", "--progress"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_flag_is_rejected_where_it_cannot_apply() {
+        // `gap` emits its own JSON record; it has no --trace.
+        assert!(matches!(
+            run_capture(&["gap", "--seeds", "1", "--trace", "t.json"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -102,8 +102,9 @@ pub use cache::AnalysisCache;
 pub use driver::{cross_target_runs, optimize_module, optimize_module_for};
 pub use driver::{DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy};
 pub use json::Json;
+pub use pool::PoolWorkerStats;
 pub use report::{
     CrossTargetReport, FunctionReport, ModuleReport, StrategyReport, REPORT_SCHEMA_VERSION,
 };
-pub use session::{ArenaStats, Observer, OptimizerBuilder, Session, TechniqueSet};
+pub use session::{ArenaStats, Observer, OptimizerBuilder, Session, SessionStats, TechniqueSet};
 pub use stress::{run_stress, StressConfig, StressSummary};

@@ -20,8 +20,9 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// A panic raised by one work item, caught by the pool.
 pub struct ItemPanic {
@@ -209,6 +210,29 @@ impl std::fmt::Debug for Pool {
 struct Shared {
     state: Mutex<Queue>,
     work_ready: Condvar,
+    /// Per-worker lifetime accounting, indexed by worker id.
+    worker_stats: Vec<WorkerCounters>,
+}
+
+/// Relaxed per-worker accumulators (a few clock reads per job — each job
+/// is a whole function pipeline, so the accounting is noise).
+#[derive(Default)]
+struct WorkerCounters {
+    items: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// A snapshot of one persistent worker's lifetime activity, from
+/// [`Pool::worker_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// Jobs this worker executed (or skipped after a batch abort).
+    pub items: u64,
+    /// Nanoseconds spent running jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds spent waiting for work.
+    pub idle_ns: u64,
 }
 
 struct Queue {
@@ -272,11 +296,12 @@ impl Pool {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            worker_stats: (0..threads).map(|_| WorkerCounters::default()).collect(),
         });
         let workers = (0..threads)
-            .map(|_| {
+            .map(|me| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, me))
             })
             .collect();
         Pool {
@@ -289,6 +314,24 @@ impl Pool {
     /// The worker count the pool was built with (1 = serial).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Lifetime activity of each persistent worker (items executed, busy
+    /// and idle nanoseconds), indexed by worker id. Empty for a serial
+    /// pool — inline batches have no workers to account.
+    pub fn worker_stats(&self) -> Vec<PoolWorkerStats> {
+        let Some(shared) = &self.shared else {
+            return Vec::new();
+        };
+        shared
+            .worker_stats
+            .iter()
+            .map(|w| PoolWorkerStats {
+                items: w.items.load(Ordering::Relaxed),
+                busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                idle_ns: w.idle_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Runs `work(i, item)` for every item on the persistent workers,
@@ -345,11 +388,15 @@ impl Pool {
                 }
             })
             .collect();
-        {
+        let depth = {
             let mut state = shared.state.lock().unwrap();
             state.jobs.extend(jobs);
-        }
+            state.jobs.len() as u64
+        };
         shared.work_ready.notify_all();
+        // Queue depth at enqueue: how much work this batch stacked up
+        // behind whatever was already queued.
+        spillopt_obs::sample("pool_queue_depth", depth);
 
         let mut remaining = batch.remaining.lock().unwrap();
         while *remaining > 0 {
@@ -382,8 +429,10 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, me: usize) {
+    let stats = &shared.worker_stats[me];
     loop {
+        let wait_start = Instant::now();
         let job = {
             let mut state = shared.state.lock().unwrap();
             loop {
@@ -396,9 +445,26 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_ready.wait(state).unwrap();
             }
         };
+        stats
+            .idle_ns
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         match job {
             // Jobs never unwind: `Batch::execute` catches item panics.
-            Some(job) => job(),
+            Some(job) => {
+                let busy_start = Instant::now();
+                {
+                    // The outermost span on this worker: closing it also
+                    // flushes the worker's event buffer, so a recording
+                    // that finishes after the batch joins sees everything.
+                    let _s = spillopt_obs::span("pool_job");
+                    spillopt_obs::count("pool_jobs", 1);
+                    job();
+                }
+                stats.items.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .busy_ns
+                    .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
             None => return,
         }
     }
@@ -524,6 +590,19 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let out = pool.run_batch(vec![1, 2, 3], |_, x| x * 2).expect("serial");
         assert_eq!(out, vec![2, 4, 6]);
+        // No workers, no worker accounting.
+        assert!(pool.worker_stats().is_empty());
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_item() {
+        let pool = Pool::new(3);
+        let items: Vec<u64> = (0..64).collect();
+        pool.run_batch(items, |_, x| x * 2).expect("no panics");
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), pool.threads());
+        let total: u64 = stats.iter().map(|w| w.items).sum();
+        assert_eq!(total, 64);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::cache::AnalysisCache;
 use crate::driver::{DriverError, ModuleRun, ProfileSource, Strategy};
-use crate::pool::{try_run_indexed, ItemPanic, Pool};
+use crate::pool::{try_run_indexed, ItemPanic, Pool, PoolWorkerStats};
 use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
 use spillopt_core::{run_suite, Placement, SpillCostModel, SuiteInputs, SuiteOptions};
 use spillopt_ir::{FuncId, Function, Module, Target};
@@ -192,6 +192,22 @@ impl<F: Fn(&str, &str, &FunctionReport) + Sync> Observer for F {
     }
 }
 
+/// A point-in-time snapshot of a session's own instrumentation: arena
+/// effectiveness and persistent-pool worker activity (see
+/// [`Session::stats`]). This is the session-owned complement to the
+/// process-wide recorder (`spillopt-obs`): it is always on — the
+/// counters are relaxed atomics the hot path updates anyway — and needs
+/// no recording to be active.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Analysis-arena entries/hits/misses; all-zero when the session was
+    /// built with [`OptimizerBuilder::reuse_analyses`]`(false)`.
+    pub arena: ArenaStats,
+    /// Per-worker items/busy/idle of the persistent pool; empty for a
+    /// serial session (inline batches have no workers).
+    pub pool_workers: Vec<PoolWorkerStats>,
+}
+
 /// Arena statistics (see [`Session::arena_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArenaStats {
@@ -274,6 +290,7 @@ impl AnalysisArena {
         match entry {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                spillopt_obs::count("arena_hit", 1);
                 // Deep copy outside the lock.
                 let mut report = e.report.clone();
                 report.index = index;
@@ -281,6 +298,7 @@ impl AnalysisArena {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                spillopt_obs::count("arena_miss", 1);
                 None
             }
         }
@@ -560,6 +578,15 @@ impl Session {
         self.arena
             .as_ref()
             .map_or(ArenaStats::default(), AnalysisArena::stats)
+    }
+
+    /// Everything the session instruments about itself: arena hit/miss
+    /// counters plus the persistent pool's per-worker activity.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            arena: self.arena_stats(),
+            pool_workers: self.pool.worker_stats(),
+        }
     }
 
     fn single_target(&self) -> Result<&SessionTarget, DriverError> {
@@ -913,8 +940,12 @@ fn run_function(
     profile: Option<EdgeProfile>,
     engine: &Engine<'_>,
 ) -> Result<FunctionOutcome, DriverError> {
+    // Outermost per-function span: on transient/serial executors this is
+    // the flush boundary (on the persistent pool, `pool_job` wraps it).
+    let _fn_span = spillopt_obs::span("function");
     let mut func = module.func(fid).clone();
     let profile = profile.unwrap_or_else(|| {
+        let _s = spillopt_obs::span("profile_synth");
         let ProfileSource::Synthetic {
             walks,
             max_steps,
@@ -942,7 +973,10 @@ fn run_function(
         }
     }
 
-    let alloc = allocate(&mut func, engine.target, Some(&profile));
+    let alloc = {
+        let _s = spillopt_obs::span("allocate");
+        allocate(&mut func, engine.target, Some(&profile))
+    };
     let (report, placements) = per_function(fid, &func, engine, profile, alloc.spilled_vregs)?;
     if let (Some(arena), Some(key)) = (engine.arena, key) {
         arena.insert(key, &report, &func, &placements);

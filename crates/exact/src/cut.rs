@@ -65,6 +65,7 @@ impl Flow {
     fn max_flow(&mut self, s: usize, t: usize) -> u128 {
         let n = self.adj.len();
         let mut total: u128 = 0;
+        let mut augmentations: u64 = 0;
         let mut pred = vec![u32::MAX; n];
         loop {
             for p in pred.iter_mut() {
@@ -86,6 +87,7 @@ impl Flow {
                 }
             }
             if pred[t] == u32::MAX {
+                spillopt_obs::count("maxflow_augmentations", augmentations);
                 return total;
             }
             // Bottleneck along the predecessor chain, then augment.
@@ -104,6 +106,7 @@ impl Flow {
                 v = self.to[a ^ 1] as usize;
             }
             total += bottleneck;
+            augmentations += 1;
         }
     }
 

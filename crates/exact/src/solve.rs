@@ -462,7 +462,11 @@ pub fn solve_exact(
         search.offer_seed(seed);
     }
     let decisions = vec![EdgeDecision::Undecided; model.transitions.len()];
-    search.node(&classes, &decisions);
+    {
+        let _s = spillopt_obs::span("exact_search");
+        search.node(&classes, &decisions);
+    }
+    spillopt_obs::count("exact_bnb_nodes", search.nodes);
 
     let (optimum, placement) = search
         .best

@@ -297,6 +297,9 @@ pub fn check_case_with(
     spec: &TargetSpec,
     exact: Option<&ExactOptions>,
 ) -> Result<CaseReport, OracleFailure> {
+    // Outermost per-case span: closing it also flushes this thread's
+    // event buffer, so stress workers drain at every case boundary.
+    let _case = spillopt_obs::span("stress_case");
     let target = spec.try_to_target().map_err(|e| {
         fail(
             FailureKind::Reference,
@@ -316,6 +319,7 @@ pub fn check_case_with(
     // Reference run on the virtual module; doubles as the training
     // profile (measured run and profile must share the workload for the
     // fidelity oracle's equality to be exact).
+    let reference_span = spillopt_obs::span("oracle_reference");
     let (reference, vm) = execute(module, &target, runs).map_err(|e| {
         fail(
             FailureKind::Reference,
@@ -325,8 +329,10 @@ pub fn check_case_with(
     })?;
     let profiles: Vec<EdgeProfile> = module.func_ids().map(|f| vm.edge_profile(f)).collect();
     drop(vm);
+    drop(reference_span);
 
     // Allocation (shared by all techniques).
+    let allocate_span = spillopt_obs::span("oracle_allocate");
     let mut allocated = module.clone();
     for f in module.func_ids() {
         allocate(allocated.func_mut(f), &target, Some(&profiles[f.index()]));
@@ -343,6 +349,7 @@ pub fn check_case_with(
             ));
         }
     }
+    drop(allocate_span);
 
     // Placements: all four techniques per function that needs them.
     let cfgs: Vec<Cfg> = allocated
@@ -366,6 +373,7 @@ pub fn check_case_with(
             continue;
         }
         report.placed_functions += 1;
+        let _place = spillopt_obs::span("oracle_place");
         let inputs = SuiteInputs::compute(&cfgs[i], &usages[i], &profiles[i]);
         let suite =
             run_suite(&cfgs[i], &inputs, &SuiteOptions::priced(spec.costs)).map_err(|e| {
@@ -386,6 +394,7 @@ pub fn check_case_with(
                 )
             })?;
         // Oracle 3: the paper's guarantee, priced by the target's model.
+        let never_worse_span = spillopt_obs::span("oracle_never_worse");
         let [entry_exit, chow, _, hier_jump] = suite.predicted;
         if suite.predicted[3] > entry_exit || suite.predicted[3] > chow {
             return Err(fail(
@@ -401,8 +410,10 @@ pub fn check_case_with(
                 ),
             ));
         }
+        drop(never_worse_span);
         // Oracle 4 (opt-in): certified optimality gap.
         if let Some(opts) = exact {
+            let _exact = spillopt_obs::span("oracle_exact");
             check_exact(
                 &mut report.exact,
                 opts,
@@ -424,6 +435,7 @@ pub fn check_case_with(
 
     // Per technique: insert, verify, execute, compare.
     for (s, &name) in STRATEGIES.iter().enumerate() {
+        let insert_span = spillopt_obs::span("oracle_insert");
         let mut placed = allocated.clone();
         let mut predicted = SpillCounts::default();
         let mut predicted_bound = Cost::ZERO;
@@ -454,6 +466,9 @@ pub fn check_case_with(
             }
         }
 
+        drop(insert_span);
+
+        let semantic_span = spillopt_obs::span("oracle_semantic");
         let (outputs, vm) = execute(&placed, &target, runs).map_err(|e| {
             fail(
                 FailureKind::Semantic,
@@ -469,8 +484,10 @@ pub fn check_case_with(
                 format!("outputs changed: reference {reference:?}, transformed {outputs:?}"),
             ));
         }
+        drop(semantic_span);
         // Oracle 2: model fidelity. The execution-count accounting must be
         // exact; the jump-edge cost (unit pricing) bounds the total.
+        let _fidelity = spillopt_obs::span("oracle_fidelity");
         let measured = vm.counts().spill_counts();
         let diff = predicted.diff(&measured);
         if !diff.is_empty() {

@@ -49,6 +49,6 @@
 
 pub use spillopt_driver::{
     ArenaStats, BenchConfig, BenchOutcome, CrossTargetReport, DriverError, FunctionReport,
-    ModuleReport, ModuleRun, Observer, OptimizerBuilder, ProfileSource, Session, Strategy,
-    StrategyReport, TechniqueSet, REPORT_SCHEMA_VERSION,
+    ModuleReport, ModuleRun, Observer, OptimizerBuilder, PoolWorkerStats, ProfileSource, Session,
+    SessionStats, Strategy, StrategyReport, TechniqueSet, REPORT_SCHEMA_VERSION,
 };

@@ -1,0 +1,166 @@
+//! Ordering guarantees of the streaming [`Observer`]:
+//!
+//! 1. every function retires **exactly once** per optimized module;
+//! 2. every `function_retired` for a module precedes that module's
+//!    `module_done`;
+//! 3. both hold under a multi-threaded `optimize_many` batch, where
+//!    retirement order itself is completion order and deliberately
+//!    unspecified.
+//!
+//! The observer here records a totally ordered event log behind one
+//! mutex — the lock serializes concurrent callbacks, so "precedes" is
+//! well-defined even when workers race.
+
+use spillopt::{FunctionReport, ModuleReport, Observer, OptimizerBuilder};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+enum Event {
+    Retired { module: String, function: String },
+    ModuleDone { module: String, functions: usize },
+}
+
+#[derive(Default)]
+struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Observer for EventLog {
+    fn function_retired(&self, _target: &str, module: &str, report: &FunctionReport) {
+        self.events.lock().unwrap().push(Event::Retired {
+            module: module.to_string(),
+            function: report.name.clone(),
+        });
+    }
+
+    fn module_done(&self, report: &ModuleReport) {
+        self.events.lock().unwrap().push(Event::ModuleDone {
+            module: report.module.clone(),
+            functions: report.functions.len(),
+        });
+    }
+}
+
+impl EventLog {
+    fn into_events(self) -> Vec<Event> {
+        self.events.into_inner().unwrap()
+    }
+}
+
+/// Stress-generated modules (distinct names: `stress{seed}`).
+fn corpus(seeds: std::ops::Range<u64>) -> Vec<spillopt_ir::Module> {
+    let target = spillopt_targets::pa_risc_like().to_target();
+    seeds
+        .map(|seed| spillopt_stress::gen_case_scaled(&target, seed, 2).module)
+        .collect()
+}
+
+/// Checks invariants 1 and 2 against one module's worth of events.
+fn check_module(events: &[Event], module_name: &str, expected_functions: usize) {
+    let mut retired: HashMap<&str, usize> = HashMap::new();
+    let mut done_at: Option<usize> = None;
+    let mut last_retire_at = 0;
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            Event::Retired { module, function } if module == module_name => {
+                *retired.entry(function).or_default() += 1;
+                last_retire_at = i;
+            }
+            Event::ModuleDone { module, functions } if module == module_name => {
+                assert!(done_at.is_none(), "module_done twice for {module_name}");
+                assert_eq!(
+                    *functions, expected_functions,
+                    "module_done saw a partial report for {module_name}"
+                );
+                done_at = Some(i);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        retired.len(),
+        expected_functions,
+        "{module_name}: not every function retired"
+    );
+    for (function, count) in &retired {
+        assert_eq!(
+            *count, 1,
+            "{module_name}::{function} retired {count} times, expected exactly once"
+        );
+    }
+    let done_at = done_at.unwrap_or_else(|| panic!("no module_done for {module_name}"));
+    assert!(
+        last_retire_at < done_at,
+        "{module_name}: a function_retired (index {last_retire_at}) came after \
+         module_done (index {done_at})"
+    );
+}
+
+#[test]
+fn serial_optimize_retires_each_function_once_before_module_done() {
+    let module = &corpus(0..1)[0];
+    let session = OptimizerBuilder::new()
+        .target_named("pa-risc-like")
+        .threads(1)
+        .build()
+        .expect("valid session");
+    let log = EventLog::default();
+    let run = session.optimize_observed(module, &log).expect("optimize");
+    let events = log.into_events();
+    check_module(&events, module.name(), run.report.functions.len());
+    assert_eq!(
+        events.len(),
+        run.report.functions.len() + 1,
+        "stray events: {events:?}"
+    );
+}
+
+#[test]
+fn threaded_optimize_many_keeps_per_module_ordering() {
+    let modules = corpus(0..6);
+    let session = OptimizerBuilder::new()
+        .target_named("pa-risc-like")
+        .threads(4)
+        .build()
+        .expect("valid session");
+    let log = EventLog::default();
+    let runs = session
+        .optimize_many_observed(&modules, &log)
+        .expect("batch optimize");
+    let events = log.into_events();
+    for (module, run) in modules.iter().zip(&runs) {
+        check_module(&events, module.name(), run.report.functions.len());
+    }
+    let done_count = events
+        .iter()
+        .filter(|e| matches!(e, Event::ModuleDone { .. }))
+        .count();
+    assert_eq!(done_count, modules.len());
+}
+
+#[test]
+fn warm_repeat_preserves_the_ordering_guarantees() {
+    // Arena hits retire through a different code path (the cached
+    // outcome short-circuits the pipeline); the observer contract must
+    // not change with arena temperature.
+    let modules = corpus(0..3);
+    let session = OptimizerBuilder::new()
+        .target_named("pa-risc-like")
+        .threads(2)
+        .build()
+        .expect("valid session");
+    session.optimize_many(&modules).expect("cold batch");
+    let log = EventLog::default();
+    let runs = session
+        .optimize_many_observed(&modules, &log)
+        .expect("warm batch");
+    assert!(
+        session.stats().arena.hits > 0,
+        "warm repeat never hit the arena"
+    );
+    let events = log.into_events();
+    for (module, run) in modules.iter().zip(&runs) {
+        check_module(&events, module.name(), run.report.functions.len());
+    }
+}

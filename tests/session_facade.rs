@@ -131,14 +131,29 @@ fn optimize_many_equals_independent_optimize_calls() {
         );
     }
 
-    // Warm repeat on the batch session: arena hits, identical bytes.
+    // Warm repeat on the batch session: every function is served from
+    // the arena, byte-identically. `Session::stats` gives the exact
+    // ledger: one lookup per function per batch, so two batches make
+    // `2 * functions` lookups; the warm batch may not miss once, and
+    // the cold batch may only *hit* where the corpus repeats a
+    // function body verbatim.
+    let functions: usize = modules.iter().map(|m| m.num_funcs()).sum();
     let warm = batch_session
         .optimize_many(&modules)
         .expect("warm batch optimize");
+    let stats = batch_session.stats();
+    assert_eq!(
+        stats.arena.hits + stats.arena.misses,
+        2 * functions as u64,
+        "unexpected lookup count: {stats:?}"
+    );
     assert!(
-        batch_session.arena_stats().hits > 0,
-        "warm batch never hit the arena: {:?}",
-        batch_session.arena_stats()
+        stats.arena.hits >= functions as u64,
+        "warm batch missed the arena: {stats:?} over {functions} functions"
+    );
+    assert!(
+        stats.arena.misses <= functions as u64,
+        "more misses than cold lookups: {stats:?}"
     );
     for (cold, hot) in batch.iter().zip(&warm) {
         assert_eq!(
