@@ -87,9 +87,14 @@ pub fn hierarchical_placement(
 /// active model. The cost of a set never changes once created (shares
 /// are fixed by the initial solution), so it is computed exactly once
 /// instead of at every ancestor region the set bubbles through.
-struct LiveSet {
-    set: SaveRestoreSet,
-    cost: Cost,
+///
+/// `Clone` because the delta-driven refold (`crate::incremental`) keeps
+/// every region's folded output alive across sessions and re-feeds
+/// cached copies to dirty ancestors.
+#[derive(Clone, Debug)]
+pub(crate) struct LiveSet {
+    pub(crate) set: SaveRestoreSet,
+    pub(crate) cost: Cost,
 }
 
 /// One register's candidacy at a region: its contained sets and the cost
@@ -203,16 +208,21 @@ pub fn hierarchical_placement_seeded(
     initial: InitialSets,
 ) -> HierarchicalResult {
     let shares = EdgeShares::from_sets(&initial.sets);
+    let ctx = FoldCtx {
+        cfg,
+        pst,
+        usage,
+        profile,
+        model,
+        costs,
+        shares: &shares,
+        busy_counts: None,
+    };
 
     // Assign each set to its home region: the innermost region containing
     // the whole cluster and every location. Dense, indexed by the PST's
     // preorder region numbering.
-    let mut home_sets: Vec<Vec<LiveSet>> = (0..pst.num_regions()).map(|_| Vec::new()).collect();
-    for set in initial.sets {
-        let home = home_region(cfg, pst, &set);
-        let cost = set.cost_with(model, costs, cfg, profile, &shares);
-        home_sets[home.index()].push(LiveSet { set, cost });
-    }
+    let mut home_sets = home_live_sets(&ctx, initial);
 
     let mut trace = Vec::new();
     // Folded sets flowing up the tree, indexed by region.
@@ -227,91 +237,172 @@ pub fn hierarchical_placement_seeded(
             live.append(&mut folded[c.index()]);
         }
         live.append(&mut home_sets[r.index()]);
-
-        // Line 5: per callee-saved register.
-        let mut regs: Vec<PReg> = live.iter().map(|s| s.set.reg).collect();
-        regs.sort();
-        regs.dedup();
-
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for reg in regs {
-            let (mine, rest): (Vec<_>, Vec<_>) = live.drain(..).partition(|s| s.set.reg == reg);
-            live = rest;
-
-            // Hoisting to this region's boundary is only valid if every
-            // busy block of `reg` inside the region belongs to the
-            // contained sets (otherwise another web of the same register
-            // crosses the boundary).
-            let busy = usage.busy(reg).expect("set exists for used register");
-            busy_inside.set_to_intersection(busy, &region.blocks);
-            let contained_blocks: usize = mine.iter().map(|s| s.set.cluster.count()).sum();
-            let hoistable = contained_blocks == busy_inside.count();
-
-            let contained_cost: Cost = mine.iter().map(|s| s.cost).sum();
-            let boundary = boundary_set(cfg, pst, r, reg);
-            let boundary_cost = boundary.cost_with(model, costs, cfg, profile, &shares);
-
-            candidates.push(Candidate {
-                reg,
-                sets: mine,
-                contained_cost,
-                hoistable,
-                boundary,
-                boundary_cost,
-            });
-        }
-
-        let decisions = if costs.pair_size > 1 {
-            decide_paired(model, costs, cfg, profile, &candidates)
-        } else {
-            // Line 6: the paper's per-register "less than or equal" rule.
-            candidates
-                .iter()
-                .map(|c| {
-                    (
-                        c.hoistable && c.boundary_cost <= c.contained_cost,
-                        c.boundary_cost,
-                    )
-                })
-                .collect()
-        };
-
-        let mut surviving: Vec<LiveSet> = Vec::new();
-        for (c, (replaced, charged)) in candidates.into_iter().zip(decisions) {
-            trace.push(TraceEvent {
-                region: r,
-                reg: c.reg,
-                num_contained: c.sets.len(),
-                contained_cost: c.contained_cost,
-                boundary_cost: charged,
-                replaced,
-            });
-            if replaced {
-                // Lines 7-8. The new set's cost is the full boundary
-                // cost (ancestors see the set, not the marginal the
-                // group decision charged it).
-                let mut cluster = DenseBitSet::new(cfg.num_blocks());
-                for s in &c.sets {
-                    cluster.union_with(&s.set.cluster);
-                }
-                surviving.push(LiveSet {
-                    set: SaveRestoreSet {
-                        cluster,
-                        ..c.boundary
-                    },
-                    cost: c.boundary_cost,
-                });
-            } else {
-                surviving.extend(c.sets);
-            }
-        }
-        folded[r.index()] = surviving;
+        folded[r.index()] = fold_region(&ctx, r, live, &mut busy_inside, &mut trace);
     }
 
-    let mut final_sets: Vec<SaveRestoreSet> = std::mem::take(&mut folded[pst.root().index()])
-        .into_iter()
-        .map(|l| l.set)
-        .collect();
+    let root_sets = std::mem::take(&mut folded[pst.root().index()]);
+    let (placement, final_sets) = finalize_root(&ctx, shrink_wrap, root_sets);
+
+    HierarchicalResult {
+        placement,
+        final_sets,
+        trace,
+    }
+}
+
+/// Everything one region fold (and the root finalize) reads: the shared
+/// analyses, the active cost model, and the edge shares fixed by the
+/// initial solution. Bundled so the cold traversal above and the
+/// delta-driven incremental refold ([`crate::incremental`]) run the
+/// exact same decision code — the cold path stays the differential
+/// oracle for the warm one.
+pub(crate) struct FoldCtx<'a> {
+    pub(crate) cfg: &'a Cfg,
+    pub(crate) pst: &'a Pst,
+    pub(crate) usage: &'a CalleeSavedUsage,
+    pub(crate) profile: &'a EdgeProfile,
+    pub(crate) model: CostModel,
+    pub(crate) costs: &'a SpillCostModel,
+    pub(crate) shares: &'a EdgeShares,
+    /// Memoized per-(region, register) busy intersections
+    /// ([`crate::solver::RegionBusyCounts`], profile-independent). The
+    /// cold oracle passes `None` and recomputes the intersection in the
+    /// scratch bitset each time; the session memo passes its cached
+    /// product.
+    pub(crate) busy_counts: Option<&'a crate::solver::RegionBusyCounts>,
+}
+
+/// Lines 2-3 bookkeeping: prices every initial set under the active model
+/// and files it at its home region (the innermost region containing the
+/// whole cluster and every location). Dense, indexed by the PST's
+/// preorder region numbering.
+pub(crate) fn home_live_sets(ctx: &FoldCtx<'_>, initial: InitialSets) -> Vec<Vec<LiveSet>> {
+    let mut home_sets: Vec<Vec<LiveSet>> = (0..ctx.pst.num_regions()).map(|_| Vec::new()).collect();
+    for set in initial.sets {
+        let home = home_region(ctx.cfg, ctx.pst, &set);
+        let cost = set.cost_with(ctx.model, ctx.costs, ctx.cfg, ctx.profile, ctx.shares);
+        home_sets[home.index()].push(LiveSet { set, cost });
+    }
+    home_sets
+}
+
+/// Lines 5-8 for one region: partitions the live sets per register,
+/// prices each register's boundary hoist, and folds the surviving sets.
+/// `live` must hold the children's folded outputs (in child order)
+/// followed by the region's own home sets; the returned vector is what
+/// the parent region sees.
+pub(crate) fn fold_region(
+    ctx: &FoldCtx<'_>,
+    r: RegionId,
+    mut live: Vec<LiveSet>,
+    busy_inside: &mut DenseBitSet,
+    trace: &mut Vec<TraceEvent>,
+) -> Vec<LiveSet> {
+    let region = ctx.pst.region(r);
+
+    // Line 5: per callee-saved register.
+    let mut regs: Vec<PReg> = live.iter().map(|s| s.set.reg).collect();
+    regs.sort();
+    regs.dedup();
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for reg in regs {
+        let (mine, rest): (Vec<_>, Vec<_>) = live.drain(..).partition(|s| s.set.reg == reg);
+        live = rest;
+
+        // Hoisting to this region's boundary is only valid if every
+        // busy block of `reg` inside the region belongs to the
+        // contained sets (otherwise another web of the same register
+        // crosses the boundary).
+        let busy_in_region = match ctx.busy_counts.and_then(|bc| bc.count(r, reg)) {
+            Some(count) => count,
+            None => {
+                let busy = ctx.usage.busy(reg).expect("set exists for used register");
+                busy_inside.set_to_intersection(busy, &region.blocks);
+                busy_inside.count()
+            }
+        };
+        let contained_blocks: usize = mine.iter().map(|s| s.set.cluster.count()).sum();
+        let hoistable = contained_blocks == busy_in_region;
+
+        let contained_cost: Cost = mine.iter().map(|s| s.cost).sum();
+        let boundary = boundary_set(ctx.cfg, ctx.pst, r, reg);
+        let boundary_cost =
+            boundary.cost_with(ctx.model, ctx.costs, ctx.cfg, ctx.profile, ctx.shares);
+
+        candidates.push(Candidate {
+            reg,
+            sets: mine,
+            contained_cost,
+            hoistable,
+            boundary,
+            boundary_cost,
+        });
+    }
+
+    let decisions = if ctx.costs.pair_size > 1 {
+        decide_paired(ctx.model, ctx.costs, ctx.cfg, ctx.profile, &candidates)
+    } else {
+        // Line 6: the paper's per-register "less than or equal" rule.
+        candidates
+            .iter()
+            .map(|c| {
+                (
+                    c.hoistable && c.boundary_cost <= c.contained_cost,
+                    c.boundary_cost,
+                )
+            })
+            .collect()
+    };
+
+    let mut surviving: Vec<LiveSet> = Vec::new();
+    for (c, (replaced, charged)) in candidates.into_iter().zip(decisions) {
+        trace.push(TraceEvent {
+            region: r,
+            reg: c.reg,
+            num_contained: c.sets.len(),
+            contained_cost: c.contained_cost,
+            boundary_cost: charged,
+            replaced,
+        });
+        if replaced {
+            // Lines 7-8. The new set's cost is the full boundary
+            // cost (ancestors see the set, not the marginal the
+            // group decision charged it).
+            let mut cluster = DenseBitSet::new(ctx.cfg.num_blocks());
+            for s in &c.sets {
+                cluster.union_with(&s.set.cluster);
+            }
+            surviving.push(LiveSet {
+                set: SaveRestoreSet {
+                    cluster,
+                    ..c.boundary
+                },
+                cost: c.boundary_cost,
+            });
+        } else {
+            surviving.extend(c.sets);
+        }
+    }
+    surviving
+}
+
+/// The final group-wise comparison against both baselines (see the doc
+/// comment of [`hierarchical_placement_vs`]): shared-cost pricing of
+/// initial sets and the modified-vs-Chow gap mean the traversal alone
+/// can end costlier than entry/exit or shrink-wrapping; return the
+/// cheapest of the three under the physically accurate accounting.
+/// Ties keep the traversal's (the paper's) result, so the worked
+/// examples are untouched. When the override fires, the caller's `trace`
+/// keeps describing the overridden traversal (documented on
+/// [`HierarchicalResult::trace`]).
+pub(crate) fn finalize_root(
+    ctx: &FoldCtx<'_>,
+    shrink_wrap: &Placement,
+    root_sets: Vec<LiveSet>,
+) -> (Placement, Vec<SaveRestoreSet>) {
+    let (cfg, usage, profile) = (ctx.cfg, ctx.usage, ctx.profile);
+    let mut final_sets: Vec<SaveRestoreSet> = root_sets.into_iter().map(|l| l.set).collect();
     let mut placement = Placement::from_points(
         final_sets
             .iter()
@@ -319,20 +410,11 @@ pub fn hierarchical_placement_seeded(
             .collect(),
     );
 
-    // Final group-wise comparison against both baselines (see the doc
-    // comment of [`hierarchical_placement_vs`]): shared-cost pricing of
-    // initial sets and the modified-vs-Chow gap mean the traversal alone
-    // can end costlier than entry/exit or shrink-wrapping; return the
-    // cheapest of the three under the physically accurate accounting.
-    // Ties keep the traversal's (the paper's) result, so the worked
-    // examples are untouched. When the override fires, `trace` keeps
-    // describing the overridden traversal (documented on
-    // [`HierarchicalResult::trace`]).
     if !placement.points().is_empty() {
-        let ours = placement_cost_with(model, costs, cfg, profile, &placement);
+        let ours = placement_cost_with(ctx.model, ctx.costs, cfg, profile, &placement);
         let entry_exit = entry_exit_placement(cfg, usage);
-        let ee_cost = placement_cost_with(model, costs, cfg, profile, &entry_exit);
-        let sw_cost = placement_cost_with(model, costs, cfg, profile, shrink_wrap);
+        let ee_cost = placement_cost_with(ctx.model, ctx.costs, cfg, profile, &entry_exit);
+        let sw_cost = placement_cost_with(ctx.model, ctx.costs, cfg, profile, shrink_wrap);
         if ee_cost.min(sw_cost) < ours {
             let winner = if ee_cost <= sw_cost {
                 entry_exit
@@ -359,11 +441,7 @@ pub fn hierarchical_placement_seeded(
         }
     }
 
-    HierarchicalResult {
-        placement,
-        final_sets,
-        trace,
-    }
+    (placement, final_sets)
 }
 
 /// The pairing-aware group decision at one region boundary.

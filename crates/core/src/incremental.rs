@@ -1,0 +1,581 @@
+//! Delta-driven incremental re-optimization of the placement suite.
+//!
+//! Real deployments re-profile continuously, but the paper's batch
+//! formulation recomputes a whole function's placement from scratch on
+//! any edge-count change. The bottom-up PST traversal is already an
+//! arena fold over preorder-numbered regions, so placement can be made
+//! *delta-driven* in the semi-naive least-fixpoint style: memoize every
+//! region's folded products ([`run_suite_memoized`]), map a profile
+//! delta onto the regions it can invalidate
+//! ([`spillopt_pst::Pst::dirty_regions`]), and re-fold only those plus
+//! their ancestor path to the root ([`run_suite_incremental`]).
+//!
+//! # Why a clean region's folded output survives a profile change
+//!
+//! The dirty mapping is ancestor-closed, so a clean region's whole
+//! subtree is clean. By induction bottom-up, every cost a clean region's
+//! fold reads is unchanged:
+//!
+//! * a home set's cost sums location costs at points whose innermost
+//!   regions lie inside the home region — any changed count at such a
+//!   point seeds a dirty descendant, contradicting cleanliness;
+//! * a boundary set created at a descendant region `d` prices `d`'s own
+//!   boundary locations — a changed boundary edge seeds `d` itself
+//!   dirty (the explicit boundary-owner rule), and a changed return
+//!   block reprices a block inside `d`;
+//! * membership words, busy intersections, and hoistability are
+//!   profile-independent altogether.
+//!
+//! Decisions are pure functions of those inputs, so the clean fold
+//! output — membership *and* cost — is byte-for-byte what a cold run
+//! would recompute. The cold path ([`crate::run_suite`]) is kept intact
+//! as the differential oracle; the driver's drift fuzzer
+//! (`spillopt stress --drift`) compares the two on every step of every
+//! seeded drift sequence.
+
+use crate::cost::CostModel;
+use crate::hierarchical::{
+    finalize_root, fold_region, home_live_sets, FoldCtx, HierarchicalResult, LiveSet,
+};
+use crate::modified::InitialSets;
+use crate::overhead::placement_cost_with;
+use crate::pipeline::{PlacementSuite, SuiteError, SuiteInputs, SuiteOptions};
+use crate::sets::EdgeShares;
+use crate::solver::RegionBusyCounts;
+use crate::validate::check_placement;
+use spillopt_ir::{Cfg, DenseBitSet};
+use spillopt_profile::ProfileDelta;
+
+/// The memoized per-region folded products of one function's placement:
+/// everything [`run_suite_incremental`] needs to re-establish the cold
+/// fixpoint by re-folding only dirty regions.
+///
+/// A memo is valid for exactly one `(function, options)` pair and one
+/// *base* profile — the profile of the [`run_suite_memoized`] call that
+/// built it, or of the last [`run_suite_incremental`] call that updated
+/// it. Callers must pass a [`ProfileDelta`] computed from that base
+/// profile to the new one; the driver's session arena owns this
+/// bookkeeping.
+#[derive(Debug)]
+pub struct PlacementMemo {
+    /// Edge shares of the initial solution (profile-independent).
+    shares: EdgeShares,
+    /// Memoized busy intersections (profile-independent; `None` on the
+    /// >64-register fallback, where folds recompute intersections).
+    busy_counts: Option<RegionBusyCounts>,
+    /// Fold tables of the execution-count model.
+    exec: ModelMemo,
+    /// Fold tables of the jump-edge model.
+    jump: ModelMemo,
+    /// The last computed suite, returned wholesale on an empty delta.
+    suite: PlacementSuite,
+}
+
+/// One cost model's fold tables: the home sets (costs valid for the
+/// memo's base profile) and every region's folded output.
+#[derive(Debug)]
+struct ModelMemo {
+    model: CostModel,
+    home_sets: Vec<Vec<LiveSet>>,
+    folded: Vec<Vec<LiveSet>>,
+}
+
+/// The dirty-region ledger of one incremental call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefoldStats {
+    /// Total PST regions of the function.
+    pub regions_total: usize,
+    /// Regions actually re-folded (dirty set closed over ancestors);
+    /// zero on an empty delta.
+    pub regions_refolded: usize,
+}
+
+/// As [`crate::run_suite`], additionally retaining every per-region
+/// folded product in a [`PlacementMemo`] for later incremental re-folds.
+///
+/// The returned suite is identical to [`crate::run_suite`]'s on the same
+/// inputs: both paths run the exact same per-region decision code
+/// (`fold_region`), and keeping the fold tables alive instead of
+/// draining them changes no decision.
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] if any produced placement fails validity
+/// checking; that is a bug in this crate, never a property of the input.
+pub fn run_suite_memoized(
+    cfg: &Cfg,
+    inputs: &SuiteInputs<'_>,
+    options: &SuiteOptions,
+) -> Result<(PlacementSuite, PlacementMemo), SuiteError> {
+    let usage = inputs.usage();
+    let profile = inputs.profile();
+    let derived = inputs.derived();
+    let pst = inputs.pst();
+    let costs = &options.costs;
+
+    let entry_exit = {
+        let _s = spillopt_obs::span("place_entry_exit");
+        crate::entry_exit::entry_exit_placement(cfg, usage)
+    };
+    let chow = {
+        let _s = spillopt_obs::span("place_chow");
+        crate::chow::chow_shrink_wrap_derived(cfg, derived, inputs.cyclic(), usage)
+    };
+    let initial = {
+        let _s = spillopt_obs::span("place_hier_seed");
+        crate::modified::modified_shrink_wrap_derived(cfg, derived, usage)
+    };
+    let shares = EdgeShares::from_sets(&initial.sets);
+    let busy_counts = RegionBusyCounts::compute(pst, cfg.num_blocks(), usage);
+
+    let fold_all = |model: CostModel, initial: InitialSets| {
+        let _s = spillopt_obs::span(match model {
+            CostModel::ExecutionCount => "place_hier_exec",
+            CostModel::JumpEdge => "place_hier_jump",
+        });
+        let ctx = FoldCtx {
+            cfg,
+            pst,
+            usage,
+            profile,
+            model,
+            costs,
+            shares: &shares,
+            busy_counts: busy_counts.as_ref(),
+        };
+        let home_sets = home_live_sets(&ctx, initial);
+        let mut folded: Vec<Vec<LiveSet>> = (0..pst.num_regions()).map(|_| Vec::new()).collect();
+        let mut busy_inside = DenseBitSet::new(cfg.num_blocks());
+        let mut trace = Vec::new();
+        for &r in pst.postorder() {
+            let region = pst.region(r);
+            let mut live: Vec<LiveSet> = Vec::new();
+            for &c in &region.children {
+                live.extend(folded[c.index()].iter().cloned());
+            }
+            live.extend(home_sets[r.index()].iter().cloned());
+            folded[r.index()] = fold_region(&ctx, r, live, &mut busy_inside, &mut trace);
+        }
+        let root_sets = folded[pst.root().index()].clone();
+        let (placement, final_sets) = finalize_root(&ctx, &chow, root_sets);
+        (
+            HierarchicalResult {
+                placement,
+                final_sets,
+                trace,
+            },
+            ModelMemo {
+                model,
+                home_sets,
+                folded,
+            },
+        )
+    };
+
+    let (hierarchical_exec, exec) = fold_all(CostModel::ExecutionCount, initial.clone());
+    let (hierarchical_jump, jump) = fold_all(CostModel::JumpEdge, initial);
+
+    {
+        let _s = spillopt_obs::span("validate");
+        for (technique, p) in [
+            ("entry_exit", &entry_exit),
+            ("chow", &chow),
+            ("hierarchical_exec", &hierarchical_exec.placement),
+            ("hierarchical_jump", &hierarchical_jump.placement),
+        ] {
+            let errors = check_placement(cfg, usage, p);
+            if !errors.is_empty() {
+                return Err(SuiteError {
+                    technique,
+                    errors,
+                    placement: p.clone(),
+                });
+            }
+        }
+    }
+
+    let predicted = {
+        let _s = spillopt_obs::span("price");
+        [
+            placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &entry_exit),
+            placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &chow),
+            placement_cost_with(
+                CostModel::JumpEdge,
+                costs,
+                cfg,
+                profile,
+                &hierarchical_exec.placement,
+            ),
+            placement_cost_with(
+                CostModel::JumpEdge,
+                costs,
+                cfg,
+                profile,
+                &hierarchical_jump.placement,
+            ),
+        ]
+    };
+
+    let suite = PlacementSuite {
+        entry_exit,
+        chow,
+        hierarchical_exec,
+        hierarchical_jump,
+        predicted,
+    };
+    let memo = PlacementMemo {
+        shares,
+        busy_counts,
+        exec,
+        jump,
+        suite: suite.clone(),
+    };
+    Ok((suite, memo))
+}
+
+/// Re-establishes the cold fixpoint after a profile drift by re-folding
+/// only the regions `delta` dirties (plus their root path), reusing
+/// every clean region's memoized fold wholesale.
+///
+/// `inputs` must carry the *new* profile; `delta` must be the
+/// [`ProfileDelta`] from the memo's base profile to it; `cfg`, the
+/// analyses, and `options` must be those the memo was built with. On
+/// return the memo's base profile is the new one. An empty delta returns
+/// the memoized suite unchanged (zero regions re-folded).
+///
+/// The returned suite is byte-identical to what [`crate::run_suite`]
+/// would compute cold on the new profile (the `trace` of the
+/// hierarchical results excepted: it covers only the re-folded
+/// regions). The driver's drift fuzzer enforces the equivalence
+/// differentially on every registered target.
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] if a re-folded placement fails validity
+/// checking; that is a bug in this crate, never a property of the input.
+pub fn run_suite_incremental(
+    cfg: &Cfg,
+    inputs: &SuiteInputs<'_>,
+    options: &SuiteOptions,
+    memo: &mut PlacementMemo,
+    delta: &ProfileDelta,
+) -> Result<(PlacementSuite, RefoldStats), SuiteError> {
+    let pst = inputs.pst();
+    let regions_total = pst.num_regions();
+    if delta.is_empty() {
+        return Ok((
+            memo.suite.clone(),
+            RefoldStats {
+                regions_total,
+                regions_refolded: 0,
+            },
+        ));
+    }
+
+    let _s = spillopt_obs::span("place_incremental");
+    let usage = inputs.usage();
+    let profile = inputs.profile();
+    let costs = &options.costs;
+
+    let dirty = pst.dirty_regions(cfg, delta.changed_edges(), delta.entry_changed());
+    let regions_refolded = dirty.iter().filter(|&&d| d).count();
+    spillopt_obs::count("regions_refolded", regions_refolded as u64);
+    spillopt_obs::count("regions_total", regions_total as u64);
+
+    let PlacementMemo {
+        shares,
+        busy_counts,
+        exec,
+        jump,
+        suite,
+    } = memo;
+    let chow = suite.chow.clone();
+
+    let refold = |mm: &mut ModelMemo| -> HierarchicalResult {
+        let ctx = FoldCtx {
+            cfg,
+            pst,
+            usage,
+            profile,
+            model: mm.model,
+            costs,
+            shares,
+            busy_counts: busy_counts.as_ref(),
+        };
+        let mut busy_inside = DenseBitSet::new(cfg.num_blocks());
+        let mut trace = Vec::new();
+        for &r in pst.postorder() {
+            if !dirty[r.index()] {
+                continue;
+            }
+            // The region's own home sets reprice under the new profile;
+            // clean regions' home and folded sets keep their cached
+            // costs (unchanged by the dirty-mapping invariant).
+            for hs in &mut mm.home_sets[r.index()] {
+                hs.cost = hs.set.cost_with(mm.model, costs, cfg, profile, shares);
+            }
+            let region = pst.region(r);
+            let mut live: Vec<LiveSet> = Vec::new();
+            for &c in &region.children {
+                live.extend(mm.folded[c.index()].iter().cloned());
+            }
+            live.extend(mm.home_sets[r.index()].iter().cloned());
+            mm.folded[r.index()] = fold_region(&ctx, r, live, &mut busy_inside, &mut trace);
+        }
+        let root_sets = mm.folded[pst.root().index()].clone();
+        let (placement, final_sets) = finalize_root(&ctx, &chow, root_sets);
+        HierarchicalResult {
+            placement,
+            final_sets,
+            trace,
+        }
+    };
+
+    let hierarchical_exec = refold(exec);
+    let hierarchical_jump = refold(jump);
+
+    for (technique, p) in [
+        ("hierarchical_exec", &hierarchical_exec.placement),
+        ("hierarchical_jump", &hierarchical_jump.placement),
+    ] {
+        let errors = check_placement(cfg, usage, p);
+        if !errors.is_empty() {
+            return Err(SuiteError {
+                technique,
+                errors,
+                placement: p.clone(),
+            });
+        }
+    }
+
+    let predicted = [
+        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &suite.entry_exit),
+        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &chow),
+        placement_cost_with(
+            CostModel::JumpEdge,
+            costs,
+            cfg,
+            profile,
+            &hierarchical_exec.placement,
+        ),
+        placement_cost_with(
+            CostModel::JumpEdge,
+            costs,
+            cfg,
+            profile,
+            &hierarchical_jump.placement,
+        ),
+    ];
+
+    let new_suite = PlacementSuite {
+        entry_exit: suite.entry_exit.clone(),
+        chow,
+        hierarchical_exec,
+        hierarchical_jump,
+        predicted,
+    };
+    *suite = new_suite.clone();
+    Ok((
+        new_suite,
+        RefoldStats {
+            regions_total,
+            regions_refolded,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_suite;
+    use crate::usage::CalleeSavedUsage;
+    use spillopt_ir::analysis::loops::sccs;
+    use spillopt_ir::{BlockId, Cond, DerivedCfg, FunctionBuilder, PReg, Reg};
+    use spillopt_profile::{random_walk_profile, EdgeProfile};
+    use spillopt_pst::Pst;
+
+    /// Nested diamonds plus a loop: enough PST structure that a local
+    /// drift leaves clean regions.
+    fn shape() -> spillopt_ir::Function {
+        let mut fb = FunctionBuilder::new("drift", 0);
+        let a = fb.create_block(None);
+        let b = fb.create_block(None);
+        let c = fb.create_block(None);
+        let d = fb.create_block(None);
+        let e = fb.create_block(None);
+        let g = fb.create_block(None);
+        let h = fb.create_block(None);
+        let i = fb.create_block(None);
+        fb.switch_to(a);
+        let x = fb.li(0);
+        fb.branch(Cond::Lt, Reg::Virt(x), Reg::Virt(x), g, b);
+        fb.switch_to(b);
+        fb.branch(Cond::Gt, Reg::Virt(x), Reg::Virt(x), d, c);
+        fb.switch_to(c);
+        fb.jump(e);
+        fb.switch_to(d);
+        fb.jump(e);
+        fb.switch_to(e);
+        fb.jump(h);
+        fb.switch_to(g);
+        fb.jump(h);
+        fb.switch_to(h);
+        fb.branch(Cond::Eq, Reg::Virt(x), Reg::Virt(x), a, i);
+        fb.switch_to(i);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    struct Fixture {
+        cfg: Cfg,
+        usage: CalleeSavedUsage,
+        cyclic: Vec<spillopt_ir::analysis::loops::CyclicRegion>,
+        pst: Pst,
+        derived: DerivedCfg,
+    }
+
+    fn fixture() -> Fixture {
+        let f = shape();
+        let cfg = Cfg::compute(&f);
+        let n = cfg.num_blocks();
+        let mut usage = CalleeSavedUsage::new();
+        usage.set_busy(PReg::new(11), BlockId::from_index(2), n);
+        usage.set_busy(PReg::new(12), BlockId::from_index(5), n);
+        usage.set_busy(PReg::new(12), BlockId::from_index(3), n);
+        let cyclic = sccs(&cfg);
+        let pst = Pst::compute(&cfg);
+        let derived = DerivedCfg::compute(&cfg);
+        Fixture {
+            cfg,
+            usage,
+            cyclic,
+            pst,
+            derived,
+        }
+    }
+
+    fn assert_suites_equal(a: &PlacementSuite, b: &PlacementSuite, what: &str) {
+        assert_eq!(a.entry_exit, b.entry_exit, "{what}: entry_exit");
+        assert_eq!(a.chow, b.chow, "{what}: chow");
+        assert_eq!(
+            a.hierarchical_exec.placement, b.hierarchical_exec.placement,
+            "{what}: exec placement"
+        );
+        assert_eq!(
+            a.hierarchical_jump.placement, b.hierarchical_jump.placement,
+            "{what}: jump placement"
+        );
+        assert_eq!(
+            a.hierarchical_exec.final_sets, b.hierarchical_exec.final_sets,
+            "{what}: exec sets"
+        );
+        assert_eq!(
+            a.hierarchical_jump.final_sets, b.hierarchical_jump.final_sets,
+            "{what}: jump sets"
+        );
+        assert_eq!(a.predicted, b.predicted, "{what}: predicted");
+    }
+
+    #[test]
+    fn memoized_cold_run_matches_the_oracle() {
+        let fx = fixture();
+        let profile = random_walk_profile(&fx.cfg, 200, 64, 7);
+        let inputs = SuiteInputs::analyzed(&fx.usage, &profile, &fx.cyclic, &fx.pst, &fx.derived);
+        let opts = SuiteOptions::default();
+        let cold = run_suite(&fx.cfg, &inputs, &opts).expect("valid");
+        let (memoized, _memo) = run_suite_memoized(&fx.cfg, &inputs, &opts).expect("valid");
+        assert_suites_equal(&cold, &memoized, "memoized vs cold");
+    }
+
+    #[test]
+    fn incremental_refold_matches_cold_across_drift_steps() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let fx = fixture();
+        let opts = SuiteOptions::default();
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let base = random_walk_profile(&fx.cfg, 150, 48, seed);
+            let inputs = SuiteInputs::analyzed(&fx.usage, &base, &fx.cyclic, &fx.pst, &fx.derived);
+            let (_, mut memo) = run_suite_memoized(&fx.cfg, &inputs, &opts).expect("valid");
+            let mut prev = base.clone();
+            for step in 0..12 {
+                let mut counts = prev.edge_counts().to_vec();
+                let mut entry = prev.entry_count();
+                match step % 4 {
+                    // Single-edge bump (the common small drift).
+                    0 => {
+                        let e = rng.gen_range(0..counts.len());
+                        counts[e] = counts[e].wrapping_add(rng.gen_range(1..100)) & 0xFFFF;
+                    }
+                    // Entry-count drift.
+                    1 => entry = entry.wrapping_add(rng.gen_range(1..50)) & 0xFFFF,
+                    // Zero delta: nothing changes.
+                    2 => {}
+                    // Full invalidation: every edge changes.
+                    _ => {
+                        for c in counts.iter_mut() {
+                            *c = rng.gen_range(0..1000);
+                        }
+                    }
+                }
+                let next = EdgeProfile::new(&fx.cfg, counts, entry);
+                let delta = spillopt_profile::ProfileDelta::between(&prev, &next);
+                let next_inputs =
+                    SuiteInputs::analyzed(&fx.usage, &next, &fx.cyclic, &fx.pst, &fx.derived);
+                let (warm, stats) =
+                    run_suite_incremental(&fx.cfg, &next_inputs, &opts, &mut memo, &delta)
+                        .expect("valid");
+                let cold = run_suite(&fx.cfg, &next_inputs, &opts).expect("valid");
+                assert_suites_equal(&cold, &warm, &format!("seed {seed} step {step}"));
+                if delta.is_empty() {
+                    assert_eq!(stats.regions_refolded, 0, "zero delta must re-fold nothing");
+                }
+                assert!(stats.regions_refolded <= stats.regions_total);
+                prev = next;
+            }
+        }
+    }
+
+    #[test]
+    fn small_drift_refolds_strictly_fewer_regions_than_total() {
+        let fx = fixture();
+        let opts = SuiteOptions::default();
+        let base = random_walk_profile(&fx.cfg, 150, 48, 3);
+        let inputs = SuiteInputs::analyzed(&fx.usage, &base, &fx.cyclic, &fx.pst, &fx.derived);
+        let (_, mut memo) = run_suite_memoized(&fx.cfg, &inputs, &opts).expect("valid");
+
+        // Find an edge whose innermost region is not the root, so the
+        // drift is local; the fixture's nested diamonds guarantee one.
+        let (edge, _) = fx
+            .cfg
+            .edges()
+            .find(|(id, _)| {
+                fx.pst.innermost_region_of_edge(&fx.cfg, *id) != fx.pst.root()
+                    && fx
+                        .pst
+                        .dirty_regions(&fx.cfg, &[*id], false)
+                        .iter()
+                        .filter(|&&d| d)
+                        .count()
+                        < fx.pst.num_regions()
+            })
+            .expect("a local edge exists");
+        let mut counts = base.edge_counts().to_vec();
+        counts[edge.index()] += 17;
+        let next = EdgeProfile::new(&fx.cfg, counts, base.entry_count());
+        let delta = spillopt_profile::ProfileDelta::between(&base, &next);
+        let next_inputs = SuiteInputs::analyzed(&fx.usage, &next, &fx.cyclic, &fx.pst, &fx.derived);
+        let (warm, stats) =
+            run_suite_incremental(&fx.cfg, &next_inputs, &opts, &mut memo, &delta).expect("valid");
+        assert!(
+            stats.regions_refolded < stats.regions_total,
+            "small drift must re-fold strictly fewer regions ({} vs {})",
+            stats.regions_refolded,
+            stats.regions_total
+        );
+        assert!(stats.regions_refolded > 0);
+        let cold = run_suite(&fx.cfg, &next_inputs, &opts).expect("valid");
+        assert_suites_equal(&cold, &warm, "local drift");
+    }
+}

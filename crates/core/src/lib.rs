@@ -77,6 +77,7 @@ pub mod cost;
 pub mod dataflow;
 pub mod entry_exit;
 pub mod hierarchical;
+pub mod incremental;
 pub mod insert;
 pub mod location;
 pub mod modified;
@@ -100,6 +101,7 @@ pub use hierarchical::{
     hierarchical_placement, hierarchical_placement_seeded, hierarchical_placement_vs,
     hierarchical_placement_with, HierarchicalResult, TraceEvent,
 };
+pub use incremental::{run_suite_incremental, run_suite_memoized, PlacementMemo, RefoldStats};
 pub use insert::{insert_placement, InsertionReport};
 pub use location::{Placement, SpillKind, SpillLoc, SpillPoint};
 pub use modified::{
@@ -114,6 +116,6 @@ pub use pipeline::{run_suite, PlacementSuite, SuiteError, SuiteInputs, SuiteOpti
 #[allow(deprecated)]
 pub use pipeline::{run_suite_analyzed, run_suite_priced, run_suite_with};
 pub use sets::{EdgeShares, SaveRestoreSet};
-pub use solver::{chow_grow_all, chow_points_all, initial_sets_all, RegWords};
+pub use solver::{chow_grow_all, chow_points_all, initial_sets_all, RegWords, RegionBusyCounts};
 pub use usage::CalleeSavedUsage;
 pub use validate::{check_placement, PlacementError};

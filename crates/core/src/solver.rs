@@ -418,6 +418,63 @@ pub fn initial_sets_all(
     Some(sets)
 }
 
+/// Per-(region, register) busy-block counts over a PST — the
+/// profile-independent half of the hierarchical traversal's hoistability
+/// test, solved bit-parallel: one sweep per region over the packed busy
+/// words instead of one bitset intersection per (region, register) per
+/// cost model per session.
+///
+/// The delta-driven session memo ([`crate::incremental`]) computes this
+/// once per function structure and reuses it across every cost model and
+/// every incremental refold; the cold traversal keeps the per-register
+/// scratch-bitset intersection as the differential oracle.
+#[derive(Clone, Debug)]
+pub struct RegionBusyCounts {
+    /// Bit order, as in [`RegWords::regs`] (usage order).
+    regs: Vec<PReg>,
+    /// `counts[region * regs.len() + bit]` = number of busy blocks of
+    /// register `bit` inside that region.
+    counts: Vec<u32>,
+}
+
+impl RegionBusyCounts {
+    /// Counts, for every PST region and callee-saved register, the busy
+    /// blocks of the register inside the region. Returns `None` when
+    /// more than 64 registers are in use (callers keep the per-register
+    /// intersection path).
+    pub fn compute(
+        pst: &spillopt_pst::Pst,
+        num_blocks: usize,
+        usage: &CalleeSavedUsage,
+    ) -> Option<Self> {
+        let w = RegWords::from_busy(num_blocks, usage)?;
+        let num_regs = w.regs.len();
+        let mut counts = vec![0u32; pst.num_regions() * num_regs];
+        for region in pst.regions() {
+            let row = &mut counts[region.id.index() * num_regs..][..num_regs];
+            for b in region.blocks.iter() {
+                let mut word = w.words[b];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    row[bit] += 1;
+                }
+            }
+        }
+        Some(RegionBusyCounts {
+            regs: w.regs,
+            counts,
+        })
+    }
+
+    /// The busy-block count of `reg` inside `region`, or `None` if the
+    /// register is not tracked (never busy anywhere).
+    pub fn count(&self, region: spillopt_pst::RegionId, reg: PReg) -> Option<usize> {
+        let bit = self.regs.iter().position(|&r| r == reg)?;
+        Some(self.counts[region.index() * self.regs.len() + bit] as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +530,37 @@ mod tests {
             let expect = chow_grow(&cfg, &cyclic, busy);
             assert_eq!(w.project(bit), expect, "register bit {bit}");
         }
+    }
+
+    #[test]
+    fn region_busy_counts_match_bitset_intersections() {
+        let f = shape();
+        let cfg = Cfg::compute(&f);
+        let pst = spillopt_pst::Pst::compute(&cfg);
+        let n = cfg.num_blocks();
+        let mut usage = CalleeSavedUsage::new();
+        for (i, blocks) in [vec![1], vec![2, 3], vec![0, 5], vec![4]]
+            .iter()
+            .enumerate()
+        {
+            for &b in blocks {
+                usage.set_busy(PReg::new(11 + i as u8), BlockId::from_index(b), n);
+            }
+        }
+        let counts = RegionBusyCounts::compute(&pst, n, &usage).expect("fits one word");
+        let mut scratch = DenseBitSet::new(n);
+        for region in pst.regions() {
+            for (reg, busy) in usage.regs() {
+                scratch.set_to_intersection(busy, &region.blocks);
+                assert_eq!(
+                    counts.count(region.id, reg),
+                    Some(scratch.count()),
+                    "region {} reg {reg:?}",
+                    region.id
+                );
+            }
+        }
+        assert_eq!(counts.count(pst.root(), PReg::new(42)), None);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! targeted assertions on the behaviour in question.
 
 use spillopt_core::{
-    check_placement, entry_exit_placement, insert_placement, run_suite, CalleeSavedUsage,
-    CostModel, Placement, SuiteInputs, SuiteOptions,
+    check_placement, entry_exit_placement, insert_placement, run_suite, run_suite_incremental,
+    run_suite_memoized, CalleeSavedUsage, CostModel, Placement, SuiteInputs, SuiteOptions,
 };
 use spillopt_exact::{solve_exact, ExactLimits};
 use spillopt_ir::{parse_module, Cfg, FuncId, Module, RegDiscipline};
@@ -245,6 +245,77 @@ fn hierarchical_is_never_worse_than_chow_on_the_394_module() {
             hier_jump <= entry_exit,
             "{name}: hier-jump {hier_jump:?} worse than entry/exit {entry_exit:?}"
         );
+    }
+}
+
+/// Drift-regression slot: minimized counterexamples from `spillopt
+/// stress --drift` (a warm session's incremental re-fold diverging from
+/// the cold oracle) land here, replayed at the core level —
+/// `run_suite_incremental` against `run_suite` over the same analyses
+/// under the recorded profile drift. No divergence has been caught to
+/// date; the exemplar below drives the entry-loop module (above, with
+/// its critical back edge into the entry block) through the drift kinds
+/// the fuzzer mutates — zero delta, entry bump, back-edge bump, full
+/// re-weight — and pins the placement-level agreement the fuzzer
+/// enforces byte-for-byte end to end.
+#[test]
+fn entry_loop_incremental_refold_matches_cold_under_drift() {
+    let module = parse(ENTRY_LOOP);
+    let target = spillopt_ir::Target::default();
+    let mut func = module.func(FuncId::from_index(0)).clone();
+    allocate(&mut func, &target, None);
+    let cfg = Cfg::compute(&func);
+    let usage = CalleeSavedUsage::from_function(&func, &cfg, &target);
+    assert!(!usage.is_empty(), "a value crosses the call");
+    let cyclic = spillopt_ir::analysis::loops::sccs(&cfg);
+    let pst = spillopt_pst::Pst::compute(&cfg);
+    let derived = spillopt_ir::DerivedCfg::compute(&cfg);
+    let opts = SuiteOptions::default();
+
+    let base = spillopt_profile::random_walk_profile(&cfg, 64, 128, 7);
+    let inputs = SuiteInputs::analyzed(&usage, &base, &cyclic, &pst, &derived);
+    let (_, mut memo) = run_suite_memoized(&cfg, &inputs, &opts).expect("memoized fold");
+
+    let back = cfg
+        .edge_ids()
+        .find(|&e| cfg.edge(e).to == cfg.entry())
+        .expect("back edge to entry");
+    let mut prev = base;
+    for step in 0..4u64 {
+        let mut counts = prev.edge_counts().to_vec();
+        let mut entry = prev.entry_count();
+        match step {
+            0 => {}
+            1 => entry += 5,
+            2 => counts[back.index()] += 100,
+            _ => {
+                for (i, c) in counts.iter_mut().enumerate() {
+                    *c = (*c + 1) * (i as u64 + 2) % 251;
+                }
+                entry = entry / 2 + 1;
+            }
+        }
+        let next = spillopt_profile::EdgeProfile::new(&cfg, counts, entry);
+        let delta = spillopt_profile::ProfileDelta::between(&prev, &next);
+        let inputs = SuiteInputs::analyzed(&usage, &next, &cyclic, &pst, &derived);
+        let (incremental, stats) = run_suite_incremental(&cfg, &inputs, &opts, &mut memo, &delta)
+            .expect("incremental fold");
+        let cold = run_suite(&cfg, &inputs, &opts).expect("cold fold");
+        assert_eq!(incremental.entry_exit, cold.entry_exit, "step {step}");
+        assert_eq!(incremental.chow, cold.chow, "step {step}");
+        assert_eq!(
+            incremental.hierarchical_exec.placement, cold.hierarchical_exec.placement,
+            "step {step}: exec placement"
+        );
+        assert_eq!(
+            incremental.hierarchical_jump.placement, cold.hierarchical_jump.placement,
+            "step {step}: jump placement"
+        );
+        assert_eq!(incremental.predicted, cold.predicted, "step {step}");
+        if step == 0 {
+            assert_eq!(stats.regions_refolded, 0, "zero delta must re-fold nothing");
+        }
+        prev = next;
     }
 }
 

@@ -20,16 +20,22 @@
 //! * `report` emits the full deterministic JSON report; `--target all`
 //!   adds the cross-target comparison section.
 //! * `stats` runs the pipeline under the [`spillopt_obs`] recorder
-//!   (twice — cold and warm through the analysis arena) and prints the
-//!   aggregated per-phase timing table (count / total / p50 / p95 /
-//!   max), the counter totals, and the session's arena and pool-worker
-//!   statistics; `--json` emits the machine-readable form.
+//!   (three times — cold, warm through the analysis arena, and under a
+//!   weights-preserving profile drift that exercises the incremental
+//!   re-fold) and prints the aggregated per-phase timing table (count /
+//!   total / p50 / p95 / max), the counter totals, the dirty-region
+//!   ledger, and the session's arena and pool-worker statistics;
+//!   `--json` emits the machine-readable form.
 //! * `stress` runs the differential stress subsystem: seeded random
 //!   modules through all four placements on the chosen target(s),
 //!   checked by the interpreter oracles, with minimized counterexample
 //!   reporting. `--exact` adds the fourth (optimality-gap) oracle: a
 //!   branch-and-bound solver certifies each function's minimum
 //!   placement cost and hier-jump must land within `--gap` percent.
+//!   `--drift` switches to the profile-drift differential instead: each
+//!   seed's module is re-optimized through a warm incremental session
+//!   under `--drift-steps` seeded profile mutations, and the report
+//!   bytes must match a fresh cold pipeline after every step.
 //! * `gap` measures the optimality gap across the stress corpus and
 //!   emits the per-target gap histogram (`--json` for the machine
 //!   record the nightly CI job archives).
@@ -51,10 +57,11 @@
 //! build would have to shim.
 
 use crate::bench::{run_bench, BenchConfig};
+use crate::drift::{run_drift, DriftConfig};
 use crate::driver::{DriverError, ProfileSource, Strategy};
 use crate::json::Json;
 use crate::report::{CrossTargetReport, FunctionReport};
-use crate::session::{OptimizerBuilder, TechniqueSet};
+use crate::session::{OptimizerBuilder, Provenance, TechniqueSet};
 use crate::stress::{run_stress, StressConfig};
 use spillopt_ir::{display, parse_module_traced, Module};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
@@ -85,7 +92,7 @@ usage:
   spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--json]
   spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--compact] [--out FILE]
   spillopt stats    (--bench NAME | --input FILE) [--target T] [--threads N] [--techniques LIST] [--trace FILE] [--json] [--out FILE]
-  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--trace FILE]
+  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--drift] [--drift-steps N] [--trace FILE]
   spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
   spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N] [--trace FILE]
   spillopt list-benches
@@ -104,10 +111,16 @@ a Chrome Trace Event JSON file (open in Perfetto or chrome://tracing);
 --target names a registered backend (see list-targets; default pa-risc-like);
 `--target all` fans compare/report out across every registered target.
 --threads 0 uses all cores (default); --threads 1 is the serial reference.
-`stats` runs the pipeline twice (cold, then warm through the analysis
-arena) under the recorder and prints the per-phase timing table
-(count/total/p50/p95/max), counter totals, and arena/pool statistics;
---json emits the machine-readable form.
+`stats` runs the pipeline three times (cold, warm through the analysis
+arena, then under a weights-preserving profile drift that takes the
+incremental re-fold path) under the recorder and prints the per-phase
+timing table (count/total/p50/p95/max), counter totals, the dirty-region
+ledger, and arena/pool statistics; --json emits the machine-readable
+form.
+`stress --drift` switches to the profile-drift differential: each seed's
+module is re-optimized through a warm incremental session under a seeded
+sequence of profile mutations (--drift-steps, default 8) and the report
+bytes must match a fresh cold pipeline after every step.
 `stress` fuzzes seeded random modules through all four placements on the
 chosen target(s) (default all), checking the interpreter-backed oracles;
 failures are minimized and printed. --exact adds the optimality-gap
@@ -409,18 +422,25 @@ fn load_input(path: &str) -> Result<(Module, ProfileSource), CliError> {
 
 /// The `--progress` observer: one stderr line per retiring function,
 /// streamed from the session as the pool finishes each one. The target
-/// name disambiguates the interleaved `--target all` fan-out.
-fn progress_observer() -> impl Fn(&str, &str, &FunctionReport) + Sync {
-    |target: &str, module: &str, report: &FunctionReport| {
+/// name disambiguates the interleaved `--target all` fan-out; the
+/// provenance tag says whether the function ran cold, hit the arena
+/// warm, or was incrementally re-folded after a profile drift.
+fn progress_observer() -> impl Fn(&str, &str, &FunctionReport, Provenance) + Sync {
+    |target: &str, module: &str, report: &FunctionReport, provenance: Provenance| {
         let best = report.best.map_or("(no callee-saved use)", |b| b.name());
-        eprintln!("  [{target}] {module}::{} placed: {best}", report.name);
+        eprintln!(
+            "  [{target}] {module}::{} placed: {best} [{}]",
+            report.name,
+            provenance.name()
+        );
     }
 }
 
 /// The `--progress` final summary: one stderr line once the module (or
 /// the whole cross-target fan-out) is done — it follows every streamed
 /// `function_retired` line because the session only returns after its
-/// `module_done` notification.
+/// `module_done` notification. Reuse provenance is summarized as warm
+/// hits and incremental re-folds (both zero for arena-less runs).
 fn progress_summary(
     label: &str,
     functions: usize,
@@ -428,8 +448,10 @@ fn progress_summary(
     started: Instant,
 ) {
     eprintln!(
-        "  [{label}] done: {functions} function(s) retired, {} warm arena hit(s), {:.1}ms",
+        "  [{label}] done: {functions} function(s) retired, {} warm arena hit(s), \
+         {} incremental re-fold(s), {:.1}ms",
         stats.arena.hits,
+        stats.arena.incremental,
         started.elapsed().as_secs_f64() * 1e3
     );
 }
@@ -586,6 +608,8 @@ struct StressFlags {
     targets: Vec<TargetSpec>,
     exact: bool,
     gap_percent: u64,
+    drift: bool,
+    drift_steps: u64,
     json: bool,
     trace: Option<String>,
     out: Option<String>,
@@ -602,6 +626,8 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
         targets: registry(),
         exact: sub == "gap",
         gap_percent: spillopt_stress::DEFAULT_GAP_PERCENT,
+        drift: false,
+        drift_steps: crate::drift::DEFAULT_DRIFT_STEPS,
         json: false,
         trace: None,
         out: None,
@@ -643,6 +669,12 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
                 };
             }
             "--exact" if sub == "stress" => flags.exact = true,
+            "--drift" if sub == "stress" => flags.drift = true,
+            "--drift-steps" if sub == "stress" => {
+                flags.drift_steps = value()?
+                    .parse()
+                    .map_err(|_| usage("--drift-steps needs a number"))?
+            }
             "--gap" => {
                 flags.gap_percent = value()?
                     .parse()
@@ -653,7 +685,8 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
             "--out" if sub == "gap" => flags.out = Some(value()?.to_string()),
             other => {
                 let accepted = if sub == "stress" {
-                    "--seeds, --start, --target, --threads, --exact, --gap, --trace"
+                    "--seeds, --start, --target, --threads, --exact, --gap, --drift, \
+                     --drift-steps, --trace"
                 } else {
                     "--seeds, --start, --target, --threads, --gap, --json, --out"
                 };
@@ -666,6 +699,14 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
     flags.seeds = seeds.ok_or_else(|| usage(&format!("`{sub}` requires --seeds N")))?;
     if !flags.exact && flags.gap_percent != spillopt_stress::DEFAULT_GAP_PERCENT {
         return Err(usage("--gap only applies with --exact"));
+    }
+    if flags.drift && flags.exact {
+        return Err(usage(
+            "--drift and --exact are separate oracles; pick one per run",
+        ));
+    }
+    if !flags.drift && flags.drift_steps != crate::drift::DEFAULT_DRIFT_STEPS {
+        return Err(usage("--drift-steps only applies with --drift"));
     }
     Ok(flags)
 }
@@ -709,6 +750,9 @@ fn stress_failures(
 /// See `spillopt-stress` for the machinery.
 fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_stress_flags("stress", rest)?;
+    if flags.drift {
+        return drift(&flags, out);
+    }
     let summary = with_trace(flags.trace.as_deref(), || {
         Ok(run_stress(&stress_config(&flags)))
     })?;
@@ -741,6 +785,51 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(io_err)?;
     }
     stress_failures(&summary, out)
+}
+
+/// The `stress --drift` arm: the profile-drift differential (warm
+/// incremental session vs fresh cold pipeline, byte-identical reports
+/// after every drift step). See [`crate::drift`] for the machinery.
+fn drift(flags: &StressFlags, out: &mut dyn Write) -> Result<(), CliError> {
+    let summary = with_trace(flags.trace.as_deref(), || {
+        Ok(run_drift(&DriftConfig {
+            start: flags.start,
+            seeds: flags.seeds,
+            steps: flags.drift_steps,
+            targets: flags.targets.clone(),
+            threads: flags.threads,
+        }))
+    })?;
+    writeln!(
+        out,
+        "drift: {} cases (seeds {}..{} x {} target(s), {} step(s)): {} checks, \
+         {} functions, {} warm hit(s), {} incremental re-fold(s), \
+         {}/{} regions re-folded, {} failure(s)",
+        summary.cases,
+        flags.start,
+        flags.start.saturating_add(flags.seeds),
+        flags.targets.len(),
+        flags.drift_steps,
+        summary.steps_checked,
+        summary.functions,
+        summary.warm_hits,
+        summary.incremental,
+        summary.regions_refolded,
+        summary.regions_total,
+        summary.failures.len()
+    )
+    .map_err(io_err)?;
+    if summary.passed() {
+        return Ok(());
+    }
+    for f in &summary.failures {
+        writeln!(out, "\n=== counterexample ===\n{f}").map_err(io_err)?;
+    }
+    Err(CliError::Run(format!(
+        "{} of {} drift cases diverged from the cold oracle (minimized counterexamples above)",
+        summary.failures.len(),
+        summary.cases
+    )))
 }
 
 /// The `gap` subcommand: the stress corpus under the exact oracle,
@@ -910,9 +999,11 @@ fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// The `stats` subcommand: the pipeline under the recorder, reported as
 /// an aggregated metrics snapshot instead of a timeline. The module
-/// runs twice through an arena-*enabled* session — cold, then warm — so
-/// the arena counters show both lookup outcomes and the phase table
-/// covers the cached path too.
+/// runs three times through an arena-*enabled* session — cold, warm,
+/// then under a weights-preserving profile drift — so the arena
+/// counters show every lookup outcome (miss, hit, incremental re-fold),
+/// the dirty-region ledger has something to report, and the phase table
+/// covers the cached and incremental paths too.
 fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
     let TargetChoice::One(spec) = &opts.target else {
         unreachable!("rejected in parse_opts");
@@ -935,6 +1026,17 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             .map_err(|e| CliError::Run(e.to_string()))?;
         functions = run.report.functions.len();
     }
+    // Third run: drift the profile without touching any block count, so
+    // allocation is reusable and the placement re-fold goes through the
+    // incremental path (functions with no suitable edge pair stay
+    // warm hits).
+    let mut profiles = session
+        .resolve_profiles(&module)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let drifted_funcs = crate::drift::nudge_weight_preserving(&module, &mut profiles);
+    session
+        .optimize_profiled(&module, &profiles)
+        .map_err(|e| CliError::Run(e.to_string()))?;
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     let trace = recording.finish();
     if let Some(path) = &opts.trace {
@@ -975,8 +1077,9 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             .with("schema_version", Json::UInt(1))
             .with("module", Json::str(module.name()))
             .with("target", Json::str(spec.name))
-            .with("runs", Json::UInt(2))
+            .with("runs", Json::UInt(3))
             .with("functions", Json::UInt(functions as u64))
+            .with("drifted_functions", Json::UInt(drifted_funcs as u64))
             .with("elapsed_ms", Json::Float(elapsed_ms))
             .with("phases", Json::Array(phases))
             .with("counters", counters)
@@ -984,14 +1087,24 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
                 "arena",
                 Json::obj()
                     .with("hits", Json::UInt(session_stats.arena.hits))
-                    .with("misses", Json::UInt(session_stats.arena.misses)),
+                    .with("misses", Json::UInt(session_stats.arena.misses))
+                    .with("incremental", Json::UInt(session_stats.arena.incremental))
+                    .with("evictions", Json::UInt(session_stats.arena.evictions))
+                    .with(
+                        "regions_refolded",
+                        Json::UInt(session_stats.arena.regions_refolded),
+                    )
+                    .with(
+                        "regions_total",
+                        Json::UInt(session_stats.arena.regions_total),
+                    ),
             )
             .with("pool_workers", Json::Array(workers))
             .to_pretty()
             + "\n"
     } else {
         let mut t = format!(
-            "stats: {} on {} — 2 runs (cold + warm), {} function(s), {:.1}ms\n\
+            "stats: {} on {} — 3 runs (cold + warm + drifted), {} function(s), {:.1}ms\n\
              {:<22} {:>7} {:>11} {:>10} {:>10} {:>10}\n",
             module.name(),
             spec.name,
@@ -1020,8 +1133,16 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             t.push_str(&format!("  {name:<28} {total}\n"));
         }
         t.push_str(&format!(
-            "arena: {} hit(s) / {} miss(es)\n",
-            session_stats.arena.hits, session_stats.arena.misses
+            "arena: {} hit(s) / {} miss(es) / {} incremental / {} eviction(s)\n",
+            session_stats.arena.hits,
+            session_stats.arena.misses,
+            session_stats.arena.incremental,
+            session_stats.arena.evictions
+        ));
+        t.push_str(&format!(
+            "dirty regions: {} re-folded of {} across the incremental run \
+             ({drifted_funcs} function(s) drifted)\n",
+            session_stats.arena.regions_refolded, session_stats.arena.regions_total
         ));
         if session_stats.pool_workers.is_empty() {
             t.push_str("pool: serial (no persistent workers)\n");
@@ -1276,6 +1397,45 @@ mod tests {
     }
 
     #[test]
+    fn stress_drift_smoke_runs_and_summarizes() {
+        let out = run_capture(&[
+            "stress",
+            "--seeds",
+            "2",
+            "--target",
+            "pa-risc-like",
+            "--drift",
+            "--drift-steps",
+            "4",
+        ])
+        .expect("stress --drift");
+        assert!(out.contains("drift: 2 cases"), "{out}");
+        assert!(out.contains("4 step(s)"), "{out}");
+        // base + 4 steps per case
+        assert!(out.contains("10 checks"), "{out}");
+        assert!(out.contains("0 failure(s)"), "{out}");
+    }
+
+    #[test]
+    fn drift_usage_errors() {
+        // --drift and --exact are mutually exclusive oracles.
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--drift", "--exact"]),
+            Err(CliError::Usage(_))
+        ));
+        // --drift-steps needs --drift.
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--drift-steps", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        // gap never accepts the drift flags.
+        assert!(matches!(
+            run_capture(&["gap", "--seeds", "1", "--drift"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn gap_flag_requires_exact_mode() {
         assert!(matches!(
             run_capture(&["stress", "--seeds", "1", "--gap", "10"]),
@@ -1369,6 +1529,14 @@ mod tests {
         assert!(out.contains("counters:"), "{out}");
         // The warm second run must have hit the session arena.
         assert!(!out.contains("arena: 0 hit(s)"), "no warm hits: {out}");
+        // The third (drifted) run must have taken the incremental path
+        // and reported its dirty-region ledger.
+        assert!(!out.contains("/ 0 incremental /"), "no incremental: {out}");
+        assert!(out.contains("dirty regions:"), "no ledger: {out}");
+        assert!(
+            !out.contains("dirty regions: 0 re-folded of 0"),
+            "empty ledger: {out}"
+        );
         assert!(
             out.contains("pool: serial (no persistent workers)"),
             "{out}"

@@ -78,6 +78,13 @@ pub enum ProfileSource {
         /// Base seed; function index is mixed in per function.
         seed: u64,
     },
+    /// Explicit measured per-function edge profiles, indexed by function
+    /// index — the re-profiling path ([`crate::Session::optimize_profiled`]
+    /// builds this per call). Like a workload, the vector is positional
+    /// over **one specific module's** functions: length or per-function
+    /// edge-count mismatches are rejected, and `optimize_many` over more
+    /// than one module rejects profile sessions outright.
+    Profiles(Vec<spillopt_profile::EdgeProfile>),
 }
 
 impl Default for ProfileSource {

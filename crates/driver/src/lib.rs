@@ -31,6 +31,10 @@
 //! * [`stress`] — fan-out of the differential stress subsystem
 //!   (`spillopt-stress`: random-CFG modules × interpreter oracles) over
 //!   `(target, seed)` pairs;
+//! * [`drift`] — the profile-drift fuzzer (`spillopt stress --drift`):
+//!   seeded profile-mutation sequences replayed through a warm
+//!   incremental session against a fresh cold pipeline, byte-identical
+//!   [`ModuleReport`]s required after every step;
 //! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`,
 //!   `stress`, `bench`, `list-benches`, `list-targets`.
 //!
@@ -88,6 +92,7 @@
 pub mod bench;
 pub mod cache;
 pub mod cli;
+pub mod drift;
 pub mod driver;
 pub mod json;
 pub mod pool;
@@ -98,6 +103,7 @@ pub mod stress;
 
 pub use bench::{run_bench, BenchConfig, BenchOutcome};
 pub use cache::AnalysisCache;
+pub use drift::{run_drift, DriftConfig, DriftFailure, DriftSummary, DEFAULT_DRIFT_STEPS};
 #[allow(deprecated)]
 pub use driver::{cross_target_runs, optimize_module, optimize_module_for};
 pub use driver::{DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy};
@@ -106,5 +112,7 @@ pub use pool::PoolWorkerStats;
 pub use report::{
     CrossTargetReport, FunctionReport, ModuleReport, StrategyReport, REPORT_SCHEMA_VERSION,
 };
-pub use session::{ArenaStats, Observer, OptimizerBuilder, Session, SessionStats, TechniqueSet};
+pub use session::{
+    ArenaStats, Observer, OptimizerBuilder, Provenance, Session, SessionStats, TechniqueSet,
+};
 pub use stress::{run_stress, StressConfig, StressSummary};

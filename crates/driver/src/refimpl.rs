@@ -59,6 +59,10 @@ pub fn optimize_module_reference(
                 .collect()
         }
         ProfileSource::Synthetic { .. } => module.func_ids().map(|_| None).collect(),
+        // The reference pipeline predates (and never participates in)
+        // the incremental re-profiling path, but explicit profiles are
+        // still valid inputs: use them as given.
+        ProfileSource::Profiles(profiles) => profiles.iter().cloned().map(Some).collect(),
     };
 
     let items: Vec<(FuncId, Option<EdgeProfile>)> = module.func_ids().zip(profiles).collect();

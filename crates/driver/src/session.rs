@@ -35,9 +35,12 @@ use crate::cache::AnalysisCache;
 use crate::driver::{DriverError, ModuleRun, ProfileSource, Strategy};
 use crate::pool::{try_run_indexed, ItemPanic, Pool, PoolWorkerStats};
 use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
-use spillopt_core::{run_suite, Placement, SpillCostModel, SuiteInputs, SuiteOptions};
+use spillopt_core::{
+    run_suite, run_suite_incremental, run_suite_memoized, Placement, PlacementMemo, PlacementSuite,
+    RefoldStats, SpillCostModel, SuiteError, SuiteInputs, SuiteOptions,
+};
 use spillopt_ir::{FuncId, Function, Module, Target};
-use spillopt_profile::{random_walk_profile, EdgeProfile, Machine};
+use spillopt_profile::{random_walk_profile, EdgeProfile, Machine, ProfileDelta};
 use spillopt_regalloc::allocate;
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::collections::HashMap;
@@ -166,6 +169,35 @@ impl std::fmt::Display for TechniqueSet {
     }
 }
 
+/// How one function's retired pipeline products were obtained — the
+/// reuse provenance the session surfaces through [`Observer`] and the
+/// `--progress` summary. The reports themselves are byte-identical on
+/// every path (the incremental re-fold provably re-establishes the cold
+/// fixpoint); provenance only says how much work the path cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provenance {
+    /// Full pipeline: allocation, analyses, every placement fold.
+    Cold,
+    /// Exact arena hit — the (function, profile) pair was seen before
+    /// and the retired products were returned wholesale.
+    Warm,
+    /// The function's structure was known but its profile drifted: the
+    /// allocation and analyses were reused and only the PST regions the
+    /// profile delta dirtied were re-folded.
+    Incremental,
+}
+
+impl Provenance {
+    /// Stable lowercase identifier (used on `--progress` lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::Cold => "cold",
+            Provenance::Warm => "warm",
+            Provenance::Incremental => "incremental",
+        }
+    }
+}
+
 /// Streaming callback for session runs: called from worker threads as
 /// each function's pipeline retires (completion order — *not* function
 /// order). The session's returned reports stay deterministic regardless.
@@ -174,8 +206,15 @@ pub trait Observer: Sync {
     /// placements validated). `target` names the backend — a
     /// [`Session::cross_target`] run shares one observer across every
     /// target's concurrent fan-out, so the lines are only attributable
-    /// with it.
-    fn function_retired(&self, target: &str, module: &str, report: &FunctionReport);
+    /// with it. `provenance` says whether the products were recomputed
+    /// cold, served warm from the arena, or incrementally re-folded.
+    fn function_retired(
+        &self,
+        target: &str,
+        module: &str,
+        report: &FunctionReport,
+        provenance: Provenance,
+    );
 
     /// One module's full report was assembled (the report itself names
     /// its target).
@@ -184,11 +223,17 @@ pub trait Observer: Sync {
     }
 }
 
-/// Any `Fn(&target_name, &module_name, &report)` closure is an
-/// observer.
-impl<F: Fn(&str, &str, &FunctionReport) + Sync> Observer for F {
-    fn function_retired(&self, target: &str, module: &str, report: &FunctionReport) {
-        self(target, module, report)
+/// Any `Fn(&target_name, &module_name, &report, provenance)` closure is
+/// an observer.
+impl<F: Fn(&str, &str, &FunctionReport, Provenance) + Sync> Observer for F {
+    fn function_retired(
+        &self,
+        target: &str,
+        module: &str,
+        report: &FunctionReport,
+        provenance: Provenance,
+    ) {
+        self(target, module, report, provenance)
     }
 }
 
@@ -211,36 +256,108 @@ pub struct SessionStats {
 /// Arena statistics (see [`Session::arena_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArenaStats {
-    /// Cached per-function pipeline products.
+    /// Cached function structures (distinct pre-allocation texts).
     pub entries: usize,
-    /// Lookups served from the arena.
+    /// Lookups served wholesale — the exact (function, profile) pair
+    /// was retired before ([`Provenance::Warm`]).
     pub hits: u64,
-    /// Lookups that had to run the pipeline.
+    /// Lookups that ran the full cold pipeline ([`Provenance::Cold`]):
+    /// unseen functions, plus profile drifts that changed the
+    /// allocation.
     pub misses: u64,
+    /// Lookups served by delta-driven re-folding
+    /// ([`Provenance::Incremental`]): the function's structure was
+    /// cached and the drifted profile left its allocation unchanged.
+    pub incremental: u64,
+    /// Function structures evicted to honor
+    /// [`OptimizerBuilder::arena_capacity`].
+    pub evictions: u64,
+    /// Dirty-region ledger: PST regions actually re-folded, summed over
+    /// every incremental call.
+    pub regions_refolded: u64,
+    /// Dirty-region ledger: total PST regions of the functions those
+    /// incremental calls touched — the work a cold re-fold would have
+    /// done. `regions_refolded < regions_total` is the incremental win.
+    pub regions_total: u64,
 }
 
-/// The per-session analysis arena: retired per-function pipeline
-/// products (the allocated function, its placements, and the report
-/// distilled from its [`AnalysisCache`]), keyed by the *exact* inputs
-/// that produced them — the pre-allocation function text and the full
-/// edge profile. Repeated [`Session::optimize`] calls over the same (or
-/// overlapping) modules skip allocation, analyses, and all placement
-/// work for every hit; the target, cost model, and technique set are
-/// fixed per session, so they never enter the key.
+/// The per-session analysis arena, keyed in **two levels** matching the
+/// two levels of input change a re-optimizing service sees:
 ///
-/// The arena only grows (entries are exact, never invalidated); a
-/// session's memory use is bounded by the distinct functions it has
-/// optimized. Build with [`OptimizerBuilder::reuse_analyses`]`(false)`
-/// for one-shot or benchmarking sessions that must re-run the pipeline
-/// every time.
+/// 1. **Structure** — the pre-allocation function text. One
+///    [`StructState`] per distinct function holds everything the text
+///    alone determines once an allocation exists: the allocated
+///    function, its [`AnalysisCache`] (CFG, liveness, usage, SCCs, PST,
+///    derived tables), and the [`PlacementMemo`] of per-region folded
+///    products.
+/// 2. **Placement** — the exact edge profile. Each structure keeps its
+///    retired `(report, placements)` outcomes per profile.
+///
+/// A repeated call with a seen profile is a wholesale hit
+/// ([`Provenance::Warm`]). A call with a *drifted* profile reuses the
+/// whole structure level when the drift leaves the allocation unchanged
+/// — the allocator's only profile input is its per-block weight vector,
+/// so equal weights prove an identical allocation, and unequal weights
+/// re-allocate once and compare — and then re-folds only the PST
+/// regions the [`ProfileDelta`] dirties ([`Provenance::Incremental`]).
+/// Only a drift that changes the allocation itself re-runs the full
+/// cold pipeline.
+///
+/// By default the arena grows without bound (entries are exact, never
+/// invalidated); [`OptimizerBuilder::arena_capacity`] bounds the number
+/// of cached structures with least-recently-used eviction. Build with
+/// [`OptimizerBuilder::reuse_analyses`]`(false)` for one-shot or
+/// benchmarking sessions that must re-run the pipeline every time.
 pub(crate) struct AnalysisArena {
-    /// Entries behind `Arc` so lookups clone a pointer under the lock
-    /// and do the (large) deep copy outside the critical section —
-    /// warm batches stay parallel instead of serializing on the map.
-    entries: Mutex<HashMap<ArenaKey, Arc<ArenaEntry>>>,
+    /// Structure level: pre-allocation function text → (LRU stamp,
+    /// state). States sit behind `Arc<Mutex<_>>` so a lookup clones a
+    /// pointer under the map lock and all per-function work happens
+    /// outside it; the stamps live *here*, so eviction scans never take
+    /// a state's own lock.
+    entries: Mutex<HashMap<String, ArenaEntry>>,
+    /// Maximum cached structures (`0` = unbounded).
+    capacity: usize,
+    /// LRU clock, bumped on every structure touch.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    incremental: AtomicU64,
+    evictions: AtomicU64,
+    regions_refolded: AtomicU64,
+    regions_total: AtomicU64,
 }
+
+/// Everything the pre-allocation function text determines for the
+/// session's fixed (target, cost model): the allocation, the analyses,
+/// and the per-region fold memo — plus the per-profile outcomes retired
+/// against that structure.
+struct StructState {
+    /// The allocated (physical, pre-placement) function.
+    func: Function,
+    /// `func.to_string()`, kept to compare re-allocations cheaply.
+    func_text: String,
+    spilled_vregs: usize,
+    /// The allocator's per-block weight vector for the profile the
+    /// structure was last allocated under — its *only* profile input,
+    /// so an equal vector proves the allocation is bit-identical.
+    weights: Vec<u64>,
+    /// Analyses of `func`; `cache.profile` is the memo's base profile.
+    cache: AnalysisCache,
+    /// Per-region folded products; `None` when the function needs no
+    /// placement (no callee-saved use).
+    memo: Option<PlacementMemo>,
+    /// Retired outcomes per exact profile `(entry_count, edge_counts)`.
+    /// Every entry was produced against the *current* `func` (a cold
+    /// replace clears the map), so a hit clones `func` next to it.
+    outcomes: HashMap<ProfileKey, (FunctionReport, Vec<(Strategy, Placement)>)>,
+}
+
+/// An LRU stamp paired with the shared per-structure state it guards.
+type ArenaEntry = (u64, Arc<Mutex<StructState>>);
+
+/// The exact-profile key of a [`StructState`] outcome:
+/// `(entry_count, edge_counts)`.
+type ProfileKey = (u64, Vec<u64>);
 
 /// An allocated (physical, pre-placement) function paired with its
 /// selected placements.
@@ -252,72 +369,80 @@ type FunctionOutcome = (FunctionReport, AllocatedFunction);
 /// A cross-target module loader.
 type Loader<'l> = dyn Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync + 'l;
 
-#[derive(PartialEq, Eq, Hash)]
-struct ArenaKey {
-    /// Pre-allocation function text (exact, collision-free).
-    func: String,
-    /// The profile that drove allocation and placement.
-    entry_count: u64,
-    edge_counts: Vec<u64>,
-}
-
-struct ArenaEntry {
-    report: FunctionReport,
-    func: Function,
-    placements: Vec<(Strategy, Placement)>,
+/// The exact-profile key of a [`StructState`] outcome.
+fn profile_key(profile: &EdgeProfile) -> ProfileKey {
+    (profile.entry_count(), profile.edge_counts().to_vec())
 }
 
 impl AnalysisArena {
-    fn new() -> Self {
+    fn new(capacity: usize) -> Self {
         AnalysisArena {
             entries: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            incremental: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            regions_refolded: AtomicU64::new(0),
+            regions_total: AtomicU64::new(0),
         }
     }
 
-    fn key(func: &Function, profile: &EdgeProfile) -> ArenaKey {
-        ArenaKey {
-            func: func.to_string(),
-            entry_count: profile.entry_count(),
-            edge_counts: profile.edge_counts().to_vec(),
-        }
-    }
-
-    /// A cached pipeline product, re-indexed for the requesting module.
-    fn lookup(&self, key: &ArenaKey, index: usize) -> Option<FunctionOutcome> {
-        let entry = self.entries.lock().unwrap().get(key).cloned();
-        match entry {
-            Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                spillopt_obs::count("arena_hit", 1);
-                // Deep copy outside the lock.
-                let mut report = e.report.clone();
-                report.index = index;
-                Some((report, (e.func.clone(), e.placements.clone())))
+    /// The cached structure for a pre-allocation function text, touching
+    /// its LRU stamp.
+    fn structure(&self, text: &str) -> Option<Arc<Mutex<StructState>>> {
+        let mut map = self.entries.lock().unwrap();
+        match map.get_mut(text) {
+            Some((stamp, state)) => {
+                *stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(state))
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                spillopt_obs::count("arena_miss", 1);
-                None
+            None => None,
+        }
+    }
+
+    /// Caches a freshly computed structure, evicting the least recently
+    /// used one when over capacity.
+    fn insert_structure(&self, text: String, state: StructState) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.entries.lock().unwrap();
+        map.insert(text.clone(), (stamp, Arc::new(Mutex::new(state))));
+        while self.capacity > 0 && map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .filter(|(k, _)| **k != text)
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    spillopt_obs::count("arena_evictions", 1);
+                }
+                // Capacity 1 entry is the one just inserted.
+                None => break,
             }
         }
     }
 
-    fn insert(
-        &self,
-        key: ArenaKey,
-        report: &FunctionReport,
-        func: &Function,
-        placements: &[(Strategy, Placement)],
-    ) {
-        // Deep copy outside the lock; the map only stores the Arc.
-        let entry = Arc::new(ArenaEntry {
-            report: report.clone(),
-            func: func.clone(),
-            placements: placements.to_vec(),
-        });
-        self.entries.lock().unwrap().insert(key, entry);
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        spillopt_obs::count("arena_hit", 1);
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        spillopt_obs::count("arena_miss", 1);
+    }
+
+    fn record_incremental(&self, refolds: RefoldStats) {
+        self.incremental.fetch_add(1, Ordering::Relaxed);
+        spillopt_obs::count("arena_incremental", 1);
+        self.regions_refolded
+            .fetch_add(refolds.regions_refolded as u64, Ordering::Relaxed);
+        self.regions_total
+            .fetch_add(refolds.regions_total as u64, Ordering::Relaxed);
     }
 
     fn stats(&self) -> ArenaStats {
@@ -325,6 +450,10 @@ impl AnalysisArena {
             entries: self.entries.lock().unwrap().len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            regions_refolded: self.regions_refolded.load(Ordering::Relaxed),
+            regions_total: self.regions_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -388,6 +517,7 @@ pub struct OptimizerBuilder {
     threads: usize,
     techniques: TechniqueSet,
     reuse_analyses: bool,
+    arena_capacity: usize,
 }
 
 impl Default for OptimizerBuilder {
@@ -408,6 +538,7 @@ impl OptimizerBuilder {
             threads: 0,
             techniques: TechniqueSet::ALL,
             reuse_analyses: true,
+            arena_capacity: 0,
         }
     }
 
@@ -485,6 +616,17 @@ impl OptimizerBuilder {
         self
     }
 
+    /// Bounds the arena to `capacity` cached function structures,
+    /// evicting least-recently-used entries beyond it (default `0` =
+    /// unbounded). Evictions are counted in
+    /// [`ArenaStats::evictions`]; an evicted function's next
+    /// optimization runs cold again.
+    #[must_use]
+    pub fn arena_capacity(mut self, capacity: usize) -> Self {
+        self.arena_capacity = capacity;
+        self
+    }
+
     /// Validates the configuration and builds the [`Session`] (spawning
     /// its worker pool).
     ///
@@ -538,7 +680,9 @@ impl OptimizerBuilder {
             profile: self.profile,
             techniques: self.techniques,
             pool: Pool::new(self.threads),
-            arena: self.reuse_analyses.then(AnalysisArena::new),
+            arena: self
+                .reuse_analyses
+                .then(|| AnalysisArena::new(self.arena_capacity)),
         })
     }
 }
@@ -605,10 +749,21 @@ impl Session {
         st: &'e SessionTarget,
         observer: Option<&'e dyn Observer>,
     ) -> Engine<'e> {
+        self.engine_with(st, &self.profile, observer)
+    }
+
+    /// As [`Session::engine`], with a per-call profile source override
+    /// (the [`Session::optimize_profiled`] path).
+    fn engine_with<'e>(
+        &'e self,
+        st: &'e SessionTarget,
+        source: &'e ProfileSource,
+        observer: Option<&'e dyn Observer>,
+    ) -> Engine<'e> {
         Engine {
             target: &st.target,
             costs: &st.costs,
-            profile_source: &self.profile,
+            profile_source: source,
             techniques: self.techniques,
             exec: Exec::Pool(&self.pool),
             arena: self.arena.as_ref(),
@@ -650,6 +805,81 @@ impl Session {
         run_module(module, &self.engine(st, observer))
     }
 
+    /// Optimizes one module under explicit measured per-function edge
+    /// profiles, overriding the session's [`ProfileSource`] for this
+    /// call — the re-profiling entry point. `profiles` is indexed by
+    /// function index and must cover every function of `module` with an
+    /// edge vector matching that function's CFG.
+    ///
+    /// On a session with analysis reuse, repeated calls over drifting
+    /// profiles are where the two-level arena earns its keep: a profile
+    /// seen before returns wholesale ([`Provenance::Warm`]), and a
+    /// drifted profile that leaves a function's allocation unchanged
+    /// re-folds only the PST regions its [`ProfileDelta`] dirties
+    /// ([`Provenance::Incremental`]). The returned report is
+    /// byte-identical to a cold run on the same profiles regardless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Config`] when the profiles don't match the
+    /// module's shape, or the first driver failure.
+    pub fn optimize_profiled(
+        &self,
+        module: &Module,
+        profiles: &[EdgeProfile],
+    ) -> Result<ModuleRun, DriverError> {
+        self.optimize_profiled_inner(module, profiles, None)
+    }
+
+    /// As [`Session::optimize_profiled`], streaming per-function
+    /// reports (with their reuse provenance) to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::optimize_profiled`].
+    pub fn optimize_profiled_observed(
+        &self,
+        module: &Module,
+        profiles: &[EdgeProfile],
+        observer: &dyn Observer,
+    ) -> Result<ModuleRun, DriverError> {
+        self.optimize_profiled_inner(module, profiles, Some(observer))
+    }
+
+    fn optimize_profiled_inner(
+        &self,
+        module: &Module,
+        profiles: &[EdgeProfile],
+        observer: Option<&dyn Observer>,
+    ) -> Result<ModuleRun, DriverError> {
+        let st = self.single_target()?;
+        let source = ProfileSource::Profiles(profiles.to_vec());
+        run_module(module, &self.engine_with(st, &source, observer))
+    }
+
+    /// Materializes the per-function edge profiles the session's
+    /// [`ProfileSource`] yields for `module` — the base profiles a
+    /// drift harness mutates before re-optimizing with
+    /// [`Session::optimize_profiled`]. Synthetic sources synthesize
+    /// exactly what [`Session::optimize`] would; workload sources run
+    /// the training workload once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same configuration/workload failures
+    /// [`Session::optimize`] would.
+    pub fn resolve_profiles(&self, module: &Module) -> Result<Vec<EdgeProfile>, DriverError> {
+        let st = self.single_target()?;
+        let profiles = module_profiles(module, &st.target, &self.profile)?;
+        Ok(module
+            .func_ids()
+            .zip(profiles)
+            .map(|(fid, p)| {
+                p.unwrap_or_else(|| synth_profile(module.func(fid), fid, &self.profile))
+            })
+            .collect())
+    }
+
     /// Optimizes a batch of modules, fanning **all** their functions out
     /// on the session pool at once (a small module no longer serializes
     /// behind a big one). Results are in input order and byte-identical
@@ -681,11 +911,16 @@ impl Session {
         observer: Option<&dyn Observer>,
     ) -> Result<Vec<ModuleRun>, DriverError> {
         let st = self.single_target()?;
-        if modules.len() > 1 && matches!(self.profile, ProfileSource::Workload(_)) {
+        if modules.len() > 1
+            && matches!(
+                self.profile,
+                ProfileSource::Workload(_) | ProfileSource::Profiles(_)
+            )
+        {
             return Err(DriverError::Config(
-                "a training workload names one specific module's functions and cannot drive a \
-                 multi-module batch; use synthetic profiles, or one `optimize` call per module \
-                 with its own workload session"
+                "a training workload (or an explicit profile vector) names one specific \
+                 module's functions and cannot drive a multi-module batch; use synthetic \
+                 profiles, or one `optimize` call per module with its own profile session"
                     .to_string(),
             ));
         }
@@ -892,7 +1127,60 @@ fn module_profiles(
                 .collect())
         }
         ProfileSource::Synthetic { .. } => Ok(module.func_ids().map(|_| None).collect()),
+        ProfileSource::Profiles(profiles) => {
+            // Explicit profiles are positional over one specific
+            // module's functions; shape mismatches are certainly the
+            // wrong-module mistake — reject them up front, per-module.
+            if profiles.len() != module.num_funcs() {
+                return Err(DriverError::Config(format!(
+                    "explicit profile vector has {} profile(s) but module `{}` has {} \
+                     function(s); profiles are per-module — build the vector for the module \
+                     being optimized",
+                    profiles.len(),
+                    module.name(),
+                    module.num_funcs()
+                )));
+            }
+            for (fid, p) in module.func_ids().zip(profiles) {
+                let func = module.func(fid);
+                let edges = spillopt_ir::Cfg::compute(func).num_edges();
+                if p.edge_counts().len() != edges {
+                    return Err(DriverError::Config(format!(
+                        "profile for function #{} (`{}`) has {} edge count(s) but its CFG has \
+                         {} edge(s); per-module profiles must be measured on the module being \
+                         optimized",
+                        fid.index(),
+                        func.name(),
+                        p.edge_counts().len(),
+                        edges
+                    )));
+                }
+            }
+            Ok(profiles.iter().cloned().map(Some).collect())
+        }
     }
+}
+
+/// The deterministic synthetic profile [`ProfileSource::Synthetic`]
+/// yields for one function (shared by the engine's lazy per-function
+/// path and [`Session::resolve_profiles`]).
+fn synth_profile(func: &Function, fid: FuncId, source: &ProfileSource) -> EdgeProfile {
+    let _s = spillopt_obs::span("profile_synth");
+    let ProfileSource::Synthetic {
+        walks,
+        max_steps,
+        seed,
+    } = source
+    else {
+        unreachable!("workload and explicit profiles are precomputed")
+    };
+    let cfg = spillopt_ir::Cfg::compute(func);
+    random_walk_profile(
+        &cfg,
+        *walks,
+        *max_steps,
+        seed ^ (fid.index() as u64).wrapping_mul(0x9e37_79b9),
+    )
 }
 
 /// Runs one module through the engine: profile → allocate → analyses →
@@ -931,9 +1219,10 @@ pub(crate) fn run_module(module: &Module, engine: &Engine<'_>) -> Result<ModuleR
     Ok(run)
 }
 
-/// One function's pipeline: synthesize the profile if needed, consult
-/// the arena, otherwise allocate and place under every selected
-/// technique.
+/// One function's pipeline: resolve the profile, consult the two-level
+/// arena, and run as little of the pipeline as the cached structure
+/// allows — warm wholesale, incremental re-fold on drift, cold only for
+/// unseen functions or allocation-changing drifts.
 fn run_function(
     module: &Module,
     fid: FuncId,
@@ -943,48 +1232,185 @@ fn run_function(
     // Outermost per-function span: on transient/serial executors this is
     // the flush boundary (on the persistent pool, `pool_job` wraps it).
     let _fn_span = spillopt_obs::span("function");
-    let mut func = module.func(fid).clone();
-    let profile = profile.unwrap_or_else(|| {
-        let _s = spillopt_obs::span("profile_synth");
-        let ProfileSource::Synthetic {
-            walks,
-            max_steps,
-            seed,
-        } = engine.profile_source
-        else {
-            unreachable!("workload profiles are precomputed")
-        };
-        let cfg = spillopt_ir::Cfg::compute(&func);
-        random_walk_profile(
-            &cfg,
-            *walks,
-            *max_steps,
-            seed ^ (fid.index() as u64).wrapping_mul(0x9e37_79b9),
-        )
-    });
+    let source_func = module.func(fid);
+    let profile = profile.unwrap_or_else(|| synth_profile(source_func, fid, engine.profile_source));
 
-    let key = engine.arena.map(|_| AnalysisArena::key(&func, &profile));
-    if let (Some(arena), Some(key)) = (engine.arena, &key) {
-        if let Some(hit) = arena.lookup(key, fid.index()) {
-            if let Some(obs) = engine.observer {
-                obs.function_retired(engine.target.name(), module.name(), &hit.0);
-            }
-            return Ok(hit);
+    let notify = |report: &FunctionReport, provenance: Provenance| {
+        if let Some(obs) = engine.observer {
+            obs.function_retired(engine.target.name(), module.name(), report, provenance);
         }
+    };
+
+    let Some(arena) = engine.arena else {
+        // No arena: the frozen whole-pipeline cold path — also the
+        // differential oracle the drift fuzzer compares every
+        // incremental result against.
+        let mut func = source_func.clone();
+        let alloc = {
+            let _s = spillopt_obs::span("allocate");
+            allocate(&mut func, engine.target, Some(&profile))
+        };
+        let cache = AnalysisCache::compute(&func, engine.target, profile);
+        let mut report = report_shell(fid, &func, &cache, alloc.spilled_vregs);
+        let placements = if cache.needs_placement() {
+            let inputs = suite_inputs(&cache);
+            let suite = run_suite(&cache.cfg, &inputs, &SuiteOptions::priced(*engine.costs))
+                .map_err(|e| suite_error(&func, e))?;
+            fill_report(&mut report, suite, engine.techniques)
+        } else {
+            Vec::new()
+        };
+        notify(&report, Provenance::Cold);
+        return Ok((report, (func, placements)));
+    };
+
+    let text = source_func.to_string();
+    let pkey = profile_key(&profile);
+    if let Some(state) = arena.structure(&text) {
+        let mut guard = state.lock().unwrap();
+        let st = &mut *guard;
+        if let Some((report, placements)) = st.outcomes.get(&pkey) {
+            arena.record_hit();
+            let mut report = report.clone();
+            report.index = fid.index();
+            notify(&report, Provenance::Warm);
+            return Ok((report, (st.func.clone(), placements.clone())));
+        }
+        // The profile drifted. The allocator's only profile input is
+        // its per-block weight vector, so equal weights prove the
+        // cached allocation — and every analysis over it — is still
+        // exact; unequal weights re-allocate once and compare.
+        let weights = allocation_weights(source_func, &profile);
+        let allocation_unchanged = weights == st.weights || {
+            let mut func = source_func.clone();
+            let _s = spillopt_obs::span("allocate");
+            let alloc = allocate(&mut func, engine.target, Some(&profile));
+            alloc.spilled_vregs == st.spilled_vregs && func.to_string() == st.func_text
+        };
+        if allocation_unchanged {
+            // Rebase the weight gate so repeated drifts to this weight
+            // vector take the fast equality path.
+            st.weights = weights;
+            let (report, allocated) = refold_incremental(fid, st, engine, profile, arena)?;
+            st.outcomes
+                .insert(pkey, (report.clone(), allocated.1.clone()));
+            notify(&report, Provenance::Incremental);
+            return Ok((report, allocated));
+        }
+        // The drift changed the allocation itself: rebuild the whole
+        // structure cold (the old outcomes priced a different
+        // function, so they are cleared with it).
+        arena.record_miss();
+        let (new_state, (report, allocated)) = cold_structure(fid, source_func, engine, profile)?;
+        *st = new_state;
+        st.outcomes
+            .insert(pkey, (report.clone(), allocated.1.clone()));
+        notify(&report, Provenance::Cold);
+        return Ok((report, allocated));
     }
 
+    // Unseen function: full cold pipeline, then cache the structure.
+    arena.record_miss();
+    let (mut state, (report, allocated)) = cold_structure(fid, source_func, engine, profile)?;
+    state
+        .outcomes
+        .insert(pkey, (report.clone(), allocated.1.clone()));
+    arena.insert_structure(text, state);
+    notify(&report, Provenance::Cold);
+    Ok((report, allocated))
+}
+
+/// The allocator's per-block weight vector — [`allocate`]'s only
+/// profile input (see `spillopt-regalloc`): equal vectors prove
+/// bit-identical allocations, which is what gates the arena's
+/// incremental path.
+fn allocation_weights(func: &Function, profile: &EdgeProfile) -> Vec<u64> {
+    func.block_ids()
+        .map(|b| profile.block_count(b).max(1))
+        .collect()
+}
+
+/// Runs the full cold pipeline for one function and packages the result
+/// as an arena [`StructState`] (with its [`PlacementMemo`]) plus the
+/// retired outcome.
+fn cold_structure(
+    fid: FuncId,
+    source_func: &Function,
+    engine: &Engine<'_>,
+    profile: EdgeProfile,
+) -> Result<(StructState, FunctionOutcome), DriverError> {
+    let weights = allocation_weights(source_func, &profile);
+    let mut func = source_func.clone();
     let alloc = {
         let _s = spillopt_obs::span("allocate");
         allocate(&mut func, engine.target, Some(&profile))
     };
-    let (report, placements) = per_function(fid, &func, engine, profile, alloc.spilled_vregs)?;
-    if let (Some(arena), Some(key)) = (engine.arena, key) {
-        arena.insert(key, &report, &func, &placements);
-    }
-    if let Some(obs) = engine.observer {
-        obs.function_retired(engine.target.name(), module.name(), &report);
-    }
-    Ok((report, (func, placements)))
+    let cache = AnalysisCache::compute(&func, engine.target, profile);
+    let mut report = report_shell(fid, &func, &cache, alloc.spilled_vregs);
+    let (memo, placements) = if cache.needs_placement() {
+        let inputs = suite_inputs(&cache);
+        let (suite, memo) =
+            run_suite_memoized(&cache.cfg, &inputs, &SuiteOptions::priced(*engine.costs))
+                .map_err(|e| suite_error(&func, e))?;
+        let placements = fill_report(&mut report, suite, engine.techniques);
+        (Some(memo), placements)
+    } else {
+        (None, Vec::new())
+    };
+    let state = StructState {
+        func_text: func.to_string(),
+        func: func.clone(),
+        spilled_vregs: alloc.spilled_vregs,
+        weights,
+        cache,
+        memo,
+        outcomes: HashMap::new(),
+    };
+    Ok((state, (report, (func, placements))))
+}
+
+/// Re-establishes one function's placement after a profile drift that
+/// left its allocation unchanged: computes the [`ProfileDelta`] from
+/// the structure's base profile, re-folds only the dirtied PST regions,
+/// and rebases the structure on the new profile.
+fn refold_incremental(
+    fid: FuncId,
+    st: &mut StructState,
+    engine: &Engine<'_>,
+    profile: EdgeProfile,
+    arena: &AnalysisArena,
+) -> Result<FunctionOutcome, DriverError> {
+    let delta = ProfileDelta::between(&st.cache.profile, &profile);
+    let mut report = report_shell(fid, &st.func, &st.cache, st.spilled_vregs);
+    let placements = match st.memo.as_mut() {
+        Some(memo) => {
+            let inputs = SuiteInputs::analyzed(
+                &st.cache.usage,
+                &profile,
+                st.cache.cyclic(),
+                st.cache.pst(),
+                st.cache.derived(),
+            );
+            let (suite, refolds) = run_suite_incremental(
+                &st.cache.cfg,
+                &inputs,
+                &SuiteOptions::priced(*engine.costs),
+                memo,
+                &delta,
+            )
+            .map_err(|e| suite_error(&st.func, e))?;
+            arena.record_incremental(refolds);
+            fill_report(&mut report, suite, engine.techniques)
+        }
+        // No callee-saved use: the report is profile-independent and
+        // there is nothing to re-fold.
+        None => {
+            arena.record_incremental(RefoldStats::default());
+            Vec::new()
+        }
+    };
+    st.cache.profile = profile;
+    Ok((report, (st.func.clone(), placements)))
 }
 
 /// Maps a core suite technique label to the reporting strategy name.
@@ -998,20 +1424,18 @@ fn technique_name(label: &'static str) -> &'static str {
     }
 }
 
-/// Runs the selected strategies for one allocated function against one
-/// shared [`AnalysisCache`] and summarizes them. Functions that use no
-/// callee-saved register return before any lazy analysis (SCCs, PST) is
-/// built.
-fn per_function(
+/// The profile-independent frame of one function's report: identity,
+/// size, and allocation facts. Strategies are filled by
+/// [`fill_report`] (and stay empty for functions that need no
+/// placement).
+fn report_shell(
     fid: FuncId,
     func: &Function,
-    engine: &Engine<'_>,
-    profile: EdgeProfile,
+    cache: &AnalysisCache,
     spilled_vregs: usize,
-) -> Result<(FunctionReport, Vec<(Strategy, Placement)>), DriverError> {
-    let cache = AnalysisCache::compute(func, engine.target, profile);
+) -> FunctionReport {
     let insts = func.block_ids().map(|b| func.block(b).insts.len()).sum();
-    let mut report = FunctionReport {
+    FunctionReport {
         index: fid.index(),
         name: func.name().to_string(),
         blocks: func.num_blocks(),
@@ -1020,32 +1444,29 @@ fn per_function(
         callee_saved: cache.usage.num_regs(),
         strategies: Vec::new(),
         best: None,
-    };
-    if !cache.needs_placement() {
-        return Ok((report, Vec::new()));
     }
+}
 
-    let inputs = SuiteInputs::analyzed(
+/// The suite inputs borrowed from one [`AnalysisCache`] (lazy analyses
+/// materialize here; functions that need no placement never call this).
+fn suite_inputs(cache: &AnalysisCache) -> SuiteInputs<'_> {
+    SuiteInputs::analyzed(
         &cache.usage,
         &cache.profile,
         cache.cyclic(),
         cache.pst(),
         cache.derived(),
-    );
-    let suite =
-        run_suite(&cache.cfg, &inputs, &SuiteOptions::priced(*engine.costs)).map_err(|e| {
-            DriverError::InvalidPlacement {
-                function: func.name().to_string(),
-                technique: technique_name(e.technique),
-                detail: e
-                    .errors
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; "),
-            }
-        })?;
+    )
+}
 
+/// Distills a computed [`PlacementSuite`] into the report's selected
+/// strategies (and the per-strategy placements an applied module run
+/// needs), picking the best by predicted cost.
+fn fill_report(
+    report: &mut FunctionReport,
+    suite: PlacementSuite,
+    techniques: TechniqueSet,
+) -> Vec<(Strategy, Placement)> {
     let entries = [
         (Strategy::Baseline, suite.entry_exit),
         (Strategy::Shrinkwrap, suite.chow),
@@ -1054,7 +1475,7 @@ fn per_function(
     ];
     let mut placements = Vec::new();
     for ((strategy, placement), cost) in entries.into_iter().zip(suite.predicted) {
-        if !engine.techniques.contains(strategy) {
+        if !techniques.contains(strategy) {
             continue;
         }
         report.strategies.push(StrategyReport {
@@ -1070,7 +1491,22 @@ fn per_function(
         .iter()
         .min_by_key(|s| s.cost)
         .map(|s| s.strategy);
-    Ok((report, placements))
+    placements
+}
+
+/// Converts a placement-validity failure into the driver's structured
+/// error.
+fn suite_error(func: &Function, e: SuiteError) -> DriverError {
+    DriverError::InvalidPlacement {
+        function: func.name().to_string(),
+        technique: technique_name(e.technique),
+        detail: e
+            .errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; "),
+    }
 }
 
 #[cfg(test)]
@@ -1177,7 +1613,7 @@ mod tests {
             .build()
             .expect("valid");
         let seen = AtomicUsize::new(0);
-        let observer = |_t: &str, _m: &str, _r: &FunctionReport| {
+        let observer = |_t: &str, _m: &str, _r: &FunctionReport, _p: Provenance| {
             seen.fetch_add(1, Ordering::Relaxed);
         };
         let run = session.optimize_observed(&module, &observer).expect("run");

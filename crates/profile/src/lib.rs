@@ -42,5 +42,5 @@ pub mod synth;
 
 pub use events::{ExecCounts, SpillCounts};
 pub use interp::{ExecError, Machine};
-pub use profile::EdgeProfile;
+pub use profile::{EdgeProfile, ProfileDelta};
 pub use synth::{random_walk_profile, random_walk_profile_reference};

@@ -120,6 +120,65 @@ impl EdgeProfile {
     }
 }
 
+/// The difference between two [`EdgeProfile`]s of the *same* CFG: which
+/// edge counts changed, and whether the entry count changed.
+///
+/// This is the seed of the driver's delta-driven re-optimization: every
+/// changed edge dirties the PST regions whose folded placement products
+/// price that edge, and only those regions (plus their ancestor path to
+/// the root) are re-folded. An empty delta proves the two profiles are
+/// identical, so every profile-derived product may be reused wholesale.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileDelta {
+    changed_edges: Vec<EdgeId>,
+    entry_changed: bool,
+}
+
+impl ProfileDelta {
+    /// Computes the delta from `old` to `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different shapes (they must describe
+    /// the same CFG snapshot).
+    pub fn between(old: &EdgeProfile, new: &EdgeProfile) -> Self {
+        assert_eq!(
+            old.edge_counts.len(),
+            new.edge_counts.len(),
+            "profile delta across different CFG shapes"
+        );
+        let changed_edges = old
+            .edge_counts
+            .iter()
+            .zip(&new.edge_counts)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| EdgeId::from_index(i))
+            .collect();
+        ProfileDelta {
+            changed_edges,
+            entry_changed: old.entry_count != new.entry_count,
+        }
+    }
+
+    /// Edges whose counts differ, in ascending [`EdgeId`] order.
+    pub fn changed_edges(&self) -> &[EdgeId] {
+        &self.changed_edges
+    }
+
+    /// Whether the function entry count differs.
+    pub fn entry_changed(&self) -> bool {
+        self.entry_changed
+    }
+
+    /// `true` iff the two profiles were identical (no edge nor the entry
+    /// count changed) — block counts are derived, so nothing else can
+    /// differ either.
+    pub fn is_empty(&self) -> bool {
+        self.changed_edges.is_empty() && !self.entry_changed
+    }
+}
+
 impl fmt::Debug for EdgeProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EdgeProfile")
@@ -178,6 +237,30 @@ mod tests {
         counts[cfg.edge_between(a, b).unwrap().index()] = 5;
         let p = EdgeProfile::new(&cfg, counts, 100);
         assert!(!p.flow_violations(&cfg).is_empty());
+    }
+
+    #[test]
+    fn delta_names_exactly_the_changed_edges() {
+        let (f, [a, b, ..]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let counts = vec![5u64; cfg.num_edges()];
+        let p = EdgeProfile::new(&cfg, counts.clone(), 3);
+        assert!(ProfileDelta::between(&p, &p).is_empty());
+
+        let ab = cfg.edge_between(a, b).unwrap();
+        let mut bumped = counts.clone();
+        bumped[ab.index()] = 9;
+        let q = EdgeProfile::new(&cfg, bumped, 3);
+        let d = ProfileDelta::between(&p, &q);
+        assert_eq!(d.changed_edges(), &[ab]);
+        assert!(!d.entry_changed());
+        assert!(!d.is_empty());
+
+        let r = EdgeProfile::new(&cfg, counts, 4);
+        let d = ProfileDelta::between(&p, &r);
+        assert!(d.changed_edges().is_empty());
+        assert!(d.entry_changed());
+        assert!(!d.is_empty());
     }
 
     #[test]

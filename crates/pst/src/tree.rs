@@ -470,6 +470,81 @@ impl Pst {
             self.innermost_region_of_block(edge.to),
         )
     }
+
+    /// Enumerates the ancestor path of `r`: `r` itself, then each parent
+    /// in turn, ending at the root. Over the preorder arena the yielded
+    /// ids are strictly decreasing, so the path doubles as a worklist in
+    /// fold order.
+    pub fn ancestors(&self, r: RegionId) -> impl Iterator<Item = RegionId> + '_ {
+        std::iter::successors(Some(r), move |&x| self.regions[x.index()].parent)
+    }
+
+    /// Maps a profile delta onto the regions whose folded placement
+    /// products it can invalidate, closed under the ancestor relation
+    /// (every dirty region's whole path to the root is dirty, so a
+    /// bottom-up refold of exactly the returned set re-establishes the
+    /// cold fixpoint).
+    ///
+    /// A changed edge `e` dirties three kinds of region:
+    /// - the innermost region containing `e` (it prices `OnEdge(e)`
+    ///   points of sets homed at or folded through it),
+    /// - the innermost region of `e`'s target block (the block's derived
+    ///   execution count changed, so `BlockTop`/`BlockBottom` points
+    ///   there reprice),
+    /// - any region whose *own* entry or exit boundary is `e` (its
+    ///   boundary hoist cost repriced; the innermost region of a
+    ///   boundary edge is the region's parent, so the first rule alone
+    ///   would miss the region itself).
+    ///
+    /// A changed entry count dirties the root (the `ProcEntry` boundary
+    /// is priced by it) and the entry block's innermost region. Regions
+    /// exiting through a `ReturnEdge` of a repriced block are reached by
+    /// the ancestor closure (the return block lies inside them), but are
+    /// seeded explicitly as well for robustness.
+    ///
+    /// Returns a dense `true`-per-dirty-region vector indexed by
+    /// [`RegionId`].
+    pub fn dirty_regions(
+        &self,
+        cfg: &Cfg,
+        changed_edges: &[EdgeId],
+        entry_changed: bool,
+    ) -> Vec<bool> {
+        let mut dirty = vec![false; self.regions.len()];
+        let seed = |dirty: &mut Vec<bool>, r: RegionId| {
+            for a in self.ancestors(r) {
+                if std::mem::replace(&mut dirty[a.index()], true) {
+                    break;
+                }
+            }
+        };
+
+        let dirty_block = |dirty: &mut Vec<bool>, b: BlockId| {
+            seed(dirty, self.innermost_region_of_block(b));
+            for r in &self.regions {
+                let hit = |bound: RegionBoundary| bound == RegionBoundary::ReturnEdge(b);
+                if hit(r.entry) || hit(r.exit) {
+                    seed(dirty, r.id);
+                }
+            }
+        };
+
+        for &e in changed_edges {
+            seed(&mut dirty, self.innermost_region_of_edge(cfg, e));
+            dirty_block(&mut dirty, cfg.edge(e).to);
+            for r in &self.regions {
+                let hit = |bound: RegionBoundary| bound == RegionBoundary::CfgEdge(e);
+                if hit(r.entry) || hit(r.exit) {
+                    seed(&mut dirty, r.id);
+                }
+            }
+        }
+        if entry_changed {
+            seed(&mut dirty, self.root());
+            dirty_block(&mut dirty, cfg.entry());
+        }
+        dirty
+    }
 }
 
 #[cfg(test)]
@@ -605,6 +680,74 @@ mod tests {
         for r in pst.regions() {
             for &c in &r.children {
                 assert!(pos[&c] < pos[&r.id]);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_walk_to_the_root_in_decreasing_id_order() {
+        let (f, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        for r in pst.regions() {
+            let path: Vec<RegionId> = pst.ancestors(r.id).collect();
+            assert_eq!(path.first(), Some(&r.id));
+            assert_eq!(path.last(), Some(&pst.root()));
+            assert!(path.windows(2).all(|w| w[1] < w[0]));
+            assert_eq!(path.len(), r.depth + 1);
+        }
+    }
+
+    #[test]
+    fn dirty_regions_are_ancestor_closed_and_scoped() {
+        let (f, blocks) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+
+        // Empty delta dirties nothing.
+        assert!(pst.dirty_regions(&cfg, &[], false).iter().all(|&d| !d));
+
+        // A single inner-diamond edge (C -> E) must not dirty the
+        // sibling arm region containing G, but must dirty its own
+        // innermost region plus the whole root path.
+        let ce = cfg.edge_between(blocks[2], blocks[4]).unwrap();
+        let dirty = pst.dirty_regions(&cfg, &[ce], false);
+        assert!(dirty[pst.root().index()]);
+        let inner = pst.innermost_region_of_edge(&cfg, ce);
+        assert!(dirty[inner.index()]);
+        for (i, &d) in dirty.iter().enumerate() {
+            let r = pst.region(RegionId::from_index(i));
+            if d {
+                if let Some(p) = r.parent {
+                    assert!(dirty[p.index()], "dirty set not ancestor-closed");
+                }
+            }
+        }
+        let g_region = pst.innermost_region_of_block(blocks[5]);
+        if g_region != pst.root() && !pst.contains_block(g_region, blocks[2]) {
+            assert!(!dirty[g_region.index()], "sibling arm wrongly dirtied");
+        }
+
+        // An entry-count change dirties the root and the entry block's
+        // innermost region.
+        let dirty = pst.dirty_regions(&cfg, &[], true);
+        assert!(dirty[pst.root().index()]);
+        assert!(dirty[pst.innermost_region_of_block(cfg.entry()).index()]);
+    }
+
+    #[test]
+    fn dirty_regions_seed_boundary_owners() {
+        let (f, _) = nested();
+        let cfg = Cfg::compute(&f);
+        let pst = Pst::compute(&cfg);
+        // For every region bounded by a real CFG edge, changing that edge
+        // must dirty the region itself (not only its parent).
+        for r in pst.regions() {
+            for bound in [r.entry, r.exit] {
+                if let RegionBoundary::CfgEdge(e) = bound {
+                    let dirty = pst.dirty_regions(&cfg, &[e], false);
+                    assert!(dirty[r.id.index()], "{} not dirtied by its boundary", r.id);
+                }
             }
         }
     }

@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use spillopt::{FunctionReport, OptimizerBuilder, ProfileSource, Strategy};
+use spillopt::{FunctionReport, OptimizerBuilder, ProfileSource, Provenance, Strategy};
 use spillopt_ir::{BinOp, Callee, Cond, FuncId, FunctionBuilder, Module, Reg};
 
 fn main() {
@@ -48,10 +48,13 @@ fn main() {
         .expect("valid configuration");
 
     // Optimize, streaming per-function reports as they retire.
-    let observer = |target: &str, module: &str, report: &FunctionReport| {
+    let observer = |target: &str, module: &str, report: &FunctionReport, prov: Provenance| {
         println!(
-            "retired {module}::{} on {target} ({} blocks, {} callee-saved regs)",
-            report.name, report.blocks, report.callee_saved
+            "retired {module}::{} on {target} ({} blocks, {} callee-saved regs) [{}]",
+            report.name,
+            report.blocks,
+            report.callee_saved,
+            prov.name()
         );
     };
     let run = session

@@ -48,7 +48,8 @@
 //! ```
 
 pub use spillopt_driver::{
-    ArenaStats, BenchConfig, BenchOutcome, CrossTargetReport, DriverError, FunctionReport,
-    ModuleReport, ModuleRun, Observer, OptimizerBuilder, PoolWorkerStats, ProfileSource, Session,
-    SessionStats, Strategy, StrategyReport, TechniqueSet, REPORT_SCHEMA_VERSION,
+    run_drift, ArenaStats, BenchConfig, BenchOutcome, CrossTargetReport, DriftConfig, DriftFailure,
+    DriftSummary, DriverError, FunctionReport, ModuleReport, ModuleRun, Observer, OptimizerBuilder,
+    PoolWorkerStats, ProfileSource, Provenance, Session, SessionStats, Strategy, StrategyReport,
+    TechniqueSet, DEFAULT_DRIFT_STEPS, REPORT_SCHEMA_VERSION,
 };

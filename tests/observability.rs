@@ -385,7 +385,7 @@ fn stats_json_schema() {
     assert_eq!(stats.get("schema_version").num(), 1.0);
     assert_eq!(stats.get("module").str(), "mcf");
     assert_eq!(stats.get("target").str(), "pa-risc-like");
-    assert_eq!(stats.get("runs").num(), 2.0);
+    assert_eq!(stats.get("runs").num(), 3.0);
     let functions = stats.get("functions").num();
     assert!(functions > 0.0);
     assert!(stats.get("elapsed_ms").num() > 0.0);
@@ -403,13 +403,25 @@ fn stats_json_schema() {
         }
     }
 
-    // Cold + warm through the arena: the ledger must show a full warm
-    // pass (hits >= functions) and no more misses than cold lookups.
+    // Cold + warm + drifted through the arena: the ledger must show a
+    // full warm pass (hits >= functions), no more misses than cold
+    // lookups, and an incremental re-fold of strictly fewer regions
+    // than the whole-function total on the drifted pass.
     let hits = stats.get("arena").get("hits").num();
     let misses = stats.get("arena").get("misses").num();
     assert!(hits >= functions, "warm pass missed the arena: {out}");
     assert!(misses <= functions, "too many cold misses: {out}");
     assert!(stats.get("counters").get("arena_hit").num() >= functions);
+    assert!(
+        stats.get("arena").get("incremental").num() > 0.0,
+        "drifted pass skipped the incremental path: {out}"
+    );
+    let refolded = stats.get("arena").get("regions_refolded").num();
+    let total = stats.get("arena").get("regions_total").num();
+    assert!(
+        refolded > 0.0 && refolded < total,
+        "dirty-region ledger not partial ({refolded}/{total}): {out}"
+    );
 
     // threads=1 runs inline: no persistent pool workers.
     assert_eq!(stats.get("pool_workers").arr().len(), 0);

@@ -11,7 +11,7 @@
 //! mutex — the lock serializes concurrent callbacks, so "precedes" is
 //! well-defined even when workers race.
 
-use spillopt::{FunctionReport, ModuleReport, Observer, OptimizerBuilder};
+use spillopt::{FunctionReport, ModuleReport, Observer, OptimizerBuilder, Provenance};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -27,7 +27,13 @@ struct EventLog {
 }
 
 impl Observer for EventLog {
-    fn function_retired(&self, _target: &str, module: &str, report: &FunctionReport) {
+    fn function_retired(
+        &self,
+        _target: &str,
+        module: &str,
+        report: &FunctionReport,
+        _provenance: Provenance,
+    ) {
         self.events.lock().unwrap().push(Event::Retired {
             module: module.to_string(),
             function: report.name.clone(),
