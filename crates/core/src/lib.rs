@@ -112,7 +112,9 @@ pub use overhead::{
     static_overhead,
 };
 pub use paper_example::{fig1_example, paper_example, Fig1Example, PaperExample};
-pub use pipeline::{run_suite, PlacementSuite, SuiteError, SuiteInputs, SuiteOptions};
+pub use pipeline::{
+    run_suite, run_technique, PlacementSuite, SuiteError, SuiteInputs, SuiteOptions, Technique,
+};
 #[allow(deprecated)]
 pub use pipeline::{run_suite_analyzed, run_suite_priced, run_suite_with};
 pub use sets::{EdgeShares, SaveRestoreSet};

@@ -334,6 +334,112 @@ pub fn run_suite(
     })
 }
 
+/// One placement technique of the suite, for callers that want a single
+/// result instead of the four-way comparison — the degradation ladder a
+/// fault-tolerant driver walks when the full suite fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Technique {
+    /// Entry/exit baseline (no fixpoint, no PST — the last rung).
+    EntryExit,
+    /// Chow's original shrink-wrapping.
+    Chow,
+    /// Hierarchical, execution count model.
+    HierExec,
+    /// Hierarchical, jump edge model.
+    HierJump,
+}
+
+impl Technique {
+    /// The label used by [`SuiteError::technique`] for this technique.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::EntryExit => "entry_exit",
+            Technique::Chow => "chow",
+            Technique::HierExec => "hierarchical_exec",
+            Technique::HierJump => "hierarchical_jump",
+        }
+    }
+}
+
+/// Runs one technique on one procedure, validates it, and prices it under
+/// the jump-edge model — computing only what that technique needs (the
+/// hierarchical variants internally rebuild their Chow baseline and seed).
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] if the produced placement fails validity
+/// checking.
+pub fn run_technique(
+    cfg: &Cfg,
+    inputs: &SuiteInputs<'_>,
+    options: &SuiteOptions,
+    technique: Technique,
+) -> Result<(Placement, Cost), SuiteError> {
+    let usage = inputs.usage;
+    let profile = inputs.profile;
+    let costs = &options.costs;
+
+    let placement = match technique {
+        Technique::EntryExit => {
+            let _s = spillopt_obs::span("place_entry_exit");
+            entry_exit_placement(cfg, usage)
+        }
+        Technique::Chow => {
+            let _s = spillopt_obs::span("place_chow");
+            crate::chow::chow_shrink_wrap_derived(cfg, inputs.derived(), inputs.cyclic(), usage)
+        }
+        Technique::HierExec | Technique::HierJump => {
+            let derived = inputs.derived();
+            let chow = {
+                let _s = spillopt_obs::span("place_chow");
+                crate::chow::chow_shrink_wrap_derived(cfg, derived, inputs.cyclic(), usage)
+            };
+            let initial = {
+                let _s = spillopt_obs::span("place_hier_seed");
+                crate::modified::modified_shrink_wrap_derived(cfg, derived, usage)
+            };
+            let model = match technique {
+                Technique::HierExec => CostModel::ExecutionCount,
+                _ => CostModel::JumpEdge,
+            };
+            let span = match technique {
+                Technique::HierExec => "place_hier_exec",
+                _ => "place_hier_jump",
+            };
+            let _s = spillopt_obs::span(span);
+            hierarchical_placement_seeded(
+                cfg,
+                inputs.pst(),
+                usage,
+                profile,
+                model,
+                costs,
+                &chow,
+                initial,
+            )
+            .placement
+        }
+    };
+
+    {
+        let _s = spillopt_obs::span("validate");
+        let errors = check_placement(cfg, usage, &placement);
+        if !errors.is_empty() {
+            return Err(SuiteError {
+                technique: technique.label(),
+                errors,
+                placement,
+            });
+        }
+    }
+
+    let cost = {
+        let _s = spillopt_obs::span("price");
+        placement_cost_with(CostModel::JumpEdge, costs, cfg, profile, &placement)
+    };
+    Ok((placement, cost))
+}
+
 /// The shim bodies: reproduce the historical panic-on-invalid behaviour
 /// exactly (the deprecated entry points documented a panic, and their
 /// remaining callers rely on it).
@@ -500,6 +606,33 @@ mod tests {
             &SpillCostModel::UNIT,
         );
         assert_eq!(new.predicted, analyzed.predicted);
+    }
+
+    #[test]
+    fn single_technique_matches_the_suite() {
+        let (cfg, usage, profile) = diamond();
+        let inputs = SuiteInputs::compute(&cfg, &usage, &profile);
+        let opts = SuiteOptions::default();
+        let suite = run_suite(&cfg, &inputs, &opts).expect("valid");
+        for (technique, placement, cost) in [
+            (Technique::EntryExit, &suite.entry_exit, suite.predicted[0]),
+            (Technique::Chow, &suite.chow, suite.predicted[1]),
+            (
+                Technique::HierExec,
+                &suite.hierarchical_exec.placement,
+                suite.predicted[2],
+            ),
+            (
+                Technique::HierJump,
+                &suite.hierarchical_jump.placement,
+                suite.predicted[3],
+            ),
+        ] {
+            let (single, single_cost) =
+                run_technique(&cfg, &inputs, &opts, technique).expect("valid");
+            assert_eq!(&single, placement, "{}", technique.label());
+            assert_eq!(single_cost, cost, "{}", technique.label());
+        }
     }
 
     #[test]

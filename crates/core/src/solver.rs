@@ -106,6 +106,7 @@ pub fn chow_grow_all(
     loop {
         let mut changed = false;
         iterations += 1;
+        spillopt_obs::fault::budget_tick("solver_fixpoint", 1);
 
         // 1. Loop rule.
         for region in cyclic {

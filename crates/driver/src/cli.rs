@@ -1,16 +1,21 @@
 //! The `spillopt` command-line interface.
 //!
 //! ```text
-//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--trace FILE] [--out FILE]
-//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--json]
-//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--compact] [--out FILE]
+//! spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--out FILE]
+//! spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--json]
+//! spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--compact] [--out FILE]
 //! spillopt stats    (--bench NAME | --input FILE) [--target T] [--threads N] [--techniques LIST] [--trace FILE] [--json] [--out FILE]
-//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--trace FILE]
+//! spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--drift] [--faults] [--trace FILE]
 //! spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
 //! spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N] [--trace FILE]
 //! spillopt list-benches
 //! spillopt list-targets
 //! ```
+//!
+//! Exit codes are distinct by failure class: `0` success, `1` internal
+//! or pipeline failure, `2` usage / configuration error, `3` degraded
+//! success (`--on-fault degrade|skip` completed and produced its
+//! primary output, but the fault ledger is non-empty).
 //!
 //! * `optimize` emits the optimized module as IR text: every function
 //!   register-allocated, save/restore code inserted under the chosen
@@ -36,6 +41,10 @@
 //!   seed's module is re-optimized through a warm incremental session
 //!   under `--drift-steps` seeded profile mutations, and the report
 //!   bytes must match a fresh cold pipeline after every step.
+//!   `--faults` switches to the fault-injection fuzzer: one seeded
+//!   fault (panic / error / budget trip) is armed at a named probe site
+//!   per case, and containment, ledger exactness, blast radius, and
+//!   session recovery are all checked against a fault-free oracle.
 //! * `gap` measures the optimality gap across the stress corpus and
 //!   emits the per-target gap histogram (`--json` for the machine
 //!   record the nightly CI job archives).
@@ -58,10 +67,11 @@
 
 use crate::bench::{run_bench, BenchConfig};
 use crate::drift::{run_drift, DriftConfig};
-use crate::driver::{DriverError, ProfileSource, Strategy};
+use crate::driver::{DriverError, ModuleRun, ProfileSource, Strategy};
+use crate::faults::{run_faults, FaultConfig};
 use crate::json::Json;
 use crate::report::{CrossTargetReport, FunctionReport};
-use crate::session::{OptimizerBuilder, Provenance, TechniqueSet};
+use crate::session::{Budget, FailurePolicy, OptimizerBuilder, Provenance, TechniqueSet};
 use crate::stress::{run_stress, StressConfig};
 use spillopt_ir::{display, parse_module_traced, Module};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
@@ -69,30 +79,31 @@ use std::io::Write;
 use std::time::Instant;
 
 /// Entry point for the binary: parses `std::env::args`, runs, maps
-/// errors to stderr + exit code 1 (2 for usage errors).
+/// errors to stderr + their [`CliError::exit_code`] (1 internal, 2
+/// usage, 3 degraded success).
 pub fn run_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout();
     match run(&args, &mut stdout) {
         Ok(()) => 0,
-        Err(CliError::Usage(msg)) => {
-            eprintln!("{msg}\n\n{USAGE}");
-            2
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("{e}\n\n{USAGE}");
+            e.exit_code()
         }
-        Err(CliError::Run(msg)) => {
-            eprintln!("spillopt: {msg}");
-            1
+        Err(e) => {
+            eprintln!("spillopt: {e}");
+            e.exit_code()
         }
     }
 }
 
 const USAGE: &str = "\
 usage:
-  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--progress] [--trace FILE] [--out FILE]
-  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--json]
-  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--progress] [--trace FILE] [--compact] [--out FILE]
+  spillopt optimize (--bench NAME | --input FILE) [--target T] [--threads N] [--strategy S] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--out FILE]
+  spillopt compare  (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--json]
+  spillopt report   (--bench NAME | --input FILE) [--target T|all] [--threads N] [--techniques LIST] [--on-fault P] [--budget-ms N] [--budget-iters N] [--progress] [--trace FILE] [--compact] [--out FILE]
   spillopt stats    (--bench NAME | --input FILE) [--target T] [--threads N] [--techniques LIST] [--trace FILE] [--json] [--out FILE]
-  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--drift] [--drift-steps N] [--trace FILE]
+  spillopt stress   --seeds N [--start S] [--target T|all] [--threads N] [--exact] [--gap PCT] [--drift] [--drift-steps N] [--faults] [--trace FILE]
   spillopt gap      --seeds N [--start S] [--target T|all] [--threads N] [--gap PCT] [--json] [--out FILE]
   spillopt bench    --json [--out FILE] [--smoke] [--functions N] [--reps N] [--threads N] [--trace FILE]
   spillopt list-benches
@@ -117,10 +128,23 @@ incremental re-fold path) under the recorder and prints the per-phase
 timing table (count/total/p50/p95/max), counter totals, the dirty-region
 ledger, and arena/pool statistics; --json emits the machine-readable
 form.
+--on-fault sets the session failure policy: `fail` (default) surfaces
+the first pipeline failure as an error; `degrade` retries a failing
+function down the technique ladder (hier-jump, hier-exec, shrinkwrap,
+baseline) and `skip` passes it through unoptimized — both record the
+original error in the run's fault ledger and keep the rest of the
+module. --budget-ms / --budget-iters cap each function's wall-clock and
+solver iterations; an exceeded budget is a failure the policy handles
+like any other.
 `stress --drift` switches to the profile-drift differential: each seed's
 module is re-optimized through a warm incremental session under a seeded
 sequence of profile mutations (--drift-steps, default 8) and the report
 bytes must match a fresh cold pipeline after every step.
+`stress --faults` switches to the fault-injection fuzzer: one seeded
+fault (panic / error / budget trip) is armed at a named probe site per
+case, and containment, ledger exactness, blast radius, and session
+recovery are all checked against a fault-free oracle; violations are
+minimized and printed.
 `stress` fuzzes seeded random modules through all four placements on the
 chosen target(s) (default all), checking the interpreter-backed oracles;
 failures are minimized and printed. --exact adds the optimality-gap
@@ -131,7 +155,12 @@ worst case).
 per-target optimality-gap histogram.
 `bench` measures the perf trajectory: wall-clock of module optimize,
 current vs the frozen pre-rewrite reference, byte-identical reports
-required; --smoke runs the small CI slice.";
+required; --smoke runs the small CI slice.
+
+exit codes: 0 success; 1 internal or pipeline failure; 2 usage or
+configuration error; 3 degraded success (--on-fault degrade|skip
+completed and produced its primary output, but one or more functions
+were degraded or skipped — the fault ledger is printed to stderr).";
 
 /// The accepted `--strategy` values, for error messages.
 const STRATEGIES: &str = "baseline, shrinkwrap, hier-exec, hier-jump, best";
@@ -143,6 +172,31 @@ pub enum CliError {
     Usage(String),
     /// Pipeline failure (exit code 1).
     Run(String),
+    /// Degraded success (exit code 3): the run completed and produced
+    /// its primary output, but `--on-fault degrade|skip` contained one
+    /// or more function failures.
+    Degraded(String),
+}
+
+impl CliError {
+    /// The process exit code this failure class maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Run(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Degraded(_) => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Run(msg) | CliError::Degraded(msg) => {
+                write!(f, "{msg}")
+            }
+        }
+    }
 }
 
 /// Runs the CLI against `args`, writing primary output to `out`.
@@ -220,6 +274,8 @@ struct Opts {
     threads: usize,
     strategy: Option<Strategy>,
     techniques: TechniqueSet,
+    on_fault: FailurePolicy,
+    budget: Budget,
     progress: bool,
     trace: Option<String>,
     out: Option<String>,
@@ -244,6 +300,9 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--threads",
             "--strategy",
             "--techniques",
+            "--on-fault",
+            "--budget-ms",
+            "--budget-iters",
             "--progress",
             "--trace",
             "--out",
@@ -254,6 +313,9 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--target",
             "--threads",
             "--techniques",
+            "--on-fault",
+            "--budget-ms",
+            "--budget-iters",
             "--progress",
             "--trace",
             "--json",
@@ -264,6 +326,9 @@ fn allowed_flags(sub: &str) -> &'static [&'static str] {
             "--target",
             "--threads",
             "--techniques",
+            "--on-fault",
+            "--budget-ms",
+            "--budget-iters",
             "--progress",
             "--trace",
             "--compact",
@@ -291,6 +356,8 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
         threads: 0,
         strategy: None,
         techniques: TechniqueSet::ALL,
+        on_fault: FailurePolicy::Fail,
+        budget: Budget::none(),
         progress: false,
         trace: None,
         out: None,
@@ -343,6 +410,26 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
             "--techniques" => {
                 opts.techniques = TechniqueSet::parse(value()?).map_err(|e| usage(&e))?;
             }
+            "--on-fault" => {
+                let v = value()?;
+                opts.on_fault = FailurePolicy::parse(v).ok_or_else(|| {
+                    usage(&format!(
+                        "unknown failure policy `{v}` (accepted: fail, degrade, skip)"
+                    ))
+                })?;
+            }
+            "--budget-ms" => {
+                let ms = value()?
+                    .parse()
+                    .map_err(|_| usage("--budget-ms needs a number of milliseconds"))?;
+                opts.budget = opts.budget.wall_ms(ms);
+            }
+            "--budget-iters" => {
+                let iters = value()?
+                    .parse()
+                    .map_err(|_| usage("--budget-iters needs a number"))?;
+                opts.budget = opts.budget.solver_iters(iters);
+            }
             "--progress" => opts.progress = true,
             "--trace" => opts.trace = Some(value()?.to_string()),
             "--out" => opts.out = Some(value()?.to_string()),
@@ -362,6 +449,16 @@ fn parse_opts(sub: &str, rest: &[&str]) -> Result<Opts, CliError> {
                 opts.techniques.names()
             )));
         }
+    }
+    if matches!(opts.target, TargetChoice::All)
+        && (opts.on_fault != FailurePolicy::Fail || opts.budget.is_some())
+    {
+        // The cross-target report aggregates ModuleReports and has no
+        // per-target fault ledger to surface; keep the degraded exit
+        // code honest by requiring one concrete target.
+        return Err(usage(
+            "--on-fault / --budget-* need one concrete target (not `--target all`)",
+        ));
     }
     Ok(opts)
 }
@@ -487,6 +584,8 @@ fn drive(opts: &Opts, spec: &TargetSpec) -> Result<crate::driver::ModuleRun, Cli
         .profile(profile)
         .threads(opts.threads)
         .techniques(opts.techniques)
+        .on_fault(opts.on_fault)
+        .budget(opts.budget)
         // One-shot process: an arena would cache results nothing reads.
         .reuse_analyses(false)
         .build()
@@ -531,7 +630,7 @@ fn drive_all(opts: &Opts) -> Result<CrossTargetReport, CliError> {
     let load_for = |spec: &TargetSpec| match &shared {
         Some(pair) => Ok(pair.clone()),
         None => load(opts, spec).map_err(|e| match e {
-            CliError::Run(msg) | CliError::Usage(msg) => {
+            CliError::Run(msg) | CliError::Usage(msg) | CliError::Degraded(msg) => {
                 DriverError::Load(format!("target {}: {msg}", spec.name))
             }
         }),
@@ -559,6 +658,22 @@ fn emit(opts: &Opts, out: &mut dyn Write, text: &str) -> Result<(), CliError> {
     }
 }
 
+/// Converts a non-empty fault ledger into the degraded-success exit
+/// (code 3), after the primary output has been produced. Each contained
+/// fault is printed to stderr.
+fn degraded_check(run: &ModuleRun) -> Result<(), CliError> {
+    if run.faults().is_empty() {
+        return Ok(());
+    }
+    for fault in run.faults() {
+        eprintln!("spillopt: contained fault: {fault}");
+    }
+    Err(CliError::Degraded(format!(
+        "completed with {} contained fault(s); degraded functions listed above",
+        run.faults().len()
+    )))
+}
+
 fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
     let TargetChoice::One(spec) = &opts.target else {
         unreachable!("rejected in parse_opts");
@@ -575,7 +690,8 @@ fn optimize(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
             .speedup()
             .map_or("n/a".to_string(), |x| format!("{x:.2}x"))
     );
-    emit(opts, out, &display::module_to_string(&optimized))
+    emit(opts, out, &display::module_to_string(&optimized))?;
+    degraded_check(&run)
 }
 
 fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
@@ -583,10 +699,11 @@ fn compare(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
         TargetChoice::One(spec) => {
             let run = with_trace(opts.trace.as_deref(), || drive(opts, spec))?;
             if opts.json {
-                emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))
+                emit(opts, out, &(run.report.to_json().to_pretty() + "\n"))?;
             } else {
-                emit(opts, out, &run.report.render_human())
+                emit(opts, out, &run.report.render_human())?;
             }
+            degraded_check(&run)
         }
         TargetChoice::All => {
             let cross = with_trace(opts.trace.as_deref(), || drive_all(opts))?;
@@ -610,6 +727,7 @@ struct StressFlags {
     gap_percent: u64,
     drift: bool,
     drift_steps: u64,
+    faults: bool,
     json: bool,
     trace: Option<String>,
     out: Option<String>,
@@ -628,6 +746,7 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
         gap_percent: spillopt_stress::DEFAULT_GAP_PERCENT,
         drift: false,
         drift_steps: crate::drift::DEFAULT_DRIFT_STEPS,
+        faults: false,
         json: false,
         trace: None,
         out: None,
@@ -670,6 +789,7 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
             }
             "--exact" if sub == "stress" => flags.exact = true,
             "--drift" if sub == "stress" => flags.drift = true,
+            "--faults" if sub == "stress" => flags.faults = true,
             "--drift-steps" if sub == "stress" => {
                 flags.drift_steps = value()?
                     .parse()
@@ -686,7 +806,7 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
             other => {
                 let accepted = if sub == "stress" {
                     "--seeds, --start, --target, --threads, --exact, --gap, --drift, \
-                     --drift-steps, --trace"
+                     --drift-steps, --faults, --trace"
                 } else {
                     "--seeds, --start, --target, --threads, --gap, --json, --out"
                 };
@@ -700,9 +820,9 @@ fn parse_stress_flags(sub: &str, rest: &[&str]) -> Result<StressFlags, CliError>
     if !flags.exact && flags.gap_percent != spillopt_stress::DEFAULT_GAP_PERCENT {
         return Err(usage("--gap only applies with --exact"));
     }
-    if flags.drift && flags.exact {
+    if (flags.drift as u8) + (flags.exact as u8) + (flags.faults as u8) > 1 {
         return Err(usage(
-            "--drift and --exact are separate oracles; pick one per run",
+            "--drift, --exact, and --faults are separate oracles; pick one per run",
         ));
     }
     if !flags.drift && flags.drift_steps != crate::drift::DEFAULT_DRIFT_STEPS {
@@ -752,6 +872,9 @@ fn stress(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_stress_flags("stress", rest)?;
     if flags.drift {
         return drift(&flags, out);
+    }
+    if flags.faults {
+        return faults(&flags, out);
     }
     let summary = with_trace(flags.trace.as_deref(), || {
         Ok(run_stress(&stress_config(&flags)))
@@ -827,6 +950,47 @@ fn drift(flags: &StressFlags, out: &mut dyn Write) -> Result<(), CliError> {
     }
     Err(CliError::Run(format!(
         "{} of {} drift cases diverged from the cold oracle (minimized counterexamples above)",
+        summary.failures.len(),
+        summary.cases
+    )))
+}
+
+/// The `stress --faults` arm: the fault-injection fuzzer (one seeded
+/// fault per case, containment / ledger / blast-radius / recovery
+/// invariants against a fault-free oracle). See [`crate::faults`] for
+/// the machinery.
+fn faults(flags: &StressFlags, out: &mut dyn Write) -> Result<(), CliError> {
+    let summary = with_trace(flags.trace.as_deref(), || {
+        Ok(run_faults(&FaultConfig {
+            start: flags.start,
+            seeds: flags.seeds,
+            targets: flags.targets.clone(),
+            threads: flags.threads,
+        }))
+    })?;
+    writeln!(
+        out,
+        "faults: {} cases (seeds {}..{} x {} target(s)): {} functions, {} fault(s) fired, \
+         {} degraded, {} skipped, {} violation(s)",
+        summary.cases,
+        flags.start,
+        flags.start.saturating_add(flags.seeds),
+        flags.targets.len(),
+        summary.functions,
+        summary.fired,
+        summary.degraded,
+        summary.skipped,
+        summary.failures.len()
+    )
+    .map_err(io_err)?;
+    if summary.passed() {
+        return Ok(());
+    }
+    for f in &summary.failures {
+        writeln!(out, "\n=== counterexample ===\n{f}").map_err(io_err)?;
+    }
+    Err(CliError::Run(format!(
+        "{} of {} fault cases violated a containment invariant (minimized counterexamples above)",
         summary.failures.len(),
         summary.cases
     )))
@@ -985,16 +1149,23 @@ fn bench(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn report(opts: &Opts, out: &mut dyn Write) -> Result<(), CliError> {
-    let json = with_trace(opts.trace.as_deref(), || match &opts.target {
-        TargetChoice::One(spec) => Ok(drive(opts, spec)?.report.to_json()),
-        TargetChoice::All => Ok(drive_all(opts)?.to_json()),
+    let (json, run) = with_trace(opts.trace.as_deref(), || match &opts.target {
+        TargetChoice::One(spec) => {
+            let run = drive(opts, spec)?;
+            Ok((run.report.to_json(), Some(run)))
+        }
+        TargetChoice::All => Ok((drive_all(opts)?.to_json(), None)),
     })?;
     let text = if opts.compact {
         json.to_compact() + "\n"
     } else {
         json.to_pretty() + "\n"
     };
-    emit(opts, out, &text)
+    emit(opts, out, &text)?;
+    match &run {
+        Some(run) => degraded_check(run),
+        None => Ok(()),
+    }
 }
 
 /// The `stats` subcommand: the pipeline under the recorder, reported as
@@ -1431,6 +1602,128 @@ mod tests {
         // gap never accepts the drift flags.
         assert!(matches!(
             run_capture(&["gap", "--seeds", "1", "--drift"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_by_failure_class() {
+        assert_eq!(CliError::Run("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Degraded("x".into()).exit_code(), 3);
+    }
+
+    #[test]
+    fn on_fault_and_budget_usage_errors() {
+        // Unknown policy values are rejected with the accepted list.
+        let Err(CliError::Usage(msg)) =
+            run_capture(&["compare", "--bench", "mcf", "--on-fault", "retry"])
+        else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("fail") && msg.contains("degrade") && msg.contains("skip"));
+        // Budgets need numbers.
+        assert!(matches!(
+            run_capture(&["compare", "--bench", "mcf", "--budget-ms", "soon"]),
+            Err(CliError::Usage(_))
+        ));
+        // The fault knobs need one concrete target: the cross-target
+        // report has no ledger to keep the degraded exit honest.
+        assert!(matches!(
+            run_capture(&[
+                "compare",
+                "--bench",
+                "mcf",
+                "--target",
+                "all",
+                "--on-fault",
+                "degrade",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // `stats` keeps its frozen three-run protocol: no fault knobs.
+        assert!(matches!(
+            run_capture(&["stats", "--bench", "mcf", "--on-fault", "degrade"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_is_exit_one_under_fail_and_exit_three_under_degrade() {
+        // A zero iteration cap trips in the Chow fixpoint. Under the
+        // default `fail` policy that is a pipeline failure (exit 1)...
+        let err = run_capture(&[
+            "compare",
+            "--bench",
+            "mcf",
+            "--threads",
+            "1",
+            "--budget-iters",
+            "0",
+        ])
+        .expect_err("cap must trip");
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("budget exceeded"), "{err}");
+
+        // ...and under `degrade` the run completes, emits its output,
+        // and exits 3 with the ledger summarized.
+        let err = run_capture(&[
+            "compare",
+            "--bench",
+            "mcf",
+            "--threads",
+            "1",
+            "--budget-iters",
+            "0",
+            "--on-fault",
+            "degrade",
+        ])
+        .expect_err("degraded success is still a non-zero exit");
+        let CliError::Degraded(msg) = &err else {
+            panic!("expected degraded exit: {err}");
+        };
+        assert_eq!(err.exit_code(), 3);
+        assert!(msg.contains("contained fault(s)"), "{msg}");
+    }
+
+    #[test]
+    fn usage_documents_the_exit_codes() {
+        let help = run_capture(&["--help"]).expect("help");
+        assert!(help.contains("exit codes:"), "{help}");
+        for needle in ["0 success", "3 degraded success", "--on-fault", "--faults"] {
+            assert!(help.contains(needle), "help does not mention {needle}");
+        }
+    }
+
+    #[test]
+    fn stress_faults_smoke_runs_and_summarizes() {
+        let out = run_capture(&[
+            "stress",
+            "--seeds",
+            "6",
+            "--target",
+            "pa-risc-like",
+            "--faults",
+        ])
+        .expect("stress --faults");
+        assert!(out.contains("faults: 6 cases"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
+    }
+
+    #[test]
+    fn faults_usage_errors() {
+        // --faults is its own oracle, exclusive with --drift and --exact.
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--faults", "--drift"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_capture(&["stress", "--seeds", "1", "--faults", "--exact"]),
+            Err(CliError::Usage(_))
+        ));
+        // gap never accepts it.
+        assert!(matches!(
+            run_capture(&["gap", "--seeds", "1", "--faults"]),
             Err(CliError::Usage(_))
         ));
     }

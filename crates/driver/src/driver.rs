@@ -12,7 +12,7 @@
 
 use crate::pool::try_run_indexed;
 use crate::report::{CrossTargetReport, ModuleReport};
-use crate::session::{run_module, Engine, Exec, TechniqueSet};
+use crate::session::{run_module, Budget, Engine, Exec, FailurePolicy, TechniqueSet};
 use spillopt_core::{insert_placement, Placement, SpillCostModel};
 use spillopt_ir::{Cfg, FuncId, Function, Module, RegDiscipline, Target};
 use spillopt_profile::ExecError;
@@ -144,6 +144,28 @@ pub enum DriverError {
         /// The panic message.
         message: String,
     },
+    /// A function blew through the session's cooperative [`Budget`]
+    /// (wall-clock deadline or solver-iteration cap). Under
+    /// [`FailurePolicy::Fail`] this surfaces here; under `Degrade`/`Skip`
+    /// it is caught and recorded in the fault ledger instead.
+    BudgetExceeded {
+        /// The function whose pipeline exceeded the budget.
+        function: String,
+        /// The probe site (phase) whose budget check tripped.
+        phase: &'static str,
+    },
+    /// A user-supplied [`crate::Observer`] callback panicked. This is a
+    /// fault of the observer, not of the function's pipeline, so it is
+    /// reported distinctly (naming the observer and callback) and is
+    /// never degraded or attributed to the function.
+    ObserverPanicked {
+        /// The observer's [`crate::Observer::name`].
+        observer: String,
+        /// Which callback panicked (`function_retired` or `module_done`).
+        callback: &'static str,
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DriverError {
@@ -163,11 +185,97 @@ impl std::fmt::Display for DriverError {
             DriverError::Panicked { unit, message } => {
                 write!(f, "optimization pipeline panicked in `{unit}`: {message}")
             }
+            DriverError::BudgetExceeded { function, phase } => {
+                write!(f, "budget exceeded in `{function}` during `{phase}`")
+            }
+            DriverError::ObserverPanicked {
+                observer,
+                callback,
+                message,
+            } => write!(
+                f,
+                "observer `{observer}` panicked in `{callback}`: {message}"
+            ),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// What went wrong with one function, as recorded in the fault ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The pipeline panicked (caught and contained).
+    Panic,
+    /// A technique produced a placement that failed validity checking.
+    InvalidPlacement,
+    /// The cooperative budget tripped (deadline or iteration cap).
+    BudgetExceeded,
+    /// The function was skipped without an attempt: a quarantined repeat
+    /// offender sitting out its backoff window.
+    Quarantined,
+}
+
+impl FaultKind {
+    /// Stable identifier (used in ledger rendering and the fuzzer).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::InvalidPlacement => "invalid-placement",
+            FaultKind::BudgetExceeded => "budget-exceeded",
+            FaultKind::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// How the session resolved a contained fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// A lower rung of the guarantee chain succeeded; the function
+    /// retired with that single strategy.
+    Degraded {
+        /// The strategy that rescued the function.
+        to: Strategy,
+    },
+    /// Every rung failed (or the policy was [`FailurePolicy::Skip`], or
+    /// the function was quarantined): the function passed through
+    /// unoptimized.
+    Skipped,
+}
+
+/// One entry of the per-run fault ledger: a function whose full pipeline
+/// failed under [`FailurePolicy::Degrade`] or [`FailurePolicy::Skip`],
+/// with the original error preserved.
+#[derive(Clone, Debug)]
+pub struct FunctionFault {
+    /// The function's name.
+    pub function: String,
+    /// The function's index in the module.
+    pub index: usize,
+    /// What failed.
+    pub kind: FaultKind,
+    /// The original error, rendered.
+    pub error: String,
+    /// How the session resolved it.
+    pub action: FaultAction,
+}
+
+impl std::fmt::Display for FunctionFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let action = match self.action {
+            FaultAction::Degraded { to } => format!("degraded to {}", to.name()),
+            FaultAction::Skipped => "skipped (unoptimized passthrough)".to_string(),
+        };
+        write!(
+            f,
+            "`{}` [{}] {}: {}",
+            self.function,
+            self.kind.name(),
+            action,
+            self.error
+        )
+    }
+}
 
 /// The driver's full output: the deterministic report plus the allocated
 /// functions and placements needed to materialize an optimized module.
@@ -178,6 +286,10 @@ pub struct ModuleRun {
     /// Allocated (physical, pre-placement) functions, in [`FuncId`]
     /// order, paired with each selected strategy's placement.
     allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
+    /// Fault ledger: functions contained under `Degrade`/`Skip`, in
+    /// [`FuncId`] order. Empty under [`FailurePolicy::Fail`] and on
+    /// clean runs.
+    faults: Vec<FunctionFault>,
 }
 
 impl ModuleRun {
@@ -187,13 +299,26 @@ impl ModuleRun {
     pub(crate) fn from_parts(
         report: ModuleReport,
         allocated: Vec<(Function, Vec<(Strategy, Placement)>)>,
+        faults: Vec<FunctionFault>,
     ) -> Self {
-        ModuleRun { report, allocated }
+        ModuleRun {
+            report,
+            allocated,
+            faults,
+        }
+    }
+
+    /// The fault ledger: one entry per function whose full pipeline
+    /// failed and was contained (degraded, skipped, or quarantined).
+    /// Empty on clean runs and under [`FailurePolicy::Fail`].
+    pub fn faults(&self) -> &[FunctionFault] {
+        &self.faults
     }
 
     /// Materializes the optimized module: inserts each function's
     /// placement under `choice` (`None` = the per-function best) and
-    /// verifies the result.
+    /// verifies the result. Functions the fault ledger marks as skipped
+    /// are emitted unmodified (they were never optimized).
     ///
     /// # Panics
     ///
@@ -206,6 +331,18 @@ impl ModuleRun {
     pub fn apply(&self, choice: Option<Strategy>) -> Module {
         let mut out = Module::new(self.report.module.clone());
         for (i, (func, placements)) in self.allocated.iter().enumerate() {
+            // A fault-skipped function passed through unoptimized: its
+            // stored function is the *source* (possibly still in virtual
+            // registers, never allocated), so it is emitted as-is rather
+            // than placed and held to the physical discipline.
+            let skipped = self
+                .faults
+                .iter()
+                .any(|fault| fault.index == i && fault.action == FaultAction::Skipped);
+            if skipped {
+                out.add_func(func.clone());
+                continue;
+            }
             let mut func = func.clone();
             let strategy = choice
                 .unwrap_or_else(|| self.report.functions[i].best.unwrap_or(Strategy::HierJump));
@@ -260,6 +397,8 @@ pub fn optimize_module(
         exec: Exec::Transient(config.threads),
         arena: None,
         observer: None,
+        policy: FailurePolicy::Fail,
+        budget: Budget::none(),
     };
     run_module(module, &engine)
 }
@@ -289,6 +428,8 @@ pub fn optimize_module_for(
         exec: Exec::Transient(config.threads),
         arena: None,
         observer: None,
+        policy: FailurePolicy::Fail,
+        budget: Budget::none(),
     };
     run_module(module, &engine)
 }
@@ -320,6 +461,8 @@ pub fn cross_target_runs(
             exec: Exec::Transient(1),
             arena: None,
             observer: None,
+            policy: FailurePolicy::Fail,
+            budget: Budget::none(),
         };
         run_module(&module, &engine).map(|run| (spec.clone(), run.report))
     })

@@ -35,6 +35,15 @@
 //!   seeded profile-mutation sequences replayed through a warm
 //!   incremental session against a fresh cold pipeline, byte-identical
 //!   [`ModuleReport`]s required after every step;
+//! * [`faults`] — the fault-injection fuzzer (`spillopt stress
+//!   --faults`): one seeded fault (panic / error / budget trip) armed
+//!   at a named probe site per case, with containment, ledger
+//!   exactness, blast radius, and session recovery all asserted
+//!   against a fault-free oracle. Sessions opt into containment with
+//!   [`OptimizerBuilder::on_fault`] ([`FailurePolicy`]) and
+//!   cooperative deadlines with [`OptimizerBuilder::budget`]
+//!   ([`Budget`]); contained failures land in [`ModuleRun::faults`]
+//!   as [`FunctionFault`] entries;
 //! * [`cli`] — the `spillopt` binary: `optimize`, `compare`, `report`,
 //!   `stress`, `bench`, `list-benches`, `list-targets`.
 //!
@@ -94,6 +103,7 @@ pub mod cache;
 pub mod cli;
 pub mod drift;
 pub mod driver;
+pub mod faults;
 pub mod json;
 pub mod pool;
 pub mod refimpl;
@@ -106,13 +116,18 @@ pub use cache::AnalysisCache;
 pub use drift::{run_drift, DriftConfig, DriftFailure, DriftSummary, DEFAULT_DRIFT_STEPS};
 #[allow(deprecated)]
 pub use driver::{cross_target_runs, optimize_module, optimize_module_for};
-pub use driver::{DriverConfig, DriverError, ModuleRun, ProfileSource, Strategy};
+pub use driver::{
+    DriverConfig, DriverError, FaultAction, FaultKind, FunctionFault, ModuleRun, ProfileSource,
+    Strategy,
+};
+pub use faults::{run_faults, FaultConfig, FaultFailure, FaultSummary, FAULT_SITES};
 pub use json::Json;
 pub use pool::PoolWorkerStats;
 pub use report::{
     CrossTargetReport, FunctionReport, ModuleReport, StrategyReport, REPORT_SCHEMA_VERSION,
 };
 pub use session::{
-    ArenaStats, Observer, OptimizerBuilder, Provenance, Session, SessionStats, TechniqueSet,
+    ArenaStats, Budget, FailurePolicy, Observer, OptimizerBuilder, Provenance, Session,
+    SessionStats, TechniqueSet,
 };
 pub use stress::{run_stress, StressConfig, StressSummary};

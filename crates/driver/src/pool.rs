@@ -35,18 +35,29 @@ pub struct ItemPanic {
 }
 
 impl ItemPanic {
-    /// The panic message, when the payload is a string. (Deliberately a
-    /// local twin of `spillopt_stress::panic_message`: the pool is
-    /// self-contained `std`-only infrastructure and keeps no dependency
-    /// on the fuzzing crate.)
+    /// The panic message: strings verbatim, the fault layer's typed
+    /// payloads via their `Display` forms.
     pub fn message(&self) -> String {
-        if let Some(s) = self.payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = self.payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "non-string panic payload".to_string()
-        }
+        payload_message(&*self.payload)
+    }
+}
+
+/// Renders a caught panic payload: strings verbatim, the typed payloads
+/// of the fault layer (`spillopt_obs::fault`) via their `Display`
+/// forms. (Deliberately a local twin of `spillopt_stress::panic_message`
+/// for the string cases: the pool keeps no dependency on the fuzzing
+/// crate.)
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(b) = payload.downcast_ref::<spillopt_obs::fault::BudgetExceeded>() {
+        b.to_string()
+    } else if let Some(i) = payload.downcast_ref::<spillopt_obs::fault::InjectedFault>() {
+        i.to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -103,6 +103,7 @@ pub fn optimize_module_reference(
             reports,
         ),
         allocated,
+        Vec::new(),
     ))
 }
 

@@ -63,6 +63,14 @@ impl FunctionReport {
         self.strategies.iter().find(|s| s.strategy == strategy)
     }
 
+    /// The deterministic JSON rendering of this one function — the same
+    /// object that appears in [`ModuleReport::to_json`]'s `functions`
+    /// array. The fault-injection fuzzer byte-compares healthy
+    /// functions against a fault-free run on exactly this.
+    pub fn to_json(&self) -> Json {
+        function_json(self)
+    }
+
     /// Baseline cost / best cost; `None` when unplaced or unbounded.
     pub fn speedup(&self) -> Option<f64> {
         let base = self.strategy(Strategy::Baseline)?.cost;

@@ -32,20 +32,25 @@
 //! deterministic; the returned reports are).
 
 use crate::cache::AnalysisCache;
-use crate::driver::{DriverError, ModuleRun, ProfileSource, Strategy};
-use crate::pool::{try_run_indexed, ItemPanic, Pool, PoolWorkerStats};
+use crate::driver::{
+    DriverError, FaultAction, FaultKind, FunctionFault, ModuleRun, ProfileSource, Strategy,
+};
+use crate::pool::{payload_message, try_run_indexed, ItemPanic, Pool, PoolWorkerStats};
 use crate::report::{CrossTargetReport, FunctionReport, ModuleReport, StrategyReport};
 use spillopt_core::{
-    run_suite, run_suite_incremental, run_suite_memoized, Placement, PlacementMemo, PlacementSuite,
-    RefoldStats, SpillCostModel, SuiteError, SuiteInputs, SuiteOptions,
+    run_suite, run_suite_incremental, run_suite_memoized, run_technique, Placement, PlacementMemo,
+    PlacementSuite, RefoldStats, SpillCostModel, SuiteError, SuiteInputs, SuiteOptions, Technique,
 };
 use spillopt_ir::{FuncId, Function, Module, Target};
+use spillopt_obs::fault::{BudgetScope, BudgetSpec};
 use spillopt_profile::{random_walk_profile, EdgeProfile, Machine, ProfileDelta};
 use spillopt_regalloc::allocate;
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A typed set of placement techniques — the facade's replacement for
 /// stringly-typed strategy selection. Defaults to [`TechniqueSet::ALL`]
@@ -169,6 +174,101 @@ impl std::fmt::Display for TechniqueSet {
     }
 }
 
+/// What a session does when one function's pipeline fails — a panic, an
+/// invalid placement, or a blown [`Budget`]. Set via
+/// [`OptimizerBuilder::on_fault`]; the default reproduces today's
+/// all-or-nothing behavior exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// The failure surfaces as the run's error (the historical
+    /// behavior): one poisoned function fails the whole
+    /// `optimize`/`optimize_many` call.
+    #[default]
+    Fail,
+    /// The failed function falls down the guarantee chain — hier-jump →
+    /// Chow → entry/exit → unoptimized passthrough — retiring with the
+    /// first rung that succeeds ([`Provenance::Degraded`]); the original
+    /// error is preserved in the run's fault ledger
+    /// ([`crate::ModuleRun::faults`]) and the rest of the module is
+    /// unaffected.
+    Degrade,
+    /// The failed function passes through unoptimized immediately (no
+    /// fallback attempts), recorded in the fault ledger.
+    Skip,
+}
+
+impl FailurePolicy {
+    /// Stable lowercase identifier (the CLI's `--on-fault` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailurePolicy::Fail => "fail",
+            FailurePolicy::Degrade => "degrade",
+            FailurePolicy::Skip => "skip",
+        }
+    }
+
+    /// Parses a stable identifier.
+    pub fn parse(s: &str) -> Option<FailurePolicy> {
+        [
+            FailurePolicy::Fail,
+            FailurePolicy::Degrade,
+            FailurePolicy::Skip,
+        ]
+        .into_iter()
+        .find(|p| p.name() == s)
+    }
+}
+
+/// A cooperative per-function deadline, checked at the obs probe seams
+/// in core's fixpoint solver and the exact solver's branch-and-bound.
+/// Trips surface as [`DriverError::BudgetExceeded`] under
+/// [`FailurePolicy::Fail`], and are caught by the degradation ladder
+/// otherwise. Default: no caps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    wall_ms: Option<u64>,
+    solver_iters: Option<u64>,
+}
+
+impl Budget {
+    /// No caps (the default): nothing is armed, nothing is checked.
+    pub fn none() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps one function's pipeline wall-clock time, in milliseconds.
+    /// Each fallback attempt of the degradation ladder shares the
+    /// function's single deadline.
+    #[must_use]
+    pub fn wall_ms(mut self, ms: u64) -> Budget {
+        self.wall_ms = Some(ms);
+        self
+    }
+
+    /// Caps the cumulative solver iterations (fixpoint rounds,
+    /// branch-and-bound nodes) of one pipeline attempt.
+    #[must_use]
+    pub fn solver_iters(mut self, iters: u64) -> Budget {
+        self.solver_iters = Some(iters);
+        self
+    }
+
+    /// Whether any cap is set.
+    pub fn is_some(&self) -> bool {
+        self.wall_ms.is_some() || self.solver_iters.is_some()
+    }
+
+    /// The absolute deadline a pipeline starting now must meet.
+    fn deadline_from_now(&self) -> Option<Instant> {
+        self.wall_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
+    fn iter_cap(&self) -> Option<u64> {
+        self.solver_iters
+    }
+}
+
 /// How one function's retired pipeline products were obtained — the
 /// reuse provenance the session surfaces through [`Observer`] and the
 /// `--progress` summary. The reports themselves are byte-identical on
@@ -185,6 +285,11 @@ pub enum Provenance {
     /// allocation and analyses were reused and only the PST regions the
     /// profile delta dirtied were re-folded.
     Incremental,
+    /// The full pipeline failed and the function retired through the
+    /// [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`] containment
+    /// path: a single fallback technique, or an unoptimized passthrough.
+    /// The original error is in the run's fault ledger.
+    Degraded,
 }
 
 impl Provenance {
@@ -194,6 +299,7 @@ impl Provenance {
             Provenance::Cold => "cold",
             Provenance::Warm => "warm",
             Provenance::Incremental => "incremental",
+            Provenance::Degraded => "degraded",
         }
     }
 }
@@ -220,6 +326,14 @@ pub trait Observer: Sync {
     /// its target).
     fn module_done(&self, report: &ModuleReport) {
         let _ = report;
+    }
+
+    /// A short name for error attribution: when a callback panics, the
+    /// session reports [`DriverError::ObserverPanicked`] naming this
+    /// observer instead of blaming the function whose report it was
+    /// handling.
+    fn name(&self) -> &str {
+        "observer"
     }
 }
 
@@ -279,6 +393,10 @@ pub struct ArenaStats {
     /// incremental calls touched — the work a cold re-fold would have
     /// done. `regions_refolded < regions_total` is the incremental win.
     pub regions_total: u64,
+    /// Calls answered by the quarantine negative-cache without an
+    /// attempt: repeat-offender functions sitting out their backoff
+    /// window under [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`].
+    pub quarantined: u64,
 }
 
 /// The per-session analysis arena, keyed in **two levels** matching the
@@ -325,6 +443,21 @@ pub(crate) struct AnalysisArena {
     evictions: AtomicU64,
     regions_refolded: AtomicU64,
     regions_total: AtomicU64,
+    /// Negative cache: function texts whose pipeline has failed, with
+    /// their failure count and remaining skip window. Only consulted
+    /// under [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`]; the
+    /// `Fail` hot path never takes this lock.
+    quarantine: Mutex<HashMap<String, Quarantine>>,
+    quarantined: AtomicU64,
+}
+
+/// One function's entry in the arena's negative cache.
+struct Quarantine {
+    /// Total failed attempts recorded for this function.
+    failures: u32,
+    /// Calls left to skip before the next retry (exponential backoff
+    /// from the second failure on).
+    skip_remaining: u32,
 }
 
 /// Everything the pre-allocation function text determines for the
@@ -363,8 +496,10 @@ type ProfileKey = (u64, Vec<u64>);
 /// selected placements.
 type AllocatedFunction = (Function, Vec<(Strategy, Placement)>);
 
-/// One function's pipeline product.
-type FunctionOutcome = (FunctionReport, AllocatedFunction);
+/// One function's pipeline product: the report, the allocated function
+/// with its placements, and the fault-ledger entry when the function was
+/// contained under [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`].
+type FunctionOutcome = (FunctionReport, AllocatedFunction, Option<FunctionFault>);
 
 /// A cross-target module loader.
 type Loader<'l> = dyn Fn(&TargetSpec) -> Result<(Module, ProfileSource), DriverError> + Sync + 'l;
@@ -386,6 +521,8 @@ impl AnalysisArena {
             evictions: AtomicU64::new(0),
             regions_refolded: AtomicU64::new(0),
             regions_total: AtomicU64::new(0),
+            quarantine: Mutex::new(HashMap::new()),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -445,6 +582,53 @@ impl AnalysisArena {
             .fetch_add(refolds.regions_total as u64, Ordering::Relaxed);
     }
 
+    /// Drops any cached structure for `text`. Called whenever the
+    /// function's pipeline failed: a partially updated (or
+    /// poisoned-mutex) `StructState` must never be served to a later
+    /// call.
+    fn purge(&self, text: &str) {
+        self.entries.lock().unwrap().remove(text);
+    }
+
+    /// Records a failed attempt for `text`: purges its cached structure
+    /// and, from the second failure on, opens an exponential-backoff
+    /// skip window so a flapping input can't monopolize warm throughput.
+    fn record_failure(&self, text: &str) {
+        self.purge(text);
+        let mut quarantine = self.quarantine.lock().unwrap();
+        let entry = quarantine.entry(text.to_string()).or_insert(Quarantine {
+            failures: 0,
+            skip_remaining: 0,
+        });
+        entry.failures += 1;
+        if entry.failures >= 2 {
+            entry.skip_remaining = 1u32 << (entry.failures - 1).min(6);
+        }
+    }
+
+    /// Consumes one call of an active quarantine window; `true` means
+    /// the caller should skip this function without an attempt.
+    fn quarantine_skip(&self, text: &str) -> bool {
+        let mut quarantine = self.quarantine.lock().unwrap();
+        match quarantine.get_mut(text) {
+            Some(entry) if entry.skip_remaining > 0 => {
+                entry.skip_remaining -= 1;
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                spillopt_obs::count("fault_quarantined", 1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Clears the failure history of `text` after a successful attempt.
+    fn record_success(&self, text: &str) {
+        let mut quarantine = self.quarantine.lock().unwrap();
+        if !quarantine.is_empty() {
+            quarantine.remove(text);
+        }
+    }
+
     fn stats(&self) -> ArenaStats {
         ArenaStats {
             entries: self.entries.lock().unwrap().len(),
@@ -454,6 +638,7 @@ impl AnalysisArena {
             evictions: self.evictions.load(Ordering::Relaxed),
             regions_refolded: self.regions_refolded.load(Ordering::Relaxed),
             regions_total: self.regions_total.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -518,6 +703,8 @@ pub struct OptimizerBuilder {
     techniques: TechniqueSet,
     reuse_analyses: bool,
     arena_capacity: usize,
+    failure_policy: FailurePolicy,
+    budget: Budget,
 }
 
 impl Default for OptimizerBuilder {
@@ -539,6 +726,8 @@ impl OptimizerBuilder {
             techniques: TechniqueSet::ALL,
             reuse_analyses: true,
             arena_capacity: 0,
+            failure_policy: FailurePolicy::Fail,
+            budget: Budget::none(),
         }
     }
 
@@ -627,6 +816,26 @@ impl OptimizerBuilder {
         self
     }
 
+    /// What the session does when one function's pipeline fails
+    /// (default [`FailurePolicy::Fail`]: the historical all-or-nothing
+    /// behavior). `Degrade` and `Skip` contain the failure to that one
+    /// function and record it in the run's fault ledger.
+    #[must_use]
+    pub fn on_fault(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// A cooperative per-function [`Budget`] (wall-clock and/or solver
+    /// iteration caps; default: none). Trips surface as
+    /// [`DriverError::BudgetExceeded`] under [`FailurePolicy::Fail`]
+    /// and degrade like any other fault otherwise.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Validates the configuration and builds the [`Session`] (spawning
     /// its worker pool).
     ///
@@ -683,6 +892,8 @@ impl OptimizerBuilder {
             arena: self
                 .reuse_analyses
                 .then(|| AnalysisArena::new(self.arena_capacity)),
+            failure_policy: self.failure_policy,
+            budget: self.budget,
         })
     }
 }
@@ -698,6 +909,8 @@ pub struct Session {
     techniques: TechniqueSet,
     pool: Pool,
     arena: Option<AnalysisArena>,
+    failure_policy: FailurePolicy,
+    budget: Budget,
 }
 
 impl Session {
@@ -768,6 +981,8 @@ impl Session {
             exec: Exec::Pool(&self.pool),
             arena: self.arena.as_ref(),
             observer,
+            policy: self.failure_policy,
+            budget: self.budget,
         }
     }
 
@@ -949,16 +1164,33 @@ impl Session {
             })?;
 
         // Regroup per module, in input order.
-        let mut per_module: Vec<(Vec<FunctionReport>, Vec<AllocatedFunction>)> = (0..modules.len())
-            .map(|_| (Vec::new(), Vec::new()))
+        type PerModule = (
+            Vec<FunctionReport>,
+            Vec<AllocatedFunction>,
+            Vec<FunctionFault>,
+        );
+        let mut per_module: Vec<PerModule> = (0..modules.len())
+            .map(|_| (Vec::new(), Vec::new(), Vec::new()))
             .collect();
         for ((mi, _), outcome) in coords.into_iter().zip(outcomes) {
-            let (report, allocated) = outcome?;
+            let (report, allocated, fault) = match outcome {
+                Ok(o) => o,
+                // Contained failures name the function; batch callers
+                // get the module prefixed (matching the panic path).
+                Err(DriverError::Panicked { unit, message }) => {
+                    return Err(DriverError::Panicked {
+                        unit: format!("{}::{unit}", modules[mi].name()),
+                        message,
+                    })
+                }
+                Err(e) => return Err(e),
+            };
             per_module[mi].0.push(report);
             per_module[mi].1.push(allocated);
+            per_module[mi].2.extend(fault);
         }
         let mut runs = Vec::with_capacity(modules.len());
-        for (module, (reports, allocated)) in modules.iter().zip(per_module) {
+        for (module, (reports, allocated, faults)) in modules.iter().zip(per_module) {
             let run = ModuleRun::from_parts(
                 ModuleReport::new(
                     module.name().to_string(),
@@ -966,10 +1198,9 @@ impl Session {
                     reports,
                 ),
                 allocated,
+                faults,
             );
-            if let Some(obs) = engine.observer {
-                obs.module_done(&run.report);
-            }
+            notify_module_done(&engine, &run.report)?;
             runs.push(run);
         }
         Ok(runs)
@@ -1041,6 +1272,8 @@ impl Session {
                     exec: Exec::Transient(1),
                     arena: None,
                     observer,
+                    policy: self.failure_policy,
+                    budget: self.budget,
                 };
                 run_module(&module, &engine).map(|run| (spec.clone(), run.report))
             })
@@ -1091,6 +1324,8 @@ pub(crate) struct Engine<'e> {
     pub exec: Exec<'e>,
     pub arena: Option<&'e AnalysisArena>,
     pub observer: Option<&'e dyn Observer>,
+    pub policy: FailurePolicy,
+    pub budget: Budget,
 }
 
 /// Stage 1 (serial): training profiles, if a workload is given.
@@ -1200,10 +1435,12 @@ pub(crate) fn run_module(module: &Module, engine: &Engine<'_>) -> Result<ModuleR
 
     let mut reports = Vec::with_capacity(outcomes.len());
     let mut allocated = Vec::with_capacity(outcomes.len());
+    let mut faults = Vec::new();
     for outcome in outcomes {
-        let (report, alloc) = outcome?;
+        let (report, alloc, fault) = outcome?;
         reports.push(report);
         allocated.push(alloc);
+        faults.extend(fault);
     }
     let run = ModuleRun::from_parts(
         ModuleReport::new(
@@ -1212,17 +1449,21 @@ pub(crate) fn run_module(module: &Module, engine: &Engine<'_>) -> Result<ModuleR
             reports,
         ),
         allocated,
+        faults,
     );
-    if let Some(obs) = engine.observer {
-        obs.module_done(&run.report);
-    }
+    notify_module_done(engine, &run.report)?;
     Ok(run)
 }
 
-/// One function's pipeline: resolve the profile, consult the two-level
-/// arena, and run as little of the pipeline as the cached structure
-/// allows — warm wholesale, incremental re-fold on drift, cold only for
-/// unseen functions or allocation-changing drifts.
+/// One function's pipeline, inside a containment boundary: the attempt
+/// (arena-aware, exactly the historical pipeline) runs under
+/// `catch_unwind` with the session's [`Budget`] armed; panics, invalid
+/// placements, and budget trips are classified into structured errors
+/// and the arena is purged of any partial state. The engine's
+/// [`FailurePolicy`] then decides whether the failure surfaces (`Fail`,
+/// the historical behavior), walks the degradation ladder (`Degrade`),
+/// or skips the function (`Skip`) — the latter two recording the
+/// original error in the run's fault ledger.
 fn run_function(
     module: &Module,
     fid: FuncId,
@@ -1234,14 +1475,135 @@ fn run_function(
     let _fn_span = spillopt_obs::span("function");
     let source_func = module.func(fid);
     let profile = profile.unwrap_or_else(|| synth_profile(source_func, fid, engine.profile_source));
+    let text = engine.arena.map(|_| source_func.to_string());
+    // One wall-clock deadline per function, shared by every attempt
+    // (ladder rungs included); iteration caps are per attempt.
+    let deadline = engine.budget.deadline_from_now();
 
-    let notify = |report: &FunctionReport, provenance: Provenance| {
-        if let Some(obs) = engine.observer {
-            obs.function_retired(engine.target.name(), module.name(), report, provenance);
+    // Quarantined repeat offenders sit out their backoff window without
+    // an attempt (Degrade/Skip only; `Fail` never quarantines).
+    if engine.policy != FailurePolicy::Fail {
+        if let (Some(arena), Some(text)) = (engine.arena, text.as_deref()) {
+            if arena.quarantine_skip(text) {
+                let (report, alloc) = passthrough(fid, source_func);
+                let fault = FunctionFault {
+                    function: source_func.name().to_string(),
+                    index: fid.index(),
+                    kind: FaultKind::Quarantined,
+                    error: "in quarantine backoff after repeated failures".to_string(),
+                    action: FaultAction::Skipped,
+                };
+                notify_retired(engine, module, &report, Provenance::Degraded)?;
+                return Ok((report, alloc, Some(fault)));
+            }
         }
+    }
+
+    let error = match attempt_full(module, fid, &profile, engine, text.as_deref(), deadline) {
+        Ok((report, alloc, provenance)) => {
+            if engine.policy != FailurePolicy::Fail {
+                if let (Some(arena), Some(text)) = (engine.arena, text.as_deref()) {
+                    arena.record_success(text);
+                }
+            }
+            notify_retired(engine, module, &report, provenance)?;
+            return Ok((report, alloc, None));
+        }
+        Err(error) => error,
     };
 
-    let Some(arena) = engine.arena else {
+    // The attempt failed. Never keep (possibly partial) cached state
+    // for a failed function; under Degrade/Skip also advance its
+    // quarantine entry.
+    if let (Some(arena), Some(text)) = (engine.arena, text.as_deref()) {
+        if engine.policy == FailurePolicy::Fail {
+            arena.purge(text);
+        } else {
+            arena.record_failure(text);
+        }
+    }
+    if engine.policy == FailurePolicy::Fail {
+        return Err(error);
+    }
+    spillopt_obs::count("fault_contained", 1);
+    let kind = match &error {
+        DriverError::BudgetExceeded { .. } => FaultKind::BudgetExceeded,
+        DriverError::InvalidPlacement { .. } => FaultKind::InvalidPlacement,
+        _ => FaultKind::Panic,
+    };
+    let fault_entry = |action: FaultAction| FunctionFault {
+        function: source_func.name().to_string(),
+        index: fid.index(),
+        kind,
+        error: error.to_string(),
+        action,
+    };
+
+    // Degrade: walk the guarantee chain — hier-jump → hier-exec → Chow
+    // → entry/exit, within the session's technique set — with fresh
+    // arena-free single-technique attempts. The first rung that
+    // succeeds retires the function.
+    if engine.policy == FailurePolicy::Degrade {
+        for strategy in [
+            Strategy::HierJump,
+            Strategy::HierExec,
+            Strategy::Shrinkwrap,
+            Strategy::Baseline,
+        ] {
+            if !engine.techniques.contains(strategy) {
+                continue;
+            }
+            if let Ok((report, alloc)) =
+                attempt_single(module, fid, &profile, engine, strategy, deadline)
+            {
+                spillopt_obs::count("fault_degraded", 1);
+                let fault = fault_entry(FaultAction::Degraded { to: strategy });
+                notify_retired(engine, module, &report, Provenance::Degraded)?;
+                return Ok((report, alloc, Some(fault)));
+            }
+        }
+    }
+
+    // Skip policy, or a fully exhausted ladder: unoptimized passthrough.
+    spillopt_obs::count("fault_skipped", 1);
+    let (report, alloc) = passthrough(fid, source_func);
+    let fault = fault_entry(FaultAction::Skipped);
+    notify_retired(engine, module, &report, Provenance::Degraded)?;
+    Ok((report, alloc, Some(fault)))
+}
+
+/// The full pipeline attempt, inside the containment boundary: arms the
+/// budget, catches panics (typed budget and injection payloads
+/// included), and classifies any failure into a structured error.
+fn attempt_full(
+    module: &Module,
+    fid: FuncId,
+    profile: &EdgeProfile,
+    engine: &Engine<'_>,
+    text: Option<&str>,
+    deadline: Option<Instant>,
+) -> Result<(FunctionReport, AllocatedFunction, Provenance), DriverError> {
+    let function = module.func(fid).name();
+    catch_unwind(AssertUnwindSafe(|| {
+        let _budget = arm_budget(engine, deadline);
+        attempt_full_inner(module, fid, profile.clone(), engine, text)
+    }))
+    .unwrap_or_else(|payload| Err(classify_panic(function, payload)))
+}
+
+/// The historical pipeline body: resolve against the two-level arena
+/// and run as little of the pipeline as the cached structure allows —
+/// warm wholesale, incremental re-fold on drift, cold only for unseen
+/// functions or allocation-changing drifts.
+fn attempt_full_inner(
+    module: &Module,
+    fid: FuncId,
+    profile: EdgeProfile,
+    engine: &Engine<'_>,
+    text: Option<&str>,
+) -> Result<(FunctionReport, AllocatedFunction, Provenance), DriverError> {
+    let source_func = module.func(fid);
+    let (Some(arena), Some(text)) = (engine.arena, text) else {
         // No arena: the frozen whole-pipeline cold path — also the
         // differential oracle the drift fuzzer compares every
         // incremental result against.
@@ -1260,21 +1622,22 @@ fn run_function(
         } else {
             Vec::new()
         };
-        notify(&report, Provenance::Cold);
-        return Ok((report, (func, placements)));
+        return Ok((report, (func, placements), Provenance::Cold));
     };
 
-    let text = source_func.to_string();
     let pkey = profile_key(&profile);
-    if let Some(state) = arena.structure(&text) {
+    if let Some(state) = arena.structure(text) {
         let mut guard = state.lock().unwrap();
         let st = &mut *guard;
         if let Some((report, placements)) = st.outcomes.get(&pkey) {
             arena.record_hit();
             let mut report = report.clone();
             report.index = fid.index();
-            notify(&report, Provenance::Warm);
-            return Ok((report, (st.func.clone(), placements.clone())));
+            return Ok((
+                report,
+                (st.func.clone(), placements.clone()),
+                Provenance::Warm,
+            ));
         }
         // The profile drifted. The allocator's only profile input is
         // its per-block weight vector, so equal weights prove the
@@ -1294,8 +1657,7 @@ fn run_function(
             let (report, allocated) = refold_incremental(fid, st, engine, profile, arena)?;
             st.outcomes
                 .insert(pkey, (report.clone(), allocated.1.clone()));
-            notify(&report, Provenance::Incremental);
-            return Ok((report, allocated));
+            return Ok((report, allocated, Provenance::Incremental));
         }
         // The drift changed the allocation itself: rebuild the whole
         // structure cold (the old outcomes priced a different
@@ -1305,8 +1667,7 @@ fn run_function(
         *st = new_state;
         st.outcomes
             .insert(pkey, (report.clone(), allocated.1.clone()));
-        notify(&report, Provenance::Cold);
-        return Ok((report, allocated));
+        return Ok((report, allocated, Provenance::Cold));
     }
 
     // Unseen function: full cold pipeline, then cache the structure.
@@ -1315,9 +1676,157 @@ fn run_function(
     state
         .outcomes
         .insert(pkey, (report.clone(), allocated.1.clone()));
-    arena.insert_structure(text, state);
-    notify(&report, Provenance::Cold);
-    Ok((report, allocated))
+    arena.insert_structure(text.to_string(), state);
+    Ok((report, allocated, Provenance::Cold))
+}
+
+/// One rung of the degradation ladder: a fresh, arena-free,
+/// single-technique pipeline attempt inside its own containment
+/// boundary, sharing the function's wall-clock deadline. Degraded
+/// products are never cached — a later clean call runs cold and is
+/// byte-identical to a fresh session.
+fn attempt_single(
+    module: &Module,
+    fid: FuncId,
+    profile: &EdgeProfile,
+    engine: &Engine<'_>,
+    strategy: Strategy,
+    deadline: Option<Instant>,
+) -> Result<(FunctionReport, AllocatedFunction), DriverError> {
+    let function = module.func(fid).name();
+    catch_unwind(AssertUnwindSafe(|| {
+        let _budget = arm_budget(engine, deadline);
+        let mut func = module.func(fid).clone();
+        let alloc = {
+            let _s = spillopt_obs::span("allocate");
+            allocate(&mut func, engine.target, Some(profile))
+        };
+        let cache = AnalysisCache::compute(&func, engine.target, profile.clone());
+        let mut report = report_shell(fid, &func, &cache, alloc.spilled_vregs);
+        let placements = if cache.needs_placement() {
+            let technique = match strategy {
+                Strategy::Baseline => Technique::EntryExit,
+                Strategy::Shrinkwrap => Technique::Chow,
+                Strategy::HierExec => Technique::HierExec,
+                Strategy::HierJump => Technique::HierJump,
+            };
+            let inputs = suite_inputs(&cache);
+            let (placement, cost) = run_technique(
+                &cache.cfg,
+                &inputs,
+                &SuiteOptions::priced(*engine.costs),
+                technique,
+            )
+            .map_err(|e| suite_error(&func, e))?;
+            report.strategies.push(StrategyReport {
+                strategy,
+                cost,
+                static_count: placement.static_count(),
+                placement: placement.clone(),
+            });
+            report.best = Some(strategy);
+            vec![(strategy, placement)]
+        } else {
+            Vec::new()
+        };
+        Ok((report, (func, placements)))
+    }))
+    .unwrap_or_else(|payload| Err(classify_panic(function, payload)))
+}
+
+/// The ladder's last rung: the source function passes through
+/// unoptimized (still pre-allocation). [`crate::ModuleRun::apply`]
+/// emits it as-is, guided by the fault ledger.
+fn passthrough(fid: FuncId, source_func: &Function) -> (FunctionReport, AllocatedFunction) {
+    let insts = source_func
+        .block_ids()
+        .map(|b| source_func.block(b).insts.len())
+        .sum();
+    let report = FunctionReport {
+        index: fid.index(),
+        name: source_func.name().to_string(),
+        blocks: source_func.num_blocks(),
+        insts,
+        spilled_vregs: 0,
+        callee_saved: 0,
+        strategies: Vec::new(),
+        best: None,
+    };
+    (report, (source_func.clone(), Vec::new()))
+}
+
+/// Classifies a caught panic payload into a structured driver error:
+/// typed budget trips and injected errors keep their structure;
+/// everything else is a genuine pipeline panic.
+fn classify_panic(function: &str, payload: Box<dyn std::any::Any + Send>) -> DriverError {
+    if let Some(trip) = payload.downcast_ref::<spillopt_obs::fault::BudgetExceeded>() {
+        return DriverError::BudgetExceeded {
+            function: function.to_string(),
+            phase: trip.phase,
+        };
+    }
+    if let Some(fault) = payload.downcast_ref::<spillopt_obs::fault::InjectedFault>() {
+        if fault.kind == spillopt_obs::fault::InjectionKind::Error {
+            return DriverError::InvalidPlacement {
+                function: function.to_string(),
+                technique: "injected",
+                detail: fault.to_string(),
+            };
+        }
+    }
+    DriverError::Panicked {
+        unit: function.to_string(),
+        message: payload_message(&*payload),
+    }
+}
+
+/// Arms the engine's cooperative budget for one attempt on the current
+/// thread; `None` (nothing armed, nothing checked) when the session has
+/// no caps.
+fn arm_budget(engine: &Engine<'_>, deadline: Option<Instant>) -> Option<BudgetScope> {
+    (deadline.is_some() || engine.budget.iter_cap().is_some()).then(|| {
+        BudgetScope::arm(BudgetSpec {
+            deadline,
+            max_iters: engine.budget.iter_cap(),
+        })
+    })
+}
+
+/// Delivers `function_retired` inside its own containment boundary: an
+/// observer panic is the observer's fault, surfaced as
+/// [`DriverError::ObserverPanicked`] — never degraded, never attributed
+/// to the function whose report it was handling.
+fn notify_retired(
+    engine: &Engine<'_>,
+    module: &Module,
+    report: &FunctionReport,
+    provenance: Provenance,
+) -> Result<(), DriverError> {
+    let Some(obs) = engine.observer else {
+        return Ok(());
+    };
+    catch_unwind(AssertUnwindSafe(|| {
+        obs.function_retired(engine.target.name(), module.name(), report, provenance)
+    }))
+    .map_err(|payload| DriverError::ObserverPanicked {
+        observer: obs.name().to_string(),
+        callback: "function_retired",
+        message: payload_message(&*payload),
+    })
+}
+
+/// As [`notify_retired`], for `module_done`.
+fn notify_module_done(engine: &Engine<'_>, report: &ModuleReport) -> Result<(), DriverError> {
+    let Some(obs) = engine.observer else {
+        return Ok(());
+    };
+    catch_unwind(AssertUnwindSafe(|| obs.module_done(report))).map_err(|payload| {
+        DriverError::ObserverPanicked {
+            observer: obs.name().to_string(),
+            callback: "module_done",
+            message: payload_message(&*payload),
+        }
+    })
 }
 
 /// The allocator's per-block weight vector — [`allocate`]'s only
@@ -1330,6 +1839,10 @@ fn allocation_weights(func: &Function, profile: &EdgeProfile) -> Vec<u64> {
         .collect()
 }
 
+/// A retired (report, allocated) pair, before the fault-ledger column
+/// of a [`FunctionOutcome`] is attached.
+type Retired = (FunctionReport, AllocatedFunction);
+
 /// Runs the full cold pipeline for one function and packages the result
 /// as an arena [`StructState`] (with its [`PlacementMemo`]) plus the
 /// retired outcome.
@@ -1338,7 +1851,7 @@ fn cold_structure(
     source_func: &Function,
     engine: &Engine<'_>,
     profile: EdgeProfile,
-) -> Result<(StructState, FunctionOutcome), DriverError> {
+) -> Result<(StructState, Retired), DriverError> {
     let weights = allocation_weights(source_func, &profile);
     let mut func = source_func.clone();
     let alloc = {
@@ -1379,7 +1892,7 @@ fn refold_incremental(
     engine: &Engine<'_>,
     profile: EdgeProfile,
     arena: &AnalysisArena,
-) -> Result<FunctionOutcome, DriverError> {
+) -> Result<Retired, DriverError> {
     let delta = ProfileDelta::between(&st.cache.profile, &profile);
     let mut report = report_shell(fid, &st.func, &st.cache, st.spilled_vregs);
     let placements = match st.memo.as_mut() {

@@ -190,6 +190,7 @@ impl<'m, 'a> Search<'m, 'a> {
             return;
         }
         self.nodes += 1;
+        spillopt_obs::fault::budget_tick("exact_search", 1);
         if self.nodes > self.budget {
             self.exhausted = true;
             return;

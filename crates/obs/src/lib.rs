@@ -21,9 +21,17 @@
 //! Timestamps are monotonic nanoseconds from a process-wide epoch
 //! (first use), and every event carries a small sequential thread id,
 //! so traces from the work pool interleave correctly on the timeline.
+//!
+//! The [`fault`] module mounts two more dormant arms on the same probe
+//! sites: deterministic fault injection (every `span` site is a named
+//! injection point) and cooperative budgets ([`fault::budget_tick`]),
+//! each costing one extra relaxed load while disarmed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+#[allow(missing_docs)]
+pub mod fault;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -179,6 +187,9 @@ pub fn enabled() -> bool {
 #[inline]
 #[must_use = "a span is recorded when its guard drops"]
 pub fn span(name: &'static str) -> Span {
+    if fault::injecting() {
+        fault::probe(name);
+    }
     if !enabled() {
         return Span { live: None };
     }
