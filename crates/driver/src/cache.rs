@@ -26,7 +26,7 @@ use spillopt_ir::{
 };
 use spillopt_profile::EdgeProfile;
 use spillopt_pst::Pst;
-use std::sync::OnceLock;
+use spillopt_sync::OnceLock;
 
 /// All shared analyses of one (physical, post-allocation) function.
 #[derive(Debug)]

@@ -45,11 +45,11 @@ use spillopt_ir::{FuncId, Function, Module, Target};
 use spillopt_obs::fault::{BudgetScope, BudgetSpec};
 use spillopt_profile::{random_walk_profile, EdgeProfile, Machine, ProfileDelta};
 use spillopt_regalloc::allocate;
+use spillopt_sync::atomic::{AtomicU64, Ordering};
+use spillopt_sync::{Arc, Mutex};
 use spillopt_targets::{registry, spec_by_name, TargetSpec};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A typed set of placement techniques — the facade's replacement for
@@ -399,6 +399,36 @@ pub struct ArenaStats {
     pub quarantined: u64,
 }
 
+/// A keyed, LRU-bounded, quarantine-aware cache of shared per-key
+/// states — the concurrency skeleton of the analysis arena, generic
+/// over the per-key payload `S` so the model-checked suites can
+/// exercise the exact production lock/atomic protocol with a trivial
+/// payload (see `model_tests`). All bookkeeping (LRU stamps, counters,
+/// the negative cache) lives here; payloads sit behind `Arc<Mutex<S>>`
+/// so lookups clone a pointer under the map lock and per-key work
+/// happens outside it.
+pub(crate) struct Arena<S> {
+    /// Key → (LRU stamp, shared state). The stamps live *here*, so
+    /// eviction scans never take a state's own lock.
+    entries: Mutex<HashMap<String, ArenaEntry<S>>>,
+    /// Maximum cached entries (`0` = unbounded).
+    capacity: usize,
+    /// LRU clock, bumped on every touch.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    incremental: AtomicU64,
+    evictions: AtomicU64,
+    regions_refolded: AtomicU64,
+    regions_total: AtomicU64,
+    /// Negative cache: keys whose pipeline has failed, with their
+    /// failure count and remaining skip window. Only consulted under
+    /// [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`]; the `Fail`
+    /// hot path never takes this lock.
+    quarantine: Mutex<HashMap<String, Quarantine>>,
+    quarantined: AtomicU64,
+}
+
 /// The per-session analysis arena, keyed in **two levels** matching the
 /// two levels of input change a re-optimizing service sees:
 ///
@@ -426,30 +456,10 @@ pub struct ArenaStats {
 /// of cached structures with least-recently-used eviction. Build with
 /// [`OptimizerBuilder::reuse_analyses`]`(false)` for one-shot or
 /// benchmarking sessions that must re-run the pipeline every time.
-pub(crate) struct AnalysisArena {
-    /// Structure level: pre-allocation function text → (LRU stamp,
-    /// state). States sit behind `Arc<Mutex<_>>` so a lookup clones a
-    /// pointer under the map lock and all per-function work happens
-    /// outside it; the stamps live *here*, so eviction scans never take
-    /// a state's own lock.
-    entries: Mutex<HashMap<String, ArenaEntry>>,
-    /// Maximum cached structures (`0` = unbounded).
-    capacity: usize,
-    /// LRU clock, bumped on every structure touch.
-    clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    incremental: AtomicU64,
-    evictions: AtomicU64,
-    regions_refolded: AtomicU64,
-    regions_total: AtomicU64,
-    /// Negative cache: function texts whose pipeline has failed, with
-    /// their failure count and remaining skip window. Only consulted
-    /// under [`FailurePolicy::Degrade`]/[`FailurePolicy::Skip`]; the
-    /// `Fail` hot path never takes this lock.
-    quarantine: Mutex<HashMap<String, Quarantine>>,
-    quarantined: AtomicU64,
-}
+///
+/// Structure level keys are the pre-allocation function text; the
+/// shared concurrency skeleton is [`Arena`].
+pub(crate) type AnalysisArena = Arena<StructState>;
 
 /// One function's entry in the arena's negative cache.
 struct Quarantine {
@@ -464,7 +474,7 @@ struct Quarantine {
 /// session's fixed (target, cost model): the allocation, the analyses,
 /// and the per-region fold memo — plus the per-profile outcomes retired
 /// against that structure.
-struct StructState {
+pub(crate) struct StructState {
     /// The allocated (physical, pre-placement) function.
     func: Function,
     /// `func.to_string()`, kept to compare re-allocations cheaply.
@@ -485,8 +495,8 @@ struct StructState {
     outcomes: HashMap<ProfileKey, (FunctionReport, Vec<(Strategy, Placement)>)>,
 }
 
-/// An LRU stamp paired with the shared per-structure state it guards.
-type ArenaEntry = (u64, Arc<Mutex<StructState>>);
+/// An LRU stamp paired with the shared per-key state it guards.
+type ArenaEntry<S> = (u64, Arc<Mutex<S>>);
 
 /// The exact-profile key of a [`StructState`] outcome:
 /// `(entry_count, edge_counts)`.
@@ -509,9 +519,9 @@ fn profile_key(profile: &EdgeProfile) -> ProfileKey {
     (profile.entry_count(), profile.edge_counts().to_vec())
 }
 
-impl AnalysisArena {
+impl<S> Arena<S> {
     fn new(capacity: usize) -> Self {
-        AnalysisArena {
+        Arena {
             entries: Mutex::new(HashMap::new()),
             capacity,
             clock: AtomicU64::new(0),
@@ -526,9 +536,8 @@ impl AnalysisArena {
         }
     }
 
-    /// The cached structure for a pre-allocation function text, touching
-    /// its LRU stamp.
-    fn structure(&self, text: &str) -> Option<Arc<Mutex<StructState>>> {
+    /// The cached state for a key, touching its LRU stamp.
+    fn structure(&self, text: &str) -> Option<Arc<Mutex<S>>> {
         let mut map = self.entries.lock().unwrap();
         match map.get_mut(text) {
             Some((stamp, state)) => {
@@ -539,9 +548,9 @@ impl AnalysisArena {
         }
     }
 
-    /// Caches a freshly computed structure, evicting the least recently
+    /// Caches a freshly computed state, evicting the least recently
     /// used one when over capacity.
-    fn insert_structure(&self, text: String, state: StructState) {
+    fn insert_structure(&self, text: String, state: S) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut map = self.entries.lock().unwrap();
         map.insert(text.clone(), (stamp, Arc::new(Mutex::new(state))));
@@ -643,7 +652,7 @@ impl AnalysisArena {
     }
 }
 
-impl std::fmt::Debug for AnalysisArena {
+impl<S> std::fmt::Debug for Arena<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalysisArena")
             .field("stats", &self.stats())
@@ -2026,7 +2035,7 @@ fn suite_error(func: &Function, e: SuiteError) -> DriverError {
 mod tests {
     use super::*;
     use spillopt_benchgen::{benchmark_by_name, build_bench};
-    use std::sync::atomic::AtomicUsize;
+    use spillopt_sync::atomic::AtomicUsize;
 
     fn mcf() -> (Module, Vec<(FuncId, Vec<i64>)>, Target) {
         let target = Target::default();
@@ -2236,5 +2245,159 @@ mod tests {
             TechniqueSet::parse("baseline,baseline").unwrap(),
             TechniqueSet::BASELINE
         );
+    }
+}
+
+/// Model-checked suites for the arena's concurrency skeleton: the
+/// warm-hit/insert, LRU-evict, and quarantine protocols explored over
+/// every interleaving reachable under the preemption bound, on an
+/// `Arena<u32>` (the production lock/atomic structure with a trivial
+/// payload). Run with `cargo test -p spillopt-driver --features model`.
+#[cfg(all(test, feature = "model"))]
+mod arena_model_tests {
+    use super::{Arc, Arena};
+    use spillopt_sync::model::{check, ModelOptions};
+    use spillopt_sync::thread;
+
+    /// Warm-hit vs. insert race: two threads look up the same key and
+    /// insert on miss. Under every schedule the arena ends with exactly
+    /// one entry, every lookup-after-insert hits, and the hit/miss
+    /// accounting matches what the threads actually observed.
+    #[test]
+    fn model_warm_hit_insert_race() {
+        let report = check(ModelOptions::new(), || {
+            let arena: Arc<Arena<u32>> = Arc::new(Arena::new(0));
+            let worker = {
+                let arena = Arc::clone(&arena);
+                thread::spawn(move || match arena.structure("f") {
+                    Some(state) => {
+                        arena.record_hit();
+                        *state.lock().unwrap()
+                    }
+                    None => {
+                        arena.record_miss();
+                        arena.insert_structure("f".into(), 7);
+                        7
+                    }
+                })
+            };
+            match arena.structure("f") {
+                Some(state) => {
+                    arena.record_hit();
+                    assert_eq!(*state.lock().unwrap(), 7);
+                }
+                None => {
+                    arena.record_miss();
+                    arena.insert_structure("f".into(), 7);
+                }
+            }
+            assert_eq!(worker.join().unwrap(), 7);
+            let stats = arena.stats();
+            assert_eq!(stats.entries, 1, "duplicate inserts must coalesce");
+            assert_eq!(stats.hits + stats.misses, 2);
+            assert!(stats.misses >= 1, "someone had to populate the entry");
+        });
+        eprintln!(
+            "model_warm_hit_insert_race: {} schedules",
+            report.executions
+        );
+        assert!(report.executions > 1);
+    }
+
+    /// Concurrent inserts against capacity 1: under every schedule
+    /// exactly one entry survives and exactly one eviction is counted —
+    /// the evict scan must never see (or double-evict) a map it doesn't
+    /// hold the lock for.
+    #[test]
+    fn model_capacity_evict_race() {
+        let report = check(ModelOptions::new(), || {
+            let arena: Arc<Arena<u32>> = Arc::new(Arena::new(1));
+            let worker = {
+                let arena = Arc::clone(&arena);
+                thread::spawn(move || arena.insert_structure("a".into(), 1))
+            };
+            arena.insert_structure("b".into(), 2);
+            worker.join().unwrap();
+            let stats = arena.stats();
+            assert_eq!(stats.entries, 1, "capacity 1 must hold");
+            assert_eq!(stats.evictions, 1, "exactly one insert loses");
+            // The survivor is intact and servable.
+            let survivor = ["a", "b"].iter().filter_map(|k| arena.structure(k)).count();
+            assert_eq!(survivor, 1);
+        });
+        eprintln!("model_capacity_evict_race: {} schedules", report.executions);
+        assert!(report.executions > 1);
+    }
+
+    /// Quarantine under contention: one thread records two failures
+    /// (opening a backoff window of 2 skips); another probes
+    /// `quarantine_skip` concurrently. Whatever the interleaving, the
+    /// window is conserved — skips granted during the race plus skips
+    /// left afterwards equal the window the failures opened, and a
+    /// subsequent success clears it.
+    #[test]
+    fn model_quarantine_window_is_conserved() {
+        let report = check(ModelOptions::new(), || {
+            let arena: Arc<Arena<u32>> = Arc::new(Arena::new(0));
+            let prober = {
+                let arena = Arc::clone(&arena);
+                thread::spawn(move || arena.quarantine_skip("f") as u32)
+            };
+            arena.record_failure("f");
+            arena.record_failure("f");
+            let raced = prober.join().unwrap();
+            let mut drained = 0u32;
+            while arena.quarantine_skip("f") {
+                drained += 1;
+            }
+            assert_eq!(
+                raced + drained,
+                2,
+                "two failures open a window of exactly 2 skips"
+            );
+            arena.record_success("f");
+            assert!(!arena.quarantine_skip("f"), "success clears the window");
+        });
+        eprintln!(
+            "model_quarantine_window_is_conserved: {} schedules",
+            report.executions
+        );
+        assert!(report.executions > 1);
+    }
+
+    /// A purged key no longer serves its old state, while a hit taken
+    /// *before* the purge keeps its `Arc` alive and coherent — the
+    /// lookup-clones-pointer design must tolerate purge racing a use.
+    #[test]
+    fn model_purge_races_active_use() {
+        let report = check(ModelOptions::new(), || {
+            let arena: Arc<Arena<u32>> = Arc::new(Arena::new(0));
+            arena.insert_structure("f".into(), 1);
+            let user = {
+                let arena = Arc::clone(&arena);
+                thread::spawn(move || {
+                    arena.structure("f").map(|state| {
+                        let mut v = state.lock().unwrap();
+                        *v += 10;
+                        *v
+                    })
+                })
+            };
+            arena.record_failure("f"); // purges "f"
+            let seen = user.join().unwrap();
+            assert!(
+                seen.is_none() || seen == Some(11),
+                "a racing user sees the entry fully or not at all: {seen:?}"
+            );
+            assert!(
+                arena.structure("f").is_none(),
+                "the purge must win against later lookups"
+            );
+        });
+        eprintln!(
+            "model_purge_races_active_use: {} schedules",
+            report.executions
+        );
+        assert!(report.executions > 1);
     }
 }

@@ -14,8 +14,8 @@ use spillopt_driver::{FunctionReport, OptimizerBuilder, ProfileSource, Provenanc
 use spillopt_ir::{Cfg, Module};
 use spillopt_profile::EdgeProfile;
 use spillopt_stress::gen_case;
+use spillopt_sync::Mutex;
 use spillopt_targets::{registry, TargetSpec};
-use std::sync::Mutex;
 
 fn warm_session(spec: &TargetSpec) -> Session {
     OptimizerBuilder::new()

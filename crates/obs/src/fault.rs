@@ -12,8 +12,8 @@
 //! scope are expected to wrap the guarded region in `catch_unwind` and
 //! downcast the payload to recover the structured cause.
 
+use spillopt_sync::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// How an armed fault manifests when its site fires.
@@ -94,7 +94,7 @@ impl std::fmt::Display for InjectedFault {
 /// never entered; `span` checks this with one relaxed load.
 static INJECTING: AtomicU64 = AtomicU64::new(0);
 /// One-time installer for the quiet-hook filter below.
-static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+static QUIET_HOOK: spillopt_sync::Once = spillopt_sync::Once::new();
 
 /// Installs (once, process-wide) a panic-hook filter that silences this
 /// module's typed payloads — they are control flow, thrown only while a
@@ -328,7 +328,7 @@ mod tests {
             kind: InjectionKind::Panic,
         }]);
         // Another thread has no plan, so the armed site is inert there.
-        std::thread::spawn(|| crate::span("unit_test_other_thread"))
+        spillopt_sync::thread::spawn(|| crate::span("unit_test_other_thread"))
             .join()
             .expect("no cross-thread injection");
     }

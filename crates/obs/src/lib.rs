@@ -33,10 +33,10 @@
 #[allow(missing_docs)]
 pub mod fault;
 
+use spillopt_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use spillopt_sync::{Mutex, MutexGuard, OnceLock};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Master switch: one relaxed load of this is the entire disabled-mode
@@ -142,6 +142,18 @@ impl ThreadBuf {
     }
 
     fn flush(&mut self) {
+        if self.spans.is_empty() && self.samples.is_empty() && self.counters.is_empty() {
+            return;
+        }
+        let mut sink = lock(&SINK);
+        // The generation check must happen UNDER the sink lock: checked
+        // before it, a flushing thread could pass the check, lose the
+        // CPU while the recording finishes and the next one starts (and
+        // clears the sink), then wake and append stale events into the
+        // new recording. The model checker found exactly that schedule
+        // (see `model_stale_flush_never_pollutes_next_recording`);
+        // `Recording::start` bumps the generation before it touches the
+        // sink, so under the lock the check is authoritative.
         if self.generation != GENERATION.load(Ordering::Relaxed) {
             // The recording this buffer belongs to already finished;
             // its sink was drained, so these events are dead.
@@ -150,10 +162,6 @@ impl ThreadBuf {
             self.counters.clear();
             return;
         }
-        if self.spans.is_empty() && self.samples.is_empty() && self.counters.is_empty() {
-            return;
-        }
-        let mut sink = lock(&SINK);
         sink.spans.append(&mut self.spans);
         sink.samples.append(&mut self.samples);
         let totals = sink.counters.get_or_insert_with(HashMap::new);
@@ -581,7 +589,7 @@ mod tests {
     fn worker_threads_flush_on_outermost_span_close() {
         let _t = exclusive();
         let rec = Recording::start();
-        std::thread::scope(|scope| {
+        spillopt_sync::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
                     let _job = span("job");
@@ -661,5 +669,63 @@ mod tests {
         let rec = Recording::start();
         let t2 = rec.finish();
         assert!(t2.spans.is_empty(), "stale events leaked: {:?}", t2.spans);
+    }
+
+    /// Model-checked regression for the generation-counter protocol: a
+    /// worker whose span opened under recording A but whose buffer
+    /// flushes late — after A finished, possibly after recording B
+    /// already started — must never interleave its stale events into
+    /// B's trace, under ANY schedule.
+    #[cfg(feature = "model")]
+    #[test]
+    fn model_stale_flush_never_pollutes_next_recording() {
+        use spillopt_sync::model::{check, ModelOptions};
+        use spillopt_sync::{thread, Arc, Condvar};
+
+        let _t = exclusive();
+        let report = check(ModelOptions::new(), || {
+            let rec_a = Recording::start();
+            let opened = Arc::new((Mutex::new(false), Condvar::new()));
+            let opened2 = Arc::clone(&opened);
+            let worker = thread::spawn(move || {
+                let guard = span("gen_stale_work");
+                {
+                    let mut flag = opened2.0.lock().unwrap();
+                    *flag = true;
+                    opened2.1.notify_one();
+                }
+                // Scheduling point mid-span: the root may finish A (and
+                // even start B) before this buffer flushes.
+                thread::yield_now();
+                drop(guard);
+                flush();
+            });
+            {
+                let mut flag = opened.0.lock().unwrap();
+                while !*flag {
+                    flag = opened.1.wait(flag).unwrap();
+                }
+            }
+            let _trace_a = rec_a.finish();
+            let rec_b = Recording::start();
+            {
+                let _s = span("gen_fresh_work");
+            }
+            worker.join().unwrap();
+            let trace_b = rec_b.finish();
+            assert!(
+                trace_b.spans.iter().any(|s| s.name == "gen_fresh_work"),
+                "recording B lost its own span"
+            );
+            assert!(
+                trace_b.spans.iter().all(|s| s.name != "gen_stale_work"),
+                "stale-generation span leaked into the new trace"
+            );
+        });
+        assert!(
+            report.executions > 1,
+            "expected >1 interleaving, got {}",
+            report.executions
+        );
     }
 }

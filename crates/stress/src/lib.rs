@@ -44,11 +44,11 @@ pub use oracle::{
 };
 
 use spillopt_ir::display;
+use spillopt_sync::Once;
 use spillopt_targets::TargetSpec;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
 
 /// A fully-reported, minimized counterexample from one seed.
 #[derive(Clone, Debug)]

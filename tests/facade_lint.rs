@@ -1,0 +1,101 @@
+//! Repo lint: every crate gets its synchronization primitives and
+//! thread entry points from `spillopt-sync`, never from `std::sync` /
+//! `std::thread` directly.
+//!
+//! The facade is what makes the workspace model-checkable: in normal
+//! builds it re-exports std at zero cost, and under `--features model`
+//! the same names become scheduling points of the deterministic
+//! interleaving explorer (see `crates/sync`). A direct `std::sync`
+//! import silently removes that code from the model's view, so this
+//! test fails the build for any such import outside `crates/sync`
+//! itself. Running as a tier-1 test makes the rule self-enforcing; CI
+//! surfaces it as a named step too.
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned for Rust sources, relative to the workspace
+/// root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches", "shims"];
+
+/// The one place allowed to name std primitives: the facade itself
+/// (its wrappers delegate to std by design).
+const ALLOWED_PREFIX: &str = "crates/sync/";
+
+/// Substrings that indicate a direct std concurrency dependency. The
+/// `::`-suffixed forms catch paths (`std::sync::Mutex`,
+/// `std::thread::spawn`); `use std::sync` / `use std::thread` catch
+/// bare module imports (`use std::thread;`).
+const FORBIDDEN: &[&str] = &[
+    "std::sync::",
+    "std::thread::",
+    "use std::sync",
+    "use std::thread",
+];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // Build products never carry source obligations.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_direct_std_sync_outside_the_facade() {
+    let root = workspace_root();
+    let mut sources = Vec::new();
+    for scan in SCAN_ROOTS {
+        rust_sources(&root.join(scan), &mut sources);
+    }
+    assert!(
+        sources.iter().any(|p| p.ends_with("src/pool.rs")),
+        "lint scanned no known sources - wrong workspace root?"
+    );
+
+    let mut offenses = Vec::new();
+    for path in sources {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The facade delegates to std by design; this file holds the
+        // patterns as literals.
+        if rel.starts_with(ALLOWED_PREFIX) || rel == "tests/facade_lint.rs" {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if let Some(pat) = FORBIDDEN.iter().find(|pat| line.contains(**pat)) {
+                offenses.push(format!(
+                    "  {rel}:{}: `{pat}` - import it from spillopt_sync instead",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+
+    assert!(
+        offenses.is_empty(),
+        "direct std::sync/std::thread use outside crates/sync \
+         (the facade is what keeps the workspace model-checkable):\n{}",
+        offenses.join("\n")
+    );
+}

@@ -12,8 +12,8 @@
 //! well-defined even when workers race.
 
 use spillopt::{FunctionReport, ModuleReport, Observer, OptimizerBuilder, Provenance};
+use spillopt_sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 #[derive(Debug)]
 enum Event {
